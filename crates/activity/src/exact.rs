@@ -1,0 +1,431 @@
+//! Exact activity computation by input-space enumeration.
+//!
+//! The paper's transition-density propagation is a *first-order*
+//! approximation: it "does not take into account input signal
+//! correlations" (§4.1), i.e. it ignores reconvergent fanout. For small
+//! networks the exact quantities can be computed by enumerating all
+//! `2^n` input vectors, which lets the experiments quantify the
+//! approximation error on real structures (the role of ref [11]'s
+//! correlation-aware methods).
+//!
+//! Two exact quantities are provided:
+//!
+//! * [`probabilities`] — the exact static `1`-probability of every gate;
+//! * [`densities`] — the exact Najm density
+//!   `D(y) = Σ_x P(∂y/∂x)·D(x)` over **primary inputs** `x`, with the
+//!   Boolean difference of the whole fanin cone evaluated exactly.
+
+use minpower_netlist::{GateKind, Netlist};
+
+use crate::InputActivity;
+
+/// Maximum number of primary inputs accepted for enumeration.
+pub const MAX_INPUTS: usize = 20;
+
+/// Per-vector outputs of every gate, stored as bitsets over the input
+/// space.
+struct Truth {
+    /// `bits[g][v / 64] >> (v % 64) & 1` = output of gate `g` on vector `v`.
+    bits: Vec<Vec<u64>>,
+    n_inputs: usize,
+}
+
+fn enumerate(netlist: &Netlist) -> Truth {
+    let n_in = netlist.inputs().len();
+    assert!(
+        n_in <= MAX_INPUTS,
+        "exact enumeration supports at most {MAX_INPUTS} inputs, got {n_in}"
+    );
+    let vectors = 1usize << n_in;
+    let words = vectors.div_ceil(64);
+    let mut bits = vec![vec![0u64; words]; netlist.gate_count()];
+
+    // Seed input bitsets: input k's output over vector v is bit k of v.
+    for (k, &id) in netlist.inputs().iter().enumerate() {
+        let row = &mut bits[id.index()];
+        for v in 0..vectors {
+            if (v >> k) & 1 == 1 {
+                row[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+    }
+    // Bitwise-parallel evaluation in topological order.
+    for &id in netlist.topological_order() {
+        let gate = netlist.gate(id);
+        if gate.kind() == GateKind::Input {
+            continue;
+        }
+        let mut acc: Option<Vec<u64>> = None;
+        for &f in gate.fanin() {
+            let src = bits[f.index()].clone();
+            acc = Some(match acc {
+                None => src,
+                Some(mut a) => {
+                    for (aw, sw) in a.iter_mut().zip(src.iter()) {
+                        match gate.kind() {
+                            GateKind::And | GateKind::Nand => *aw &= sw,
+                            GateKind::Or | GateKind::Nor => *aw |= sw,
+                            GateKind::Xor | GateKind::Xnor => *aw ^= sw,
+                            GateKind::Not | GateKind::Buf | GateKind::Input => {}
+                        }
+                    }
+                    a
+                }
+            });
+        }
+        let mut row = acc.expect("logic gates have fanin");
+        if matches!(
+            gate.kind(),
+            GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Xnor
+        ) {
+            for w in &mut row {
+                *w = !*w;
+            }
+        }
+        // Mask off the bits beyond 2^n in the last word.
+        let tail = vectors % 64;
+        if tail != 0 {
+            let last = row.len() - 1;
+            row[last] &= (1u64 << tail) - 1;
+        }
+        bits[id.index()] = row;
+    }
+    Truth {
+        bits,
+        n_inputs: n_in,
+    }
+}
+
+/// Probability weight of each input vector under independent inputs.
+fn vector_weights(probabilities: &[f64]) -> Vec<f64> {
+    let n = probabilities.len();
+    let vectors = 1usize << n;
+    let mut w = vec![0.0f64; vectors];
+    for (v, weight) in w.iter_mut().enumerate() {
+        let mut acc = 1.0;
+        for (k, &p) in probabilities.iter().enumerate() {
+            acc *= if (v >> k) & 1 == 1 { p } else { 1.0 - p };
+        }
+        *weight = acc;
+    }
+    w
+}
+
+/// Exact static `1`-probability of every gate (indexed by
+/// [`minpower_netlist::GateId::index`]) for independent inputs with the
+/// given `1`-probabilities.
+///
+/// # Panics
+///
+/// Panics if the input count exceeds [`MAX_INPUTS`] or
+/// `input_probabilities.len()` mismatches the netlist.
+///
+/// # Example
+///
+/// ```
+/// use minpower_netlist::{GateKind, NetlistBuilder};
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("recon");
+/// b.input("a")?;
+/// b.gate("x", GateKind::Not, &["a"])?;
+/// // y = a AND NOT a == 0: reconvergence the first-order rule misses.
+/// b.gate("y", GateKind::And, &["a", "x"])?;
+/// b.output("y")?;
+/// let n = b.finish()?;
+/// let exact = minpower_activity::exact::probabilities(&n, &[0.5]);
+/// assert_eq!(exact[n.find("y").unwrap().index()], 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn probabilities(netlist: &Netlist, input_probabilities: &[f64]) -> Vec<f64> {
+    assert_eq!(input_probabilities.len(), netlist.inputs().len());
+    let truth = enumerate(netlist);
+    let weights = vector_weights(input_probabilities);
+    let vectors = 1usize << truth.n_inputs;
+    truth
+        .bits
+        .iter()
+        .map(|row| {
+            let mut p = 0.0;
+            for v in 0..vectors {
+                if row[v / 64] >> (v % 64) & 1 == 1 {
+                    p += weights[v];
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Exact Najm transition density of every gate: the Boolean difference
+/// with respect to each **primary input** is evaluated exactly over the
+/// cone, then weighted by that input's density.
+///
+/// # Panics
+///
+/// Same conditions as [`probabilities`].
+pub fn densities(netlist: &Netlist, inputs: &[InputActivity]) -> Vec<f64> {
+    assert_eq!(inputs.len(), netlist.inputs().len());
+    let truth = enumerate(netlist);
+    let probs: Vec<f64> = inputs.iter().map(|a| a.probability).collect();
+    let weights = vector_weights(&probs);
+    let vectors = 1usize << truth.n_inputs;
+
+    let mut density = vec![0.0f64; netlist.gate_count()];
+    for (k, activity) in inputs.iter().enumerate() {
+        if activity.density == 0.0 {
+            continue;
+        }
+        // P(∂y/∂x_k): probability (over the other inputs) that flipping
+        // input k flips y. Pair vectors differing only in bit k; weight
+        // by the pair's probability conditioned on x_k's distribution —
+        // the standard convention takes the weight of the remaining
+        // inputs, so sum w(v)/P(x_k = v_k) over sensitized v with
+        // v_k = 0 (each pair counted once).
+        let bit = 1usize << k;
+        let p0 = 1.0 - probs[k];
+        for (g, row) in truth.bits.iter().enumerate() {
+            let mut sens = 0.0;
+            for v in 0..vectors {
+                if v & bit != 0 {
+                    continue;
+                }
+                let y0 = row[v / 64] >> (v % 64) & 1;
+                let v1 = v | bit;
+                let y1 = row[v1 / 64] >> (v1 % 64) & 1;
+                if y0 != y1 {
+                    // weight of the other inputs = w(v) / (1 - p_k).
+                    sens += if p0 > 0.0 {
+                        weights[v] / p0
+                    } else {
+                        // p_k = 1: condition on the v1 branch instead.
+                        weights[v1] / probs[k]
+                    };
+                }
+            }
+            density[g] += sens * activity.density;
+        }
+    }
+    density
+}
+
+/// Exact static `1`-probabilities via BDDs (no input-count limit; size
+/// tracks circuit structure instead). One BDD traversal per gate.
+///
+/// # Errors
+///
+/// Returns [`minpower_bdd::CapacityError`] when the circuit's BDDs exceed
+/// the default node cap (exponential cones such as multipliers).
+///
+/// # Panics
+///
+/// Panics if `input_probabilities.len()` mismatches the netlist.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), minpower_bdd::CapacityError> {
+/// # use minpower_netlist::{GateKind, NetlistBuilder};
+/// # let mut b = NetlistBuilder::new("t");
+/// # b.input("a").unwrap();
+/// # b.input("c").unwrap();
+/// # b.gate("y", GateKind::Nand, &["a", "c"]).unwrap();
+/// # b.output("y").unwrap();
+/// # let n = b.finish().unwrap();
+/// let p = minpower_activity::exact::probabilities_bdd(&n, &[0.5, 0.5])?;
+/// let y = n.find("y").unwrap();
+/// assert!((p[y.index()] - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn probabilities_bdd(
+    netlist: &Netlist,
+    input_probabilities: &[f64],
+) -> Result<Vec<f64>, minpower_bdd::CapacityError> {
+    assert_eq!(input_probabilities.len(), netlist.inputs().len());
+    let mut bdd = minpower_bdd::Bdd::new(netlist.inputs().len());
+    let nodes = minpower_bdd::build_outputs(&mut bdd, netlist)?;
+    Ok(nodes
+        .iter()
+        .map(|&f| bdd.probability(f, input_probabilities))
+        .collect())
+}
+
+/// Exact Najm densities via BDDs: for every gate, the Boolean difference
+/// with respect to each primary input is built symbolically and its
+/// probability weighted by that input's density.
+///
+/// Cost is `O(gates × inputs)` Boolean-difference constructions; use
+/// [`densities`] (enumeration) for tiny circuits and this for the
+/// s298/s713-class benchmarks.
+///
+/// # Errors
+///
+/// Returns [`minpower_bdd::CapacityError`] on node-cap exhaustion.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` mismatches the netlist.
+pub fn densities_bdd(
+    netlist: &Netlist,
+    inputs: &[InputActivity],
+) -> Result<Vec<f64>, minpower_bdd::CapacityError> {
+    assert_eq!(inputs.len(), netlist.inputs().len());
+    let probs: Vec<f64> = inputs.iter().map(|a| a.probability).collect();
+    let mut bdd = minpower_bdd::Bdd::new(netlist.inputs().len());
+    let nodes = minpower_bdd::build_outputs(&mut bdd, netlist)?;
+    let mut density = vec![0.0f64; netlist.gate_count()];
+    for (g, &f) in nodes.iter().enumerate() {
+        let mut d = 0.0;
+        for (k, activity) in inputs.iter().enumerate() {
+            if activity.density == 0.0 {
+                continue;
+            }
+            let diff = bdd.boolean_difference(f, k)?;
+            if diff == minpower_bdd::NodeId::FALSE {
+                continue;
+            }
+            d += bdd.probability(diff, &probs) * activity.density;
+        }
+        density[g] = d;
+    }
+    Ok(density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activities;
+    use minpower_netlist::NetlistBuilder;
+
+    fn reconvergent() -> Netlist {
+        // y = (a NAND b) NAND (a NAND c): reconvergence through a.
+        let mut b = NetlistBuilder::new("recon");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.input("c").unwrap();
+        b.gate("u", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("v", GateKind::Nand, &["a", "c"]).unwrap();
+        b.gate("y", GateKind::Nand, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn exact_matches_propagation_on_trees() {
+        let mut b = NetlistBuilder::new("tree");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.input("c").unwrap();
+        b.input("d").unwrap();
+        b.gate("u", GateKind::And, &["a", "b"]).unwrap();
+        b.gate("v", GateKind::Or, &["c", "d"]).unwrap();
+        b.gate("y", GateKind::Xor, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let probs = [0.3, 0.6, 0.5, 0.2];
+        let profile: Vec<InputActivity> = probs
+            .iter()
+            .map(|&p| InputActivity::new(p, 0.4))
+            .collect();
+        let exact_p = probabilities(&n, &probs);
+        let exact_d = densities(&n, &profile);
+        let approx = Activities::propagate(&n, &profile);
+        for &id in n.topological_order() {
+            let i = id.index();
+            assert!(
+                (exact_p[i] - approx.probability(id)).abs() < 1e-12,
+                "{}: p {} vs {}",
+                n.gate(id).name(),
+                exact_p[i],
+                approx.probability(id)
+            );
+            assert!(
+                (exact_d[i] - approx.density(id)).abs() < 1e-12,
+                "{}: d {} vs {}",
+                n.gate(id).name(),
+                exact_d[i],
+                approx.density(id)
+            );
+        }
+    }
+
+    #[test]
+    fn reconvergence_creates_a_gap() {
+        let n = reconvergent();
+        let probs = [0.5, 0.5, 0.5];
+        let profile: Vec<InputActivity> = probs
+            .iter()
+            .map(|&p| InputActivity::bernoulli(p))
+            .collect();
+        let exact_p = probabilities(&n, &probs);
+        let approx = Activities::propagate(&n, &profile);
+        let y = n.find("y").unwrap();
+        // y = (a∧b) ∨ (a∧c) = a∧(b∨c): exact P = 0.5·0.75 = 0.375.
+        assert!((exact_p[y.index()] - 0.375).abs() < 1e-12);
+        // The first-order rule treats u and v as independent: P = 1 −
+        // 0.75·0.75 ≠ 0.375 — a real, measurable gap.
+        assert!((approx.probability(y) - exact_p[y.index()]).abs() > 0.04);
+    }
+
+    #[test]
+    fn exact_probability_of_contradiction_is_zero() {
+        let mut b = NetlistBuilder::new("zero");
+        b.input("a").unwrap();
+        b.gate("na", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["a", "na"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let exact = probabilities(&n, &[0.7]);
+        let y = n.find("y").unwrap();
+        assert_eq!(exact[y.index()], 0.0);
+        // And its exact density is zero: flipping a never flips y.
+        let d = densities(&n, &[InputActivity::bernoulli(0.7)]);
+        assert_eq!(d[y.index()], 0.0);
+    }
+
+    #[test]
+    fn skewed_input_probabilities_are_honored() {
+        let n = reconvergent();
+        let probs = [0.9, 0.1, 0.2];
+        let exact = probabilities(&n, &probs);
+        let y = n.find("y").unwrap();
+        // y = a∧(b∨c): 0.9·(1 − 0.9·0.8) = 0.9·0.28 = 0.252.
+        assert!((exact[y.index()] - 0.252).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bdd_route_matches_enumeration() {
+        let n = reconvergent();
+        let probs = [0.5, 0.3, 0.8];
+        let profile: Vec<InputActivity> = probs
+            .iter()
+            .map(|&p| InputActivity::new(p, 0.4))
+            .collect();
+        let enum_p = probabilities(&n, &probs);
+        let bdd_p = probabilities_bdd(&n, &probs).unwrap();
+        let enum_d = densities(&n, &profile);
+        let bdd_d = densities_bdd(&n, &profile).unwrap();
+        for i in 0..n.gate_count() {
+            assert!((enum_p[i] - bdd_p[i]).abs() < 1e-12, "p mismatch at {i}");
+            assert!((enum_d[i] - bdd_d[i]).abs() < 1e-12, "d mismatch at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_inputs_panics() {
+        let mut b = NetlistBuilder::new("wide");
+        let mut names = Vec::new();
+        for i in 0..(MAX_INPUTS + 1) {
+            let nm = format!("i{i}");
+            b.input(&nm).unwrap();
+            names.push(nm);
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.gate("y", GateKind::And, &refs[..2]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let _ = probabilities(&n, &vec![0.5; MAX_INPUTS + 1]);
+    }
+}

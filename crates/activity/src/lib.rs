@@ -1,0 +1,435 @@
+//! Signal probability and switching-activity estimation.
+//!
+//! The dynamic energy of a gate (paper Eq. A2) is proportional to its
+//! output activity factor `a_i`. The paper computes internal-node
+//! activities with Najm's *transition density* propagation (§4.1, ref [8]):
+//!
+//! ```text
+//! D(y) = Σ_i  P(∂y/∂x_i) · D(x_i)
+//! ```
+//!
+//! where `∂y/∂x_i` is the Boolean difference of the gate function with
+//! respect to input `i`, evaluated under the spatial-independence
+//! assumption (a first-order approximation that ignores input correlation
+//! and reconvergent fanout — exactly the approximation the paper adopts).
+//!
+//! This crate propagates both static signal probabilities and per-cycle
+//! transition densities from a per-input [`InputActivity`] profile to every
+//! gate of a [`Netlist`], and offers a Monte-Carlo reference estimator used
+//! to validate the analytic propagation on fanout-free structures.
+//!
+//! # Example
+//!
+//! ```
+//! use minpower_activity::{Activities, InputActivity};
+//! use minpower_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), minpower_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("and2");
+//! b.input("a")?;
+//! b.input("b")?;
+//! b.gate("y", GateKind::And, &["a", "b"])?;
+//! b.output("y")?;
+//! let n = b.finish()?;
+//!
+//! let acts = Activities::propagate(&n, &InputActivity::uniform(0.5, 0.5, 2));
+//! let y = n.find("y").unwrap();
+//! assert!((acts.probability(y) - 0.25).abs() < 1e-12);
+//! assert!((acts.density(y) - 0.5).abs() < 1e-12); // 0.5·0.5 + 0.5·0.5
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+
+use minpower_netlist::{GateId, GateKind, Netlist};
+
+/// Switching profile of one primary input: static `1`-probability and
+/// per-cycle transition density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputActivity {
+    /// Probability that the input is logic `1`.
+    pub probability: f64,
+    /// Expected transitions per clock cycle (`0 ≤ d ≤ 2` for physical
+    /// waveforms; `2p(1−p)` for a temporally independent source).
+    pub density: f64,
+}
+
+impl InputActivity {
+    /// Creates a profile, validating the ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]` or `density` is
+    /// negative.
+    pub fn new(probability: f64, density: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        assert!(density >= 0.0, "density must be non-negative");
+        InputActivity {
+            probability,
+            density,
+        }
+    }
+
+    /// A uniform profile: `count` copies of the same `(p, d)` pair — the
+    /// "same activity level over all inputs" assumption of the paper's
+    /// tables.
+    pub fn uniform(probability: f64, density: f64, count: usize) -> Vec<Self> {
+        vec![InputActivity::new(probability, density); count]
+    }
+
+    /// The profile of a temporally independent random source with
+    /// `1`-probability `p`: density `2p(1−p)`.
+    pub fn bernoulli(p: f64) -> Self {
+        InputActivity::new(p, 2.0 * p * (1.0 - p))
+    }
+
+    /// The profile of a lag-1 correlated source: `1`-probability `p` and
+    /// autocorrelation `rho ∈ [−1, 1]` between consecutive cycles, giving
+    /// density `2p(1−p)(1−ρ)`. Positive correlation (slowly-varying
+    /// control signals) lowers activity; negative correlation
+    /// (clock-like toggling) raises it up to the `2p(1−p)·2` ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `rho` outside `[−1, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use minpower_activity::InputActivity;
+    /// let slow = InputActivity::correlated(0.5, 0.8);
+    /// let fast = InputActivity::correlated(0.5, -0.8);
+    /// assert!(slow.density < fast.density);
+    /// ```
+    pub fn correlated(p: f64, rho: f64) -> Self {
+        assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+        InputActivity::new(p, 2.0 * p * (1.0 - p) * (1.0 - rho))
+    }
+}
+
+/// Per-gate signal probabilities and transition densities for a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activities {
+    probability: Vec<f64>,
+    density: Vec<f64>,
+}
+
+impl Activities {
+    /// Propagates a per-input profile through the network in topological
+    /// order.
+    ///
+    /// `inputs` must supply one [`InputActivity`] per primary input, in
+    /// [`Netlist::inputs`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn propagate(netlist: &Netlist, inputs: &[InputActivity]) -> Self {
+        assert_eq!(
+            inputs.len(),
+            netlist.inputs().len(),
+            "one InputActivity per primary input required"
+        );
+        let n = netlist.gate_count();
+        let mut probability = vec![0.0; n];
+        let mut density = vec![0.0; n];
+        for (k, &id) in netlist.inputs().iter().enumerate() {
+            probability[id.index()] = inputs[k].probability;
+            density[id.index()] = inputs[k].density;
+        }
+        for &id in netlist.topological_order() {
+            let gate = netlist.gate(id);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            let fanin = gate.fanin();
+            let p_in: Vec<f64> = fanin.iter().map(|f| probability[f.index()]).collect();
+            probability[id.index()] = output_probability(gate.kind(), &p_in);
+            let mut d = 0.0;
+            for (i, f) in fanin.iter().enumerate() {
+                d += boolean_difference_probability(gate.kind(), &p_in, i)
+                    * density[f.index()];
+            }
+            density[id.index()] = d;
+        }
+        Activities {
+            probability,
+            density,
+        }
+    }
+
+    /// Static probability that gate `id`'s output is logic `1`.
+    pub fn probability(&self, id: GateId) -> f64 {
+        self.probability[id.index()]
+    }
+
+    /// Per-cycle transition density of gate `id`'s output — the activity
+    /// factor `a_i` of the paper's dynamic-energy expression.
+    pub fn density(&self, id: GateId) -> f64 {
+        self.density[id.index()]
+    }
+
+    /// All probabilities, indexed by [`GateId::index`].
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probability
+    }
+
+    /// All densities, indexed by [`GateId::index`].
+    pub fn densities(&self) -> &[f64] {
+        &self.density
+    }
+}
+
+/// Output `1`-probability of a gate under the input-independence
+/// assumption.
+fn output_probability(kind: GateKind, p: &[f64]) -> f64 {
+    match kind {
+        GateKind::Input => 0.0,
+        GateKind::And => p.iter().product(),
+        GateKind::Nand => 1.0 - p.iter().product::<f64>(),
+        GateKind::Or => 1.0 - p.iter().map(|q| 1.0 - q).product::<f64>(),
+        GateKind::Nor => p.iter().map(|q| 1.0 - q).product(),
+        GateKind::Not => 1.0 - p[0],
+        GateKind::Buf => p[0],
+        // P(odd parity) = (1 − Π(1 − 2p_i)) / 2.
+        GateKind::Xor => (1.0 - p.iter().map(|q| 1.0 - 2.0 * q).product::<f64>()) / 2.0,
+        GateKind::Xnor => (1.0 + p.iter().map(|q| 1.0 - 2.0 * q).product::<f64>()) / 2.0,
+    }
+}
+
+/// Probability that the Boolean difference `∂y/∂x_i` of the gate function
+/// is `1` — the sensitization probability of input `i`.
+fn boolean_difference_probability(kind: GateKind, p: &[f64], i: usize) -> f64 {
+    let others = |f: &dyn Fn(f64) -> f64| -> f64 {
+        p.iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &q)| f(q))
+            .product()
+    };
+    match kind {
+        GateKind::Input => 0.0,
+        // AND/NAND sensitize input i when all other inputs are 1.
+        GateKind::And | GateKind::Nand => others(&|q| q),
+        // OR/NOR sensitize input i when all other inputs are 0.
+        GateKind::Or | GateKind::Nor => others(&|q| 1.0 - q),
+        GateKind::Not | GateKind::Buf => 1.0,
+        // XOR/XNOR always propagate a change.
+        GateKind::Xor | GateKind::Xnor => 1.0,
+    }
+}
+
+/// Monte-Carlo transition-density estimate, used to validate the analytic
+/// propagation.
+///
+/// Primary inputs are driven with temporally independent Bernoulli
+/// sequences matching the given probabilities (so their empirical density
+/// is `2p(1−p)`), the network is evaluated cycle by cycle, and output
+/// toggles counted. Returns per-gate densities indexed by
+/// [`GateId::index`].
+pub fn monte_carlo_density(
+    netlist: &Netlist,
+    probabilities: &[f64],
+    cycles: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(probabilities.len(), netlist.inputs().len());
+    assert!(cycles > 0, "need at least one cycle");
+    // xorshift64* PRNG: deterministic, no external dependency in the
+    // published API (rand stays a dev-dependency).
+    let mut state = seed.max(1);
+    let mut next_f64 = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (r >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let n_in = netlist.inputs().len();
+    let mut toggles = vec![0u64; netlist.gate_count()];
+    let mut prev: Option<Vec<bool>> = None;
+    let mut stimulus = vec![false; n_in];
+    for _ in 0..=cycles {
+        for (k, s) in stimulus.iter_mut().enumerate() {
+            *s = next_f64() < probabilities[k];
+        }
+        let values = netlist.evaluate(&stimulus);
+        if let Some(prev) = &prev {
+            for (i, (&a, &b)) in prev.iter().zip(values.iter()).enumerate() {
+                if a != b {
+                    toggles[i] += 1;
+                }
+            }
+        }
+        prev = Some(values);
+    }
+    toggles
+        .into_iter()
+        .map(|t| t as f64 / cycles as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::NetlistBuilder;
+
+    fn two_input(kind: GateKind) -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", kind, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn probability_rules_two_input() {
+        let cases = [
+            (GateKind::And, 0.6 * 0.3),
+            (GateKind::Nand, 1.0 - 0.6 * 0.3),
+            (GateKind::Or, 1.0 - 0.4 * 0.7),
+            (GateKind::Nor, 0.4 * 0.7),
+            (GateKind::Xor, 0.6 * 0.7 + 0.4 * 0.3),
+            (GateKind::Xnor, 1.0 - (0.6 * 0.7 + 0.4 * 0.3)),
+        ];
+        for (kind, expect) in cases {
+            let n = two_input(kind);
+            let acts = Activities::propagate(
+                &n,
+                &[InputActivity::new(0.6, 0.1), InputActivity::new(0.3, 0.1)],
+            );
+            let y = n.find("y").unwrap();
+            assert!(
+                (acts.probability(y) - expect).abs() < 1e-12,
+                "{kind:?}: got {}, want {expect}",
+                acts.probability(y)
+            );
+        }
+    }
+
+    #[test]
+    fn density_rules_two_input() {
+        // D(y) for AND = p_b·D_a + p_a·D_b; for OR = (1−p_b)·D_a + (1−p_a)·D_b.
+        let n = two_input(GateKind::And);
+        let acts = Activities::propagate(
+            &n,
+            &[InputActivity::new(0.6, 0.2), InputActivity::new(0.3, 0.4)],
+        );
+        let y = n.find("y").unwrap();
+        assert!((acts.density(y) - (0.3 * 0.2 + 0.6 * 0.4)).abs() < 1e-12);
+
+        let n = two_input(GateKind::Nor);
+        let acts = Activities::propagate(
+            &n,
+            &[InputActivity::new(0.6, 0.2), InputActivity::new(0.3, 0.4)],
+        );
+        let y = n.find("y").unwrap();
+        assert!((acts.density(y) - (0.7 * 0.2 + 0.4 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_passes_density_through() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let acts = Activities::propagate(&n, &[InputActivity::new(0.25, 0.7)]);
+        let y = n.find("y").unwrap();
+        assert!((acts.probability(y) - 0.75).abs() < 1e-12);
+        assert!((acts.density(y) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_sums_densities() {
+        let n = two_input(GateKind::Xor);
+        let acts = Activities::propagate(
+            &n,
+            &[InputActivity::new(0.5, 0.3), InputActivity::new(0.5, 0.4)],
+        );
+        let y = n.find("y").unwrap();
+        assert!((acts.density(y) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_inputs_kill_activity() {
+        let n = two_input(GateKind::And);
+        // b stuck at 0 with no transitions: output never switches.
+        let acts = Activities::propagate(
+            &n,
+            &[InputActivity::new(0.5, 0.5), InputActivity::new(0.0, 0.0)],
+        );
+        let y = n.find("y").unwrap();
+        assert_eq!(acts.probability(y), 0.0);
+        assert_eq!(acts.density(y), 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_on_tree() {
+        // A fanout-free tree: independence assumption is exact.
+        let mut b = NetlistBuilder::new("tree");
+        for name in ["a", "b", "c", "d"] {
+            b.input(name).unwrap();
+        }
+        b.gate("n1", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("n2", GateKind::Nor, &["c", "d"]).unwrap();
+        b.gate("y", GateKind::And, &["n1", "n2"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+
+        let p = [0.5, 0.3, 0.6, 0.2];
+        let profile: Vec<InputActivity> =
+            p.iter().map(|&q| InputActivity::bernoulli(q)).collect();
+        let analytic = Activities::propagate(&n, &profile);
+        let mc = monte_carlo_density(&n, &p, 200_000, 42);
+        for &id in n.topological_order() {
+            let m = mc[id.index()];
+            // Under i.i.d. stimulus, consecutive output samples are i.i.d.
+            // too, so the exact toggle rate is 2·P_y·(1−P_y); the analytic
+            // probability is exact on a fanout-free tree.
+            let py = analytic.probability(id);
+            let exact = 2.0 * py * (1.0 - py);
+            assert!(
+                (exact - m).abs() < 0.01,
+                "gate {}: toggle rate {exact} vs MC {m}",
+                n.gate(id).name()
+            );
+            // Najm's continuous-time density can only overcount relative to
+            // the discrete toggle rate (coincident input transitions cancel
+            // in discrete time but are counted separately by the density).
+            assert!(
+                analytic.density(id) + 1e-9 >= m - 0.01,
+                "gate {}: density {} below MC toggle rate {m}",
+                n.gate(id).name(),
+                analytic.density(id)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one InputActivity per primary input")]
+    fn wrong_profile_length_panics() {
+        let n = two_input(GateKind::And);
+        let _ = Activities::propagate(&n, &[InputActivity::new(0.5, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn bad_probability_panics() {
+        let _ = InputActivity::new(1.5, 0.1);
+    }
+
+    #[test]
+    fn bernoulli_density_is_2p1p() {
+        let a = InputActivity::bernoulli(0.3);
+        assert!((a.density - 2.0 * 0.3 * 0.7).abs() < 1e-12);
+    }
+}

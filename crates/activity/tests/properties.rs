@@ -1,0 +1,109 @@
+//! Property tests for activity propagation invariants.
+
+use minpower_activity::{Activities, InputActivity};
+use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG with `n_inputs` inputs and `n_gates` gates.
+fn random_netlist(n_inputs: usize, n_gates: usize, picks: &[usize]) -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    let mut nets: Vec<String> = Vec::new();
+    for i in 0..n_inputs {
+        let name = format!("i{i}");
+        b.input(&name).unwrap();
+        nets.push(name);
+    }
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Not,
+        GateKind::Xor,
+    ];
+    let mut k = 0usize;
+    let mut pick = |m: usize| {
+        let v = picks[k % picks.len()] % m;
+        k += 1;
+        v
+    };
+    for g in 0..n_gates {
+        let kind = kinds[pick(kinds.len())];
+        let arity = if kind.is_unary() { 1 } else { 2 + pick(2) };
+        let mut fanin = Vec::new();
+        for _ in 0..arity {
+            fanin.push(nets[pick(nets.len())].clone());
+        }
+        let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+        let name = format!("g{g}");
+        b.gate(&name, kind, &refs).unwrap();
+        nets.push(name);
+    }
+    b.output(&format!("g{}", n_gates - 1)).unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn probabilities_stay_in_unit_interval(
+        probs in proptest::collection::vec(0.0f64..=1.0, 4),
+        picks in proptest::collection::vec(0usize..1000, 64),
+        n_gates in 1usize..30,
+    ) {
+        let n = random_netlist(4, n_gates, &picks);
+        let profile: Vec<InputActivity> =
+            probs.iter().map(|&p| InputActivity::bernoulli(p)).collect();
+        let acts = Activities::propagate(&n, &profile);
+        for &p in acts.probabilities() {
+            prop_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+    }
+
+    #[test]
+    fn gate_density_bounded_by_fanin_density_sum(
+        probs in proptest::collection::vec(0.0f64..=1.0, 4),
+        dens in proptest::collection::vec(0.0f64..=1.0, 4),
+        picks in proptest::collection::vec(0usize..1000, 64),
+        n_gates in 1usize..30,
+    ) {
+        let n = random_netlist(4, n_gates, &picks);
+        let profile: Vec<InputActivity> = probs
+            .iter()
+            .zip(dens.iter())
+            .map(|(&p, &d)| InputActivity::new(p, d))
+            .collect();
+        let acts = Activities::propagate(&n, &profile);
+        // Boolean-difference probabilities never exceed 1, so each gate's
+        // density is bounded by the sum of its fanin densities.
+        for &id in n.topological_order() {
+            let g = n.gate(id);
+            if g.kind() == GateKind::Input {
+                continue;
+            }
+            let bound: f64 = g.fanin().iter().map(|&f| acts.density(f)).sum();
+            prop_assert!(
+                acts.density(id) <= bound + 1e-9,
+                "gate {} density {} exceeds fanin sum {bound}",
+                g.name(),
+                acts.density(id)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_density_inputs_yield_zero_density_everywhere(
+        probs in proptest::collection::vec(0.0f64..=1.0, 4),
+        picks in proptest::collection::vec(0usize..1000, 64),
+        n_gates in 1usize..30,
+    ) {
+        let n = random_netlist(4, n_gates, &picks);
+        let profile: Vec<InputActivity> = probs
+            .iter()
+            .map(|&p| InputActivity::new(p, 0.0))
+            .collect();
+        let acts = Activities::propagate(&n, &profile);
+        for &d in acts.densities() {
+            prop_assert!(d.abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! Najm's transition-density work — the paper's activity-estimation
+//! reference [8] — computes signal and Boolean-difference probabilities
+//! on BDDs; the first-order propagation the paper adopts is its cheap
+//! approximation. This crate supplies the real thing: a compact ROBDD
+//! manager with the operations exact analysis needs —
+//!
+//! * [`Bdd::apply_and`] / [`Bdd::apply_or`] / [`Bdd::apply_xor`] /
+//!   [`Bdd::not`] with memoized apply;
+//! * [`Bdd::probability`] — exact `P(f = 1)` for independent inputs, by
+//!   one linear-in-nodes traversal;
+//! * [`Bdd::cofactor`] and [`Bdd::boolean_difference`] — the `∂f/∂x`
+//!   machinery of the density definition;
+//! * [`build_outputs`] — symbolic evaluation of a whole
+//!   [`minpower_netlist::Netlist`], one BDD root per gate.
+//!
+//! Unlike the `2^n` enumeration in `minpower-activity`, BDD size tracks
+//! the circuit's structure, not its input count — the genuine s713-class
+//! benchmarks (50+ inputs) become analyzable exactly. A configurable node
+//! cap keeps pathological circuits (multiplier cones) from exhausting
+//! memory; hitting it is reported as an error, never an abort.
+//!
+//! # Example
+//!
+//! ```
+//! use minpower_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new(2);
+//! let a = bdd.var(0);
+//! let b = bdd.var(1);
+//! let f = bdd.apply_and(a, b).unwrap();
+//! assert_eq!(bdd.probability(f, &[0.5, 0.5]), 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use minpower_netlist::{GateKind, Netlist};
+
+/// Handle to a BDD node (function) within a [`Bdd`] manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant FALSE function.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant TRUE function.
+    pub const TRUE: NodeId = NodeId(1);
+}
+
+/// Error raised when a BDD operation would exceed the manager's node cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// The configured node limit.
+    pub cap: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BDD exceeded the {}-node capacity", self.cap)
+    }
+}
+
+impl Error for CapacityError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// An ROBDD manager over a fixed variable order `0..n_vars`.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    apply_cache: HashMap<(u8, NodeId, NodeId), NodeId>,
+    n_vars: usize,
+    cap: usize,
+}
+
+const OP_AND: u8 = 0;
+const OP_OR: u8 = 1;
+const OP_XOR: u8 = 2;
+
+impl Bdd {
+    /// Creates a manager for `n_vars` variables with the default
+    /// 2-million-node cap.
+    pub fn new(n_vars: usize) -> Self {
+        Bdd::with_capacity(n_vars, 2_000_000)
+    }
+
+    /// Creates a manager with an explicit node cap.
+    pub fn with_capacity(n_vars: usize, cap: usize) -> Self {
+        let terminal = Node {
+            var: u32::MAX,
+            lo: NodeId::FALSE,
+            hi: NodeId::FALSE,
+        };
+        Bdd {
+            // Slots 0 and 1 are the FALSE/TRUE terminals.
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            n_vars,
+            cap,
+        }
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of variables in the order.
+    pub fn var_count(&self) -> usize {
+        self.n_vars
+    }
+
+    fn is_terminal(id: NodeId) -> bool {
+        id.0 < 2
+    }
+
+    fn var_of(&self, id: NodeId) -> u32 {
+        if Self::is_terminal(id) {
+            u32::MAX
+        } else {
+            self.nodes[id.0 as usize].var
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> Result<NodeId, CapacityError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return Ok(id);
+        }
+        if self.nodes.len() >= self.cap {
+            return Err(CapacityError { cap: self.cap });
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        Ok(id)
+    }
+
+    /// The single-variable function `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the variable order.
+    pub fn var(&mut self, index: usize) -> NodeId {
+        assert!(index < self.n_vars, "variable {index} outside the order");
+        self.mk(index as u32, NodeId::FALSE, NodeId::TRUE)
+            .expect("a single fresh node never exceeds the cap")
+    }
+
+    /// Negation — `O(|f|)` via apply with XOR TRUE.
+    pub fn not(&mut self, f: NodeId) -> Result<NodeId, CapacityError> {
+        self.apply(OP_XOR, f, NodeId::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn apply_and(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, CapacityError> {
+        self.apply(OP_AND, f, g)
+    }
+
+    /// Disjunction.
+    pub fn apply_or(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, CapacityError> {
+        self.apply(OP_OR, f, g)
+    }
+
+    /// Exclusive or.
+    pub fn apply_xor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, CapacityError> {
+        self.apply(OP_XOR, f, g)
+    }
+
+    fn apply(&mut self, op: u8, f: NodeId, g: NodeId) -> Result<NodeId, CapacityError> {
+        // Terminal rules.
+        match op {
+            OP_AND => {
+                if f == NodeId::FALSE || g == NodeId::FALSE {
+                    return Ok(NodeId::FALSE);
+                }
+                if f == NodeId::TRUE {
+                    return Ok(g);
+                }
+                if g == NodeId::TRUE {
+                    return Ok(f);
+                }
+                if f == g {
+                    return Ok(f);
+                }
+            }
+            OP_OR => {
+                if f == NodeId::TRUE || g == NodeId::TRUE {
+                    return Ok(NodeId::TRUE);
+                }
+                if f == NodeId::FALSE {
+                    return Ok(g);
+                }
+                if g == NodeId::FALSE {
+                    return Ok(f);
+                }
+                if f == g {
+                    return Ok(f);
+                }
+            }
+            OP_XOR => {
+                if f == g {
+                    return Ok(NodeId::FALSE);
+                }
+                if f == NodeId::FALSE {
+                    return Ok(g);
+                }
+                if g == NodeId::FALSE {
+                    return Ok(f);
+                }
+                if f == NodeId::TRUE && g == NodeId::TRUE {
+                    return Ok(NodeId::FALSE);
+                }
+            }
+            _ => unreachable!("unknown op"),
+        }
+        // Normalize commutative operand order for the cache.
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(&hit) = self.apply_cache.get(&(op, a, b)) {
+            return Ok(hit);
+        }
+        let va = self.var_of(a);
+        let vb = self.var_of(b);
+        let v = va.min(vb);
+        let (a_lo, a_hi) = if va == v {
+            let n = self.nodes[a.0 as usize];
+            (n.lo, n.hi)
+        } else {
+            (a, a)
+        };
+        let (b_lo, b_hi) = if vb == v {
+            let n = self.nodes[b.0 as usize];
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.apply(op, a_lo, b_lo)?;
+        let hi = self.apply(op, a_hi, b_hi)?;
+        let result = self.mk(v, lo, hi)?;
+        self.apply_cache.insert((op, a, b), result);
+        Ok(result)
+    }
+
+    /// Exact probability that `f = 1` under independent inputs with the
+    /// given per-variable `1`-probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probabilities.len()` differs from the variable count.
+    pub fn probability(&self, f: NodeId, probabilities: &[f64]) -> f64 {
+        assert_eq!(probabilities.len(), self.n_vars);
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        self.prob_rec(f, probabilities, &mut memo)
+    }
+
+    fn prob_rec(&self, f: NodeId, p: &[f64], memo: &mut HashMap<NodeId, f64>) -> f64 {
+        if f == NodeId::FALSE {
+            return 0.0;
+        }
+        if f == NodeId::TRUE {
+            return 1.0;
+        }
+        if let Some(&v) = memo.get(&f) {
+            return v;
+        }
+        let node = self.nodes[f.0 as usize];
+        let pv = p[node.var as usize];
+        let value =
+            (1.0 - pv) * self.prob_rec(node.lo, p, memo) + pv * self.prob_rec(node.hi, p, memo);
+        memo.insert(f, value);
+        value
+    }
+
+    /// The cofactor `f|x_i = value`.
+    pub fn cofactor(
+        &mut self,
+        f: NodeId,
+        var: usize,
+        value: bool,
+    ) -> Result<NodeId, CapacityError> {
+        let mut memo = HashMap::new();
+        self.cofactor_rec(f, var as u32, value, &mut memo)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: NodeId,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> Result<NodeId, CapacityError> {
+        if Self::is_terminal(f) {
+            return Ok(f);
+        }
+        if let Some(&hit) = memo.get(&f) {
+            return Ok(hit);
+        }
+        let node = self.nodes[f.0 as usize];
+        let result = if node.var == var {
+            if value {
+                node.hi
+            } else {
+                node.lo
+            }
+        } else if node.var > var {
+            f // var does not appear below this point
+        } else {
+            let lo = self.cofactor_rec(node.lo, var, value, memo)?;
+            let hi = self.cofactor_rec(node.hi, var, value, memo)?;
+            self.mk(node.var, lo, hi)?
+        };
+        memo.insert(f, result);
+        Ok(result)
+    }
+
+    /// The Boolean difference `∂f/∂x_i = f|x=1 ⊕ f|x=0` — the function
+    /// that is `1` exactly where toggling `x_i` toggles `f` (the density
+    /// definition's sensitization condition).
+    pub fn boolean_difference(
+        &mut self,
+        f: NodeId,
+        var: usize,
+    ) -> Result<NodeId, CapacityError> {
+        let hi = self.cofactor(f, var, true)?;
+        let lo = self.cofactor(f, var, false)?;
+        self.apply_xor(hi, lo)
+    }
+
+    /// Number of satisfying assignments of `f` over the full variable
+    /// order (as `f64`; exact for up to ~2^53).
+    pub fn sat_count(&self, f: NodeId) -> f64 {
+        let uniform = vec![0.5; self.n_vars];
+        self.probability(f, &uniform) * 2f64.powi(self.n_vars as i32)
+    }
+}
+
+/// Builds one BDD per gate of `netlist` (indexed by
+/// [`minpower_netlist::GateId::index`]), with BDD variable `k` bound to
+/// the `k`-th primary input.
+///
+/// # Errors
+///
+/// Returns [`CapacityError`] if the circuit's BDDs exceed the manager's
+/// node cap (reconvergent arithmetic cones can be exponential; random
+/// logic rarely is).
+pub fn build_outputs(bdd: &mut Bdd, netlist: &Netlist) -> Result<Vec<NodeId>, CapacityError> {
+    assert_eq!(
+        bdd.var_count(),
+        netlist.inputs().len(),
+        "manager must have one variable per primary input"
+    );
+    let mut node = vec![NodeId::FALSE; netlist.gate_count()];
+    for (k, &input) in netlist.inputs().iter().enumerate() {
+        node[input.index()] = bdd.var(k);
+    }
+    for &id in netlist.topological_order() {
+        let gate = netlist.gate(id);
+        if gate.kind() == GateKind::Input {
+            continue;
+        }
+        let operands: Vec<NodeId> = gate.fanin().iter().map(|f| node[f.index()]).collect();
+        let mut acc = operands[0];
+        for &next in &operands[1..] {
+            acc = match gate.kind() {
+                GateKind::And | GateKind::Nand => bdd.apply_and(acc, next)?,
+                GateKind::Or | GateKind::Nor => bdd.apply_or(acc, next)?,
+                GateKind::Xor | GateKind::Xnor => bdd.apply_xor(acc, next)?,
+                GateKind::Not | GateKind::Buf | GateKind::Input => acc,
+            };
+        }
+        if matches!(
+            gate.kind(),
+            GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Xnor
+        ) {
+            acc = bdd.not(acc)?;
+        }
+        node[id.index()] = acc;
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::NetlistBuilder;
+
+    #[test]
+    fn terminal_identities() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        assert_eq!(b.apply_and(x, NodeId::TRUE).unwrap(), x);
+        assert_eq!(b.apply_and(x, NodeId::FALSE).unwrap(), NodeId::FALSE);
+        assert_eq!(b.apply_or(x, NodeId::FALSE).unwrap(), x);
+        assert_eq!(b.apply_or(x, NodeId::TRUE).unwrap(), NodeId::TRUE);
+        assert_eq!(b.apply_xor(x, x).unwrap(), NodeId::FALSE);
+        let nx = b.not(x).unwrap();
+        let nnx = b.not(nx).unwrap();
+        assert_eq!(nnx, x);
+    }
+
+    #[test]
+    fn reduction_shares_nodes() {
+        let mut b = Bdd::new(3);
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        // Build x0 AND x1 twice: the second build must add no nodes.
+        let f1 = b.apply_and(x0, x1).unwrap();
+        let count = b.node_count();
+        let f2 = b.apply_and(x0, x1).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(b.node_count(), count);
+    }
+
+    #[test]
+    fn probability_basic_gates() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let and = b.apply_and(x, y).unwrap();
+        let or = b.apply_or(x, y).unwrap();
+        let xor = b.apply_xor(x, y).unwrap();
+        let p = [0.3, 0.7];
+        assert!((b.probability(and, &p) - 0.21).abs() < 1e-12);
+        assert!((b.probability(or, &p) - 0.79).abs() < 1e-12);
+        assert!((b.probability(xor, &p) - (0.3 * 0.3 + 0.7 * 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sat_count_of_parity() {
+        let mut b = Bdd::new(4);
+        let mut f = b.var(0);
+        for i in 1..4 {
+            let v = b.var(i);
+            f = b.apply_xor(f, v).unwrap();
+        }
+        // Odd parity of 4 variables: exactly half the assignments.
+        assert_eq!(b.sat_count(f), 8.0);
+    }
+
+    #[test]
+    fn boolean_difference_of_and() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.apply_and(x, y).unwrap();
+        // ∂(x∧y)/∂x = y.
+        let d = b.boolean_difference(f, 0).unwrap();
+        assert_eq!(d, y);
+        // ∂ of XOR is constant TRUE.
+        let g = b.apply_xor(x, y).unwrap();
+        let dg = b.boolean_difference(g, 1).unwrap();
+        assert_eq!(dg, NodeId::TRUE);
+    }
+
+    #[test]
+    fn cofactor_eliminates_the_variable() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        let xy = b.apply_and(x, y).unwrap();
+        let f = b.apply_or(xy, z).unwrap();
+        let f1 = b.cofactor(f, 0, true).unwrap();
+        let yz = b.apply_or(y, z).unwrap();
+        assert_eq!(f1, yz);
+        let f0 = b.cofactor(f, 0, false).unwrap();
+        assert_eq!(f0, z);
+    }
+
+    #[test]
+    fn capacity_errors_are_reported_not_fatal() {
+        let mut b = Bdd::with_capacity(8, 10);
+        // Parity chains grow one node per variable; cap at 10 total nodes
+        // trips quickly.
+        let mut f = b.var(0);
+        let mut tripped = false;
+        for i in 1..8 {
+            let v = b.var(i);
+            match b.apply_xor(f, v) {
+                Ok(next) => f = next,
+                Err(CapacityError { cap }) => {
+                    assert_eq!(cap, 10);
+                    tripped = true;
+                    break;
+                }
+            }
+        }
+        assert!(tripped, "cap never engaged");
+    }
+
+    #[test]
+    fn netlist_outputs_match_exhaustive_evaluation() {
+        let mut nb = NetlistBuilder::new("t");
+        nb.input("a").unwrap();
+        nb.input("b").unwrap();
+        nb.input("c").unwrap();
+        nb.gate("u", GateKind::Nand, &["a", "b"]).unwrap();
+        nb.gate("v", GateKind::Nor, &["b", "c"]).unwrap();
+        nb.gate("y", GateKind::Xor, &["u", "v"]).unwrap();
+        nb.output("y").unwrap();
+        let n = nb.finish().unwrap();
+        let mut bdd = Bdd::new(3);
+        let nodes = build_outputs(&mut bdd, &n).unwrap();
+        for bits in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|k| bits >> k & 1 == 1).collect();
+            let probs: Vec<f64> = assignment.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            let values = n.evaluate(&assignment);
+            for &id in n.topological_order() {
+                let p = bdd.probability(nodes[id.index()], &probs);
+                assert_eq!(p > 0.5, values[id.index()], "gate {}", n.gate(id).name());
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion benches for the **Fig. 2** studies on s298:
+//! (a) one worst-case-Vt-margined optimization (±20 %);
+//! (b) one skew-derated optimization (b = 0.8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minpower_bench::problem_for;
+use minpower_core::{variation, Optimizer};
+
+fn bench_fig2(c: &mut Criterion) {
+    let netlist = minpower_bench::circuit_by_name("s298");
+    let mut group = c.benchmark_group("fig2_studies");
+    group.sample_size(10);
+
+    let problem = problem_for(&netlist, 0.3);
+    group.bench_function("fig2a_tol20", |b| {
+        b.iter(|| variation::optimize_with_tolerance(&problem, 0.20).expect("feasible"))
+    });
+
+    let skewed = problem_for(&netlist, 0.3).with_clock_skew(0.8);
+    group.bench_function("fig2b_skew20", |b| {
+        b.iter(|| Optimizer::new(&skewed).run().expect("feasible"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

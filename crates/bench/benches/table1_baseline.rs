@@ -1,0 +1,25 @@
+//! Criterion bench for the **Table 1** pipeline: fixed-Vt (700 mV)
+//! width + supply optimization per circuit at 300 MHz.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minpower_bench::problem_for;
+use minpower_core::{baseline, SearchOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_baseline");
+    group.sample_size(10);
+    for name in ["s27", "s298", "s713"] {
+        let netlist = minpower_bench::circuit_by_name(name);
+        let problem = problem_for(&netlist, 0.3);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                baseline::optimize_fixed_vt(&problem, 0.7, SearchOptions::default())
+                    .expect("baseline feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the **Table 2** pipeline: the full joint
+//! Vdd/Vts/width heuristic (Procedures 1 + 2) per circuit.
+//!
+//! The paper reports 5–20 s per circuit on 1997 hardware; this measures
+//! our wall-clock per full optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minpower_bench::problem_for;
+use minpower_core::Optimizer;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_heuristic");
+    group.sample_size(10);
+    for name in ["s27", "s298", "s713"] {
+        let netlist = minpower_bench::circuit_by_name(name);
+        let problem = problem_for(&netlist, 0.3);
+        group.bench_function(name, |b| {
+            b.iter(|| Optimizer::new(&problem).run().expect("heuristic feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Canonical parametric circuit structures.
+//!
+//! Besides the ISCAS-style random logic the paper evaluates on, the
+//! ablation studies want circuits with *known extreme* structure: pure
+//! chains (all delay, no fanout), balanced trees (logarithmic depth,
+//! exponential width), and array multiplg-like meshes (reconvergence and
+//! long/short path mixtures). These generators build them at any size.
+
+use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
+
+/// A chain of `len` inverters — the canonical critical-path-only circuit
+/// (every gate's budget must sum exactly to the cycle time).
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+///
+/// # Example
+///
+/// ```
+/// let c = minpower_circuits::canonical::inverter_chain(10);
+/// assert_eq!(c.depth(), 10);
+/// assert_eq!(c.logic_gate_count(), 10);
+/// ```
+pub fn inverter_chain(len: usize) -> Netlist {
+    assert!(len > 0, "chain needs at least one stage");
+    let mut b = NetlistBuilder::new(format!("chain{len}"));
+    b.input("in").expect("fresh builder");
+    let mut prev = "in".to_string();
+    for i in 0..len {
+        let name = format!("n{i}");
+        b.gate(&name, GateKind::Not, &[&prev]).expect("valid chain");
+        prev = name;
+    }
+    b.output(&prev).expect("last stage exists");
+    b.finish().expect("chains are acyclic")
+}
+
+/// A balanced binary reduction tree of `leaves` inputs (power of two)
+/// with alternating NAND/NOR levels — maximal width, logarithmic depth.
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two or is less than 2.
+///
+/// # Example
+///
+/// ```
+/// let t = minpower_circuits::canonical::reduction_tree(16);
+/// assert_eq!(t.depth(), 4);
+/// assert_eq!(t.logic_gate_count(), 15);
+/// ```
+pub fn reduction_tree(leaves: usize) -> Netlist {
+    assert!(
+        leaves >= 2 && leaves.is_power_of_two(),
+        "leaves must be a power of two, at least 2"
+    );
+    let mut b = NetlistBuilder::new(format!("tree{leaves}"));
+    let mut level: Vec<String> = (0..leaves)
+        .map(|i| {
+            let name = format!("in{i}");
+            b.input(&name).expect("fresh names");
+            name
+        })
+        .collect();
+    let mut depth = 0usize;
+    let mut counter = 0usize;
+    while level.len() > 1 {
+        let kind = if depth % 2 == 0 {
+            GateKind::Nand
+        } else {
+            GateKind::Nor
+        };
+        depth += 1;
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let name = format!("t{counter}");
+            counter += 1;
+            b.gate(&name, kind, &[&pair[0], &pair[1]]).expect("valid tree");
+            next.push(name);
+        }
+        level = next;
+    }
+    b.output(&level[0]).expect("root exists");
+    b.finish().expect("trees are acyclic")
+}
+
+/// An `n × n` carry-save-like mesh: cell `(i, j)` combines its west and
+/// north neighbors — dense reconvergent fanout with a long diagonal
+/// critical path, the structure of array multipliers.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Example
+///
+/// ```
+/// let m = minpower_circuits::canonical::mesh(4);
+/// assert_eq!(m.logic_gate_count(), 16);
+/// assert_eq!(m.depth(), 7); // 2n - 1 diagonal levels
+/// ```
+pub fn mesh(n: usize) -> Netlist {
+    assert!(n > 0, "mesh needs at least one cell");
+    let mut b = NetlistBuilder::new(format!("mesh{n}"));
+    for i in 0..n {
+        b.input(&format!("r{i}")).expect("fresh names");
+        b.input(&format!("c{i}")).expect("fresh names");
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let west = if j == 0 {
+                format!("r{i}")
+            } else {
+                format!("m{}_{}", i, j - 1)
+            };
+            let north = if i == 0 {
+                format!("c{j}")
+            } else {
+                format!("m{}_{}", i - 1, j)
+            };
+            let kind = if (i + j) % 2 == 0 {
+                GateKind::Nand
+            } else {
+                GateKind::Nor
+            };
+            b.gate(&format!("m{i}_{j}"), kind, &[&west, &north])
+                .expect("valid mesh");
+        }
+    }
+    for j in 0..n {
+        b.output(&format!("m{}_{}", n - 1, j)).expect("bottom row");
+    }
+    for i in 0..n {
+        b.output(&format!("m{}_{}", i, n - 1)).expect("east column");
+    }
+    b.finish().expect("meshes are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let c = inverter_chain(7);
+        assert_eq!(c.depth(), 7);
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = reduction_tree(32);
+        assert_eq!(t.depth(), 5);
+        assert_eq!(t.logic_gate_count(), 31);
+        assert_eq!(t.inputs().len(), 32);
+    }
+
+    #[test]
+    fn mesh_shape_and_fanout() {
+        let m = mesh(5);
+        assert_eq!(m.logic_gate_count(), 25);
+        assert_eq!(m.depth(), 9);
+        // Interior cells drive two neighbors.
+        let mid = m.find("m2_2").unwrap();
+        assert_eq!(m.fanout(mid).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_tree_rejected() {
+        let _ = reduction_tree(12);
+    }
+
+    #[test]
+    fn all_three_evaluate() {
+        // Smoke: evaluation works and is deterministic.
+        let c = inverter_chain(3);
+        let v = c.evaluate(&[true]);
+        let y = c.find("n2").unwrap();
+        assert_eq!(v[y.index()], false); // odd inversions
+
+        let t = reduction_tree(4);
+        let inputs = vec![true; 4];
+        let _ = t.evaluate(&inputs);
+
+        let m = mesh(3);
+        let inputs = vec![false; 6];
+        let _ = m.evaluate(&inputs);
+    }
+}

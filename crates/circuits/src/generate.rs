@@ -1,0 +1,253 @@
+//! Seeded synthesis of ISCAS-like random logic networks.
+
+use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prescription for a synthetic benchmark circuit.
+///
+/// The generator builds the network level by level: every gate at level
+/// `L` takes at least one fanin from level `L − 1` (so the realized logic
+/// depth equals `depth` exactly) and the rest from anywhere below, giving
+/// the reconvergent, shared-fanout structure of real random logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Circuit name (used as the netlist name).
+    pub name: String,
+    /// Number of logic gates to generate.
+    pub gates: usize,
+    /// Number of primary inputs (including cut flip-flop outputs).
+    pub inputs: usize,
+    /// Minimum number of primary outputs.
+    pub outputs: usize,
+    /// Exact logic depth of the generated network.
+    pub depth: usize,
+    /// PRNG seed; equal specs generate identical netlists.
+    pub seed: u64,
+}
+
+impl BenchmarkSpec {
+    /// Creates a spec with a seed derived from the name.
+    pub fn new(name: &str, gates: usize, inputs: usize, outputs: usize, depth: usize) -> Self {
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            });
+        BenchmarkSpec {
+            name: name.to_string(),
+            gates,
+            inputs,
+            outputs,
+            depth,
+            seed,
+        }
+    }
+}
+
+/// Generates the netlist described by `spec`.
+///
+/// Deterministic: the same spec always yields the same netlist.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate (`gates < depth`, no inputs, or zero
+/// depth) — such shapes cannot be realized.
+///
+/// # Example
+///
+/// ```
+/// use minpower_circuits::{synthesize, BenchmarkSpec};
+/// let spec = BenchmarkSpec::new("demo", 50, 8, 6, 7);
+/// let n = synthesize(&spec);
+/// assert_eq!(n.logic_gate_count(), 50);
+/// assert_eq!(n.depth(), 7);
+/// ```
+pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
+    assert!(spec.depth >= 1, "depth must be at least 1");
+    assert!(
+        spec.gates >= spec.depth,
+        "need at least one gate per level ({} gates, depth {})",
+        spec.gates,
+        spec.depth
+    );
+    assert!(spec.inputs >= 1, "need at least one primary input");
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = NetlistBuilder::new(&spec.name);
+
+    let mut input_names = Vec::with_capacity(spec.inputs);
+    for i in 0..spec.inputs {
+        let name = format!("I{i}");
+        b.input(&name).expect("generated names are unique");
+        input_names.push(name);
+    }
+
+    // Distribute gates over levels: one guaranteed per level, remainder
+    // spread with a bulge in the middle (like mapped random logic).
+    let mut per_level = vec![1usize; spec.depth];
+    for _ in 0..spec.gates - spec.depth {
+        let l = (rng.gen::<f64>() * rng.gen::<f64>() * spec.depth as f64) as usize;
+        // Bias toward earlier-middle levels.
+        per_level[l.min(spec.depth - 1)] += 1;
+    }
+
+    // names_at[0] = primary inputs; names_at[L] = gates of level L.
+    let mut names_at: Vec<Vec<String>> = vec![input_names];
+    let mut below: Vec<String> = names_at[0].clone();
+    let mut referenced: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut gate_no = 0usize;
+    for level in 1..=spec.depth {
+        let mut this_level = Vec::with_capacity(per_level[level - 1]);
+        for _ in 0..per_level[level - 1] {
+            let name = format!("G{gate_no}");
+            gate_no += 1;
+            let kind = pick_kind(&mut rng);
+            let arity = if kind.is_unary() {
+                1
+            } else {
+                // Mostly 2-input, some 3- and 4-input gates.
+                match rng.gen_range(0..10) {
+                    0..=6 => 2,
+                    7..=8 => 3,
+                    _ => 4,
+                }
+            };
+            let mut fanin: Vec<String> = Vec::with_capacity(arity);
+            // First fanin from the previous level pins the gate's depth.
+            let prev = &names_at[level - 1];
+            fanin.push(prev[rng.gen_range(0..prev.len())].clone());
+            while fanin.len() < arity {
+                let candidate = &below[rng.gen_range(0..below.len())];
+                if !fanin.contains(candidate) {
+                    fanin.push(candidate.clone());
+                }
+                if below.len() <= arity {
+                    break;
+                }
+            }
+            let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+            b.gate(&name, kind, &refs).expect("generated wiring is valid");
+            referenced.extend(fanin.iter().cloned());
+            this_level.push(name);
+        }
+        below.extend(this_level.iter().cloned());
+        names_at.push(this_level);
+    }
+
+    // Outputs: every dangling gate becomes an output (no dead logic),
+    // topped up with random deep gates until the requested count.
+    let dangling: Vec<String> = names_at
+        .iter()
+        .skip(1)
+        .flatten()
+        .filter(|n| !referenced.contains(*n))
+        .cloned()
+        .collect();
+    let mut out_count = 0usize;
+    for name in &dangling {
+        b.output(name).expect("dangling gates exist");
+        out_count += 1;
+    }
+    let deepest = &names_at[spec.depth];
+    let mut guard = 0;
+    while out_count < spec.outputs && guard < 10 * spec.outputs {
+        guard += 1;
+        let level = rng.gen_range(spec.depth / 2 + 1..=spec.depth);
+        let pool = &names_at[level];
+        let name = &pool[rng.gen_range(0..pool.len())];
+        b.output(name).expect("name exists");
+        out_count += 1;
+    }
+    // Make sure at least one deepest gate is an output so depth is
+    // realized on an input→output path.
+    b.output(&deepest[0]).expect("deepest gate exists");
+
+    b.finish().expect("generated netlists are acyclic")
+}
+
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    match rng.gen_range(0..100) {
+        0..=29 => GateKind::Nand,
+        30..=49 => GateKind::Nor,
+        50..=63 => GateKind::And,
+        64..=77 => GateKind::Or,
+        78..=87 => GateKind::Not,
+        88..=93 => GateKind::Xor,
+        94..=96 => GateKind::Xnor,
+        _ => GateKind::Buf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BenchmarkSpec {
+        BenchmarkSpec::new("t", 120, 17, 20, 9)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthesize(&spec());
+        let b = synthesize(&spec());
+        assert_eq!(a.gate_count(), b.gate_count());
+        assert_eq!(
+            minpower_netlist::bench::write(&a),
+            minpower_netlist::bench::write(&b)
+        );
+    }
+
+    #[test]
+    fn realizes_requested_shape() {
+        let n = synthesize(&spec());
+        assert_eq!(n.logic_gate_count(), 120);
+        assert_eq!(n.inputs().len(), 17);
+        assert_eq!(n.depth(), 9);
+        assert!(n.outputs().len() >= 20);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s2 = spec();
+        s2.seed ^= 1;
+        let a = synthesize(&spec());
+        let b = synthesize(&s2);
+        assert_ne!(
+            minpower_netlist::bench::write(&a),
+            minpower_netlist::bench::write(&b)
+        );
+    }
+
+    #[test]
+    fn no_dead_logic() {
+        let n = synthesize(&spec());
+        // Every logic gate either fans out or is a primary output.
+        for (i, g) in n.gates().iter().enumerate() {
+            if g.fanin().is_empty() {
+                continue; // primary inputs may legitimately go unused
+            }
+            let id = minpower_netlist::GateId::new(i);
+            assert!(
+                !n.fanout(id).is_empty() || n.is_output(id),
+                "gate {} is dead",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bench_format() {
+        let n = synthesize(&spec());
+        let text = minpower_netlist::bench::write(&n);
+        let back = minpower_netlist::bench::parse(n.name(), &text).unwrap();
+        assert_eq!(back.gate_count(), n.gate_count());
+        assert_eq!(back.depth(), n.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gate per level")]
+    fn degenerate_spec_panics() {
+        let _ = synthesize(&BenchmarkSpec::new("bad", 3, 2, 1, 10));
+    }
+}

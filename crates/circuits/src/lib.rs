@@ -1,0 +1,38 @@
+//! Benchmark circuits for the DAC'97 reproduction.
+//!
+//! The paper evaluates on ISCAS-89 sequential benchmarks, analyzed as
+//! combinational cores (flip-flops cut into pseudo inputs/outputs). The
+//! original netlists are not distributable inside this repository, so this
+//! crate provides, in decreasing order of fidelity:
+//!
+//! 1. the genuine **s27** netlist (tiny and long-since published verbatim
+//!    in textbooks), embedded as `.bench` text;
+//! 2. a **loader** for real `.bench` files ([`load_bench_file`]) — drop
+//!    the ISCAS-89 suite next to the repository and the experiment
+//!    harness will pick the real circuits up by name;
+//! 3. a seeded **synthetic generator** ([`synthesize`]) producing random
+//!    logic networks with prescribed gate count, input/output count, and
+//!    logic depth, used as stand-ins at the published sizes
+//!    ([`paper_suite`]). The optimizer consumes only DAG structure and
+//!    activity, so size-matched random logic exercises identical code
+//!    paths (see DESIGN.md, "Substitutions").
+//!
+//! # Example
+//!
+//! ```
+//! let s27 = minpower_circuits::s27();
+//! assert_eq!(s27.logic_gate_count(), 10);
+//!
+//! let suite = minpower_circuits::paper_suite();
+//! assert!(suite.iter().any(|c| c.name() == "s298"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+mod generate;
+mod suite;
+
+pub use generate::{synthesize, BenchmarkSpec};
+pub use suite::{c17, circuit, load_bench_file, paper_suite, spec_by_name, specs, s27};

@@ -1,0 +1,341 @@
+//! `minpower` — command-line driver for the DAC'97 device-circuit
+//! optimizer.
+//!
+//! ```text
+//! minpower optimize s298 --fc 300e6 --activity 0.3 --report 10
+//! minpower optimize my_design.bench --tolerance 0.15 --vt-groups 2
+//! minpower baseline s298 --vt 0.7
+//! minpower stats c17.v
+//! minpower budget s298 --fc 300e6
+//! minpower convert c17.bench c17.v
+//! minpower suite
+//! ```
+//!
+//! Circuits are named suite members (`minpower suite` lists them) or
+//! files with a `.bench` / `.v` extension.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use minpower::opt::report::Report;
+use minpower::opt::{baseline, variation};
+use minpower::{CircuitModel, Netlist, Optimizer, Problem, SearchOptions, Technology};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "optimize" => optimize(rest),
+        "baseline" => baseline_cmd(rest),
+        "stats" => stats(rest),
+        "budget" => budget(rest),
+        "convert" => convert(rest),
+        "suite" => {
+            println!("s27 (genuine ISCAS-89), c17 (genuine ISCAS-85)");
+            for spec in minpower::circuits::specs() {
+                println!(
+                    "{} (synthetic stand-in: {} gates, {} inputs, depth {})",
+                    spec.name, spec.gates, spec.inputs, spec.depth
+                );
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `minpower help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "minpower — joint Vdd/Vt/width optimization for CMOS random logic (DAC'97)\n\
+         \n\
+         usage:\n\
+         \x20 minpower optimize <circuit> [--fc HZ] [--activity A] [--steps M]\n\
+         \x20                   [--vt-groups N] [--tolerance T] [--skew B] [--report N]\n\
+         \x20                   [--sizing budgeted|greedy]\n\
+         \x20 minpower baseline <circuit> [--fc HZ] [--activity A] [--vt V]\n\
+         \x20 minpower stats    <circuit>\n\
+         \x20 minpower budget   <circuit> [--fc HZ]\n\
+         \x20 minpower convert  <in.bench|in.v> <out.bench|out.v>\n\
+         \x20 minpower suite\n\
+         \n\
+         <circuit> is a suite name (see `minpower suite`) or a .bench/.v file."
+    );
+}
+
+/// Minimal flag parser: `--name value` pairs after positional arguments.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args }
+    }
+
+    /// The `index`-th token that is neither a flag nor a flag's value.
+    fn positional(&self, index: usize) -> Option<&'a str> {
+        let mut skip_next = false;
+        let mut seen = 0usize;
+        for a in self.args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip_next = true;
+                continue;
+            }
+            if seen == index {
+                return Some(a);
+            }
+            seen += 1;
+        }
+        None
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("flag {name}: cannot parse `{v}`: {e}")),
+        }
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("flag {name}: cannot parse `{v}`: {e}")),
+        }
+    }
+}
+
+fn positional_circuit(flags: &Flags<'_>) -> Result<Netlist, String> {
+    // The first non-flag token that is not a flag *value*.
+    let mut skip_next = false;
+    for a in flags.args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = true;
+            continue;
+        }
+        return load_circuit(a);
+    }
+    Err("missing circuit argument".to_string())
+}
+
+fn load_circuit(name: &str) -> Result<Netlist, String> {
+    if name.ends_with(".bench") {
+        minpower::circuits::load_bench_file(Path::new(name)).map_err(|e| e.to_string())
+    } else if name.ends_with(".v") {
+        let text = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+        minpower::netlist::verilog::parse(&text).map_err(|e| e.to_string())
+    } else if name == "c17" {
+        Ok(minpower::circuits::c17())
+    } else {
+        minpower::circuits::circuit(name).ok_or_else(|| {
+            format!("unknown circuit `{name}` (see `minpower suite`, or pass a .bench/.v file)")
+        })
+    }
+}
+
+fn build_problem(netlist: &Netlist, flags: &Flags<'_>) -> Result<Problem, String> {
+    let fc = flags.get_f64("--fc", 300.0e6)?;
+    let activity = flags.get_f64("--activity", 0.3)?;
+    let skew = flags.get_f64("--skew", 1.0)?;
+    if fc <= 0.0 {
+        return Err("--fc must be positive".to_string());
+    }
+    if !(0.0..=2.0).contains(&activity) {
+        return Err("--activity must lie in [0, 2]".to_string());
+    }
+    if !(0.0 < skew && skew <= 1.0) {
+        return Err("--skew must lie in (0, 1]".to_string());
+    }
+    let model =
+        CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
+    Ok(Problem::new(model, fc).with_clock_skew(skew))
+}
+
+fn search_options(flags: &Flags<'_>) -> Result<SearchOptions, String> {
+    let sizing = match flags.get("--sizing") {
+        None | Some("budgeted") => minpower::opt::search::SizingMethod::Budgeted,
+        Some("greedy") => minpower::opt::search::SizingMethod::Greedy,
+        Some(other) => {
+            return Err(format!(
+                "--sizing must be `budgeted` or `greedy`, got `{other}`"
+            ))
+        }
+    };
+    Ok(SearchOptions {
+        steps: flags.get_usize("--steps", 14)?,
+        vt_groups: flags.get_usize("--vt-groups", 1)?,
+        vt_tolerance: flags.get_f64("--tolerance", 0.0)?,
+        sizing,
+        ..SearchOptions::default()
+    })
+}
+
+fn optimize(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let netlist = positional_circuit(&flags)?;
+    let problem = build_problem(&netlist, &flags)?;
+    let options = search_options(&flags)?;
+    let top = flags.get_usize("--report", 0)?;
+    println!("circuit {}: {}", netlist.name(), netlist.stats());
+    let t0 = std::time::Instant::now();
+    let result = if options.vt_tolerance > 0.0 {
+        variation::optimize_with_tolerance_opts(&problem, options.vt_tolerance, options.clone())
+    } else {
+        Optimizer::new(&problem).with_options(options).run()
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "optimized in {:.2?} ({} circuit evaluations)",
+        t0.elapsed(),
+        result.evaluations
+    );
+    println!(
+        "Vdd = {:.3} V, Vt = {}",
+        result.design.vdd,
+        result
+            .uniform_vt()
+            .map(|v| format!("{:.0} mV", v * 1e3))
+            .unwrap_or_else(|| "per-group".to_string())
+    );
+    println!(
+        "energy/cycle: static {:.3e} + dynamic {:.3e} = {:.3e} J",
+        result.energy.static_,
+        result.energy.dynamic,
+        result.energy.total()
+    );
+    println!(
+        "critical delay {:.3} ns of {:.3} ns",
+        result.critical_delay * 1e9,
+        problem.effective_cycle_time() * 1e9
+    );
+    if top > 0 {
+        let report = Report::build(&problem, &result);
+        print!("{}", report.render(top));
+    }
+    Ok(())
+}
+
+fn baseline_cmd(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let netlist = positional_circuit(&flags)?;
+    let problem = build_problem(&netlist, &flags)?;
+    let vt = flags.get_f64("--vt", 0.7)?;
+    let result = baseline::optimize_fixed_vt(&problem, vt, SearchOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "fixed Vt = {:.0} mV: Vdd = {:.3} V, energy {:.3e} J/cycle, delay {:.3} ns",
+        vt * 1e3,
+        result.design.vdd,
+        result.energy.total(),
+        result.critical_delay * 1e9
+    );
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let netlist = positional_circuit(&flags)?;
+    let s = netlist.stats();
+    println!("circuit {}: {s}", netlist.name());
+    println!("gate kinds:");
+    for (kind, count) in &s.kind_histogram {
+        println!("  {kind:<5} {count}");
+    }
+    println!(
+        "max fanin {}, max fanout {}",
+        minpower::netlist::transform::max_fanin(&netlist),
+        s.max_fanout
+    );
+    Ok(())
+}
+
+fn budget(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let netlist = positional_circuit(&flags)?;
+    let fc = flags.get_f64("--fc", 300.0e6)?;
+    let budgets = minpower::opt::budget::assign_max_delays(&netlist, 1.0 / fc);
+    println!("per-gate delay budgets at {:.0} MHz:", fc / 1e6);
+    let mut rows: Vec<(&str, f64)> = netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.fanin().is_empty())
+        .map(|(i, g)| (g.name(), budgets[i]))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("budgets are finite"));
+    for (name, b) in rows {
+        println!("  {name:<12} {:.1} ps", b * 1e12);
+    }
+    println!(
+        "worst path budget sum: {:.3} ns (cycle {:.3} ns)",
+        minpower::opt::budget::longest_budget_path(&netlist, &budgets) * 1e9,
+        1.0 / fc * 1e9
+    );
+    Ok(())
+}
+
+fn convert(args: &[String]) -> Result<(), String> {
+    let flags = Flags::new(args);
+    let input = flags
+        .positional(0)
+        .ok_or("convert needs an input file")?
+        .to_string();
+    let output = flags
+        .positional(1)
+        .ok_or("convert needs an output file")?
+        .to_string();
+    let netlist = load_circuit(&input)?;
+    let text = if output.ends_with(".bench") {
+        minpower::netlist::bench::write(&netlist)
+    } else if output.ends_with(".v") {
+        minpower::netlist::verilog::write(&netlist)
+    } else {
+        return Err("output must end in .bench or .v".to_string());
+    };
+    std::fs::write(&output, text).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "wrote {} ({} gates, {} inputs, {} outputs)",
+        output,
+        netlist.logic_gate_count(),
+        netlist.inputs().len(),
+        netlist.outputs().len()
+    );
+    Ok(())
+}

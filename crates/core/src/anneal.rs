@@ -1,0 +1,288 @@
+//! Multiple-pass simulated annealing over `(V_dd, V_ts, W_1..W_N)`.
+//!
+//! The paper implemented an annealing-based optimizer "for evaluation
+//! purposes" and found the heuristic performed significantly better: the
+//! joint search space (two voltages plus one width per gate) is too large
+//! for annealing to converge in practical time (§5). This module
+//! reproduces that comparison point: a standard Metropolis annealer with
+//! geometric cooling and multiple restart passes, a delay-violation
+//! penalty folded into the cost, and a bounded evaluation budget so
+//! head-to-head comparisons against Procedure 2 use equal work.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use minpower_models::Design;
+use minpower_netlist::GateKind;
+
+use crate::budget::assign_max_delays;
+use crate::error::OptimizeError;
+use crate::problem::Problem;
+use crate::result::OptimizationResult;
+
+/// Annealing schedule and budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealOptions {
+    /// Total design evaluations across all passes.
+    pub max_evaluations: usize,
+    /// Number of independent cooling passes (restarts keep the best).
+    pub passes: usize,
+    /// Initial acceptance temperature as a fraction of the initial cost.
+    pub initial_temperature: f64,
+    /// Geometric cooling rate per step, in `(0, 1)`.
+    pub cooling: f64,
+    /// PRNG seed for reproducible runs.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            max_evaluations: 20_000,
+            passes: 3,
+            initial_temperature: 0.3,
+            cooling: 0.999,
+            seed: 0xDAC9_7001,
+        }
+    }
+}
+
+/// Runs the annealer, returning the best design found.
+///
+/// The returned result's `feasible` flag reports whether the best design
+/// met every delay budget; unlike the heuristic, annealing offers no
+/// guarantee of ending feasible.
+///
+/// # Errors
+///
+/// [`OptimizeError::EmptyNetwork`] for gate-free networks and
+/// [`OptimizeError::BadOption`] for a zero evaluation budget or an invalid
+/// cooling rate.
+pub fn optimize(
+    problem: &Problem,
+    options: AnnealOptions,
+) -> Result<OptimizationResult, OptimizeError> {
+    if options.max_evaluations == 0 {
+        return Err(OptimizeError::BadOption {
+            option: "max_evaluations",
+            message: "must be at least 1".into(),
+        });
+    }
+    if !(0.0 < options.cooling && options.cooling < 1.0) {
+        return Err(OptimizeError::BadOption {
+            option: "cooling",
+            message: "must lie in (0, 1)".into(),
+        });
+    }
+    let model = problem.model();
+    let netlist = model.netlist();
+    if netlist.logic_gate_count() == 0 {
+        return Err(OptimizeError::EmptyNetwork);
+    }
+    let tech = model.technology().clone();
+    let budgets = assign_max_delays(netlist, problem.effective_cycle_time());
+    let n = netlist.gate_count();
+    let logic: Vec<usize> = (0..n)
+        .filter(|&i| netlist.gate(minpower_netlist::GateId::new(i)).kind() != GateKind::Input)
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let fc = problem.fc();
+
+    // Penalized cost: energy × (1 + relative budget violation). The
+    // violation term dominates while infeasible and vanishes at
+    // feasibility.
+    let cost_of = |design: &Design| -> (f64, bool) {
+        let delays = model.delays(design);
+        let mut violation = 0.0f64;
+        for &i in &logic {
+            let over = delays[i] - budgets[i];
+            if over > 0.0 {
+                violation += over / problem.effective_cycle_time();
+            }
+        }
+        let energy = model.total_energy(design, fc).total();
+        (energy * (1.0 + 100.0 * violation), violation <= 0.0)
+    };
+
+    // Start from a safe corner: full supply, nominal threshold, mid width.
+    let start = Design {
+        vdd: tech.vdd_range.1,
+        vt: vec![0.5 * (tech.vt_range.0 + tech.vt_range.1); n],
+        width: vec![0.25 * (tech.w_range.0 + tech.w_range.1); n],
+    };
+
+    let mut best = start.clone();
+    let (mut best_cost, mut best_feasible) = cost_of(&best);
+    let mut evaluations = 1usize;
+    let per_pass = options.max_evaluations / options.passes.max(1);
+
+    for pass in 0..options.passes.max(1) {
+        let mut current = if pass == 0 { start.clone() } else { best.clone() };
+        let (mut current_cost, _) = cost_of(&current);
+        evaluations += 1;
+        let mut temperature = options.initial_temperature * current_cost.max(1e-30);
+        for _ in 0..per_pass {
+            if evaluations >= options.max_evaluations {
+                break;
+            }
+            let mut trial = current.clone();
+            match rng.gen_range(0..4) {
+                0 => {
+                    let delta = rng.gen_range(-0.15..0.15);
+                    trial.vdd =
+                        (trial.vdd + delta).clamp(tech.vdd_range.0, tech.vdd_range.1);
+                }
+                1 => {
+                    let delta = rng.gen_range(-0.05..0.05);
+                    let vt = (trial.vt[logic[0]] + delta)
+                        .clamp(tech.vt_range.0, tech.vt_range.1);
+                    for &i in &logic {
+                        trial.vt[i] = vt;
+                    }
+                }
+                _ => {
+                    let i = logic[rng.gen_range(0..logic.len())];
+                    let factor = rng.gen_range(0.7..1.4);
+                    trial.width[i] =
+                        (trial.width[i] * factor).clamp(tech.w_range.0, tech.w_range.1);
+                }
+            }
+            let (trial_cost, trial_feasible) = cost_of(&trial);
+            evaluations += 1;
+            let accept = trial_cost < current_cost || {
+                let delta = trial_cost - current_cost;
+                rng.gen::<f64>() < (-delta / temperature.max(1e-300)).exp()
+            };
+            if accept {
+                current = trial;
+                current_cost = trial_cost;
+                if current_cost < best_cost {
+                    best = current.clone();
+                    best_cost = current_cost;
+                    best_feasible = trial_feasible;
+                }
+            }
+            temperature *= options.cooling;
+        }
+    }
+
+    let delays = model.delays(&best);
+    let mut arrival = vec![0.0f64; n];
+    let mut critical = 0.0f64;
+    for &id in netlist.topological_order() {
+        let i = id.index();
+        let latest = netlist
+            .gate(id)
+            .fanin()
+            .iter()
+            .map(|f| arrival[f.index()])
+            .fold(0.0, f64::max);
+        arrival[i] = latest + delays[i];
+        critical = critical.max(arrival[i]);
+    }
+    let energy = model.total_energy(&best, fc);
+    Ok(OptimizationResult {
+        design: best,
+        energy,
+        critical_delay: critical,
+        feasible: best_feasible,
+        evaluations,
+        budgets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_device::Technology;
+    use minpower_models::CircuitModel;
+    use minpower_netlist::{Netlist, NetlistBuilder};
+
+    fn netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate("u", GateKind::Nand, &["a", "c"]).unwrap();
+        b.gate("v", GateKind::Nor, &["u", "c"]).unwrap();
+        b.gate("w", GateKind::Nand, &["u", "v"]).unwrap();
+        b.gate("y", GateKind::Not, &["w"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn problem() -> Problem {
+        let n = netlist();
+        let model =
+            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        Problem::new(model, 200.0e6)
+    }
+
+    #[test]
+    fn annealing_improves_on_start_and_respects_budget_cap() {
+        let p = problem();
+        let opts = AnnealOptions {
+            max_evaluations: 3_000,
+            ..AnnealOptions::default()
+        };
+        let r = optimize(&p, opts.clone()).unwrap();
+        assert!(r.evaluations <= opts.max_evaluations + 2);
+        // It should at least find a feasible design on this tiny network.
+        assert!(r.feasible);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let p = problem();
+        let opts = AnnealOptions {
+            max_evaluations: 1_000,
+            ..AnnealOptions::default()
+        };
+        let a = optimize(&p, opts.clone()).unwrap();
+        let b = optimize(&p, opts).unwrap();
+        assert_eq!(a.design, b.design);
+        assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let p = problem();
+        let err = optimize(
+            &p,
+            AnnealOptions {
+                max_evaluations: 0,
+                ..AnnealOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            OptimizeError::BadOption {
+                option: "max_evaluations",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn heuristic_beats_annealing_at_equal_budget() {
+        let p = problem();
+        let heuristic = crate::Optimizer::new(&p).run().unwrap();
+        let annealed = optimize(
+            &p,
+            AnnealOptions {
+                max_evaluations: heuristic.evaluations.max(500),
+                ..AnnealOptions::default()
+            },
+        )
+        .unwrap();
+        // The paper's §5 claim, at matched evaluation budgets: the
+        // heuristic's energy is at least as good (allow a sliver of noise).
+        assert!(
+            heuristic.energy.total() <= annealed.energy.total() * 1.05,
+            "heuristic {:.3e} vs anneal {:.3e}",
+            heuristic.energy.total(),
+            annealed.energy.total()
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! Procedure 1: assignment of maximum delay budgets to gates.
+//!
+//! The heuristic's key observation (§4): the larger the delay a gate is
+//! allowed, the less energy it needs — so *every* path, not just the
+//! critical one, should be stretched to the available cycle time. Paths
+//! are visited in decreasing criticality (`N_cj = Σ fanouts`); along each
+//! path the still-unallocated share of `b·T_c` is split among unassigned
+//! gates **in proportion to their fanout** (Eqs. 2–3), because a gate
+//! driving more loads needs more of the cycle to switch at a given energy.
+//!
+//! Two post-processing adjustments follow the paper's remarks at the end
+//! of §4.2:
+//!
+//! 1. a slope floor: a gate's budget is raised to a fixed fraction of its
+//!    slowest driver's budget, since Eq. (A3) makes each delay depend on
+//!    the maximum driving delay — an extremely small budget downstream of
+//!    a large one is unrealizable by any `(V_dd, V_ts, W)`;
+//! 2. a global rescale: if raising floors (or path interactions) pushed
+//!    the worst budget-sum path beyond `b·T_c`, all budgets are scaled
+//!    back so the invariant "no path's budget total exceeds the cycle
+//!    time" is exact.
+
+use minpower_netlist::{GateId, GateKind, Netlist};
+
+/// Fraction of the slowest driver's budget every gate must be allowed
+/// (the worst-case input-slope coefficient of Eq. A3 stays below this for
+/// practical `V_ts/V_dd` ratios).
+pub const SLOPE_FLOOR: f64 = 0.25;
+
+/// How the cycle time is divided among the gates of a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BudgetPolicy {
+    /// The paper's Procedure 1: a gate's share is proportional to its
+    /// fanout (criticality = Σ fanouts).
+    #[default]
+    FanoutWeighted,
+    /// Ablation baseline: every logic gate gets an equal share
+    /// (criticality = gate count, as in the original Ju–Saleh
+    /// formulation).
+    Uniform,
+    /// Square-root-of-fanout share. When wire capacitance dominates the
+    /// load, the energy of a gate sized to meet a budget `t` scales like
+    /// `C/t`, and minimizing `Σ C_i/t_i` under `Σ t_i = T_c` gives
+    /// optimal shares `t_i ∝ √C_i ∝ √fanout` — between the paper's rule
+    /// and the uniform split.
+    SqrtFanout,
+}
+
+/// Assigns a maximum-delay budget (seconds) to every gate so that the sum
+/// of budgets along **any** source→sink path is at most `cycle_time`,
+/// using the paper's fanout-weighted policy.
+///
+/// Primary inputs receive zero budget. Gates that drive nothing are
+/// treated as path sinks (their output is a register or pad).
+///
+/// # Panics
+///
+/// Panics if `cycle_time` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use minpower_core::budget::{assign_max_delays, longest_budget_path};
+/// use minpower_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("chain");
+/// b.input("a")?;
+/// b.gate("x", GateKind::Not, &["a"])?;
+/// b.gate("y", GateKind::Not, &["x"])?;
+/// b.output("y")?;
+/// let n = b.finish()?;
+/// let budgets = assign_max_delays(&n, 2.0e-9);
+/// assert!(longest_budget_path(&n, &budgets) <= 2.0e-9 * (1.0 + 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+pub fn assign_max_delays(netlist: &Netlist, cycle_time: f64) -> Vec<f64> {
+    assign_max_delays_with_policy(netlist, cycle_time, BudgetPolicy::FanoutWeighted)
+}
+
+/// [`assign_max_delays`] with an explicit [`BudgetPolicy`] (used by the
+/// budgeting ablation).
+///
+/// # Panics
+///
+/// Panics if `cycle_time` is not strictly positive.
+pub fn assign_max_delays_with_policy(
+    netlist: &Netlist,
+    cycle_time: f64,
+    policy: BudgetPolicy,
+) -> Vec<f64> {
+    assert!(cycle_time > 0.0, "cycle time must be positive");
+    let n = netlist.gate_count();
+    let weight: Vec<f64> = (0..n)
+        .map(|i| {
+            let id = GateId::new(i);
+            if netlist.gate(id).kind() == GateKind::Input {
+                0.0
+            } else {
+                match policy {
+                    BudgetPolicy::FanoutWeighted => netlist.fanout_count(id) as f64,
+                    BudgetPolicy::Uniform => 1.0,
+                    BudgetPolicy::SqrtFanout => (netlist.fanout_count(id) as f64).sqrt(),
+                }
+            }
+        })
+        .collect();
+
+    // Prefix/suffix criticality DP with argmax pointers. Every gate with
+    // no fanout is a sink, so every gate lies on some complete path.
+    let mut prefix = vec![0.0f64; n];
+    let mut pred: Vec<Option<u32>> = vec![None; n];
+    for &id in netlist.topological_order() {
+        let i = id.index();
+        let mut best = 0.0;
+        let mut best_pred = None;
+        for &f in netlist.gate(id).fanin() {
+            if best_pred.is_none() || prefix[f.index()] > best {
+                best = prefix[f.index()];
+                best_pred = Some(f.index() as u32);
+            }
+        }
+        prefix[i] = best + weight[i];
+        pred[i] = best_pred;
+    }
+    let mut suffix = vec![0.0f64; n];
+    let mut succ: Vec<Option<u32>> = vec![None; n];
+    for &id in netlist.topological_order().iter().rev() {
+        let i = id.index();
+        let mut best = 0.0;
+        let mut best_succ = None;
+        for &s in netlist.fanout(id) {
+            if best_succ.is_none() || suffix[s.index()] > best {
+                best = suffix[s.index()];
+                best_succ = Some(s.index() as u32);
+            }
+        }
+        suffix[i] = best + weight[i];
+        succ[i] = best_succ;
+    }
+
+    // Gates ordered by decreasing best-path-through criticality: visiting
+    // the top unassigned gate and assigning its whole best path reproduces
+    // the paper's "next most critical path" loop with ≤ N path walks.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ca = prefix[a] + suffix[a] - weight[a];
+        let cb = prefix[b] + suffix[b] - weight[b];
+        cb.partial_cmp(&ca).expect("criticalities are finite")
+    });
+
+    let mut budget: Vec<Option<f64>> = vec![None; n];
+    for (i, w) in weight.iter().enumerate() {
+        if *w == 0.0 {
+            budget[i] = Some(0.0); // primary inputs carry no delay
+        }
+    }
+    let mut path = Vec::new();
+    for &g in &order {
+        if budget[g].is_some() {
+            continue;
+        }
+        // Extract the maximum-criticality path through g.
+        path.clear();
+        let mut cur = g as u32;
+        loop {
+            path.push(cur as usize);
+            match pred[cur as usize] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        path.reverse();
+        let mut cur = g as u32;
+        while let Some(s) = succ[cur as usize] {
+            path.push(s as usize);
+            cur = s;
+        }
+
+        // Eq. 3: distribute the unallocated cycle time over the
+        // still-unassigned gates of the path, by fanout weight.
+        let assigned_sum: f64 = path.iter().filter_map(|&i| budget[i]).sum();
+        let unassigned_weight: f64 = path
+            .iter()
+            .filter(|&&i| budget[i].is_none())
+            .map(|&i| weight[i])
+            .sum();
+        let scale = if unassigned_weight > 0.0 {
+            ((cycle_time - assigned_sum).max(0.0)) / unassigned_weight
+        } else {
+            0.0
+        };
+        for &i in &path {
+            if budget[i].is_none() {
+                budget[i] = Some(weight[i] * scale);
+            }
+        }
+    }
+    let mut budgets: Vec<f64> = budget
+        .into_iter()
+        .map(|b| b.unwrap_or(0.0))
+        .collect();
+
+    // Post-processing 1: slope floor (paper §4.2, final paragraph).
+    for &id in netlist.topological_order() {
+        let i = id.index();
+        if weight[i] == 0.0 {
+            continue;
+        }
+        let max_fanin = netlist
+            .gate(id)
+            .fanin()
+            .iter()
+            .map(|f| budgets[f.index()])
+            .fold(0.0, f64::max);
+        budgets[i] = budgets[i].max(SLOPE_FLOOR * max_fanin).max(1e-15);
+    }
+
+    // Post-processing 2: exact global rescale to the cycle time.
+    let longest = longest_budget_path(netlist, &budgets);
+    if longest > cycle_time {
+        let k = cycle_time / longest;
+        for b in &mut budgets {
+            *b *= k;
+        }
+    }
+    budgets
+}
+
+/// The largest sum of budgets along any source→sink path (node-weighted
+/// longest path), in seconds — the quantity that must not exceed the
+/// cycle time.
+pub fn longest_budget_path(netlist: &Netlist, budgets: &[f64]) -> f64 {
+    assert_eq!(budgets.len(), netlist.gate_count());
+    let mut acc = vec![0.0f64; budgets.len()];
+    let mut worst: f64 = 0.0;
+    for &id in netlist.topological_order() {
+        let i = id.index();
+        let best_in = netlist
+            .gate(id)
+            .fanin()
+            .iter()
+            .map(|f| acc[f.index()])
+            .fold(0.0, f64::max);
+        acc[i] = best_in + budgets[i];
+        worst = worst.max(acc[i]);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::NetlistBuilder;
+
+    const TC: f64 = 3.0e-9;
+
+    fn chain(len: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("a").unwrap();
+        let mut prev = "a".to_string();
+        for i in 0..len {
+            let name = format!("n{i}");
+            b.gate(&name, GateKind::Not, &[&prev]).unwrap();
+            prev = name;
+        }
+        b.output(&prev).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn uniform_chain_splits_evenly() {
+        let n = chain(5);
+        let budgets = assign_max_delays(&n, TC);
+        // Every chain gate has fanout 1, so all get T_c / 5.
+        for i in 0..5 {
+            let g = n.find(&format!("n{i}")).unwrap();
+            assert!(
+                (budgets[g.index()] - TC / 5.0).abs() < 1e-18,
+                "gate n{i}: {}",
+                budgets[g.index()]
+            );
+        }
+        assert_eq!(budgets[n.find("a").unwrap().index()], 0.0);
+    }
+
+    #[test]
+    fn budget_proportional_to_fanout() {
+        // drv fans out to 3 sinks, each sink fans out to a PO load only.
+        let mut b = NetlistBuilder::new("fan");
+        b.input("a").unwrap();
+        b.gate("drv", GateKind::Not, &["a"]).unwrap();
+        for i in 0..3 {
+            let s = format!("s{i}");
+            b.gate(&s, GateKind::Not, &["drv"]).unwrap();
+            b.output(&s).unwrap();
+        }
+        let n = b.finish().unwrap();
+        let budgets = assign_max_delays(&n, TC);
+        let drv = budgets[n.find("drv").unwrap().index()];
+        let sink = budgets[n.find("s0").unwrap().index()];
+        // Path weights: drv = 3, sink = 1 → 3:1 budget split.
+        assert!((drv / sink - 3.0).abs() < 1e-9, "ratio = {}", drv / sink);
+        assert!((drv + sink - TC).abs() < 1e-18);
+    }
+
+    #[test]
+    fn no_path_exceeds_cycle_time() {
+        // Reconvergent structure with shared segments.
+        let mut b = NetlistBuilder::new("recon");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate("u", GateKind::Not, &["a"]).unwrap();
+        b.gate("v", GateKind::Nand, &["u", "c"]).unwrap();
+        b.gate("w", GateKind::Nor, &["u", "v"]).unwrap();
+        b.gate("x", GateKind::Not, &["v"]).unwrap();
+        b.gate("y", GateKind::Nand, &["w", "x"]).unwrap();
+        b.output("y").unwrap();
+        b.output("x").unwrap();
+        let n = b.finish().unwrap();
+        let budgets = assign_max_delays(&n, TC);
+        assert!(longest_budget_path(&n, &budgets) <= TC * (1.0 + 1e-12));
+        // All logic gates got a strictly positive budget.
+        for &id in n.topological_order() {
+            if n.gate(id).kind() != GateKind::Input {
+                assert!(budgets[id.index()] > 0.0, "{}", n.gate(id).name());
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_budget_uses_full_cycle() {
+        let n = chain(4);
+        let budgets = assign_max_delays(&n, TC);
+        assert!((longest_budget_path(&n, &budgets) - TC).abs() < TC * 1e-9);
+    }
+
+    #[test]
+    fn slope_floor_prevents_starved_gates() {
+        // A short path sharing its head with a long path: the short
+        // path's tail gate would get the whole remaining budget; the long
+        // path's interior gates get smaller ones — floor keeps every gate
+        // above SLOPE_FLOOR × its driver.
+        let mut b = NetlistBuilder::new("mix");
+        b.input("a").unwrap();
+        b.gate("h", GateKind::Not, &["a"]).unwrap();
+        let mut prev = "h".to_string();
+        for i in 0..6 {
+            let name = format!("l{i}");
+            b.gate(&name, GateKind::Not, &[&prev]).unwrap();
+            prev = name;
+        }
+        b.output(&prev).unwrap();
+        b.gate("short", GateKind::Not, &["h"]).unwrap();
+        b.output("short").unwrap();
+        let n = b.finish().unwrap();
+        let budgets = assign_max_delays(&n, TC);
+        for &id in n.topological_order() {
+            if n.gate(id).kind() == GateKind::Input {
+                continue;
+            }
+            let max_fanin = n
+                .gate(id)
+                .fanin()
+                .iter()
+                .map(|f| budgets[f.index()])
+                .fold(0.0, f64::max);
+            assert!(
+                budgets[id.index()] >= SLOPE_FLOOR * max_fanin - 1e-18,
+                "{} starved: {} vs driver {}",
+                n.gate(id).name(),
+                budgets[id.index()],
+                max_fanin
+            );
+        }
+        assert!(longest_budget_path(&n, &budgets) <= TC * (1.0 + 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle time must be positive")]
+    fn zero_cycle_time_panics() {
+        let n = chain(2);
+        let _ = assign_max_delays(&n, 0.0);
+    }
+
+    #[test]
+    fn policies_order_budget_concentration() {
+        // On a fanout-3 driver feeding single-fanout sinks, the driver's
+        // share must be largest under fanout weighting, intermediate
+        // under sqrt, and equal under uniform.
+        let mut b = NetlistBuilder::new("fan");
+        b.input("a").unwrap();
+        b.gate("drv", GateKind::Not, &["a"]).unwrap();
+        for i in 0..3 {
+            let s = format!("s{i}");
+            b.gate(&s, GateKind::Not, &["drv"]).unwrap();
+            b.output(&s).unwrap();
+        }
+        let n = b.finish().unwrap();
+        let share = |policy| {
+            let budgets = assign_max_delays_with_policy(&n, TC, policy);
+            budgets[n.find("drv").unwrap().index()] / budgets[n.find("s0").unwrap().index()]
+        };
+        let fanout = share(BudgetPolicy::FanoutWeighted);
+        let sqrt = share(BudgetPolicy::SqrtFanout);
+        let uniform = share(BudgetPolicy::Uniform);
+        assert!((fanout - 3.0).abs() < 1e-9);
+        assert!((sqrt - 3.0f64.sqrt()).abs() < 1e-9);
+        assert!((uniform - 1.0).abs() < 1e-9);
+        // All policies respect the cycle-time certificate.
+        for policy in [
+            BudgetPolicy::FanoutWeighted,
+            BudgetPolicy::SqrtFanout,
+            BudgetPolicy::Uniform,
+        ] {
+            let budgets = assign_max_delays_with_policy(&n, TC, policy);
+            assert!(longest_budget_path(&n, &budgets) <= TC * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn dangling_gate_gets_budget() {
+        let mut b = NetlistBuilder::new("dead");
+        b.input("a").unwrap();
+        b.gate("live", GateKind::Not, &["a"]).unwrap();
+        b.gate("dead", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::Not, &["live"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let budgets = assign_max_delays(&n, TC);
+        assert!(budgets[n.find("dead").unwrap().index()] > 0.0);
+    }
+}

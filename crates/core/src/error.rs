@@ -1,0 +1,76 @@
+//! Optimizer error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the optimization entry points.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimizeError {
+    /// No operating point in the technology's search ranges meets the
+    /// cycle-time constraint.
+    Infeasible {
+        /// The requested cycle time, seconds.
+        cycle_time: f64,
+        /// The best critical-path delay achieved, seconds.
+        best_delay: f64,
+    },
+    /// The network contains no logic gates to optimize.
+    EmptyNetwork,
+    /// An option value is out of its legal range.
+    BadOption {
+        /// Name of the offending option.
+        option: &'static str,
+        /// Description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::Infeasible {
+                cycle_time,
+                best_delay,
+            } => write!(
+                f,
+                "no feasible design: cycle time {cycle_time:.3e} s, best delay {best_delay:.3e} s"
+            ),
+            OptimizeError::EmptyNetwork => write!(f, "network has no logic gates"),
+            OptimizeError::BadOption { option, message } => {
+                write!(f, "invalid option `{option}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for OptimizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            OptimizeError::Infeasible {
+                cycle_time: 1e-9,
+                best_delay: 2e-9,
+            },
+            OptimizeError::EmptyNetwork,
+            OptimizeError::BadOption {
+                option: "steps",
+                message: "must be positive".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptimizeError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! The optimization problem statement.
+
+use minpower_models::CircuitModel;
+
+/// The problem of §2: a circuit model (netlist + technology + wiring +
+/// activity) that must run at clock frequency `f_c`, with an optional
+/// clock-skew derating factor `b ≤ 1` applied to the available cycle time
+/// (Eq. 1).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    model: CircuitModel,
+    fc: f64,
+    clock_skew: f64,
+}
+
+impl Problem {
+    /// States the problem for `model` at clock frequency `fc` hertz with
+    /// no skew margin (`b = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is not strictly positive.
+    pub fn new(model: CircuitModel, fc: f64) -> Self {
+        assert!(fc > 0.0, "clock frequency must be positive");
+        Problem {
+            model,
+            fc,
+            clock_skew: 1.0,
+        }
+    }
+
+    /// Applies a clock-skew factor `b ∈ (0, 1]`: budgets are computed
+    /// against `b·T_c` (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is outside `(0, 1]`.
+    pub fn with_clock_skew(mut self, b: f64) -> Self {
+        assert!(b > 0.0 && b <= 1.0, "clock skew factor must be in (0, 1]");
+        self.clock_skew = b;
+        self
+    }
+
+    /// The bound circuit model.
+    pub fn model(&self) -> &CircuitModel {
+        &self.model
+    }
+
+    /// Required clock frequency, hertz.
+    pub fn fc(&self) -> f64 {
+        self.fc
+    }
+
+    /// The raw cycle time `T_c = 1/f_c`, seconds.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.fc
+    }
+
+    /// The clock-skew factor `b`.
+    pub fn clock_skew(&self) -> f64 {
+        self.clock_skew
+    }
+
+    /// The delay budget available to logic: `b·T_c`, seconds.
+    pub fn effective_cycle_time(&self) -> f64 {
+        self.clock_skew / self.fc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_device::Technology;
+    use minpower_netlist::{GateKind, NetlistBuilder};
+
+    fn problem() -> Problem {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        Problem::new(model, 300.0e6)
+    }
+
+    #[test]
+    fn cycle_time_is_reciprocal_frequency() {
+        let p = problem();
+        assert!((p.cycle_time() - 1.0 / 3.0e8).abs() < 1e-20);
+        assert_eq!(p.effective_cycle_time(), p.cycle_time());
+    }
+
+    #[test]
+    fn skew_scales_effective_cycle_time() {
+        let p = problem().with_clock_skew(0.9);
+        assert!((p.effective_cycle_time() - 0.9 / 3.0e8).abs() < 1e-20);
+        assert_eq!(p.clock_skew(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock skew factor")]
+    fn bad_skew_panics() {
+        let _ = problem().with_clock_skew(1.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Human-readable optimization reports.
+//!
+//! A designer adopting the optimizer needs more than the three headline
+//! numbers: where the energy goes, which gates were upsized and why, and
+//! how much margin each path retains. This module renders an
+//! [`OptimizationResult`] against its [`Problem`] into that report.
+
+use std::fmt::Write as _;
+
+use minpower_models::EnergyBreakdown;
+use minpower_netlist::{GateId, GateKind};
+
+use crate::problem::Problem;
+use crate::result::OptimizationResult;
+
+/// Per-gate line of a report, sorted by total energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Gate name.
+    pub name: String,
+    /// Logic function.
+    pub kind: GateKind,
+    /// Chosen width, feature widths.
+    pub width: f64,
+    /// Gate delay, seconds.
+    pub delay: f64,
+    /// Delay budget from Procedure 1, seconds.
+    pub budget: f64,
+    /// Static + dynamic energy per cycle.
+    pub energy: EnergyBreakdown,
+    /// Share of the circuit's total energy, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// A rendered summary of an optimization outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Per-gate details, descending by energy.
+    pub gates: Vec<GateReport>,
+    /// Total energy.
+    pub energy: EnergyBreakdown,
+    /// Critical path delay, seconds.
+    pub critical_delay: f64,
+    /// The cycle time the problem demanded, seconds.
+    pub cycle_time: f64,
+    /// Total device width (area proxy), feature widths.
+    pub total_width: f64,
+    /// Number of gates sized at the maximum allowed width.
+    pub width_saturated: usize,
+}
+
+impl Report {
+    /// Builds the report for `result` under `problem`.
+    pub fn build(problem: &Problem, result: &OptimizationResult) -> Self {
+        let model = problem.model();
+        let netlist = model.netlist();
+        let eval = model.evaluate(&result.design, problem.fc());
+        let total = eval.energy.total().max(1e-300);
+        let w_hi = model.technology().w_range.1;
+        let mut gates: Vec<GateReport> = netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind() != GateKind::Input)
+            .map(|(i, g)| GateReport {
+                name: g.name().to_string(),
+                kind: g.kind(),
+                width: result.design.width[i],
+                delay: eval.gates[i].delay,
+                budget: result.budgets.get(i).copied().unwrap_or(0.0),
+                energy: eval.gates[i].energy,
+                share: eval.gates[i].energy.total() / total,
+            })
+            .collect();
+        gates.sort_by(|a, b| {
+            b.energy
+                .total()
+                .partial_cmp(&a.energy.total())
+                .expect("energies are finite")
+        });
+        let width_saturated = gates
+            .iter()
+            .filter(|g| g.width >= w_hi * (1.0 - 1e-9))
+            .count();
+        Report {
+            energy: eval.energy,
+            critical_delay: eval.critical_delay,
+            cycle_time: problem.effective_cycle_time(),
+            total_width: result.design.total_width(),
+            width_saturated,
+            gates,
+        }
+    }
+
+    /// The `n` most energy-hungry gates.
+    pub fn top_consumers(&self, n: usize) -> &[GateReport] {
+        &self.gates[..n.min(self.gates.len())]
+    }
+
+    /// Renders the report as an aligned text table with `top` gate rows.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "energy/cycle: static {:.3e} J + dynamic {:.3e} J = {:.3e} J (balance {:.2})",
+            self.energy.static_,
+            self.energy.dynamic,
+            self.energy.total(),
+            self.energy.balance()
+        );
+        let _ = writeln!(
+            out,
+            "critical delay {:.3} ns of {:.3} ns budget; total width {:.0} ({} gates at cap)",
+            self.critical_delay * 1e9,
+            self.cycle_time * 1e9,
+            self.total_width,
+            self.width_saturated
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>7} {:>9} {:>9} {:>10} {:>6}",
+            "gate", "kind", "width", "delay ps", "budget", "energy J", "share"
+        );
+        for g in self.top_consumers(top) {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>5} {:>7.1} {:>9.1} {:>9.1} {:>10.2e} {:>5.1}%",
+                g.name,
+                g.kind.to_string(),
+                g.width,
+                g.delay * 1e12,
+                g.budget * 1e12,
+                g.energy.total(),
+                g.share * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Identifies the gates of the critical path of `result`'s design, in
+/// topological order.
+pub fn critical_path(problem: &Problem, result: &OptimizationResult) -> Vec<GateId> {
+    let model = problem.model();
+    let netlist = model.netlist();
+    let eval = model.evaluate(&result.design, problem.fc());
+    let end = netlist
+        .outputs()
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            eval.arrival[a.index()]
+                .partial_cmp(&eval.arrival[b.index()])
+                .expect("arrivals are finite")
+        });
+    let mut path = Vec::new();
+    let mut cur = match end {
+        Some(e) => e,
+        None => return path,
+    };
+    loop {
+        path.push(cur);
+        let next = netlist
+            .gate(cur)
+            .fanin()
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                eval.arrival[a.index()]
+                    .partial_cmp(&eval.arrival[b.index()])
+                    .expect("arrivals are finite")
+            });
+        match next {
+            Some(f) => cur = f,
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Optimizer;
+    use minpower_device::Technology;
+    use minpower_models::CircuitModel;
+    use minpower_netlist::{Netlist, NetlistBuilder};
+
+    fn netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate("u", GateKind::Nand, &["a", "c"]).unwrap();
+        b.gate("v", GateKind::Nor, &["u", "c"]).unwrap();
+        b.gate("w", GateKind::Nand, &["u", "v"]).unwrap();
+        b.gate("y", GateKind::Not, &["w"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn optimized() -> (Problem, OptimizationResult) {
+        let n = netlist();
+        let model =
+            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let p = Problem::new(model, 200.0e6);
+        let r = Optimizer::new(&p).run().unwrap();
+        (p, r)
+    }
+
+    #[test]
+    fn report_shares_sum_to_one() {
+        let (p, r) = optimized();
+        let rep = Report::build(&p, &r);
+        let sum: f64 = rep.gates.iter().map(|g| g.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "share sum = {sum}");
+        // Sorted descending.
+        for w in rep.gates.windows(2) {
+            assert!(w[0].energy.total() >= w[1].energy.total());
+        }
+    }
+
+    #[test]
+    fn report_totals_match_result() {
+        let (p, r) = optimized();
+        let rep = Report::build(&p, &r);
+        assert!((rep.energy.total() - r.energy.total()).abs() < 1e-9 * r.energy.total());
+        assert!((rep.critical_delay - r.critical_delay).abs() < 1e-15);
+        assert_eq!(rep.total_width, r.design.total_width());
+    }
+
+    #[test]
+    fn render_contains_every_top_gate() {
+        let (p, r) = optimized();
+        let rep = Report::build(&p, &r);
+        let text = rep.render(3);
+        for g in rep.top_consumers(3) {
+            assert!(text.contains(&g.name), "missing {}", g.name);
+        }
+    }
+
+    #[test]
+    fn critical_path_is_a_real_path() {
+        let (p, r) = optimized();
+        let path = critical_path(&p, &r);
+        assert!(!path.is_empty());
+        let n = p.model().netlist();
+        for pair in path.windows(2) {
+            assert!(n.gate(pair[1]).fanin().contains(&pair[0]));
+        }
+        assert!(n.is_output(*path.last().unwrap()));
+        assert!(n.gate(path[0]).fanin().is_empty());
+    }
+}

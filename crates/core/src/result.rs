@@ -1,0 +1,90 @@
+//! Optimization outcome record.
+
+use minpower_models::{Design, EnergyBreakdown};
+
+/// The outcome of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationResult {
+    /// The best design found (supply, thresholds, widths).
+    pub design: Design,
+    /// Its static/dynamic energy per cycle.
+    pub energy: EnergyBreakdown,
+    /// Its critical path delay, seconds.
+    pub critical_delay: f64,
+    /// Whether every gate met its delay budget (and hence every path met
+    /// the cycle time).
+    pub feasible: bool,
+    /// Number of full-circuit evaluations spent.
+    pub evaluations: usize,
+    /// The per-gate maximum-delay budgets from Procedure 1, seconds
+    /// (indexed by gate).
+    pub budgets: Vec<f64>,
+}
+
+impl OptimizationResult {
+    /// The single threshold voltage of the design if it is uniform over
+    /// the logic gates, `None` otherwise (multi-`V_t` designs).
+    pub fn uniform_vt(&self) -> Option<f64> {
+        let logic: Vec<f64> = self
+            .design
+            .vt
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, _)| self.budgets.get(i).copied().unwrap_or(0.0) > 0.0)
+            .map(|(_, v)| v)
+            .collect();
+        let first = *logic.first()?;
+        if logic.iter().all(|&v| (v - first).abs() < 1e-12) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// Energy-savings factor of this result relative to a reference
+    /// total energy (e.g. the fixed-`V_t` baseline of Table 1).
+    pub fn savings_vs(&self, reference_total_energy: f64) -> f64 {
+        if self.energy.total() == 0.0 {
+            f64::INFINITY
+        } else {
+            reference_total_energy / self.energy.total()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(vts: Vec<f64>, budgets: Vec<f64>) -> OptimizationResult {
+        OptimizationResult {
+            design: Design {
+                vdd: 1.0,
+                width: vec![1.0; vts.len()],
+                vt: vts,
+            },
+            energy: EnergyBreakdown::new(1e-12, 1e-12),
+            critical_delay: 1e-9,
+            feasible: true,
+            evaluations: 1,
+            budgets,
+        }
+    }
+
+    #[test]
+    fn uniform_vt_detects_uniformity_over_logic_gates() {
+        // Gate 0 is an input (budget 0) with a stale vt entry; only the
+        // logic gates (budgets > 0) count.
+        let r = result(vec![0.9, 0.2, 0.2], vec![0.0, 1e-9, 1e-9]);
+        assert_eq!(r.uniform_vt(), Some(0.2));
+        let r = result(vec![0.9, 0.2, 0.3], vec![0.0, 1e-9, 1e-9]);
+        assert_eq!(r.uniform_vt(), None);
+    }
+
+    #[test]
+    fn savings_factor() {
+        let r = result(vec![0.2], vec![1e-9]);
+        assert!((r.savings_vs(20e-12) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,964 @@
+//! Procedure 2: nested binary searches over `V_dd`, `V_ts`, and widths.
+//!
+//! The paper's key enabling observation (§4.3): *power consumption and
+//! delay are monotonic functions of `V_dd`, `V_ts` and `W_i`, individually,
+//! other parameters being fixed* — so each variable can be located by
+//! bisection instead of grid or random search, giving `O(M³)` full-circuit
+//! evaluations for `M`-step searches.
+//!
+//! Search structure, exactly as the paper's Procedure 2:
+//!
+//! * outer loop bisects the global supply `V_dd ∈ [0.1, 3.3] V`, moving
+//!   **down** whenever the midpoint admits a feasible, improving design
+//!   (dynamic energy falls quadratically with `V_dd`);
+//! * middle loop bisects the threshold `V_ts ∈ [0.1, 0.7] V`, moving **up**
+//!   on improvement (higher threshold kills leakage until the required
+//!   width growth makes dynamic energy dominate);
+//! * inner loop bisects each gate's width `W ∈ [1, 100]` to the smallest
+//!   value meeting that gate's Procedure-1 delay budget.
+//!
+//! With `n_v > 1` ([`SearchOptions::vt_groups`]), gates are partitioned by
+//! budget quantiles (timing-critical gates get the low-`V_t` group) and the
+//! middle loop becomes a coordinate descent over group thresholds.
+
+use minpower_models::{Design, EnergyBreakdown};
+use minpower_netlist::GateKind;
+
+use crate::error::OptimizeError;
+use crate::problem::Problem;
+use crate::result::OptimizationResult;
+
+/// Tuning knobs for [`Optimizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOptions {
+    /// Binary-search steps `M` per variable (the paper's loop bound).
+    pub steps: usize,
+    /// Number of distinct threshold voltages `n_v` allowed by the
+    /// technology (1 = single global `V_ts`, the paper's practical case).
+    pub vt_groups: usize,
+    /// Worst-case threshold tolerance as a fraction (e.g. `0.1` = ±10 %):
+    /// delays are checked at `V_t(1+tol)`, power is reported at
+    /// `V_t(1−tol)` — the margining scheme of the Fig. 2(a) study.
+    pub vt_tolerance: f64,
+    /// Width-sweep passes per `(V_dd, V_ts)` probe; a second pass lets
+    /// each gate see its fanout's final sizes.
+    pub width_passes: usize,
+    /// How Procedure 1 divides the cycle time among gates (the paper's
+    /// fanout-weighted rule by default; `Uniform` for the ablation).
+    pub budget_policy: crate::budget::BudgetPolicy,
+    /// The inner width-sizing engine: the paper's budget-driven search
+    /// (default) or TILOS-style greedy sensitivity sizing, which the
+    /// sizing ablation shows extracts substantially lower energy at the
+    /// same operating point by leaving non-critical gates at minimum
+    /// width.
+    pub sizing: SizingMethod,
+}
+
+/// Width-sizing engine used inside Procedure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SizingMethod {
+    /// The paper's Procedure 1 + 2 pipeline: assign per-gate delay
+    /// budgets, then bisect each width to meet its budget.
+    #[default]
+    Budgeted,
+    /// Greedy sensitivity ascent from minimum widths (Fishburn–Dunlop
+    /// TILOS; see [`crate::tilos`]).
+    Greedy,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            steps: 14,
+            vt_groups: 1,
+            vt_tolerance: 0.0,
+            width_passes: 2,
+            budget_policy: crate::budget::BudgetPolicy::FanoutWeighted,
+            sizing: SizingMethod::Budgeted,
+        }
+    }
+}
+
+impl SearchOptions {
+    fn validate(&self) -> Result<(), OptimizeError> {
+        if self.steps == 0 {
+            return Err(OptimizeError::BadOption {
+                option: "steps",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.vt_groups == 0 {
+            return Err(OptimizeError::BadOption {
+                option: "vt_groups",
+                message: "must be at least 1".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.vt_tolerance) {
+            return Err(OptimizeError::BadOption {
+                option: "vt_tolerance",
+                message: "must lie in [0, 1)".into(),
+            });
+        }
+        if self.width_passes == 0 {
+            return Err(OptimizeError::BadOption {
+                option: "width_passes",
+                message: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Golden-section minimization of a unimodal function over `[lo, hi]`
+/// with a fixed probe budget. The function may return `f64::INFINITY` on
+/// an infeasible plateau at one end of the bracket; `prefer_high_on_tie`
+/// selects which way the bracket shrinks when the two probes tie (point
+/// it *away* from the plateau).
+pub(crate) fn golden_section(
+    lo: f64,
+    hi: f64,
+    probes: usize,
+    prefer_high_on_tie: bool,
+    mut f: impl FnMut(f64) -> f64,
+) {
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    if probes == 0 {
+        return;
+    }
+    if probes == 1 {
+        let _ = f(0.5 * (lo + hi));
+        return;
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut x1 = b - PHI * (b - a);
+    let mut x2 = a + PHI * (b - a);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut used = 2;
+    while used < probes {
+        let keep_low = if f1 == f2 { !prefer_high_on_tie } else { f1 < f2 };
+        if keep_low {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - PHI * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + PHI * (b - a);
+            f2 = f(x2);
+        }
+        used += 1;
+    }
+}
+
+/// Outcome of sizing all widths at one `(V_dd, V_ts)` probe.
+#[derive(Debug, Clone)]
+pub(crate) struct Sized {
+    pub design: Design,
+    pub energy: EnergyBreakdown,
+    pub critical_delay: f64,
+    pub feasible: bool,
+}
+
+/// Shared width-sizing engine (the innermost loop), also used by the
+/// fixed-`V_t` baseline and the variation study.
+#[derive(Debug)]
+pub(crate) struct Sizer<'a> {
+    problem: &'a Problem,
+    pub budgets: Vec<f64>,
+    steps: usize,
+    width_passes: usize,
+    vt_tolerance: f64,
+    sizing: SizingMethod,
+}
+
+impl<'a> Sizer<'a> {
+    pub fn new(
+        problem: &'a Problem,
+        steps: usize,
+        width_passes: usize,
+        vt_tolerance: f64,
+        policy: crate::budget::BudgetPolicy,
+        sizing: SizingMethod,
+    ) -> Self {
+        let budgets = crate::budget::assign_max_delays_with_policy(
+            problem.model().netlist(),
+            problem.effective_cycle_time(),
+            policy,
+        );
+        Sizer {
+            problem,
+            budgets,
+            steps,
+            width_passes,
+            vt_tolerance,
+            sizing,
+        }
+    }
+
+    /// Greedy (TILOS) sizing path: size at the slow corner, report
+    /// energy at the leaky corner.
+    fn size_greedy(&self, vdd: f64, vt_nominal: &[f64]) -> Sized {
+        let model = self.problem.model();
+        let vt_slow: Vec<f64> = vt_nominal
+            .iter()
+            .map(|v| v * (1.0 + self.vt_tolerance))
+            .collect();
+        let vt_leaky: Vec<f64> = vt_nominal
+            .iter()
+            .map(|v| v * (1.0 - self.vt_tolerance))
+            .collect();
+        match crate::tilos::size_greedy_with_vt(
+            self.problem,
+            vdd,
+            &vt_slow,
+            crate::tilos::TilosOptions::default(),
+        ) {
+            Ok(r) => {
+                let energy_design = Design {
+                    vdd,
+                    vt: vt_leaky,
+                    width: r.design.width.clone(),
+                };
+                let energy = model.total_energy(&energy_design, self.problem.fc());
+                let mut design = r.design;
+                design.vt = vt_nominal.to_vec();
+                Sized {
+                    design,
+                    energy,
+                    critical_delay: r.critical_delay,
+                    feasible: r.feasible,
+                }
+            }
+            Err(e) => {
+                let n = model.netlist().gate_count();
+                let design = Design {
+                    vdd,
+                    vt: vt_nominal.to_vec(),
+                    width: vec![model.technology().w_range.1; n],
+                };
+                let energy = model.total_energy(&design, self.problem.fc());
+                let critical_delay = match e {
+                    crate::OptimizeError::Infeasible { best_delay, .. } => best_delay,
+                    _ => f64::INFINITY,
+                };
+                Sized {
+                    design,
+                    energy,
+                    critical_delay,
+                    feasible: false,
+                }
+            }
+        }
+    }
+
+    /// Sizes every gate's width to the minimum meeting its budget at the
+    /// given supply and per-gate nominal thresholds, then evaluates
+    /// feasibility (worst-case-slow thresholds) and energy
+    /// (worst-case-leaky thresholds).
+    pub fn size(&self, vdd: f64, vt_nominal: &[f64]) -> Sized {
+        if self.sizing == SizingMethod::Greedy {
+            return self.size_greedy(vdd, vt_nominal);
+        }
+        let model = self.problem.model();
+        let netlist = model.netlist();
+        let tech = model.technology();
+        let n = netlist.gate_count();
+        debug_assert_eq!(vt_nominal.len(), n);
+
+        let vt_slow: Vec<f64> = vt_nominal
+            .iter()
+            .map(|v| v * (1.0 + self.vt_tolerance))
+            .collect();
+        let vt_leaky: Vec<f64> = vt_nominal
+            .iter()
+            .map(|v| v * (1.0 - self.vt_tolerance))
+            .collect();
+
+        // All sizing decisions are made against the slow corner.
+        let mut design = Design {
+            vdd,
+            vt: vt_slow,
+            width: vec![tech.w_range.0; n],
+        };
+
+        let (w_lo, w_hi) = tech.w_range;
+        // Contract-based sizing: each gate is sized so its delay meets a
+        // slightly derated budget **assuming its drivers run at exactly
+        // their own budgets** (the slope-term input of Eq. A3). By
+        // induction along the topological order, if every gate meets its
+        // contract then every actual delay is within its budget — the
+        // sizing decouples from the iterative delay values and only the
+        // load coupling (sink widths) remains, which the fixed-point
+        // sweeps below resolve.
+        const MARGIN: f64 = 0.97;
+        let search_width = |design: &mut Design, i: usize, max_fanin: f64| {
+            let id = minpower_netlist::GateId::new(i);
+            let target = self.budgets[i] * MARGIN;
+            let mut lo = w_lo;
+            let mut hi = w_hi;
+            let mut feasible_w = None;
+            for _ in 0..self.steps {
+                let w = 0.5 * (lo + hi);
+                design.width[i] = w;
+                let t = model.gate_delay(design, id, max_fanin);
+                if t <= target {
+                    feasible_w = Some(w);
+                    hi = w;
+                } else {
+                    lo = w;
+                }
+            }
+            // Try the extreme ends the bisection never lands on.
+            design.width[i] = w_lo;
+            if model.gate_delay(design, id, max_fanin) <= target {
+                feasible_w = Some(w_lo);
+            }
+            design.width[i] = feasible_w.unwrap_or(w_hi);
+        };
+
+        // Fixed-point sweeps over the load coupling: each sweep re-sizes
+        // every gate against the sinks' current widths, with the
+        // slope-term input taken as the *lesser* of the driver's budget
+        // (the compositional contract) and its actual delay from the
+        // previous sweep (so drivers that run well inside their budgets
+        // don't force pessimistic downstream sizing). Delays are
+        // recomputed self-consistently between sweeps (Jacobi style),
+        // which keeps the iteration stable; stop when widths settle.
+        let max_sweeps = self.width_passes.max(2) + 10;
+        let mut last_delays = self.budgets.clone();
+        for _sweep in 0..max_sweeps {
+            let mut max_rel_change = 0.0f64;
+            for &id in netlist.topological_order() {
+                let i = id.index();
+                if netlist.gate(id).kind() == GateKind::Input {
+                    continue;
+                }
+                let max_fanin = netlist
+                    .gate(id)
+                    .fanin()
+                    .iter()
+                    .map(|f| {
+                        let j = f.index();
+                        self.budgets[j].min(last_delays[j] * 1.05)
+                    })
+                    .fold(0.0, f64::max);
+                let before = design.width[i];
+                search_width(&mut design, i, max_fanin);
+                let rel = (design.width[i] - before).abs() / before.max(w_lo);
+                max_rel_change = max_rel_change.max(rel);
+            }
+            last_delays = model.delays(&design);
+            if max_rel_change < 0.005 {
+                break;
+            }
+        }
+        let mut delays = last_delays;
+
+        // Post-processing (paper §4.2, last paragraph): the
+        // fanout-proportional budgets can starve individual gates — most
+        // visibly stack-heavy gates fed by loose-budget drivers — leaving
+        // the critical path slightly over the cycle time even though
+        // overall slack exists. Repair by sensitivity-driven upsizing
+        // along the critical path until the cycle time is met (or no move
+        // helps).
+        let tc = self.problem.effective_cycle_time();
+        let mut blocked = vec![false; n];
+        for _ in 0..200 {
+            // Arrival times and the critical sink.
+            let mut arrival = vec![0.0f64; n];
+            let mut crit_gate = None;
+            let mut crit = 0.0f64;
+            for &id in netlist.topological_order() {
+                let i = id.index();
+                let latest = netlist
+                    .gate(id)
+                    .fanin()
+                    .iter()
+                    .map(|f| arrival[f.index()])
+                    .fold(0.0, f64::max);
+                arrival[i] = latest + delays[i];
+                if (netlist.is_output(id) || netlist.fanout(id).is_empty())
+                    && arrival[i] > crit
+                {
+                    crit = arrival[i];
+                    crit_gate = Some(id);
+                }
+            }
+            if crit <= tc {
+                break;
+            }
+            // Walk the critical path and pick the most effective upsize.
+            let mut best: Option<(usize, f64, f64)> = None; // (gate, new_w, gain)
+            let mut cur = match crit_gate {
+                Some(g) => g,
+                None => break,
+            };
+            loop {
+                let i = cur.index();
+                let g = netlist.gate(cur);
+                if !g.fanin().is_empty() && !blocked[i] && design.width[i] < w_hi {
+                    let w_old = design.width[i];
+                    let w_new = (w_old * 1.3).min(w_hi);
+                    let max_fanin = model.max_fanin_delay(&delays, i);
+                    let t_old = delays[i];
+                    design.width[i] = w_new;
+                    let t_new = model.gate_delay(&design, cur, max_fanin);
+                    design.width[i] = w_old;
+                    let gain = t_old - t_new;
+                    if gain > 0.0 && best.map_or(true, |(_, _, b)| gain > b) {
+                        best = Some((i, w_new, gain));
+                    }
+                }
+                match g
+                    .fanin()
+                    .iter()
+                    .max_by(|a, b| {
+                        arrival[a.index()]
+                            .partial_cmp(&arrival[b.index()])
+                            .expect("arrivals are finite")
+                    }) {
+                    Some(&f) => cur = f,
+                    None => break,
+                }
+            }
+            match best {
+                Some((i, w_new, _)) => {
+                    let w_old = design.width[i];
+                    design.width[i] = w_new;
+                    let new_delays = model.delays(&design);
+                    // Revert moves that backfire through driver loading.
+                    let new_crit = {
+                        let mut arr = vec![0.0f64; n];
+                        let mut c = 0.0f64;
+                        for &id in netlist.topological_order() {
+                            let k = id.index();
+                            let latest = netlist
+                                .gate(id)
+                                .fanin()
+                                .iter()
+                                .map(|f| arr[f.index()])
+                                .fold(0.0, f64::max);
+                            arr[k] = latest + new_delays[k];
+                            if netlist.is_output(id) || netlist.fanout(id).is_empty() {
+                                c = c.max(arr[k]);
+                            }
+                        }
+                        c
+                    };
+                    if new_crit < crit {
+                        delays = new_delays;
+                    } else {
+                        design.width[i] = w_old;
+                        blocked[i] = true;
+                    }
+                }
+                None => break,
+            }
+        }
+        let delays = delays;
+
+        // Feasibility is the problem's real constraint — every path meets
+        // the cycle time — not the per-gate budgets, which are only the
+        // heuristic's sizing guides (the paper's post-processing likewise
+        // relaxes individual assignments that turn out unrealizable).
+        let mut critical = 0.0f64;
+        let mut arrival = vec![0.0f64; n];
+        for &id in netlist.topological_order() {
+            let i = id.index();
+            let latest = netlist
+                .gate(id)
+                .fanin()
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(0.0, f64::max);
+            arrival[i] = latest + delays[i];
+            if netlist.is_output(id) || netlist.fanout(id).is_empty() {
+                critical = critical.max(arrival[i]);
+            }
+        }
+        let feasible = critical <= self.problem.effective_cycle_time() * (1.0 + 1e-9);
+
+        // Energy at the leaky corner (equals nominal when tolerance = 0).
+        let energy_design = Design {
+            vdd,
+            vt: vt_leaky,
+            width: design.width.clone(),
+        };
+        let energy = model.total_energy(&energy_design, self.problem.fc());
+
+        // Report the nominal-threshold design.
+        design.vt = vt_nominal.to_vec();
+        Sized {
+            design,
+            energy,
+            critical_delay: critical,
+            feasible,
+        }
+    }
+}
+
+/// Sizes every gate's width at a **fixed** operating point `(vdd, vt)`,
+/// returning the same record as a full optimization.
+///
+/// This is the innermost stage of Procedure 2 run standalone — useful for
+/// design-space exploration (plotting energy/feasibility over a
+/// `V_dd × V_ts` grid, as in the paper's §3 discussion) and for ablation
+/// studies.
+///
+/// # Errors
+///
+/// [`OptimizeError::EmptyNetwork`] or [`OptimizeError::BadOption`] on
+/// invalid inputs. An infeasible operating point is **not** an error: the
+/// result's `feasible` flag reports it, so grids can include the
+/// infeasible region.
+pub fn size_at(
+    problem: &Problem,
+    vdd: f64,
+    vt: f64,
+    options: &SearchOptions,
+) -> Result<OptimizationResult, OptimizeError> {
+    options.validate()?;
+    if problem.model().netlist().logic_gate_count() == 0 {
+        return Err(OptimizeError::EmptyNetwork);
+    }
+    let sizer = Sizer::new(
+        problem,
+        options.steps,
+        options.width_passes,
+        options.vt_tolerance,
+        options.budget_policy,
+        options.sizing,
+    );
+    let n = problem.model().netlist().gate_count();
+    let sized = sizer.size(vdd, &vec![vt; n]);
+    Ok(OptimizationResult {
+        design: sized.design,
+        energy: sized.energy,
+        critical_delay: sized.critical_delay,
+        feasible: sized.feasible,
+        evaluations: 1,
+        budgets: sizer.budgets,
+    })
+}
+
+/// The Procedure 1 + Procedure 2 optimizer.
+///
+/// See the [module documentation](self) for the search structure and the
+/// crate example for usage.
+#[derive(Debug)]
+pub struct Optimizer<'a> {
+    problem: &'a Problem,
+    options: SearchOptions,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer with default options.
+    pub fn new(problem: &'a Problem) -> Self {
+        Optimizer {
+            problem,
+            options: SearchOptions::default(),
+        }
+    }
+
+    /// Replaces the search options.
+    pub fn with_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the full joint optimization.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::EmptyNetwork`] for gate-free networks,
+    /// [`OptimizeError::BadOption`] for invalid options, and
+    /// [`OptimizeError::Infeasible`] when no probed operating point meets
+    /// the cycle time (the error carries the best delay achieved).
+    pub fn run(&self) -> Result<OptimizationResult, OptimizeError> {
+        self.options.validate()?;
+        let model = self.problem.model();
+        if model.netlist().logic_gate_count() == 0 {
+            return Err(OptimizeError::EmptyNetwork);
+        }
+        let tech = model.technology().clone();
+        let sizer = Sizer::new(
+            self.problem,
+            self.options.steps,
+            self.options.width_passes,
+            self.options.vt_tolerance,
+            self.options.budget_policy,
+            self.options.sizing,
+        );
+        let n = model.netlist().gate_count();
+        let m = self.options.steps;
+
+        let mut best: Option<Sized> = None;
+        let mut best_delay_seen = f64::INFINITY;
+        let mut evaluations = 0usize;
+
+        {
+            // Outer search over the global supply. Energy at the
+            // per-supply-optimal threshold is unimodal in V_dd (quadratic
+            // dynamic gain downward until the feasibility cliff), so a
+            // golden-section bracket with the paper's M probes locates the
+            // minimum regardless of which side of the first midpoint it
+            // falls on (the literal one-sided rule of Procedure 2 can get
+            // stuck above interior optima; see DESIGN.md). Ties — notably
+            // the infeasible plateau at low supply — resolve upward.
+            let (v_lo, v_hi) = tech.vdd_range;
+            golden_section(v_lo, v_hi, m, true, |vdd| {
+                let candidate = if self.options.vt_groups <= 1 {
+                    self.search_single_vt(
+                        &sizer,
+                        vdd,
+                        &tech,
+                        n,
+                        &mut evaluations,
+                        &mut best_delay_seen,
+                    )
+                } else {
+                    self.search_grouped_vt(
+                        &sizer,
+                        vdd,
+                        &tech,
+                        n,
+                        &mut evaluations,
+                        &mut best_delay_seen,
+                    )
+                };
+                let e = match &candidate {
+                    Some(c) if c.feasible => c.energy.total(),
+                    _ => f64::INFINITY,
+                };
+                if let Some(c) = candidate {
+                    if c.feasible
+                        && best
+                            .as_ref()
+                            .map_or(true, |b| c.energy.total() < b.energy.total())
+                    {
+                        best = Some(c);
+                    }
+                }
+                e
+            });
+        }
+
+        match best {
+            Some(sized) => Ok(OptimizationResult {
+                design: sized.design,
+                energy: sized.energy,
+                critical_delay: sized.critical_delay,
+                feasible: sized.feasible,
+                evaluations,
+                budgets: sizer.budgets,
+            }),
+            None => Err(OptimizeError::Infeasible {
+                cycle_time: self.problem.effective_cycle_time(),
+                best_delay: best_delay_seen,
+            }),
+        }
+    }
+
+    /// Middle loop for a single global threshold (`n_v = 1`):
+    /// golden-section search over `V_ts`. The energy is U-shaped in the
+    /// threshold (exponential leakage below, width blow-up above, an
+    /// infeasible plateau at the very top); ties resolve downward, toward
+    /// the always-feasible low-threshold side.
+    fn search_single_vt(
+        &self,
+        sizer: &Sizer<'_>,
+        vdd: f64,
+        tech: &minpower_device::Technology,
+        n: usize,
+        evaluations: &mut usize,
+        best_delay_seen: &mut f64,
+    ) -> Option<Sized> {
+        let m = self.options.steps;
+        let (t_lo, t_hi) = tech.vt_range;
+        let mut local_best: Option<Sized> = None;
+        golden_section(t_lo, t_hi, m, false, |vt| {
+            let sized = sizer.size(vdd, &vec![vt; n]);
+            *evaluations += 1;
+            if sized.critical_delay.is_finite() {
+                *best_delay_seen = best_delay_seen.min(sized.critical_delay);
+            }
+            let e = if sized.feasible {
+                sized.energy.total()
+            } else {
+                f64::INFINITY
+            };
+            if sized.feasible
+                && local_best
+                    .as_ref()
+                    .map_or(true, |b| sized.energy.total() < b.energy.total())
+            {
+                local_best = Some(sized);
+            }
+            e
+        });
+        local_best
+    }
+
+    /// Middle loop for `n_v > 1`: coordinate descent over group
+    /// thresholds, seeded from the single-threshold optimum (so the
+    /// multi-`V_t` result can only match or improve on `n_v = 1`), groups
+    /// formed by budget quantiles.
+    fn search_grouped_vt(
+        &self,
+        sizer: &Sizer<'_>,
+        vdd: f64,
+        tech: &minpower_device::Technology,
+        n: usize,
+        evaluations: &mut usize,
+        best_delay_seen: &mut f64,
+    ) -> Option<Sized> {
+        let m = self.options.steps;
+        let groups = self.options.vt_groups;
+        let netlist = self.problem.model().netlist();
+
+        // Rank logic gates by budget: tightest budgets → group 0 (lowest
+        // V_t, fastest), loosest → last group (highest V_t, least leaky).
+        let mut logic: Vec<usize> = (0..n)
+            .filter(|&i| {
+                netlist.gate(minpower_netlist::GateId::new(i)).kind() != GateKind::Input
+            })
+            .collect();
+        logic.sort_by(|&a, &b| {
+            sizer.budgets[a]
+                .partial_cmp(&sizer.budgets[b])
+                .expect("budgets are finite")
+        });
+        let mut group_of = vec![0usize; n];
+        for (rank, &i) in logic.iter().enumerate() {
+            group_of[i] = rank * groups / logic.len().max(1);
+        }
+
+        let (t_min, t_max) = tech.vt_range;
+        // Seed with the single-threshold optimum at this supply: the
+        // coordinate descent then refines per group and can only improve.
+        let seed =
+            self.search_single_vt(sizer, vdd, tech, n, evaluations, best_delay_seen);
+        let seed_vt = seed
+            .as_ref()
+            .and_then(|s| {
+                s.design
+                    .vt
+                    .iter()
+                    .zip(sizer.budgets.iter())
+                    .find(|&(_, &b)| b > 0.0)
+                    .map(|(&v, _)| v)
+            })
+            .unwrap_or(0.5 * (t_min + t_max));
+        let mut group_vt = vec![seed_vt; groups];
+        let mut local_best: Option<Sized> = seed;
+        let assemble = |group_vt: &[f64], group_of: &[usize]| -> Vec<f64> {
+            (0..n).map(|i| group_vt[group_of[i]]).collect()
+        };
+        for _round in 0..2 {
+            for g in 0..groups {
+                let mut lo = t_min;
+                let mut hi = t_max;
+                for _ in 0..m / 2 + 1 {
+                    let vt = 0.5 * (lo + hi);
+                    let mut trial_vt = group_vt.clone();
+                    trial_vt[g] = vt;
+                    let sized = sizer.size(vdd, &assemble(&trial_vt, &group_of));
+                    *evaluations += 1;
+                    if sized.critical_delay.is_finite() {
+                        *best_delay_seen = best_delay_seen.min(sized.critical_delay);
+                    }
+                    let improved = sized.feasible
+                        && local_best
+                            .as_ref()
+                            .map_or(true, |b| sized.energy.total() < b.energy.total());
+                    if improved {
+                        group_vt[g] = vt;
+                        local_best = Some(sized);
+                        lo = vt;
+                    } else if vt > group_vt[g] {
+                        hi = vt;
+                    } else {
+                        lo = vt;
+                    }
+                }
+            }
+        }
+        local_best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_device::Technology;
+    use minpower_models::CircuitModel;
+    use minpower_netlist::{Netlist, NetlistBuilder};
+
+    fn ripple(bits: usize) -> Netlist {
+        // A small ripple structure: carries chain through NAND pairs.
+        let mut b = NetlistBuilder::new("ripple");
+        b.input("c0").unwrap();
+        for i in 0..bits {
+            b.input(&format!("a{i}")).unwrap();
+            b.input(&format!("b{i}")).unwrap();
+        }
+        let mut carry = "c0".to_string();
+        for i in 0..bits {
+            let g = format!("g{i}");
+            let p = format!("p{i}");
+            let c = format!("c{}", i + 1);
+            b.gate(&g, GateKind::Nand, &[&format!("a{i}"), &format!("b{i}")])
+                .unwrap();
+            b.gate(&p, GateKind::Xor, &[&format!("a{i}"), &format!("b{i}")])
+                .unwrap();
+            let t = format!("t{i}");
+            b.gate(&t, GateKind::Nand, &[&p, &carry]).unwrap();
+            b.gate(&c, GateKind::Nand, &[&t, &g]).unwrap();
+            let s = format!("s{i}");
+            b.gate(&s, GateKind::Xor, &[&p, &carry]).unwrap();
+            b.output(&s).unwrap();
+            carry = c;
+        }
+        b.output(&carry).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn problem(netlist: &Netlist, fc: f64) -> Problem {
+        let model =
+            CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, 0.3);
+        Problem::new(model, fc)
+    }
+
+    #[test]
+    fn optimizer_finds_feasible_low_energy_design() {
+        let n = ripple(4);
+        let p = problem(&n, 100.0e6);
+        let r = Optimizer::new(&p).run().unwrap();
+        assert!(r.feasible);
+        assert!(r.critical_delay <= p.cycle_time() * (1.0 + 1e-9));
+        // The optimizer should exploit the slack: supply well below 3.3 V.
+        assert!(r.design.vdd < 2.0, "vdd = {}", r.design.vdd);
+        assert!(r.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn joint_vt_beats_fixed_vt_energy() {
+        let n = ripple(4);
+        let p = problem(&n, 100.0e6);
+        let joint = Optimizer::new(&p).run().unwrap();
+        let fixed = crate::baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default())
+            .unwrap();
+        assert!(
+            joint.energy.total() < fixed.energy.total(),
+            "joint {:.3e} !< fixed {:.3e}",
+            joint.energy.total(),
+            fixed.energy.total()
+        );
+    }
+
+    #[test]
+    fn infeasible_cycle_time_is_reported() {
+        let n = ripple(4);
+        let p = problem(&n, 50.0e9); // 50 GHz: hopeless for this process
+        let err = Optimizer::new(&p).run().unwrap_err();
+        match err {
+            OptimizeError::Infeasible { best_delay, .. } => {
+                assert!(best_delay.is_finite());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_design_meets_cycle_time_on_recheck() {
+        let n = ripple(3);
+        let p = problem(&n, 150.0e6);
+        let r = Optimizer::new(&p).run().unwrap();
+        let eval = p.model().evaluate(&r.design, p.fc());
+        assert!(
+            eval.critical_delay <= p.effective_cycle_time() * (1.0 + 1e-6),
+            "critical delay {} exceeds cycle time {}",
+            eval.critical_delay,
+            p.effective_cycle_time()
+        );
+        // The budgets remain a sound certificate: their sum along any
+        // path is within the cycle time.
+        let worst = crate::budget::longest_budget_path(&n, &r.budgets);
+        assert!(worst <= p.effective_cycle_time() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn multi_vt_is_no_worse_than_single_vt() {
+        let n = ripple(3);
+        let p = problem(&n, 150.0e6);
+        let single = Optimizer::new(&p).run().unwrap();
+        let multi = Optimizer::new(&p)
+            .with_options(SearchOptions {
+                vt_groups: 2,
+                ..SearchOptions::default()
+            })
+            .run()
+            .unwrap();
+        // The grouped search is seeded from the single-Vt optimum, so it
+        // can only match or improve it.
+        assert!(
+            multi.energy.total() <= single.energy.total() * (1.0 + 1e-9),
+            "multi {:.3e} vs single {:.3e}",
+            multi.energy.total(),
+            single.energy.total()
+        );
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let n = ripple(2);
+        let p = problem(&n, 100.0e6);
+        let err = Optimizer::new(&p)
+            .with_options(SearchOptions {
+                steps: 0,
+                ..SearchOptions::default()
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::BadOption { option: "steps", .. }));
+        let err = Optimizer::new(&p)
+            .with_options(SearchOptions {
+                vt_tolerance: 1.0,
+                ..SearchOptions::default()
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OptimizeError::BadOption {
+                option: "vt_tolerance",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tolerance_costs_energy() {
+        let n = ripple(3);
+        let p = problem(&n, 150.0e6);
+        let nominal = Optimizer::new(&p).run().unwrap();
+        let margined = Optimizer::new(&p)
+            .with_options(SearchOptions {
+                vt_tolerance: 0.2,
+                ..SearchOptions::default()
+            })
+            .run()
+            .unwrap();
+        assert!(
+            margined.energy.total() >= nominal.energy.total(),
+            "margined {:.3e} < nominal {:.3e}",
+            margined.energy.total(),
+            nominal.energy.total()
+        );
+    }
+}

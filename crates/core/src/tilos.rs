@@ -1,0 +1,274 @@
+//! TILOS-style greedy sensitivity sizing — the classical alternative to
+//! Procedure 1's budget-driven widths.
+//!
+//! The paper's width assignment flows *down* from delay budgets: every
+//! gate is given a time allowance and sized to the minimum width meeting
+//! it. The classical literature (Fishburn & Dunlop's TILOS; the convex
+//! formulation of the paper's ref [10]) instead flows *up* from minimum
+//! widths: start everything at `w = 1` and repeatedly upsize the
+//! critical-path gate with the best delay-reduction-per-energy-cost
+//! sensitivity until the cycle time is met.
+//!
+//! Both reach feasible designs; comparing their energies isolates how
+//! much the paper's budgeting idea actually contributes (an ablation the
+//! experiments report).
+
+use minpower_models::Design;
+use minpower_netlist::GateId;
+
+use crate::error::OptimizeError;
+use crate::problem::Problem;
+use crate::result::OptimizationResult;
+
+/// Options for the greedy sizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilosOptions {
+    /// Multiplicative width step per accepted move (classic TILOS uses
+    /// small steps; larger is faster, coarser).
+    pub step: f64,
+    /// Hard cap on accepted moves (safety bound).
+    pub max_moves: usize,
+}
+
+impl Default for TilosOptions {
+    fn default() -> Self {
+        TilosOptions {
+            step: 1.15,
+            max_moves: 20_000,
+        }
+    }
+}
+
+/// Sizes widths at a fixed `(vdd, vt)` by greedy sensitivity ascent from
+/// minimum widths until the cycle time is met.
+///
+/// # Errors
+///
+/// [`OptimizeError::EmptyNetwork`] for gate-free networks,
+/// [`OptimizeError::BadOption`] for a non-positive step, and
+/// [`OptimizeError::Infeasible`] when the cycle time cannot be met even
+/// after exhausting upsizing moves.
+pub fn size_greedy(
+    problem: &Problem,
+    vdd: f64,
+    vt: f64,
+    options: TilosOptions,
+) -> Result<OptimizationResult, OptimizeError> {
+    let n = problem.model().netlist().gate_count();
+    size_greedy_with_vt(problem, vdd, &vec![vt; n], options)
+}
+
+/// [`size_greedy`] with per-gate thresholds (the form the joint
+/// optimizer's greedy sizing mode uses).
+///
+/// # Errors
+///
+/// Same failure modes as [`size_greedy`].
+///
+/// # Panics
+///
+/// Panics if `vt.len()` differs from the gate count.
+pub fn size_greedy_with_vt(
+    problem: &Problem,
+    vdd: f64,
+    vt: &[f64],
+    options: TilosOptions,
+) -> Result<OptimizationResult, OptimizeError> {
+    if options.step <= 1.0 {
+        return Err(OptimizeError::BadOption {
+            option: "step",
+            message: "must be greater than 1".into(),
+        });
+    }
+    let model = problem.model();
+    let netlist = model.netlist();
+    if netlist.logic_gate_count() == 0 {
+        return Err(OptimizeError::EmptyNetwork);
+    }
+    let tech = model.technology();
+    let (w_lo, w_hi) = tech.w_range;
+    let tc = problem.effective_cycle_time();
+    let n = netlist.gate_count();
+    assert_eq!(vt.len(), n, "one threshold per gate required");
+
+    let mut design = Design {
+        vdd,
+        vt: vt.to_vec(),
+        width: vec![w_lo; n],
+    };
+    let mut delays = model.delays(&design);
+    let mut evaluations = 1usize;
+
+    let arrivals = |delays: &[f64]| -> (Vec<f64>, f64, Option<GateId>) {
+        let mut arr = vec![0.0f64; n];
+        let mut crit = 0.0;
+        let mut crit_gate = None;
+        for &id in netlist.topological_order() {
+            let i = id.index();
+            let latest = netlist
+                .gate(id)
+                .fanin()
+                .iter()
+                .map(|f| arr[f.index()])
+                .fold(0.0, f64::max);
+            arr[i] = latest + delays[i];
+            if (netlist.is_output(id) || netlist.fanout(id).is_empty()) && arr[i] > crit {
+                crit = arr[i];
+                crit_gate = Some(id);
+            }
+        }
+        (arr, crit, crit_gate)
+    };
+
+    let mut best_crit = f64::INFINITY;
+    for _move in 0..options.max_moves {
+        let (arr, crit, crit_gate) = arrivals(&delays);
+        best_crit = best_crit.min(crit);
+        if crit <= tc {
+            let energy = model.total_energy(&design, problem.fc());
+            return Ok(OptimizationResult {
+                energy,
+                critical_delay: crit,
+                feasible: true,
+                evaluations,
+                budgets: crate::budget::assign_max_delays(netlist, tc),
+                design,
+            });
+        }
+        // Walk the critical path; pick the move with the best
+        // Δdelay / Δenergy sensitivity.
+        let mut cur = match crit_gate {
+            Some(g) => g,
+            None => break,
+        };
+        let mut best: Option<(usize, f64)> = None; // (gate, score)
+        loop {
+            let i = cur.index();
+            let gate = netlist.gate(cur);
+            if !gate.fanin().is_empty() && design.width[i] < w_hi {
+                let w_old = design.width[i];
+                let w_new = (w_old * options.step).min(w_hi);
+                let max_fanin = model.max_fanin_delay(&delays, i);
+                let t_old = delays[i];
+                let e_old = model.gate_dynamic_energy(&design, cur)
+                    + model.gate_static_energy(&design, cur, problem.fc());
+                design.width[i] = w_new;
+                let t_new = model.gate_delay(&design, cur, max_fanin);
+                let e_new = model.gate_dynamic_energy(&design, cur)
+                    + model.gate_static_energy(&design, cur, problem.fc());
+                design.width[i] = w_old;
+                let gain = t_old - t_new;
+                let cost = (e_new - e_old).max(1e-30);
+                if gain > 0.0 {
+                    let score = gain / cost;
+                    if best.map_or(true, |(_, s)| score > s) {
+                        best = Some((i, score));
+                    }
+                }
+            }
+            match gate
+                .fanin()
+                .iter()
+                .max_by(|a, b| {
+                    arr[a.index()]
+                        .partial_cmp(&arr[b.index()])
+                        .expect("arrivals are finite")
+                }) {
+                Some(&f) => cur = f,
+                None => break,
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                design.width[i] = (design.width[i] * options.step).min(w_hi);
+                // Incremental repair of the affected cone only — the move
+                // loop's cost is O(cone), not O(E).
+                model.update_delays_after_width_change(&design, &mut delays, GateId::new(i));
+                evaluations += 1;
+            }
+            None => break, // every critical gate saturated
+        }
+    }
+    Err(OptimizeError::Infeasible {
+        cycle_time: tc,
+        best_delay: best_crit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_device::Technology;
+    use minpower_models::CircuitModel;
+    use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
+
+    fn netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate("u", GateKind::Nand, &["a", "c"]).unwrap();
+        b.gate("v", GateKind::Nor, &["u", "c"]).unwrap();
+        b.gate("w", GateKind::Nand, &["u", "v"]).unwrap();
+        b.gate("y", GateKind::Not, &["w"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn problem(fc: f64) -> Problem {
+        let n = netlist();
+        let model =
+            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        Problem::new(model, fc)
+    }
+
+    #[test]
+    fn greedy_reaches_feasibility() {
+        let p = problem(300.0e6);
+        let r = size_greedy(&p, 2.5, 0.5, TilosOptions::default()).unwrap();
+        assert!(r.feasible);
+        assert!(r.critical_delay <= p.cycle_time() * (1.0 + 1e-9));
+        // It should not saturate everything on this easy instance.
+        assert!(r.design.total_width() < 100.0, "{}", r.design.total_width());
+    }
+
+    #[test]
+    fn infeasible_targets_are_detected() {
+        let p = problem(50.0e9);
+        let err = size_greedy(&p, 2.5, 0.5, TilosOptions::default()).unwrap_err();
+        assert!(matches!(err, OptimizeError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn comparable_to_budget_driven_sizing() {
+        // Neither method should dominate by an order of magnitude at the
+        // same operating point.
+        let p = problem(300.0e6);
+        let greedy = size_greedy(&p, 2.5, 0.5, TilosOptions::default()).unwrap();
+        let budgeted = crate::search::size_at(&p, 2.5, 0.5, &Default::default()).unwrap();
+        assert!(budgeted.feasible);
+        let ratio = greedy.energy.total() / budgeted.energy.total();
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "greedy {:.3e} vs budgeted {:.3e}",
+            greedy.energy.total(),
+            budgeted.energy.total()
+        );
+    }
+
+    #[test]
+    fn bad_step_rejected() {
+        let p = problem(300.0e6);
+        assert!(matches!(
+            size_greedy(
+                &p,
+                2.5,
+                0.5,
+                TilosOptions {
+                    step: 0.9,
+                    ..TilosOptions::default()
+                }
+            ),
+            Err(OptimizeError::BadOption { .. })
+        ));
+    }
+}

@@ -1,0 +1,139 @@
+//! Worst-case threshold margining: the process-fluctuation study of
+//! Fig. 2(a).
+//!
+//! Threshold voltage varies with process fluctuations. The paper modifies
+//! the optimizer to use **worst-case** thresholds during delay and power
+//! computation: delays are checked at `V_t(1 + tol)` (slow corner) and the
+//! reported power uses `V_t(1 − tol)` (leaky corner), so the optimized
+//! circuit is *guaranteed* to meet the cycle time under the stated
+//! variation and the quoted savings are pessimistic. Rising tolerance
+//! erodes the achievable savings — the trend Fig. 2(a) plots for s298.
+
+use crate::error::OptimizeError;
+use crate::problem::Problem;
+use crate::result::OptimizationResult;
+use crate::search::{Optimizer, SearchOptions};
+
+/// Optimizes under a ±`tolerance` fractional threshold variation.
+///
+/// Equivalent to running [`Optimizer`] with
+/// [`SearchOptions::vt_tolerance`] set; provided as a named entry point
+/// because it is a headline experiment of the paper.
+///
+/// # Errors
+///
+/// Same failure modes as [`Optimizer::run`], plus
+/// [`OptimizeError::BadOption`] if `tolerance` is outside `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use minpower_core::{variation, Problem};
+/// use minpower_device::Technology;
+/// use minpower_models::CircuitModel;
+/// use minpower_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut b = NetlistBuilder::new("t");
+/// # b.input("a")?;
+/// # b.gate("x", GateKind::Nand, &["a", "a"])?;
+/// # b.gate("y", GateKind::Nor, &["x", "a"])?;
+/// # b.output("y")?;
+/// # let n = b.finish()?;
+/// let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+/// let problem = Problem::new(model, 200.0e6);
+/// let exact = variation::optimize_with_tolerance(&problem, 0.0)?;
+/// let margined = variation::optimize_with_tolerance(&problem, 0.15)?;
+/// assert!(margined.energy.total() >= exact.energy.total());
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize_with_tolerance(
+    problem: &Problem,
+    tolerance: f64,
+) -> Result<OptimizationResult, OptimizeError> {
+    optimize_with_tolerance_opts(problem, tolerance, SearchOptions::default())
+}
+
+/// Like [`optimize_with_tolerance`] with explicit search options (the
+/// given options' `vt_tolerance` is overridden).
+pub fn optimize_with_tolerance_opts(
+    problem: &Problem,
+    tolerance: f64,
+    mut options: SearchOptions,
+) -> Result<OptimizationResult, OptimizeError> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(OptimizeError::BadOption {
+            option: "vt_tolerance",
+            message: "must lie in [0, 1)".into(),
+        });
+    }
+    options.vt_tolerance = tolerance;
+    Optimizer::new(problem).with_options(options).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_device::Technology;
+    use minpower_models::CircuitModel;
+    use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
+
+    fn netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate("u", GateKind::Nand, &["a", "c"]).unwrap();
+        b.gate("v", GateKind::Nor, &["u", "c"]).unwrap();
+        b.gate("w", GateKind::Nand, &["u", "v"]).unwrap();
+        b.gate("y", GateKind::Not, &["w"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn problem() -> Problem {
+        let n = netlist();
+        let model =
+            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        Problem::new(model, 200.0e6)
+    }
+
+    #[test]
+    fn savings_erode_with_tolerance() {
+        let p = problem();
+        let e0 = optimize_with_tolerance(&p, 0.0).unwrap().energy.total();
+        let e20 = optimize_with_tolerance(&p, 0.20).unwrap().energy.total();
+        assert!(e20 >= e0, "0% {e0:.3e} vs 20% {e20:.3e}");
+    }
+
+    #[test]
+    fn margined_design_meets_timing_at_slow_corner() {
+        let p = problem();
+        let tol = 0.2;
+        let r = optimize_with_tolerance(&p, tol).unwrap();
+        // Recheck delays with thresholds raised by the tolerance.
+        let mut slow = r.design.clone();
+        for v in &mut slow.vt {
+            *v *= 1.0 + tol;
+        }
+        let eval = p.model().evaluate(&slow, p.fc());
+        assert!(
+            eval.critical_delay <= p.cycle_time() * (1.0 + 1e-6),
+            "slow corner misses timing: {:.3e}",
+            eval.critical_delay
+        );
+    }
+
+    #[test]
+    fn out_of_range_tolerance_rejected() {
+        let p = problem();
+        assert!(matches!(
+            optimize_with_tolerance(&p, 1.0),
+            Err(OptimizeError::BadOption { .. })
+        ));
+        assert!(matches!(
+            optimize_with_tolerance(&p, -0.1),
+            Err(OptimizeError::BadOption { .. })
+        ));
+    }
+}

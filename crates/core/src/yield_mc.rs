@@ -1,0 +1,189 @@
+//! Monte-Carlo timing yield under random threshold variation.
+//!
+//! Fig. 2(a) treats process fluctuation with *worst-case* margining:
+//! every device simultaneously at its slow corner. Real fluctuation is
+//! per-device and statistical, so the honest question is a **yield**:
+//! what fraction of manufactured die meet the cycle time? This module
+//! samples per-gate thresholds from a Gaussian around the design value
+//! and evaluates timing for each sample — showing that the margined
+//! design buys its energy premium in the form of near-unit yield, while
+//! the unmargined optimum fails a measurable fraction of die.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use minpower_models::Design;
+
+use crate::problem::Problem;
+
+/// Result of a timing-yield Monte Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldResult {
+    /// Fraction of samples meeting the cycle time, in `[0, 1]`.
+    pub timing_yield: f64,
+    /// Mean critical delay over the samples, seconds.
+    pub mean_delay: f64,
+    /// Worst sampled critical delay, seconds.
+    pub worst_delay: f64,
+    /// Mean total energy over the samples (leaky devices leak more),
+    /// joules.
+    pub mean_energy: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Samples per-gate thresholds as `N(vt_i, (sigma_rel·vt_i)²)`, clamped
+/// to stay positive, and evaluates `design`'s timing and energy for each
+/// sample.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or `sigma_rel` is negative.
+///
+/// # Example
+///
+/// ```
+/// use minpower_core::{yield_mc, Optimizer, Problem};
+/// use minpower_device::Technology;
+/// use minpower_models::CircuitModel;
+/// # use minpower_netlist::{GateKind, NetlistBuilder};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut b = NetlistBuilder::new("t");
+/// # b.input("a")?;
+/// # b.gate("x", GateKind::Nand, &["a", "a"])?;
+/// # b.gate("y", GateKind::Nor, &["x", "a"])?;
+/// # b.output("y")?;
+/// # let n = b.finish()?;
+/// let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+/// let problem = Problem::new(model, 200.0e6);
+/// let r = Optimizer::new(&problem).run()?;
+/// let y = yield_mc::timing_yield(&problem, &r.design, 0.05, 200, 7);
+/// assert!(y.timing_yield >= 0.0 && y.timing_yield <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn timing_yield(
+    problem: &Problem,
+    design: &Design,
+    sigma_rel: f64,
+    samples: usize,
+    seed: u64,
+) -> YieldResult {
+    assert!(samples > 0, "need at least one sample");
+    assert!(sigma_rel >= 0.0, "sigma must be non-negative");
+    let model = problem.model();
+    let tc = problem.effective_cycle_time();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pass = 0usize;
+    let mut sum_delay = 0.0;
+    let mut worst: f64 = 0.0;
+    let mut sum_energy = 0.0;
+    let mut sample = design.clone();
+    for _ in 0..samples {
+        for (i, &vt) in design.vt.iter().enumerate() {
+            // Box-Muller normal from two uniforms.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
+        }
+        let eval = model.evaluate(&sample, problem.fc());
+        if eval.critical_delay <= tc {
+            pass += 1;
+        }
+        sum_delay += eval.critical_delay;
+        worst = worst.max(eval.critical_delay);
+        sum_energy += eval.energy.total();
+    }
+    YieldResult {
+        timing_yield: pass as f64 / samples as f64,
+        mean_delay: sum_delay / samples as f64,
+        worst_delay: worst,
+        mean_energy: sum_energy / samples as f64,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Optimizer;
+    use crate::variation;
+    use minpower_device::Technology;
+    use minpower_models::CircuitModel;
+    use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
+
+    fn netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("c").unwrap();
+        b.gate("u", GateKind::Nand, &["a", "c"]).unwrap();
+        b.gate("v", GateKind::Nor, &["u", "c"]).unwrap();
+        b.gate("w", GateKind::Nand, &["u", "v"]).unwrap();
+        b.gate("y", GateKind::Not, &["w"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn problem() -> Problem {
+        let model =
+            CircuitModel::with_uniform_activity(&netlist(), Technology::dac97(), 0.5, 0.3);
+        Problem::new(model, 200.0e6)
+    }
+
+    #[test]
+    fn zero_sigma_yields_unity_for_feasible_designs() {
+        let p = problem();
+        let r = Optimizer::new(&p).run().unwrap();
+        let y = timing_yield(&p, &r.design, 0.0, 50, 1);
+        assert_eq!(y.timing_yield, 1.0);
+        assert!((y.worst_delay - r.critical_delay).abs() < 1e-15);
+    }
+
+    #[test]
+    fn yield_degrades_with_sigma() {
+        let p = problem();
+        let r = Optimizer::new(&p).run().unwrap();
+        let tight = timing_yield(&p, &r.design, 0.02, 300, 2);
+        let loose = timing_yield(&p, &r.design, 0.25, 300, 2);
+        assert!(tight.timing_yield >= loose.timing_yield);
+        assert!(loose.worst_delay > tight.worst_delay);
+    }
+
+    #[test]
+    fn margined_design_has_higher_yield_than_unmargined() {
+        let p = problem();
+        let sigma = 0.10;
+        let plain = Optimizer::new(&p).run().unwrap();
+        let margined = variation::optimize_with_tolerance(&p, 3.0 * sigma).unwrap();
+        let y_plain = timing_yield(&p, &plain.design, sigma, 400, 3);
+        let y_margined = timing_yield(&p, &margined.design, sigma, 400, 3);
+        assert!(
+            y_margined.timing_yield >= y_plain.timing_yield,
+            "margined {} < plain {}",
+            y_margined.timing_yield,
+            y_plain.timing_yield
+        );
+        // The 3-sigma margined design should be essentially yield-clean.
+        assert!(y_margined.timing_yield > 0.95, "{}", y_margined.timing_yield);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let p = problem();
+        let r = Optimizer::new(&p).run().unwrap();
+        let a = timing_yield(&p, &r.design, 0.1, 100, 9);
+        let b = timing_yield(&p, &r.design, 0.1, 100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let p = problem();
+        let r = Optimizer::new(&p).run().unwrap();
+        let _ = timing_yield(&p, &r.design, 0.1, 0, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Threshold adjustment through substrate / n-well reverse bias.
+//!
+//! The paper's §1 (Figure 1) proposes manufacturing the optimizer's
+//! chosen threshold **without new process steps**: eliminate the
+//! threshold-adjust implant, leaving low-`V_t` *natural* devices, then
+//! apply a static reverse bias to the p-substrate (NMOS) and the n-well
+//! (PMOS) to raise each threshold to the optimized value via the body
+//! effect:
+//!
+//! ```text
+//! V_t(V_sb) = V_t,natural + γ·(√(2φ_F + V_sb) − √(2φ_F))
+//! ```
+//!
+//! This module models that body effect and computes the bias plan — the
+//! substrate and n-well voltages — that realizes an optimization result
+//! on an existing CMOS process.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error computing a reverse-bias plan.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BiasError {
+    /// The target threshold is below the natural (zero-bias) threshold;
+    /// reverse body bias can only *raise* the threshold. (Forward bias
+    /// could lower it slightly, but the paper's static scheme is
+    /// reverse-only.)
+    BelowNatural {
+        /// Requested threshold, volts.
+        target: f64,
+        /// The device's natural threshold, volts.
+        natural: f64,
+    },
+    /// The required reverse bias exceeds the junction-safe limit.
+    ExceedsLimit {
+        /// Required bias, volts.
+        required: f64,
+        /// The configured maximum, volts.
+        limit: f64,
+    },
+}
+
+impl fmt::Display for BiasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BiasError::BelowNatural { target, natural } => write!(
+                f,
+                "target threshold {target:.3} V below the natural threshold {natural:.3} V"
+            ),
+            BiasError::ExceedsLimit { required, limit } => write!(
+                f,
+                "required reverse bias {required:.2} V exceeds the {limit:.2} V junction limit"
+            ),
+        }
+    }
+}
+
+impl Error for BiasError {}
+
+/// Body-effect model of one device polarity.
+///
+/// # Example
+///
+/// ```
+/// use minpower_device::BodyEffect;
+/// let nmos = BodyEffect::natural_nmos();
+/// // Reverse bias raises the threshold...
+/// assert!(nmos.vt_at(1.0) > nmos.vt_at(0.0));
+/// // ...and the inverse recovers the bias for a target threshold.
+/// let bias = nmos.bias_for(0.25).unwrap();
+/// assert!((nmos.vt_at(bias) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyEffect {
+    /// Natural (zero-bias) threshold magnitude, volts.
+    pub vt_natural: f64,
+    /// Body-effect coefficient γ, √V.
+    pub gamma: f64,
+    /// Surface potential `2φ_F`, volts.
+    pub phi_2f: f64,
+    /// Maximum junction-safe reverse bias, volts.
+    pub max_bias: f64,
+}
+
+impl BodyEffect {
+    /// A natural (implant-free) NMOS device in the `dac97` technology:
+    /// ~100 mV zero-bias threshold.
+    pub fn natural_nmos() -> Self {
+        BodyEffect {
+            vt_natural: 0.10,
+            gamma: 0.50,
+            phi_2f: 0.70,
+            max_bias: 5.0,
+        }
+    }
+
+    /// A natural PMOS device (threshold magnitude; bias is applied to the
+    /// n-well above `V_dd`).
+    pub fn natural_pmos() -> Self {
+        BodyEffect {
+            vt_natural: 0.12,
+            gamma: 0.45,
+            phi_2f: 0.70,
+            max_bias: 5.0,
+        }
+    }
+
+    /// Threshold magnitude at reverse body bias `v_sb ≥ 0` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_sb` is negative (forward bias is outside the model).
+    pub fn vt_at(&self, v_sb: f64) -> f64 {
+        assert!(v_sb >= 0.0, "reverse bias must be non-negative");
+        self.vt_natural + self.gamma * ((self.phi_2f + v_sb).sqrt() - self.phi_2f.sqrt())
+    }
+
+    /// Reverse bias (volts) required to realize `vt_target`.
+    ///
+    /// # Errors
+    ///
+    /// [`BiasError::BelowNatural`] if the target is below the natural
+    /// threshold, [`BiasError::ExceedsLimit`] if the junction-safe limit
+    /// would be exceeded.
+    pub fn bias_for(&self, vt_target: f64) -> Result<f64, BiasError> {
+        if vt_target < self.vt_natural - 1e-12 {
+            return Err(BiasError::BelowNatural {
+                target: vt_target,
+                natural: self.vt_natural,
+            });
+        }
+        let delta = (vt_target - self.vt_natural).max(0.0);
+        let root = delta / self.gamma + self.phi_2f.sqrt();
+        let bias = root * root - self.phi_2f;
+        if bias > self.max_bias {
+            return Err(BiasError::ExceedsLimit {
+                required: bias,
+                limit: self.max_bias,
+            });
+        }
+        Ok(bias.max(0.0))
+    }
+
+    /// Largest threshold reachable within the junction-safe bias limit.
+    pub fn max_vt(&self) -> f64 {
+        self.vt_at(self.max_bias)
+    }
+}
+
+/// The static rail plan of Figure 1: substrate and n-well voltages that
+/// realize one optimized threshold pair on natural devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasPlan {
+    /// The realized threshold magnitude, volts.
+    pub vt: f64,
+    /// p-substrate voltage (≤ 0: reverse bias below ground), volts.
+    pub v_substrate: f64,
+    /// n-well voltage (≥ `V_dd`: reverse bias above the supply), volts.
+    pub v_nwell: f64,
+}
+
+impl BiasPlan {
+    /// Computes the plan realizing threshold `vt` at supply `vdd` on the
+    /// given natural devices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BiasError`] from either polarity.
+    pub fn for_threshold(
+        vt: f64,
+        vdd: f64,
+        nmos: &BodyEffect,
+        pmos: &BodyEffect,
+    ) -> Result<Self, BiasError> {
+        let bias_n = nmos.bias_for(vt)?;
+        let bias_p = pmos.bias_for(vt)?;
+        Ok(BiasPlan {
+            vt,
+            v_substrate: -bias_n,
+            v_nwell: vdd + bias_p,
+        })
+    }
+}
+
+impl fmt::Display for BiasPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Vt = {:.0} mV: V_substrate = {:.2} V, V_nwell = {:.2} V",
+            self.vt * 1e3,
+            self.v_substrate,
+            self.v_nwell
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bias_gives_natural_threshold() {
+        let n = BodyEffect::natural_nmos();
+        assert!((n.vt_at(0.0) - n.vt_natural).abs() < 1e-15);
+    }
+
+    #[test]
+    fn threshold_rises_sublinearly_with_bias() {
+        let n = BodyEffect::natural_nmos();
+        let d1 = n.vt_at(1.0) - n.vt_at(0.0);
+        let d2 = n.vt_at(2.0) - n.vt_at(1.0);
+        assert!(d1 > d2, "body effect must saturate: {d1} vs {d2}");
+        assert!(d1 > 0.0 && d2 > 0.0);
+    }
+
+    #[test]
+    fn bias_for_round_trips() {
+        let n = BodyEffect::natural_nmos();
+        for vt in [0.10, 0.15, 0.20, 0.30, 0.45] {
+            let b = n.bias_for(vt).unwrap();
+            assert!((n.vt_at(b) - vt).abs() < 1e-12, "vt = {vt}");
+        }
+    }
+
+    #[test]
+    fn optimizer_range_is_realizable() {
+        // The joint optimizer returns 150-350 mV thresholds; all must be
+        // reachable with small (sub-2 V) static biases.
+        let n = BodyEffect::natural_nmos();
+        let p = BodyEffect::natural_pmos();
+        for vt in [0.15, 0.20, 0.25, 0.30, 0.35] {
+            let bn = n.bias_for(vt).unwrap();
+            let bp = p.bias_for(vt).unwrap();
+            assert!(bn < 2.0, "vt {vt}: nmos bias {bn}");
+            assert!(bp < 2.0, "vt {vt}: pmos bias {bp}");
+        }
+    }
+
+    #[test]
+    fn below_natural_is_rejected() {
+        let n = BodyEffect::natural_nmos();
+        assert!(matches!(
+            n.bias_for(0.05),
+            Err(BiasError::BelowNatural { .. })
+        ));
+    }
+
+    #[test]
+    fn excessive_target_is_rejected() {
+        let n = BodyEffect::natural_nmos();
+        let too_high = n.max_vt() + 0.05;
+        assert!(matches!(
+            n.bias_for(too_high),
+            Err(BiasError::ExceedsLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_places_rails_outside_the_supply() {
+        let plan = BiasPlan::for_threshold(
+            0.23,
+            0.9,
+            &BodyEffect::natural_nmos(),
+            &BodyEffect::natural_pmos(),
+        )
+        .unwrap();
+        assert!(plan.v_substrate < 0.0);
+        assert!(plan.v_nwell > 0.9);
+        assert!(!plan.to_string().is_empty());
+    }
+
+    #[test]
+    fn errors_display() {
+        let n = BodyEffect::natural_nmos();
+        assert!(!n.bias_for(0.01).unwrap_err().to_string().is_empty());
+    }
+}

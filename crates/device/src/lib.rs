@@ -1,0 +1,59 @@
+//! Device technology and transregional MOSFET models.
+//!
+//! The DAC'97 optimizer treats the *device design* (threshold voltage) as a
+//! free variable alongside the circuit design (supply voltage, widths), so
+//! the device model has to stay accurate across an unusually wide operating
+//! range: from strong superthreshold conduction (`Vdd = 3.3 V`,
+//! `Vt = 0.7 V`) down to subthreshold switching (`Vdd < Vt`). The paper
+//! calls this a *transregional* model (Appendix A.2), built on the
+//! Sakurai–Newton alpha-power law extended into the subthreshold region.
+//!
+//! This crate provides:
+//!
+//! * [`Technology`] — the process description (drive coefficient, velocity
+//!   saturation index α, subthreshold slope, leakage, capacitances per unit
+//!   feature-size width, interconnect R/C, search ranges), with the
+//!   calibrated [`Technology::dac97`] instance used by all experiments;
+//! * [`Mosfet`] — per-device current evaluation `I_D(V_gs, V_ds)` for the
+//!   transient simulator, plus the saturation drive and off-current used by
+//!   the closed-form delay/energy models.
+//!
+//! # Example
+//!
+//! ```
+//! use minpower_device::Technology;
+//!
+//! let tech = Technology::dac97();
+//! // Superthreshold drive grows with overdrive...
+//! let strong = tech.drive_current(1.0, 3.3, 0.7);
+//! let weak = tech.drive_current(1.0, 1.0, 0.7);
+//! assert!(strong > weak);
+//! // ...and leakage explodes as the threshold drops.
+//! assert!(tech.off_current(1.0, 0.2) > 1e3 * tech.off_current(1.0, 0.7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod body_bias;
+mod mosfet;
+mod tech;
+
+pub use body_bias::{BiasError, BiasPlan, BodyEffect};
+pub use mosfet::{Mosfet, MosfetPolarity};
+pub use tech::{Technology, TechnologyBuilder};
+
+/// Boltzmann constant over electron charge, in volts per kelvin.
+pub const KB_OVER_Q: f64 = 8.617_333e-5;
+
+/// Thermal voltage `kT/q` at the given temperature in kelvin.
+///
+/// # Example
+///
+/// ```
+/// let vt = minpower_device::thermal_voltage(300.0);
+/// assert!((vt - 0.02585).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temperature_k: f64) -> f64 {
+    KB_OVER_Q * temperature_k
+}

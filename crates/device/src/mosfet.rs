@@ -1,0 +1,194 @@
+//! Full `I_D(V_gs, V_ds)` device evaluation for transient simulation.
+
+use crate::tech::Technology;
+
+/// Channel polarity of a [`Mosfet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosfetPolarity {
+    /// N-channel device (pull-down network).
+    Nmos,
+    /// P-channel device (pull-up network).
+    Pmos,
+}
+
+/// A single MOSFET instance for the numerical transient simulator.
+///
+/// The model is the alpha-power law (Sakurai–Newton) with the transregional
+/// softplus overdrive from [`Technology::overdrive`], a square-law triode
+/// region below the saturation drain voltage, and the `1 − exp(−V_ds/v_T)`
+/// subthreshold drain-saturation factor. PMOS devices are handled by
+/// symmetry (voltages mirrored about the source, drive scaled by the β
+/// mobility-compensation ratio built into the width).
+///
+/// # Example
+///
+/// ```
+/// use minpower_device::{Mosfet, MosfetPolarity, Technology};
+/// let tech = Technology::dac97();
+/// let m = Mosfet::new(MosfetPolarity::Nmos, 2.0, 0.4);
+/// let sat = m.current(&tech, 2.0, 2.0);
+/// let lin = m.current(&tech, 2.0, 0.05);
+/// assert!(sat > lin && lin > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    polarity: MosfetPolarity,
+    width: f64,
+    v_t: f64,
+}
+
+impl Mosfet {
+    /// Creates a device of the given polarity, width (feature widths), and
+    /// threshold-voltage magnitude (volts, positive for both polarities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive or `v_t` is negative.
+    pub fn new(polarity: MosfetPolarity, width: f64, v_t: f64) -> Self {
+        assert!(width > 0.0, "device width must be positive");
+        assert!(v_t >= 0.0, "threshold magnitude must be non-negative");
+        Mosfet {
+            polarity,
+            width,
+            v_t,
+        }
+    }
+
+    /// The device polarity.
+    pub fn polarity(&self) -> MosfetPolarity {
+        self.polarity
+    }
+
+    /// The device width in feature widths.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The threshold-voltage magnitude in volts.
+    pub fn v_t(&self) -> f64 {
+        self.v_t
+    }
+
+    /// Drain current in amperes, positive when the device conducts from
+    /// drain to source (discharging its drain node for NMOS, charging it
+    /// for PMOS).
+    ///
+    /// For NMOS, `v_gs`/`v_ds` are gate/drain voltages relative to the
+    /// source; for PMOS pass the magnitudes `V_sg`/`V_sd` (source relative
+    /// to gate/drain) — the polarity only selects which network the device
+    /// belongs to, the electrical model is symmetric.
+    pub fn current(&self, tech: &Technology, v_gs: f64, v_ds: f64) -> f64 {
+        if v_ds <= 0.0 {
+            return 0.0;
+        }
+        let i_sat = tech.drive_current(self.width, v_gs, self.v_t);
+        let od = tech.overdrive(v_gs, self.v_t);
+        // Saturation drain voltage from the alpha-power law: scales as
+        // overdrive^(alpha/2), anchored to equal the overdrive itself at
+        // 1 V of overdrive (the classical long-channel pinch-off limit).
+        let v_dsat = od.powf(tech.alpha / 2.0).max(1e-9);
+        let v_th = tech.v_thermal();
+        // Drain factor: the triode parabola governs strong inversion, the
+        // exponential factor governs subthreshold drain saturation; both
+        // rise monotonically from 0 at v_ds = 0 to 1 in saturation.
+        let x = (v_ds / v_dsat).min(1.0);
+        let triode = (x * (2.0 - x)).min(1.0);
+        let sub = 1.0 - (-v_ds / v_th).exp();
+        // The off-state floor keeps the transient simulator's leakage
+        // consistent with the closed-form `Technology::off_current` the
+        // energy model integrates (the channel term alone under-predicts
+        // deep-subthreshold conduction because its swing is steepened by
+        // the alpha exponent).
+        (i_sat * triode * sub).max(self.leakage(tech, v_ds))
+    }
+
+    /// Leakage current in amperes with the gate off (`v_gs = 0`) and the
+    /// full `v_ds` across the device.
+    pub fn leakage(&self, tech: &Technology, v_ds: f64) -> f64 {
+        if v_ds <= 0.0 {
+            return 0.0;
+        }
+        tech.off_current(self.width, self.v_t) * (1.0 - (-v_ds / tech.v_thermal()).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::dac97()
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let m = Mosfet::new(MosfetPolarity::Nmos, 1.0, 0.5);
+        assert_eq!(m.current(&tech(), 3.3, 0.0), 0.0);
+        assert_eq!(m.current(&tech(), 3.3, -0.5), 0.0);
+    }
+
+    #[test]
+    fn saturation_current_matches_drive_law() {
+        let t = tech();
+        let m = Mosfet::new(MosfetPolarity::Nmos, 3.0, 0.5);
+        let i = m.current(&t, 3.3, 3.3);
+        let expect = t.drive_current(3.0, 3.3, 0.5);
+        assert!((i - expect).abs() / expect < 1e-6, "i = {i}, expect = {expect}");
+    }
+
+    #[test]
+    fn current_monotone_in_vds_up_to_saturation() {
+        let t = tech();
+        let m = Mosfet::new(MosfetPolarity::Nmos, 1.0, 0.5);
+        let mut prev = 0.0;
+        for step in 1..=33 {
+            let v_ds = step as f64 * 0.1;
+            let i = m.current(&t, 3.3, v_ds);
+            assert!(i >= prev - 1e-15, "non-monotone at v_ds = {v_ds}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn current_monotone_in_vgs() {
+        let t = tech();
+        let m = Mosfet::new(MosfetPolarity::Nmos, 1.0, 0.5);
+        let lo = m.current(&t, 1.0, 2.0);
+        let hi = m.current(&t, 2.0, 2.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn subthreshold_conduction_is_nonzero() {
+        let t = tech();
+        let m = Mosfet::new(MosfetPolarity::Nmos, 1.0, 0.5);
+        // Gate 200 mV below threshold still conducts (transregional).
+        let i = m.current(&t, 0.3, 0.3);
+        assert!(i > 0.0);
+        assert!(i < m.current(&t, 0.7, 0.3));
+    }
+
+    #[test]
+    fn leakage_saturates_with_vds() {
+        let t = tech();
+        let m = Mosfet::new(MosfetPolarity::Nmos, 1.0, 0.4);
+        let near = m.leakage(&t, 3.0 * t.v_thermal());
+        let far = m.leakage(&t, 3.3);
+        assert!(far > near);
+        assert!((far - t.off_current(1.0, 0.4)).abs() / far < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = Mosfet::new(MosfetPolarity::Pmos, 0.0, 0.4);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = Mosfet::new(MosfetPolarity::Pmos, 2.5, 0.45);
+        assert_eq!(m.polarity(), MosfetPolarity::Pmos);
+        assert_eq!(m.width(), 2.5);
+        assert_eq!(m.v_t(), 0.45);
+    }
+}

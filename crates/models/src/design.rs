@@ -1,0 +1,129 @@
+//! The design point: the variables the optimizer controls.
+
+use minpower_netlist::{GateId, Netlist};
+
+/// One candidate solution of the optimization problem: a global supply
+/// voltage, a threshold voltage per gate, and a channel width per gate.
+///
+/// The paper's practical configuration uses a single `V_dd` and a single
+/// `V_ts` for the whole module (`n_v = 1`); the per-gate threshold vector
+/// keeps the representation general enough for the multi-threshold variant
+/// (`n_v > 1`) without a second type.
+///
+/// Widths are expressed in minimum feature widths (`1 ≤ w ≤ 100` in the
+/// paper's search range). Entries at primary-input indices are unused but
+/// kept so every vector indexes directly by [`GateId::index`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// Global supply voltage, volts.
+    pub vdd: f64,
+    /// Threshold voltage per gate, volts.
+    pub vt: Vec<f64>,
+    /// Channel width per gate, in feature widths.
+    pub width: Vec<f64>,
+}
+
+impl Design {
+    /// Creates a design with the same threshold and width for every gate.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use minpower_netlist::{GateKind, NetlistBuilder};
+    /// # use minpower_models::Design;
+    /// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+    /// # let mut b = NetlistBuilder::new("t");
+    /// # b.input("a")?;
+    /// # b.gate("y", GateKind::Not, &["a"])?;
+    /// # b.output("y")?;
+    /// # let n = b.finish()?;
+    /// let d = Design::uniform(&n, 1.2, 0.25, 3.0);
+    /// assert_eq!(d.vdd, 1.2);
+    /// assert_eq!(d.vt.len(), n.gate_count());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn uniform(netlist: &Netlist, vdd: f64, vt: f64, width: f64) -> Self {
+        let n = netlist.gate_count();
+        Design {
+            vdd,
+            vt: vec![vt; n],
+            width: vec![width; n],
+        }
+    }
+
+    /// Threshold voltage of gate `id`.
+    pub fn vt_of(&self, id: GateId) -> f64 {
+        self.vt[id.index()]
+    }
+
+    /// Width of gate `id` in feature widths.
+    pub fn width_of(&self, id: GateId) -> f64 {
+        self.width[id.index()]
+    }
+
+    /// Sets every gate's threshold to `vt` (the single-`V_ts` projection
+    /// used between outer search steps).
+    pub fn set_uniform_vt(&mut self, vt: f64) {
+        for v in &mut self.vt {
+            *v = vt;
+        }
+    }
+
+    /// Sets every gate's width to `w`.
+    pub fn set_uniform_width(&mut self, w: f64) {
+        for v in &mut self.width {
+            *v = w;
+        }
+    }
+
+    /// Total active device width (sum over gates, feature widths) — a
+    /// proxy for layout area used by reports and ablations.
+    pub fn total_width(&self) -> f64 {
+        self.width.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::{GateKind, NetlistBuilder};
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn uniform_fills_every_gate() {
+        let n = tiny();
+        let d = Design::uniform(&n, 2.0, 0.4, 5.0);
+        assert_eq!(d.vt, vec![0.4, 0.4]);
+        assert_eq!(d.width, vec![5.0, 5.0]);
+        assert_eq!(d.total_width(), 10.0);
+    }
+
+    #[test]
+    fn setters_apply_globally() {
+        let n = tiny();
+        let mut d = Design::uniform(&n, 2.0, 0.4, 5.0);
+        d.set_uniform_vt(0.2);
+        d.set_uniform_width(7.0);
+        assert!(d.vt.iter().all(|&v| v == 0.2));
+        assert!(d.width.iter().all(|&w| w == 7.0));
+    }
+
+    #[test]
+    fn accessors_index_by_gate_id() {
+        let n = tiny();
+        let y = n.find("y").unwrap();
+        let mut d = Design::uniform(&n, 2.0, 0.4, 5.0);
+        d.vt[y.index()] = 0.33;
+        d.width[y.index()] = 9.0;
+        assert_eq!(d.vt_of(y), 0.33);
+        assert_eq!(d.width_of(y), 9.0);
+    }
+}

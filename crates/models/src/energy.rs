@@ -1,0 +1,108 @@
+//! Energy bookkeeping.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Static and dynamic energy components, in joules per clock cycle.
+///
+/// The paper's objective is the sum `E_s + E_d` over all gates; at the
+/// optimum the two components come out approximately equal (§3), which the
+/// experiments check via [`EnergyBreakdown::balance`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Leakage (static) energy per cycle, joules — Eq. (A1).
+    pub static_: f64,
+    /// Switching (dynamic) energy per cycle, joules — Eq. (A2).
+    pub dynamic: f64,
+}
+
+impl EnergyBreakdown {
+    /// Creates a breakdown from its components.
+    pub fn new(static_: f64, dynamic: f64) -> Self {
+        EnergyBreakdown { static_, dynamic }
+    }
+
+    /// Total energy per cycle, joules.
+    pub fn total(&self) -> f64 {
+        self.static_ + self.dynamic
+    }
+
+    /// Average power at clock frequency `fc` hertz, watts.
+    pub fn power(&self, fc: f64) -> f64 {
+        self.total() * fc
+    }
+
+    /// Static-to-dynamic ratio; `1.0` means perfectly balanced components
+    /// (the signature of the paper's optimum). Returns infinity when the
+    /// dynamic component is zero.
+    pub fn balance(&self) -> f64 {
+        if self.dynamic == 0.0 {
+            f64::INFINITY
+        } else {
+            self.static_ / self.dynamic
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_: self.static_ + rhs.static_,
+            dynamic: self.dynamic + rhs.dynamic,
+        }
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> Self {
+        iter.fold(EnergyBreakdown::default(), Add::add)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static {:.3e} J + dynamic {:.3e} J = {:.3e} J",
+            self.static_,
+            self.dynamic,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_power() {
+        let e = EnergyBreakdown::new(2e-12, 3e-12);
+        assert!((e.total() - 5e-12).abs() < 1e-24);
+        assert!((e.power(1e9) - 5e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn balance_signals_equal_components() {
+        assert!((EnergyBreakdown::new(1.0, 1.0).balance() - 1.0).abs() < 1e-12);
+        assert!(EnergyBreakdown::new(1.0, 0.0).balance().is_infinite());
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let parts = [
+            EnergyBreakdown::new(1.0, 2.0),
+            EnergyBreakdown::new(0.5, 0.25),
+        ];
+        let s: EnergyBreakdown = parts.iter().copied().sum();
+        assert_eq!(s, EnergyBreakdown::new(1.5, 2.25));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!EnergyBreakdown::default().to_string().is_empty());
+    }
+}

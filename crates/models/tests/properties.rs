@@ -1,0 +1,125 @@
+//! Property tests for the monotonicity invariants that Procedure 2's
+//! binary searches rely on (paper §4.3: "power consumption and delay are
+//! monotonic functions of V_dd, V_ts and W_i, individually").
+
+use minpower_device::Technology;
+use minpower_models::{CircuitModel, Design};
+use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+fn test_netlist() -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    b.input("a").unwrap();
+    b.input("b").unwrap();
+    b.input("c").unwrap();
+    b.gate("n1", GateKind::Nand, &["a", "b"]).unwrap();
+    b.gate("n2", GateKind::Nor, &["b", "c"]).unwrap();
+    b.gate("n3", GateKind::And, &["n1", "n2"]).unwrap();
+    b.gate("n4", GateKind::Or, &["n1", "c"]).unwrap();
+    b.gate("y", GateKind::Nand, &["n3", "n4"]).unwrap();
+    b.output("y").unwrap();
+    b.finish().unwrap()
+}
+
+fn model() -> (Netlist, CircuitModel) {
+    let n = test_netlist();
+    let m = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+    (n, m)
+}
+
+const FC: f64 = 3.0e8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn critical_delay_decreases_with_vdd(
+        vdd in 0.6f64..3.0,
+        vt in 0.15f64..0.5,
+        w in 1.0f64..50.0,
+    ) {
+        let (n, m) = model();
+        let lo = m.evaluate(&Design::uniform(&n, vdd, vt, w), FC).critical_delay;
+        let hi = m.evaluate(&Design::uniform(&n, vdd + 0.3, vt, w), FC).critical_delay;
+        prop_assert!(hi <= lo * (1.0 + 1e-9), "delay rose with vdd: {lo} -> {hi}");
+    }
+
+    #[test]
+    fn critical_delay_increases_with_vt(
+        vdd in 0.8f64..3.0,
+        vt in 0.1f64..0.5,
+        w in 1.0f64..50.0,
+    ) {
+        let (n, m) = model();
+        let lo = m.evaluate(&Design::uniform(&n, vdd, vt, w), FC).critical_delay;
+        let hi = m.evaluate(&Design::uniform(&n, vdd, vt + 0.15, w), FC).critical_delay;
+        prop_assert!(hi >= lo * (1.0 - 1e-9), "delay fell with vt: {lo} -> {hi}");
+    }
+
+    #[test]
+    fn static_energy_decreases_with_vt(
+        vdd in 0.5f64..3.3,
+        vt in 0.1f64..0.55,
+        w in 1.0f64..100.0,
+    ) {
+        let (n, m) = model();
+        let lo = m.total_energy(&Design::uniform(&n, vdd, vt, w), FC).static_;
+        let hi = m.total_energy(&Design::uniform(&n, vdd, vt + 0.1, w), FC).static_;
+        prop_assert!(hi <= lo, "leakage rose with vt: {lo} -> {hi}");
+    }
+
+    #[test]
+    fn dynamic_energy_increases_with_vdd_and_width(
+        vdd in 0.5f64..3.0,
+        vt in 0.1f64..0.6,
+        w in 1.0f64..80.0,
+    ) {
+        let (n, m) = model();
+        let base = m.total_energy(&Design::uniform(&n, vdd, vt, w), FC).dynamic;
+        let more_v = m.total_energy(&Design::uniform(&n, vdd + 0.3, vt, w), FC).dynamic;
+        let more_w = m.total_energy(&Design::uniform(&n, vdd, vt, w + 10.0), FC).dynamic;
+        prop_assert!(more_v > base);
+        prop_assert!(more_w > base);
+    }
+
+    #[test]
+    fn static_energy_scales_linearly_with_width(
+        vdd in 0.5f64..3.0,
+        vt in 0.1f64..0.6,
+        w in 1.0f64..50.0,
+    ) {
+        let (n, m) = model();
+        let e1 = m.total_energy(&Design::uniform(&n, vdd, vt, w), FC).static_;
+        let e2 = m.total_energy(&Design::uniform(&n, vdd, vt, 2.0 * w), FC).static_;
+        prop_assert!((e2 / e1 - 2.0).abs() < 1e-9, "ratio = {}", e2 / e1);
+    }
+
+    #[test]
+    fn arrivals_are_consistent_with_delays(
+        vdd in 0.8f64..3.3,
+        vt in 0.1f64..0.5,
+        w in 1.0f64..50.0,
+    ) {
+        let (n, m) = model();
+        let d = Design::uniform(&n, vdd, vt, w);
+        let eval = m.evaluate(&d, FC);
+        // Every gate's arrival equals max fanin arrival plus its delay.
+        for &id in n.topological_order() {
+            let g = n.gate(id);
+            let fan: f64 = g
+                .fanin()
+                .iter()
+                .map(|&f| eval.arrival[f.index()])
+                .fold(0.0, f64::max);
+            let expect = fan + eval.gates[id.index()].delay;
+            prop_assert!((eval.arrival[id.index()] - expect).abs() < 1e-18);
+        }
+        // Critical delay is achieved by some output.
+        let max_out = n
+            .outputs()
+            .iter()
+            .map(|&o| eval.arrival[o.index()])
+            .fold(0.0, f64::max);
+        prop_assert!((eval.critical_delay - max_out).abs() < 1e-18);
+    }
+}

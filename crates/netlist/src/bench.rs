@@ -1,0 +1,378 @@
+//! ISCAS-89 `.bench` format parsing and writing.
+//!
+//! The `.bench` format is the lingua franca of the ISCAS-85/89 benchmark
+//! suites the paper evaluates on:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G14 = NOT(G0)
+//! G9 = NAND(G16, G15)
+//! ```
+//!
+//! Sequential elements (`DFF`) are cut: the flip-flop output becomes a
+//! pseudo primary input, and its data pin a pseudo primary output, yielding
+//! the combinational core analyzed under a single-cycle constraint — the
+//! standard treatment when running combinational optimization on ISCAS-89.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::graph::Netlist;
+
+/// Parses `.bench` text into a [`Netlist`] named `name`.
+///
+/// Forward references (a gate using a net defined later in the file) are
+/// allowed, matching the format in the wild.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines, plus any structural
+/// error ([`NetlistError::Cycle`], [`NetlistError::UndefinedNet`], ...)
+/// detected when assembling the network.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+/// let n = minpower_netlist::bench::parse("tiny", src)?;
+/// assert_eq!(n.logic_gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
+    enum Line {
+        Input(String),
+        Output(String),
+        Gate {
+            out: String,
+            kind: GateKind,
+            fanin: Vec<String>,
+        },
+        Dff {
+            q: String,
+            d: String,
+        },
+    }
+
+    let mut lines = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            lines.push(Line::Input(parse_single_arg(rest, lineno)?));
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            lines.push(Line::Output(parse_single_arg(rest, lineno)?));
+        } else if let Some(eq) = line.find('=') {
+            let out = line[..eq].trim().to_string();
+            if out.is_empty() {
+                return Err(parse_err(lineno, "missing output net before `=`"));
+            }
+            let rhs = line[eq + 1..].trim();
+            let (kw, args) = parse_call(rhs, lineno)?;
+            let kind = match kw.to_ascii_uppercase().as_str() {
+                "AND" => Some(GateKind::And),
+                "OR" => Some(GateKind::Or),
+                "NAND" => Some(GateKind::Nand),
+                "NOR" => Some(GateKind::Nor),
+                "NOT" | "INV" => Some(GateKind::Not),
+                "BUF" | "BUFF" => Some(GateKind::Buf),
+                "XOR" => Some(GateKind::Xor),
+                "XNOR" => Some(GateKind::Xnor),
+                "DFF" => None,
+                other => {
+                    return Err(parse_err(lineno, format!("unknown gate kind `{other}`")));
+                }
+            };
+            match kind {
+                Some(kind) => lines.push(Line::Gate {
+                    out,
+                    kind,
+                    fanin: args,
+                }),
+                None => {
+                    if args.len() != 1 {
+                        return Err(parse_err(lineno, "DFF takes exactly one data input"));
+                    }
+                    lines.push(Line::Dff {
+                        q: out,
+                        d: args.into_iter().next().expect("checked len"),
+                    });
+                }
+            }
+        } else {
+            return Err(parse_err(lineno, format!("unrecognized line `{line}`")));
+        }
+    }
+
+    // Assemble: inputs and DFF outputs first, then logic gates in
+    // dependency order (the format allows forward references, so iterate
+    // until a fixed point).
+    let mut builder = NetlistBuilder::new(name);
+    let mut outputs: Vec<String> = Vec::new();
+    let mut dff_data: Vec<String> = Vec::new();
+    let mut pending: Vec<(String, GateKind, Vec<String>)> = Vec::new();
+    let mut dff_count = 0usize;
+    for line in lines {
+        match line {
+            Line::Input(net) => {
+                builder.input(&net)?;
+            }
+            Line::Output(net) => outputs.push(net),
+            Line::Dff { q, d } => {
+                builder.input(&q)?;
+                dff_data.push(d);
+                dff_count += 1;
+            }
+            Line::Gate { out, kind, fanin } => pending.push((out, kind, fanin)),
+        }
+    }
+    builder.record_flip_flops(dff_count);
+
+    let mut remaining = pending;
+    loop {
+        let before = remaining.len();
+        let mut next = Vec::new();
+        for (out, kind, fanin) in remaining {
+            if fanin.iter().all(|f| builder.find(f).is_some()) {
+                let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+                builder.gate(&out, kind, &refs)?;
+            } else {
+                next.push((out, kind, fanin));
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        if next.len() == before {
+            // No progress: either an undefined net or a cycle. Report the
+            // first unresolved fanin as undefined for a precise message.
+            let (out, _, fanin) = &next[0];
+            let missing = fanin
+                .iter()
+                .find(|f| builder.find(f).is_none())
+                .cloned()
+                .unwrap_or_default();
+            let is_cycle = next.iter().any(|(o, _, _)| *o == missing)
+                || next.iter().any(|(o, _, f)| f.contains(o));
+            if is_cycle && next.iter().any(|(o, _, _)| *o == missing) {
+                return Err(NetlistError::Cycle { gate: missing });
+            }
+            return Err(NetlistError::UndefinedNet {
+                gate: out.clone(),
+                net: missing,
+            });
+        }
+        remaining = next;
+    }
+
+    for net in outputs {
+        builder.output(&net)?;
+    }
+    for d in dff_data {
+        if builder.find(&d).is_none() {
+            return Err(NetlistError::UndefinedNet {
+                gate: "DFF".to_string(),
+                net: d,
+            });
+        }
+        builder.output(&d)?;
+    }
+    builder.finish()
+}
+
+/// Serializes a netlist back to `.bench` text.
+///
+/// Flip-flops cut during parsing are not reconstructed (their pseudo
+/// inputs/outputs are written as `INPUT`/`OUTPUT`), so `write` followed by
+/// [`parse`] reproduces the same combinational core.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let n = minpower_netlist::bench::parse("t", src)?;
+/// let round = minpower_netlist::bench::parse("t", &minpower_netlist::bench::write(&n))?;
+/// assert_eq!(round.gate_count(), n.gate_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    for &id in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.gate(id).name()));
+    }
+    for &id in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.gate(id).name()));
+    }
+    for &id in netlist.topological_order() {
+        let g = netlist.gate(id);
+        if g.kind() == GateKind::Input {
+            continue;
+        }
+        let fanin: Vec<&str> = g
+            .fanin()
+            .iter()
+            .map(|&f| netlist.gate(f).name())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            g.name(),
+            g.kind().bench_keyword(),
+            fanin.join(", ")
+        ));
+    }
+    out
+}
+
+fn strip_directive<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if upper.starts_with(kw) {
+        Some(line[kw.len()..].trim())
+    } else {
+        None
+    }
+}
+
+fn parse_single_arg(rest: &str, lineno: usize) -> Result<String, NetlistError> {
+    let rest = rest.trim();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Err(parse_err(lineno, "expected `(net)`"));
+    }
+    let inner = rest[1..rest.len() - 1].trim();
+    if inner.is_empty() || inner.contains(',') {
+        return Err(parse_err(lineno, "expected exactly one net name"));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_call(rhs: &str, lineno: usize) -> Result<(String, Vec<String>), NetlistError> {
+    let open = rhs
+        .find('(')
+        .ok_or_else(|| parse_err(lineno, "expected `KIND(...)` on right-hand side"))?;
+    if !rhs.ends_with(')') {
+        return Err(parse_err(lineno, "missing closing parenthesis"));
+    }
+    let kw = rhs[..open].trim().to_string();
+    let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if kw.is_empty() {
+        return Err(parse_err(lineno, "missing gate kind"));
+    }
+    if args.is_empty() {
+        return Err(parse_err(lineno, "gate call has no arguments"));
+    }
+    Ok((kw, args))
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "\
+# tiny sequential example
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G14 = NOT(G0)
+G10 = NOR(G14, G1)
+G17 = NAND(G5, G10)
+";
+
+    #[test]
+    fn parses_inputs_outputs_gates() {
+        let n = parse("t", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.logic_gate_count(), 1);
+    }
+
+    #[test]
+    fn dff_is_cut_into_pseudo_pi_po() {
+        let n = parse("t", S27_LIKE).unwrap();
+        // G5 (DFF output) becomes an input; G10 (its data) becomes an output.
+        assert_eq!(n.flip_flop_count(), 1);
+        assert_eq!(n.inputs().len(), 3); // G0, G1, G5
+        assert!(n.outputs().iter().any(|&o| n.gate(o).name() == "G10"));
+        assert!(n.outputs().iter().any(|&o| n.gate(o).name() == "G17"));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = NOT(a)\n";
+        let n = parse("t", src).unwrap();
+        assert_eq!(n.logic_gate_count(), 2);
+        assert_eq!(n.depth(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\n\nINPUT(a) # trailing\nOUTPUT(y)\ny = BUFF(a)\n";
+        let n = parse("t", src).unwrap();
+        assert_eq!(n.logic_gate_count(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let err = parse("t", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_input_line() {
+        let err = parse("t", "INPUT a\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_undefined_net() {
+        let err = parse("t", "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UndefinedNet { .. }));
+    }
+
+    #[test]
+    fn rejects_combinational_cycle() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, z)\nz = NOT(y)\n";
+        let err = parse("t", src).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Cycle { .. }) || matches!(err, NetlistError::UndefinedNet { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn write_parse_round_trip_preserves_structure() {
+        let n = parse("t", S27_LIKE).unwrap();
+        let text = write(&n);
+        let m = parse("t", &text).unwrap();
+        assert_eq!(m.gate_count(), n.gate_count());
+        assert_eq!(m.inputs().len(), n.inputs().len());
+        assert_eq!(m.outputs().len(), n.outputs().len());
+        assert_eq!(m.depth(), n.depth());
+    }
+
+    #[test]
+    fn dff_with_two_inputs_rejected() {
+        let err = parse("t", "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+}

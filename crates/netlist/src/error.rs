@@ -1,0 +1,111 @@
+//! Error type shared by netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building, validating, or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net name was defined twice.
+    DuplicateName(String),
+    /// A fanin refers to a net that was never defined.
+    UndefinedNet {
+        /// The gate whose fanin list contains the dangling reference.
+        gate: String,
+        /// The missing net name.
+        net: String,
+    },
+    /// A gate received a fanin count its kind cannot accept.
+    BadFaninCount {
+        /// The offending gate.
+        gate: String,
+        /// Its logic function.
+        kind: String,
+        /// The fanin count supplied.
+        got: usize,
+    },
+    /// The network contains a combinational cycle.
+    Cycle {
+        /// A gate on the detected cycle.
+        gate: String,
+    },
+    /// An output was declared for a net that does not exist.
+    UnknownOutput(String),
+    /// The netlist has no primary outputs after construction.
+    NoOutputs,
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(name) => {
+                write!(f, "net `{name}` is defined more than once")
+            }
+            NetlistError::UndefinedNet { gate, net } => {
+                write!(f, "gate `{gate}` references undefined net `{net}`")
+            }
+            NetlistError::BadFaninCount { gate, kind, got } => {
+                write!(f, "gate `{gate}` of kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::Cycle { gate } => {
+                write!(f, "combinational cycle through gate `{gate}`")
+            }
+            NetlistError::UnknownOutput(name) => {
+                write!(f, "output declared for unknown net `{name}`")
+            }
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<NetlistError> = vec![
+            NetlistError::DuplicateName("a".into()),
+            NetlistError::UndefinedNet {
+                gate: "g".into(),
+                net: "n".into(),
+            },
+            NetlistError::BadFaninCount {
+                gate: "g".into(),
+                kind: "NOT".into(),
+                got: 2,
+            },
+            NetlistError::Cycle { gate: "g".into() },
+            NetlistError::UnknownOutput("o".into()),
+            NetlistError::NoOutputs,
+            NetlistError::Parse {
+                line: 3,
+                message: "bad".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,229 @@
+//! Gate primitives: identifiers, logic functions, and the gate record.
+
+use std::fmt;
+
+/// Index of a gate within its [`Netlist`](crate::Netlist).
+///
+/// `GateId`s are dense (0..gate_count) and stable for the lifetime of the
+/// netlist; they index the per-gate vectors used throughout the workspace
+/// (widths, delays, activities, ...).
+///
+/// # Example
+///
+/// ```
+/// use minpower_netlist::GateId;
+/// let id = GateId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "g3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// Creates an identifier from a dense index.
+    pub fn new(index: usize) -> Self {
+        GateId(index as u32)
+    }
+
+    /// Dense index of this gate, usable into per-gate vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Logic function realized by a static CMOS gate.
+///
+/// The set matches what the ISCAS-89 benchmarks and the DAC'97 energy/delay
+/// models use: symmetric multi-input AND/OR/NAND/NOR plus inverter, buffer,
+/// and (two-input) XOR/XNOR. `Input` marks a primary input (or a flip-flop
+/// output cut into a pseudo input); it has no fanin and no intrinsic delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (or pseudo input from a cut flip-flop); no fanin.
+    Input,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical OR of all fanins.
+    Or,
+    /// Logical NAND of all fanins.
+    Nand,
+    /// Logical NOR of all fanins.
+    Nor,
+    /// Inverter; exactly one fanin.
+    Not,
+    /// Non-inverting buffer; exactly one fanin.
+    Buf,
+    /// Exclusive OR (realized as a compound cell).
+    Xor,
+    /// Exclusive NOR (realized as a compound cell).
+    Xnor,
+}
+
+impl GateKind {
+    /// Whether the gate logically inverts (its CMOS realization is a single
+    /// inverting stage). Non-inverting kinds are modeled as the inverting
+    /// core followed by an inverter by the delay/energy models.
+    pub fn is_inverting(self) -> bool {
+        matches!(self, GateKind::Nand | GateKind::Nor | GateKind::Not)
+    }
+
+    /// Whether this kind accepts exactly one fanin.
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// Whether this is a primary-input marker.
+    pub fn is_input(self) -> bool {
+        self == GateKind::Input
+    }
+
+    /// Number of series-connected MOSFETs in the worst-case conduction path
+    /// of the pull network for a gate with `fanin` inputs.
+    ///
+    /// NAND stacks its NMOS devices in series; NOR stacks PMOS. AND/OR are
+    /// the series core plus an output inverter (the stack depth is the
+    /// core's). XOR/XNOR use a two-high transmission structure. This is the
+    /// `f_ii` series-derating factor in the paper's Eq. (A3).
+    pub fn series_stack(self, fanin: usize) -> usize {
+        match self {
+            GateKind::Input => 0,
+            GateKind::Not | GateKind::Buf => 1,
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => fanin.max(1),
+            GateKind::Xor | GateKind::Xnor => 2,
+        }
+    }
+
+    /// Evaluates the logic function over a slice of fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty for a non-`Input` kind; `Input` kinds
+    /// always return `false` (their value comes from stimulus, not
+    /// evaluation).
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Input => false,
+            GateKind::And => inputs.iter().all(|&v| v),
+            GateKind::Or => inputs.iter().any(|&v| v),
+            GateKind::Nand => !inputs.iter().all(|&v| v),
+            GateKind::Nor => !inputs.iter().any(|&v| v),
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::Xor => inputs.iter().fold(false, |acc, &v| acc ^ v),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &v| acc ^ v),
+        }
+    }
+
+    /// The canonical `.bench` keyword for this kind.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// One gate of a [`Netlist`](crate::Netlist): its name, logic function, and
+/// fanin list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanin: Vec<GateId>,
+}
+
+impl Gate {
+    /// The gate's net name (output net).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The gate's logic function.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Identifiers of the gates driving this gate's inputs.
+    pub fn fanin(&self) -> &[GateId] {
+        &self.fanin
+    }
+
+    /// Number of inputs (`f_ii` in the paper). Zero for primary inputs.
+    pub fn fanin_count(&self) -> usize {
+        self.fanin.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_id_round_trips_index() {
+        for i in [0usize, 1, 17, 100_000] {
+            assert_eq!(GateId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(GateKind::Nor.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(!GateKind::Buf.is_inverting());
+        assert!(!GateKind::Xor.is_inverting());
+    }
+
+    #[test]
+    fn series_stack_matches_topology() {
+        assert_eq!(GateKind::Nand.series_stack(3), 3);
+        assert_eq!(GateKind::Nor.series_stack(2), 2);
+        assert_eq!(GateKind::Not.series_stack(1), 1);
+        assert_eq!(GateKind::Xor.series_stack(2), 2);
+        assert_eq!(GateKind::Input.series_stack(0), 0);
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        use GateKind::*;
+        assert!(And.eval(&[true, true]));
+        assert!(!And.eval(&[true, false]));
+        assert!(Or.eval(&[false, true]));
+        assert!(!Nor.eval(&[false, true]));
+        assert!(Nand.eval(&[true, false]));
+        assert!(!Nand.eval(&[true, true]));
+        assert!(Not.eval(&[false]));
+        assert!(Buf.eval(&[true]));
+        assert!(Xor.eval(&[true, false]));
+        assert!(!Xor.eval(&[true, true]));
+        assert!(Xnor.eval(&[true, true]));
+        assert!(Xor.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(GateKind::Nand.to_string(), "NAND");
+        assert_eq!(GateKind::Buf.to_string(), "BUFF");
+        assert_eq!(GateId::new(2).to_string(), "g2");
+    }
+}

@@ -1,0 +1,57 @@
+//! Gate-level combinational netlist representation for CMOS random logic
+//! networks.
+//!
+//! This crate is the structural substrate of the `minpower` workspace: it
+//! models a random logic network of static CMOS gates as a directed acyclic
+//! graph, exactly the object the DAC'97 device-circuit optimizer consumes.
+//! It provides:
+//!
+//! * [`Netlist`] — an immutable, validated DAG of [`Gate`]s with fanin and
+//!   fanout adjacency, primary inputs/outputs, and a topological order;
+//! * [`NetlistBuilder`] — incremental construction with by-name wiring;
+//! * [`bench`] — a parser and writer for the ISCAS-89 `.bench` format
+//!   (D flip-flops are cut into pseudo primary inputs/outputs so the
+//!   combinational core can be analyzed, as is standard for these
+//!   benchmarks);
+//! * structural statistics ([`NetlistStats`]) used by the wiring estimator
+//!   and by the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use minpower_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), minpower_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("mux");
+//! b.input("a")?;
+//! b.input("b")?;
+//! b.input("sel")?;
+//! b.gate("nsel", GateKind::Not, &["sel"])?;
+//! b.gate("t0", GateKind::Nand, &["a", "sel"])?;
+//! b.gate("t1", GateKind::Nand, &["b", "nsel"])?;
+//! b.gate("y", GateKind::Nand, &["t0", "t1"])?;
+//! b.output("y")?;
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.logic_gate_count(), 4);
+//! assert_eq!(netlist.stats().depth, 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod builder;
+mod error;
+mod gate;
+mod graph;
+mod stats;
+pub mod transform;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use gate::{Gate, GateId, GateKind};
+pub use graph::Netlist;
+pub use stats::NetlistStats;

@@ -1,0 +1,132 @@
+//! Structural statistics over a netlist.
+
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::graph::Netlist;
+
+/// Summary statistics of a netlist's structure.
+///
+/// These feed the stochastic wiring model (which needs the gate count) and
+/// the experiment tables (which report gate count and logic depth per
+/// circuit, as Table 1 of the paper does).
+///
+/// # Example
+///
+/// ```
+/// use minpower_netlist::{GateKind, NetlistBuilder};
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a")?;
+/// b.gate("y", GateKind::Not, &["a"])?;
+/// b.output("y")?;
+/// let stats = b.finish()?.stats();
+/// assert_eq!(stats.logic_gates, 1);
+/// assert_eq!(stats.depth, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub primary_inputs: usize,
+    /// Number of primary outputs.
+    pub primary_outputs: usize,
+    /// Number of logic gates (`N` in the paper).
+    pub logic_gates: usize,
+    /// Number of flip-flops cut from the sequential source.
+    pub flip_flops: usize,
+    /// Logic depth (levels of logic on the longest input→output path).
+    pub depth: usize,
+    /// Mean fanin over logic gates.
+    pub avg_fanin: f64,
+    /// Mean electrical fanout over logic gates and inputs.
+    pub avg_fanout: f64,
+    /// Largest fanout in the network.
+    pub max_fanout: usize,
+    /// Gate-kind histogram as `(kind, count)` pairs, descending by count.
+    pub kind_histogram: Vec<(GateKind, usize)>,
+}
+
+impl NetlistStats {
+    pub(crate) fn compute(netlist: &Netlist) -> Self {
+        let mut fanin_sum = 0usize;
+        let mut fanout_sum = 0usize;
+        let mut max_fanout = 0usize;
+        let mut hist = std::collections::HashMap::new();
+        for (i, g) in netlist.gates().iter().enumerate() {
+            let id = crate::GateId::new(i);
+            let fo = netlist.fanout_count(id);
+            fanout_sum += fo;
+            max_fanout = max_fanout.max(fo);
+            if g.kind() != GateKind::Input {
+                fanin_sum += g.fanin_count();
+                *hist.entry(g.kind()).or_insert(0usize) += 1;
+            }
+        }
+        let n_logic = netlist.logic_gate_count();
+        let mut kind_histogram: Vec<(GateKind, usize)> = hist.into_iter().collect();
+        kind_histogram.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+        NetlistStats {
+            primary_inputs: netlist.inputs().len(),
+            primary_outputs: netlist.outputs().len(),
+            logic_gates: n_logic,
+            flip_flops: netlist.flip_flop_count(),
+            depth: netlist.depth(),
+            avg_fanin: if n_logic == 0 {
+                0.0
+            } else {
+                fanin_sum as f64 / n_logic as f64
+            },
+            avg_fanout: if netlist.gate_count() == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / netlist.gate_count() as f64
+            },
+            max_fanout,
+            kind_histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} gates, {} FF, depth {}, avg fanin {:.2}, avg fanout {:.2}",
+            self.primary_inputs,
+            self.primary_outputs,
+            self.logic_gates,
+            self.flip_flops,
+            self.depth,
+            self.avg_fanin,
+            self.avg_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn stats_of_small_network() {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("n1", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("n2", GateKind::Nor, &["a", "n1"]).unwrap();
+        b.output("n2").unwrap();
+        let s = b.finish().unwrap().stats();
+        assert_eq!(s.primary_inputs, 2);
+        assert_eq!(s.primary_outputs, 1);
+        assert_eq!(s.logic_gates, 2);
+        assert_eq!(s.depth, 2);
+        assert!((s.avg_fanin - 2.0).abs() < 1e-12);
+        assert_eq!(s.kind_histogram.len(), 2);
+        let total: usize = s.kind_histogram.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 2);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,431 @@
+//! Structural netlist transformations.
+//!
+//! Real benchmark netlists arrive in shapes the optimizer's models handle
+//! poorly or not at all: gates with very wide fanin (the series-stack
+//! derating of Eq. A3 assumes modest stacks), enormous fanout nets, and
+//! logic that drives nothing. This module provides the standard
+//! preprocessing passes —
+//!
+//! * [`sweep_dead_logic`] — remove gates that reach no primary output;
+//! * [`decompose_wide_gates`] — rewrite gates above a fanin limit into
+//!   balanced trees of narrower gates with identical function;
+//! * [`buffer_high_fanout`] — split nets above a fanout limit through
+//!   buffer trees;
+//!
+//! — plus [`equivalent_by_simulation`], a randomized functional
+//! equivalence check used to verify that every pass preserves the
+//! network's input/output behavior.
+
+use std::collections::HashMap;
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind};
+use crate::graph::Netlist;
+
+/// Removes every gate that cannot reach a primary output.
+///
+/// Primary inputs are kept even when unused (they are part of the
+/// interface). Returns the swept netlist and the number of gates removed.
+///
+/// # Errors
+///
+/// Propagates construction errors (none are expected for a valid input).
+pub fn sweep_dead_logic(netlist: &Netlist) -> Result<(Netlist, usize), NetlistError> {
+    let n = netlist.gate_count();
+    let mut live = vec![false; n];
+    for &o in netlist.outputs() {
+        live[o.index()] = true;
+    }
+    for &id in netlist.topological_order().iter().rev() {
+        if live[id.index()] {
+            for &f in netlist.gate(id).fanin() {
+                live[f.index()] = true;
+            }
+        }
+    }
+    let mut b = NetlistBuilder::new(netlist.name());
+    let mut removed = 0;
+    for &id in netlist.topological_order() {
+        let gate = netlist.gate(id);
+        if gate.kind() == GateKind::Input {
+            b.input(gate.name())?;
+        } else if live[id.index()] {
+            let fanin: Vec<&str> = gate
+                .fanin()
+                .iter()
+                .map(|&f| netlist.gate(f).name())
+                .collect();
+            b.gate(gate.name(), gate.kind(), &fanin)?;
+        } else {
+            removed += 1;
+        }
+    }
+    for &o in netlist.outputs() {
+        b.output(netlist.gate(o).name())?;
+    }
+    b.record_flip_flops(netlist.flip_flop_count());
+    Ok((b.finish()?, removed))
+}
+
+/// Rewrites every gate with more than `max_fanin` inputs into a balanced
+/// tree of gates with at most `max_fanin` inputs, preserving the logic
+/// function (AND/OR trees directly; NAND/NOR as the corresponding tree
+/// with an inverting root; XOR/XNOR as parity trees).
+///
+/// Returns the transformed netlist and the number of gates decomposed.
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn decompose_wide_gates(
+    netlist: &Netlist,
+    max_fanin: usize,
+) -> Result<(Netlist, usize), NetlistError> {
+    assert!(max_fanin >= 2, "gates need at least two inputs");
+    let mut b = NetlistBuilder::new(netlist.name());
+    let mut fresh = 0usize;
+    let mut decomposed = 0usize;
+    for &id in netlist.topological_order() {
+        let gate = netlist.gate(id);
+        match gate.kind() {
+            GateKind::Input => {
+                b.input(gate.name())?;
+            }
+            _ if gate.fanin_count() <= max_fanin => {
+                let fanin: Vec<&str> = gate
+                    .fanin()
+                    .iter()
+                    .map(|&f| netlist.gate(f).name())
+                    .collect();
+                b.gate(gate.name(), gate.kind(), &fanin)?;
+            }
+            kind => {
+                decomposed += 1;
+                // Associative core of the function and whether the root
+                // inverts.
+                let (core, invert_root) = match kind {
+                    GateKind::And => (GateKind::And, false),
+                    GateKind::Nand => (GateKind::And, true),
+                    GateKind::Or => (GateKind::Or, false),
+                    GateKind::Nor => (GateKind::Or, true),
+                    GateKind::Xor => (GateKind::Xor, false),
+                    GateKind::Xnor => (GateKind::Xor, true),
+                    GateKind::Not | GateKind::Buf | GateKind::Input => {
+                        unreachable!("unary gates never exceed the fanin limit")
+                    }
+                };
+                // Reduce the fanin list level by level.
+                let mut layer: Vec<String> = gate
+                    .fanin()
+                    .iter()
+                    .map(|&f| netlist.gate(f).name().to_string())
+                    .collect();
+                while layer.len() > max_fanin {
+                    let mut next = Vec::new();
+                    for chunk in layer.chunks(max_fanin) {
+                        if chunk.len() == 1 {
+                            next.push(chunk[0].clone());
+                            continue;
+                        }
+                        let name = format!("{}__d{}", gate.name(), fresh);
+                        fresh += 1;
+                        let refs: Vec<&str> = chunk.iter().map(String::as_str).collect();
+                        b.gate(&name, core, &refs)?;
+                        next.push(name);
+                    }
+                    layer = next;
+                }
+                let root_kind = if invert_root {
+                    match core {
+                        GateKind::And => GateKind::Nand,
+                        GateKind::Or => GateKind::Nor,
+                        GateKind::Xor => GateKind::Xnor,
+                        _ => unreachable!("core is associative"),
+                    }
+                } else {
+                    core
+                };
+                let refs: Vec<&str> = layer.iter().map(String::as_str).collect();
+                b.gate(gate.name(), root_kind, &refs)?;
+            }
+        }
+    }
+    for &o in netlist.outputs() {
+        b.output(netlist.gate(o).name())?;
+    }
+    b.record_flip_flops(netlist.flip_flop_count());
+    Ok((b.finish()?, decomposed))
+}
+
+/// Splits every net with more than `max_fanout` sinks through a tree of
+/// buffers so no net drives more than `max_fanout` loads.
+///
+/// Returns the transformed netlist and the number of buffers inserted.
+///
+/// # Panics
+///
+/// Panics if `max_fanout < 2`.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn buffer_high_fanout(
+    netlist: &Netlist,
+    max_fanout: usize,
+) -> Result<(Netlist, usize), NetlistError> {
+    assert!(max_fanout >= 2, "need room for at least two sinks");
+    // For each driver, assign each of its sink *pins* a net name: either
+    // the original net or an inserted buffer.
+    let mut b = NetlistBuilder::new(netlist.name());
+    let mut inserted = 0usize;
+    // pin_net[(driver, sink)] = net name the sink should read.
+    let mut pin_net: HashMap<(usize, usize), String> = HashMap::new();
+
+    for &id in netlist.topological_order() {
+        let gate = netlist.gate(id);
+        // Create this gate first (reading possibly re-routed fanins).
+        match gate.kind() {
+            GateKind::Input => {
+                b.input(gate.name())?;
+            }
+            kind => {
+                let fanin: Vec<String> = gate
+                    .fanin()
+                    .iter()
+                    .map(|&f| {
+                        pin_net
+                            .get(&(f.index(), id.index()))
+                            .cloned()
+                            .unwrap_or_else(|| netlist.gate(f).name().to_string())
+                    })
+                    .collect();
+                let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+                b.gate(gate.name(), kind, &refs)?;
+            }
+        }
+        // Then plan its fanout tree if oversubscribed.
+        let sinks: Vec<usize> = netlist.fanout(id).iter().map(|s| s.index()).collect();
+        if sinks.len() <= max_fanout {
+            continue;
+        }
+        // Plan a balanced buffer tree: leaves serve groups of at most
+        // `max_fanout` sinks; each higher level groups the one below by
+        // the same factor until the top level fits under the driver.
+        let mut counts = vec![sinks.len().div_ceil(max_fanout)];
+        while *counts.last().expect("non-empty") > max_fanout {
+            let next = counts.last().expect("non-empty").div_ceil(max_fanout);
+            counts.push(next);
+        }
+        // Emit top-down so every buffer's parent already exists.
+        let depth = counts.len();
+        let mut parent_names: Vec<String> = vec![gate.name().to_string()];
+        for lvl in (0..depth).rev() {
+            let mut names = Vec::with_capacity(counts[lvl]);
+            for k in 0..counts[lvl] {
+                let parent = if lvl == depth - 1 {
+                    &parent_names[0]
+                } else {
+                    &parent_names[k / max_fanout]
+                };
+                let name = format!("{}__b{}_{}", gate.name(), lvl, k);
+                b.gate(&name, GateKind::Buf, &[parent])?;
+                inserted += 1;
+                names.push(name);
+            }
+            parent_names = names;
+        }
+        // `parent_names` is now the leaf level, one buffer per sink group.
+        for (g, chunk) in sinks.chunks(max_fanout).enumerate() {
+            for &s in chunk {
+                pin_net.insert((id.index(), s), parent_names[g].clone());
+            }
+        }
+    }
+    for &o in netlist.outputs() {
+        b.output(netlist.gate(o).name())?;
+    }
+    b.record_flip_flops(netlist.flip_flop_count());
+    Ok((b.finish()?, inserted))
+}
+
+/// Randomized functional equivalence check: drives both netlists with the
+/// same `vectors` random input assignments (by input **name**) and
+/// compares every primary output (by name).
+///
+/// Returns `false` on any mismatch, including mismatched interfaces.
+/// Deterministic for a given `seed`.
+pub fn equivalent_by_simulation(a: &Netlist, b: &Netlist, vectors: usize, seed: u64) -> bool {
+    let names_a: Vec<&str> = a.inputs().iter().map(|&i| a.gate(i).name()).collect();
+    let mut names_b: Vec<&str> = b.inputs().iter().map(|&i| b.gate(i).name()).collect();
+    let mut sorted_a = names_a.clone();
+    sorted_a.sort_unstable();
+    names_b.sort_unstable();
+    if sorted_a != names_b {
+        return false;
+    }
+    let out_a: Vec<&str> = a.outputs().iter().map(|&o| a.gate(o).name()).collect();
+    let out_b: Vec<&str> = b.outputs().iter().map(|&o| b.gate(o).name()).collect();
+    let mut sa = out_a.clone();
+    sa.sort_unstable();
+    let mut sb = out_b.clone();
+    sb.sort_unstable();
+    if sa != sb {
+        return false;
+    }
+
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let idx_b: HashMap<&str, usize> = b
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(k, &i)| (b.gate(i).name(), k))
+        .collect();
+    for _ in 0..vectors {
+        let assign_a: Vec<bool> = (0..names_a.len()).map(|_| next() & 1 == 1).collect();
+        let mut assign_b = vec![false; assign_a.len()];
+        for (k, name) in names_a.iter().enumerate() {
+            assign_b[idx_b[name]] = assign_a[k];
+        }
+        let va = a.evaluate(&assign_a);
+        let vb = b.evaluate(&assign_b);
+        for name in &out_a {
+            let ga = a.find(name).expect("output exists in a");
+            let gb = b.find(name).expect("output exists in b");
+            if va[ga.index()] != vb[gb.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Convenience: does any gate exceed the given fanin?
+pub fn max_fanin(netlist: &Netlist) -> usize {
+    netlist
+        .gates()
+        .iter()
+        .map(|g| g.fanin_count())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Convenience: the largest electrical fanout in the network.
+pub fn max_fanout(netlist: &Netlist) -> usize {
+    (0..netlist.gate_count())
+        .map(|i| netlist.fanout(GateId::new(i)).len())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn wide() -> Netlist {
+        let mut b = NetlistBuilder::new("wide");
+        let names: Vec<String> = (0..6).map(|i| format!("i{i}")).collect();
+        for n in &names {
+            b.input(n).unwrap();
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.gate("and6", GateKind::And, &refs).unwrap();
+        b.gate("nor5", GateKind::Nor, &refs[..5]).unwrap();
+        b.gate("xor6", GateKind::Xor, &refs).unwrap();
+        b.gate("y", GateKind::Nand, &["and6", "nor5"]).unwrap();
+        b.output("y").unwrap();
+        b.output("xor6").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn decompose_limits_fanin_and_preserves_function() {
+        let n = wide();
+        let (d, count) = decompose_wide_gates(&n, 2).unwrap();
+        assert!(count >= 3);
+        assert!(max_fanin(&d) <= 2);
+        assert!(equivalent_by_simulation(&n, &d, 300, 7));
+    }
+
+    #[test]
+    fn decompose_is_identity_when_within_limit() {
+        let n = wide();
+        let (d, count) = decompose_wide_gates(&n, 8).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(d.gate_count(), n.gate_count());
+    }
+
+    #[test]
+    fn sweep_removes_dead_cone() {
+        let mut b = NetlistBuilder::new("dead");
+        b.input("a").unwrap();
+        b.gate("live", GateKind::Not, &["a"]).unwrap();
+        b.gate("dead1", GateKind::Not, &["a"]).unwrap();
+        b.gate("dead2", GateKind::Not, &["dead1"]).unwrap();
+        b.gate("y", GateKind::Not, &["live"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let (swept, removed) = sweep_dead_logic(&n).unwrap();
+        assert_eq!(removed, 2);
+        assert!(swept.find("dead1").is_none());
+        assert!(equivalent_by_simulation(&n, &swept, 100, 3));
+    }
+
+    #[test]
+    fn buffer_splits_large_fanout() {
+        let mut b = NetlistBuilder::new("fan");
+        b.input("a").unwrap();
+        b.gate("drv", GateKind::Not, &["a"]).unwrap();
+        for i in 0..9 {
+            let s = format!("s{i}");
+            b.gate(&s, GateKind::Not, &["drv"]).unwrap();
+            b.output(&s).unwrap();
+        }
+        let n = b.finish().unwrap();
+        assert_eq!(max_fanout(&n), 9);
+        let (buffered, inserted) = buffer_high_fanout(&n, 4).unwrap();
+        assert!(inserted >= 3);
+        assert!(max_fanout(&buffered) <= 4, "max fanout {}", max_fanout(&buffered));
+        assert!(equivalent_by_simulation(&n, &buffered, 200, 11));
+    }
+
+    #[test]
+    fn equivalence_detects_differences() {
+        let n = wide();
+        let mut b = NetlistBuilder::new("other");
+        for i in 0..6 {
+            b.input(&format!("i{i}")).unwrap();
+        }
+        // Same interface, different function at output y.
+        b.gate("and6", GateKind::And, &["i0", "i1"]).unwrap();
+        b.gate("nor5", GateKind::Nor, &["i2", "i3"]).unwrap();
+        b.gate("xor6", GateKind::Xor, &["i4", "i5"]).unwrap();
+        b.gate("y", GateKind::Nand, &["and6", "nor5"]).unwrap();
+        b.output("y").unwrap();
+        b.output("xor6").unwrap();
+        let other = b.finish().unwrap();
+        assert!(!equivalent_by_simulation(&n, &other, 300, 5));
+    }
+
+    #[test]
+    fn equivalence_rejects_mismatched_interfaces() {
+        let n = wide();
+        let mut b = NetlistBuilder::new("small");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        let other = b.finish().unwrap();
+        assert!(!equivalent_by_simulation(&n, &other, 10, 1));
+    }
+}

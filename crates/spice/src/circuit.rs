@@ -1,0 +1,456 @@
+//! Circuit construction and RK4 transient integration.
+
+use minpower_device::{Mosfet, MosfetPolarity, Technology};
+
+use crate::trace::Trace;
+
+/// A time-varying input stimulus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Waveform {
+    /// A constant voltage.
+    Const(f64),
+    /// An ideal step from `from` to `to` at time `t`.
+    Step {
+        /// Switching instant, seconds.
+        t: f64,
+        /// Voltage before the step.
+        from: f64,
+        /// Voltage after the step.
+        to: f64,
+    },
+    /// A linear ramp from `from` to `to` starting at `t0`, lasting `rise`.
+    Ramp {
+        /// Ramp start, seconds.
+        t0: f64,
+        /// Ramp duration, seconds.
+        rise: f64,
+        /// Voltage before the ramp.
+        from: f64,
+        /// Voltage after the ramp.
+        to: f64,
+    },
+}
+
+impl Waveform {
+    /// The stimulus voltage at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Const(v) => v,
+            Waveform::Step { t: t0, from, to } => {
+                if t < t0 {
+                    from
+                } else {
+                    to
+                }
+            }
+            Waveform::Ramp { t0, rise, from, to } => {
+                if t <= t0 {
+                    from
+                } else if t >= t0 + rise {
+                    to
+                } else {
+                    from + (to - from) * (t - t0) / rise
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a circuit node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef(pub(crate) u32);
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Ground,
+    Supply(f64),
+    Input(Waveform),
+    Dynamic { cap: f64, v0: f64, state: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Device {
+    mosfet: Mosfet,
+    gate: NodeRef,
+    a: NodeRef,
+    b: NodeRef,
+}
+
+/// A transistor-level circuit: supplies, stimulus inputs, dynamic nodes
+/// with grounded capacitance, and MOSFETs.
+///
+/// Node voltages of dynamic nodes evolve by `C·dV/dt = ΣI`; all other
+/// node voltages are imposed. Integration is classical fixed-step RK4.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    tech: Technology,
+    nodes: Vec<NodeKind>,
+    devices: Vec<Device>,
+    n_state: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over a technology.
+    pub fn new(tech: Technology) -> Self {
+        Circuit {
+            tech,
+            nodes: vec![NodeKind::Ground],
+            devices: Vec::new(),
+            n_state: 0,
+        }
+    }
+
+    /// The ground node (0 V).
+    pub fn ground(&self) -> NodeRef {
+        NodeRef(0)
+    }
+
+    /// Adds an ideal supply at `volts`.
+    pub fn supply(&mut self, volts: f64) -> NodeRef {
+        self.nodes.push(NodeKind::Supply(volts));
+        NodeRef(self.nodes.len() as u32 - 1)
+    }
+
+    /// Adds a stimulus input node.
+    pub fn input(&mut self, waveform: Waveform) -> NodeRef {
+        self.nodes.push(NodeKind::Input(waveform));
+        NodeRef(self.nodes.len() as u32 - 1)
+    }
+
+    /// Adds a dynamic node with capacitance `cap` farads to ground,
+    /// starting at `v0` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not strictly positive.
+    pub fn node(&mut self, cap: f64, v0: f64) -> NodeRef {
+        assert!(cap > 0.0, "node capacitance must be positive");
+        let state = self.n_state;
+        self.n_state += 1;
+        self.nodes.push(NodeKind::Dynamic { cap, v0, state });
+        NodeRef(self.nodes.len() as u32 - 1)
+    }
+
+    /// Adds extra capacitance to an existing dynamic node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a dynamic node.
+    pub fn add_cap(&mut self, node: NodeRef, extra: f64) {
+        match &mut self.nodes[node.0 as usize] {
+            NodeKind::Dynamic { cap, .. } => *cap += extra,
+            _ => panic!("add_cap requires a dynamic node"),
+        }
+    }
+
+    /// Replaces the stimulus of an existing input node (used to rerun the
+    /// same elaborated circuit under different vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an input node.
+    pub fn replace_input_waveform(&mut self, node: NodeRef, waveform: Waveform) {
+        match &mut self.nodes[node.0 as usize] {
+            NodeKind::Input(w) => *w = waveform,
+            _ => panic!("replace_input_waveform requires an input node"),
+        }
+    }
+
+    /// Adds an NMOS device: channel between `a` and `b`, controlled by
+    /// `gate`, `width` feature widths, threshold `vt` volts.
+    pub fn nmos(&mut self, gate: NodeRef, a: NodeRef, b: NodeRef, width: f64, vt: f64) {
+        self.devices.push(Device {
+            mosfet: Mosfet::new(MosfetPolarity::Nmos, width, vt),
+            gate,
+            a,
+            b,
+        });
+    }
+
+    /// Adds a PMOS device: channel between `a` and `b`, controlled by
+    /// `gate`.
+    pub fn pmos(&mut self, gate: NodeRef, a: NodeRef, b: NodeRef, width: f64, vt: f64) {
+        self.devices.push(Device {
+            mosfet: Mosfet::new(MosfetPolarity::Pmos, width, vt),
+            gate,
+            a,
+            b,
+        });
+    }
+
+    /// The technology the circuit was built on.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    fn voltage(&self, node: NodeRef, state: &[f64], t: f64) -> f64 {
+        match &self.nodes[node.0 as usize] {
+            NodeKind::Ground => 0.0,
+            NodeKind::Supply(v) => *v,
+            NodeKind::Input(w) => w.at(t),
+            NodeKind::Dynamic { state: s, .. } => state[*s],
+        }
+    }
+
+    /// Computes `dV/dt` for every dynamic node plus the instantaneous
+    /// power drawn from all supplies (watts).
+    fn derivative(&self, state: &[f64], t: f64, dv: &mut [f64]) -> f64 {
+        dv.fill(0.0);
+        let mut supply_power = 0.0;
+        for dev in &self.devices {
+            let va = self.voltage(dev.a, state, t);
+            let vb = self.voltage(dev.b, state, t);
+            let vg = self.voltage(dev.gate, state, t);
+            // Order terminals: current flows hi → lo.
+            let (hi, lo, v_hi, v_lo) = if va >= vb {
+                (dev.a, dev.b, va, vb)
+            } else {
+                (dev.b, dev.a, vb, va)
+            };
+            let v_gs = match dev.mosfet.polarity() {
+                MosfetPolarity::Nmos => vg - v_lo,
+                MosfetPolarity::Pmos => v_hi - vg,
+            };
+            let i = dev.mosfet.current(&self.tech, v_gs, v_hi - v_lo);
+            if i == 0.0 {
+                continue;
+            }
+            if let NodeKind::Dynamic { cap, state: s, .. } = &self.nodes[hi.0 as usize] {
+                dv[*s] -= i / cap;
+            }
+            if let NodeKind::Dynamic { cap, state: s, .. } = &self.nodes[lo.0 as usize] {
+                dv[*s] += i / cap;
+            }
+            if let NodeKind::Supply(v) = &self.nodes[hi.0 as usize] {
+                supply_power += i * v;
+            }
+            if let NodeKind::Supply(v) = &self.nodes[lo.0 as usize] {
+                supply_power -= i * v;
+            }
+        }
+        supply_power
+    }
+
+    /// Runs a transient simulation to `t_end` seconds in `steps` RK4
+    /// steps, recording every state sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end` is not positive or `steps` is zero.
+    pub fn simulate(&self, t_end: f64, steps: usize) -> Trace {
+        assert!(t_end > 0.0, "simulation horizon must be positive");
+        assert!(steps > 0, "need at least one step");
+        let dt = t_end / steps as f64;
+        let mut state: Vec<f64> = vec![0.0; self.n_state];
+        for kind in &self.nodes {
+            if let NodeKind::Dynamic { v0, state: s, .. } = kind {
+                state[*s] = *v0;
+            }
+        }
+        let index: Vec<Option<usize>> = self
+            .nodes
+            .iter()
+            .map(|k| match k {
+                NodeKind::Dynamic { state, .. } => Some(*state),
+                _ => None,
+            })
+            .collect();
+
+        let n = self.n_state;
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut samples = Vec::with_capacity(steps + 1);
+        let mut energy = Vec::with_capacity(steps + 1);
+        times.push(0.0);
+        samples.push(state.clone());
+        energy.push(0.0);
+        let mut e_acc = 0.0;
+
+        for step in 0..steps {
+            let t = step as f64 * dt;
+            let p1 = self.derivative(&state, t, &mut k1);
+            for i in 0..n {
+                tmp[i] = state[i] + 0.5 * dt * k1[i];
+            }
+            let p2 = self.derivative(&tmp, t + 0.5 * dt, &mut k2);
+            for i in 0..n {
+                tmp[i] = state[i] + 0.5 * dt * k2[i];
+            }
+            let p3 = self.derivative(&tmp, t + 0.5 * dt, &mut k3);
+            for i in 0..n {
+                tmp[i] = state[i] + dt * k3[i];
+            }
+            let p4 = self.derivative(&tmp, t + dt, &mut k4);
+            for i in 0..n {
+                state[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            }
+            e_acc += dt / 6.0 * (p1 + 2.0 * p2 + 2.0 * p3 + p4);
+            times.push(t + dt);
+            samples.push(state.clone());
+            energy.push(e_acc);
+        }
+        Trace::new(times, samples, energy, index)
+    }
+
+    /// Runs a transient with automatic step-size verification: simulates
+    /// at `steps` and at `2·steps` and returns the finer trace, panicking
+    /// if the final node voltages disagree by more than `tol` volts —
+    /// the classical step-halving convergence check.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the integration has not converged at the requested
+    /// resolution (increase `steps`) or on the same conditions as
+    /// [`Circuit::simulate`].
+    pub fn simulate_checked(&self, t_end: f64, steps: usize, tol: f64) -> Trace {
+        let coarse = self.simulate(t_end, steps);
+        let fine = self.simulate(t_end, steps * 2);
+        for kind in &self.nodes {
+            if let NodeKind::Dynamic { state, .. } = kind {
+                let a = coarse.final_state(*state);
+                let b = fine.final_state(*state);
+                assert!(
+                    (a - b).abs() <= tol,
+                    "RK4 not converged: node state {state} differs by {:.3e} V at {steps} steps",
+                    (a - b).abs()
+                );
+            }
+        }
+        fine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::dac97()
+    }
+
+    #[test]
+    fn waveform_shapes() {
+        let s = Waveform::Step {
+            t: 1.0,
+            from: 0.0,
+            to: 3.3,
+        };
+        assert_eq!(s.at(0.5), 0.0);
+        assert_eq!(s.at(1.5), 3.3);
+        let r = Waveform::Ramp {
+            t0: 1.0,
+            rise: 2.0,
+            from: 0.0,
+            to: 2.0,
+        };
+        assert_eq!(r.at(0.0), 0.0);
+        assert!((r.at(2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(r.at(5.0), 2.0);
+        assert_eq!(Waveform::Const(1.1).at(9.9), 1.1);
+    }
+
+    #[test]
+    fn nmos_discharges_a_node() {
+        let mut c = Circuit::new(tech());
+        let gnd = c.ground();
+        let gate = c.input(Waveform::Const(3.3));
+        let out = c.node(10e-15, 3.3);
+        c.nmos(gate, out, gnd, 4.0, 0.7);
+        let trace = c.simulate(2e-9, 2000);
+        let v_end = trace.final_voltage(out);
+        assert!(v_end < 0.05, "node not discharged: {v_end}");
+        // Discharge is monotone.
+        let v_mid = trace.voltage_at(out, 1e-10);
+        assert!(v_mid < 3.3 && v_mid > v_end);
+    }
+
+    #[test]
+    fn pmos_charges_a_node_and_draws_supply_energy() {
+        let mut c = Circuit::new(tech());
+        let vdd = c.supply(3.3);
+        let gate = c.input(Waveform::Const(0.0));
+        let out = c.node(10e-15, 0.0);
+        c.pmos(gate, vdd, out, 8.0, 0.7);
+        let trace = c.simulate(2e-9, 2000);
+        assert!(trace.final_voltage(out) > 3.25);
+        // Energy from the supply for a full charge is C·V² within a few
+        // percent (half stored, half dissipated in the channel).
+        let e = trace.supply_energy_between(0.0, 2e-9);
+        let expect = 10e-15 * 3.3 * 3.3;
+        assert!(
+            (e - expect).abs() / expect < 0.05,
+            "supply energy {e} vs CV² {expect}"
+        );
+    }
+
+    #[test]
+    fn off_transistor_leaks_slowly() {
+        let mut c = Circuit::new(tech());
+        let gnd = c.ground();
+        let gate = c.input(Waveform::Const(0.0));
+        let out = c.node(10e-15, 3.3);
+        c.nmos(gate, out, gnd, 4.0, 0.7);
+        let trace = c.simulate(2e-9, 500);
+        // At Vt = 0.7 the off device must not discharge 10 fF in 2 ns.
+        assert!(trace.final_voltage(out) > 3.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_cap_rejected() {
+        let mut c = Circuit::new(tech());
+        let _ = c.node(0.0, 0.0);
+    }
+
+    #[test]
+    fn rk4_converges_under_step_halving() {
+        let mut c = Circuit::new(tech());
+        let vdd = c.supply(2.0);
+        let gate = c.input(Waveform::Step {
+            t: 0.2e-9,
+            from: 0.0,
+            to: 2.0,
+        });
+        let out = c.node(20e-15, 2.0);
+        c.nmos(gate, out, c.ground(), 4.0, 0.4);
+        c.pmos(gate, vdd, out, 8.0, 0.4);
+        // 2000 steps over 3 ns is comfortably converged for this stage.
+        let tr = c.simulate_checked(3e-9, 2000, 1e-3);
+        assert!(tr.final_voltage(out) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "not converged")]
+    fn rk4_divergence_is_caught() {
+        // Absurdly coarse stepping on a stiff node trips the check.
+        let mut c = Circuit::new(tech());
+        let gate = c.input(Waveform::Step {
+            t: 1e-12,
+            from: 0.0,
+            to: 3.3,
+        });
+        let out = c.node(1e-17, 3.3);
+        c.nmos(gate, out, c.ground(), 100.0, 0.2);
+        let _ = c.simulate_checked(5e-9, 3, 1e-6);
+    }
+
+    #[test]
+    fn replace_input_waveform_swaps_stimulus() {
+        let mut c = Circuit::new(tech());
+        let gate = c.input(Waveform::Const(0.0));
+        let out = c.node(10e-15, 3.3);
+        c.nmos(gate, out, c.ground(), 4.0, 0.7);
+        // Off: node holds.
+        let tr = c.simulate(1e-9, 500);
+        assert!(tr.final_voltage(out) > 3.2);
+        // On: node discharges.
+        c.replace_input_waveform(gate, Waveform::Const(3.3));
+        let tr = c.simulate(5e-9, 2000);
+        assert!(tr.final_voltage(out) < 0.1);
+    }
+}

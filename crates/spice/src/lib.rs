@@ -1,0 +1,50 @@
+//! Transient nodal simulation of CMOS gate stages.
+//!
+//! The paper validates its closed-form energy and delay models "extensively
+//! with HSPICE" (Appendix A). HSPICE being unavailable, this crate plays
+//! that role: a small numerical circuit simulator that integrates the node
+//! equations `C·dV/dt = ΣI` of an explicit transistor network built from
+//! the *same* transregional device model ([`minpower_device::Mosfet`]) the
+//! analytic expressions are derived from — so agreement between the two
+//! checks the circuit-level approximations (series stacks, effective
+//! switching current, load lumping), exactly what an HSPICE comparison
+//! checks.
+//!
+//! Contents:
+//!
+//! * [`Circuit`] — netlist of supplies, driven inputs, dynamic nodes with
+//!   grounded capacitors, and NMOS/PMOS devices;
+//! * [`Waveform`] — step/ramp stimulus;
+//! * [`Trace`] — simulation output with crossing-time and supply-charge
+//!   measurement;
+//! * [`stages`] — prebuilt inverter / NAND / NOR stages with explicit
+//!   series stacks and intermediate-node capacitance;
+//! * [`measure`] — one-call delay and energy measurements used by the
+//!   validation experiment and integration tests.
+//!
+//! # Example: inverter propagation delay
+//!
+//! ```
+//! use minpower_device::Technology;
+//! use minpower_spice::measure;
+//!
+//! let tech = Technology::dac97();
+//! // 4-wide inverter at the nominal corner driving 20 fF.
+//! let m = measure::inverter(&tech, 4.0, 3.3, 0.7, 20e-15);
+//! assert!(m.delay_fall > 0.0 && m.delay_fall < 1e-9);
+//! assert!(m.switching_energy > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+pub mod measure;
+pub mod netlist_sim;
+pub mod ring;
+pub mod stages;
+mod trace;
+
+pub use circuit::{Circuit, NodeRef, Waveform};
+pub use ring::{measure_ring, RingMeasurement};
+pub use trace::Trace;

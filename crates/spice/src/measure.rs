@@ -1,0 +1,339 @@
+//! One-call delay / energy / leakage measurements of single gate stages.
+//!
+//! These are the "HSPICE decks" of the validation experiment: build a
+//! stage, stimulate the worst-case input, simulate, and report 50 %-to-
+//! 50 % propagation delays, the per-transition supply energy, and the
+//! quiescent leakage power — the quantities the paper's Appendix-A models
+//! predict in closed form.
+
+use minpower_device::Technology;
+
+use crate::circuit::{Circuit, Waveform};
+use crate::stages;
+
+/// Measured characteristics of one gate stage at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMeasurement {
+    /// 50 %→50 % delay for the output rising edge, seconds.
+    pub delay_rise: f64,
+    /// 50 %→50 % delay for the output falling edge, seconds.
+    pub delay_fall: f64,
+    /// Supply energy of one full output rise (≈ `C_total·V_dd²` for an
+    /// ideal stage), joules.
+    pub switching_energy: f64,
+    /// Quiescent supply power with stable inputs, watts.
+    pub leakage_power: f64,
+}
+
+impl StageMeasurement {
+    /// The worse (larger) of the two propagation delays.
+    pub fn worst_delay(&self) -> f64 {
+        self.delay_rise.max(self.delay_fall)
+    }
+}
+
+/// Rough switching-time scale used to choose the simulation horizon.
+fn time_scale(tech: &Technology, w: f64, vdd: f64, vt: f64, stack: f64, c_load: f64) -> f64 {
+    let i = (tech.drive_current(w, vdd, vt) / stack).max(1e-18);
+    (c_load * vdd / i).max(1e-12)
+}
+
+/// Measures an inverter of width `w` at `(vdd, vt)` driving `c_load`.
+///
+/// # Panics
+///
+/// Panics if the output never completes its transitions within the
+/// (generous) simulation horizon — which indicates a non-functional
+/// operating point rather than a measurement problem.
+pub fn inverter(tech: &Technology, w: f64, vdd: f64, vt: f64, c_load: f64) -> StageMeasurement {
+    stage(tech, w, vdd, vt, c_load, 1, StageKind::Inverter)
+}
+
+/// Measures an `n`-input NAND with the worst-case (bottom-of-stack last
+/// arriving) input switching.
+pub fn nand(
+    tech: &Technology,
+    n_inputs: usize,
+    w: f64,
+    vdd: f64,
+    vt: f64,
+    c_load: f64,
+) -> StageMeasurement {
+    stage(tech, w, vdd, vt, c_load, n_inputs, StageKind::Nand)
+}
+
+/// Measures an `n`-input NOR with the worst-case input switching.
+pub fn nor(
+    tech: &Technology,
+    n_inputs: usize,
+    w: f64,
+    vdd: f64,
+    vt: f64,
+    c_load: f64,
+) -> StageMeasurement {
+    stage(tech, w, vdd, vt, c_load, n_inputs, StageKind::Nor)
+}
+
+/// Measures an inverter's 50 %→50 % falling delay as a function of the
+/// input rise time — the dependence Eq. (A3)'s input-slope term models as
+/// `[1/2 − (1 − V_ts/V_dd)/(1 + α)]·max t_dij`.
+///
+/// Returns `(t_ramp, delay)` pairs for the given ramp durations.
+pub fn inverter_slope_sweep(
+    tech: &Technology,
+    w: f64,
+    vdd: f64,
+    vt: f64,
+    c_load: f64,
+    ramps: &[f64],
+) -> Vec<(f64, f64)> {
+    let tau = time_scale(tech, w, vdd, vt, 1.0, c_load + w * tech.c_pd);
+    ramps
+        .iter()
+        .map(|&t_ramp| {
+            let t_edge = 2.0 * tau + t_ramp;
+            let horizon = t_edge + 30.0 * tau + 2.0 * t_ramp;
+            let mut c = Circuit::new(tech.clone());
+            let vdd_n = c.supply(vdd);
+            let sw = c.input(Waveform::Ramp {
+                t0: t_edge,
+                rise: t_ramp.max(1e-15),
+                from: 0.0,
+                to: vdd,
+            });
+            let out = c.node(c_load + w * tech.c_pd, vdd);
+            crate::stages::inverter(&mut c, vdd_n, sw, out, w, vt);
+            let tr = c.simulate(horizon, 8000);
+            let t_in_half = t_edge + 0.5 * t_ramp;
+            let delay = tr
+                .crossing(out, vdd / 2.0, false, t_edge)
+                .map(|t| t - t_in_half)
+                .unwrap_or(f64::NAN);
+            (t_ramp, delay)
+        })
+        .collect()
+}
+
+#[derive(Clone, Copy)]
+enum StageKind {
+    Inverter,
+    Nand,
+    Nor,
+}
+
+fn stage(
+    tech: &Technology,
+    w: f64,
+    vdd: f64,
+    vt: f64,
+    c_load: f64,
+    n_inputs: usize,
+    kind: StageKind,
+) -> StageMeasurement {
+    assert!(n_inputs >= 1, "a gate needs at least one input");
+    let stack = n_inputs as f64;
+    let tau = time_scale(tech, w, vdd, vt, stack, c_load + w * tech.c_pd);
+    let t_edge = 5.0 * tau;
+    let horizon = 40.0 * tau;
+    let steps = 6000;
+
+    // One switching input; the others held at their non-controlling value
+    // (high for NAND, low for NOR) so the switching input alone decides
+    // the output — the worst case of Eq. (A3).
+    let build = |rising_input: bool| -> (Circuit, crate::circuit::NodeRef) {
+        let mut c = Circuit::new(tech.clone());
+        let vdd_n = c.supply(vdd);
+        let sw = c.input(Waveform::Ramp {
+            t0: t_edge,
+            rise: tau.min(t_edge) * 0.2,
+            from: if rising_input { 0.0 } else { vdd },
+            to: if rising_input { vdd } else { 0.0 },
+        });
+        let v0 = match kind {
+            // Output starts at the value it will leave.
+            StageKind::Inverter | StageKind::Nand => {
+                if rising_input {
+                    vdd
+                } else {
+                    0.0
+                }
+            }
+            StageKind::Nor => {
+                if rising_input {
+                    vdd
+                } else {
+                    0.0
+                }
+            }
+        };
+        let out = c.node(c_load + w * tech.c_pd, v0);
+        match kind {
+            StageKind::Inverter => stages::inverter(&mut c, vdd_n, sw, out, w, vt),
+            StageKind::Nand => {
+                let mut ins = vec![sw];
+                for _ in 1..n_inputs {
+                    ins.push(c.input(Waveform::Const(vdd)));
+                }
+                // Worst case: the switching device sits at the bottom of
+                // the stack (last element of the chain).
+                ins.reverse();
+                stages::nand(&mut c, vdd_n, &ins, out, w, vt);
+            }
+            StageKind::Nor => {
+                let mut ins = vec![sw];
+                for _ in 1..n_inputs {
+                    ins.push(c.input(Waveform::Const(0.0)));
+                }
+                ins.reverse();
+                stages::nor(&mut c, vdd_n, &ins, out, w, vt);
+            }
+        }
+        (c, out)
+    };
+
+    let half = vdd / 2.0;
+
+    // Input rises → output falls (inverting stages).
+    let (c_fall, out_fall) = build(true);
+    let tr_fall = c_fall.simulate(horizon, steps);
+    let t_in = t_edge + tau.min(t_edge) * 0.1;
+    let delay_fall = tr_fall
+        .crossing(out_fall, half, false, t_edge)
+        .map(|t| t - t_in)
+        .unwrap_or(f64::INFINITY);
+
+    // Input falls → output rises.
+    let (c_rise, out_rise) = build(false);
+    let tr_rise = c_rise.simulate(horizon, steps);
+    let delay_rise = tr_rise
+        .crossing(out_rise, half, true, t_edge)
+        .map(|t| t - t_in)
+        .unwrap_or(f64::INFINITY);
+
+    // Switching energy: supply energy over a tight window around the
+    // rising-output transition, corrected by the average of the pre- and
+    // post-transition quiescent leakage (the two quiescent states leak
+    // differently — e.g. a NAND's parallel PMOS bank vs its series NMOS
+    // stack — so a one-sided baseline over a long window over- or
+    // under-corrects badly at low Vt).
+    let e_pre = tr_rise.supply_energy_between(0.0, t_edge);
+    let leakage_power = e_pre / t_edge;
+    let t_done = tr_rise
+        .crossing(out_rise, 0.9 * vdd, true, t_edge)
+        .unwrap_or(horizon)
+        .min(horizon - 2.0 * tau);
+    let window_end = (t_done + tau).min(horizon);
+    let leak_post = {
+        let t0 = (window_end + tau).min(horizon);
+        if horizon - t0 > tau {
+            tr_rise.supply_energy_between(t0, horizon) / (horizon - t0)
+        } else {
+            leakage_power
+        }
+    };
+    let window = window_end - t_edge;
+    let e_total = tr_rise.supply_energy_between(t_edge, window_end);
+    let switching_energy =
+        (e_total - 0.5 * (leakage_power + leak_post) * window).max(0.0);
+
+    StageMeasurement {
+        delay_rise,
+        delay_fall,
+        switching_energy,
+        leakage_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::dac97()
+    }
+
+    #[test]
+    fn inverter_delay_orders_of_magnitude() {
+        let m = inverter(&tech(), 4.0, 3.3, 0.7, 20e-15);
+        assert!(m.delay_fall > 1e-12 && m.delay_fall < 1e-9, "{m:?}");
+        assert!(m.delay_rise > 1e-12 && m.delay_rise < 1e-9, "{m:?}");
+    }
+
+    #[test]
+    fn switching_energy_tracks_cv2() {
+        let c_load = 20e-15;
+        let w = 4.0;
+        let m = inverter(&tech(), w, 3.3, 0.7, c_load);
+        let c_total = c_load + w * tech().c_pd;
+        let expect = c_total * 3.3 * 3.3;
+        let ratio = m.switching_energy / expect;
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "energy {:.3e} vs CV² {:.3e}",
+            m.switching_energy,
+            expect
+        );
+    }
+
+    #[test]
+    fn lower_vdd_is_slower_and_cheaper() {
+        let hi = inverter(&tech(), 4.0, 3.0, 0.5, 20e-15);
+        let lo = inverter(&tech(), 4.0, 1.5, 0.5, 20e-15);
+        assert!(lo.worst_delay() > hi.worst_delay());
+        assert!(lo.switching_energy < hi.switching_energy);
+    }
+
+    #[test]
+    fn lower_vt_leaks_more() {
+        let tight = inverter(&tech(), 4.0, 2.0, 0.6, 20e-15);
+        let leaky = inverter(&tech(), 4.0, 2.0, 0.15, 20e-15);
+        assert!(leaky.leakage_power > 10.0 * tight.leakage_power);
+        assert!(leaky.worst_delay() < tight.worst_delay());
+    }
+
+    #[test]
+    fn nand_stack_slows_with_fanin() {
+        let n2 = nand(&tech(), 2, 4.0, 3.3, 0.7, 20e-15);
+        let n4 = nand(&tech(), 4, 4.0, 3.3, 0.7, 20e-15);
+        assert!(n4.delay_fall > n2.delay_fall, "{} vs {}", n4.delay_fall, n2.delay_fall);
+    }
+
+    #[test]
+    fn slope_sweep_shows_rise_time_penalty() {
+        let t = tech();
+        let pts = inverter_slope_sweep(
+            &t,
+            8.0,
+            2.0,
+            0.4,
+            30e-15,
+            &[1e-12, 100e-12, 300e-12, 600e-12],
+        );
+        // Delay grows with input rise time...
+        for w in pts.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-13,
+                "delay fell with slower input: {:?}",
+                pts
+            );
+        }
+        // ...roughly linearly; the marginal slope (d delay / d(t_ramp/2))
+        // should be the same order as the model's slope coefficient.
+        let coeff_model = 0.5 - (1.0 - 0.4 / 2.0) / (1.0 + t.alpha);
+        let d_delay = pts[3].1 - pts[1].1;
+        let d_half_ramp = (pts[3].0 - pts[1].0) / 2.0;
+        let coeff_meas = d_delay / d_half_ramp;
+        assert!(
+            coeff_meas > 0.2 * coeff_model && coeff_meas < 5.0 * coeff_model,
+            "slope coeff: measured {coeff_meas:.3} vs model {coeff_model:.3}"
+        );
+    }
+
+    #[test]
+    fn subthreshold_inverter_still_switches() {
+        // Vdd below Vt: functional but slow (the transregional regime).
+        let m = inverter(&tech(), 4.0, 0.25, 0.35, 5e-15);
+        assert!(m.delay_fall.is_finite());
+        assert!(m.delay_fall > 1e-9, "subthreshold delay {}", m.delay_fall);
+    }
+}

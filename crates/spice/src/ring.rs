@@ -1,0 +1,136 @@
+//! Ring-oscillator construction and frequency measurement.
+//!
+//! A ring oscillator is the classical silicon vehicle for validating a
+//! delay model at the *system* level: its oscillation period is `2·N`
+//! stage delays, so a model that predicts single-stage delay correctly
+//! must predict the ring frequency too — across supply and threshold,
+//! including the deep-subthreshold regime the transregional model exists
+//! for.
+
+use minpower_device::Technology;
+
+use crate::circuit::{Circuit, NodeRef, Waveform};
+use crate::stages;
+
+/// Result of a ring-oscillator measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingMeasurement {
+    /// Oscillation period, seconds.
+    pub period: f64,
+    /// Effective per-stage delay: `period / (2·stages)`, seconds.
+    pub stage_delay: f64,
+    /// Average supply power while oscillating, watts.
+    pub power: f64,
+}
+
+/// Builds an `n_stages`-inverter ring (odd `n_stages`) and measures its
+/// steady-state period, per-stage delay, and supply power.
+///
+/// Each stage drives the next stage's input capacitance plus `c_extra`
+/// farads of explicit load.
+///
+/// # Panics
+///
+/// Panics if `n_stages` is even or less than 3, or if the ring fails to
+/// oscillate within the simulation horizon (a non-functional operating
+/// point).
+pub fn measure_ring(
+    tech: &Technology,
+    n_stages: usize,
+    w: f64,
+    vdd: f64,
+    vt: f64,
+    c_extra: f64,
+) -> RingMeasurement {
+    assert!(
+        n_stages >= 3 && n_stages % 2 == 1,
+        "a ring needs an odd stage count of at least 3"
+    );
+    let mut c = Circuit::new(tech.clone());
+    let vdd_n = c.supply(vdd);
+
+    // Per-stage node capacitance: next stage's gate (NMOS + β·PMOS) plus
+    // its own drain parasitics plus the explicit load.
+    let c_node = w * tech.c_in + w * tech.c_pd + c_extra;
+    // Stagger the initial voltages so the ring starts moving immediately.
+    let nodes: Vec<NodeRef> = (0..n_stages)
+        .map(|k| c.node(c_node, if k % 2 == 0 { 0.05 * vdd } else { 0.95 * vdd }))
+        .collect();
+    for k in 0..n_stages {
+        let input = nodes[k];
+        let output = nodes[(k + 1) % n_stages];
+        stages::inverter(&mut c, vdd_n, input, output, w, vt);
+    }
+    // Kick node 0 with a noise source shaped as an aborted ramp? Not
+    // needed: the staggered initial condition breaks the metastable point.
+    let _ = Waveform::Const(0.0);
+
+    // Horizon: enough for several periods at the analytic estimate.
+    let i_est = (tech.drive_current(w, vdd, vt)).max(1e-18);
+    let t_stage_est = (vdd * c_node / i_est).max(1e-12);
+    let horizon = 14.0 * n_stages as f64 * t_stage_est;
+    let trace = c.simulate(horizon, 12_000);
+
+    // Period: time between successive rising crossings of Vdd/2 on node
+    // 0, measured late in the run (past start-up).
+    let half = vdd / 2.0;
+    let settle = horizon * 0.3;
+    let t1 = trace
+        .crossing(nodes[0], half, true, settle)
+        .expect("ring failed to oscillate (rising crossing 1)");
+    let t2 = trace
+        .crossing(nodes[0], half, true, t1 + t_stage_est * 0.5)
+        .expect("ring failed to oscillate (rising crossing 2)");
+    let period = t2 - t1;
+    let power = trace.supply_energy_between(settle, horizon) / (horizon - settle);
+    RingMeasurement {
+        period,
+        stage_delay: period / (2.0 * n_stages as f64),
+        power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::dac97()
+    }
+
+    #[test]
+    fn ring_oscillates_at_nominal_corner() {
+        let m = measure_ring(&tech(), 5, 4.0, 3.3, 0.7, 5e-15);
+        assert!(m.period > 0.0 && m.period.is_finite());
+        assert!(m.stage_delay > 1e-12 && m.stage_delay < 1e-9);
+        assert!(m.power > 0.0);
+    }
+
+    #[test]
+    fn period_scales_with_stage_count() {
+        let m5 = measure_ring(&tech(), 5, 4.0, 2.0, 0.4, 5e-15);
+        let m9 = measure_ring(&tech(), 9, 4.0, 2.0, 0.4, 5e-15);
+        let ratio = m9.period / m5.period;
+        assert!(
+            (1.4..2.4).contains(&ratio),
+            "9/5 stage period ratio {ratio} (expect ~1.8)"
+        );
+        // Per-stage delay is stage-count invariant within a band.
+        let sratio = m9.stage_delay / m5.stage_delay;
+        assert!((0.75..1.3).contains(&sratio), "stage ratio {sratio}");
+    }
+
+    #[test]
+    fn lower_supply_slows_the_ring() {
+        let hi = measure_ring(&tech(), 5, 4.0, 2.5, 0.4, 5e-15);
+        let lo = measure_ring(&tech(), 5, 4.0, 1.2, 0.4, 5e-15);
+        assert!(lo.period > 1.5 * hi.period);
+        assert!(lo.power < hi.power);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_rings_rejected() {
+        let _ = measure_ring(&tech(), 4, 4.0, 2.0, 0.4, 5e-15);
+    }
+}

@@ -1,0 +1,176 @@
+//! Prebuilt static CMOS gate stages with explicit series stacks.
+
+use crate::circuit::{Circuit, NodeRef};
+
+/// Adds an inverter between `input` and `output`.
+///
+/// NMOS width `w`, PMOS width `β·w` (the technology's beta ratio), both at
+/// threshold `vt`. The output node must already exist (so the caller
+/// controls its load capacitance).
+pub fn inverter(c: &mut Circuit, vdd: NodeRef, input: NodeRef, output: NodeRef, w: f64, vt: f64) {
+    let beta = c.technology().beta;
+    let gnd = c.ground();
+    c.nmos(input, output, gnd, w, vt);
+    c.pmos(input, vdd, output, beta * w, vt);
+}
+
+/// Adds an `n`-input NAND stage: a series NMOS stack from `output` to
+/// ground with explicit intermediate nodes (carrying the technology's
+/// `C_m·w` stack capacitance) and parallel PMOS pull-ups.
+///
+/// `inputs[0]` controls the NMOS nearest the output — driving it last is
+/// the worst case the analytic model's series derating targets.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn nand(
+    c: &mut Circuit,
+    vdd: NodeRef,
+    inputs: &[NodeRef],
+    output: NodeRef,
+    w: f64,
+    vt: f64,
+) {
+    assert!(!inputs.is_empty(), "NAND needs at least one input");
+    let beta = c.technology().beta;
+    let c_mi = c.technology().c_mi;
+    let gnd = c.ground();
+    // Series NMOS chain: output → m1 → m2 → ... → gnd.
+    let mut upper = output;
+    for (k, &input) in inputs.iter().enumerate() {
+        let lower = if k + 1 == inputs.len() {
+            gnd
+        } else {
+            // Intermediate node starts discharged.
+            c.node(c_mi * w, 0.0)
+        };
+        c.nmos(input, upper, lower, w, vt);
+        upper = lower;
+    }
+    // Parallel PMOS pull-ups.
+    for &input in inputs {
+        c.pmos(input, vdd, output, beta * w, vt);
+    }
+}
+
+/// Adds an `n`-input NOR stage: parallel NMOS pull-downs and a series
+/// PMOS stack from the supply with explicit intermediate nodes.
+///
+/// `inputs[0]` controls the PMOS nearest the output.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn nor(
+    c: &mut Circuit,
+    vdd: NodeRef,
+    inputs: &[NodeRef],
+    output: NodeRef,
+    w: f64,
+    vt: f64,
+) {
+    assert!(!inputs.is_empty(), "NOR needs at least one input");
+    let beta = c.technology().beta;
+    let c_mi = c.technology().c_mi;
+    let gnd = c.ground();
+    // Series PMOS chain: vdd → m1 → ... → output, with the device nearest
+    // the output driven by inputs[0] (chain position k is driven by
+    // inputs[n−1−k]).
+    let n = inputs.len();
+    let mut upper = vdd;
+    for k in 0..n {
+        let lower = if k + 1 == n {
+            output
+        } else {
+            c.node(c_mi * w * beta, 0.0)
+        };
+        c.pmos(inputs[n - 1 - k], upper, lower, beta * w, vt);
+        upper = lower;
+    }
+    for &input in inputs {
+        c.nmos(input, output, gnd, w, vt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+    use minpower_device::Technology;
+
+    fn tech() -> Technology {
+        Technology::dac97()
+    }
+
+    #[test]
+    fn inverter_inverts() {
+        let mut c = Circuit::new(tech());
+        let vdd = c.supply(3.3);
+        let low = c.input(Waveform::Const(0.0));
+        let out_hi = c.node(5e-15, 0.0);
+        inverter(&mut c, vdd, low, out_hi, 4.0, 0.7);
+        let hi = c.input(Waveform::Const(3.3));
+        let out_lo = c.node(5e-15, 3.3);
+        inverter(&mut c, vdd, hi, out_lo, 4.0, 0.7);
+        let tr = c.simulate(3e-9, 3000);
+        assert!(tr.final_voltage(out_hi) > 3.2);
+        assert!(tr.final_voltage(out_lo) < 0.1);
+    }
+
+    #[test]
+    fn nand_truth_table_endpoints() {
+        // Both inputs high → output low; one low → output high.
+        let mut c = Circuit::new(tech());
+        let vdd = c.supply(3.3);
+        let hi = c.input(Waveform::Const(3.3));
+        let lo = c.input(Waveform::Const(0.0));
+        let out_low = c.node(5e-15, 3.3);
+        nand(&mut c, vdd, &[hi, hi], out_low, 4.0, 0.7);
+        let out_high = c.node(5e-15, 0.0);
+        nand(&mut c, vdd, &[hi, lo], out_high, 4.0, 0.7);
+        let tr = c.simulate(4e-9, 4000);
+        assert!(tr.final_voltage(out_low) < 0.1, "{}", tr.final_voltage(out_low));
+        assert!(tr.final_voltage(out_high) > 3.2);
+    }
+
+    #[test]
+    fn nor_truth_table_endpoints() {
+        let mut c = Circuit::new(tech());
+        let vdd = c.supply(3.3);
+        let hi = c.input(Waveform::Const(3.3));
+        let lo = c.input(Waveform::Const(0.0));
+        let out_low = c.node(5e-15, 3.3);
+        nor(&mut c, vdd, &[lo, hi], out_low, 4.0, 0.7);
+        let out_high = c.node(5e-15, 0.0);
+        nor(&mut c, vdd, &[lo, lo], out_high, 4.0, 0.7);
+        let tr = c.simulate(6e-9, 6000);
+        assert!(tr.final_voltage(out_low) < 0.1);
+        assert!(tr.final_voltage(out_high) > 3.2, "{}", tr.final_voltage(out_high));
+    }
+
+    #[test]
+    fn nand_series_stack_is_slower_than_inverter() {
+        // Same width, same load: the 3-deep stack must switch slower.
+        let mut c = Circuit::new(tech());
+        let vdd = c.supply(3.3);
+        let step = Waveform::Step {
+            t: 0.2e-9,
+            from: 0.0,
+            to: 3.3,
+        };
+        let sw = c.input(step);
+        let hi = c.input(Waveform::Const(3.3));
+        let out_inv = c.node(20e-15, 3.3);
+        inverter(&mut c, vdd, sw, out_inv, 4.0, 0.7);
+        let out_nand = c.node(20e-15, 3.3);
+        nand(&mut c, vdd, &[sw, hi, hi], out_nand, 4.0, 0.7);
+        let tr = c.simulate(4e-9, 4000);
+        let t_inv = tr.crossing(out_inv, 1.65, false, 0.2e-9).unwrap();
+        let t_nand = tr.crossing(out_nand, 1.65, false, 0.2e-9).unwrap();
+        assert!(
+            t_nand > t_inv,
+            "stacked NAND ({t_nand}) not slower than inverter ({t_inv})"
+        );
+    }
+}

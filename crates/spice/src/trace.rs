@@ -1,0 +1,163 @@
+//! Simulation output and measurement helpers.
+
+use crate::circuit::NodeRef;
+
+/// The recorded result of a transient simulation.
+///
+/// Stores every RK4 sample of every dynamic node plus the cumulative
+/// energy drawn from the supplies, and offers the measurements the
+/// validation experiments need: interpolated crossing times and energy
+/// over a window.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    times: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+    energy: Vec<f64>,
+    index: Vec<Option<usize>>,
+}
+
+impl Trace {
+    pub(crate) fn new(
+        times: Vec<f64>,
+        samples: Vec<Vec<f64>>,
+        energy: Vec<f64>,
+        index: Vec<Option<usize>>,
+    ) -> Self {
+        Trace {
+            times,
+            samples,
+            energy,
+            index,
+        }
+    }
+
+    fn state_index(&self, node: NodeRef) -> usize {
+        self.index[node.0 as usize]
+            .expect("measurement requires a dynamic node")
+    }
+
+    /// The simulated time points, seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage of `node` at the sample nearest to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a dynamic node.
+    pub fn voltage_at(&self, node: NodeRef, t: f64) -> f64 {
+        let s = self.state_index(node);
+        let i = match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("times are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.times.len() - 1),
+        };
+        self.samples[i][s]
+    }
+
+    /// Voltage of `node` at the final sample.
+    pub fn final_voltage(&self, node: NodeRef) -> f64 {
+        let s = self.state_index(node);
+        self.samples.last().expect("trace is never empty")[s]
+    }
+
+    /// First time after `after` at which `node` crosses `level` in the
+    /// given direction, linearly interpolated; `None` if it never does.
+    pub fn crossing(&self, node: NodeRef, level: f64, rising: bool, after: f64) -> Option<f64> {
+        let s = self.state_index(node);
+        for w in 0..self.times.len() - 1 {
+            let (t0, t1) = (self.times[w], self.times[w + 1]);
+            if t1 < after {
+                continue;
+            }
+            let (v0, v1) = (self.samples[w][s], self.samples[w + 1][s]);
+            let crossed = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crossed {
+                let frac = (level - v0) / (v1 - v0);
+                let t = t0 + frac * (t1 - t0);
+                if t >= after {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Energy drawn from all supplies between `t0` and `t1`, joules.
+    pub fn supply_energy_between(&self, t0: f64, t1: f64) -> f64 {
+        let e = |t: f64| -> f64 {
+            let i = match self
+                .times
+                .binary_search_by(|x| x.partial_cmp(&t).expect("times are finite"))
+            {
+                Ok(i) => i,
+                Err(i) => i.min(self.times.len() - 1),
+            };
+            self.energy[i]
+        };
+        e(t1) - e(t0)
+    }
+
+    /// Total energy drawn from all supplies over the whole run, joules.
+    pub fn total_supply_energy(&self) -> f64 {
+        *self.energy.last().expect("trace is never empty")
+    }
+
+    /// Final value of a raw state index (crate-internal convergence
+    /// checks).
+    pub(crate) fn final_state(&self, state: usize) -> f64 {
+        self.samples.last().expect("trace is never empty")[state]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> (Trace, NodeRef) {
+        // Synthesize a linear 0→1 V ramp over 10 samples on one node.
+        let times: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let samples: Vec<Vec<f64>> = (0..=10).map(|i| vec![i as f64 / 10.0]).collect();
+        let energy: Vec<f64> = (0..=10).map(|i| i as f64 * 2.0).collect();
+        (
+            Trace::new(times, samples, energy, vec![Some(0)]),
+            NodeRef(0),
+        )
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        let (t, n) = ramp_trace();
+        let x = t.crossing(n, 0.55, true, 0.0).unwrap();
+        assert!((x - 5.5).abs() < 1e-9);
+        assert!(t.crossing(n, 0.55, false, 0.0).is_none());
+        assert!(t.crossing(n, 2.0, true, 0.0).is_none());
+    }
+
+    #[test]
+    fn crossing_respects_after() {
+        let (t, n) = ramp_trace();
+        assert!(t.crossing(n, 0.55, true, 6.0).is_none());
+    }
+
+    #[test]
+    fn energy_window() {
+        let (t, _) = ramp_trace();
+        assert!((t.supply_energy_between(2.0, 7.0) - 10.0).abs() < 1e-9);
+        assert!((t.total_supply_energy() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_lookup() {
+        let (t, n) = ramp_trace();
+        assert!((t.voltage_at(n, 3.0) - 0.3).abs() < 1e-12);
+        assert!((t.final_voltage(n) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fanout-weighted path criticality: the dynamic program behind
+//! Procedure 1.
+
+use minpower_netlist::{GateId, GateKind, Netlist};
+
+/// Maximum path criticality through every gate, with path extraction.
+///
+/// Criticality of a path is the sum of the fanout counts of its **logic**
+/// gates (primary-input markers weigh zero — they carry no delay budget).
+/// `prefix(g)` is the best criticality of any input→`g` segment including
+/// `g`; `suffix(g)` the best `g`→output segment including `g`; the best
+/// complete path through `g` is `prefix + suffix − weight(g)`.
+#[derive(Debug, Clone)]
+pub struct Criticality {
+    weight: Vec<u64>,
+    prefix: Vec<u64>,
+    suffix: Vec<u64>,
+    /// Best predecessor on the maximizing prefix path (None at sources).
+    pred: Vec<Option<u32>>,
+    /// Best successor on the maximizing suffix path (None at sinks).
+    succ: Vec<Option<u32>>,
+    reaches_output: Vec<bool>,
+}
+
+impl Criticality {
+    /// Runs the prefix/suffix dynamic program over `netlist`.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let n = netlist.gate_count();
+        let weight: Vec<u64> = (0..n)
+            .map(|i| {
+                let id = GateId::new(i);
+                if netlist.gate(id).kind() == GateKind::Input {
+                    0
+                } else {
+                    netlist.fanout_count(id) as u64
+                }
+            })
+            .collect();
+
+        let mut reaches_output = vec![false; n];
+        for &o in netlist.outputs() {
+            reaches_output[o.index()] = true;
+        }
+        for &id in netlist.topological_order().iter().rev() {
+            if netlist
+                .fanout(id)
+                .iter()
+                .any(|s| reaches_output[s.index()])
+            {
+                reaches_output[id.index()] = true;
+            }
+        }
+
+        let mut prefix = vec![0u64; n];
+        let mut pred: Vec<Option<u32>> = vec![None; n];
+        for &id in netlist.topological_order() {
+            let i = id.index();
+            let mut best = 0u64;
+            let mut best_pred = None;
+            for &f in netlist.gate(id).fanin() {
+                if prefix[f.index()] >= best {
+                    best = prefix[f.index()];
+                    best_pred = Some(f.index() as u32);
+                }
+            }
+            // Sources start their own path.
+            if netlist.gate(id).fanin().is_empty() {
+                best = 0;
+                best_pred = None;
+            }
+            prefix[i] = best + weight[i];
+            pred[i] = best_pred;
+        }
+
+        let mut suffix = vec![0u64; n];
+        let mut succ: Vec<Option<u32>> = vec![None; n];
+        for &id in netlist.topological_order().iter().rev() {
+            let i = id.index();
+            let mut best = 0u64;
+            let mut best_succ = None;
+            for &s in netlist.fanout(id) {
+                if !reaches_output[s.index()] {
+                    continue;
+                }
+                if best_succ.is_none() || suffix[s.index()] > best {
+                    best = suffix[s.index()];
+                    best_succ = Some(s.index() as u32);
+                }
+            }
+            // A primary output that also fans out could terminate the path
+            // here, but any continuation has non-negative weight, so the
+            // max already prefers (or ties) the continued path; the succ
+            // chain always ends at a gate with no output-reaching fanout,
+            // which is necessarily a primary output.
+            suffix[i] = best + weight[i];
+            succ[i] = best_succ;
+        }
+
+        Criticality {
+            weight,
+            prefix,
+            suffix,
+            pred,
+            succ,
+            reaches_output,
+        }
+    }
+
+    /// The criticality weight (fanout count; zero for inputs) of `id`.
+    pub fn weight(&self, id: GateId) -> u64 {
+        self.weight[id.index()]
+    }
+
+    /// Best criticality of any complete input→output path through `id`,
+    /// or `None` if `id` cannot reach a primary output.
+    pub fn through(&self, id: GateId) -> Option<u64> {
+        if !self.reaches_output[id.index()] {
+            return None;
+        }
+        Some(self.prefix[id.index()] + self.suffix[id.index()] - self.weight[id.index()])
+    }
+
+    /// The maximum path criticality in the network (`N_c` of the most
+    /// critical path).
+    pub fn max_criticality(&self) -> u64 {
+        (0..self.weight.len())
+            .filter_map(|i| self.through(GateId::new(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Extracts the maximizing input→output path through `id` (inclusive),
+    /// in topological order. Returns an empty path if `id` reaches no
+    /// output.
+    pub fn path_through(&self, id: GateId) -> Vec<GateId> {
+        if !self.reaches_output[id.index()] {
+            return Vec::new();
+        }
+        let mut back = Vec::new();
+        let mut cur = id.index() as u32;
+        loop {
+            back.push(GateId::new(cur as usize));
+            match self.pred[cur as usize] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        back.reverse();
+        let mut cur = id.index() as u32;
+        while let Some(s) = self.succ[cur as usize] {
+            back.push(GateId::new(s as usize));
+            cur = s;
+        }
+        back
+    }
+
+    /// The most critical path of the whole network.
+    pub fn most_critical_path(&self) -> Vec<GateId> {
+        let best = (0..self.weight.len())
+            .map(GateId::new)
+            .filter(|&id| self.through(id).is_some())
+            .max_by_key(|&id| self.through(id).unwrap_or(0));
+        match best {
+            Some(id) => self.path_through(id),
+            None => Vec::new(),
+        }
+    }
+
+    /// Sum of weights along an explicit path (utility for tests and the
+    /// budgeting procedure).
+    pub fn path_criticality(&self, path: &[GateId]) -> u64 {
+        path.iter().map(|&g| self.weight(g)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::NetlistBuilder;
+
+    /// Two paths: a→u→y (u has fanout 2) and a→v→y (v has fanout 1).
+    fn asymmetric() -> Netlist {
+        let mut b = NetlistBuilder::new("asym");
+        b.input("a").unwrap();
+        b.gate("u", GateKind::Not, &["a"]).unwrap();
+        b.gate("v", GateKind::Buf, &["a"]).unwrap();
+        b.gate("w", GateKind::Not, &["u"]).unwrap();
+        b.gate("y", GateKind::Nand, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        b.output("w").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn weights_are_fanout_counts() {
+        let n = asymmetric();
+        let c = Criticality::compute(&n);
+        assert_eq!(c.weight(n.find("u").unwrap()), 2);
+        assert_eq!(c.weight(n.find("v").unwrap()), 1);
+        assert_eq!(c.weight(n.find("a").unwrap()), 0); // inputs weigh zero
+        assert_eq!(c.weight(n.find("y").unwrap()), 1); // PO load
+    }
+
+    #[test]
+    fn most_critical_path_picks_heavier_branch() {
+        let n = asymmetric();
+        let c = Criticality::compute(&n);
+        let path = c.most_critical_path();
+        let names: Vec<&str> = path.iter().map(|&g| n.gate(g).name()).collect();
+        // a(0) → u(2) → y(1) = 3 beats a → v(1) → y(1) = 2 and a → u → w(1) = 3.
+        assert_eq!(c.path_criticality(&path), 3);
+        assert!(names.contains(&"u"));
+        assert_eq!(c.max_criticality(), 3);
+    }
+
+    #[test]
+    fn through_equals_prefix_plus_suffix() {
+        let n = asymmetric();
+        let c = Criticality::compute(&n);
+        let v = n.find("v").unwrap();
+        // Best path through v: a(0) v(1) y(1) = 2.
+        assert_eq!(c.through(v), Some(2));
+        let path = c.path_through(v);
+        assert_eq!(c.path_criticality(&path), 2);
+        assert!(path.contains(&v));
+    }
+
+    #[test]
+    fn path_is_topologically_ordered_and_connected() {
+        let n = asymmetric();
+        let c = Criticality::compute(&n);
+        for name in ["u", "v", "w", "y"] {
+            let path = c.path_through(n.find(name).unwrap());
+            assert!(!path.is_empty());
+            for pair in path.windows(2) {
+                assert!(
+                    n.gate(pair[1]).fanin().contains(&pair[0]),
+                    "{name}: path edge {} -> {} is not a netlist edge",
+                    n.gate(pair[0]).name(),
+                    n.gate(pair[1]).name()
+                );
+            }
+            // Starts at a source, ends at an output.
+            assert!(n.gate(path[0]).fanin().is_empty());
+            assert!(n.is_output(*path.last().unwrap()));
+        }
+    }
+
+    #[test]
+    fn dangling_gates_are_excluded() {
+        // w is an output here, but if we drop that, a dead branch must
+        // report None.
+        let mut b = NetlistBuilder::new("dead");
+        b.input("a").unwrap();
+        b.gate("live", GateKind::Not, &["a"]).unwrap();
+        b.gate("dead", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::Not, &["live"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let c = Criticality::compute(&n);
+        // `dead` has no fanout at all → fanout_count treats it as a load,
+        // but it cannot reach an output, so no path goes through it.
+        assert_eq!(c.through(n.find("dead").unwrap()), None);
+        assert!(c.path_through(n.find("dead").unwrap()).is_empty());
+        assert!(c.through(n.find("live").unwrap()).is_some());
+    }
+}

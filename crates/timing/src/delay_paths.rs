@@ -1,0 +1,238 @@
+//! Enumeration of paths in decreasing **delay** order.
+//!
+//! Procedure 1 orders paths by structural criticality (fanout sums);
+//! once a design exists, the interesting order is by actual delay — for
+//! reporting the worst paths of a finished design and for checking how
+//! many paths sit near the cycle time (the "all paths stretched to
+//! `T_c`" signature of the paper's budgeting). Same best-first algorithm
+//! as [`KMostCriticalPaths`](crate::KMostCriticalPaths), with per-gate
+//! delays as weights.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use minpower_netlist::{GateId, Netlist};
+
+/// One complete input→output path with its total delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayPath {
+    /// The gates of the path, in topological order.
+    pub gates: Vec<GateId>,
+    /// Sum of gate delays along the path, seconds.
+    pub delay: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    bound: f64,
+    prefix: f64,
+    path: Vec<u32>,
+    terminal: bool,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .expect("delays are finite")
+            .then_with(|| self.terminal.cmp(&other.terminal))
+            .then_with(|| other.path.len().cmp(&self.path.len()))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Best-first enumeration of complete paths in non-increasing total-delay
+/// order, given per-gate delays.
+///
+/// # Example
+///
+/// ```
+/// use minpower_netlist::{GateKind, NetlistBuilder};
+/// use minpower_timing::KWorstDelayPaths;
+///
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a")?;
+/// b.gate("x", GateKind::Not, &["a"])?;
+/// b.gate("y", GateKind::Not, &["x"])?;
+/// b.output("y")?;
+/// let n = b.finish()?;
+/// let delays = vec![0.0, 1e-9, 2e-9];
+/// let worst = KWorstDelayPaths::new(&n, &delays).next().unwrap();
+/// assert!((worst.delay - 3e-9).abs() < 1e-18);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KWorstDelayPaths<'a> {
+    netlist: &'a Netlist,
+    delay: Vec<f64>,
+    suffix: Vec<f64>,
+    reaches: Vec<bool>,
+    heap: BinaryHeap<Entry>,
+}
+
+impl<'a> KWorstDelayPaths<'a> {
+    /// Prepares the enumeration over `netlist` with per-gate `delays`
+    /// (indexed by [`GateId::index`]; primary inputs at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len()` differs from the gate count or contains
+    /// non-finite values.
+    pub fn new(netlist: &'a Netlist, delays: &[f64]) -> Self {
+        assert_eq!(delays.len(), netlist.gate_count());
+        assert!(
+            delays.iter().all(|d| d.is_finite()),
+            "delays must be finite"
+        );
+        let n = netlist.gate_count();
+        let mut reaches = vec![false; n];
+        for &o in netlist.outputs() {
+            reaches[o.index()] = true;
+        }
+        for &id in netlist.topological_order().iter().rev() {
+            if netlist.fanout(id).iter().any(|s| reaches[s.index()]) {
+                reaches[id.index()] = true;
+            }
+        }
+        let mut suffix = vec![0.0f64; n];
+        for &id in netlist.topological_order().iter().rev() {
+            let i = id.index();
+            let best = netlist
+                .fanout(id)
+                .iter()
+                .filter(|s| reaches[s.index()])
+                .map(|s| suffix[s.index()])
+                .fold(f64::NEG_INFINITY, f64::max);
+            suffix[i] = if best.is_finite() { best } else { 0.0 } + delays[i];
+        }
+        let mut heap = BinaryHeap::new();
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.fanin().is_empty() && reaches[i] {
+                heap.push(Entry {
+                    bound: suffix[i],
+                    prefix: delays[i],
+                    path: vec![i as u32],
+                    terminal: false,
+                });
+            }
+        }
+        KWorstDelayPaths {
+            netlist,
+            delay: delays.to_vec(),
+            suffix,
+            reaches,
+            heap,
+        }
+    }
+}
+
+impl Iterator for KWorstDelayPaths<'_> {
+    type Item = DelayPath;
+
+    fn next(&mut self) -> Option<DelayPath> {
+        while let Some(entry) = self.heap.pop() {
+            let tail = *entry.path.last().expect("paths are never empty") as usize;
+            if entry.terminal {
+                return Some(DelayPath {
+                    gates: entry
+                        .path
+                        .iter()
+                        .map(|&i| GateId::new(i as usize))
+                        .collect(),
+                    delay: entry.prefix,
+                });
+            }
+            let tail_id = GateId::new(tail);
+            if self.netlist.is_output(tail_id) {
+                self.heap.push(Entry {
+                    bound: entry.prefix,
+                    prefix: entry.prefix,
+                    path: entry.path.clone(),
+                    terminal: true,
+                });
+            }
+            for &s in self.netlist.fanout(tail_id) {
+                let si = s.index();
+                if !self.reaches[si] {
+                    continue;
+                }
+                let mut path = entry.path.clone();
+                path.push(si as u32);
+                self.heap.push(Entry {
+                    bound: entry.prefix + self.suffix[si],
+                    prefix: entry.prefix + self.delay[si],
+                    path,
+                    terminal: false,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::{GateKind, NetlistBuilder};
+
+    fn diamond() -> (Netlist, Vec<f64>) {
+        let mut b = NetlistBuilder::new("d");
+        b.input("a").unwrap();
+        b.gate("u", GateKind::Not, &["a"]).unwrap();
+        b.gate("v", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::Nand, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let mut d = vec![0.0; n.gate_count()];
+        d[n.find("u").unwrap().index()] = 3.0;
+        d[n.find("v").unwrap().index()] = 1.0;
+        d[n.find("y").unwrap().index()] = 2.0;
+        (n, d)
+    }
+
+    #[test]
+    fn paths_come_out_in_delay_order() {
+        let (n, d) = diamond();
+        let paths: Vec<DelayPath> = KWorstDelayPaths::new(&n, &d).collect();
+        assert_eq!(paths.len(), 2);
+        assert!((paths[0].delay - 5.0).abs() < 1e-12); // a-u-y
+        assert!((paths[1].delay - 3.0).abs() < 1e-12); // a-v-y
+    }
+
+    #[test]
+    fn worst_path_matches_sta() {
+        let (n, d) = diamond();
+        let sta = crate::Sta::analyze(&n, &d, 10.0);
+        let worst = KWorstDelayPaths::new(&n, &d).next().unwrap();
+        assert!((worst.delay - sta.critical_delay()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paths_are_valid_chains() {
+        let (n, d) = diamond();
+        for p in KWorstDelayPaths::new(&n, &d) {
+            assert!(n.gate(p.gates[0]).fanin().is_empty());
+            assert!(n.is_output(*p.gates.last().unwrap()));
+            for pair in p.gates.windows(2) {
+                assert!(n.gate(pair[1]).fanin().contains(&pair[0]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delays must be finite")]
+    fn infinite_delays_rejected() {
+        let (n, mut d) = diamond();
+        d[1] = f64::INFINITY;
+        let _ = KWorstDelayPaths::new(&n, &d);
+    }
+}

@@ -1,0 +1,272 @@
+//! Event-driven gate-level timing simulation.
+//!
+//! Static timing analysis is a *bound*: it assumes every gate lies on its
+//! worst path with its worst transition. An event-driven simulation of
+//! concrete vectors gives the complementary view — actual settling times
+//! (always ≤ the STA bound) and the number of glancing transitions
+//! (glitches, which the paper's transition-density activity model
+//! approximates statistically). This module implements the classical
+//! inertial-delay event simulator over a [`Netlist`] with per-gate
+//! delays.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use minpower_netlist::{GateKind, Netlist};
+
+/// Result of simulating one input transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSimResult {
+    /// Final logic value of every gate.
+    pub values: Vec<bool>,
+    /// Time the last output event occurred (settling time), seconds.
+    pub settle_time: f64,
+    /// Total output transitions per gate — `> 1` change of value means
+    /// glitching.
+    pub transitions: Vec<u32>,
+}
+
+impl EventSimResult {
+    /// Total transitions across all gates (the quantity the paper's
+    /// transition densities estimate in expectation).
+    pub fn total_transitions(&self) -> u64 {
+        self.transitions.iter().map(|&t| t as u64).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    gate: u32,
+    value: bool,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by time.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| self.gate.cmp(&other.gate))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven simulator over a netlist with fixed per-gate delays.
+///
+/// # Example
+///
+/// ```
+/// use minpower_netlist::{GateKind, NetlistBuilder};
+/// use minpower_timing::EventSimulator;
+///
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a")?;
+/// b.gate("x", GateKind::Not, &["a"])?;
+/// b.gate("y", GateKind::Not, &["x"])?;
+/// b.output("y")?;
+/// let n = b.finish()?;
+/// let sim = EventSimulator::new(&n, &[0.0, 1e-9, 1e-9]);
+/// let r = sim.simulate(&[false], &[true]);
+/// assert!((r.settle_time - 2e-9).abs() < 1e-18);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventSimulator<'a> {
+    netlist: &'a Netlist,
+    delays: Vec<f64>,
+}
+
+impl<'a> EventSimulator<'a> {
+    /// Creates a simulator with per-gate `delays` (indexed by
+    /// [`minpower_netlist::GateId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len()` differs from the gate count or contains
+    /// negative or non-finite entries.
+    pub fn new(netlist: &'a Netlist, delays: &[f64]) -> Self {
+        assert_eq!(delays.len(), netlist.gate_count());
+        assert!(
+            delays.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "delays must be finite and non-negative"
+        );
+        EventSimulator {
+            netlist,
+            delays: delays.to_vec(),
+        }
+    }
+
+    /// Simulates the transition from input assignment `before` to
+    /// `after` (both in [`Netlist::inputs`] order), with all inputs
+    /// switching at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment lengths mismatch the input count.
+    pub fn simulate(&self, before: &[bool], after: &[bool]) -> EventSimResult {
+        let n = self.netlist;
+        assert_eq!(before.len(), n.inputs().len());
+        assert_eq!(after.len(), n.inputs().len());
+
+        // Steady state under `before`.
+        let mut value = n.evaluate(before);
+        let mut transitions = vec![0u32; n.gate_count()];
+        let mut settle: f64 = 0.0;
+
+        let mut queue: BinaryHeap<Event> = BinaryHeap::new();
+        for (k, &input) in n.inputs().iter().enumerate() {
+            if before[k] != after[k] {
+                queue.push(Event {
+                    time: 0.0,
+                    gate: input.index() as u32,
+                    value: after[k],
+                });
+            }
+        }
+
+        let mut fanin_buf = Vec::new();
+        while let Some(ev) = queue.pop() {
+            let g = ev.gate as usize;
+            if value[g] == ev.value {
+                continue; // superseded event; inertial filtering
+            }
+            value[g] = ev.value;
+            transitions[g] += 1;
+            settle = settle.max(ev.time);
+            for &sink in n.fanout(minpower_netlist::GateId::new(g)) {
+                let s = sink.index();
+                let gate = n.gate(sink);
+                if gate.kind() == GateKind::Input {
+                    continue;
+                }
+                fanin_buf.clear();
+                fanin_buf.extend(gate.fanin().iter().map(|f| value[f.index()]));
+                let new_out = gate.kind().eval(&fanin_buf);
+                // Schedule only if the eventual output differs from the
+                // current value *at that future time*; a simple check
+                // against the present value plus the superseded-event
+                // guard above realizes inertial delay.
+                if new_out != value[s] {
+                    queue.push(Event {
+                        time: ev.time + self.delays[s],
+                        gate: s as u32,
+                        value: new_out,
+                    });
+                }
+            }
+        }
+        EventSimResult {
+            values: value,
+            settle_time: settle,
+            transitions,
+        }
+    }
+
+    /// Runs `vectors` random transitions and returns the worst settling
+    /// time observed and the mean transitions per gate per vector.
+    /// Deterministic for a given `seed`.
+    pub fn random_transitions(&self, vectors: usize, seed: u64) -> (f64, f64) {
+        let n_in = self.netlist.inputs().len();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut worst: f64 = 0.0;
+        let mut total_tr: u64 = 0;
+        let mut before: Vec<bool> = (0..n_in).map(|_| next() & 1 == 1).collect();
+        for _ in 0..vectors {
+            let after: Vec<bool> = (0..n_in).map(|_| next() & 1 == 1).collect();
+            let r = self.simulate(&before, &after);
+            worst = worst.max(r.settle_time);
+            total_tr += r.total_transitions();
+            before = after;
+        }
+        let denom = (vectors * self.netlist.gate_count()).max(1) as f64;
+        (worst, total_tr as f64 / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::NetlistBuilder;
+
+    fn xor_glitcher() -> (Netlist, Vec<f64>) {
+        // y = a XOR (delayed a): a static-0 function that glitches.
+        let mut b = NetlistBuilder::new("glitch");
+        b.input("a").unwrap();
+        b.gate("d1", GateKind::Buf, &["a"]).unwrap();
+        b.gate("d2", GateKind::Buf, &["d1"]).unwrap();
+        b.gate("y", GateKind::Xor, &["a", "d2"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let mut d = vec![0.0; n.gate_count()];
+        d[n.find("d1").unwrap().index()] = 1e-9;
+        d[n.find("d2").unwrap().index()] = 1e-9;
+        d[n.find("y").unwrap().index()] = 0.2e-9;
+        (n, d)
+    }
+
+    #[test]
+    fn final_values_match_functional_evaluation() {
+        let (n, d) = xor_glitcher();
+        let sim = EventSimulator::new(&n, &d);
+        let r = sim.simulate(&[false], &[true]);
+        assert_eq!(r.values, n.evaluate(&[true]));
+    }
+
+    #[test]
+    fn glitches_are_observed() {
+        let (n, d) = xor_glitcher();
+        let sim = EventSimulator::new(&n, &d);
+        let r = sim.simulate(&[false], &[true]);
+        let y = n.find("y").unwrap();
+        // y pulses 0→1 at 0.2 ns, back 1→0 at 2.2 ns: two transitions.
+        assert_eq!(r.transitions[y.index()], 2, "{:?}", r.transitions);
+        assert!((r.settle_time - 2.2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn settle_never_exceeds_sta_bound() {
+        let (n, d) = xor_glitcher();
+        let sim = EventSimulator::new(&n, &d);
+        let sta = crate::Sta::analyze(&n, &d, 1.0);
+        let (worst, _) = sim.random_transitions(200, 17);
+        assert!(
+            worst <= sta.critical_delay() + 1e-18,
+            "event sim {worst} exceeds STA {}",
+            sta.critical_delay()
+        );
+    }
+
+    #[test]
+    fn no_input_change_means_no_events() {
+        let (n, d) = xor_glitcher();
+        let sim = EventSimulator::new(&n, &d);
+        let r = sim.simulate(&[true], &[true]);
+        assert_eq!(r.settle_time, 0.0);
+        assert_eq!(r.total_transitions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_delay_rejected() {
+        let (n, mut d) = xor_glitcher();
+        d[1] = -1.0;
+        let _ = EventSimulator::new(&n, &d);
+    }
+}

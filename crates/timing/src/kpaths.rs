@@ -1,0 +1,302 @@
+//! Lazy enumeration of input→output paths in decreasing criticality.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use minpower_netlist::{GateId, GateKind, Netlist};
+
+/// One complete input→output path and its criticality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// The gates of the path, in topological order (first element is a
+    /// source, last a primary output).
+    pub gates: Vec<GateId>,
+    /// Sum of fanout weights along the path (`N_cj`).
+    pub criticality: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    bound: u64,
+    prefix_weight: u64,
+    path: Vec<u32>,
+    terminal: bool,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .cmp(&other.bound)
+            // Prefer terminal entries at equal bound so completed paths
+            // surface before their own extensions.
+            .then_with(|| self.terminal.cmp(&other.terminal))
+            .then_with(|| other.path.len().cmp(&self.path.len()))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Best-first enumeration of complete paths in **exactly non-increasing
+/// criticality order** — the fanout-weighted analogue of the Ju–Saleh
+/// K-most-critical-paths algorithm the paper adapts (§4.2, ref [6]).
+///
+/// The iterator is lazy: the (potentially exponential) path set is never
+/// materialized; each `next()` costs one heap pop plus one expansion.
+///
+/// # Example
+///
+/// ```
+/// use minpower_netlist::{GateKind, NetlistBuilder};
+/// use minpower_timing::KMostCriticalPaths;
+///
+/// # fn main() -> Result<(), minpower_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a")?;
+/// b.gate("x", GateKind::Not, &["a"])?;
+/// b.gate("y", GateKind::Not, &["x"])?;
+/// b.output("y")?;
+/// let n = b.finish()?;
+/// let paths: Vec<_> = KMostCriticalPaths::new(&n).take(4).collect();
+/// assert_eq!(paths.len(), 1); // a single path exists
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KMostCriticalPaths<'a> {
+    netlist: &'a Netlist,
+    weight: Vec<u64>,
+    suffix: Vec<u64>,
+    reaches: Vec<bool>,
+    heap: BinaryHeap<Entry>,
+}
+
+impl<'a> KMostCriticalPaths<'a> {
+    /// Prepares the enumeration for `netlist`.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let n = netlist.gate_count();
+        let weight: Vec<u64> = (0..n)
+            .map(|i| {
+                let id = GateId::new(i);
+                if netlist.gate(id).kind() == GateKind::Input {
+                    0
+                } else {
+                    netlist.fanout_count(id) as u64
+                }
+            })
+            .collect();
+
+        let mut reaches = vec![false; n];
+        for &o in netlist.outputs() {
+            reaches[o.index()] = true;
+        }
+        for &id in netlist.topological_order().iter().rev() {
+            if netlist.fanout(id).iter().any(|s| reaches[s.index()]) {
+                reaches[id.index()] = true;
+            }
+        }
+        let mut suffix = vec![0u64; n];
+        for &id in netlist.topological_order().iter().rev() {
+            let i = id.index();
+            let best = netlist
+                .fanout(id)
+                .iter()
+                .filter(|s| reaches[s.index()])
+                .map(|s| suffix[s.index()])
+                .max()
+                .unwrap_or(0);
+            suffix[i] = best + weight[i];
+        }
+
+        let mut heap = BinaryHeap::new();
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.fanin().is_empty() && reaches[i] {
+                heap.push(Entry {
+                    bound: suffix[i],
+                    prefix_weight: weight[i],
+                    path: vec![i as u32],
+                    terminal: false,
+                });
+            }
+        }
+        KMostCriticalPaths {
+            netlist,
+            weight,
+            suffix,
+            reaches,
+            heap,
+        }
+    }
+}
+
+impl Iterator for KMostCriticalPaths<'_> {
+    type Item = Path;
+
+    fn next(&mut self) -> Option<Path> {
+        while let Some(entry) = self.heap.pop() {
+            let tail = *entry.path.last().expect("paths are never empty") as usize;
+            if entry.terminal {
+                return Some(Path {
+                    gates: entry
+                        .path
+                        .iter()
+                        .map(|&i| GateId::new(i as usize))
+                        .collect(),
+                    criticality: entry.prefix_weight,
+                });
+            }
+            let tail_id = GateId::new(tail);
+            if self.netlist.is_output(tail_id) {
+                self.heap.push(Entry {
+                    bound: entry.prefix_weight,
+                    prefix_weight: entry.prefix_weight,
+                    path: entry.path.clone(),
+                    terminal: true,
+                });
+            }
+            for &s in self.netlist.fanout(tail_id) {
+                let si = s.index();
+                if !self.reaches[si] {
+                    continue;
+                }
+                let mut path = entry.path.clone();
+                path.push(si as u32);
+                self.heap.push(Entry {
+                    bound: entry.prefix_weight + self.suffix[si],
+                    prefix_weight: entry.prefix_weight + self.weight[si],
+                    path,
+                    terminal: false,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::NetlistBuilder;
+
+    fn diamond_with_tail() -> Netlist {
+        let mut b = NetlistBuilder::new("d");
+        b.input("a").unwrap();
+        b.gate("u", GateKind::Not, &["a"]).unwrap();
+        b.gate("v", GateKind::Buf, &["a"]).unwrap();
+        b.gate("w", GateKind::Not, &["u"]).unwrap();
+        b.gate("y", GateKind::Nand, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        b.output("w").unwrap();
+        b.finish().unwrap()
+    }
+
+    /// Brute-force enumeration by DFS for cross-checking.
+    fn all_paths(n: &Netlist) -> Vec<(Vec<GateId>, u64)> {
+        fn weight(n: &Netlist, id: GateId) -> u64 {
+            if n.gate(id).kind() == GateKind::Input {
+                0
+            } else {
+                n.fanout_count(id) as u64
+            }
+        }
+        let mut out = Vec::new();
+        let mut stack: Vec<Vec<GateId>> = n
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.fanin().is_empty())
+            .map(|(i, _)| vec![GateId::new(i)])
+            .collect();
+        while let Some(path) = stack.pop() {
+            let tail = *path.last().unwrap();
+            if n.is_output(tail) {
+                let c = path.iter().map(|&g| weight(n, g)).sum();
+                out.push((path.clone(), c));
+            }
+            for &s in n.fanout(tail) {
+                let mut p = path.clone();
+                p.push(s);
+                stack.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn enumerates_all_paths_in_decreasing_order() {
+        let n = diamond_with_tail();
+        let got: Vec<Path> = KMostCriticalPaths::new(&n).collect();
+        let mut expect = all_paths(&n);
+        expect.sort_by(|a, b| b.1.cmp(&a.1));
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert_eq!(g.criticality, e.1);
+        }
+        // Non-increasing order.
+        for w in got.windows(2) {
+            assert!(w[0].criticality >= w[1].criticality);
+        }
+    }
+
+    #[test]
+    fn first_path_matches_criticality_dp() {
+        let n = diamond_with_tail();
+        let crit = crate::Criticality::compute(&n);
+        let first = KMostCriticalPaths::new(&n).next().unwrap();
+        assert_eq!(first.criticality, crit.max_criticality());
+    }
+
+    #[test]
+    fn paths_are_valid_chains() {
+        let n = diamond_with_tail();
+        for p in KMostCriticalPaths::new(&n) {
+            assert!(n.gate(p.gates[0]).fanin().is_empty());
+            assert!(n.is_output(*p.gates.last().unwrap()));
+            for pair in p.gates.windows(2) {
+                assert!(n.gate(pair[1]).fanin().contains(&pair[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn take_limits_work_on_wide_networks() {
+        // A ladder with 2^8 paths; ask only for the first 10.
+        let mut b = NetlistBuilder::new("ladder");
+        b.input("i0").unwrap();
+        b.input("i1").unwrap();
+        let mut prev = ("i0".to_string(), "i1".to_string());
+        for s in 0..8 {
+            let a = format!("a{s}");
+            let o = format!("b{s}");
+            b.gate(&a, GateKind::Nand, &[&prev.0, &prev.1]).unwrap();
+            b.gate(&o, GateKind::Nor, &[&prev.0, &prev.1]).unwrap();
+            prev = (a, o);
+        }
+        b.output(&prev.0).unwrap();
+        b.output(&prev.1).unwrap();
+        let n = b.finish().unwrap();
+        let paths: Vec<Path> = KMostCriticalPaths::new(&n).take(10).collect();
+        assert_eq!(paths.len(), 10);
+        for w in paths.windows(2) {
+            assert!(w[0].criticality >= w[1].criticality);
+        }
+    }
+
+    #[test]
+    fn network_with_unreachable_branch_skips_it() {
+        let mut b = NetlistBuilder::new("dead");
+        b.input("a").unwrap();
+        b.gate("live", GateKind::Not, &["a"]).unwrap();
+        b.gate("dead", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::Not, &["live"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let dead = n.find("dead").unwrap();
+        for p in KMostCriticalPaths::new(&n) {
+            assert!(!p.gates.contains(&dead));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Arrival / required / slack analysis.
+
+use minpower_netlist::{GateId, Netlist};
+
+/// Result of a static timing analysis pass: per-gate arrival and required
+/// times and slacks against a cycle-time constraint.
+///
+/// Arrival times accumulate gate delays along the worst path from the
+/// inputs; required times propagate the cycle time backwards from the
+/// outputs. A negative slack anywhere means the delay assignment violates
+/// the constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sta {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    critical_delay: f64,
+    cycle_time: f64,
+}
+
+impl Sta {
+    /// Analyzes `netlist` under per-gate `delays` (indexed by
+    /// [`GateId::index`], primary inputs expected at zero delay) against
+    /// `cycle_time` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len()` differs from the gate count.
+    pub fn analyze(netlist: &Netlist, delays: &[f64], cycle_time: f64) -> Self {
+        assert_eq!(
+            delays.len(),
+            netlist.gate_count(),
+            "one delay per gate required"
+        );
+        let n = netlist.gate_count();
+        let mut arrival = vec![0.0f64; n];
+        for &id in netlist.topological_order() {
+            let i = id.index();
+            let latest = netlist
+                .gate(id)
+                .fanin()
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(0.0, f64::max);
+            arrival[i] = latest + delays[i];
+        }
+        let critical_delay = netlist
+            .outputs()
+            .iter()
+            .map(|&o| arrival[o.index()])
+            .fold(0.0, f64::max);
+
+        let mut required = vec![f64::INFINITY; n];
+        for &o in netlist.outputs() {
+            required[o.index()] = cycle_time;
+        }
+        for &id in netlist.topological_order().iter().rev() {
+            let i = id.index();
+            for &f in netlist.gate(id).fanin() {
+                let need = required[i] - delays[i];
+                if need < required[f.index()] {
+                    required[f.index()] = need;
+                }
+            }
+        }
+        // Gates that reach no output keep infinite required time; clamp to
+        // the cycle time so their slack is finite and non-binding.
+        for r in &mut required {
+            if !r.is_finite() {
+                *r = cycle_time;
+            }
+        }
+        Sta {
+            arrival,
+            required,
+            critical_delay,
+            cycle_time,
+        }
+    }
+
+    /// Arrival time at gate `id`'s output, seconds.
+    pub fn arrival(&self, id: GateId) -> f64 {
+        self.arrival[id.index()]
+    }
+
+    /// Required time at gate `id`'s output, seconds.
+    pub fn required(&self, id: GateId) -> f64 {
+        self.required[id.index()]
+    }
+
+    /// Slack of gate `id`: `required − arrival`, seconds.
+    pub fn slack(&self, id: GateId) -> f64 {
+        self.required[id.index()] - self.arrival[id.index()]
+    }
+
+    /// The latest output arrival (the critical path delay), seconds.
+    pub fn critical_delay(&self) -> f64 {
+        self.critical_delay
+    }
+
+    /// The cycle-time constraint this analysis was run against, seconds.
+    pub fn cycle_time(&self) -> f64 {
+        self.cycle_time
+    }
+
+    /// Whether every output meets the cycle time.
+    pub fn meets_constraint(&self) -> bool {
+        self.critical_delay <= self.cycle_time
+    }
+
+    /// The smallest slack over all gates, seconds.
+    pub fn worst_slack(&self) -> f64 {
+        self.arrival
+            .iter()
+            .zip(self.required.iter())
+            .map(|(a, r)| r - a)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_netlist::{GateKind, NetlistBuilder};
+
+    fn diamond() -> Netlist {
+        let mut b = NetlistBuilder::new("d");
+        b.input("a").unwrap();
+        b.gate("u", GateKind::Not, &["a"]).unwrap();
+        b.gate("v", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::Nand, &["u", "v"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn delays_of(n: &Netlist, pairs: &[(&str, f64)]) -> Vec<f64> {
+        let mut d = vec![0.0; n.gate_count()];
+        for (name, t) in pairs {
+            d[n.find(name).unwrap().index()] = *t;
+        }
+        d
+    }
+
+    #[test]
+    fn arrival_takes_worst_branch() {
+        let n = diamond();
+        let d = delays_of(&n, &[("u", 3.0), ("v", 1.0), ("y", 2.0)]);
+        let sta = Sta::analyze(&n, &d, 10.0);
+        assert_eq!(sta.arrival(n.find("y").unwrap()), 5.0);
+        assert_eq!(sta.critical_delay(), 5.0);
+        assert!(sta.meets_constraint());
+    }
+
+    #[test]
+    fn slack_on_critical_path_is_uniform() {
+        let n = diamond();
+        let d = delays_of(&n, &[("u", 3.0), ("v", 1.0), ("y", 2.0)]);
+        let sta = Sta::analyze(&n, &d, 6.0);
+        // Critical path a→u→y: slack 1 everywhere on it.
+        assert!((sta.slack(n.find("u").unwrap()) - 1.0).abs() < 1e-12);
+        assert!((sta.slack(n.find("y").unwrap()) - 1.0).abs() < 1e-12);
+        assert!((sta.worst_slack() - 1.0).abs() < 1e-12);
+        // Off-critical branch has more slack.
+        assert!(sta.slack(n.find("v").unwrap()) > 1.0);
+    }
+
+    #[test]
+    fn violation_detected() {
+        let n = diamond();
+        let d = delays_of(&n, &[("u", 3.0), ("v", 1.0), ("y", 2.0)]);
+        let sta = Sta::analyze(&n, &d, 4.0);
+        assert!(!sta.meets_constraint());
+        assert!(sta.worst_slack() < 0.0);
+    }
+
+    #[test]
+    fn required_time_backpropagates() {
+        let n = diamond();
+        let d = delays_of(&n, &[("u", 3.0), ("v", 1.0), ("y", 2.0)]);
+        let sta = Sta::analyze(&n, &d, 10.0);
+        let y = n.find("y").unwrap();
+        let u = n.find("u").unwrap();
+        assert_eq!(sta.required(y), 10.0);
+        assert_eq!(sta.required(u), 8.0);
+        assert_eq!(sta.required(n.find("a").unwrap()), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per gate")]
+    fn wrong_delay_length_panics() {
+        let n = diamond();
+        let _ = Sta::analyze(&n, &[0.0], 1.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! A-priori stochastic wire-length estimation for random logic networks.
+//!
+//! The DAC'97 optimizer needs the interconnect capacitive load on every
+//! gate *before* any placement exists. Following the paper (§2 and its
+//! refs [4][5]), this crate implements the Davis–De–Meindl a-priori
+//! wire-length distribution, derived from recursive application of Rent's
+//! rule and conservation of terminals over a square gate array:
+//!
+//! ```text
+//! i(l) ∝ (l³/3 − 2√N·l² + 2N·l) · l^(2p−4)    for 1 ≤ l < √N
+//! i(l) ∝ ((2√N − l)³ / 3)       · l^(2p−4)    for √N ≤ l ≤ 2√N
+//! ```
+//!
+//! with `N` the gate count and `p` the Rent exponent. The distribution is
+//! normalized numerically and reduced to the quantities the energy/delay
+//! models consume: the expected point-to-point net length, and per-branch
+//! interconnect length for multi-fanout nets.
+//!
+//! # Example
+//!
+//! ```
+//! use minpower_wiring::WireModel;
+//!
+//! let small = WireModel::new(100, 0.6, 10e-6);
+//! let large = WireModel::new(10_000, 0.6, 10e-6);
+//! // Bigger networks have longer average wires (in gate pitches).
+//! assert!(large.expected_length_pitches() > small.expected_length_pitches());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Rent exponent typical of random logic (the paper's benchmarks are
+/// control-dominated ISCAS-89 circuits).
+pub const DEFAULT_RENT_EXPONENT: f64 = 0.6;
+
+/// Default gate pitch in meters for the 0.5 µm-class `dac97` technology
+/// (standard-cell placement with routing overhead; sized so that the
+/// average net's wire capacitance is comparable to a few gate inputs —
+/// the interconnect-dominated loading regime the paper's wiring model
+/// refs [4][5] target).
+pub const DEFAULT_GATE_PITCH_M: f64 = 40e-6;
+
+/// A-priori wire-length model for a logic network of `N` gates.
+///
+/// Immutable after construction; all estimates derive from the stored
+/// normalized length distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireModel {
+    n_gates: usize,
+    rent_p: f64,
+    gate_pitch_m: f64,
+    /// Normalized probability of a net having length `l` gate pitches;
+    /// index 0 corresponds to `l = 1`.
+    distribution: Vec<f64>,
+    expected_pitches: f64,
+}
+
+impl WireModel {
+    /// Builds the model for a network of `n_gates` gates with Rent
+    /// exponent `rent_p` on a gate array of pitch `gate_pitch_m` meters.
+    ///
+    /// For degenerate networks (`n_gates < 4`) the distribution collapses
+    /// to nearest-neighbor wiring (one gate pitch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rent_p` is not in `(0, 1)` or `gate_pitch_m` is not
+    /// positive.
+    pub fn new(n_gates: usize, rent_p: f64, gate_pitch_m: f64) -> Self {
+        assert!(
+            rent_p > 0.0 && rent_p < 1.0,
+            "Rent exponent must lie in (0, 1)"
+        );
+        assert!(gate_pitch_m > 0.0, "gate pitch must be positive");
+        let (distribution, expected_pitches) = Self::davis_distribution(n_gates, rent_p);
+        WireModel {
+            n_gates,
+            rent_p,
+            gate_pitch_m,
+            distribution,
+            expected_pitches,
+        }
+    }
+
+    /// Builds the model with the default Rent exponent and gate pitch.
+    pub fn for_gate_count(n_gates: usize) -> Self {
+        WireModel::new(n_gates, DEFAULT_RENT_EXPONENT, DEFAULT_GATE_PITCH_M)
+    }
+
+    fn davis_distribution(n_gates: usize, p: f64) -> (Vec<f64>, f64) {
+        if n_gates < 4 {
+            return (vec![1.0], 1.0);
+        }
+        let n = n_gates as f64;
+        let sqrt_n = n.sqrt();
+        let l_max = (2.0 * sqrt_n).floor() as usize;
+        let mut raw = Vec::with_capacity(l_max);
+        for li in 1..=l_max {
+            let l = li as f64;
+            let structural = if l < sqrt_n {
+                l * l * l / 3.0 - 2.0 * sqrt_n * l * l + 2.0 * n * l
+            } else {
+                let d = 2.0 * sqrt_n - l;
+                d * d * d / 3.0
+            };
+            let occupancy = l.powf(2.0 * p - 4.0);
+            raw.push((structural * occupancy).max(0.0));
+        }
+        let total: f64 = raw.iter().sum();
+        if total <= 0.0 {
+            return (vec![1.0], 1.0);
+        }
+        let distribution: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let expected = distribution
+            .iter()
+            .enumerate()
+            .map(|(i, pr)| (i + 1) as f64 * pr)
+            .sum();
+        (distribution, expected)
+    }
+
+    /// Number of gates the model was built for.
+    pub fn gate_count(&self) -> usize {
+        self.n_gates
+    }
+
+    /// The Rent exponent in use.
+    pub fn rent_exponent(&self) -> f64 {
+        self.rent_p
+    }
+
+    /// The gate pitch in meters.
+    pub fn gate_pitch_m(&self) -> f64 {
+        self.gate_pitch_m
+    }
+
+    /// The normalized point-to-point length distribution; entry `i` is the
+    /// probability of a net spanning `i + 1` gate pitches.
+    pub fn length_distribution(&self) -> &[f64] {
+        &self.distribution
+    }
+
+    /// Expected point-to-point net length in gate pitches.
+    pub fn expected_length_pitches(&self) -> f64 {
+        self.expected_pitches
+    }
+
+    /// Expected point-to-point net length in meters.
+    pub fn expected_length_m(&self) -> f64 {
+        self.expected_pitches * self.gate_pitch_m
+    }
+
+    /// Expected wire length in meters of **one branch** of a net with the
+    /// given fanout.
+    ///
+    /// A multi-fanout net is modeled as a star of independent
+    /// expected-length branches; each fanout edge of the netlist therefore
+    /// carries one branch worth of interconnect. Zero-fanout (dangling)
+    /// nets still see one branch of load (pad or register).
+    pub fn branch_length_m(&self, fanout: usize) -> f64 {
+        let _ = fanout.max(1);
+        self.expected_length_m()
+    }
+
+    /// Total wire length in meters of a net with the given fanout (star
+    /// model: one branch per sink).
+    pub fn net_length_m(&self, fanout: usize) -> f64 {
+        fanout.max(1) as f64 * self.expected_length_m()
+    }
+
+    /// The `q`-quantile of the point-to-point length distribution, in
+    /// gate pitches (e.g. `0.5` = median, `0.95` = long-tail estimate for
+    /// worst-case interconnect margining).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn length_quantile_pitches(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        let mut acc = 0.0;
+        for (i, &p) in self.distribution.iter().enumerate() {
+            acc += p;
+            if acc >= q {
+                return (i + 1) as f64;
+            }
+        }
+        self.distribution.len() as f64
+    }
+
+    /// Expected **total** wire length of the whole network in meters,
+    /// assuming one two-point net per gate scaled by the average fanout
+    /// (the aggregate the paper's refs [4][5] size wiring networks with).
+    pub fn total_wire_length_m(&self, avg_fanout: f64) -> f64 {
+        self.n_gates as f64 * avg_fanout.max(0.0) * self.expected_length_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_normalized_and_nonnegative() {
+        let m = WireModel::new(2_000, 0.6, 10e-6);
+        let sum: f64 = m.length_distribution().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(m.length_distribution().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn distribution_spans_to_twice_sqrt_n() {
+        let n = 400;
+        let m = WireModel::new(n, 0.6, 10e-6);
+        assert_eq!(m.length_distribution().len(), 2 * 20);
+    }
+
+    #[test]
+    fn expected_length_grows_with_network_size() {
+        let mut prev = 0.0;
+        for n in [64, 256, 1_024, 4_096, 16_384] {
+            let e = WireModel::new(n, 0.6, 10e-6).expected_length_pitches();
+            assert!(e > prev, "n = {n}: {e} <= {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn expected_length_grows_with_rent_exponent() {
+        let lo = WireModel::new(4_096, 0.45, 10e-6).expected_length_pitches();
+        let hi = WireModel::new(4_096, 0.75, 10e-6).expected_length_pitches();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn short_wires_dominate_random_logic() {
+        let m = WireModel::new(10_000, 0.6, 10e-6);
+        let d = m.length_distribution();
+        // Mode at the shortest length and a long, thin tail.
+        assert!(d[0] > d[10]);
+        assert!(d[10] > d[100]);
+    }
+
+    #[test]
+    fn degenerate_networks_fall_back_to_unit_length() {
+        for n in [0, 1, 2, 3] {
+            let m = WireModel::new(n, 0.6, 10e-6);
+            assert_eq!(m.expected_length_pitches(), 1.0);
+        }
+    }
+
+    #[test]
+    fn meters_scale_with_pitch() {
+        let a = WireModel::new(1_000, 0.6, 10e-6);
+        let b = WireModel::new(1_000, 0.6, 20e-6);
+        assert!((b.expected_length_m() / a.expected_length_m() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_length_scales_with_fanout() {
+        let m = WireModel::new(1_000, 0.6, 10e-6);
+        assert!((m.net_length_m(4) - 4.0 * m.branch_length_m(1)).abs() < 1e-18);
+        assert_eq!(m.net_length_m(0), m.net_length_m(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "Rent exponent")]
+    fn bad_rent_exponent_panics() {
+        let _ = WireModel::new(100, 1.5, 10e-6);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_mean() {
+        let m = WireModel::new(4_096, 0.6, 10e-6);
+        let q25 = m.length_quantile_pitches(0.25);
+        let q50 = m.length_quantile_pitches(0.50);
+        let q95 = m.length_quantile_pitches(0.95);
+        assert!(q25 <= q50 && q50 <= q95);
+        // Long-tailed distribution: mean above the median.
+        assert!(m.expected_length_pitches() >= q50);
+        assert!(q95 > m.expected_length_pitches());
+    }
+
+    #[test]
+    fn total_wire_length_scales_with_gates_and_fanout() {
+        let m = WireModel::new(1_000, 0.6, 10e-6);
+        let base = m.total_wire_length_m(2.0);
+        assert!((base / m.expected_length_m() - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let _ = WireModel::new(100, 0.6, 10e-6).length_quantile_pitches(1.5);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = WireModel::for_gate_count(500);
+        assert_eq!(m.gate_count(), 500);
+        assert_eq!(m.rent_exponent(), DEFAULT_RENT_EXPONENT);
+        assert_eq!(m.gate_pitch_m(), DEFAULT_GATE_PITCH_M);
+    }
+}

@@ -1,0 +1,74 @@
+//! Design-space exploration: the physics of §3 made visible.
+//!
+//! ```text
+//! cargo run --release -p minpower --example design_space -- [circuit] [activity]
+//! ```
+//!
+//! For a grid of `(V_dd, V_ts)` operating points, sizes every gate width
+//! with the paper's inner search and prints total / static / dynamic
+//! energy and feasibility. The table shows the trade-off that drives the
+//! whole paper: moving down-left (lower `V_dd`, lower `V_ts`) cuts
+//! dynamic energy quadratically until exponential leakage and width
+//! growth take over — the minimum sits where static ≈ dynamic.
+
+use minpower::opt::search::size_at;
+use minpower::{CircuitModel, Problem, SearchOptions, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let circuit = args.next().unwrap_or_else(|| "s298".to_string());
+    let activity: f64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0.3);
+
+    let netlist = if circuit == "s27" {
+        minpower::circuits::s27()
+    } else {
+        let spec = minpower::circuits::spec_by_name(&circuit)
+            .ok_or_else(|| format!("unknown circuit `{circuit}`"))?;
+        minpower::circuits::synthesize(&spec)
+    };
+    println!("circuit {}: {}", netlist.name(), netlist.stats());
+
+    let model = CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
+    let problem = Problem::new(model, 300.0e6);
+    let options = SearchOptions::default();
+
+    let vdds = [0.6, 0.8, 1.0, 1.2, 1.5, 2.0, 2.6, 3.3];
+    let vts = [0.10, 0.15, 0.20, 0.25, 0.35, 0.50, 0.70];
+
+    println!("\ntotal energy per cycle (J); '-' = cannot meet 300 MHz");
+    print!("{:>6}", "Vdd\\Vt");
+    for vt in vts {
+        print!("{:>10.2}", vt);
+    }
+    println!();
+    let mut best: Option<(f64, f64, f64, f64, f64)> = None;
+    for vdd in vdds {
+        print!("{vdd:>6.1}");
+        for vt in vts {
+            let r = size_at(&problem, vdd, vt, &options)?;
+            if r.feasible {
+                print!("{:>10.2e}", r.energy.total());
+                if best.is_none() || r.energy.total() < best.unwrap().0 {
+                    best = Some((
+                        r.energy.total(),
+                        vdd,
+                        vt,
+                        r.energy.static_,
+                        r.energy.dynamic,
+                    ));
+                }
+            } else {
+                print!("{:>10}", "-");
+            }
+        }
+        println!();
+    }
+    if let Some((e, vdd, vt, s, d)) = best {
+        println!(
+            "\ngrid minimum: {e:.3e} J at Vdd = {vdd} V, Vt = {vt} V \
+             (static {s:.2e} J, dynamic {d:.2e} J, ratio {:.2})",
+            s / d
+        );
+    }
+    Ok(())
+}

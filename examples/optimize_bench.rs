@@ -1,0 +1,114 @@
+//! CAD-flow example: optimize a named benchmark (or a `.bench` file).
+//!
+//! ```text
+//! cargo run -p minpower --example optimize_bench -- s298 0.3
+//! cargo run -p minpower --example optimize_bench -- path/to/c432.bench 0.1
+//! ```
+//!
+//! Arguments: circuit (suite name or `.bench` path, default `s298`) and
+//! input transition density per cycle (default `0.3`). Prints the fixed-Vt
+//! baseline, the joint optimization, and a dual-threshold (`n_v = 2`) run,
+//! mirroring the per-circuit rows of the paper's Tables 1–2.
+
+use std::path::Path;
+use std::time::Instant;
+
+use minpower::opt::baseline;
+use minpower::{CircuitModel, Netlist, Optimizer, Problem, SearchOptions, Technology};
+
+fn load(arg: &str) -> Result<Netlist, Box<dyn std::error::Error>> {
+    if arg.ends_with(".bench") {
+        Ok(minpower::circuits::load_bench_file(Path::new(arg))?)
+    } else if arg == "s27" {
+        Ok(minpower::circuits::s27())
+    } else if let Some(spec) = minpower::circuits::spec_by_name(arg) {
+        Ok(minpower::circuits::synthesize(&spec))
+    } else {
+        Err(format!(
+            "unknown circuit `{arg}` (suite: s27, {})",
+            minpower::circuits::specs()
+                .iter()
+                .map(|s| s.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .into())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let circuit = args.next().unwrap_or_else(|| "s298".to_string());
+    let activity: f64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0.3);
+
+    let netlist = load(&circuit)?;
+    println!("circuit {}: {}", netlist.name(), netlist.stats());
+
+    let fc = 300.0e6;
+    let model = CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
+    let problem = Problem::new(model, fc);
+    println!(
+        "constraint: {:.0} MHz, input activity {activity}\n",
+        fc / 1e6
+    );
+
+    let t0 = Instant::now();
+    let fixed = baseline::optimize_fixed_vt(&problem, 0.7, SearchOptions::default())?;
+    let t_fixed = t0.elapsed();
+
+    let t0 = Instant::now();
+    let joint = Optimizer::new(&problem).run()?;
+    let t_joint = t0.elapsed();
+
+    let t0 = Instant::now();
+    let dual = Optimizer::new(&problem)
+        .with_options(SearchOptions {
+            vt_groups: 2,
+            ..SearchOptions::default()
+        })
+        .run()?;
+    let t_dual = t0.elapsed();
+
+    println!("{:<28} {:>10} {:>10} {:>10} {:>10} {:>9}", "run", "static J", "dynamic J", "total J", "delay ns", "time");
+    for (name, r, t) in [
+        ("fixed Vt=700mV (Table 1)", &fixed, t_fixed),
+        ("joint Vdd/Vt/W (Table 2)", &joint, t_joint),
+        ("dual-threshold n_v=2", &dual, t_dual),
+    ] {
+        println!(
+            "{:<28} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3} {:>8.1?}",
+            name,
+            r.energy.static_,
+            r.energy.dynamic,
+            r.energy.total(),
+            r.critical_delay * 1e9,
+            t
+        );
+    }
+    println!(
+        "\njoint design: Vdd = {:.3} V, Vt = {} | savings {:.1}x (dual: {:.1}x)",
+        joint.design.vdd,
+        joint
+            .uniform_vt()
+            .map(|v| format!("{:.0} mV", v * 1e3))
+            .unwrap_or_else(|| "per-group".into()),
+        joint.savings_vs(fixed.energy.total()),
+        dual.savings_vs(fixed.energy.total()),
+    );
+    println!(
+        "static/dynamic balance at optimum: {:.2} (paper: ~1)",
+        joint.energy.balance()
+    );
+
+    // Where the energy goes: the designer-facing report.
+    let report = minpower::opt::report::Report::build(&problem, &joint);
+    println!("\ntop energy consumers at the optimum:");
+    print!("{}", report.render(8));
+    let path = minpower::opt::report::critical_path(&problem, &joint);
+    let names: Vec<&str> = path
+        .iter()
+        .map(|&g| netlist.gate(g).name())
+        .collect();
+    println!("critical path: {}", names.join(" -> "));
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Process design: choosing a threshold voltage for a future low-power
+//! process.
+//!
+//! ```text
+//! cargo run --release -p minpower --example process_tuning
+//! ```
+//!
+//! The paper's introduction proposes using the optimizer *in reverse*:
+//! "in determining the threshold voltage for a process being developed
+//! for future applications, one may use the algorithms on existing
+//! benchmarks with predicted circuit timing parameters to find the most
+//! desirable threshold voltage." This example does exactly that: it runs
+//! the joint optimization over a benchmark basket, reports the spread of
+//! per-circuit optimal thresholds, recommends the median, and quantifies
+//! the energy cost of shipping the process with a threshold ±50 mV away
+//! from the recommendation (by pinning the optimizer's `V_t` range).
+
+use minpower::{CircuitModel, Optimizer, Problem, SearchOptions, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let basket = ["s27", "s208", "s298", "s344", "s444"];
+    let activity = 0.3;
+    let fc = 300.0e6;
+
+    println!("optimal threshold per benchmark (300 MHz, activity {activity}):");
+    let mut optima = Vec::new();
+    for name in basket {
+        let netlist =
+            minpower::circuits::circuit(name).ok_or_else(|| format!("unknown circuit {name}"))?;
+        let model =
+            CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
+        let problem = Problem::new(model, fc);
+        let r = Optimizer::new(&problem).run()?;
+        let vt = r.uniform_vt().expect("single-threshold run");
+        println!(
+            "  {:<6} Vt* = {:>3.0} mV  (Vdd = {:.2} V, E = {:.3e} J)",
+            name,
+            vt * 1e3,
+            r.design.vdd,
+            r.energy.total()
+        );
+        optima.push((name, vt));
+    }
+    let mut vts: Vec<f64> = optima.iter().map(|&(_, v)| v).collect();
+    vts.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+    let recommended = vts[vts.len() / 2];
+    println!(
+        "\nrecommended process threshold: {:.0} mV (median of the basket)",
+        recommended * 1e3
+    );
+
+    // Cost of missing the target: pin Vt and re-optimize Vdd + widths.
+    println!("\nenergy penalty if the process ships off-target:");
+    for delta in [-0.05, 0.0, 0.05] {
+        let vt = recommended + delta;
+        let mut total = 0.0;
+        for name in basket {
+            let netlist =
+            minpower::circuits::circuit(name).ok_or_else(|| format!("unknown circuit {name}"))?;
+            let tech = Technology::builder().vt_range(vt, vt + 1e-6).build();
+            let model = CircuitModel::new(
+                &netlist,
+                tech,
+                &minpower::WireModel::for_gate_count(netlist.logic_gate_count()),
+                &minpower::Activities::propagate(
+                    &netlist,
+                    &minpower::InputActivity::uniform(0.5, activity, netlist.inputs().len()),
+                ),
+            );
+            let problem = Problem::new(model, fc);
+            let r = Optimizer::new(&problem)
+                .with_options(SearchOptions::default())
+                .run()?;
+            total += r.energy.total();
+        }
+        println!(
+            "  Vt = {:>3.0} mV: basket energy {:.4e} J{}",
+            vt * 1e3,
+            total,
+            if delta == 0.0 { "  <- recommended" } else { "" }
+        );
+    }
+    Ok(())
+}

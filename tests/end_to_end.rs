@@ -1,0 +1,149 @@
+//! End-to-end reproduction checks: the paper's headline claims on the
+//! benchmark workloads, exercised through the public facade API.
+
+use minpower::opt::baseline;
+use minpower::{CircuitModel, Optimizer, Problem, SearchOptions, Technology};
+
+const FC: f64 = 300.0e6;
+
+fn problem(name: &str, activity: f64) -> Problem {
+    let netlist = minpower::circuits::circuit(name).expect("suite circuit");
+    let model =
+        CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
+    Problem::new(model, FC)
+}
+
+#[test]
+fn joint_optimization_meets_timing_on_suite_circuits() {
+    for name in ["s27", "s298", "s713"] {
+        let p = problem(name, 0.3);
+        let r = Optimizer::new(&p).run().unwrap_or_else(|e| {
+            panic!("{name}: {e}");
+        });
+        assert!(r.feasible, "{name} infeasible");
+        // Re-evaluate the returned design independently.
+        let eval = p.model().evaluate(&r.design, FC);
+        assert!(
+            eval.critical_delay <= p.cycle_time() * (1.0 + 1e-6),
+            "{name}: recheck delay {:.3e} > Tc",
+            eval.critical_delay
+        );
+        assert!(
+            (eval.energy.total() - r.energy.total()).abs() <= 1e-9 * r.energy.total(),
+            "{name}: reported energy does not match re-evaluation"
+        );
+    }
+}
+
+#[test]
+fn joint_beats_fixed_vt_by_a_large_factor() {
+    // The headline: order-of-several savings over the conventional
+    // fixed-700 mV optimization, on every circuit and activity.
+    for name in ["s27", "s298"] {
+        for activity in [0.1, 0.5] {
+            let p = problem(name, activity);
+            let fixed =
+                baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default()).unwrap();
+            let joint = Optimizer::new(&p).run().unwrap();
+            let savings = fixed.energy.total() / joint.energy.total();
+            assert!(
+                savings > 2.5,
+                "{name} a={activity}: savings only {savings:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn savings_grow_with_input_activity() {
+    // §5: "the savings increase with specified input activity levels".
+    let p_lo = problem("s298", 0.1);
+    let p_hi = problem("s298", 0.5);
+    let s_lo = baseline::optimize_fixed_vt(&p_lo, 0.7, SearchOptions::default())
+        .unwrap()
+        .energy
+        .total()
+        / Optimizer::new(&p_lo).run().unwrap().energy.total();
+    let s_hi = baseline::optimize_fixed_vt(&p_hi, 0.7, SearchOptions::default())
+        .unwrap()
+        .energy
+        .total()
+        / Optimizer::new(&p_hi).run().unwrap().energy.total();
+    assert!(s_hi > s_lo, "savings {s_hi:.2} at a=0.5 vs {s_lo:.2} at a=0.1");
+}
+
+#[test]
+fn optimum_sits_at_low_vdd_and_low_vt() {
+    // §5: thresholds in the 150–250 mV range, supplies 0.6–1.2 V (we
+    // accept a slightly wider band, the technologies differ).
+    let p = problem("s298", 0.5);
+    let r = Optimizer::new(&p).run().unwrap();
+    assert!(
+        (0.5..=1.4).contains(&r.design.vdd),
+        "vdd = {}",
+        r.design.vdd
+    );
+    let vt = r.uniform_vt().expect("single threshold");
+    assert!((0.12..=0.40).contains(&vt), "vt = {vt}");
+}
+
+#[test]
+fn leakage_becomes_a_first_class_component_at_the_optimum() {
+    // §3/§5: at the optimum the static component is comparable to the
+    // dynamic one (the baseline keeps it 4+ orders of magnitude down).
+    let p = problem("s298", 0.5);
+    let fixed = baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default()).unwrap();
+    let joint = Optimizer::new(&p).run().unwrap();
+    assert!(fixed.energy.balance() < 1e-4);
+    let balance = joint.energy.balance();
+    assert!(
+        (0.05..=2.0).contains(&balance),
+        "optimum static/dynamic balance = {balance}"
+    );
+}
+
+#[test]
+fn baseline_runs_at_much_higher_supply() {
+    let p = problem("s298", 0.3);
+    let fixed = baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default()).unwrap();
+    let joint = Optimizer::new(&p).run().unwrap();
+    assert!(
+        fixed.design.vdd >= joint.design.vdd + 0.5,
+        "fixed {} vs joint {}",
+        fixed.design.vdd,
+        joint.design.vdd
+    );
+}
+
+#[test]
+fn whole_suite_is_feasible_for_both_tables() {
+    // Every circuit of the paper suite must support both the Table 1
+    // corner and the Table 2 optimization (at the cheaper search depth).
+    let opts = SearchOptions {
+        steps: 10,
+        ..SearchOptions::default()
+    };
+    for netlist in minpower::circuits::paper_suite() {
+        let model =
+            CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, 0.3);
+        let p = Problem::new(model, FC);
+        let fixed = baseline::optimize_fixed_vt(&p, 0.7, opts.clone())
+            .unwrap_or_else(|e| panic!("{} baseline: {e}", netlist.name()));
+        assert!(fixed.feasible, "{} baseline infeasible", netlist.name());
+        let nominal = baseline::optimize_widths_at(&p, 3.3, 0.7, opts.clone())
+            .unwrap_or_else(|e| panic!("{} nominal: {e}", netlist.name()));
+        assert!(nominal.feasible);
+        let joint = Optimizer::new(&p)
+            .with_options(opts.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("{} joint: {e}", netlist.name()));
+        assert!(joint.feasible, "{} joint infeasible", netlist.name());
+        assert!(
+            joint.energy.total() < fixed.energy.total(),
+            "{}: joint {:.3e} !< fixed {:.3e}",
+            netlist.name(),
+            joint.energy.total(),
+            fixed.energy.total()
+        );
+    }
+}

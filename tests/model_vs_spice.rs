@@ -1,0 +1,112 @@
+//! Appendix-A validation: the closed-form delay and energy models against
+//! the transient simulator, across the transregional operating range —
+//! the role HSPICE plays in the paper.
+
+use minpower::device::Technology;
+use minpower::spice::measure;
+
+fn tech() -> Technology {
+    Technology::dac97()
+}
+
+/// Analytic worst-case inverter delay: the switching term of Eq. (A3)
+/// (no fanin slope, no interconnect in the bench fixture).
+fn analytic_inverter_delay(t: &Technology, w: f64, vdd: f64, vt: f64, c_load: f64) -> f64 {
+    let c_total = c_load + w * t.c_pd;
+    vdd / 2.0 * c_total / (t.drive_current(w, vdd, vt) - t.off_current(w, vt))
+}
+
+#[test]
+fn inverter_delay_agrees_across_operating_range() {
+    let t = tech();
+    let (w, c_load) = (8.0, 30e-15);
+    for (vdd, vt) in [(3.3, 0.7), (2.5, 0.5), (1.5, 0.35), (1.0, 0.25), (0.8, 0.2)] {
+        let analytic = analytic_inverter_delay(&t, w, vdd, vt, c_load);
+        let measured = measure::inverter(&t, w, vdd, vt, c_load).worst_delay();
+        let ratio = analytic / measured;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "({vdd}, {vt}): analytic {analytic:.3e} vs spice {measured:.3e} (x{ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn subthreshold_regime_still_tracks() {
+    // Vdd below Vt: the transregional model's whole point.
+    let t = tech();
+    let analytic = analytic_inverter_delay(&t, 8.0, 0.45, 0.5, 10e-15);
+    let measured = measure::inverter(&t, 8.0, 0.45, 0.5, 10e-15).worst_delay();
+    assert!(measured > 10.0 * measure::inverter(&t, 8.0, 1.5, 0.5, 10e-15).worst_delay());
+    let ratio = analytic / measured;
+    assert!(
+        (0.1..10.0).contains(&ratio),
+        "subthreshold: analytic {analytic:.3e} vs spice {measured:.3e}"
+    );
+}
+
+#[test]
+fn switching_energy_matches_cv2_within_band() {
+    let t = tech();
+    for (vdd, vt) in [(3.3, 0.7), (1.5, 0.35), (1.0, 0.25)] {
+        let (w, c_load) = (8.0, 30e-15);
+        let c_total = c_load + w * t.c_pd;
+        let analytic = c_total * vdd * vdd;
+        let m = measure::inverter(&t, w, vdd, vt, c_load);
+        let ratio = analytic / m.switching_energy;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "({vdd}, {vt}): CV² {analytic:.3e} vs spice {:.3e}",
+            m.switching_energy
+        );
+    }
+}
+
+#[test]
+fn series_stack_derating_is_real() {
+    // Eq. (A3) divides the drive by the fanin count; the simulator's
+    // explicit stack must show the same trend and rough magnitude.
+    let t = tech();
+    let (w, vdd, vt, c_load) = (8.0, 2.0, 0.4, 30e-15);
+    let inv = measure::inverter(&t, w, vdd, vt, c_load).delay_fall;
+    let n2 = measure::nand(&t, 2, w, vdd, vt, c_load).delay_fall;
+    let n4 = measure::nand(&t, 4, w, vdd, vt, c_load).delay_fall;
+    assert!(n2 > inv && n4 > n2);
+    // The 4-stack should be several times the inverter, same order as the
+    // analytic 4x derating (intermediate-node charge adds on top).
+    let factor = n4 / inv;
+    assert!((2.0..10.0).contains(&factor), "stack factor {factor}");
+}
+
+#[test]
+fn leakage_power_tracks_off_current_model() {
+    let t = tech();
+    let (w, vdd) = (8.0, 2.0);
+    for vt in [0.2, 0.35, 0.5] {
+        let m = measure::inverter(&t, w, vdd, vt, 20e-15);
+        // Quiescent leakage: one network off; both polarities sized w and
+        // beta*w, so the measured power is within a small factor of
+        // Vdd x I_off(w).
+        let analytic = vdd * t.off_current(w, vt);
+        let ratio = m.leakage_power / analytic;
+        assert!(
+            (0.2..8.0).contains(&ratio),
+            "vt={vt}: leakage {:.3e} W vs model {analytic:.3e} W",
+            m.leakage_power
+        );
+    }
+}
+
+#[test]
+fn model_monotonicities_match_simulation() {
+    let t = tech();
+    let (w, c_load) = (8.0, 30e-15);
+    // Both the model and the simulator must agree on the *direction* of
+    // every knob the optimizer turns.
+    let d = |vdd: f64, vt: f64, w: f64| measure::inverter(&t, w, vdd, vt, c_load).worst_delay();
+    assert!(d(1.2, 0.3, w) < d(0.9, 0.3, w)); // vdd up, delay down
+    assert!(d(1.2, 0.45, w) > d(1.2, 0.3, w)); // vt up, delay up
+    let a = |vdd: f64, vt: f64, w: f64| analytic_inverter_delay(&t, w, vdd, vt, c_load);
+    assert!(a(1.2, 0.3, w) < a(0.9, 0.3, w));
+    assert!(a(1.2, 0.45, w) > a(1.2, 0.3, w));
+}

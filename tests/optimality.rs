@@ -1,0 +1,101 @@
+//! Solution-quality checks: approximate local optimality of the returned
+//! design and sane behavior on canonical extreme structures.
+
+use minpower::circuits::canonical::{inverter_chain, mesh, reduction_tree};
+use minpower::opt::search::size_at;
+use minpower::{CircuitModel, Netlist, Optimizer, Problem, SearchOptions, Technology};
+
+const FC: f64 = 300.0e6;
+
+fn problem_for(netlist: &Netlist, activity: f64) -> Problem {
+    let model =
+        CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
+    Problem::new(model, FC)
+}
+
+#[test]
+fn returned_design_is_approximately_locally_optimal() {
+    // Perturb the optimum's (Vdd, Vt) by ±7.5 % and re-run the width
+    // sizing: no feasible neighbor may beat the returned energy by more
+    // than the search's own resolution.
+    let netlist = minpower::circuits::circuit("s298").expect("suite circuit");
+    let p = problem_for(&netlist, 0.3);
+    let r = Optimizer::new(&p).run().unwrap();
+    let vt = r.uniform_vt().expect("single threshold");
+    let opts = SearchOptions::default();
+    let mut best_neighbor = f64::INFINITY;
+    for dv in [-0.075, 0.0, 0.075] {
+        for dt in [-0.075, 0.0, 0.075] {
+            let vdd = r.design.vdd * (1.0 + dv);
+            let vt_n = vt * (1.0 + dt);
+            let cand = size_at(&p, vdd, vt_n, &opts).unwrap();
+            if cand.feasible {
+                best_neighbor = best_neighbor.min(cand.energy.total());
+            }
+        }
+    }
+    assert!(
+        best_neighbor >= r.energy.total() * 0.85,
+        "a ±7.5% neighbor beats the optimum by {:.1}%: {:.3e} vs {:.3e}",
+        (1.0 - best_neighbor / r.energy.total()) * 100.0,
+        best_neighbor,
+        r.energy.total()
+    );
+}
+
+#[test]
+fn chain_budgets_split_the_cycle_evenly_and_optimize() {
+    let chain = inverter_chain(12);
+    let p = problem_for(&chain, 0.3);
+    let r = Optimizer::new(&p).run().unwrap();
+    assert!(r.feasible);
+    // Every chain gate has fanout 1: equal budgets.
+    let budgets: Vec<f64> = r
+        .budgets
+        .iter()
+        .copied()
+        .filter(|&b| b > 0.0)
+        .collect();
+    assert_eq!(budgets.len(), 12);
+    let first = budgets[0];
+    for &b in &budgets {
+        assert!((b - first).abs() < 1e-15, "uneven chain budgets");
+    }
+    assert!((first * 12.0 - p.cycle_time()).abs() < 1e-12 * p.cycle_time());
+}
+
+#[test]
+fn tree_and_mesh_structures_optimize_feasibly() {
+    for netlist in [reduction_tree(64), mesh(6)] {
+        let p = problem_for(&netlist, 0.3);
+        let r = Optimizer::new(&p)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", netlist.name()));
+        assert!(r.feasible, "{} infeasible", netlist.name());
+        let eval = p.model().evaluate(&r.design, FC);
+        assert!(eval.critical_delay <= p.cycle_time() * (1.0 + 1e-6));
+        // Shallow structures leave slack to exploit: low supply expected.
+        assert!(
+            r.design.vdd < 1.5,
+            "{}: vdd = {}",
+            netlist.name(),
+            r.design.vdd
+        );
+    }
+}
+
+#[test]
+fn deep_chain_forces_high_supply() {
+    // A 40-deep chain at 300 MHz leaves ~83 ps per stage: the optimizer
+    // must keep the supply high; a 5-deep chain can crawl.
+    let deep = inverter_chain(40);
+    let shallow = inverter_chain(5);
+    let r_deep = Optimizer::new(&problem_for(&deep, 0.3)).run().unwrap();
+    let r_shallow = Optimizer::new(&problem_for(&shallow, 0.3)).run().unwrap();
+    assert!(
+        r_deep.design.vdd > r_shallow.design.vdd,
+        "deep {} vs shallow {}",
+        r_deep.design.vdd,
+        r_shallow.design.vdd
+    );
+}

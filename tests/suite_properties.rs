@@ -1,0 +1,216 @@
+//! Property-based tests spanning crates: invariants that must hold on
+//! arbitrary generated circuits, not just the curated suite.
+
+use minpower::opt::budget::{assign_max_delays, longest_budget_path};
+use minpower::timing::{Criticality, KMostCriticalPaths, Sta};
+use minpower::{Activities, CircuitModel, Design, InputActivity, Technology};
+use minpower_circuits::{synthesize, BenchmarkSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = BenchmarkSpec> {
+    (2usize..=8, 10usize..=80, 2usize..=10, 1usize..=20, any::<u64>()).prop_map(
+        |(depth, extra, inputs, outputs, seed)| {
+            let gates = depth + extra;
+            let mut spec = BenchmarkSpec::new("prop", gates, inputs, outputs, depth);
+            spec.seed = seed;
+            spec
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_circuits_have_requested_shape(spec in spec_strategy()) {
+        let n = synthesize(&spec);
+        prop_assert_eq!(n.logic_gate_count(), spec.gates);
+        prop_assert_eq!(n.inputs().len(), spec.inputs);
+        prop_assert_eq!(n.depth(), spec.depth);
+        prop_assert!(!n.outputs().is_empty());
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_structure(spec in spec_strategy()) {
+        let n = synthesize(&spec);
+        let text = minpower::netlist::bench::write(&n);
+        let back = minpower::netlist::bench::parse(n.name(), &text).expect("round trip");
+        prop_assert_eq!(back.gate_count(), n.gate_count());
+        prop_assert_eq!(back.depth(), n.depth());
+        prop_assert_eq!(back.outputs().len(), n.outputs().len());
+    }
+
+    #[test]
+    fn budgets_never_oversubscribe_any_path(spec in spec_strategy(), tc_ns in 1.0f64..20.0) {
+        let n = synthesize(&spec);
+        let tc = tc_ns * 1e-9;
+        let budgets = assign_max_delays(&n, tc);
+        prop_assert!(longest_budget_path(&n, &budgets) <= tc * (1.0 + 1e-9));
+        for (i, g) in n.gates().iter().enumerate() {
+            if g.fanin().is_empty() {
+                prop_assert_eq!(budgets[i], 0.0);
+            } else {
+                prop_assert!(budgets[i] > 0.0, "gate {} starved", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn most_critical_path_agrees_between_dp_and_enumeration(spec in spec_strategy()) {
+        let n = synthesize(&spec);
+        let dp = Criticality::compute(&n);
+        let first = KMostCriticalPaths::new(&n).next().expect("at least one path");
+        prop_assert_eq!(first.criticality, dp.max_criticality());
+    }
+
+    #[test]
+    fn enumeration_is_non_increasing(spec in spec_strategy()) {
+        let n = synthesize(&spec);
+        let paths: Vec<_> = KMostCriticalPaths::new(&n).take(25).collect();
+        for w in paths.windows(2) {
+            prop_assert!(w[0].criticality >= w[1].criticality);
+        }
+    }
+
+    #[test]
+    fn sta_is_consistent_with_model_evaluation(
+        spec in spec_strategy(),
+        vdd in 0.9f64..3.3,
+        vt in 0.15f64..0.5,
+        w in 1.0f64..40.0,
+    ) {
+        let n = synthesize(&spec);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let design = Design::uniform(&n, vdd, vt, w);
+        let eval = model.evaluate(&design, 3.0e8);
+        let delays: Vec<f64> = eval.gates.iter().map(|g| g.delay).collect();
+        let sta = Sta::analyze(&n, &delays, 1.0);
+        // STA over the model's delays reproduces the model's own arrivals.
+        prop_assert!((sta.critical_delay() - eval.critical_delay).abs()
+            <= 1e-12 * eval.critical_delay.max(1e-30));
+    }
+
+    #[test]
+    fn activities_stay_physical_on_generated_circuits(spec in spec_strategy()) {
+        let n = synthesize(&spec);
+        let profile = InputActivity::uniform(0.5, 0.4, n.inputs().len());
+        let acts = Activities::propagate(&n, &profile);
+        for &p in acts.probabilities() {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        for &d in acts.densities() {
+            prop_assert!(d >= 0.0 && d.is_finite());
+        }
+    }
+
+    #[test]
+    fn bdd_probabilities_match_propagation_exactness_contract(spec in spec_strategy()) {
+        use minpower::activity::exact;
+        let n = synthesize(&spec);
+        if n.inputs().len() > 10 {
+            return Ok(()); // keep the enumeration cross-check cheap
+        }
+        let probs = vec![0.5; n.inputs().len()];
+        let by_enum = exact::probabilities(&n, &probs);
+        let by_bdd = exact::probabilities_bdd(&n, &probs).expect("small circuits fit");
+        for i in 0..n.gate_count() {
+            prop_assert!((by_enum[i] - by_bdd[i]).abs() < 1e-12,
+                "gate {i}: enum {} vs bdd {}", by_enum[i], by_bdd[i]);
+        }
+    }
+
+    #[test]
+    fn bdd_sat_count_matches_truth_table(spec in spec_strategy()) {
+        use minpower::bdd::{build_outputs, Bdd};
+        let n = synthesize(&spec);
+        let n_in = n.inputs().len();
+        if n_in > 10 {
+            return Ok(());
+        }
+        let mut bdd = Bdd::new(n_in);
+        let nodes = build_outputs(&mut bdd, &n).expect("small circuits fit");
+        // Count satisfying assignments of the first primary output by
+        // brute force and compare.
+        let out = n.outputs()[0];
+        let mut count = 0u64;
+        for bits in 0..(1u64 << n_in) {
+            let assignment: Vec<bool> = (0..n_in).map(|k| bits >> k & 1 == 1).collect();
+            if n.evaluate(&assignment)[out.index()] {
+                count += 1;
+            }
+        }
+        prop_assert_eq!(bdd.sat_count(nodes[out.index()]) as u64, count);
+    }
+
+    #[test]
+    fn verilog_round_trip_preserves_function(spec in spec_strategy()) {
+        use minpower::netlist::transform::equivalent_by_simulation;
+        let n = synthesize(&spec);
+        let text = minpower::netlist::verilog::write(&n);
+        let back = minpower::netlist::verilog::parse(&text).expect("round trip");
+        prop_assert_eq!(back.logic_gate_count(), n.logic_gate_count());
+        // Generator names never start with digits, so ports are stable
+        // across the write→parse cycle and behavior must match.
+        prop_assert!(equivalent_by_simulation(&n, &back, 64, spec.seed | 7));
+    }
+
+    #[test]
+    fn transforms_preserve_function_on_generated_circuits(spec in spec_strategy()) {
+        use minpower::netlist::transform::{
+            buffer_high_fanout, decompose_wide_gates, equivalent_by_simulation,
+            max_fanin, max_fanout, sweep_dead_logic,
+        };
+        let n = synthesize(&spec);
+        let (decomposed, _) = decompose_wide_gates(&n, 2).expect("decompose");
+        prop_assert!(max_fanin(&decomposed) <= 2);
+        prop_assert!(equivalent_by_simulation(&n, &decomposed, 64, spec.seed | 1));
+
+        let (buffered, _) = buffer_high_fanout(&n, 3).expect("buffer");
+        prop_assert!(max_fanout(&buffered) <= 3);
+        prop_assert!(equivalent_by_simulation(&n, &buffered, 64, spec.seed | 3));
+
+        let (swept, removed) = sweep_dead_logic(&n).expect("sweep");
+        prop_assert!(equivalent_by_simulation(&n, &swept, 64, spec.seed | 5));
+        prop_assert_eq!(swept.logic_gate_count() + removed, n.logic_gate_count());
+    }
+
+    #[test]
+    fn event_simulation_respects_sta_bound(
+        spec in spec_strategy(),
+        vdd in 1.0f64..3.3,
+        vt in 0.2f64..0.5,
+    ) {
+        use minpower::timing::{EventSimulator, Sta};
+        let n = synthesize(&spec);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let design = Design::uniform(&n, vdd, vt, 8.0);
+        let eval = model.evaluate(&design, 3.0e8);
+        let delays: Vec<f64> = eval.gates.iter().map(|g| g.delay).collect();
+        if delays.iter().any(|d| !d.is_finite()) {
+            return Ok(()); // non-functional operating point
+        }
+        let sta = Sta::analyze(&n, &delays, 1.0);
+        let sim = EventSimulator::new(&n, &delays);
+        let (worst, _) = sim.random_transitions(32, spec.seed);
+        prop_assert!(
+            worst <= sta.critical_delay() * (1.0 + 1e-12),
+            "event sim {worst} exceeds STA {}",
+            sta.critical_delay()
+        );
+    }
+
+    #[test]
+    fn energy_is_positive_and_finite_wherever_drive_exists(
+        spec in spec_strategy(),
+        vdd in 0.5f64..3.3,
+        vt in 0.1f64..0.6,
+        w in 1.0f64..100.0,
+    ) {
+        let n = synthesize(&spec);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let design = Design::uniform(&n, vdd, vt, w);
+        let e = model.total_energy(&design, 3.0e8);
+        prop_assert!(e.static_ > 0.0 && e.static_.is_finite());
+        prop_assert!(e.dynamic > 0.0 && e.dynamic.is_finite());
+    }
+}

@@ -324,10 +324,8 @@ mod tests {
         b.output("y").unwrap();
         let n = b.finish().unwrap();
         let probs = [0.3, 0.6, 0.5, 0.2];
-        let profile: Vec<InputActivity> = probs
-            .iter()
-            .map(|&p| InputActivity::new(p, 0.4))
-            .collect();
+        let profile: Vec<InputActivity> =
+            probs.iter().map(|&p| InputActivity::new(p, 0.4)).collect();
         let exact_p = probabilities(&n, &probs);
         let exact_d = densities(&n, &profile);
         let approx = Activities::propagate(&n, &profile);
@@ -354,10 +352,8 @@ mod tests {
     fn reconvergence_creates_a_gap() {
         let n = reconvergent();
         let probs = [0.5, 0.5, 0.5];
-        let profile: Vec<InputActivity> = probs
-            .iter()
-            .map(|&p| InputActivity::bernoulli(p))
-            .collect();
+        let profile: Vec<InputActivity> =
+            probs.iter().map(|&p| InputActivity::bernoulli(p)).collect();
         let exact_p = probabilities(&n, &probs);
         let approx = Activities::propagate(&n, &profile);
         let y = n.find("y").unwrap();
@@ -398,10 +394,8 @@ mod tests {
     fn bdd_route_matches_enumeration() {
         let n = reconvergent();
         let probs = [0.5, 0.3, 0.8];
-        let profile: Vec<InputActivity> = probs
-            .iter()
-            .map(|&p| InputActivity::new(p, 0.4))
-            .collect();
+        let profile: Vec<InputActivity> =
+            probs.iter().map(|&p| InputActivity::new(p, 0.4)).collect();
         let enum_p = probabilities(&n, &probs);
         let bdd_p = probabilities_bdd(&n, &probs).unwrap();
         let enum_d = densities(&n, &profile);
@@ -426,6 +420,6 @@ mod tests {
         b.gate("y", GateKind::And, &refs[..2]).unwrap();
         b.output("y").unwrap();
         let n = b.finish().unwrap();
-        let _ = probabilities(&n, &vec![0.5; MAX_INPUTS + 1]);
+        let _ = probabilities(&n, &[0.5; MAX_INPUTS + 1]);
     }
 }

@@ -109,7 +109,10 @@ impl InputActivity {
     /// assert!(slow.density < fast.density);
     /// ```
     pub fn correlated(p: f64, rho: f64) -> Self {
-        assert!((-1.0..=1.0).contains(&rho), "correlation must be in [-1, 1]");
+        assert!(
+            (-1.0..=1.0).contains(&rho),
+            "correlation must be in [-1, 1]"
+        );
         InputActivity::new(p, 2.0 * p * (1.0 - p) * (1.0 - rho))
     }
 }
@@ -154,8 +157,7 @@ impl Activities {
             probability[id.index()] = output_probability(gate.kind(), &p_in);
             let mut d = 0.0;
             for (i, f) in fanin.iter().enumerate() {
-                d += boolean_difference_probability(gate.kind(), &p_in, i)
-                    * density[f.index()];
+                d += boolean_difference_probability(gate.kind(), &p_in, i) * density[f.index()];
             }
             density[id.index()] = d;
         }
@@ -386,8 +388,7 @@ mod tests {
         let n = b.finish().unwrap();
 
         let p = [0.5, 0.3, 0.6, 0.2];
-        let profile: Vec<InputActivity> =
-            p.iter().map(|&q| InputActivity::bernoulli(q)).collect();
+        let profile: Vec<InputActivity> = p.iter().map(|&q| InputActivity::bernoulli(q)).collect();
         let analytic = Activities::propagate(&n, &profile);
         let mc = monte_carlo_density(&n, &p, 200_000, 42);
         for &id in n.topological_order() {

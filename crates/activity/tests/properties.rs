@@ -1,4 +1,8 @@
 //! Property tests for activity propagation invariants.
+//!
+//! Requires the external `proptest` crate: compiled only with the
+//! `proptest` feature enabled (offline builds skip it).
+#![cfg(feature = "proptest")]
 
 use minpower_activity::{Activities, InputActivity};
 use minpower_netlist::{GateKind, Netlist, NetlistBuilder};

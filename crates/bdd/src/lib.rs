@@ -332,11 +332,7 @@ impl Bdd {
     /// The Boolean difference `∂f/∂x_i = f|x=1 ⊕ f|x=0` — the function
     /// that is `1` exactly where toggling `x_i` toggles `f` (the density
     /// definition's sensitization condition).
-    pub fn boolean_difference(
-        &mut self,
-        f: NodeId,
-        var: usize,
-    ) -> Result<NodeId, CapacityError> {
+    pub fn boolean_difference(&mut self, f: NodeId, var: usize) -> Result<NodeId, CapacityError> {
         let hi = self.cofactor(f, var, true)?;
         let lo = self.cofactor(f, var, false)?;
         self.apply_xor(hi, lo)
@@ -519,7 +515,10 @@ mod tests {
         let nodes = build_outputs(&mut bdd, &n).unwrap();
         for bits in 0..8u32 {
             let assignment: Vec<bool> = (0..3).map(|k| bits >> k & 1 == 1).collect();
-            let probs: Vec<f64> = assignment.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            let probs: Vec<f64> = assignment
+                .iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect();
             let values = n.evaluate(&assignment);
             for &id in n.topological_order() {
                 let p = bdd.probability(nodes[id.index()], &probs);

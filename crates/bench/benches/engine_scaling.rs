@@ -1,0 +1,95 @@
+//! Engine scaling bench: the table workload (three suite circuits at two
+//! activities) run with the evaluation engine in different
+//! configurations — serial vs parallel, cache off vs on vs warm.
+//!
+//! This is the wall-clock evidence for the engine's two levers:
+//!
+//! * **threads** — the suite rows are independent, so `par_map` over
+//!   them should approach linear speedup until the circuit count binds;
+//! * **cache** — a second pass over the same workload re-probes the same
+//!   operating points and should be served almost entirely from the
+//!   probe cache.
+//!
+//! Every configuration produces bit-identical optimization results (see
+//! `crates/core/tests/determinism.rs`); only the wall time moves.
+//!
+//! Plain `Instant` timing (no external harness — the build is offline).
+//! Run with `cargo bench -p minpower-bench --bench engine_scaling`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use minpower_bench::{problem_for, ACTIVITIES};
+use minpower_core::{EvalContext, Optimizer};
+use minpower_engine::par_map;
+use minpower_netlist::Netlist;
+
+fn workload() -> Vec<(Netlist, f64)> {
+    ["s27", "s298", "s713"]
+        .into_iter()
+        .flat_map(|name| {
+            let netlist = minpower_bench::circuit_by_name(name);
+            ACTIVITIES.map(move |a| (netlist.clone(), a))
+        })
+        .collect()
+}
+
+/// Optimizes every work item through `ctx`, one item per worker.
+fn run_suite(ctx: &Arc<EvalContext>, items: &[(Netlist, f64)]) -> Duration {
+    let t0 = Instant::now();
+    let rows = par_map(ctx.threads(), items, |(netlist, activity)| {
+        let problem = problem_for(netlist, *activity);
+        Optimizer::new(&problem)
+            .with_engine(ctx.clone())
+            .run()
+            .expect("suite is feasible")
+    });
+    assert_eq!(rows.len(), items.len());
+    t0.elapsed()
+}
+
+fn main() {
+    let items = workload();
+    let parallel = minpower_core::context::default_threads().clamp(2, 4);
+    println!(
+        "engine scaling over {} suite optimizations ({} worker threads for the parallel runs)",
+        items.len(),
+        parallel
+    );
+    println!("{:<26} {:>10} {:>8}", "configuration", "wall", "speedup");
+
+    let serial_nocache = run_suite(&Arc::new(EvalContext::new(1, 0)), &items);
+    let report = |label: &str, t: Duration| {
+        println!(
+            "{label:<26} {t:>10.2?} {:>7.2}x",
+            serial_nocache.as_secs_f64() / t.as_secs_f64().max(1e-12)
+        );
+    };
+    report("threads=1, no cache", serial_nocache);
+
+    let cached = Arc::new(EvalContext::new(1, 4096));
+    report("threads=1, cache (cold)", run_suite(&cached, &items));
+    report("threads=1, cache (warm)", run_suite(&cached, &items));
+
+    report(
+        &format!("threads={parallel}, no cache"),
+        run_suite(&Arc::new(EvalContext::new(parallel, 0)), &items),
+    );
+    let cached_par = Arc::new(EvalContext::new(parallel, 4096));
+    report(
+        &format!("threads={parallel}, cache (cold)"),
+        run_suite(&cached_par, &items),
+    );
+    report(
+        &format!("threads={parallel}, cache (warm)"),
+        run_suite(&cached_par, &items),
+    );
+
+    let stats = cached_par.cache_stats().expect("cache enabled");
+    println!(
+        "parallel cache: {} hits / {} misses over {} probes",
+        stats.hits,
+        stats.misses,
+        stats.hits + stats.misses
+    );
+}

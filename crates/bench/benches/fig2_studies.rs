@@ -1,27 +1,34 @@
-//! Criterion benches for the **Fig. 2** studies on s298:
+//! Wall-clock benches for the **Fig. 2** studies on s298:
 //! (a) one worst-case-Vt-margined optimization (±20 %);
 //! (b) one skew-derated optimization (b = 0.8).
+//!
+//! Plain `Instant` timing (no external harness — the build is offline).
+//! Run with `cargo bench -p minpower-bench --bench fig2_studies`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use minpower_bench::problem_for;
 use minpower_core::{variation, Optimizer};
 
-fn bench_fig2(c: &mut Criterion) {
+fn time<R>(label: &str, runs: u32, f: impl Fn() -> R) {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        let _ = f();
+    }
+    println!("{:<14} {:>6} {:>12.2?}", label, runs, t0.elapsed() / runs);
+}
+
+fn main() {
     let netlist = minpower_bench::circuit_by_name("s298");
-    let mut group = c.benchmark_group("fig2_studies");
-    group.sample_size(10);
+    println!("{:<14} {:>6} {:>12}", "study", "runs", "per run");
 
     let problem = problem_for(&netlist, 0.3);
-    group.bench_function("fig2a_tol20", |b| {
-        b.iter(|| variation::optimize_with_tolerance(&problem, 0.20).expect("feasible"))
+    time("fig2a_tol20", 10, || {
+        variation::optimize_with_tolerance(&problem, 0.20).expect("feasible")
     });
 
     let skewed = problem_for(&netlist, 0.3).with_clock_skew(0.8);
-    group.bench_function("fig2b_skew20", |b| {
-        b.iter(|| Optimizer::new(&skewed).run().expect("feasible"))
+    time("fig2b_skew20", 10, || {
+        Optimizer::new(&skewed).run().expect("feasible")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

@@ -1,50 +1,54 @@
-//! Criterion benches for the substrate layers the optimizer leans on:
+//! Wall-clock benches for the substrate layers the optimizer leans on:
 //! activity propagation, Procedure-1 budgeting, one full-circuit model
-//! evaluation (the `O(M³)` unit of Procedure 2), and one transient
-//! simulation of the validation stage.
+//! evaluation (the `O(M³)` unit of Procedure 2), exact BDD
+//! probabilities, and one transient simulation of the validation stage.
+//!
+//! Plain `Instant` timing (no external harness — the build is offline).
+//! Run with `cargo bench -p minpower-bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use minpower_activity::{Activities, InputActivity};
 use minpower_core::budget::assign_max_delays;
 use minpower_device::Technology;
 use minpower_models::{CircuitModel, Design};
 use minpower_spice::measure;
 
-fn bench_substrates(c: &mut Criterion) {
+fn time<R>(label: &str, runs: u32, f: impl Fn() -> R) {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        let _ = f();
+    }
+    println!("{:<30} {:>6} {:>12.2?}", label, runs, t0.elapsed() / runs);
+}
+
+fn main() {
     let netlist = minpower_bench::circuit_by_name("s713");
     let tech = Technology::dac97();
-    let mut group = c.benchmark_group("substrates");
+    println!("{:<30} {:>6} {:>12}", "substrate", "runs", "per run");
 
     let profile = InputActivity::uniform(0.5, 0.3, netlist.inputs().len());
-    group.bench_function("activity_propagation_s713", |b| {
-        b.iter(|| Activities::propagate(&netlist, &profile))
+    time("activity_propagation_s713", 200, || {
+        Activities::propagate(&netlist, &profile)
     });
 
-    group.bench_function("procedure1_budgets_s713", |b| {
-        b.iter(|| assign_max_delays(&netlist, 3.33e-9))
+    time("procedure1_budgets_s713", 200, || {
+        assign_max_delays(&netlist, 3.33e-9)
     });
 
     let model = CircuitModel::with_uniform_activity(&netlist, tech.clone(), 0.5, 0.3);
     let design = Design::uniform(&netlist, 1.2, 0.25, 8.0);
-    group.bench_function("circuit_evaluate_s713", |b| {
-        b.iter(|| model.evaluate(&design, 3.0e8))
+    time("circuit_evaluate_s713", 200, || {
+        model.evaluate(&design, 3.0e8)
     });
 
-    group.bench_function("bdd_exact_probabilities_s298", |b| {
-        let s298 = minpower_bench::circuit_by_name("s298");
-        let probs = vec![0.5; s298.inputs().len()];
-        b.iter(|| {
-            minpower_activity::exact::probabilities_bdd(&s298, &probs)
-                .expect("fits the cap")
-        })
+    let s298 = minpower_bench::circuit_by_name("s298");
+    let probs = vec![0.5; s298.inputs().len()];
+    time("bdd_exact_probabilities_s298", 20, || {
+        minpower_activity::exact::probabilities_bdd(&s298, &probs).expect("fits the cap")
     });
 
-    group.sample_size(10);
-    group.bench_function("spice_inverter_measure", |b| {
-        b.iter(|| measure::inverter(&tech, 8.0, 1.5, 0.35, 30e-15))
+    time("spice_inverter_measure", 10, || {
+        measure::inverter(&tech, 8.0, 1.5, 0.35, 30e-15)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_substrates);
-criterion_main!(benches);

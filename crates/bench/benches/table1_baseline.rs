@@ -1,25 +1,27 @@
-//! Criterion bench for the **Table 1** pipeline: fixed-Vt (700 mV)
+//! Wall-clock bench for the **Table 1** pipeline: fixed-Vt (700 mV)
 //! width + supply optimization per circuit at 300 MHz.
+//!
+//! Plain `Instant` timing (no external harness — the build is offline).
+//! Run with `cargo bench -p minpower-bench --bench table1_baseline`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use minpower_bench::problem_for;
 use minpower_core::{baseline, SearchOptions};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_baseline");
-    group.sample_size(10);
+fn main() {
+    println!("{:<8} {:>6} {:>12}", "circuit", "runs", "per run");
     for name in ["s27", "s298", "s713"] {
         let netlist = minpower_bench::circuit_by_name(name);
         let problem = problem_for(&netlist, 0.3);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                baseline::optimize_fixed_vt(&problem, 0.7, SearchOptions::default())
-                    .expect("baseline feasible")
-            })
-        });
+        let runs = 10;
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            let r = baseline::optimize_fixed_vt(&problem, 0.7, SearchOptions::default())
+                .expect("baseline feasible");
+            assert!(r.feasible);
+        }
+        let per = t0.elapsed() / runs;
+        println!("{name:<8} {runs:>6} {per:>12.2?}");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -1,25 +1,28 @@
-//! Criterion bench for the **Table 2** pipeline: the full joint
+//! Wall-clock bench for the **Table 2** pipeline: the full joint
 //! Vdd/Vts/width heuristic (Procedures 1 + 2) per circuit.
 //!
 //! The paper reports 5–20 s per circuit on 1997 hardware; this measures
-//! our wall-clock per full optimization.
+//! our wall-clock per full optimization. Plain `Instant` timing (no
+//! external harness — the build is offline). Run with
+//! `cargo bench -p minpower-bench --bench table2_heuristic`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use minpower_bench::problem_for;
 use minpower_core::Optimizer;
 
-fn bench_table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_heuristic");
-    group.sample_size(10);
+fn main() {
+    println!("{:<8} {:>6} {:>12}", "circuit", "runs", "per run");
     for name in ["s27", "s298", "s713"] {
         let netlist = minpower_bench::circuit_by_name(name);
         let problem = problem_for(&netlist, 0.3);
-        group.bench_function(name, |b| {
-            b.iter(|| Optimizer::new(&problem).run().expect("heuristic feasible"))
-        });
+        let runs = 10;
+        let t0 = Instant::now();
+        for _ in 0..runs {
+            let r = Optimizer::new(&problem).run().expect("heuristic feasible");
+            assert!(r.feasible);
+        }
+        let per = t0.elapsed() / runs;
+        println!("{name:<8} {runs:>6} {per:>12.2?}");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -4,7 +4,12 @@
 //! cargo run -p minpower-bench --bin experiments --release -- all
 //! cargo run -p minpower-bench --bin experiments --release -- table2 --fast
 //! cargo run -p minpower-bench --bin experiments --release -- fig2a --csv out.csv
+//! cargo run -p minpower-bench --bin experiments --release -- table1 --threads 4
 //! ```
+//!
+//! `--threads <n>` sets the engine's worker count (default: all cores);
+//! `--no-cache` disables probe memoization. Engine telemetry prints
+//! after the experiments.
 
 use std::fmt::Write as _;
 
@@ -13,14 +18,37 @@ use minpower_bench as exp;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let csv_path = flag_value("--csv");
+    let threads_arg = flag_value("--threads");
+    let threads = match threads_arg.as_deref() {
+        None => minpower_core::context::default_threads(),
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--threads must be a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let capacity = if args.iter().any(|a| a == "--no-cache") {
+        0
+    } else {
+        minpower_core::context::DEFAULT_CACHE_CAPACITY
+    };
+    minpower_core::EvalContext::install(minpower_core::EvalContext::new(threads, capacity));
     let cmd = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(*a) != csv_path.as_ref())
+        .find(|a| {
+            !a.starts_with("--")
+                && Some(*a) != csv_path.as_ref()
+                && Some(*a) != threads_arg.as_ref()
+        })
         .map(String::as_str)
         .unwrap_or("all");
 
@@ -69,10 +97,13 @@ fn main() {
                 "unknown experiment `{other}`; available: table1 table2 fig2a fig2b anneal \
                  multi-vt ablation-budget validate body-bias short-circuit activity-error \
                  ring scaling pareto temperature glitch yield sizing all \
-                 (flags: --fast, --csv <path>)"
+                 (flags: --fast, --csv <path>, --threads <n>, --no-cache)"
             );
             std::process::exit(2);
         }
+    }
+    if let Some(summary) = minpower_core::report::engine_summary() {
+        print!("\n{summary}");
     }
     if let Some(path) = csv_path {
         std::fs::write(&path, csv).unwrap_or_else(|e| {
@@ -95,11 +126,7 @@ fn table2(fast: bool, csv: &mut String) {
     let rows = exp::table2(fast);
     print!("{}", exp::render_rows(&rows, true));
     let gm: f64 = {
-        let logs: Vec<f64> = rows
-            .iter()
-            .filter_map(|r| r.savings)
-            .map(f64::ln)
-            .collect();
+        let logs: Vec<f64> = rows.iter().filter_map(|r| r.savings).map(f64::ln).collect();
         (logs.iter().sum::<f64>() / logs.len() as f64).exp()
     };
     println!("geometric-mean savings: {gm:.1}x (paper: >10x, typically ~25x)");

@@ -21,8 +21,9 @@ use std::time::Instant;
 
 use minpower_circuits::{paper_suite, s27, spec_by_name, synthesize};
 use minpower_core::budget::BudgetPolicy;
-use minpower_core::{anneal, baseline, variation, Optimizer, Problem, SearchOptions};
+use minpower_core::{anneal, baseline, variation, EvalContext, Optimizer, Problem, SearchOptions};
 use minpower_device::Technology;
+use minpower_engine::{par_map, stats::Phase};
 use minpower_models::CircuitModel;
 use minpower_netlist::Netlist;
 use minpower_spice::measure;
@@ -67,8 +68,7 @@ pub struct TableRow {
 
 /// Builds the optimization problem the tables use for one circuit.
 pub fn problem_for(netlist: &Netlist, activity: f64) -> Problem {
-    let model =
-        CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
+    let model = CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
     Problem::new(model, FC)
 }
 
@@ -76,41 +76,63 @@ pub fn problem_for(netlist: &Netlist, activity: f64) -> Problem {
 /// quick subset (`s27`, `s298`) when `fast` is set.
 pub fn table_suite(fast: bool) -> Vec<Netlist> {
     if fast {
-        vec![s27(), synthesize(&spec_by_name("s298").expect("s298 in suite"))]
+        vec![
+            s27(),
+            synthesize(&spec_by_name("s298").expect("s298 in suite")),
+        ]
     } else {
         paper_suite()
     }
 }
 
+/// The tables' work list: every suite circuit at both activities, in the
+/// row order the paper's tables use.
+fn suite_work(fast: bool) -> Vec<(Netlist, f64)> {
+    table_suite(fast)
+        .into_iter()
+        .flat_map(|netlist| ACTIVITIES.map(|a| (netlist.clone(), a)))
+        .collect()
+}
+
+/// Runs `f` over `items` on the process-wide engine's worker pool (one
+/// circuit per worker), timing the pass under the engine's `suite`
+/// phase. Result order matches `items`.
+fn suite_rows<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let ctx = EvalContext::global();
+    let stats = ctx.stats().clone();
+    stats.time(Phase::Suite, || par_map(ctx.threads(), items, f))
+}
+
 /// **Table 1**: widths + `V_dd` optimized at fixed `V_t = 700 mV`,
 /// 300 MHz, two input activities per circuit.
 pub fn table1(fast: bool) -> Vec<TableRow> {
-    let mut rows = Vec::new();
-    for netlist in table_suite(fast) {
+    let work = suite_work(fast);
+    suite_rows(&work, |(netlist, activity)| {
         let stats = netlist.stats();
-        for activity in ACTIVITIES {
-            let problem = problem_for(&netlist, activity);
-            let t0 = Instant::now();
-            let r = baseline::optimize_fixed_vt(&problem, 0.7, SearchOptions::default())
-                .expect("table-1 corner is feasible for the suite");
-            rows.push(TableRow {
-                circuit: netlist.name().to_string(),
-                gates: stats.logic_gates,
-                depth: stats.depth,
-                activity,
-                static_e: r.energy.static_,
-                dynamic_e: r.energy.dynamic,
-                total_e: r.energy.total(),
-                delay: r.critical_delay,
-                vdd: r.design.vdd,
-                vt: r.uniform_vt(),
-                savings: None,
-                savings_nominal: None,
-                runtime: t0.elapsed().as_secs_f64(),
-            });
+        let problem = problem_for(netlist, *activity);
+        let t0 = Instant::now();
+        let r = baseline::optimize_fixed_vt(&problem, 0.7, SearchOptions::default())
+            .expect("table-1 corner is feasible for the suite");
+        TableRow {
+            circuit: netlist.name().to_string(),
+            gates: stats.logic_gates,
+            depth: stats.depth,
+            activity: *activity,
+            static_e: r.energy.static_,
+            dynamic_e: r.energy.dynamic,
+            total_e: r.energy.total(),
+            delay: r.critical_delay,
+            vdd: r.design.vdd,
+            vt: r.uniform_vt(),
+            savings: None,
+            savings_nominal: None,
+            runtime: t0.elapsed().as_secs_f64(),
         }
-    }
-    rows
+    })
 }
 
 /// **Table 1, nominal-corner variant**: widths-only optimization at the
@@ -118,32 +140,29 @@ pub fn table1(fast: bool) -> Vec<TableRow> {
 /// baseline landed ("the optimization coincidentally returned V_dd values
 /// close to 3.3 V").
 pub fn table1_nominal(fast: bool) -> Vec<TableRow> {
-    let mut rows = Vec::new();
-    for netlist in table_suite(fast) {
+    let work = suite_work(fast);
+    suite_rows(&work, |(netlist, activity)| {
         let stats = netlist.stats();
-        for activity in ACTIVITIES {
-            let problem = problem_for(&netlist, activity);
-            let t0 = Instant::now();
-            let r = baseline::optimize_widths_at(&problem, 3.3, 0.7, SearchOptions::default())
-                .expect("nominal corner is feasible for the suite");
-            rows.push(TableRow {
-                circuit: netlist.name().to_string(),
-                gates: stats.logic_gates,
-                depth: stats.depth,
-                activity,
-                static_e: r.energy.static_,
-                dynamic_e: r.energy.dynamic,
-                total_e: r.energy.total(),
-                delay: r.critical_delay,
-                vdd: r.design.vdd,
-                vt: r.uniform_vt(),
-                savings: None,
-                savings_nominal: None,
-                runtime: t0.elapsed().as_secs_f64(),
-            });
+        let problem = problem_for(netlist, *activity);
+        let t0 = Instant::now();
+        let r = baseline::optimize_widths_at(&problem, 3.3, 0.7, SearchOptions::default())
+            .expect("nominal corner is feasible for the suite");
+        TableRow {
+            circuit: netlist.name().to_string(),
+            gates: stats.logic_gates,
+            depth: stats.depth,
+            activity: *activity,
+            static_e: r.energy.static_,
+            dynamic_e: r.energy.dynamic,
+            total_e: r.energy.total(),
+            delay: r.critical_delay,
+            vdd: r.design.vdd,
+            vt: r.uniform_vt(),
+            savings: None,
+            savings_nominal: None,
+            runtime: t0.elapsed().as_secs_f64(),
         }
-    }
-    rows
+    })
 }
 
 /// **Table 2**: the joint `V_dd`/`V_ts`/width heuristic on the same
@@ -151,41 +170,38 @@ pub fn table1_nominal(fast: bool) -> Vec<TableRow> {
 pub fn table2(fast: bool) -> Vec<TableRow> {
     let reference = table1(fast);
     let nominal = table1_nominal(fast);
-    let mut rows = Vec::new();
-    for netlist in table_suite(fast) {
+    let work = suite_work(fast);
+    suite_rows(&work, |(netlist, activity)| {
         let stats = netlist.stats();
-        for activity in ACTIVITIES {
-            let problem = problem_for(&netlist, activity);
-            let t0 = Instant::now();
-            let r = Optimizer::new(&problem)
-                .run()
-                .expect("table-2 optimization is feasible for the suite");
-            let base = reference
-                .iter()
-                .find(|b| b.circuit == netlist.name() && b.activity == activity)
-                .expect("matching table-1 row exists");
-            let base_nominal = nominal
-                .iter()
-                .find(|b| b.circuit == netlist.name() && b.activity == activity)
-                .expect("matching nominal row exists");
-            rows.push(TableRow {
-                circuit: netlist.name().to_string(),
-                gates: stats.logic_gates,
-                depth: stats.depth,
-                activity,
-                static_e: r.energy.static_,
-                dynamic_e: r.energy.dynamic,
-                total_e: r.energy.total(),
-                delay: r.critical_delay,
-                vdd: r.design.vdd,
-                vt: r.uniform_vt(),
-                savings: Some(base.total_e / r.energy.total()),
-                savings_nominal: Some(base_nominal.total_e / r.energy.total()),
-                runtime: t0.elapsed().as_secs_f64(),
-            });
+        let problem = problem_for(netlist, *activity);
+        let t0 = Instant::now();
+        let r = Optimizer::new(&problem)
+            .run()
+            .expect("table-2 optimization is feasible for the suite");
+        let base = reference
+            .iter()
+            .find(|b| b.circuit == netlist.name() && b.activity == *activity)
+            .expect("matching table-1 row exists");
+        let base_nominal = nominal
+            .iter()
+            .find(|b| b.circuit == netlist.name() && b.activity == *activity)
+            .expect("matching nominal row exists");
+        TableRow {
+            circuit: netlist.name().to_string(),
+            gates: stats.logic_gates,
+            depth: stats.depth,
+            activity: *activity,
+            static_e: r.energy.static_,
+            dynamic_e: r.energy.dynamic,
+            total_e: r.energy.total(),
+            delay: r.critical_delay,
+            vdd: r.design.vdd,
+            vt: r.uniform_vt(),
+            savings: Some(base.total_e / r.energy.total()),
+            savings_nominal: Some(base_nominal.total_e / r.energy.total()),
+            runtime: t0.elapsed().as_secs_f64(),
         }
-    }
-    rows
+    })
 }
 
 /// **Fig. 2(a)**: power savings vs worst-case threshold tolerance for one
@@ -248,28 +264,26 @@ pub struct AnnealRow {
 /// **§5 claim**: the heuristic beats multiple-pass simulated annealing at
 /// a matched evaluation budget.
 pub fn anneal_comparison(fast: bool, activity: f64) -> Vec<AnnealRow> {
-    table_suite(fast)
-        .into_iter()
-        .map(|netlist| {
-            let problem = problem_for(&netlist, activity);
-            let h = Optimizer::new(&problem).run().expect("heuristic feasible");
-            let a = anneal::optimize(
-                &problem,
-                anneal::AnnealOptions {
-                    max_evaluations: h.evaluations.max(500),
-                    ..anneal::AnnealOptions::default()
-                },
-            )
-            .expect("annealer runs");
-            AnnealRow {
-                circuit: netlist.name().to_string(),
-                heuristic_e: h.energy.total(),
-                evaluations: h.evaluations,
-                anneal_e: a.energy.total(),
-                anneal_feasible: a.feasible,
-            }
-        })
-        .collect()
+    let work = table_suite(fast);
+    suite_rows(&work, |netlist| {
+        let problem = problem_for(netlist, activity);
+        let h = Optimizer::new(&problem).run().expect("heuristic feasible");
+        let a = anneal::optimize(
+            &problem,
+            anneal::AnnealOptions {
+                max_evaluations: h.evaluations.max(500),
+                ..anneal::AnnealOptions::default()
+            },
+        )
+        .expect("annealer runs");
+        AnnealRow {
+            circuit: netlist.name().to_string(),
+            heuristic_e: h.energy.total(),
+            evaluations: h.evaluations,
+            anneal_e: a.energy.total(),
+            anneal_feasible: a.feasible,
+        }
+    })
 }
 
 /// **Multi-threshold extension**: energy vs the number of distinct
@@ -638,11 +652,8 @@ pub fn scaling_study(circuit: &str, activity: f64) -> Vec<ScalingRow> {
                 DEFAULT_RENT_EXPONENT,
                 DEFAULT_GATE_PITCH_M * factor,
             );
-            let profile = minpower_activity::InputActivity::uniform(
-                0.5,
-                activity,
-                netlist.inputs().len(),
-            );
+            let profile =
+                minpower_activity::InputActivity::uniform(0.5, activity, netlist.inputs().len());
             let acts = minpower_activity::Activities::propagate(&netlist, &profile);
             let model = CircuitModel::new(&netlist, tech.clone(), &wires, &acts);
             let fc = FC / factor;
@@ -690,12 +701,8 @@ pub fn pareto_sweep(circuit: &str, activity: f64, fcs: &[f64]) -> Vec<ParetoRow>
     let netlist = circuit_by_name(circuit);
     fcs.iter()
         .filter_map(|&fc| {
-            let model = CircuitModel::with_uniform_activity(
-                &netlist,
-                Technology::dac97(),
-                0.5,
-                activity,
-            );
+            let model =
+                CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
             let problem = Problem::new(model, fc);
             Optimizer::new(&problem).run().ok().map(|r| ParetoRow {
                 fc,
@@ -732,8 +739,7 @@ pub fn temperature_study(circuit: &str, activity: f64) -> Vec<TemperatureRow> {
         .into_iter()
         .map(|kelvin| {
             let tech = Technology::dac97().at_temperature(kelvin);
-            let model =
-                CircuitModel::with_uniform_activity(&netlist, tech, 0.5, activity);
+            let model = CircuitModel::with_uniform_activity(&netlist, tech, 0.5, activity);
             let problem = Problem::new(model, FC);
             let r = Optimizer::new(&problem)
                 .run()
@@ -799,21 +805,19 @@ pub fn glitch_study(circuits: &[&str], activity_vectors: usize) -> Vec<GlitchRow
             for _ in 0..activity_vectors {
                 let after: Vec<bool> = (0..n_in).map(|_| next() & 1 == 1).collect();
                 let res = sim.simulate(&before, &after);
-                total += logic.iter().map(|&i| res.transitions[i] as u64).sum::<u64>();
+                total += logic
+                    .iter()
+                    .map(|&i| res.transitions[i] as u64)
+                    .sum::<u64>();
                 before = after;
             }
-            let simulated =
-                total as f64 / (activity_vectors * logic.len().max(1)) as f64;
+            let simulated = total as f64 / (activity_vectors * logic.len().max(1)) as f64;
             // The propagated density under the matching i.i.d. profile.
-            let profile: Vec<InputActivity> = (0..n_in)
-                .map(|_| InputActivity::bernoulli(0.5))
-                .collect();
+            let profile: Vec<InputActivity> =
+                (0..n_in).map(|_| InputActivity::bernoulli(0.5)).collect();
             let acts = Activities::propagate(&netlist, &profile);
-            let propagated = logic
-                .iter()
-                .map(|&i| acts.densities()[i])
-                .sum::<f64>()
-                / logic.len().max(1) as f64;
+            let propagated =
+                logic.iter().map(|&i| acts.densities()[i]).sum::<f64>() / logic.len().max(1) as f64;
             GlitchRow {
                 circuit: name.to_string(),
                 simulated,
@@ -845,8 +849,7 @@ pub fn yield_study(circuit: &str, activity: f64, sigma_rel: f64) -> Vec<YieldStu
     let netlist = circuit_by_name(circuit);
     let problem = problem_for(&netlist, activity);
     let plain = Optimizer::new(&problem).run().expect("feasible");
-    let margined =
-        variation::optimize_with_tolerance(&problem, 3.0 * sigma_rel).expect("feasible");
+    let margined = variation::optimize_with_tolerance(&problem, 3.0 * sigma_rel).expect("feasible");
     let samples = 400;
     let y_plain = timing_yield(&problem, &plain.design, sigma_rel, samples, 0xF1E1D);
     let y_margined = timing_yield(&problem, &margined.design, sigma_rel, samples, 0xF1E1D);
@@ -874,8 +877,8 @@ pub fn sizing_comparison(circuit: &str, activity: f64, vdd: f64, vt: f64) -> (f6
     use minpower_core::tilos::{size_greedy, TilosOptions};
     let netlist = circuit_by_name(circuit);
     let problem = problem_for(&netlist, activity);
-    let budgeted = size_at(&problem, vdd, vt, &SearchOptions::default())
-        .expect("operating point valid");
+    let budgeted =
+        size_at(&problem, vdd, vt, &SearchOptions::default()).expect("operating point valid");
     let greedy = size_greedy(&problem, vdd, vt, TilosOptions::default())
         .map(|r| r.energy.total())
         .unwrap_or(f64::NAN);
@@ -921,8 +924,7 @@ pub fn joint_with_greedy_sizing(circuit: &str, activity: f64) -> GreedyModeRow {
         .with_options(opts.clone())
         .run()
         .expect("feasible");
-    let greedy_base =
-        baseline::optimize_fixed_vt(&problem, 0.7, opts).expect("feasible");
+    let greedy_base = baseline::optimize_fixed_vt(&problem, 0.7, opts).expect("feasible");
     GreedyModeRow {
         paper_joint: paper.energy.total(),
         greedy_joint: greedy.energy.total(),
@@ -950,7 +952,16 @@ pub fn render_rows(rows: &[TableRow], with_savings: bool) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<6} {:>5} {:>5} {:>4} {:>10} {:>10} {:>10} {:>8} {:>5} {:>7}",
-        "ckt", "gates", "depth", "a", "static J", "dynamic J", "total J", "delay ns", "Vdd", "Vt mV"
+        "ckt",
+        "gates",
+        "depth",
+        "a",
+        "static J",
+        "dynamic J",
+        "total J",
+        "delay ns",
+        "Vdd",
+        "Vt mV"
     ));
     if with_savings {
         out.push_str(&format!(" {:>8} {:>8}", "savings", "vs-nom"));
@@ -968,8 +979,7 @@ pub fn render_rows(rows: &[TableRow], with_savings: bool) -> String {
             r.total_e,
             r.delay * 1e9,
             r.vdd,
-            r.vt
-                .map(|v| format!("{:.0}", v * 1e3))
+            r.vt.map(|v| format!("{:.0}", v * 1e3))
                 .unwrap_or_else(|| "multi".to_string()),
         ));
         if with_savings {

@@ -66,7 +66,7 @@ pub fn reduction_tree(leaves: usize) -> Netlist {
     let mut depth = 0usize;
     let mut counter = 0usize;
     while level.len() > 1 {
-        let kind = if depth % 2 == 0 {
+        let kind = if depth.is_multiple_of(2) {
             GateKind::Nand
         } else {
             GateKind::Nor
@@ -76,7 +76,8 @@ pub fn reduction_tree(leaves: usize) -> Netlist {
         for pair in level.chunks(2) {
             let name = format!("t{counter}");
             counter += 1;
-            b.gate(&name, kind, &[&pair[0], &pair[1]]).expect("valid tree");
+            b.gate(&name, kind, &[&pair[0], &pair[1]])
+                .expect("valid tree");
             next.push(name);
         }
         level = next;
@@ -179,7 +180,7 @@ mod tests {
         let c = inverter_chain(3);
         let v = c.evaluate(&[true]);
         let y = c.find("n2").unwrap();
-        assert_eq!(v[y.index()], false); // odd inversions
+        assert!(!v[y.index()]); // odd inversions
 
         let t = reduction_tree(4);
         let inputs = vec![true; 4];

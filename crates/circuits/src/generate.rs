@@ -1,8 +1,7 @@
 //! Seeded synthesis of ISCAS-like random logic networks.
 
+use minpower_engine::SplitMix64;
 use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Prescription for a synthetic benchmark circuit.
 ///
@@ -29,11 +28,9 @@ pub struct BenchmarkSpec {
 impl BenchmarkSpec {
     /// Creates a spec with a seed derived from the name.
     pub fn new(name: &str, gates: usize, inputs: usize, outputs: usize, depth: usize) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-            });
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
         BenchmarkSpec {
             name: name.to_string(),
             gates,
@@ -73,7 +70,7 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
     );
     assert!(spec.inputs >= 1, "need at least one primary input");
 
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let mut b = NetlistBuilder::new(&spec.name);
 
     let mut input_names = Vec::with_capacity(spec.inputs);
@@ -87,7 +84,7 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
     // spread with a bulge in the middle (like mapped random logic).
     let mut per_level = vec![1usize; spec.depth];
     for _ in 0..spec.gates - spec.depth {
-        let l = (rng.gen::<f64>() * rng.gen::<f64>() * spec.depth as f64) as usize;
+        let l = (rng.next_f64() * rng.next_f64() * spec.depth as f64) as usize;
         // Bias toward earlier-middle levels.
         per_level[l.min(spec.depth - 1)] += 1;
     }
@@ -107,7 +104,7 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
                 1
             } else {
                 // Mostly 2-input, some 3- and 4-input gates.
-                match rng.gen_range(0..10) {
+                match rng.range_usize(10) {
                     0..=6 => 2,
                     7..=8 => 3,
                     _ => 4,
@@ -116,9 +113,9 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
             let mut fanin: Vec<String> = Vec::with_capacity(arity);
             // First fanin from the previous level pins the gate's depth.
             let prev = &names_at[level - 1];
-            fanin.push(prev[rng.gen_range(0..prev.len())].clone());
+            fanin.push(prev[rng.range_usize(prev.len())].clone());
             while fanin.len() < arity {
-                let candidate = &below[rng.gen_range(0..below.len())];
+                let candidate = &below[rng.range_usize(below.len())];
                 if !fanin.contains(candidate) {
                     fanin.push(candidate.clone());
                 }
@@ -127,7 +124,8 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
                 }
             }
             let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
-            b.gate(&name, kind, &refs).expect("generated wiring is valid");
+            b.gate(&name, kind, &refs)
+                .expect("generated wiring is valid");
             referenced.extend(fanin.iter().cloned());
             this_level.push(name);
         }
@@ -153,9 +151,9 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
     let mut guard = 0;
     while out_count < spec.outputs && guard < 10 * spec.outputs {
         guard += 1;
-        let level = rng.gen_range(spec.depth / 2 + 1..=spec.depth);
+        let level = spec.depth / 2 + 1 + rng.range_usize(spec.depth - spec.depth / 2);
         let pool = &names_at[level];
-        let name = &pool[rng.gen_range(0..pool.len())];
+        let name = &pool[rng.range_usize(pool.len())];
         b.output(name).expect("name exists");
         out_count += 1;
     }
@@ -166,8 +164,8 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
     b.finish().expect("generated netlists are acyclic")
 }
 
-fn pick_kind(rng: &mut StdRng) -> GateKind {
-    match rng.gen_range(0..100) {
+fn pick_kind(rng: &mut SplitMix64) -> GateKind {
+    match rng.range_usize(100) {
         0..=29 => GateKind::Nand,
         30..=49 => GateKind::Nor,
         50..=63 => GateKind::And,

@@ -35,4 +35,4 @@ mod generate;
 mod suite;
 
 pub use generate::{synthesize, BenchmarkSpec};
-pub use suite::{c17, circuit, load_bench_file, paper_suite, spec_by_name, specs, s27};
+pub use suite::{c17, circuit, load_bench_file, paper_suite, s27, spec_by_name, specs};

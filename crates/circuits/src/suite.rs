@@ -141,10 +141,7 @@ pub fn load_bench_file(path: &Path) -> Result<Netlist, NetlistError> {
         line: 0,
         message: format!("cannot read {}: {e}", path.display()),
     })?;
-    let name = path
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("bench");
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("bench");
     bench::parse(name, &text)
 }
 

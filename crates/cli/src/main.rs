@@ -38,6 +38,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let rest = &args[1..];
+    install_engine(&Flags::new(rest))?;
     match command.as_str() {
         "optimize" => optimize(rest),
         "baseline" => baseline_cmd(rest),
@@ -76,13 +77,46 @@ fn print_usage() {
          \x20 minpower convert  <in.bench|in.v> <out.bench|out.v>\n\
          \x20 minpower suite\n\
          \n\
+         engine flags (any command): --threads N (default: all cores),\n\
+         \x20 --no-cache (disable probe memoization)\n\
+         \n\
          <circuit> is a suite name (see `minpower suite`) or a .bench/.v file."
     );
+}
+
+/// Installs the process-wide evaluation engine from the global
+/// `--threads` / `--no-cache` flags. Must run before the first
+/// optimization — the first probe materializes the default context.
+fn install_engine(flags: &Flags<'_>) -> Result<(), String> {
+    let threads = flags.get_usize("--threads", minpower::opt::context::default_threads())?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    let capacity = if flags.has("--no-cache") {
+        0
+    } else {
+        minpower::opt::context::DEFAULT_CACHE_CAPACITY
+    };
+    minpower::EvalContext::install(minpower::EvalContext::new(threads, capacity));
+    Ok(())
+}
+
+fn print_engine_summary() {
+    if let Some(summary) = minpower::opt::report::engine_summary() {
+        print!("{summary}");
+    }
 }
 
 /// Minimal flag parser: `--name value` pairs after positional arguments.
 struct Flags<'a> {
     args: &'a [String],
+}
+
+/// Flags that take no value; every other `--flag` consumes one token.
+const BOOLEAN_FLAGS: &[&str] = &["--no-cache"];
+
+fn flag_takes_value(flag: &str) -> bool {
+    !BOOLEAN_FLAGS.contains(&flag)
 }
 
 impl<'a> Flags<'a> {
@@ -100,7 +134,7 @@ impl<'a> Flags<'a> {
                 continue;
             }
             if a.starts_with("--") {
-                skip_next = true;
+                skip_next = flag_takes_value(a);
                 continue;
             }
             if seen == index {
@@ -109,6 +143,10 @@ impl<'a> Flags<'a> {
             seen += 1;
         }
         None
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
     }
 
     fn get(&self, name: &str) -> Option<&'a str> {
@@ -121,6 +159,7 @@ impl<'a> Flags<'a> {
 
     fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.get(name) {
+            None if self.has(name) => Err(format!("flag {name} requires a value")),
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -130,6 +169,7 @@ impl<'a> Flags<'a> {
 
     fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.get(name) {
+            None if self.has(name) => Err(format!("flag {name} requires a value")),
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -147,7 +187,7 @@ fn positional_circuit(flags: &Flags<'_>) -> Result<Netlist, String> {
             continue;
         }
         if a.starts_with("--") {
-            skip_next = true;
+            skip_next = flag_takes_value(a);
             continue;
         }
         return load_circuit(a);
@@ -183,8 +223,7 @@ fn build_problem(netlist: &Netlist, flags: &Flags<'_>) -> Result<Problem, String
     if !(0.0 < skew && skew <= 1.0) {
         return Err("--skew must lie in (0, 1]".to_string());
     }
-    let model =
-        CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
+    let model = CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
     Ok(Problem::new(model, fc).with_clock_skew(skew))
 }
 
@@ -249,6 +288,7 @@ fn optimize(args: &[String]) -> Result<(), String> {
         let report = Report::build(&problem, &result);
         print!("{}", report.render(top));
     }
+    print_engine_summary();
     Ok(())
 }
 
@@ -266,6 +306,7 @@ fn baseline_cmd(args: &[String]) -> Result<(), String> {
         result.energy.total(),
         result.critical_delay * 1e9
     );
+    print_engine_summary();
     Ok(())
 }
 

@@ -9,9 +9,7 @@
 //! penalty folded into the cost, and a bounded evaluation budget so
 //! head-to-head comparisons against Procedure 2 use equal work.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use minpower_engine::SplitMix64;
 use minpower_models::Design;
 use minpower_netlist::GateKind;
 
@@ -86,13 +84,16 @@ pub fn optimize(
         .filter(|&i| netlist.gate(minpower_netlist::GateId::new(i)).kind() != GateKind::Input)
         .collect();
 
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = SplitMix64::new(options.seed);
     let fc = problem.fc();
+    let stats = crate::context::EvalContext::global().stats().clone();
 
     // Penalized cost: energy × (1 + relative budget violation). The
     // violation term dominates while infeasible and vanishes at
     // feasibility.
     let cost_of = |design: &Design| -> (f64, bool) {
+        stats.count_eval();
+        stats.count_sta(1);
         let delays = model.delays(design);
         let mut violation = 0.0f64;
         for &i in &logic {
@@ -118,7 +119,11 @@ pub fn optimize(
     let per_pass = options.max_evaluations / options.passes.max(1);
 
     for pass in 0..options.passes.max(1) {
-        let mut current = if pass == 0 { start.clone() } else { best.clone() };
+        let mut current = if pass == 0 {
+            start.clone()
+        } else {
+            best.clone()
+        };
         let (mut current_cost, _) = cost_of(&current);
         evaluations += 1;
         let mut temperature = options.initial_temperature * current_cost.max(1e-30);
@@ -127,23 +132,21 @@ pub fn optimize(
                 break;
             }
             let mut trial = current.clone();
-            match rng.gen_range(0..4) {
+            match rng.range_usize(4) {
                 0 => {
-                    let delta = rng.gen_range(-0.15..0.15);
-                    trial.vdd =
-                        (trial.vdd + delta).clamp(tech.vdd_range.0, tech.vdd_range.1);
+                    let delta = rng.range_f64(-0.15, 0.15);
+                    trial.vdd = (trial.vdd + delta).clamp(tech.vdd_range.0, tech.vdd_range.1);
                 }
                 1 => {
-                    let delta = rng.gen_range(-0.05..0.05);
-                    let vt = (trial.vt[logic[0]] + delta)
-                        .clamp(tech.vt_range.0, tech.vt_range.1);
+                    let delta = rng.range_f64(-0.05, 0.05);
+                    let vt = (trial.vt[logic[0]] + delta).clamp(tech.vt_range.0, tech.vt_range.1);
                     for &i in &logic {
                         trial.vt[i] = vt;
                     }
                 }
                 _ => {
-                    let i = logic[rng.gen_range(0..logic.len())];
-                    let factor = rng.gen_range(0.7..1.4);
+                    let i = logic[rng.range_usize(logic.len())];
+                    let factor = rng.range_f64(0.7, 1.4);
                     trial.width[i] =
                         (trial.width[i] * factor).clamp(tech.w_range.0, tech.w_range.1);
                 }
@@ -152,7 +155,7 @@ pub fn optimize(
             evaluations += 1;
             let accept = trial_cost < current_cost || {
                 let delta = trial_cost - current_cost;
-                rng.gen::<f64>() < (-delta / temperature.max(1e-300)).exp()
+                rng.next_f64() < (-delta / temperature.max(1e-300)).exp()
             };
             if accept {
                 current = trial;
@@ -213,8 +216,7 @@ mod tests {
 
     fn problem() -> Problem {
         let n = netlist();
-        let model =
-            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         Problem::new(model, 200.0e6)
     }
 

@@ -94,7 +94,7 @@ pub fn optimize_fixed_vt(
         if sized.feasible
             && best
                 .as_ref()
-                .map_or(true, |b| sized.energy.total() < b.energy.total())
+                .is_none_or(|b| sized.energy.total() < b.energy.total())
         {
             best = Some(sized);
         }
@@ -180,8 +180,7 @@ mod tests {
 
     fn problem(fc: f64) -> Problem {
         let n = chain(8);
-        let model =
-            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         Problem::new(model, fc)
     }
 

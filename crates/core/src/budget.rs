@@ -197,10 +197,7 @@ pub fn assign_max_delays_with_policy(
             }
         }
     }
-    let mut budgets: Vec<f64> = budget
-        .into_iter()
-        .map(|b| b.unwrap_or(0.0))
-        .collect();
+    let mut budgets: Vec<f64> = budget.into_iter().map(|b| b.unwrap_or(0.0)).collect();
 
     // Post-processing 1: slope floor (paper §4.2, final paragraph).
     for &id in netlist.topological_order() {

@@ -59,6 +59,7 @@
 pub mod anneal;
 pub mod baseline;
 pub mod budget;
+pub mod context;
 mod error;
 mod problem;
 pub mod report;
@@ -68,6 +69,7 @@ pub mod tilos;
 pub mod variation;
 pub mod yield_mc;
 
+pub use context::EvalContext;
 pub use error::OptimizeError;
 pub use problem::Problem;
 pub use result::OptimizationResult;

@@ -138,21 +138,30 @@ impl Report {
     }
 }
 
+/// Renders the process-wide engine telemetry (evaluation counts, cache
+/// hit rate, per-phase wall time), or `None` when nothing has routed
+/// through the engine yet. The CLI and the experiment harness append
+/// this to their reports.
+pub fn engine_summary() -> Option<String> {
+    let ctx = crate::context::EvalContext::global();
+    let snapshot = ctx.snapshot();
+    if snapshot.circuit_evals == 0 {
+        return None;
+    }
+    Some(snapshot.render())
+}
+
 /// Identifies the gates of the critical path of `result`'s design, in
 /// topological order.
 pub fn critical_path(problem: &Problem, result: &OptimizationResult) -> Vec<GateId> {
     let model = problem.model();
     let netlist = model.netlist();
     let eval = model.evaluate(&result.design, problem.fc());
-    let end = netlist
-        .outputs()
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            eval.arrival[a.index()]
-                .partial_cmp(&eval.arrival[b.index()])
-                .expect("arrivals are finite")
-        });
+    let end = netlist.outputs().iter().copied().max_by(|a, b| {
+        eval.arrival[a.index()]
+            .partial_cmp(&eval.arrival[b.index()])
+            .expect("arrivals are finite")
+    });
     let mut path = Vec::new();
     let mut cur = match end {
         Some(e) => e,
@@ -160,16 +169,11 @@ pub fn critical_path(problem: &Problem, result: &OptimizationResult) -> Vec<Gate
     };
     loop {
         path.push(cur);
-        let next = netlist
-            .gate(cur)
-            .fanin()
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                eval.arrival[a.index()]
-                    .partial_cmp(&eval.arrival[b.index()])
-                    .expect("arrivals are finite")
-            });
+        let next = netlist.gate(cur).fanin().iter().copied().max_by(|a, b| {
+            eval.arrival[a.index()]
+                .partial_cmp(&eval.arrival[b.index()])
+                .expect("arrivals are finite")
+        });
         match next {
             Some(f) => cur = f,
             None => break,
@@ -201,8 +205,7 @@ mod tests {
 
     fn optimized() -> (Problem, OptimizationResult) {
         let n = netlist();
-        let model =
-            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         let p = Problem::new(model, 200.0e6);
         let r = Optimizer::new(&p).run().unwrap();
         (p, r)

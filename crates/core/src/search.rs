@@ -21,9 +21,13 @@
 //! budget quantiles (timing-critical gates get the low-`V_t` group) and the
 //! middle loop becomes a coordinate descent over group thresholds.
 
+use std::sync::Arc;
+
+use minpower_engine::stats::Phase;
 use minpower_models::{Design, EnergyBreakdown};
 use minpower_netlist::GateKind;
 
+use crate::context::EvalContext;
 use crate::error::OptimizeError;
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
@@ -137,7 +141,11 @@ pub(crate) fn golden_section(
     let mut f2 = f(x2);
     let mut used = 2;
     while used < probes {
-        let keep_low = if f1 == f2 { !prefer_high_on_tie } else { f1 < f2 };
+        let keep_low = if f1 == f2 {
+            !prefer_high_on_tie
+        } else {
+            f1 < f2
+        };
         if keep_low {
             b = x2;
             x2 = x1;
@@ -174,10 +182,32 @@ pub(crate) struct Sizer<'a> {
     width_passes: usize,
     vt_tolerance: f64,
     sizing: SizingMethod,
+    ctx: Arc<EvalContext>,
+    salt: u64,
 }
 
 impl<'a> Sizer<'a> {
     pub fn new(
+        problem: &'a Problem,
+        steps: usize,
+        width_passes: usize,
+        vt_tolerance: f64,
+        policy: crate::budget::BudgetPolicy,
+        sizing: SizingMethod,
+    ) -> Self {
+        Sizer::with_context(
+            EvalContext::global(),
+            problem,
+            steps,
+            width_passes,
+            vt_tolerance,
+            policy,
+            sizing,
+        )
+    }
+
+    pub fn with_context(
+        ctx: Arc<EvalContext>,
         problem: &'a Problem,
         steps: usize,
         width_passes: usize,
@@ -190,6 +220,8 @@ impl<'a> Sizer<'a> {
             problem.effective_cycle_time(),
             policy,
         );
+        let salt =
+            crate::context::probe_salt(problem, steps, width_passes, vt_tolerance, policy, sizing);
         Sizer {
             problem,
             budgets,
@@ -197,7 +229,19 @@ impl<'a> Sizer<'a> {
             width_passes,
             vt_tolerance,
             sizing,
+            ctx,
+            salt,
         }
+    }
+
+    /// Sizes at `(vdd, vt_nominal)`, routing through the evaluation
+    /// engine: the probe is counted, memoized when the cache is on, and a
+    /// hit is returned only for a bit-identical operating point.
+    pub fn size(&self, vdd: f64, vt_nominal: &[f64]) -> Sized {
+        self.ctx
+            .probe(self.salt, vdd, vt_nominal, &self.budgets, || {
+                self.size_uncached(vdd, vt_nominal)
+            })
     }
 
     /// Greedy (TILOS) sizing path: size at the slow corner, report
@@ -260,7 +304,7 @@ impl<'a> Sizer<'a> {
     /// given supply and per-gate nominal thresholds, then evaluates
     /// feasibility (worst-case-slow thresholds) and energy
     /// (worst-case-leaky thresholds).
-    pub fn size(&self, vdd: f64, vt_nominal: &[f64]) -> Sized {
+    fn size_uncached(&self, vdd: f64, vt_nominal: &[f64]) -> Sized {
         if self.sizing == SizingMethod::Greedy {
             return self.size_greedy(vdd, vt_nominal);
         }
@@ -353,6 +397,7 @@ impl<'a> Sizer<'a> {
                 max_rel_change = max_rel_change.max(rel);
             }
             last_delays = model.delays(&design);
+            self.ctx.stats().count_sta(1);
             if max_rel_change < 0.005 {
                 break;
             }
@@ -382,9 +427,7 @@ impl<'a> Sizer<'a> {
                     .map(|f| arrival[f.index()])
                     .fold(0.0, f64::max);
                 arrival[i] = latest + delays[i];
-                if (netlist.is_output(id) || netlist.fanout(id).is_empty())
-                    && arrival[i] > crit
-                {
+                if (netlist.is_output(id) || netlist.fanout(id).is_empty()) && arrival[i] > crit {
                     crit = arrival[i];
                     crit_gate = Some(id);
                 }
@@ -410,18 +453,15 @@ impl<'a> Sizer<'a> {
                     let t_new = model.gate_delay(&design, cur, max_fanin);
                     design.width[i] = w_old;
                     let gain = t_old - t_new;
-                    if gain > 0.0 && best.map_or(true, |(_, _, b)| gain > b) {
+                    if gain > 0.0 && best.is_none_or(|(_, _, b)| gain > b) {
                         best = Some((i, w_new, gain));
                     }
                 }
-                match g
-                    .fanin()
-                    .iter()
-                    .max_by(|a, b| {
-                        arrival[a.index()]
-                            .partial_cmp(&arrival[b.index()])
-                            .expect("arrivals are finite")
-                    }) {
+                match g.fanin().iter().max_by(|a, b| {
+                    arrival[a.index()]
+                        .partial_cmp(&arrival[b.index()])
+                        .expect("arrivals are finite")
+                }) {
                     Some(&f) => cur = f,
                     None => break,
                 }
@@ -431,6 +471,7 @@ impl<'a> Sizer<'a> {
                     let w_old = design.width[i];
                     design.width[i] = w_new;
                     let new_delays = model.delays(&design);
+                    self.ctx.stats().count_sta(1);
                     // Revert moves that backfire through driver loading.
                     let new_crit = {
                         let mut arr = vec![0.0f64; n];
@@ -535,7 +576,8 @@ pub fn size_at(
         options.sizing,
     );
     let n = problem.model().netlist().gate_count();
-    let sized = sizer.size(vdd, &vec![vt; n]);
+    let stats = EvalContext::global().stats().clone();
+    let sized = stats.time(Phase::Sizing, || sizer.size(vdd, &vec![vt; n]));
     Ok(OptimizationResult {
         design: sized.design,
         energy: sized.energy,
@@ -554,20 +596,31 @@ pub fn size_at(
 pub struct Optimizer<'a> {
     problem: &'a Problem,
     options: SearchOptions,
+    engine: Arc<EvalContext>,
 }
 
 impl<'a> Optimizer<'a> {
-    /// Creates an optimizer with default options.
+    /// Creates an optimizer with default options, evaluating through the
+    /// process-wide [`EvalContext`].
     pub fn new(problem: &'a Problem) -> Self {
         Optimizer {
             problem,
             options: SearchOptions::default(),
+            engine: EvalContext::global(),
         }
     }
 
     /// Replaces the search options.
     pub fn with_options(mut self, options: SearchOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Routes this run's evaluations through `engine` instead of the
+    /// process-wide context — how tests pin the thread count or compare
+    /// cache-on against cache-off runs.
+    pub fn with_engine(mut self, engine: Arc<EvalContext>) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -580,13 +633,19 @@ impl<'a> Optimizer<'a> {
     /// [`OptimizeError::Infeasible`] when no probed operating point meets
     /// the cycle time (the error carries the best delay achieved).
     pub fn run(&self) -> Result<OptimizationResult, OptimizeError> {
+        let stats = self.engine.stats().clone();
+        stats.time(Phase::Search, || self.run_inner())
+    }
+
+    fn run_inner(&self) -> Result<OptimizationResult, OptimizeError> {
         self.options.validate()?;
         let model = self.problem.model();
         if model.netlist().logic_gate_count() == 0 {
             return Err(OptimizeError::EmptyNetwork);
         }
         let tech = model.technology().clone();
-        let sizer = Sizer::new(
+        let sizer = Sizer::with_context(
+            self.engine.clone(),
             self.problem,
             self.options.steps,
             self.options.width_passes,
@@ -639,7 +698,7 @@ impl<'a> Optimizer<'a> {
                     if c.feasible
                         && best
                             .as_ref()
-                            .map_or(true, |b| c.energy.total() < b.energy.total())
+                            .is_none_or(|b| c.energy.total() < b.energy.total())
                     {
                         best = Some(c);
                     }
@@ -695,7 +754,7 @@ impl<'a> Optimizer<'a> {
             if sized.feasible
                 && local_best
                     .as_ref()
-                    .map_or(true, |b| sized.energy.total() < b.energy.total())
+                    .is_none_or(|b| sized.energy.total() < b.energy.total())
             {
                 local_best = Some(sized);
             }
@@ -724,9 +783,7 @@ impl<'a> Optimizer<'a> {
         // Rank logic gates by budget: tightest budgets → group 0 (lowest
         // V_t, fastest), loosest → last group (highest V_t, least leaky).
         let mut logic: Vec<usize> = (0..n)
-            .filter(|&i| {
-                netlist.gate(minpower_netlist::GateId::new(i)).kind() != GateKind::Input
-            })
+            .filter(|&i| netlist.gate(minpower_netlist::GateId::new(i)).kind() != GateKind::Input)
             .collect();
         logic.sort_by(|&a, &b| {
             sizer.budgets[a]
@@ -741,8 +798,7 @@ impl<'a> Optimizer<'a> {
         let (t_min, t_max) = tech.vt_range;
         // Seed with the single-threshold optimum at this supply: the
         // coordinate descent then refines per group and can only improve.
-        let seed =
-            self.search_single_vt(sizer, vdd, tech, n, evaluations, best_delay_seen);
+        let seed = self.search_single_vt(sizer, vdd, tech, n, evaluations, best_delay_seen);
         let seed_vt = seed
             .as_ref()
             .and_then(|s| {
@@ -775,7 +831,7 @@ impl<'a> Optimizer<'a> {
                     let improved = sized.feasible
                         && local_best
                             .as_ref()
-                            .map_or(true, |b| sized.energy.total() < b.energy.total());
+                            .is_none_or(|b| sized.energy.total() < b.energy.total());
                     if improved {
                         group_vt[g] = vt;
                         local_best = Some(sized);
@@ -829,8 +885,7 @@ mod tests {
     }
 
     fn problem(netlist: &Netlist, fc: f64) -> Problem {
-        let model =
-            CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, 0.3);
         Problem::new(model, fc)
     }
 
@@ -851,8 +906,7 @@ mod tests {
         let n = ripple(4);
         let p = problem(&n, 100.0e6);
         let joint = Optimizer::new(&p).run().unwrap();
-        let fixed = crate::baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default())
-            .unwrap();
+        let fixed = crate::baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default()).unwrap();
         assert!(
             joint.energy.total() < fixed.energy.total(),
             "joint {:.3e} !< fixed {:.3e}",
@@ -925,7 +979,13 @@ mod tests {
             })
             .run()
             .unwrap_err();
-        assert!(matches!(err, OptimizeError::BadOption { option: "steps", .. }));
+        assert!(matches!(
+            err,
+            OptimizeError::BadOption {
+                option: "steps",
+                ..
+            }
+        ));
         let err = Optimizer::new(&p)
             .with_options(SearchOptions {
                 vt_tolerance: 1.0,

@@ -96,6 +96,9 @@ pub fn size_greedy_with_vt(
         vt: vt.to_vec(),
         width: vec![w_lo; n],
     };
+    let stats = crate::context::EvalContext::global().stats().clone();
+    stats.count_eval();
+    stats.count_sta(1);
     let mut delays = model.delays(&design);
     let mut evaluations = 1usize;
 
@@ -161,19 +164,16 @@ pub fn size_greedy_with_vt(
                 let cost = (e_new - e_old).max(1e-30);
                 if gain > 0.0 {
                     let score = gain / cost;
-                    if best.map_or(true, |(_, s)| score > s) {
+                    if best.is_none_or(|(_, s)| score > s) {
                         best = Some((i, score));
                     }
                 }
             }
-            match gate
-                .fanin()
-                .iter()
-                .max_by(|a, b| {
-                    arr[a.index()]
-                        .partial_cmp(&arr[b.index()])
-                        .expect("arrivals are finite")
-                }) {
+            match gate.fanin().iter().max_by(|a, b| {
+                arr[a.index()]
+                    .partial_cmp(&arr[b.index()])
+                    .expect("arrivals are finite")
+            }) {
                 Some(&f) => cur = f,
                 None => break,
             }
@@ -184,6 +184,7 @@ pub fn size_greedy_with_vt(
                 // Incremental repair of the affected cone only — the move
                 // loop's cost is O(cone), not O(E).
                 model.update_delays_after_width_change(&design, &mut delays, GateId::new(i));
+                stats.count_sta(1);
                 evaluations += 1;
             }
             None => break, // every critical gate saturated
@@ -216,8 +217,7 @@ mod tests {
 
     fn problem(fc: f64) -> Problem {
         let n = netlist();
-        let model =
-            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         Problem::new(model, fc)
     }
 

@@ -93,8 +93,7 @@ mod tests {
 
     fn problem() -> Problem {
         let n = netlist();
-        let model =
-            CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         Problem::new(model, 200.0e6)
     }
 

@@ -9,11 +9,11 @@
 //! design buys its energy premium in the form of near-unit yield, while
 //! the unmargined optimum fails a measurable fraction of die.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use minpower_engine::stats::Phase;
+use minpower_engine::{par_map_indices, SplitMix64};
 use minpower_models::Design;
 
+use crate::context::EvalContext;
 use crate::problem::Problem;
 
 /// Result of a timing-yield Monte Carlo run.
@@ -36,7 +36,10 @@ pub struct YieldResult {
 /// to stay positive, and evaluates `design`'s timing and energy for each
 /// sample.
 ///
-/// Deterministic for a given `seed`.
+/// Trials run on the process-wide [`EvalContext`]'s worker pool; each
+/// trial draws from its own seeded PRNG stream and the partial results
+/// reduce in trial order, so the outcome is deterministic for a given
+/// `seed` regardless of the thread count.
 ///
 /// # Panics
 ///
@@ -71,31 +74,60 @@ pub fn timing_yield(
     samples: usize,
     seed: u64,
 ) -> YieldResult {
+    timing_yield_with(
+        &EvalContext::global(),
+        problem,
+        design,
+        sigma_rel,
+        samples,
+        seed,
+    )
+}
+
+/// [`timing_yield`] on an explicit [`EvalContext`] (thread count and
+/// telemetry of the caller's choosing).
+pub fn timing_yield_with(
+    ctx: &EvalContext,
+    problem: &Problem,
+    design: &Design,
+    sigma_rel: f64,
+    samples: usize,
+    seed: u64,
+) -> YieldResult {
     assert!(samples > 0, "need at least one sample");
     assert!(sigma_rel >= 0.0, "sigma must be non-negative");
     let model = problem.model();
     let tc = problem.effective_cycle_time();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let stats = ctx.stats().clone();
+    // Each trial owns a PRNG stream derived from (seed, trial index), so
+    // the drawn thresholds — and therefore the whole result — do not
+    // depend on how trials land on workers.
+    let trials = stats.time(Phase::MonteCarlo, || {
+        par_map_indices(ctx.threads(), samples, |t| {
+            let mut rng = SplitMix64::stream(seed, t as u64);
+            let mut sample = design.clone();
+            for (i, &vt) in design.vt.iter().enumerate() {
+                let z = rng.normal();
+                sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
+            }
+            let eval = model.evaluate(&sample, problem.fc());
+            stats.count_eval();
+            stats.count_sta(1);
+            (eval.critical_delay, eval.energy.total())
+        })
+    });
+    // Reduce in trial order: bitwise-identical for every thread count.
     let mut pass = 0usize;
     let mut sum_delay = 0.0;
     let mut worst: f64 = 0.0;
     let mut sum_energy = 0.0;
-    let mut sample = design.clone();
-    for _ in 0..samples {
-        for (i, &vt) in design.vt.iter().enumerate() {
-            // Box-Muller normal from two uniforms.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
-        }
-        let eval = model.evaluate(&sample, problem.fc());
-        if eval.critical_delay <= tc {
+    for &(delay, energy) in &trials {
+        if delay <= tc {
             pass += 1;
         }
-        sum_delay += eval.critical_delay;
-        worst = worst.max(eval.critical_delay);
-        sum_energy += eval.energy.total();
+        sum_delay += delay;
+        worst = worst.max(delay);
+        sum_energy += energy;
     }
     YieldResult {
         timing_yield: pass as f64 / samples as f64,
@@ -128,8 +160,7 @@ mod tests {
     }
 
     fn problem() -> Problem {
-        let model =
-            CircuitModel::with_uniform_activity(&netlist(), Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&netlist(), Technology::dac97(), 0.5, 0.3);
         Problem::new(model, 200.0e6)
     }
 
@@ -167,7 +198,23 @@ mod tests {
             y_plain.timing_yield
         );
         // The 3-sigma margined design should be essentially yield-clean.
-        assert!(y_margined.timing_yield > 0.95, "{}", y_margined.timing_yield);
+        assert!(
+            y_margined.timing_yield > 0.95,
+            "{}",
+            y_margined.timing_yield
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let p = problem();
+        let r = Optimizer::new(&p).run().unwrap();
+        let serial = timing_yield_with(&EvalContext::new(1, 0), &p, &r.design, 0.1, 64, 5);
+        for threads in [2, 4, 7] {
+            let parallel =
+                timing_yield_with(&EvalContext::new(threads, 0), &p, &r.design, 0.1, 64, 5);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -133,7 +133,10 @@ mod tests {
         let m = Mosfet::new(MosfetPolarity::Nmos, 3.0, 0.5);
         let i = m.current(&t, 3.3, 3.3);
         let expect = t.drive_current(3.0, 3.3, 0.5);
-        assert!((i - expect).abs() / expect < 1e-6, "i = {i}, expect = {expect}");
+        assert!(
+            (i - expect).abs() / expect < 1e-6,
+            "i = {i}, expect = {expect}"
+        );
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl Technology {
             c_pd: 0.6e-15,
             c_mi: 0.3e-15,
             beta: 2.0,
-            wire_r_per_m: 7.5e4,  // 0.075 Ω/µm
+            wire_r_per_m: 7.5e4,   // 0.075 Ω/µm
             wire_c_per_m: 2.0e-10, // 0.2 fF/µm
             wire_velocity: 1.5e8,
             vdd_range: (0.1, 3.3),
@@ -152,10 +152,7 @@ impl Technology {
         t.vdd_range = (self.vdd_range.0, self.vdd_range.1 * factor);
         // Thresholds are a design variable here; keep the search range,
         // capped by the scaled supply.
-        t.vt_range = (
-            self.vt_range.0,
-            self.vt_range.1.min(t.vdd_range.1 * 0.5),
-        );
+        t.vt_range = (self.vt_range.0, self.vt_range.1.min(t.vdd_range.1 * 0.5));
         t
     }
 
@@ -355,7 +352,10 @@ mod tests {
         let od1 = t.overdrive(0.2, 0.7);
         let od2 = t.overdrive(0.2 - nvt, 0.7);
         let ratio = od1 / od2;
-        assert!((ratio - std::f64::consts::E).abs() < 0.05, "ratio = {ratio}");
+        assert!(
+            (ratio - std::f64::consts::E).abs() < 0.05,
+            "ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -394,10 +394,7 @@ mod tests {
 
     #[test]
     fn builder_overrides_fields() {
-        let t = Technology::builder()
-            .alpha(2.0)
-            .vdd_range(0.2, 2.5)
-            .build();
+        let t = Technology::builder().alpha(2.0).vdd_range(0.2, 2.5).build();
         assert_eq!(t.alpha, 2.0);
         assert_eq!(t.vdd_range, (0.2, 2.5));
         // Untouched fields keep dac97 values.

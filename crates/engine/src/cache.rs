@@ -1,0 +1,427 @@
+//! LRU-bounded memoization of full-circuit evaluations.
+//!
+//! The nested golden-section searches of Procedure 2 and the benchmark
+//! ablations revisit the same `(V_dd, V⃗_ts, W⃗)` operating points many
+//! times. [`EvalCache`] maps a *quantized* operating point — a `V_dd`
+//! bucket, FNV-1a over per-group `V_ts` buckets, FNV-1a over the width
+//! vector buckets — to an arbitrary evaluation outcome.
+//!
+//! Quantization alone would make caching lossy (two nearby points could
+//! share a bucket and return each other's results), so every entry also
+//! stores an exact bit-pattern [`Fingerprint`] of the un-quantized inputs
+//! and a lookup only hits when the fingerprint matches. The bucketed
+//! [`PointKey`] is the index; the fingerprint is the proof. Caching can
+//! therefore change wall time but never results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a over 64-bit words.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    pub(crate) fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a sequence of 64-bit words with FNV-1a.
+pub fn fnv1a_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h = Fnv1a::new();
+    for w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// The quantized index of an operating point: which `V_dd` bucket it
+/// falls in plus FNV-1a digests of its `V_ts` and width bucket vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PointKey {
+    /// `floor(vdd / vdd_step)` for the supply voltage.
+    pub vdd_bucket: i64,
+    /// FNV-1a over the per-group threshold-voltage buckets.
+    pub vt_hash: u64,
+    /// FNV-1a over the width-vector buckets.
+    pub width_hash: u64,
+    /// Caller-supplied salt separating circuits / option sets that would
+    /// otherwise probe identical numeric points.
+    pub salt: u64,
+}
+
+/// Exact bit-pattern digest of the un-quantized operating point. Two
+/// points share a fingerprint only if every `f64` input is bit-identical
+/// (modulo an FNV collision, ~2⁻⁶⁴ per pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(pub u64);
+
+/// Maps continuous operating points to ([`PointKey`], [`Fingerprint`])
+/// pairs using fixed bucket widths.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    /// Bucket width for the supply voltage, in volts.
+    pub vdd_step: f64,
+    /// Bucket width for threshold voltages, in volts.
+    pub vt_step: f64,
+    /// Bucket width for gate widths (multiples of minimum width).
+    pub w_step: f64,
+}
+
+impl Default for Quantizer {
+    fn default() -> Self {
+        // Well below the optimizer's convergence tolerances (~1e-3 V on
+        // voltages), so distinct probes land in distinct buckets.
+        Quantizer {
+            vdd_step: 1e-6,
+            vt_step: 1e-6,
+            w_step: 1e-6,
+        }
+    }
+}
+
+impl Quantizer {
+    fn bucket(x: f64, step: f64) -> i64 {
+        (x / step).floor() as i64
+    }
+
+    /// Quantizes an operating point. `salt` distinguishes call sites that
+    /// probe numerically identical points on different circuits or under
+    /// different sizing options.
+    pub fn key(&self, vdd: f64, vts: &[f64], widths: &[f64], salt: u64) -> (PointKey, Fingerprint) {
+        let vt_hash = fnv1a_words(vts.iter().map(|&v| Self::bucket(v, self.vt_step) as u64));
+        let width_hash = fnv1a_words(widths.iter().map(|&w| Self::bucket(w, self.w_step) as u64));
+        let key = PointKey {
+            vdd_bucket: Self::bucket(vdd, self.vdd_step),
+            vt_hash,
+            width_hash,
+            salt,
+        };
+        let mut fp = Fnv1a::new();
+        fp.write_u64(salt);
+        fp.write_u64(vdd.to_bits());
+        fp.write_u64(vts.len() as u64);
+        for &v in vts {
+            fp.write_u64(v.to_bits());
+        }
+        for &w in widths {
+            fp.write_u64(w.to_bits());
+        }
+        (key, Fingerprint(fp.finish()))
+    }
+}
+
+/// Counters describing cache effectiveness. `hits + misses` equals the
+/// total number of lookups; `insertions` and `evictions` bound the live
+/// entry count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a stored value.
+    pub hits: u64,
+    /// Lookups that found nothing (or a fingerprint mismatch).
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Entries removed by LRU pressure.
+    pub evictions: u64,
+    /// Entries currently live.
+    pub len: usize,
+}
+
+struct Entry<V> {
+    fingerprint: Fingerprint,
+    value: V,
+    stamp: u64,
+}
+
+struct Inner<V> {
+    map: HashMap<PointKey, Entry<V>>,
+    clock: u64,
+}
+
+/// A thread-safe, LRU-bounded memo from quantized operating points to
+/// evaluation outcomes.
+///
+/// Recency is tracked with a monotonic stamp per entry; when the map
+/// exceeds `capacity`, the oldest eighth of the entries is evicted in one
+/// amortized batch rather than maintaining a linked list per access.
+pub struct EvalCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> EvalCache<V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        EvalCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(8),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a point. Hits require both the quantized key and the
+    /// exact fingerprint to match.
+    pub fn get(&self, key: &PointKey, fingerprint: Fingerprint) -> Option<V> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.fingerprint == fingerprint => {
+                entry.stamp = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a value, evicting the least-recently-used entries if the
+    /// cache is over capacity.
+    pub fn insert(&self, key: PointKey, fingerprint: Fingerprint, value: V) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(
+            key,
+            Entry {
+                fingerprint,
+                value,
+                stamp,
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if inner.map.len() > self.capacity {
+            // Drop the oldest ~1/8 in one pass: O(n) now, amortized O(1)
+            // per insertion, and no per-access list surgery.
+            let keep = self.capacity - self.capacity / 8;
+            let mut stamps: Vec<u64> = inner.map.values().map(|e| e.stamp).collect();
+            stamps.sort_unstable();
+            let cutoff = stamps[stamps.len() - keep];
+            let before = inner.map.len();
+            inner.map.retain(|_, e| e.stamp >= cutoff);
+            let removed = (before - inner.map.len()) as u64;
+            self.evictions.fetch_add(removed, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the cached value for the point, or computes, stores and
+    /// returns it.
+    pub fn get_or_compute<F: FnOnce() -> V>(
+        &self,
+        key: PointKey,
+        fingerprint: Fingerprint,
+        compute: F,
+    ) -> V {
+        if let Some(v) = self.get(&key, fingerprint) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, fingerprint, v.clone());
+        v
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_points_hit_distinct_points_miss() {
+        let q = Quantizer::default();
+        let cache: EvalCache<u32> = EvalCache::new(64);
+        let (k, fp) = q.key(1.2, &[0.35, 0.4], &[1.0, 2.0, 3.0], 7);
+        assert_eq!(cache.get(&k, fp), None);
+        cache.insert(k, fp, 99);
+        assert_eq!(cache.get(&k, fp), Some(99));
+        // A point one bucket away gets a different key entirely.
+        let (k2, fp2) = q.key(1.2 + 2.0 * q.vdd_step, &[0.35, 0.4], &[1.0, 2.0, 3.0], 7);
+        assert_ne!(k, k2);
+        assert_eq!(cache.get(&k2, fp2), None);
+    }
+
+    #[test]
+    fn same_bucket_different_bits_never_aliases() {
+        // Two points inside the same bucket share a PointKey but must not
+        // return each other's values: the fingerprint disambiguates.
+        let q = Quantizer::default();
+        let cache: EvalCache<u32> = EvalCache::new(64);
+        let vdd_a = 1.200_000_000_1;
+        let vdd_b = 1.200_000_000_2;
+        let (ka, fa) = q.key(vdd_a, &[0.35], &[1.0], 0);
+        let (kb, fb) = q.key(vdd_b, &[0.35], &[1.0], 0);
+        assert_eq!(ka, kb, "points this close should share a bucket");
+        assert_ne!(fa, fb);
+        cache.insert(ka, fa, 1);
+        assert_eq!(cache.get(&kb, fb), None, "fingerprint mismatch must miss");
+    }
+
+    #[test]
+    fn quantization_never_aliases_beyond_one_bucket() {
+        // Sweep pairs of points; whenever any coordinate differs by more
+        // than one bucket width, the keys must differ.
+        let q = Quantizer {
+            vdd_step: 0.01,
+            vt_step: 0.01,
+            w_step: 0.05,
+        };
+        let mut rng = crate::rng::SplitMix64::new(0x5EED);
+        for _ in 0..2000 {
+            let vdd = rng.range_f64(0.5, 3.0);
+            let vt = rng.range_f64(0.1, 0.8);
+            let w = rng.range_f64(1.0, 20.0);
+            let (k1, _) = q.key(vdd, &[vt], &[w], 0);
+            let dv = rng.range_f64(-0.1, 0.1);
+            let dt = rng.range_f64(-0.1, 0.1);
+            let dw = rng.range_f64(-0.5, 0.5);
+            let (k2, _) = q.key(vdd + dv, &[vt + dt], &[w + dw], 0);
+            let beyond = dv.abs() > q.vdd_step || dt.abs() > q.vt_step || dw.abs() > q.w_step;
+            if beyond && k1 == k2 {
+                panic!("aliased across >1 bucket: d=({dv:.4},{dt:.4},{dw:.4}) key={k1:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn salt_separates_identical_numeric_points() {
+        let q = Quantizer::default();
+        let (k1, f1) = q.key(1.0, &[0.3], &[1.0], 1);
+        let (k2, f2) = q.key(1.0, &[0.3], &[1.0], 2);
+        assert_ne!(k1, k2);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_memory() {
+        let q = Quantizer::default();
+        let cache: EvalCache<usize> = EvalCache::new(100);
+        for i in 0..10_000 {
+            let (k, fp) = q.key(i as f64, &[], &[], 0);
+            cache.insert(k, fp, i);
+            assert!(cache.len() <= cache.capacity() + 1);
+        }
+        let stats = cache.stats();
+        assert!(stats.len <= 100);
+        assert_eq!(stats.insertions, 10_000);
+        assert_eq!(stats.evictions, 10_000 - stats.len as u64);
+    }
+
+    #[test]
+    fn eviction_keeps_recently_used_entries() {
+        let q = Quantizer::default();
+        let cache: EvalCache<usize> = EvalCache::new(64);
+        let (hot_k, hot_fp) = q.key(-1.0, &[], &[], 0);
+        cache.insert(hot_k, hot_fp, 42);
+        for i in 0..1000 {
+            // Touch the hot entry so its stamp stays fresh.
+            assert_eq!(cache.get(&hot_k, hot_fp), Some(42));
+            let (k, fp) = q.key(i as f64, &[], &[], 0);
+            cache.insert(k, fp, i);
+        }
+        assert_eq!(cache.get(&hot_k, hot_fp), Some(42));
+    }
+
+    #[test]
+    fn hit_miss_counters_sum_to_lookups() {
+        let q = Quantizer::default();
+        let cache: EvalCache<u8> = EvalCache::new(32);
+        let mut rng = crate::rng::SplitMix64::new(1);
+        let mut lookups = 0u64;
+        for _ in 0..500 {
+            let x = rng.range_usize(40) as f64;
+            let (k, fp) = q.key(x, &[], &[], 0);
+            let _ = cache.get_or_compute(k, fp, || 0);
+            lookups += 1;
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, lookups);
+        assert!(stats.hits > 0, "repeated points should hit");
+        assert_eq!(stats.misses, stats.insertions);
+    }
+
+    #[test]
+    fn get_or_compute_skips_recompute_on_hit() {
+        let cache: EvalCache<u32> = EvalCache::new(16);
+        let q = Quantizer::default();
+        let (k, fp) = q.key(0.9, &[0.3], &[1.0, 1.0], 0);
+        let mut calls = 0;
+        let a = cache.get_or_compute(k, fp, || {
+            calls += 1;
+            7
+        });
+        let b = cache.get_or_compute(k, fp, || {
+            calls += 1;
+            8
+        });
+        assert_eq!((a, b, calls), (7, 7, 1));
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let cache: EvalCache<usize> = EvalCache::new(256);
+        let q = Quantizer::default();
+        let results = crate::pool::par_map_indices(8, 1000, |i| {
+            let (k, fp) = q.key((i % 50) as f64, &[], &[], 0);
+            cache.get_or_compute(k, fp, || i % 50)
+        });
+        for (i, r) in results.into_iter().enumerate() {
+            assert_eq!(r, i % 50);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 1000);
+    }
+}

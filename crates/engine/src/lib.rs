@@ -1,0 +1,42 @@
+//! `minpower-engine` — the shared evaluation substrate of the workspace.
+//!
+//! Procedure 2 of the paper costs `O(M³)` *full-circuit* evaluations per
+//! optimization, and the experiment harness multiplies that by the suite
+//! size, the ablation grid, and hundreds of Monte-Carlo trials. This
+//! crate is the single choke-point those evaluations flow through, built
+//! from three dependency-free layers:
+//!
+//! 1. **[`pool`]** — a scoped worker pool (`std::thread::scope` +
+//!    channels, no external crates) exposing [`pool::par_map`] /
+//!    [`pool::par_chunks`] with a `threads` knob. `threads = 1` is a
+//!    strict serial fallback: it runs the closure in submission order on
+//!    the calling thread, so serial output is bit-identical to the
+//!    pre-engine code path.
+//! 2. **[`cache`]** — [`cache::EvalCache`], an LRU-bounded memo from a
+//!    quantized operating point (`V_dd` bucket, per-gate `V_ts` buckets,
+//!    FNV-1a hash of the width vector) to an evaluation outcome. Hits
+//!    additionally require an exact bit-pattern fingerprint match, so a
+//!    cached result is only ever returned for the *identical* operating
+//!    point — caching can change wall time but never results.
+//! 3. **[`stats`]** — [`stats::EngineStats`], lock-free atomic telemetry
+//!    (circuit evaluations, STA passes, cache hits/misses, per-phase wall
+//!    time) that the CLI and the experiment harness print.
+//!
+//! [`rng`] rounds the crate out with a seedable SplitMix64/xorshift PRNG
+//! so the annealer, the synthetic-circuit generator, and the Monte-Carlo
+//! yield analysis need no external `rand` dependency (the build must
+//! resolve offline) and every stream can be split per trial for
+//! thread-count-independent reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod rng;
+pub mod stats;
+
+pub use cache::{fnv1a_words, CacheStats, EvalCache, Fingerprint, PointKey, Quantizer};
+pub use pool::{par_chunks, par_map, par_map_indices};
+pub use rng::SplitMix64;
+pub use stats::{EngineStats, Phase, StatsSnapshot};

@@ -1,0 +1,149 @@
+//! Scoped worker pool: `par_map` / `par_chunks` over borrowed data.
+//!
+//! Built on `std::thread::scope` and `mpsc` channels only — the build
+//! environment is offline, so no rayon. Work is distributed by an atomic
+//! index counter (work stealing at item granularity), results are
+//! reassembled in submission order, and `threads = 1` short-circuits to a
+//! plain in-order loop on the calling thread so serial runs are
+//! bit-identical to a hand-written `for` loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// With `threads <= 1` (or fewer than two items) this is exactly
+/// `(0..n).map(f).collect()` on the calling thread. Otherwise
+/// `min(threads, n)` scoped workers pull indices from a shared atomic
+/// counter; the closure must therefore be safe to call concurrently, and
+/// any mutable state belongs in its return value.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated by the scope).
+pub fn par_map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A send only fails if the receiver is gone, which means
+                // the main thread is already unwinding — stop quietly.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index was dispatched exactly once"))
+            .collect()
+    })
+}
+
+/// Maps `f` over a slice, returning results in item order.
+///
+/// See [`par_map_indices`] for the execution model.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indices(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Splits `0..n` into contiguous chunks of at most `chunk` items and maps
+/// `f` over the chunk ranges, returning results in range order.
+///
+/// The chunk boundaries depend only on `n` and `chunk` — never on
+/// `threads` — so a reduction over the returned partials is identical for
+/// every thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn par_chunks<R, F>(threads: usize, n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be at least 1");
+    let ranges: Vec<std::ops::Range<usize>> = (0..n.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(n))
+        .collect();
+    par_map(threads, &ranges, |r| f(r.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = par_map_indices(1, 100, |i| i * i);
+        for threads in [2, 4, 7] {
+            assert_eq!(par_map_indices(threads, 100, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn results_keep_item_order() {
+        let items: Vec<usize> = (0..57).rev().collect();
+        let out = par_map(4, &items, |&x| x + 1);
+        assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map_indices(16, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(par_map_indices(16, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = par_map_indices(8, 1000, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_depend_on_threads() {
+        let a = par_chunks(1, 103, 10, |r| (r.start, r.end));
+        let b = par_chunks(8, 103, 10, |r| (r.start, r.end));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 11);
+        assert_eq!(a[10], (100, 103));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_rejected() {
+        let _ = par_chunks(2, 10, 0, |r| r.len());
+    }
+}

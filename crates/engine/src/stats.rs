@@ -1,0 +1,220 @@
+//! Lock-free telemetry for the evaluation engine.
+//!
+//! [`EngineStats`] is a bundle of atomic counters shared (via `Arc`)
+//! between the optimizer call sites and whatever prints the report — the
+//! CLI, the experiment harness, or a test. Counting is wait-free; reading
+//! takes a [`snapshot`](EngineStats::snapshot) that renders itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The instrumented phases of an optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Procedure 2 / baseline search probes (sizing + evaluation).
+    Search,
+    /// Transistor sizing passes (budgeted or TILOS-style greedy).
+    Sizing,
+    /// Monte-Carlo yield trials.
+    MonteCarlo,
+    /// Benchmark-suite circuit runs.
+    Suite,
+}
+
+const PHASES: [(Phase, &str); 4] = [
+    (Phase::Search, "search"),
+    (Phase::Sizing, "sizing"),
+    (Phase::MonteCarlo, "monte-carlo"),
+    (Phase::Suite, "suite"),
+];
+
+fn phase_index(phase: Phase) -> usize {
+    PHASES
+        .iter()
+        .position(|&(p, _)| p == phase)
+        .expect("phase is listed")
+}
+
+/// Atomic counters describing everything the engine did.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Full-circuit evaluations (each one sizes and times the netlist).
+    pub circuit_evals: AtomicU64,
+    /// Static timing passes (critical-path recomputations).
+    pub sta_calls: AtomicU64,
+    /// Evaluation-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Evaluation-cache misses.
+    pub cache_misses: AtomicU64,
+    phase_nanos: [AtomicU64; 4],
+}
+
+impl EngineStats {
+    /// A fresh, zeroed counter bundle.
+    pub fn new() -> Self {
+        EngineStats::default()
+    }
+
+    /// Counts one full-circuit evaluation.
+    pub fn count_eval(&self) {
+        self.circuit_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` static-timing passes.
+    pub fn count_sta(&self, n: u64) {
+        self.sta_calls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one cache hit.
+    pub fn count_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one cache miss.
+    pub fn count_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, attributing its wall time to `phase`.
+    pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let nanos = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.phase_nanos[phase_index(phase)].fetch_add(nanos, Ordering::Relaxed);
+        out
+    }
+
+    /// Adds externally measured wall time to a phase.
+    pub fn add_phase_nanos(&self, phase: Phase, nanos: u64) {
+        self.phase_nanos[phase_index(phase)].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            circuit_evals: self.circuit_evals.load(Ordering::Relaxed),
+            sta_calls: self.sta_calls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            phase_nanos: [
+                self.phase_nanos[0].load(Ordering::Relaxed),
+                self.phase_nanos[1].load(Ordering::Relaxed),
+                self.phase_nanos[2].load(Ordering::Relaxed),
+                self.phase_nanos[3].load(Ordering::Relaxed),
+            ],
+        }
+    }
+}
+
+/// A plain-data copy of [`EngineStats`] counters at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Full-circuit evaluations.
+    pub circuit_evals: u64,
+    /// Static timing passes.
+    pub sta_calls: u64,
+    /// Evaluation-cache hits.
+    pub cache_hits: u64,
+    /// Evaluation-cache misses.
+    pub cache_misses: u64,
+    /// Wall time per phase, in the order of `Phase`'s variants.
+    pub phase_nanos: [u64; 4],
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate in `[0, 1]`, or 0 when there were no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Wall time attributed to `phase`, in seconds.
+    pub fn phase_seconds(&self, phase: Phase) -> f64 {
+        self.phase_nanos[phase_index(phase)] as f64 * 1e-9
+    }
+
+    /// Multi-line human-readable report for CLI / experiments output.
+    pub fn render(&self) -> String {
+        let mut out = String::from("engine stats\n");
+        out.push_str(&format!(
+            "  circuit evaluations : {}\n  STA passes          : {}\n",
+            self.circuit_evals, self.sta_calls
+        ));
+        out.push_str(&format!(
+            "  cache               : {} hits / {} misses ({:.1}% hit rate)\n",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate()
+        ));
+        for (phase, name) in PHASES {
+            let secs = self.phase_seconds(phase);
+            if secs > 0.0 {
+                out.push_str(&format!("  {name:<20}: {secs:.3} s\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = EngineStats::new();
+        for _ in 0..5 {
+            stats.count_eval();
+        }
+        stats.count_sta(12);
+        stats.count_hit();
+        stats.count_hit();
+        stats.count_miss();
+        let snap = stats.snapshot();
+        assert_eq!(snap.circuit_evals, 5);
+        assert_eq!(snap.sta_calls, 12);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_is_attributed_to_the_right_phase() {
+        let stats = EngineStats::new();
+        let v = stats.time(Phase::MonteCarlo, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            17
+        });
+        assert_eq!(v, 17);
+        let snap = stats.snapshot();
+        assert!(snap.phase_seconds(Phase::MonteCarlo) >= 0.004);
+        assert_eq!(snap.phase_seconds(Phase::Search), 0.0);
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let stats = EngineStats::new();
+        crate::pool::par_map_indices(8, 10_000, |_| stats.count_eval());
+        assert_eq!(stats.snapshot().circuit_evals, 10_000);
+    }
+
+    #[test]
+    fn render_mentions_key_figures() {
+        let stats = EngineStats::new();
+        stats.count_eval();
+        stats.count_hit();
+        stats.count_miss();
+        let text = stats.snapshot().render();
+        assert!(text.contains("circuit evaluations : 1"));
+        assert!(text.contains("50.0% hit rate"));
+    }
+
+    #[test]
+    fn zero_lookup_hit_rate_is_zero() {
+        assert_eq!(StatsSnapshot::default().hit_rate(), 0.0);
+    }
+}

@@ -1,5 +1,5 @@
-use minpower::opt::budget::BudgetPolicy;
 use minpower::opt::baseline;
+use minpower::opt::budget::BudgetPolicy;
 use minpower::{CircuitModel, Optimizer, Problem, SearchOptions, Technology};
 
 fn main() {
@@ -8,10 +8,22 @@ fn main() {
         let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         let p = Problem::new(model, 300.0e6);
         for policy in [BudgetPolicy::FanoutWeighted, BudgetPolicy::Uniform] {
-            let opts = SearchOptions { budget_policy: policy, ..SearchOptions::default() };
-            let b = baseline::optimize_fixed_vt(&p, 0.7, opts.clone()).map(|r| r.energy.total()).unwrap_or(f64::NAN);
-            let j = Optimizer::new(&p).with_options(opts).run().map(|r| r.energy.total()).unwrap_or(f64::NAN);
-            println!("{name} {policy:?}: baseline {b:.3e} joint {j:.3e} savings {:.1}x", b/j);
+            let opts = SearchOptions {
+                budget_policy: policy,
+                ..SearchOptions::default()
+            };
+            let b = baseline::optimize_fixed_vt(&p, 0.7, opts.clone())
+                .map(|r| r.energy.total())
+                .unwrap_or(f64::NAN);
+            let j = Optimizer::new(&p)
+                .with_options(opts)
+                .run()
+                .map(|r| r.energy.total())
+                .unwrap_or(f64::NAN);
+            println!(
+                "{name} {policy:?}: baseline {b:.3e} joint {j:.3e} savings {:.1}x",
+                b / j
+            );
         }
     }
 }

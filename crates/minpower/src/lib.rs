@@ -16,6 +16,7 @@
 //! | [`spice`] | `minpower-spice` | transient simulator (HSPICE substitute) |
 //! | [`circuits`] | `minpower-circuits` | s27/c17 + synthetic ISCAS-like suite |
 //! | [`bdd`] | `minpower-bdd` | ROBDDs for exact probability analysis |
+//! | [`engine`] | `minpower-engine` | worker pool, probe cache, telemetry |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -47,6 +48,7 @@ pub use minpower_bdd as bdd;
 pub use minpower_circuits as circuits;
 pub use minpower_core as opt;
 pub use minpower_device as device;
+pub use minpower_engine as engine;
 pub use minpower_models as models;
 pub use minpower_netlist as netlist;
 pub use minpower_spice as spice;
@@ -54,7 +56,9 @@ pub use minpower_timing as timing;
 pub use minpower_wiring as wiring;
 
 pub use minpower_activity::{Activities, InputActivity};
-pub use minpower_core::{OptimizationResult, OptimizeError, Optimizer, Problem, SearchOptions};
+pub use minpower_core::{
+    EvalContext, OptimizationResult, OptimizeError, Optimizer, Problem, SearchOptions,
+};
 pub use minpower_device::Technology;
 pub use minpower_models::{CircuitModel, Design, EnergyBreakdown};
 pub use minpower_netlist::{GateKind, Netlist, NetlistBuilder, NetlistError};

@@ -180,6 +180,57 @@ impl CircuitModel {
         self.info[id.index()].activity
     }
 
+    /// A structural digest of the model: netlist name and wiring,
+    /// per-gate activities, and every technology parameter. Two models
+    /// with equal fingerprints evaluate any design identically (modulo an
+    /// FNV collision), which is what lets the evaluation cache salt its
+    /// keys with this value.
+    pub fn fingerprint(&self) -> u64 {
+        let t = &self.tech;
+        let mut words: Vec<u64> = Vec::with_capacity(8 * self.info.len() + 32);
+        words.extend(self.netlist.name().bytes().map(u64::from));
+        words.push(self.info.len() as u64);
+        for g in &self.info {
+            words.push(u64::from(g.is_input));
+            words.push(g.fanin.len() as u64);
+            words.extend(g.fanin.iter().map(|&f| u64::from(f)));
+            words.push(g.fanin_count.to_bits());
+            words.push(g.stack.to_bits());
+            words.push(g.activity.to_bits());
+            for e in &g.fanout {
+                words.push(e.target.map_or(u64::MAX, u64::from));
+                words.push(e.c_int.to_bits());
+                words.push(e.r_int.to_bits());
+                words.push(e.flight.to_bits());
+            }
+        }
+        for x in [
+            t.feature_m,
+            t.alpha,
+            t.k_drive,
+            t.subthreshold_n,
+            t.i_off0,
+            t.i_junction,
+            t.temperature_k,
+            t.c_in,
+            t.c_pd,
+            t.c_mi,
+            t.beta,
+            t.wire_r_per_m,
+            t.wire_c_per_m,
+            t.wire_velocity,
+            t.vdd_range.0,
+            t.vdd_range.1,
+            t.vt_range.0,
+            t.vt_range.1,
+            t.w_range.0,
+            t.w_range.1,
+        ] {
+            words.push(x.to_bits());
+        }
+        minpower_engine::fnv1a_words(words)
+    }
+
     /// Worst-case delay of gate `id` under `design`, given the largest
     /// delay among the gates driving it (Eq. A3).
     ///
@@ -264,7 +315,7 @@ impl CircuitModel {
     pub fn update_delays_after_width_change(
         &self,
         design: &Design,
-        delays: &mut Vec<f64>,
+        delays: &mut [f64],
         changed: GateId,
     ) {
         assert_eq!(delays.len(), self.info.len());
@@ -273,15 +324,14 @@ impl CircuitModel {
         let mut dirty = vec![false; n];
         let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
             std::collections::BinaryHeap::new();
-        let push = |heap: &mut std::collections::BinaryHeap<_>,
-                        dirty: &mut Vec<bool>,
-                        idx: usize| {
-            if !dirty[idx] {
-                dirty[idx] = true;
-                let level = self.netlist.level(GateId::new(idx)) as u32;
-                heap.push(std::cmp::Reverse((level, idx as u32)));
-            }
-        };
+        let push =
+            |heap: &mut std::collections::BinaryHeap<_>, dirty: &mut Vec<bool>, idx: usize| {
+                if !dirty[idx] {
+                    dirty[idx] = true;
+                    let level = self.netlist.level(GateId::new(idx)) as u32;
+                    heap.push(std::cmp::Reverse((level, idx as u32)));
+                }
+            };
         push(&mut heap, &mut dirty, changed.index());
         for &f in &self.info[changed.index()].fanin {
             push(&mut heap, &mut dirty, f as usize);
@@ -314,7 +364,11 @@ impl CircuitModel {
         if g.is_input {
             return 0.0;
         }
-        design.vdd * self.tech.off_current(design.width[id.index()], design.vt[id.index()]) / fc
+        design.vdd
+            * self
+                .tech
+                .off_current(design.width[id.index()], design.vt[id.index()])
+            / fc
     }
 
     /// Dynamic energy per cycle of gate `id` (Eq. A2), joules.
@@ -369,17 +423,14 @@ impl CircuitModel {
             .fold(0.0, f64::max);
         let mut gates = Vec::with_capacity(self.info.len());
         let mut energy = EnergyBreakdown::default();
-        for i in 0..self.info.len() {
+        for (i, &delay) in delays.iter().enumerate() {
             let id = GateId::new(i);
             let e = EnergyBreakdown::new(
                 self.gate_static_energy(design, id, fc),
                 self.gate_dynamic_energy(design, id),
             );
             energy = energy + e;
-            gates.push(GateEval {
-                delay: delays[i],
-                energy: e,
-            });
+            gates.push(GateEval { delay, energy: e });
         }
         CircuitEval {
             gates,

@@ -28,12 +28,7 @@ impl CircuitModel {
     ///
     /// Zero when `V_dd ≤ 2·V_t` — below that supply the pull-up and
     /// pull-down networks are never simultaneously conducting.
-    pub fn gate_short_circuit_energy(
-        &self,
-        design: &Design,
-        id: GateId,
-        delays: &[f64],
-    ) -> f64 {
+    pub fn gate_short_circuit_energy(&self, design: &Design, id: GateId, delays: &[f64]) -> f64 {
         let netlist = self.netlist();
         let gate = netlist.gate(id);
         if gate.kind() == GateKind::Input {

@@ -1,6 +1,10 @@
 //! Property tests for the monotonicity invariants that Procedure 2's
 //! binary searches rely on (paper §4.3: "power consumption and delay are
 //! monotonic functions of V_dd, V_ts and W_i, individually").
+//!
+//! Requires the external `proptest` crate: compiled only with the
+//! `proptest` feature enabled (offline builds skip it).
+#![cfg(feature = "proptest")]
 
 use minpower_device::Technology;
 use minpower_models::{CircuitModel, Design};

@@ -218,11 +218,7 @@ pub fn write(netlist: &Netlist) -> String {
         if g.kind() == GateKind::Input {
             continue;
         }
-        let fanin: Vec<&str> = g
-            .fanin()
-            .iter()
-            .map(|&f| netlist.gate(f).name())
-            .collect();
+        let fanin: Vec<&str> = g.fanin().iter().map(|&f| netlist.gate(f).name()).collect();
         out.push_str(&format!(
             "{} = {}({})\n",
             g.name(),
@@ -354,7 +350,8 @@ G17 = NAND(G5, G10)
         let src = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, z)\nz = NOT(y)\n";
         let err = parse("t", src).unwrap_err();
         assert!(
-            matches!(err, NetlistError::Cycle { .. }) || matches!(err, NetlistError::UndefinedNet { .. }),
+            matches!(err, NetlistError::Cycle { .. })
+                || matches!(err, NetlistError::UndefinedNet { .. }),
             "got {err:?}"
         );
     }

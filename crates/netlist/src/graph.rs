@@ -300,8 +300,7 @@ mod tests {
                 fanin: vec![GateId::new(0)],
             },
         ];
-        let err =
-            Netlist::from_parts("cyc".into(), gates, vec![GateId::new(0)], 0).unwrap_err();
+        let err = Netlist::from_parts("cyc".into(), gates, vec![GateId::new(0)], 0).unwrap_err();
         assert!(matches!(err, NetlistError::Cycle { .. }));
     }
 

@@ -66,7 +66,10 @@ impl NetlistStats {
         }
         let n_logic = netlist.logic_gate_count();
         let mut kind_histogram: Vec<(GateKind, usize)> = hist.into_iter().collect();
-        kind_histogram.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+        kind_histogram.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)))
+        });
         NetlistStats {
             primary_inputs: netlist.inputs().len(),
             primary_outputs: netlist.outputs().len(),

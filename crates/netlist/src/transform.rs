@@ -396,7 +396,11 @@ mod tests {
         assert_eq!(max_fanout(&n), 9);
         let (buffered, inserted) = buffer_high_fanout(&n, 4).unwrap();
         assert!(inserted >= 3);
-        assert!(max_fanout(&buffered) <= 4, "max fanout {}", max_fanout(&buffered));
+        assert!(
+            max_fanout(&buffered) <= 4,
+            "max fanout {}",
+            max_fanout(&buffered)
+        );
         assert!(equivalent_by_simulation(&n, &buffered, 200, 11));
     }
 

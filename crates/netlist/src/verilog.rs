@@ -102,9 +102,9 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                         "xor" => GateKind::Xor,
                         "xnor" => GateKind::Xnor,
                         other => {
-                            return Err(tokens.error(format!(
-                                "unknown primitive or keyword `{other}`"
-                            )));
+                            return Err(
+                                tokens.error(format!("unknown primitive or keyword `{other}`"))
+                            );
                         }
                     };
                     // Optional instance name before the terminal list.
@@ -122,8 +122,9 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
                             Token::Punct(p) if p == "," => continue,
                             Token::Punct(p) if p == ")" => break,
                             other => {
-                                return Err(tokens
-                                    .error(format!("unexpected `{other}` in terminals")));
+                                return Err(
+                                    tokens.error(format!("unexpected `{other}` in terminals"))
+                                );
                             }
                         }
                     }
@@ -169,8 +170,7 @@ pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
         for inst in remaining {
             let ready = inst.terminals[1..].iter().all(|t| b.find(t).is_some());
             if ready {
-                let fanin: Vec<&str> =
-                    inst.terminals[1..].iter().map(String::as_str).collect();
+                let fanin: Vec<&str> = inst.terminals[1..].iter().map(String::as_str).collect();
                 b.gate(&inst.terminals[0], inst.kind, &fanin)?;
             } else {
                 next.push(inst);
@@ -255,9 +255,7 @@ pub fn write(netlist: &Netlist) -> String {
     let wires: Vec<String> = netlist
         .topological_order()
         .iter()
-        .filter(|&&id| {
-            netlist.gate(id).kind() != GateKind::Input && !netlist.is_output(id)
-        })
+        .filter(|&&id| netlist.gate(id).kind() != GateKind::Input && !netlist.is_output(id))
         .map(|&id| sanitized(netlist.gate(id).name()))
         .collect();
     if !wires.is_empty() {
@@ -506,7 +504,8 @@ endmodule
 
     #[test]
     fn combinational_cycle_reported() {
-        let src = "module t (a, y);\n input a;\n output y;\n nand (y, a, z);\n not (z, y);\nendmodule";
+        let src =
+            "module t (a, y);\n input a;\n output y;\n nand (y, a, z);\n not (z, y);\nendmodule";
         let err = parse(src).unwrap_err();
         assert!(matches!(err, NetlistError::Cycle { .. }), "{err:?}");
     }

@@ -233,8 +233,7 @@ fn stage(
     };
     let window = window_end - t_edge;
     let e_total = tr_rise.supply_energy_between(t_edge, window_end);
-    let switching_energy =
-        (e_total - 0.5 * (leakage_power + leak_post) * window).max(0.0);
+    let switching_energy = (e_total - 0.5 * (leakage_power + leak_post) * window).max(0.0);
 
     StageMeasurement {
         delay_rise,
@@ -295,7 +294,12 @@ mod tests {
     fn nand_stack_slows_with_fanin() {
         let n2 = nand(&tech(), 2, 4.0, 3.3, 0.7, 20e-15);
         let n4 = nand(&tech(), 4, 4.0, 3.3, 0.7, 20e-15);
-        assert!(n4.delay_fall > n2.delay_fall, "{} vs {}", n4.delay_fall, n2.delay_fall);
+        assert!(
+            n4.delay_fall > n2.delay_fall,
+            "{} vs {}",
+            n4.delay_fall,
+            n2.delay_fall
+        );
     }
 
     #[test]

@@ -24,14 +24,7 @@ pub fn inverter(c: &mut Circuit, vdd: NodeRef, input: NodeRef, output: NodeRef, 
 /// # Panics
 ///
 /// Panics if `inputs` is empty.
-pub fn nand(
-    c: &mut Circuit,
-    vdd: NodeRef,
-    inputs: &[NodeRef],
-    output: NodeRef,
-    w: f64,
-    vt: f64,
-) {
+pub fn nand(c: &mut Circuit, vdd: NodeRef, inputs: &[NodeRef], output: NodeRef, w: f64, vt: f64) {
     assert!(!inputs.is_empty(), "NAND needs at least one input");
     let beta = c.technology().beta;
     let c_mi = c.technology().c_mi;
@@ -62,14 +55,7 @@ pub fn nand(
 /// # Panics
 ///
 /// Panics if `inputs` is empty.
-pub fn nor(
-    c: &mut Circuit,
-    vdd: NodeRef,
-    inputs: &[NodeRef],
-    output: NodeRef,
-    w: f64,
-    vt: f64,
-) {
+pub fn nor(c: &mut Circuit, vdd: NodeRef, inputs: &[NodeRef], output: NodeRef, w: f64, vt: f64) {
     assert!(!inputs.is_empty(), "NOR needs at least one input");
     let beta = c.technology().beta;
     let c_mi = c.technology().c_mi;
@@ -130,7 +116,11 @@ mod tests {
         let out_high = c.node(5e-15, 0.0);
         nand(&mut c, vdd, &[hi, lo], out_high, 4.0, 0.7);
         let tr = c.simulate(4e-9, 4000);
-        assert!(tr.final_voltage(out_low) < 0.1, "{}", tr.final_voltage(out_low));
+        assert!(
+            tr.final_voltage(out_low) < 0.1,
+            "{}",
+            tr.final_voltage(out_low)
+        );
         assert!(tr.final_voltage(out_high) > 3.2);
     }
 
@@ -146,7 +136,11 @@ mod tests {
         nor(&mut c, vdd, &[lo, lo], out_high, 4.0, 0.7);
         let tr = c.simulate(6e-9, 6000);
         assert!(tr.final_voltage(out_low) < 0.1);
-        assert!(tr.final_voltage(out_high) > 3.2, "{}", tr.final_voltage(out_high));
+        assert!(
+            tr.final_voltage(out_high) > 3.2,
+            "{}",
+            tr.final_voltage(out_high)
+        );
     }
 
     #[test]

@@ -32,8 +32,7 @@ impl Trace {
     }
 
     fn state_index(&self, node: NodeRef) -> usize {
-        self.index[node.0 as usize]
-            .expect("measurement requires a dynamic node")
+        self.index[node.0 as usize].expect("measurement requires a dynamic node")
     }
 
     /// The simulated time points, seconds.

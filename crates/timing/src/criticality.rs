@@ -42,11 +42,7 @@ impl Criticality {
             reaches_output[o.index()] = true;
         }
         for &id in netlist.topological_order().iter().rev() {
-            if netlist
-                .fanout(id)
-                .iter()
-                .any(|s| reaches_output[s.index()])
-            {
+            if netlist.fanout(id).iter().any(|s| reaches_output[s.index()]) {
                 reaches_output[id.index()] = true;
             }
         }

@@ -230,7 +230,7 @@ mod tests {
         let n = diamond_with_tail();
         let got: Vec<Path> = KMostCriticalPaths::new(&n).collect();
         let mut expect = all_paths(&n);
-        expect.sort_by(|a, b| b.1.cmp(&a.1));
+        expect.sort_by_key(|e| std::cmp::Reverse(e.1));
         assert_eq!(got.len(), expect.len());
         for (g, e) in got.iter().zip(expect.iter()) {
             assert_eq!(g.criticality, e.1);

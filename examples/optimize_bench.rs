@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run()?;
     let t_dual = t0.elapsed();
 
-    println!("{:<28} {:>10} {:>10} {:>10} {:>10} {:>9}", "run", "static J", "dynamic J", "total J", "delay ns", "time");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "run", "static J", "dynamic J", "total J", "delay ns", "time"
+    );
     for (name, r, t) in [
         ("fixed Vt=700mV (Table 1)", &fixed, t_fixed),
         ("joint Vdd/Vt/W (Table 2)", &joint, t_joint),
@@ -105,10 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntop energy consumers at the optimum:");
     print!("{}", report.render(8));
     let path = minpower::opt::report::critical_path(&problem, &joint);
-    let names: Vec<&str> = path
-        .iter()
-        .map(|&g| netlist.gate(g).name())
-        .collect();
+    let names: Vec<&str> = path.iter().map(|&g| netlist.gate(g).name()).collect();
     println!("critical path: {}", names.join(" -> "));
     Ok(())
 }

@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let vt = recommended + delta;
         let mut total = 0.0;
         for name in basket {
-            let netlist =
-            minpower::circuits::circuit(name).ok_or_else(|| format!("unknown circuit {name}"))?;
+            let netlist = minpower::circuits::circuit(name)
+                .ok_or_else(|| format!("unknown circuit {name}"))?;
             let tech = Technology::builder().vt_range(vt, vt + 1e-6).build();
             let model = CircuitModel::new(
                 &netlist,

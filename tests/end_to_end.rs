@@ -8,8 +8,7 @@ const FC: f64 = 300.0e6;
 
 fn problem(name: &str, activity: f64) -> Problem {
     let netlist = minpower::circuits::circuit(name).expect("suite circuit");
-    let model =
-        CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
+    let model = CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
     Problem::new(model, FC)
 }
 
@@ -42,8 +41,7 @@ fn joint_beats_fixed_vt_by_a_large_factor() {
     for name in ["s27", "s298"] {
         for activity in [0.1, 0.5] {
             let p = problem(name, activity);
-            let fixed =
-                baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default()).unwrap();
+            let fixed = baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default()).unwrap();
             let joint = Optimizer::new(&p).run().unwrap();
             let savings = fixed.energy.total() / joint.energy.total();
             assert!(
@@ -69,7 +67,10 @@ fn savings_grow_with_input_activity() {
         .energy
         .total()
         / Optimizer::new(&p_hi).run().unwrap().energy.total();
-    assert!(s_hi > s_lo, "savings {s_hi:.2} at a=0.5 vs {s_lo:.2} at a=0.1");
+    assert!(
+        s_hi > s_lo,
+        "savings {s_hi:.2} at a=0.5 vs {s_lo:.2} at a=0.1"
+    );
 }
 
 #[test]
@@ -124,8 +125,7 @@ fn whole_suite_is_feasible_for_both_tables() {
         ..SearchOptions::default()
     };
     for netlist in minpower::circuits::paper_suite() {
-        let model =
-            CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, 0.3);
         let p = Problem::new(model, FC);
         let fixed = baseline::optimize_fixed_vt(&p, 0.7, opts.clone())
             .unwrap_or_else(|e| panic!("{} baseline: {e}", netlist.name()));

@@ -22,10 +22,16 @@ fn s27_settles_to_correct_logic_at_transistor_level() {
 
     // A handful of before→after vectors; check every gate output settles
     // to its Boolean value.
-    let cases: [(u32, u32); 3] = [(0b0000000, 0b1111111), (0b1010101, 0b0101010), (0b1111111, 0b0010011)];
+    let cases: [(u32, u32); 3] = [
+        (0b0000000, 0b1111111),
+        (0b1010101, 0b0101010),
+        (0b1111111, 0b0010011),
+    ];
     for (before_bits, after_bits) in cases {
         let unpack = |bits: u32| -> Vec<bool> {
-            (0..n.inputs().len()).map(|k| (bits >> k) & 1 == 1).collect()
+            (0..n.inputs().len())
+                .map(|k| (bits >> k) & 1 == 1)
+                .collect()
         };
         let before = unpack(before_bits);
         let after = unpack(after_bits);
@@ -38,7 +44,8 @@ fn s27_settles_to_correct_logic_at_transistor_level() {
             let v = tr.final_voltage(e.node_of(GateId::new(i)));
             let logic = v > VDD / 2.0;
             assert_eq!(
-                logic, expected[i],
+                logic,
+                expected[i],
                 "gate {} settled at {v:.2} V, expected {} (vector {after_bits:b})",
                 g.name(),
                 expected[i]
@@ -64,8 +71,7 @@ fn s27_settling_time_is_bounded_by_sta_critical_path() {
     // from both all-zero and all-one bases — single-input flips exercise
     // the long single-path cones.
     let n_in = n.inputs().len();
-    let mut stimuli: Vec<(Vec<bool>, Vec<bool>)> =
-        vec![(vec![false; n_in], vec![true; n_in])];
+    let mut stimuli: Vec<(Vec<bool>, Vec<bool>)> = vec![(vec![false; n_in], vec![true; n_in])];
     for k in 0..n_in {
         let mut a = vec![false; n_in];
         a[k] = true;
@@ -121,8 +127,7 @@ fn s27_transition_energy_matches_model_scale() {
     // node that is logically 1 from the 0 V initial condition).
     let quiet = 4e-9;
     let leak = tr.supply_energy_between(t_switch - quiet, t_switch) / quiet;
-    let e_meas =
-        tr.supply_energy_between(t_switch, horizon) - leak * (horizon - t_switch);
+    let e_meas = tr.supply_energy_between(t_switch, horizon) - leak * (horizon - t_switch);
 
     // Model: the supply charges every output that rises — approximately
     // Σ C_sw·V² over rising gates, with C_sw from the same parameters the

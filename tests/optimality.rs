@@ -8,8 +8,7 @@ use minpower::{CircuitModel, Netlist, Optimizer, Problem, SearchOptions, Technol
 const FC: f64 = 300.0e6;
 
 fn problem_for(netlist: &Netlist, activity: f64) -> Problem {
-    let model =
-        CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
+    let model = CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
     Problem::new(model, FC)
 }
 
@@ -50,12 +49,7 @@ fn chain_budgets_split_the_cycle_evenly_and_optimize() {
     let r = Optimizer::new(&p).run().unwrap();
     assert!(r.feasible);
     // Every chain gate has fanout 1: equal budgets.
-    let budgets: Vec<f64> = r
-        .budgets
-        .iter()
-        .copied()
-        .filter(|&b| b > 0.0)
-        .collect();
+    let budgets: Vec<f64> = r.budgets.iter().copied().filter(|&b| b > 0.0).collect();
     assert_eq!(budgets.len(), 12);
     let first = budgets[0];
     for &b in &budgets {

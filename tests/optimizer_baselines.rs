@@ -9,8 +9,7 @@ const FC: f64 = 300.0e6;
 
 fn problem(name: &str, activity: f64) -> Problem {
     let netlist = minpower::circuits::circuit(name).expect("suite circuit");
-    let model =
-        CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
+    let model = CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, activity);
     Problem::new(model, FC)
 }
 
@@ -80,8 +79,7 @@ fn skew_reserve_erodes_savings() {
     // budget and shrinks the achievable savings.
     let savings_at = |skew_reserve: f64| {
         let netlist = minpower::circuits::circuit("s298").expect("suite circuit");
-        let model =
-            CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, 0.3);
+        let model = CircuitModel::with_uniform_activity(&netlist, Technology::dac97(), 0.5, 0.3);
         let p = Problem::new(model, FC).with_clock_skew(1.0 - skew_reserve);
         let b = baseline::optimize_fixed_vt(&p, 0.7, SearchOptions::default())
             .unwrap()

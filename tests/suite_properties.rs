@@ -1,5 +1,9 @@
 //! Property-based tests spanning crates: invariants that must hold on
 //! arbitrary generated circuits, not just the curated suite.
+//!
+//! Requires the external `proptest` crate: compiled only with the
+//! `proptest` feature enabled (offline builds skip it).
+#![cfg(feature = "proptest")]
 
 use minpower::opt::budget::{assign_max_delays, longest_budget_path};
 use minpower::timing::{Criticality, KMostCriticalPaths, Sta};
@@ -8,14 +12,19 @@ use minpower_circuits::{synthesize, BenchmarkSpec};
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = BenchmarkSpec> {
-    (2usize..=8, 10usize..=80, 2usize..=10, 1usize..=20, any::<u64>()).prop_map(
-        |(depth, extra, inputs, outputs, seed)| {
+    (
+        2usize..=8,
+        10usize..=80,
+        2usize..=10,
+        1usize..=20,
+        any::<u64>(),
+    )
+        .prop_map(|(depth, extra, inputs, outputs, seed)| {
             let gates = depth + extra;
             let mut spec = BenchmarkSpec::new("prop", gates, inputs, outputs, depth);
             spec.seed = seed;
             spec
-        },
-    )
+        })
 }
 
 proptest! {

@@ -5,7 +5,7 @@
 //! correlations" (§4.1), i.e. it ignores reconvergent fanout. For small
 //! networks the exact quantities can be computed by enumerating all
 //! `2^n` input vectors, which lets the experiments quantify the
-//! approximation error on real structures (the role of ref [11]'s
+//! approximation error on real structures (the role of ref \[11\]'s
 //! correlation-aware methods).
 //!
 //! Two exact quantities are provided:

@@ -2,7 +2,7 @@
 //!
 //! The dynamic energy of a gate (paper Eq. A2) is proportional to its
 //! output activity factor `a_i`. The paper computes internal-node
-//! activities with Najm's *transition density* propagation (§4.1, ref [8]):
+//! activities with Najm's *transition density* propagation (§4.1, ref \[8\]):
 //!
 //! ```text
 //! D(y) = Σ_i  P(∂y/∂x_i) · D(x_i)

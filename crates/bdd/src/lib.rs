@@ -1,7 +1,7 @@
 //! Reduced ordered binary decision diagrams (ROBDDs).
 //!
 //! Najm's transition-density work — the paper's activity-estimation
-//! reference [8] — computes signal and Boolean-difference probabilities
+//! reference \[8\] — computes signal and Boolean-difference probabilities
 //! on BDDs; the first-order propagation the paper adopts is its cheap
 //! approximation. This crate supplies the real thing: a compact ROBDD
 //! manager with the operations exact analysis needs —

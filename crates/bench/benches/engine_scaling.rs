@@ -49,7 +49,12 @@ fn run_suite(ctx: &Arc<EvalContext>, items: &[(Netlist, f64)]) -> Duration {
 }
 
 fn main() {
-    let items = workload();
+    let mut items = workload();
+    if minpower_bench::smoke_mode() {
+        // CI smoke: just the s27 rows, enough to exercise every engine
+        // configuration below without meaningful wall time.
+        items.truncate(2);
+    }
     let parallel = minpower_core::context::default_threads().clamp(2, 4);
     println!(
         "engine scaling over {} suite optimizations ({} worker threads for the parallel runs)",

@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use minpower_bench::problem_for;
+use minpower_bench::{bench_runs, problem_for};
 use minpower_core::{variation, Optimizer};
 
 fn time<R>(label: &str, runs: u32, f: impl Fn() -> R) {
@@ -23,12 +23,12 @@ fn main() {
     println!("{:<14} {:>6} {:>12}", "study", "runs", "per run");
 
     let problem = problem_for(&netlist, 0.3);
-    time("fig2a_tol20", 10, || {
+    time("fig2a_tol20", bench_runs(10), || {
         variation::optimize_with_tolerance(&problem, 0.20).expect("feasible")
     });
 
     let skewed = problem_for(&netlist, 0.3).with_clock_skew(0.8);
-    time("fig2b_skew20", 10, || {
+    time("fig2b_skew20", bench_runs(10), || {
         Optimizer::new(&skewed).run().expect("feasible")
     });
 }

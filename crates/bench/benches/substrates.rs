@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use minpower_activity::{Activities, InputActivity};
+use minpower_bench::bench_runs;
 use minpower_core::budget::assign_max_delays;
 use minpower_device::Technology;
 use minpower_models::{CircuitModel, Design};
@@ -28,27 +29,27 @@ fn main() {
     println!("{:<30} {:>6} {:>12}", "substrate", "runs", "per run");
 
     let profile = InputActivity::uniform(0.5, 0.3, netlist.inputs().len());
-    time("activity_propagation_s713", 200, || {
+    time("activity_propagation_s713", bench_runs(200), || {
         Activities::propagate(&netlist, &profile)
     });
 
-    time("procedure1_budgets_s713", 200, || {
+    time("procedure1_budgets_s713", bench_runs(200), || {
         assign_max_delays(&netlist, 3.33e-9)
     });
 
     let model = CircuitModel::with_uniform_activity(&netlist, tech.clone(), 0.5, 0.3);
     let design = Design::uniform(&netlist, 1.2, 0.25, 8.0);
-    time("circuit_evaluate_s713", 200, || {
+    time("circuit_evaluate_s713", bench_runs(200), || {
         model.evaluate(&design, 3.0e8)
     });
 
     let s298 = minpower_bench::circuit_by_name("s298");
     let probs = vec![0.5; s298.inputs().len()];
-    time("bdd_exact_probabilities_s298", 20, || {
+    time("bdd_exact_probabilities_s298", bench_runs(20), || {
         minpower_activity::exact::probabilities_bdd(&s298, &probs).expect("fits the cap")
     });
 
-    time("spice_inverter_measure", 10, || {
+    time("spice_inverter_measure", bench_runs(10), || {
         measure::inverter(&tech, 8.0, 1.5, 0.35, 30e-15)
     });
 }

@@ -16,7 +16,7 @@ fn main() {
     for name in ["s27", "s298", "s713"] {
         let netlist = minpower_bench::circuit_by_name(name);
         let problem = problem_for(&netlist, 0.3);
-        let runs = 10;
+        let runs = minpower_bench::bench_runs(10);
         let t0 = Instant::now();
         for _ in 0..runs {
             let r = Optimizer::new(&problem).run().expect("heuristic feasible");

@@ -8,7 +8,9 @@
 //! ```
 //!
 //! `--threads <n>` sets the engine's worker count (default: all cores);
-//! `--no-cache` disables probe memoization. Engine telemetry prints
+//! `--no-cache` disables probe memoization; `--no-incremental` forces
+//! dense recomputation in the width-sizing loops (bit-identical results,
+//! for benchmarking the incremental layer). Engine telemetry prints
 //! after the experiments.
 
 use std::fmt::Write as _;
@@ -41,7 +43,10 @@ fn main() {
     } else {
         minpower_core::context::DEFAULT_CACHE_CAPACITY
     };
-    minpower_core::EvalContext::install(minpower_core::EvalContext::new(threads, capacity));
+    let incremental = !args.iter().any(|a| a == "--no-incremental");
+    minpower_core::EvalContext::install(
+        minpower_core::EvalContext::new(threads, capacity).with_incremental(incremental),
+    );
     let cmd = args
         .iter()
         .find(|a| {
@@ -97,7 +102,7 @@ fn main() {
                 "unknown experiment `{other}`; available: table1 table2 fig2a fig2b anneal \
                  multi-vt ablation-budget validate body-bias short-circuit activity-error \
                  ring scaling pareto temperature glitch yield sizing all \
-                 (flags: --fast, --csv <path>, --threads <n>, --no-cache)"
+                 (flags: --fast, --csv <path>, --threads <n>, --no-cache, --no-incremental)"
             );
             std::process::exit(2);
         }

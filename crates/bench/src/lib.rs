@@ -66,6 +66,22 @@ pub struct TableRow {
     pub runtime: f64,
 }
 
+/// True when the current bench binary was invoked with `--smoke` — the
+/// CI mode that runs each measurement once, just proving the bench
+/// still builds and executes (timings are meaningless there).
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// The requested iteration count, clamped to 1 in [`smoke_mode`].
+pub fn bench_runs(runs: u32) -> u32 {
+    if smoke_mode() {
+        1
+    } else {
+        runs
+    }
+}
+
 /// Builds the optimization problem the tables use for one circuit.
 pub fn problem_for(netlist: &Netlist, activity: f64) -> Problem {
     let model = CircuitModel::with_uniform_activity(netlist, Technology::dac97(), 0.5, activity);
@@ -444,7 +460,7 @@ pub struct ActivityErrorRow {
 /// **§4.1 approximation check**: the first-order (correlation-free)
 /// propagation the paper adopts, against exact analysis — enumeration on
 /// the tiny genuine benchmarks, BDDs (the machinery of the paper's
-/// ref [8]) on the s298/s713-class circuits where `2^n` is out of reach.
+/// ref \[8\]) on the s298/s713-class circuits where `2^n` is out of reach.
 /// The density column is `NaN` where even the BDD route exceeds its node
 /// cap.
 pub fn activity_error(activity: f64) -> Vec<ActivityErrorRow> {
@@ -635,7 +651,7 @@ pub struct ScalingRow {
 }
 
 /// **Scaling study** (beyond the paper, in the direction of its GSI
-/// companion work [1]): re-run the joint optimization on constant-field-
+/// companion work \[1\]): re-run the joint optimization on constant-field-
 /// scaled nodes. Dimensions, capacitance, and supply scale; the
 /// subthreshold swing does not — so the optimal threshold stalls and the
 /// static share grows node over node.
@@ -695,7 +711,7 @@ impl ParetoRow {
 
 /// **Energy-performance Pareto sweep**: the minimum-energy design as a
 /// function of the required clock frequency — the trade the paper's
-/// refs [2][3] navigate with fixed heuristics, produced here by the
+/// refs \[2\]\[3\] navigate with fixed heuristics, produced here by the
 /// joint optimizer directly. Infeasible frequencies are omitted.
 pub fn pareto_sweep(circuit: &str, activity: f64, fcs: &[f64]) -> Vec<ParetoRow> {
     let netlist = circuit_by_name(circuit);
@@ -870,7 +886,7 @@ pub fn yield_study(circuit: &str, activity: f64, sigma_rel: f64) -> Vec<YieldStu
 }
 
 /// **Sizing ablation**: the paper's budget-driven widths vs TILOS-style
-/// greedy sensitivity sizing (Fishburn–Dunlop; the spirit of ref [10]) at
+/// greedy sensitivity sizing (Fishburn–Dunlop; the spirit of ref \[10\]) at
 /// the same operating point. Returns `(budgeted J, greedy J)`.
 pub fn sizing_comparison(circuit: &str, activity: f64, vdd: f64, vt: f64) -> (f64, f64) {
     use minpower_core::search::size_at;

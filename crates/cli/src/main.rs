@@ -78,15 +78,18 @@ fn print_usage() {
          \x20 minpower suite\n\
          \n\
          engine flags (any command): --threads N (default: all cores),\n\
-         \x20 --no-cache (disable probe memoization)\n\
+         \x20 --no-cache (disable probe memoization),\n\
+         \x20 --no-incremental (dense recomputation in the sizing loops;\n\
+         \x20 bit-identical results, diagnostic/benchmark use)\n\
          \n\
          <circuit> is a suite name (see `minpower suite`) or a .bench/.v file."
     );
 }
 
 /// Installs the process-wide evaluation engine from the global
-/// `--threads` / `--no-cache` flags. Must run before the first
-/// optimization — the first probe materializes the default context.
+/// `--threads` / `--no-cache` / `--no-incremental` flags. Must run before
+/// the first optimization — the first probe materializes the default
+/// context.
 fn install_engine(flags: &Flags<'_>) -> Result<(), String> {
     let threads = flags.get_usize("--threads", minpower::opt::context::default_threads())?;
     if threads == 0 {
@@ -97,7 +100,10 @@ fn install_engine(flags: &Flags<'_>) -> Result<(), String> {
     } else {
         minpower::opt::context::DEFAULT_CACHE_CAPACITY
     };
-    minpower::EvalContext::install(minpower::EvalContext::new(threads, capacity));
+    minpower::EvalContext::install(
+        minpower::EvalContext::new(threads, capacity)
+            .with_incremental(!flags.has("--no-incremental")),
+    );
     Ok(())
 }
 
@@ -113,7 +119,7 @@ struct Flags<'a> {
 }
 
 /// Flags that take no value; every other `--flag` consumes one token.
-const BOOLEAN_FLAGS: &[&str] = &["--no-cache"];
+const BOOLEAN_FLAGS: &[&str] = &["--no-cache", "--no-incremental"];
 
 fn flag_takes_value(flag: &str) -> bool {
     !BOOLEAN_FLAGS.contains(&flag)

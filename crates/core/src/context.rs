@@ -36,6 +36,7 @@ pub struct EvalContext {
     cache: Option<EvalCache<Sized>>,
     quantizer: Quantizer,
     stats: Arc<EngineStats>,
+    incremental: bool,
 }
 
 impl std::fmt::Debug for EvalContext {
@@ -46,6 +47,7 @@ impl std::fmt::Debug for EvalContext {
                 "cache_capacity",
                 &self.cache.as_ref().map(EvalCache::capacity),
             )
+            .field("incremental", &self.incremental)
             .finish()
     }
 }
@@ -72,7 +74,24 @@ impl EvalContext {
             cache: (cache_capacity > 0).then(|| EvalCache::new(cache_capacity)),
             quantizer: Quantizer::default(),
             stats: Arc::new(EngineStats::new()),
+            incremental: true,
         }
+    }
+
+    /// Enables or disables the incremental timing/energy fast path of the
+    /// width-sizing inner loops (the CLI's `--no-incremental` escape
+    /// hatch). The two paths are bit-identical — this toggles *how* a
+    /// probe is computed, never its result — so the flag deliberately does
+    /// **not** enter the probe-cache salt.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Whether the width-sizing loops use the incremental evaluation
+    /// layer (default `true`).
+    pub fn incremental(&self) -> bool {
+        self.incremental
     }
 
     /// The process-wide context. First use materializes the default

@@ -1,0 +1,254 @@
+//! Transactional incremental evaluation for the width-sizing inner loops.
+//!
+//! [`IncrementalEval`] bundles the three delta layers built for the
+//! sizing hot path:
+//!
+//! * [`CircuitModel::update_delays_after_width_change_with`] repairs the
+//!   self-consistent per-gate delay vector over the affected cone only
+//!   (the changed gate, its drivers whose loads moved, and whatever the
+//!   input-slope term reaches downstream), journaling every overwrite;
+//! * [`IncrementalSta`] re-propagates arrival times with a levelized
+//!   dirty-worklist, falling back to a journaled dense pass when the
+//!   dirty set grows past its fallback fraction;
+//! * the caller keeps an [`minpower_models::EnergyLedger`] beside this
+//!   struct for the delta-maintained energy terms.
+//!
+//! Every layer stops propagation on *bitwise* change only, so the state
+//! after any sequence of probes is exactly — bit for bit — what a dense
+//! recompute would produce. That is the contract the `--no-incremental`
+//! escape hatch and the determinism suite check.
+//!
+//! The API is a single-slot transaction: [`try_width`] opens a probe
+//! (applies the width, repairs delays, commits the STA), then exactly one
+//! of [`accept`] or [`revert`] closes it. A revert replays the delay
+//! journal in reverse and undoes the STA commit, restoring the pre-probe
+//! state bit-exactly without recomputation.
+//!
+//! [`try_width`]: IncrementalEval::try_width
+//! [`accept`]: IncrementalEval::accept
+//! [`revert`]: IncrementalEval::revert
+
+use std::sync::Arc;
+
+use minpower_engine::EngineStats;
+use minpower_models::{CircuitModel, Design};
+use minpower_netlist::{GateId, Netlist};
+use minpower_timing::{Commit, IncrementalSta};
+
+/// Computes arrival times for `delays` into a reused buffer: the shared
+/// forward pass of the full (non-incremental) sizing paths.
+pub(crate) fn arrivals_into(netlist: &Netlist, delays: &[f64], arrival: &mut Vec<f64>) {
+    arrival.clear();
+    arrival.resize(delays.len(), 0.0);
+    for &id in netlist.topological_order() {
+        let i = id.index();
+        let latest = netlist
+            .gate(id)
+            .fanin()
+            .iter()
+            .map(|f| arrival[f.index()])
+            .fold(0.0, f64::max);
+        arrival[i] = latest + delays[i];
+    }
+}
+
+/// A design + self-consistent delays + persistent STA, advanced one width
+/// probe at a time.
+pub(crate) struct IncrementalEval<'a> {
+    model: &'a CircuitModel,
+    stats: Arc<EngineStats>,
+    design: Design,
+    delays: Vec<f64>,
+    sta: IncrementalSta,
+    /// `(gate, previous_delay)` overwrites of the open probe, in apply
+    /// order; replayed in reverse on revert.
+    journal: Vec<(u32, f64)>,
+    /// `(gate, previous_width)` of the open probe, if any.
+    open: Option<(usize, f64)>,
+}
+
+impl<'a> IncrementalEval<'a> {
+    /// Starts from `design` and its already-self-consistent `delays`
+    /// (i.e. bitwise what [`CircuitModel::delays`] returns for `design`).
+    pub fn new(
+        model: &'a CircuitModel,
+        design: Design,
+        delays: Vec<f64>,
+        cycle_time: f64,
+        stats: Arc<EngineStats>,
+    ) -> Self {
+        let sta = IncrementalSta::forward_only(model.netlist(), &delays, cycle_time);
+        IncrementalEval {
+            model,
+            stats,
+            design,
+            delays,
+            sta,
+            journal: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// Opens a probe: sets gate `gate`'s width to `w`, repairs the delay
+    /// vector over the affected cone, and commits the arrival update.
+    /// Counted into the engine telemetry (commit + gates touched +
+    /// fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probe is already open.
+    pub fn try_width(&mut self, gate: usize, w: f64) -> Commit {
+        assert!(self.open.is_none(), "a width probe is already open");
+        self.open = Some((gate, self.design.width[gate]));
+        self.design.width[gate] = w;
+        self.journal.clear();
+        let journal = &mut self.journal;
+        self.model.update_delays_after_width_change_with(
+            &self.design,
+            &mut self.delays,
+            GateId::new(gate),
+            |idx, old| journal.push((idx as u32, old)),
+        );
+        for &(idx, _) in self.journal.iter() {
+            self.sta
+                .set_delay(GateId::new(idx as usize), self.delays[idx as usize]);
+        }
+        let commit = self.sta.commit();
+        self.stats
+            .count_incremental(u64::from(commit.gates_touched));
+        if commit.fallback {
+            self.stats.count_fallback();
+        }
+        commit
+    }
+
+    /// Keeps the open probe's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no probe is open.
+    pub fn accept(&mut self) {
+        self.open.take().expect("no open probe to accept");
+    }
+
+    /// Discards the open probe: restores the width, replays the delay
+    /// journal in reverse, and undoes the STA commit — bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no probe is open.
+    pub fn revert(&mut self) {
+        let (gate, w_old) = self.open.take().expect("no open probe to revert");
+        self.design.width[gate] = w_old;
+        for &(idx, old) in self.journal.iter().rev() {
+            self.delays[idx as usize] = old;
+        }
+        self.sta.undo();
+    }
+
+    /// The current design (post-accept state, or the probe's trial state
+    /// while one is open).
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Current per-gate arrival times.
+    pub fn arrivals(&self) -> &[f64] {
+        self.sta.arrivals()
+    }
+
+    /// Splits into the pieces the move-selection walks need: a mutable
+    /// design for in-place width probes plus the delay and arrival views.
+    pub fn split(&mut self) -> (&mut Design, &[f64], &[f64]) {
+        (&mut self.design, &self.delays, self.sta.arrivals())
+    }
+
+    /// Consumes the evaluator, returning the final design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probe is still open.
+    pub fn into_design(self) -> Design {
+        assert!(self.open.is_none(), "a width probe is still open");
+        self.design
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EvalContext;
+    use minpower_device::Technology;
+    use minpower_netlist::{GateKind, NetlistBuilder};
+
+    fn setup() -> (CircuitModel, Design) {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("x", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("y", GateKind::Nor, &["x", "b"]).unwrap();
+        b.gate("z", GateKind::Nand, &["x", "y"]).unwrap();
+        b.output("z").unwrap();
+        let n = b.finish().unwrap();
+        let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
+        let design = Design::uniform(&n, 2.5, 0.5, 2.0);
+        (model, design)
+    }
+
+    #[test]
+    fn accepted_probes_match_dense_recompute_bitwise() {
+        let (model, design) = setup();
+        let ctx = EvalContext::new(1, 0);
+        let delays = model.delays(&design);
+        let mut eval = IncrementalEval::new(&model, design, delays, 1e-9, ctx.stats().clone());
+        for (step, gate) in [(1.4f64, 2usize), (2.2, 3), (1.1, 4), (3.0, 2)] {
+            let w = eval.design().width[gate] * step;
+            eval.try_width(gate, w);
+            eval.accept();
+            let dense_delays = model.delays(eval.design());
+            let mut dense_arrival = Vec::new();
+            arrivals_into(model.netlist(), &dense_delays, &mut dense_arrival);
+            for (i, (a, b)) in eval.arrivals().iter().zip(&dense_arrival).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "arrival[{i}]");
+            }
+        }
+        let snap = ctx.snapshot();
+        assert_eq!(snap.incremental_commits, 4);
+    }
+
+    #[test]
+    fn reverted_probes_restore_state_bit_exactly() {
+        let (model, design) = setup();
+        let ctx = EvalContext::new(1, 0);
+        let delays = model.delays(&design);
+        let before_widths = design.width.clone();
+        let before_delays = delays.clone();
+        let mut eval = IncrementalEval::new(&model, design, delays, 1e-9, ctx.stats().clone());
+        let before_arrival = eval.arrivals().to_vec();
+        eval.try_width(3, 9.0);
+        eval.revert();
+        assert_eq!(eval.design().width, before_widths);
+        for (a, b) in eval.delays.iter().zip(&before_delays) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in eval.arrivals().iter().zip(&before_arrival) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already open")]
+    fn double_open_probe_panics() {
+        let (model, design) = setup();
+        let delays = model.delays(&design);
+        let mut eval = IncrementalEval::new(
+            &model,
+            design,
+            delays,
+            1e-9,
+            EvalContext::new(1, 0).stats().clone(),
+        );
+        eval.try_width(2, 3.0);
+        eval.try_width(3, 3.0);
+    }
+}

@@ -61,6 +61,7 @@ pub mod baseline;
 pub mod budget;
 pub mod context;
 mod error;
+mod incremental;
 mod problem;
 pub mod report;
 mod result;

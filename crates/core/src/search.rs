@@ -24,11 +24,13 @@
 use std::sync::Arc;
 
 use minpower_engine::stats::Phase;
-use minpower_models::{Design, EnergyBreakdown};
-use minpower_netlist::GateKind;
+use minpower_models::{CircuitModel, Design, EnergyBreakdown};
+use minpower_netlist::{GateId, GateKind, Netlist};
+use minpower_timing::incremental::{sink_critical, virtual_sinks};
 
 use crate::context::EvalContext;
 use crate::error::OptimizeError;
+use crate::incremental::{arrivals_into, IncrementalEval};
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
 
@@ -240,7 +242,10 @@ impl<'a> Sizer<'a> {
     pub fn size(&self, vdd: f64, vt_nominal: &[f64]) -> Sized {
         self.ctx
             .probe(self.salt, vdd, vt_nominal, &self.budgets, || {
-                self.size_uncached(vdd, vt_nominal)
+                // Attribute the actual sizing work (cache hits are free).
+                self.ctx
+                    .stats()
+                    .time(Phase::Sizing, || self.size_uncached(vdd, vt_nominal))
             })
     }
 
@@ -256,11 +261,15 @@ impl<'a> Sizer<'a> {
             .iter()
             .map(|v| v * (1.0 - self.vt_tolerance))
             .collect();
-        match crate::tilos::size_greedy_with_vt(
+        match crate::tilos::size_greedy_with_stats(
             self.problem,
             vdd,
             &vt_slow,
-            crate::tilos::TilosOptions::default(),
+            crate::tilos::TilosOptions {
+                incremental: self.ctx.incremental(),
+                ..crate::tilos::TilosOptions::default()
+            },
+            self.ctx.stats().clone(),
         ) {
             Ok(r) => {
                 let energy_design = Design {
@@ -375,6 +384,7 @@ impl<'a> Sizer<'a> {
         // which keeps the iteration stable; stop when widths settle.
         let max_sweeps = self.width_passes.max(2) + 10;
         let mut last_delays = self.budgets.clone();
+        let mut sweep_delays = Vec::new();
         for _sweep in 0..max_sweeps {
             let mut max_rel_change = 0.0f64;
             for &id in netlist.topological_order() {
@@ -396,13 +406,13 @@ impl<'a> Sizer<'a> {
                 let rel = (design.width[i] - before).abs() / before.max(w_lo);
                 max_rel_change = max_rel_change.max(rel);
             }
-            last_delays = model.delays(&design);
+            model.delays_into(&design, &mut sweep_delays);
+            std::mem::swap(&mut last_delays, &mut sweep_delays);
             self.ctx.stats().count_sta(1);
             if max_rel_change < 0.005 {
                 break;
             }
         }
-        let mut delays = last_delays;
 
         // Post-processing (paper §4.2, last paragraph): the
         // fanout-proportional budgets can starve individual gates — most
@@ -410,127 +420,22 @@ impl<'a> Sizer<'a> {
         // the critical path slightly over the cycle time even though
         // overall slack exists. Repair by sensitivity-driven upsizing
         // along the critical path until the cycle time is met (or no move
-        // helps).
-        let tc = self.problem.effective_cycle_time();
-        let mut blocked = vec![false; n];
-        for _ in 0..200 {
-            // Arrival times and the critical sink.
-            let mut arrival = vec![0.0f64; n];
-            let mut crit_gate = None;
-            let mut crit = 0.0f64;
-            for &id in netlist.topological_order() {
-                let i = id.index();
-                let latest = netlist
-                    .gate(id)
-                    .fanin()
-                    .iter()
-                    .map(|f| arrival[f.index()])
-                    .fold(0.0, f64::max);
-                arrival[i] = latest + delays[i];
-                if (netlist.is_output(id) || netlist.fanout(id).is_empty()) && arrival[i] > crit {
-                    crit = arrival[i];
-                    crit_gate = Some(id);
-                }
-            }
-            if crit <= tc {
-                break;
-            }
-            // Walk the critical path and pick the most effective upsize.
-            let mut best: Option<(usize, f64, f64)> = None; // (gate, new_w, gain)
-            let mut cur = match crit_gate {
-                Some(g) => g,
-                None => break,
-            };
-            loop {
-                let i = cur.index();
-                let g = netlist.gate(cur);
-                if !g.fanin().is_empty() && !blocked[i] && design.width[i] < w_hi {
-                    let w_old = design.width[i];
-                    let w_new = (w_old * 1.3).min(w_hi);
-                    let max_fanin = model.max_fanin_delay(&delays, i);
-                    let t_old = delays[i];
-                    design.width[i] = w_new;
-                    let t_new = model.gate_delay(&design, cur, max_fanin);
-                    design.width[i] = w_old;
-                    let gain = t_old - t_new;
-                    if gain > 0.0 && best.is_none_or(|(_, _, b)| gain > b) {
-                        best = Some((i, w_new, gain));
-                    }
-                }
-                match g.fanin().iter().max_by(|a, b| {
-                    arrival[a.index()]
-                        .partial_cmp(&arrival[b.index()])
-                        .expect("arrivals are finite")
-                }) {
-                    Some(&f) => cur = f,
-                    None => break,
-                }
-            }
-            match best {
-                Some((i, w_new, _)) => {
-                    let w_old = design.width[i];
-                    design.width[i] = w_new;
-                    let new_delays = model.delays(&design);
-                    self.ctx.stats().count_sta(1);
-                    // Revert moves that backfire through driver loading.
-                    let new_crit = {
-                        let mut arr = vec![0.0f64; n];
-                        let mut c = 0.0f64;
-                        for &id in netlist.topological_order() {
-                            let k = id.index();
-                            let latest = netlist
-                                .gate(id)
-                                .fanin()
-                                .iter()
-                                .map(|f| arr[f.index()])
-                                .fold(0.0, f64::max);
-                            arr[k] = latest + new_delays[k];
-                            if netlist.is_output(id) || netlist.fanout(id).is_empty() {
-                                c = c.max(arr[k]);
-                            }
-                        }
-                        c
-                    };
-                    if new_crit < crit {
-                        delays = new_delays;
-                    } else {
-                        design.width[i] = w_old;
-                        blocked[i] = true;
-                    }
-                }
-                None => break,
-            }
-        }
-        let delays = delays;
+        // helps). The incremental path maintains persistent arrival /
+        // delay / energy state and touches only the affected cone per
+        // move; both paths are bit-identical (every delta layer stops
+        // propagation on bitwise change only).
+        let sinks = virtual_sinks(netlist);
+        let (mut design, critical, energy) = if self.ctx.incremental() {
+            self.repair_and_eval_incremental(design, last_delays, &sinks, vt_leaky)
+        } else {
+            self.repair_and_eval_full(design, last_delays, &sinks, vt_leaky)
+        };
 
         // Feasibility is the problem's real constraint — every path meets
         // the cycle time — not the per-gate budgets, which are only the
         // heuristic's sizing guides (the paper's post-processing likewise
         // relaxes individual assignments that turn out unrealizable).
-        let mut critical = 0.0f64;
-        let mut arrival = vec![0.0f64; n];
-        for &id in netlist.topological_order() {
-            let i = id.index();
-            let latest = netlist
-                .gate(id)
-                .fanin()
-                .iter()
-                .map(|f| arrival[f.index()])
-                .fold(0.0, f64::max);
-            arrival[i] = latest + delays[i];
-            if netlist.is_output(id) || netlist.fanout(id).is_empty() {
-                critical = critical.max(arrival[i]);
-            }
-        }
         let feasible = critical <= self.problem.effective_cycle_time() * (1.0 + 1e-9);
-
-        // Energy at the leaky corner (equals nominal when tolerance = 0).
-        let energy_design = Design {
-            vdd,
-            vt: vt_leaky,
-            width: design.width.clone(),
-        };
-        let energy = model.total_energy(&energy_design, self.problem.fc());
 
         // Report the nominal-threshold design.
         design.vt = vt_nominal.to_vec();
@@ -541,6 +446,179 @@ impl<'a> Sizer<'a> {
             feasible,
         }
     }
+
+    /// The repair loop + final evaluation on dense recomputation: a full
+    /// delay pass and a full arrival pass per probed move. Reference
+    /// semantics for [`Self::repair_and_eval_incremental`].
+    fn repair_and_eval_full(
+        &self,
+        mut design: Design,
+        mut delays: Vec<f64>,
+        sinks: &[u32],
+        vt_leaky: Vec<f64>,
+    ) -> (Design, f64, EnergyBreakdown) {
+        let model = self.problem.model();
+        let netlist = model.netlist();
+        let n = netlist.gate_count();
+        let w_hi = model.technology().w_range.1;
+        let tc = self.problem.effective_cycle_time();
+        let mut blocked = vec![false; n];
+        let mut arrival = Vec::new();
+        let mut trial_delays = Vec::new();
+        let mut trial_arrival = Vec::new();
+        for _ in 0..200 {
+            arrivals_into(netlist, &delays, &mut arrival);
+            let (crit, crit_gate) = sink_critical(sinks, &arrival);
+            if crit <= tc {
+                break;
+            }
+            let Some(cg) = crit_gate else { break };
+            let best = best_upsize_move(
+                model,
+                netlist,
+                &mut design,
+                &delays,
+                &arrival,
+                &blocked,
+                cg,
+                w_hi,
+            );
+            match best {
+                Some((i, w_new, _)) => {
+                    let w_old = design.width[i];
+                    design.width[i] = w_new;
+                    model.delays_into(&design, &mut trial_delays);
+                    self.ctx.stats().count_sta(1);
+                    // Revert moves that backfire through driver loading.
+                    arrivals_into(netlist, &trial_delays, &mut trial_arrival);
+                    let new_crit = sink_critical(sinks, &trial_arrival).0;
+                    if new_crit < crit {
+                        std::mem::swap(&mut delays, &mut trial_delays);
+                    } else {
+                        design.width[i] = w_old;
+                        blocked[i] = true;
+                    }
+                }
+                None => break,
+            }
+        }
+        arrivals_into(netlist, &delays, &mut arrival);
+        let critical = sink_critical(sinks, &arrival).0;
+
+        // Energy at the leaky corner (equals nominal when tolerance = 0).
+        let energy_design = Design {
+            vdd: design.vdd,
+            vt: vt_leaky,
+            width: design.width.clone(),
+        };
+        let energy = model.total_energy(&energy_design, self.problem.fc());
+        (design, critical, energy)
+    }
+
+    /// The repair loop + final evaluation on the incremental layers:
+    /// per-move cost is O(cone) — journaled delay repair, dirty-worklist
+    /// arrival propagation, delta-maintained leaky-corner energy terms —
+    /// with rejected moves reverted from the journals instead of
+    /// recomputed. Bit-identical to [`Self::repair_and_eval_full`].
+    fn repair_and_eval_incremental(
+        &self,
+        design: Design,
+        delays: Vec<f64>,
+        sinks: &[u32],
+        vt_leaky: Vec<f64>,
+    ) -> (Design, f64, EnergyBreakdown) {
+        let model = self.problem.model();
+        let netlist = model.netlist();
+        let n = netlist.gate_count();
+        let w_hi = model.technology().w_range.1;
+        let tc = self.problem.effective_cycle_time();
+        let fc = self.problem.fc();
+        let mut energy_design = Design {
+            vdd: design.vdd,
+            vt: vt_leaky,
+            width: design.width.clone(),
+        };
+        let mut eval = IncrementalEval::new(model, design, delays, tc, self.ctx.stats().clone());
+        let mut ledger = model.energy_ledger(&energy_design, fc);
+        let mut blocked = vec![false; n];
+        for _ in 0..200 {
+            let (crit, crit_gate) = sink_critical(sinks, eval.arrivals());
+            if crit <= tc {
+                break;
+            }
+            let Some(cg) = crit_gate else { break };
+            let best = {
+                let (design, delays, arrival) = eval.split();
+                best_upsize_move(model, netlist, design, delays, arrival, &blocked, cg, w_hi)
+            };
+            match best {
+                Some((i, w_new, _)) => {
+                    eval.try_width(i, w_new);
+                    let new_crit = sink_critical(sinks, eval.arrivals()).0;
+                    if new_crit < crit {
+                        eval.accept();
+                        energy_design.width[i] = eval.design().width[i];
+                        ledger.on_width_change(model, &energy_design, GateId::new(i));
+                    } else {
+                        eval.revert();
+                        blocked[i] = true;
+                    }
+                }
+                None => break,
+            }
+        }
+        let critical = sink_critical(sinks, eval.arrivals()).0;
+        // Ordered re-sum of the per-gate terms: bitwise what
+        // `total_energy` computes over the same design.
+        let energy = ledger.exact_total();
+        (eval.into_design(), critical, energy)
+    }
+}
+
+/// Walks the critical path from `crit_gate` toward the primary inputs and
+/// returns the most effective upsize `(gate, new_width, gain)`: the
+/// largest single-gate delay reduction from a 1.3× width step, probing
+/// each candidate in place. Shared verbatim by the full and incremental
+/// repair loops so both make identical decisions from identical values.
+#[allow(clippy::too_many_arguments)]
+fn best_upsize_move(
+    model: &CircuitModel,
+    netlist: &Netlist,
+    design: &mut Design,
+    delays: &[f64],
+    arrival: &[f64],
+    blocked: &[bool],
+    crit_gate: GateId,
+    w_hi: f64,
+) -> Option<(usize, f64, f64)> {
+    let mut best: Option<(usize, f64, f64)> = None; // (gate, new_w, gain)
+    let mut cur = crit_gate;
+    loop {
+        let i = cur.index();
+        let g = netlist.gate(cur);
+        if !g.fanin().is_empty() && !blocked[i] && design.width[i] < w_hi {
+            let w_old = design.width[i];
+            let w_new = (w_old * 1.3).min(w_hi);
+            let max_fanin = model.max_fanin_delay(delays, i);
+            let t_old = delays[i];
+            design.width[i] = w_new;
+            let t_new = model.gate_delay(design, cur, max_fanin);
+            design.width[i] = w_old;
+            let gain = t_old - t_new;
+            if gain > 0.0 && best.is_none_or(|(_, _, b)| gain > b) {
+                best = Some((i, w_new, gain));
+            }
+        }
+        match g.fanin().iter().max_by(|a, b| {
+            arrival[a.index()]
+                .partial_cmp(&arrival[b.index()])
+                .expect("arrivals are finite")
+        }) {
+            Some(&f) => cur = f,
+            None => break,
+        }
+    }
+    best
 }
 
 /// Sizes every gate's width at a **fixed** operating point `(vdd, vt)`,
@@ -563,11 +641,29 @@ pub fn size_at(
     vt: f64,
     options: &SearchOptions,
 ) -> Result<OptimizationResult, OptimizeError> {
+    size_at_with(EvalContext::global(), problem, vdd, vt, options)
+}
+
+/// [`size_at`] on an explicit [`EvalContext`] — how benches and tests pin
+/// the thread count, the cache, or the incremental/full evaluation path
+/// without touching the process-wide context.
+///
+/// # Errors
+///
+/// Same failure modes as [`size_at`].
+pub fn size_at_with(
+    ctx: Arc<EvalContext>,
+    problem: &Problem,
+    vdd: f64,
+    vt: f64,
+    options: &SearchOptions,
+) -> Result<OptimizationResult, OptimizeError> {
     options.validate()?;
     if problem.model().netlist().logic_gate_count() == 0 {
         return Err(OptimizeError::EmptyNetwork);
     }
-    let sizer = Sizer::new(
+    let sizer = Sizer::with_context(
+        ctx,
         problem,
         options.steps,
         options.width_passes,
@@ -576,8 +672,7 @@ pub fn size_at(
         options.sizing,
     );
     let n = problem.model().netlist().gate_count();
-    let stats = EvalContext::global().stats().clone();
-    let sized = stats.time(Phase::Sizing, || sizer.size(vdd, &vec![vt; n]));
+    let sized = sizer.size(vdd, &vec![vt; n]);
     Ok(OptimizationResult {
         design: sized.design,
         energy: sized.energy,

@@ -4,7 +4,7 @@
 //! The paper's width assignment flows *down* from delay budgets: every
 //! gate is given a time allowance and sized to the minimum width meeting
 //! it. The classical literature (Fishburn & Dunlop's TILOS; the convex
-//! formulation of the paper's ref [10]) instead flows *up* from minimum
+//! formulation of the paper's ref \[10\]) instead flows *up* from minimum
 //! widths: start everything at `w = 1` and repeatedly upsize the
 //! critical-path gate with the best delay-reduction-per-energy-cost
 //! sensitivity until the cycle time is met.
@@ -13,10 +13,15 @@
 //! much the paper's budgeting idea actually contributes (an ablation the
 //! experiments report).
 
-use minpower_models::Design;
-use minpower_netlist::GateId;
+use std::sync::Arc;
+
+use minpower_engine::EngineStats;
+use minpower_models::{CircuitModel, Design};
+use minpower_netlist::{GateId, Netlist};
+use minpower_timing::incremental::{sink_critical, virtual_sinks};
 
 use crate::error::OptimizeError;
+use crate::incremental::{arrivals_into, IncrementalEval};
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
 
@@ -28,6 +33,12 @@ pub struct TilosOptions {
     pub step: f64,
     /// Hard cap on accepted moves (safety bound).
     pub max_moves: usize,
+    /// Route the move loop through the incremental evaluation layer
+    /// (journaled cone delay repair, persistent arrival state — O(cone)
+    /// per move) instead of a dense delay + arrival recompute per move.
+    /// Bit-identical results either way; `false` is the
+    /// `--no-incremental` escape hatch.
+    pub incremental: bool,
 }
 
 impl Default for TilosOptions {
@@ -35,6 +46,7 @@ impl Default for TilosOptions {
         TilosOptions {
             step: 1.15,
             max_moves: 20_000,
+            incremental: true,
         }
     }
 }
@@ -74,6 +86,21 @@ pub fn size_greedy_with_vt(
     vt: &[f64],
     options: TilosOptions,
 ) -> Result<OptimizationResult, OptimizeError> {
+    let stats = crate::context::EvalContext::global().stats().clone();
+    size_greedy_with_stats(problem, vdd, vt, options, stats)
+}
+
+/// [`size_greedy_with_vt`] counting into an explicit [`EngineStats`] — the
+/// entry point the joint optimizer's greedy sizing mode routes through so
+/// telemetry (and the incremental/full choice) follows the caller's
+/// [`crate::context::EvalContext`] rather than the process-wide one.
+pub(crate) fn size_greedy_with_stats(
+    problem: &Problem,
+    vdd: f64,
+    vt: &[f64],
+    options: TilosOptions,
+    stats: Arc<EngineStats>,
+) -> Result<OptimizationResult, OptimizeError> {
     if options.step <= 1.0 {
         return Err(OptimizeError::BadOption {
             option: "step",
@@ -86,46 +113,101 @@ pub fn size_greedy_with_vt(
         return Err(OptimizeError::EmptyNetwork);
     }
     let tech = model.technology();
-    let (w_lo, w_hi) = tech.w_range;
-    let tc = problem.effective_cycle_time();
+    let (w_lo, _) = tech.w_range;
     let n = netlist.gate_count();
     assert_eq!(vt.len(), n, "one threshold per gate required");
 
-    let mut design = Design {
+    let design = Design {
         vdd,
         vt: vt.to_vec(),
         width: vec![w_lo; n],
     };
-    let stats = crate::context::EvalContext::global().stats().clone();
     stats.count_eval();
     stats.count_sta(1);
-    let mut delays = model.delays(&design);
-    let mut evaluations = 1usize;
+    let delays = model.delays(&design);
 
-    let arrivals = |delays: &[f64]| -> (Vec<f64>, f64, Option<GateId>) {
-        let mut arr = vec![0.0f64; n];
-        let mut crit = 0.0;
-        let mut crit_gate = None;
-        for &id in netlist.topological_order() {
-            let i = id.index();
-            let latest = netlist
-                .gate(id)
-                .fanin()
-                .iter()
-                .map(|f| arr[f.index()])
-                .fold(0.0, f64::max);
-            arr[i] = latest + delays[i];
-            if (netlist.is_output(id) || netlist.fanout(id).is_empty()) && arr[i] > crit {
-                crit = arr[i];
-                crit_gate = Some(id);
+    if options.incremental {
+        greedy_incremental(problem, design, delays, &options, stats)
+    } else {
+        greedy_full(problem, design, delays, &options, stats)
+    }
+}
+
+/// Walks the critical path from `crit_gate` toward the primary inputs and
+/// returns the move with the best Δdelay / Δenergy sensitivity
+/// `(gate, score)`, probing each candidate in place. Shared verbatim by
+/// the full and incremental move loops so both make identical decisions
+/// from identical values.
+#[allow(clippy::too_many_arguments)]
+fn best_sensitivity_move(
+    model: &CircuitModel,
+    netlist: &Netlist,
+    design: &mut Design,
+    delays: &[f64],
+    arr: &[f64],
+    crit_gate: GateId,
+    w_hi: f64,
+    step: f64,
+    fc: f64,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None; // (gate, score)
+    let mut cur = crit_gate;
+    loop {
+        let i = cur.index();
+        let gate = netlist.gate(cur);
+        if !gate.fanin().is_empty() && design.width[i] < w_hi {
+            let w_old = design.width[i];
+            let w_new = (w_old * step).min(w_hi);
+            let max_fanin = model.max_fanin_delay(delays, i);
+            let t_old = delays[i];
+            let e_old =
+                model.gate_dynamic_energy(design, cur) + model.gate_static_energy(design, cur, fc);
+            design.width[i] = w_new;
+            let t_new = model.gate_delay(design, cur, max_fanin);
+            let e_new =
+                model.gate_dynamic_energy(design, cur) + model.gate_static_energy(design, cur, fc);
+            design.width[i] = w_old;
+            let gain = t_old - t_new;
+            let cost = (e_new - e_old).max(1e-30);
+            if gain > 0.0 {
+                let score = gain / cost;
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((i, score));
+                }
             }
         }
-        (arr, crit, crit_gate)
-    };
+        match gate.fanin().iter().max_by(|a, b| {
+            arr[a.index()]
+                .partial_cmp(&arr[b.index()])
+                .expect("arrivals are finite")
+        }) {
+            Some(&f) => cur = f,
+            None => break,
+        }
+    }
+    best
+}
 
+/// The move loop on dense recomputation: a full arrival pass per move.
+/// Reference semantics for [`greedy_incremental`].
+fn greedy_full(
+    problem: &Problem,
+    mut design: Design,
+    mut delays: Vec<f64>,
+    options: &TilosOptions,
+    stats: Arc<EngineStats>,
+) -> Result<OptimizationResult, OptimizeError> {
+    let model = problem.model();
+    let netlist = model.netlist();
+    let w_hi = model.technology().w_range.1;
+    let tc = problem.effective_cycle_time();
+    let sinks = virtual_sinks(netlist);
+    let mut arrival = Vec::new();
+    let mut evaluations = 1usize;
     let mut best_crit = f64::INFINITY;
     for _move in 0..options.max_moves {
-        let (arr, crit, crit_gate) = arrivals(&delays);
+        arrivals_into(netlist, &delays, &mut arrival);
+        let (crit, crit_gate) = sink_critical(&sinks, &arrival);
         best_crit = best_crit.min(crit);
         if crit <= tc {
             let energy = model.total_energy(&design, problem.fc());
@@ -140,51 +222,95 @@ pub fn size_greedy_with_vt(
         }
         // Walk the critical path; pick the move with the best
         // Δdelay / Δenergy sensitivity.
-        let mut cur = match crit_gate {
-            Some(g) => g,
-            None => break,
-        };
-        let mut best: Option<(usize, f64)> = None; // (gate, score)
-        loop {
-            let i = cur.index();
-            let gate = netlist.gate(cur);
-            if !gate.fanin().is_empty() && design.width[i] < w_hi {
-                let w_old = design.width[i];
-                let w_new = (w_old * options.step).min(w_hi);
-                let max_fanin = model.max_fanin_delay(&delays, i);
-                let t_old = delays[i];
-                let e_old = model.gate_dynamic_energy(&design, cur)
-                    + model.gate_static_energy(&design, cur, problem.fc());
-                design.width[i] = w_new;
-                let t_new = model.gate_delay(&design, cur, max_fanin);
-                let e_new = model.gate_dynamic_energy(&design, cur)
-                    + model.gate_static_energy(&design, cur, problem.fc());
-                design.width[i] = w_old;
-                let gain = t_old - t_new;
-                let cost = (e_new - e_old).max(1e-30);
-                if gain > 0.0 {
-                    let score = gain / cost;
-                    if best.is_none_or(|(_, s)| score > s) {
-                        best = Some((i, score));
-                    }
-                }
-            }
-            match gate.fanin().iter().max_by(|a, b| {
-                arr[a.index()]
-                    .partial_cmp(&arr[b.index()])
-                    .expect("arrivals are finite")
-            }) {
-                Some(&f) => cur = f,
-                None => break,
-            }
-        }
+        let Some(cg) = crit_gate else { break };
+        let best = best_sensitivity_move(
+            model,
+            netlist,
+            &mut design,
+            &delays,
+            &arrival,
+            cg,
+            w_hi,
+            options.step,
+            problem.fc(),
+        );
         match best {
             Some((i, _)) => {
                 design.width[i] = (design.width[i] * options.step).min(w_hi);
-                // Incremental repair of the affected cone only — the move
-                // loop's cost is O(cone), not O(E).
-                model.update_delays_after_width_change(&design, &mut delays, GateId::new(i));
+                // Dense recompute, the `--no-incremental` contract: every
+                // gate delay re-evaluated from the device model. Lands on
+                // the same fixed point the incremental journal repairs to.
+                model.delays_into(&design, &mut delays);
                 stats.count_sta(1);
+                evaluations += 1;
+            }
+            None => break, // every critical gate saturated
+        }
+    }
+    Err(OptimizeError::Infeasible {
+        cycle_time: tc,
+        best_delay: best_crit,
+    })
+}
+
+/// The move loop on the incremental layers: persistent arrival state
+/// updated over the dirty cone per move, energy terms delta-maintained in
+/// a ledger and re-summed in index order at the end. Bit-identical to
+/// [`greedy_full`] (TILOS never rejects a move, so no reverts occur).
+fn greedy_incremental(
+    problem: &Problem,
+    design: Design,
+    delays: Vec<f64>,
+    options: &TilosOptions,
+    stats: Arc<EngineStats>,
+) -> Result<OptimizationResult, OptimizeError> {
+    let model = problem.model();
+    let netlist = model.netlist();
+    let w_hi = model.technology().w_range.1;
+    let tc = problem.effective_cycle_time();
+    let fc = problem.fc();
+    let sinks = virtual_sinks(netlist);
+    let mut eval = IncrementalEval::new(model, design, delays, tc, stats);
+    let mut ledger = model.energy_ledger(eval.design(), fc);
+    let mut evaluations = 1usize;
+    let mut best_crit = f64::INFINITY;
+    for _move in 0..options.max_moves {
+        let (crit, crit_gate) = sink_critical(&sinks, eval.arrivals());
+        best_crit = best_crit.min(crit);
+        if crit <= tc {
+            // Ordered re-sum of the delta-maintained per-gate terms:
+            // bitwise what `total_energy` computes over the same design.
+            let energy = ledger.exact_total();
+            return Ok(OptimizationResult {
+                energy,
+                critical_delay: crit,
+                feasible: true,
+                evaluations,
+                budgets: crate::budget::assign_max_delays(netlist, tc),
+                design: eval.into_design(),
+            });
+        }
+        let Some(cg) = crit_gate else { break };
+        let best = {
+            let (design, delays, arr) = eval.split();
+            best_sensitivity_move(
+                model,
+                netlist,
+                design,
+                delays,
+                arr,
+                cg,
+                w_hi,
+                options.step,
+                fc,
+            )
+        };
+        match best {
+            Some((i, _)) => {
+                let w_new = (eval.design().width[i] * options.step).min(w_hi);
+                eval.try_width(i, w_new);
+                eval.accept();
+                ledger.on_width_change(model, eval.design(), GateId::new(i));
                 evaluations += 1;
             }
             None => break, // every critical gate saturated

@@ -104,16 +104,29 @@ pub fn timing_yield_with(
     // depend on how trials land on workers.
     let trials = stats.time(Phase::MonteCarlo, || {
         par_map_indices(ctx.threads(), samples, |t| {
+            // Per-worker scratch: trial loops are the hottest full-pass
+            // caller, so reuse the delay/arrival buffers across trials
+            // instead of allocating fresh vectors per evaluation.
+            thread_local! {
+                static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+                    const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+            }
             let mut rng = SplitMix64::stream(seed, t as u64);
             let mut sample = design.clone();
             for (i, &vt) in design.vt.iter().enumerate() {
                 let z = rng.normal();
                 sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
             }
-            let eval = model.evaluate(&sample, problem.fc());
+            // `timing_into` + `total_energy` produce bitwise the
+            // `critical_delay` / `energy` of `CircuitModel::evaluate`.
+            let critical_delay = SCRATCH.with(|s| {
+                let (delays, arrival) = &mut *s.borrow_mut();
+                model.timing_into(&sample, delays, arrival)
+            });
+            let energy = model.total_energy(&sample, problem.fc());
             stats.count_eval();
             stats.count_sta(1);
-            (eval.critical_delay, eval.energy.total())
+            (critical_delay, energy.total())
         })
     });
     // Reduce in trial order: bitwise-identical for every thread count.

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use minpower_core::context::DEFAULT_CACHE_CAPACITY;
-use minpower_core::{yield_mc, EvalContext, Optimizer, Problem, SearchOptions};
+use minpower_core::{yield_mc, EvalContext, Optimizer, Problem, SearchOptions, SizingMethod};
 use minpower_device::Technology;
 use minpower_models::CircuitModel;
 use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
@@ -116,6 +116,76 @@ fn engine_choices_commute_with_search_options() {
         .run()
         .unwrap();
     assert_eq!(cached, plain);
+}
+
+#[test]
+fn incremental_and_full_paths_produce_identical_results() {
+    // The incremental evaluation layer (journaled delay repair,
+    // dirty-worklist arrival propagation, delta-maintained energy terms)
+    // must be bit-identical to dense recomputation: same energy, same
+    // widths, same critical delay — for both sizing engines, any thread
+    // count, cache on or off.
+    let p = problem();
+    for sizing in [SizingMethod::Budgeted, SizingMethod::Greedy] {
+        let opts = SearchOptions {
+            sizing,
+            ..SearchOptions::default()
+        };
+        let reference = Optimizer::new(&p)
+            .with_options(opts.clone())
+            .with_engine(Arc::new(EvalContext::new(1, 0).with_incremental(false)))
+            .run()
+            .unwrap();
+        for threads in [1, 4] {
+            for capacity in [0, DEFAULT_CACHE_CAPACITY] {
+                let ctx = Arc::new(EvalContext::new(threads, capacity).with_incremental(true));
+                let incremental = Optimizer::new(&p)
+                    .with_options(opts.clone())
+                    .with_engine(ctx.clone())
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    reference, incremental,
+                    "sizing {sizing:?}, threads {threads}, cache {capacity}"
+                );
+                // The fast path must actually have run incrementally.
+                assert!(
+                    ctx.snapshot().incremental_commits > 0,
+                    "sizing {sizing:?}: no incremental commits recorded"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn size_at_incremental_matches_full_at_fixed_operating_points() {
+    let p = problem();
+    for sizing in [SizingMethod::Budgeted, SizingMethod::Greedy] {
+        let opts = SearchOptions {
+            sizing,
+            ..SearchOptions::default()
+        };
+        for (vdd, vt) in [(2.5, 0.45), (1.8, 0.35), (3.3, 0.6)] {
+            let full = minpower_core::search::size_at_with(
+                Arc::new(EvalContext::new(1, 0).with_incremental(false)),
+                &p,
+                vdd,
+                vt,
+                &opts,
+            )
+            .unwrap();
+            let inc = minpower_core::search::size_at_with(
+                Arc::new(EvalContext::new(1, 0).with_incremental(true)),
+                &p,
+                vdd,
+                vt,
+                &opts,
+            )
+            .unwrap();
+            assert_eq!(full, inc, "sizing {sizing:?} at ({vdd}, {vt})");
+        }
+    }
 }
 
 #[test]

@@ -46,6 +46,16 @@ pub struct EngineStats {
     pub cache_hits: AtomicU64,
     /// Evaluation-cache misses.
     pub cache_misses: AtomicU64,
+    /// Incremental-STA commits (batched delay edits applied to a
+    /// persistent analysis instead of a full pass).
+    pub incremental_commits: AtomicU64,
+    /// Total gate recomputations across all incremental commits — the
+    /// dirty-cone work; divide by `incremental_commits` for the average
+    /// cone size.
+    pub incremental_gates: AtomicU64,
+    /// Incremental commits that fell back to a dense full pass because
+    /// the dirty set grew past the fallback fraction.
+    pub sta_fallbacks: AtomicU64,
     phase_nanos: [AtomicU64; 4],
 }
 
@@ -75,6 +85,17 @@ impl EngineStats {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one incremental-STA commit that touched `gates` gates.
+    pub fn count_incremental(&self, gates: u64) {
+        self.incremental_commits.fetch_add(1, Ordering::Relaxed);
+        self.incremental_gates.fetch_add(gates, Ordering::Relaxed);
+    }
+
+    /// Counts one incremental commit that fell back to a dense pass.
+    pub fn count_fallback(&self) {
+        self.sta_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Runs `f`, attributing its wall time to `phase`.
     pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
@@ -96,6 +117,9 @@ impl EngineStats {
             sta_calls: self.sta_calls.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            incremental_commits: self.incremental_commits.load(Ordering::Relaxed),
+            incremental_gates: self.incremental_gates.load(Ordering::Relaxed),
+            sta_fallbacks: self.sta_fallbacks.load(Ordering::Relaxed),
             phase_nanos: [
                 self.phase_nanos[0].load(Ordering::Relaxed),
                 self.phase_nanos[1].load(Ordering::Relaxed),
@@ -117,6 +141,12 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Evaluation-cache misses.
     pub cache_misses: u64,
+    /// Incremental-STA commits.
+    pub incremental_commits: u64,
+    /// Total gate recomputations across all incremental commits.
+    pub incremental_gates: u64,
+    /// Incremental commits that fell back to a dense full pass.
+    pub sta_fallbacks: u64,
     /// Wall time per phase, in the order of `Phase`'s variants.
     pub phase_nanos: [u64; 4],
 }
@@ -137,6 +167,25 @@ impl StatsSnapshot {
         self.phase_nanos[phase_index(phase)] as f64 * 1e-9
     }
 
+    /// Mean dirty-cone size per incremental commit, or 0 with no commits.
+    pub fn gates_per_commit(&self) -> f64 {
+        if self.incremental_commits == 0 {
+            0.0
+        } else {
+            self.incremental_gates as f64 / self.incremental_commits as f64
+        }
+    }
+
+    /// Fraction of incremental commits that fell back to a dense pass, in
+    /// `[0, 1]`, or 0 with no commits.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.incremental_commits == 0 {
+            0.0
+        } else {
+            self.sta_fallbacks as f64 / self.incremental_commits as f64
+        }
+    }
+
     /// Multi-line human-readable report for CLI / experiments output.
     pub fn render(&self) -> String {
         let mut out = String::from("engine stats\n");
@@ -150,6 +199,15 @@ impl StatsSnapshot {
             self.cache_misses,
             100.0 * self.hit_rate()
         ));
+        if self.incremental_commits > 0 {
+            out.push_str(&format!(
+                "  incremental STA     : {} commits, {:.1} gates/commit, {} fallbacks ({:.1}% fallback rate)\n",
+                self.incremental_commits,
+                self.gates_per_commit(),
+                self.sta_fallbacks,
+                100.0 * self.fallback_rate()
+            ));
+        }
         for (phase, name) in PHASES {
             let secs = self.phase_seconds(phase);
             if secs > 0.0 {
@@ -216,5 +274,23 @@ mod tests {
     #[test]
     fn zero_lookup_hit_rate_is_zero() {
         assert_eq!(StatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn incremental_counters_render_only_when_used() {
+        let stats = EngineStats::new();
+        assert!(!stats.snapshot().render().contains("incremental STA"));
+        stats.count_incremental(7);
+        stats.count_incremental(3);
+        stats.count_fallback();
+        let snap = stats.snapshot();
+        assert_eq!(snap.incremental_commits, 2);
+        assert_eq!(snap.incremental_gates, 10);
+        assert_eq!(snap.sta_fallbacks, 1);
+        assert!((snap.gates_per_commit() - 5.0).abs() < 1e-12);
+        assert!((snap.fallback_rate() - 0.5).abs() < 1e-12);
+        let text = snap.render();
+        assert!(text.contains("incremental STA     : 2 commits, 5.0 gates/commit, 1 fallbacks"));
+        assert!(text.contains("50.0% fallback rate"));
     }
 }

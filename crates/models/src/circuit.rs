@@ -282,13 +282,52 @@ impl CircuitModel {
     /// each gate sees its drivers' final delays. Indexed by
     /// [`GateId::index`]; primary inputs have zero delay.
     pub fn delays(&self, design: &Design) -> Vec<f64> {
-        let mut delays = vec![0.0; self.info.len()];
+        let mut delays = Vec::new();
+        self.delays_into(design, &mut delays);
+        delays
+    }
+
+    /// [`CircuitModel::delays`] into a caller-owned buffer — the
+    /// allocation-free variant for callers that recompute in a loop.
+    /// Produces exactly the vector [`CircuitModel::delays`] would.
+    pub fn delays_into(&self, design: &Design, delays: &mut Vec<f64>) {
+        delays.clear();
+        delays.resize(self.info.len(), 0.0);
         for &i in &self.topo {
             let id = GateId::new(i as usize);
-            let max_fanin = self.max_fanin_delay(&delays, i as usize);
+            let max_fanin = self.max_fanin_delay(delays, i as usize);
             delays[i as usize] = self.gate_delay(design, id, max_fanin);
         }
-        delays
+    }
+
+    /// Delay and arrival analysis into caller-owned buffers, returning the
+    /// critical delay (latest primary-output arrival). Produces exactly
+    /// the `gates[..].delay` / `arrival` / `critical_delay` values of
+    /// [`CircuitModel::evaluate`] without its per-call allocations — the
+    /// Monte-Carlo trial loop's workhorse.
+    pub fn timing_into(
+        &self,
+        design: &Design,
+        delays: &mut Vec<f64>,
+        arrival: &mut Vec<f64>,
+    ) -> f64 {
+        self.delays_into(design, delays);
+        arrival.clear();
+        arrival.resize(self.info.len(), 0.0);
+        for &i in &self.topo {
+            let idx = i as usize;
+            let latest = self.info[idx]
+                .fanin
+                .iter()
+                .map(|&f| arrival[f as usize])
+                .fold(0.0, f64::max);
+            arrival[idx] = latest + delays[idx];
+        }
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| arrival[o.index()])
+            .fold(0.0, f64::max)
     }
 
     /// The largest delay among the drivers of gate `index`.
@@ -317,6 +356,25 @@ impl CircuitModel {
         design: &Design,
         delays: &mut [f64],
         changed: GateId,
+    ) {
+        self.update_delays_after_width_change_with(design, delays, changed, |_, _| {});
+    }
+
+    /// [`CircuitModel::update_delays_after_width_change`] with a journal
+    /// hook: `on_change(index, previous_delay)` fires for every gate whose
+    /// delay actually moved, *before* the overwrite — exactly what a
+    /// transactional caller needs to revert the repair without
+    /// recomputation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len()` differs from the gate count.
+    pub fn update_delays_after_width_change_with(
+        &self,
+        design: &Design,
+        delays: &mut [f64],
+        changed: GateId,
+        mut on_change: impl FnMut(usize, f64),
     ) {
         assert_eq!(delays.len(), self.info.len());
         // Seed: the changed gate and its drivers (whose load changed).
@@ -347,7 +405,11 @@ impl CircuitModel {
             }
             let max_fanin = self.max_fanin_delay(delays, i);
             let new = self.gate_delay(design, id, max_fanin);
-            if (new - delays[i]).abs() > 1e-18 * delays[i].abs().max(1e-30) {
+            // Bitwise comparison, not an epsilon: propagation must stop
+            // only when the value is *exactly* the full-recompute fixed
+            // point, or repeated repairs could drift from a dense pass.
+            if new.to_bits() != delays[i].to_bits() {
+                on_change(i, delays[i]);
                 delays[i] = new;
                 for edge in &self.info[i].fanout {
                     if let Some(t) = edge.target {
@@ -401,6 +463,27 @@ impl CircuitModel {
         total
     }
 
+    /// Builds an [`EnergyLedger`] over `design`: per-gate energy terms
+    /// plus a delta-maintained total, for sizing loops that change one
+    /// width at a time.
+    pub fn energy_ledger(&self, design: &Design, fc: f64) -> EnergyLedger {
+        let terms: Vec<EnergyBreakdown> = (0..self.info.len())
+            .map(|i| {
+                let id = GateId::new(i);
+                EnergyBreakdown::new(
+                    self.gate_static_energy(design, id, fc),
+                    self.gate_dynamic_energy(design, id),
+                )
+            })
+            .collect();
+        let mut running = EnergyBreakdown::default();
+        for t in &terms {
+            running.static_ += t.static_;
+            running.dynamic += t.dynamic;
+        }
+        EnergyLedger { terms, running, fc }
+    }
+
     /// Full evaluation: delays, arrivals, critical path, per-gate and
     /// total energy.
     pub fn evaluate(&self, design: &Design, fc: f64) -> CircuitEval {
@@ -438,6 +521,83 @@ impl CircuitModel {
             critical_delay,
             energy,
         }
+    }
+}
+
+/// Per-gate [`EnergyBreakdown`] terms with a delta-maintained sum.
+///
+/// A width change at gate `g` perturbs only `g`'s own terms (its static
+/// leakage and the self-load part of its dynamic energy) and the dynamic
+/// terms of `g`'s *fanins*, whose output load moved — an `O(cone)` update
+/// instead of the `O(E)` full [`CircuitModel::total_energy`] pass.
+///
+/// Floating-point addition is not associative, so the running delta total
+/// is *close to* but not bitwise-equal to a dense re-sum. Callers that
+/// must report a total bit-identical to [`CircuitModel::total_energy`]
+/// (the determinism contract of the sizing paths) use
+/// [`exact_total`](EnergyLedger::exact_total): an index-order re-sum of
+/// the per-gate terms, each of which *is* bitwise-equal to its dense
+/// counterpart, at `O(N)` without any `O(fanout)` energy recomputation.
+#[derive(Debug, Clone)]
+pub struct EnergyLedger {
+    terms: Vec<EnergyBreakdown>,
+    running: EnergyBreakdown,
+    fc: f64,
+}
+
+impl EnergyLedger {
+    /// Refreshes the terms of `changed` and its fanins after
+    /// `design.width[changed]` was modified, returning how many gate
+    /// terms were touched. `model` and `design` must be the ones the
+    /// ledger was built over (with only accepted width edits applied).
+    pub fn on_width_change(
+        &mut self,
+        model: &CircuitModel,
+        design: &Design,
+        changed: GateId,
+    ) -> usize {
+        self.refresh(model, design, changed.index());
+        let mut touched = 1;
+        for &f in &model.info[changed.index()].fanin {
+            self.refresh(model, design, f as usize);
+            touched += 1;
+        }
+        touched
+    }
+
+    fn refresh(&mut self, model: &CircuitModel, design: &Design, i: usize) {
+        let id = GateId::new(i);
+        let new = EnergyBreakdown::new(
+            model.gate_static_energy(design, id, self.fc),
+            model.gate_dynamic_energy(design, id),
+        );
+        let old = self.terms[i];
+        self.running.static_ += new.static_ - old.static_;
+        self.running.dynamic += new.dynamic - old.dynamic;
+        self.terms[i] = new;
+    }
+
+    /// The delta-maintained total — cheap, but carries the usual
+    /// floating-point drift of an incremental sum. Good for move scoring,
+    /// not for reported results.
+    pub fn running_total(&self) -> EnergyBreakdown {
+        self.running
+    }
+
+    /// Index-order re-sum of the per-gate terms: bitwise-identical to
+    /// [`CircuitModel::total_energy`] over the same design.
+    pub fn exact_total(&self) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for t in &self.terms {
+            total.static_ += t.static_;
+            total.dynamic += t.dynamic;
+        }
+        total
+    }
+
+    /// The current energy term of gate `id`.
+    pub fn term(&self, id: GateId) -> EnergyBreakdown {
+        self.terms[id.index()]
     }
 }
 
@@ -596,7 +756,9 @@ mod tests {
         let m = model(&n);
         let mut d = Design::uniform(&n, 1.5, 0.3, 4.0);
         let mut delays = m.delays(&d);
-        // A sequence of width edits, each repaired incrementally.
+        // A sequence of width edits, each repaired incrementally. Bitwise
+        // propagation makes the repair land exactly on the full-recompute
+        // fixed point, not merely within a tolerance.
         for (name, w) in [("u", 12.0), ("w", 2.0), ("y", 30.0), ("u", 5.0)] {
             let id = n.find(name).unwrap();
             d.width[id.index()] = w;
@@ -604,12 +766,101 @@ mod tests {
             let full = m.delays(&d);
             for i in 0..n.gate_count() {
                 assert!(
-                    (delays[i] - full[i]).abs() <= 1e-15 * full[i].max(1e-30),
+                    delays[i].to_bits() == full[i].to_bits(),
                     "after {name}={w}: gate {i} incremental {} vs full {}",
                     delays[i],
                     full[i]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn journaled_update_reverts_bit_exactly() {
+        let n = chain(6);
+        let m = model(&n);
+        let mut d = Design::uniform(&n, 1.5, 0.3, 4.0);
+        let mut delays = m.delays(&d);
+        let before = delays.clone();
+        let id = n.find("n2").unwrap();
+        let w_old = d.width[id.index()];
+        d.width[id.index()] = 17.0;
+        let mut journal: Vec<(usize, f64)> = Vec::new();
+        m.update_delays_after_width_change_with(&d, &mut delays, id, |i, old| {
+            journal.push((i, old));
+        });
+        assert!(!journal.is_empty(), "the edit must move some delay");
+        // Replaying the journal in reverse restores the exact prior state.
+        d.width[id.index()] = w_old;
+        for &(i, old) in journal.iter().rev() {
+            delays[i] = old;
+        }
+        for (i, (now, then)) in delays.iter().zip(before.iter()).enumerate() {
+            assert_eq!(now.to_bits(), then.to_bits(), "gate {i}");
+        }
+    }
+
+    #[test]
+    fn delays_into_and_timing_into_match_evaluate() {
+        let n = chain(5);
+        let m = model(&n);
+        let d = Design::uniform(&n, 2.0, 0.4, 3.0);
+        let eval = m.evaluate(&d, 3e8);
+        let mut delays = Vec::new();
+        let mut arrival = Vec::new();
+        // Run twice to exercise buffer reuse.
+        for _ in 0..2 {
+            let critical = m.timing_into(&d, &mut delays, &mut arrival);
+            assert_eq!(critical.to_bits(), eval.critical_delay.to_bits());
+            for (i, g) in eval.gates.iter().enumerate() {
+                assert_eq!(delays[i].to_bits(), g.delay.to_bits(), "delay {i}");
+                assert_eq!(
+                    arrival[i].to_bits(),
+                    eval.arrival[i].to_bits(),
+                    "arrival {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_ledger_tracks_width_edits() {
+        let n = chain(6);
+        let m = model(&n);
+        let mut d = Design::uniform(&n, 2.0, 0.35, 3.0);
+        let fc = 3e8;
+        let mut ledger = m.energy_ledger(&d, fc);
+        let dense = m.total_energy(&d, fc);
+        assert_eq!(
+            ledger.exact_total().static_.to_bits(),
+            dense.static_.to_bits()
+        );
+        assert_eq!(
+            ledger.exact_total().dynamic.to_bits(),
+            dense.dynamic.to_bits()
+        );
+        for (name, w) in [("n1", 9.0), ("n4", 1.5), ("n1", 2.0)] {
+            let id = n.find(name).unwrap();
+            d.width[id.index()] = w;
+            let touched = ledger.on_width_change(&m, &d, id);
+            assert!(touched >= 2, "gate plus at least one fanin");
+            let dense = m.total_energy(&d, fc);
+            // The exact total is bit-identical to the dense pass; the
+            // running total only approximately so.
+            assert_eq!(
+                ledger.exact_total().static_.to_bits(),
+                dense.static_.to_bits()
+            );
+            assert_eq!(
+                ledger.exact_total().dynamic.to_bits(),
+                dense.dynamic.to_bits()
+            );
+            let drift = (ledger.running_total().total() - dense.total()).abs();
+            assert!(drift <= 1e-9 * dense.total().abs().max(1e-30));
+            assert_eq!(
+                ledger.term(id).static_.to_bits(),
+                m.gate_static_energy(&d, id, fc).to_bits()
+            );
         }
     }
 

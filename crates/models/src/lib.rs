@@ -1,6 +1,7 @@
 //! Energy and delay models for CMOS random logic (paper Appendix A).
 //!
-//! This crate turns a [`Netlist`] plus a [`Technology`], a wiring model,
+//! This crate turns a [`Netlist`](minpower_netlist::Netlist) plus a
+//! [`Technology`](minpower_device::Technology), a wiring model,
 //! and an activity profile into a fast, repeatedly evaluable
 //! [`CircuitModel`]: given a [`Design`] (one supply voltage, per-gate
 //! threshold voltages, per-gate widths) it computes
@@ -54,6 +55,6 @@ mod design;
 mod energy;
 mod short_circuit;
 
-pub use circuit::{CircuitEval, CircuitModel, GateEval};
+pub use circuit::{CircuitEval, CircuitModel, EnergyLedger, GateEval};
 pub use design::Design;
 pub use energy::EnergyBreakdown;

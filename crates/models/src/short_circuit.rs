@@ -3,7 +3,7 @@
 //!
 //! Appendix A.1 neglects the short-circuit component "since under typical
 //! input signal rise time and output load conditions it is an
-//! order-of-magnitude smaller than the switching energy [12]", noting it
+//! order-of-magnitude smaller than the switching energy \[12\]", noting it
 //! is "being incorporated in the next version of the optimization tool".
 //! This module is that next version: Veendrick's classical estimate
 //!

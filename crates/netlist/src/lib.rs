@@ -9,7 +9,7 @@
 //! * [`Netlist`] — an immutable, validated DAG of [`Gate`]s with fanin and
 //!   fanout adjacency, primary inputs/outputs, and a topological order;
 //! * [`NetlistBuilder`] — incremental construction with by-name wiring;
-//! * [`bench`] — a parser and writer for the ISCAS-89 `.bench` format
+//! * [`bench`](mod@bench) — a parser and writer for the ISCAS-89 `.bench` format
 //!   (D flip-flops are cut into pseudo primary inputs/outputs so the
 //!   combinational core can be analyzed, as is standard for these
 //!   benchmarks);

@@ -42,7 +42,7 @@ impl PartialOrd for Entry {
 
 /// Best-first enumeration of complete paths in **exactly non-increasing
 /// criticality order** — the fanout-weighted analogue of the Ju–Saleh
-/// K-most-critical-paths algorithm the paper adapts (§4.2, ref [6]).
+/// K-most-critical-paths algorithm the paper adapts (§4.2, ref \[6\]).
 ///
 /// The iterator is lazy: the (potentially exponential) path set is never
 /// materialized; each `next()` costs one heap pop plus one expansion.

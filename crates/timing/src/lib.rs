@@ -13,7 +13,7 @@
 //!   of the maximizing path;
 //! * [`KMostCriticalPaths`] — lazy enumeration of input→output paths in
 //!   exactly decreasing criticality order, a fanout-weighted variant of
-//!   the Ju–Saleh K-most-critical-paths algorithm (ref [6]).
+//!   the Ju–Saleh K-most-critical-paths algorithm (ref \[6\]).
 //!
 //! # Example
 //!
@@ -41,11 +41,13 @@
 mod criticality;
 mod delay_paths;
 mod event_sim;
+pub mod incremental;
 mod kpaths;
 mod sta;
 
 pub use criticality::Criticality;
 pub use delay_paths::{DelayPath, KWorstDelayPaths};
 pub use event_sim::{EventSimResult, EventSimulator};
+pub use incremental::{Commit, IncrementalSta, IncrementalStats};
 pub use kpaths::{KMostCriticalPaths, Path};
 pub use sta::Sta;

@@ -26,13 +26,35 @@ impl Sta {
     ///
     /// Panics if `delays.len()` differs from the gate count.
     pub fn analyze(netlist: &Netlist, delays: &[f64], cycle_time: f64) -> Self {
+        let mut sta = Sta {
+            arrival: Vec::new(),
+            required: Vec::new(),
+            critical_delay: 0.0,
+            cycle_time,
+        };
+        sta.analyze_into(netlist, delays, cycle_time);
+        sta
+    }
+
+    /// Re-runs the analysis in place, reusing this instance's arrival and
+    /// required buffers — the allocation-free variant for callers that
+    /// analyze in a loop. Produces exactly the state [`Sta::analyze`]
+    /// would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len()` differs from the gate count.
+    pub fn analyze_into(&mut self, netlist: &Netlist, delays: &[f64], cycle_time: f64) {
         assert_eq!(
             delays.len(),
             netlist.gate_count(),
             "one delay per gate required"
         );
         let n = netlist.gate_count();
-        let mut arrival = vec![0.0f64; n];
+        self.cycle_time = cycle_time;
+        let arrival = &mut self.arrival;
+        arrival.clear();
+        arrival.resize(n, 0.0);
         for &id in netlist.topological_order() {
             let i = id.index();
             let latest = netlist
@@ -43,13 +65,15 @@ impl Sta {
                 .fold(0.0, f64::max);
             arrival[i] = latest + delays[i];
         }
-        let critical_delay = netlist
+        self.critical_delay = netlist
             .outputs()
             .iter()
             .map(|&o| arrival[o.index()])
             .fold(0.0, f64::max);
 
-        let mut required = vec![f64::INFINITY; n];
+        let required = &mut self.required;
+        required.clear();
+        required.resize(n, f64::INFINITY);
         for &o in netlist.outputs() {
             required[o.index()] = cycle_time;
         }
@@ -64,16 +88,10 @@ impl Sta {
         }
         // Gates that reach no output keep infinite required time; clamp to
         // the cycle time so their slack is finite and non-binding.
-        for r in &mut required {
+        for r in required.iter_mut() {
             if !r.is_finite() {
                 *r = cycle_time;
             }
-        }
-        Sta {
-            arrival,
-            required,
-            critical_delay,
-            cycle_time,
         }
     }
 

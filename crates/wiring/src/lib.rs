@@ -2,7 +2,7 @@
 //!
 //! The DAC'97 optimizer needs the interconnect capacitive load on every
 //! gate *before* any placement exists. Following the paper (§2 and its
-//! refs [4][5]), this crate implements the Davis–De–Meindl a-priori
+//! refs \[4\]\[5\]), this crate implements the Davis–De–Meindl a-priori
 //! wire-length distribution, derived from recursive application of Rent's
 //! rule and conservation of terminals over a square gate array:
 //!
@@ -38,7 +38,7 @@ pub const DEFAULT_RENT_EXPONENT: f64 = 0.6;
 /// (standard-cell placement with routing overhead; sized so that the
 /// average net's wire capacitance is comparable to a few gate inputs —
 /// the interconnect-dominated loading regime the paper's wiring model
-/// refs [4][5] target).
+/// refs \[4\]\[5\] target).
 pub const DEFAULT_GATE_PITCH_M: f64 = 40e-6;
 
 /// A-priori wire-length model for a logic network of `N` gates.
@@ -190,7 +190,7 @@ impl WireModel {
 
     /// Expected **total** wire length of the whole network in meters,
     /// assuming one two-point net per gate scaled by the average fanout
-    /// (the aggregate the paper's refs [4][5] size wiring networks with).
+    /// (the aggregate the paper's refs \[4\]\[5\] size wiring networks with).
     pub fn total_wire_length_m(&self, avg_fanout: f64) -> f64 {
         self.n_gates as f64 * avg_fanout.max(0.0) * self.expected_length_m()
     }

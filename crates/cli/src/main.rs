@@ -16,23 +16,132 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use minpower::opt::baseline;
 use minpower::opt::report::Report;
-use minpower::opt::{baseline, variation};
-use minpower::{CircuitModel, Netlist, Optimizer, Problem, SearchOptions, Technology};
+use minpower::{
+    CheckpointSpec, CircuitModel, Netlist, OptimizeError, Optimizer, Problem, RunControl,
+    SearchOptions, Technology,
+};
+
+/// A CLI failure with a documented exit code (see `minpower help`):
+/// `2` bad usage, `3` infeasible problem, `4` interrupted (a partial
+/// result was printed), `1` everything else.
+#[derive(Debug)]
+enum CliError {
+    /// Unknown command, bad flag, unreadable or malformed circuit.
+    Usage(String),
+    /// The optimizer proved no probed design meets the cycle time.
+    Infeasible(String),
+    /// Ctrl-C or `--time-limit` stopped the run; the best design found
+    /// so far (if any) was already printed.
+    Interrupted(String),
+    /// I/O failures, checkpoint corruption, worker panics.
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Infeasible(_) => 3,
+            CliError::Interrupted(_) => 4,
+            CliError::Other(_) => 1,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Infeasible(m)
+            | CliError::Interrupted(m)
+            | CliError::Other(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+/// Maps optimizer failures onto exit-code classes. `Interrupted` is
+/// handled (with partial-result printing) before reaching this.
+fn map_opt_err(e: OptimizeError) -> CliError {
+    match &e {
+        OptimizeError::Infeasible { .. } => CliError::Infeasible(e.to_string()),
+        OptimizeError::Interrupted { .. } => CliError::Interrupted(e.to_string()),
+        OptimizeError::BadOption { .. } | OptimizeError::EmptyNetwork => {
+            CliError::Usage(e.to_string())
+        }
+        _ => CliError::Other(e.to_string()),
+    }
+}
+
+/// SIGINT wiring: the first Ctrl-C flips the optimizer's shared cancel
+/// token so the search stops at the next probe boundary and reports its
+/// best-so-far; a second Ctrl-C falls back to the default disposition
+/// (immediate termination).
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static TOKEN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    #[cfg(unix)]
+    mod imp {
+        const SIGINT: i32 = 2;
+        const SIG_DFL: usize = 0;
+
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        extern "C" fn on_sigint(_sig: i32) {
+            // Async-signal context: only lock-free atomics. `get` is a
+            // single atomic load; the token was set before installation.
+            if let Some(token) = super::TOKEN.get() {
+                token.store(true, Ordering::Relaxed);
+            }
+            // Restore the default handler so a second Ctrl-C kills a run
+            // that is stuck between poll points.
+            unsafe { signal(SIGINT, SIG_DFL) };
+        }
+
+        use super::*;
+
+        pub fn install() {
+            unsafe { signal(SIGINT, on_sigint as extern "C" fn(i32) as usize) };
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod imp {
+        pub fn install() {}
+    }
+
+    /// Arms Ctrl-C to set `token`. Safe to call once per process.
+    pub fn install(token: Arc<AtomicBool>) {
+        if TOKEN.set(token).is_ok() {
+            imp::install();
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(1)
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print_usage();
         return Ok(());
@@ -59,7 +168,9 @@ fn run(args: &[String]) -> Result<(), String> {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `minpower help`)")),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `minpower help`)"
+        ))),
     }
 }
 
@@ -70,7 +181,8 @@ fn print_usage() {
          usage:\n\
          \x20 minpower optimize <circuit> [--fc HZ] [--activity A] [--steps M]\n\
          \x20                   [--vt-groups N] [--tolerance T] [--skew B] [--report N]\n\
-         \x20                   [--sizing budgeted|greedy]\n\
+         \x20                   [--sizing budgeted|greedy] [--time-limit SECS]\n\
+         \x20                   [--checkpoint FILE] [--resume FILE]\n\
          \x20 minpower baseline <circuit> [--fc HZ] [--activity A] [--vt V]\n\
          \x20 minpower stats    <circuit>\n\
          \x20 minpower budget   <circuit> [--fc HZ]\n\
@@ -81,6 +193,17 @@ fn print_usage() {
          \x20 --no-cache (disable probe memoization),\n\
          \x20 --no-incremental (dense recomputation in the sizing loops;\n\
          \x20 bit-identical results, diagnostic/benchmark use)\n\
+         \n\
+         run control (optimize): --time-limit SECS stops the search at the\n\
+         \x20 next probe once the soft deadline passes; Ctrl-C stops the same\n\
+         \x20 way. Either prints the best design found so far and exits 4.\n\
+         \x20 --checkpoint FILE periodically snapshots the run (atomic\n\
+         \x20 write-then-rename); --resume FILE restarts from a snapshot and\n\
+         \x20 finishes bit-identically to an uninterrupted run.\n\
+         \n\
+         exit codes: 0 success, 1 runtime error, 2 bad usage,\n\
+         \x20 3 infeasible (no design meets the cycle time),\n\
+         \x20 4 interrupted (partial result printed if one was found)\n\
          \n\
          <circuit> is a suite name (see `minpower suite`) or a .bench/.v file."
     );
@@ -120,6 +243,9 @@ struct Flags<'a> {
 
 /// Flags that take no value; every other `--flag` consumes one token.
 const BOOLEAN_FLAGS: &[&str] = &["--no-cache", "--no-incremental"];
+
+/// Evaluation-engine flags accepted by every command.
+const ENGINE_FLAGS: &[&str] = &["--threads", "--no-cache", "--no-incremental"];
 
 fn flag_takes_value(flag: &str) -> bool {
     !BOOLEAN_FLAGS.contains(&flag)
@@ -182,6 +308,26 @@ impl<'a> Flags<'a> {
                 .map_err(|e| format!("flag {name}: cannot parse `{v}`: {e}")),
         }
     }
+
+    /// Rejects any `--flag` this command does not understand, so a typo
+    /// (`--time-limt`) fails loudly as a usage error instead of silently
+    /// running with defaults. Engine flags are accepted everywhere.
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        let mut skip_next = false;
+        for a in self.args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                if !known.contains(&a.as_str()) && !ENGINE_FLAGS.contains(&a.as_str()) {
+                    return Err(format!("unknown flag `{a}` (try `minpower help`)"));
+                }
+                skip_next = flag_takes_value(a);
+            }
+        }
+        Ok(())
+    }
 }
 
 fn positional_circuit(flags: &Flags<'_>) -> Result<Netlist, String> {
@@ -223,8 +369,8 @@ fn build_problem(netlist: &Netlist, flags: &Flags<'_>) -> Result<Problem, String
     if fc <= 0.0 {
         return Err("--fc must be positive".to_string());
     }
-    if !(0.0..=2.0).contains(&activity) {
-        return Err("--activity must lie in [0, 2]".to_string());
+    if !(0.0..=1.0).contains(&activity) {
+        return Err("--activity must lie in [0, 1] (a transition density per cycle)".to_string());
     }
     if !(0.0 < skew && skew <= 1.0) {
         return Err("--skew must lie in (0, 1]".to_string());
@@ -252,25 +398,8 @@ fn search_options(flags: &Flags<'_>) -> Result<SearchOptions, String> {
     })
 }
 
-fn optimize(args: &[String]) -> Result<(), String> {
-    let flags = Flags::new(args);
-    let netlist = positional_circuit(&flags)?;
-    let problem = build_problem(&netlist, &flags)?;
-    let options = search_options(&flags)?;
-    let top = flags.get_usize("--report", 0)?;
-    println!("circuit {}: {}", netlist.name(), netlist.stats());
-    let t0 = std::time::Instant::now();
-    let result = if options.vt_tolerance > 0.0 {
-        variation::optimize_with_tolerance_opts(&problem, options.vt_tolerance, options.clone())
-    } else {
-        Optimizer::new(&problem).with_options(options).run()
-    }
-    .map_err(|e| e.to_string())?;
-    println!(
-        "optimized in {:.2?} ({} circuit evaluations)",
-        t0.elapsed(),
-        result.evaluations
-    );
+/// Prints the result block shared by complete and interrupted runs.
+fn print_result(problem: &Problem, result: &minpower::OptimizationResult, top: usize) {
     println!(
         "Vdd = {:.3} V, Vt = {}",
         result.design.vdd,
@@ -291,20 +420,104 @@ fn optimize(args: &[String]) -> Result<(), String> {
         problem.effective_cycle_time() * 1e9
     );
     if top > 0 {
-        let report = Report::build(&problem, &result);
+        let report = Report::build(problem, result);
         print!("{}", report.render(top));
     }
+}
+
+fn optimize(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::new(args);
+    flags.reject_unknown(&[
+        "--fc",
+        "--activity",
+        "--skew",
+        "--steps",
+        "--vt-groups",
+        "--tolerance",
+        "--sizing",
+        "--report",
+        "--time-limit",
+        "--checkpoint",
+        "--resume",
+    ])?;
+    let netlist = positional_circuit(&flags)?;
+    let problem = build_problem(&netlist, &flags)?;
+    let options = search_options(&flags)?;
+    let top = flags.get_usize("--report", 0)?;
+
+    let mut control = RunControl::new();
+    let time_limit = flags.get_f64("--time-limit", 0.0)?;
+    if time_limit < 0.0 || (flags.has("--time-limit") && !time_limit.is_finite()) {
+        return Err(CliError::Usage(
+            "--time-limit must be a finite, non-negative number of seconds".to_string(),
+        ));
+    }
+    if time_limit > 0.0 {
+        control = control.with_deadline(Duration::from_secs_f64(time_limit));
+    }
+    sigint::install(control.cancel_token());
+
+    let mut optimizer = Optimizer::new(&problem)
+        .with_options(options)
+        .with_run_control(control.clone());
+    if let Some(path) = flags.get("--checkpoint") {
+        optimizer = optimizer.with_checkpoint(CheckpointSpec::new(path));
+    } else if flags.has("--checkpoint") {
+        return Err(CliError::Usage(
+            "flag --checkpoint requires a file path".to_string(),
+        ));
+    }
+    if let Some(path) = flags.get("--resume") {
+        optimizer = optimizer.resume_from(path);
+    } else if flags.has("--resume") {
+        return Err(CliError::Usage(
+            "flag --resume requires a file path".to_string(),
+        ));
+    }
+
+    println!("circuit {}: {}", netlist.name(), netlist.stats());
+    let t0 = std::time::Instant::now();
+    let result = match optimizer.run() {
+        Ok(result) => result,
+        Err(OptimizeError::Interrupted {
+            reason,
+            best_so_far,
+            progress,
+        }) => {
+            eprintln!(
+                "interrupted ({reason}) after {} evaluations in {:.1} s",
+                progress.evaluations, progress.elapsed_secs
+            );
+            match best_so_far {
+                Some(best) => {
+                    println!("best design so far (valid, delay-feasible):");
+                    print_result(&problem, &best, top);
+                }
+                None => eprintln!("no feasible design found before the interruption"),
+            }
+            print_engine_summary();
+            return Err(CliError::Interrupted(format!("run interrupted ({reason})")));
+        }
+        Err(e) => return Err(map_opt_err(e)),
+    };
+    println!(
+        "optimized in {:.2?} ({} circuit evaluations)",
+        t0.elapsed(),
+        result.evaluations
+    );
+    print_result(&problem, &result, top);
     print_engine_summary();
     Ok(())
 }
 
-fn baseline_cmd(args: &[String]) -> Result<(), String> {
+fn baseline_cmd(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::new(args);
+    flags.reject_unknown(&["--fc", "--activity", "--skew", "--vt"])?;
     let netlist = positional_circuit(&flags)?;
     let problem = build_problem(&netlist, &flags)?;
     let vt = flags.get_f64("--vt", 0.7)?;
-    let result = baseline::optimize_fixed_vt(&problem, vt, SearchOptions::default())
-        .map_err(|e| e.to_string())?;
+    let result =
+        baseline::optimize_fixed_vt(&problem, vt, SearchOptions::default()).map_err(map_opt_err)?;
     println!(
         "fixed Vt = {:.0} mV: Vdd = {:.3} V, energy {:.3e} J/cycle, delay {:.3} ns",
         vt * 1e3,
@@ -316,8 +529,9 @@ fn baseline_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(args: &[String]) -> Result<(), String> {
+fn stats(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::new(args);
+    flags.reject_unknown(&[])?;
     let netlist = positional_circuit(&flags)?;
     let s = netlist.stats();
     println!("circuit {}: {s}", netlist.name());
@@ -333,8 +547,9 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn budget(args: &[String]) -> Result<(), String> {
+fn budget(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::new(args);
+    flags.reject_unknown(&["--fc"])?;
     let netlist = positional_circuit(&flags)?;
     let fc = flags.get_f64("--fc", 300.0e6)?;
     let budgets = minpower::opt::budget::assign_max_delays(&netlist, 1.0 / fc);
@@ -358,15 +573,16 @@ fn budget(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn convert(args: &[String]) -> Result<(), String> {
+fn convert(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::new(args);
+    flags.reject_unknown(&[])?;
     let input = flags
         .positional(0)
-        .ok_or("convert needs an input file")?
+        .ok_or_else(|| CliError::Usage("convert needs an input file".to_string()))?
         .to_string();
     let output = flags
         .positional(1)
-        .ok_or("convert needs an output file")?
+        .ok_or_else(|| CliError::Usage("convert needs an output file".to_string()))?
         .to_string();
     let netlist = load_circuit(&input)?;
     let text = if output.ends_with(".bench") {
@@ -374,9 +590,11 @@ fn convert(args: &[String]) -> Result<(), String> {
     } else if output.ends_with(".v") {
         minpower::netlist::verilog::write(&netlist)
     } else {
-        return Err("output must end in .bench or .v".to_string());
+        return Err(CliError::Usage(
+            "output must end in .bench or .v".to_string(),
+        ));
     };
-    std::fs::write(&output, text).map_err(|e| format!("{output}: {e}"))?;
+    std::fs::write(&output, text).map_err(|e| CliError::Other(format!("{output}: {e}")))?;
     println!(
         "wrote {} ({} gates, {} inputs, {} outputs)",
         output,

@@ -9,14 +9,18 @@
 //! penalty folded into the cost, and a bounded evaluation budget so
 //! head-to-head comparisons against Procedure 2 use equal work.
 
-use minpower_engine::SplitMix64;
+use std::path::Path;
+
+use minpower_engine::{fnv1a_words, SplitMix64};
 use minpower_models::Design;
 use minpower_netlist::GateKind;
 
 use crate::budget::assign_max_delays;
+use crate::checkpoint::{AnnealState, Checkpoint, CheckpointSpec};
 use crate::error::OptimizeError;
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
+use crate::runctl::RunControl;
 
 /// Annealing schedule and budget.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +64,47 @@ pub fn optimize(
     problem: &Problem,
     options: AnnealOptions,
 ) -> Result<OptimizationResult, OptimizeError> {
+    optimize_ctl(problem, options, &RunControl::new(), None, None)
+}
+
+/// Fingerprint binding a checkpoint to one `(problem, options)` pair: a
+/// resume against a different circuit, budget, or schedule is rejected
+/// instead of silently continuing the wrong run.
+fn anneal_salt(problem: &Problem, options: &AnnealOptions) -> u64 {
+    fnv1a_words([
+        problem.model().fingerprint(),
+        problem.fc().to_bits(),
+        problem.effective_cycle_time().to_bits(),
+        options.max_evaluations as u64,
+        options.passes as u64,
+        options.initial_temperature.to_bits(),
+        options.cooling.to_bits(),
+        options.seed,
+    ])
+}
+
+/// [`optimize`] under a [`RunControl`], with optional checkpointing.
+///
+/// The annealer polls `control` once per Metropolis step; on a trip it
+/// writes a final snapshot (when `checkpoint` is set) and returns
+/// [`OptimizeError::Interrupted`] carrying the best design found so far.
+/// A snapshot captures the full loop state — pass, step, temperature,
+/// PRNG state, current and best designs — so a resumed run continues the
+/// exact random sequence and finishes bit-identically to an uninterrupted
+/// one.
+///
+/// # Errors
+///
+/// The [`optimize`] failure modes, plus [`OptimizeError::Interrupted`] on
+/// a control trip and [`OptimizeError::Checkpoint`] for unreadable or
+/// mismatched snapshots.
+pub fn optimize_ctl(
+    problem: &Problem,
+    options: AnnealOptions,
+    control: &RunControl,
+    checkpoint: Option<&CheckpointSpec>,
+    resume: Option<&Path>,
+) -> Result<OptimizationResult, OptimizeError> {
     if options.max_evaluations == 0 {
         return Err(OptimizeError::BadOption {
             option: "max_evaluations",
@@ -72,6 +117,7 @@ pub fn optimize(
             message: "must lie in (0, 1)".into(),
         });
     }
+    problem.validate()?;
     let model = problem.model();
     let netlist = model.netlist();
     if netlist.logic_gate_count() == 0 {
@@ -84,7 +130,7 @@ pub fn optimize(
         .filter(|&i| netlist.gate(minpower_netlist::GateId::new(i)).kind() != GateKind::Input)
         .collect();
 
-    let mut rng = SplitMix64::new(options.seed);
+    let salt = anneal_salt(problem, &options);
     let fc = problem.fc();
     let stats = crate::context::EvalContext::global().stats().clone();
 
@@ -112,25 +158,152 @@ pub fn optimize(
         vt: vec![0.5 * (tech.vt_range.0 + tech.vt_range.1); n],
         width: vec![0.25 * (tech.w_range.0 + tech.w_range.1); n],
     };
-
-    let mut best = start.clone();
-    let (mut best_cost, mut best_feasible) = cost_of(&best);
-    let mut evaluations = 1usize;
     let per_pass = options.max_evaluations / options.passes.max(1);
+    let passes = options.passes.max(1);
 
-    for pass in 0..options.passes.max(1) {
-        let mut current = if pass == 0 {
-            start.clone()
-        } else {
-            best.clone()
+    // Loop state — either freshly initialized or restored verbatim from a
+    // snapshot. Snapshots are taken at the top of the step loop (after the
+    // pass initialization), so a restored state always re-enters the step
+    // loop directly with `skip_init` set.
+    let mut rng;
+    let mut pass;
+    let mut step;
+    let mut evaluations;
+    let mut temperature;
+    let mut current;
+    let mut current_cost;
+    let mut best;
+    let mut best_cost;
+    let mut best_feasible;
+    let mut skip_init;
+    if let Some(path) = resume {
+        let state = match Checkpoint::load(path)? {
+            Checkpoint::Anneal { salt: s, state } => {
+                if s != salt {
+                    return Err(OptimizeError::Checkpoint {
+                        message: format!(
+                            "{} was taken for a different problem or option set \
+                             (fingerprint mismatch)",
+                            path.display()
+                        ),
+                    });
+                }
+                state
+            }
+            other => {
+                return Err(OptimizeError::Checkpoint {
+                    message: format!(
+                        "{} is an `{}` checkpoint, not an anneal checkpoint",
+                        path.display(),
+                        other.engine()
+                    ),
+                });
+            }
         };
-        let (mut current_cost, _) = cost_of(&current);
-        evaluations += 1;
-        let mut temperature = options.initial_temperature * current_cost.max(1e-30);
-        for _ in 0..per_pass {
+        rng = SplitMix64::from_state(state.rng_state);
+        pass = state.pass;
+        step = state.step;
+        evaluations = state.evaluations;
+        temperature = state.temperature;
+        current = state.current;
+        current_cost = state.current_cost;
+        best = state.best;
+        best_cost = state.best_cost;
+        best_feasible = state.best_feasible;
+        skip_init = true;
+    } else {
+        rng = SplitMix64::new(options.seed);
+        pass = 0;
+        step = 0;
+        best = start.clone();
+        let (c, f) = cost_of(&best);
+        best_cost = c;
+        best_feasible = f;
+        evaluations = 1;
+        temperature = 0.0;
+        current = start.clone();
+        current_cost = best_cost;
+        skip_init = false;
+    }
+
+    let mut last_write = evaluations;
+    let mut save_state = |pass: usize,
+                          step: usize,
+                          evaluations: usize,
+                          temperature: f64,
+                          rng: &SplitMix64,
+                          current: &Design,
+                          current_cost: f64,
+                          best: &Design,
+                          best_cost: f64,
+                          best_feasible: bool,
+                          force: bool|
+     -> Result<(), OptimizeError> {
+        let Some(spec) = checkpoint else {
+            return Ok(());
+        };
+        let due = evaluations.saturating_sub(last_write) >= spec.every.max(1);
+        if !(due || (force && evaluations != last_write)) {
+            return Ok(());
+        }
+        let snapshot = Checkpoint::Anneal {
+            salt,
+            state: AnnealState {
+                pass,
+                step,
+                evaluations,
+                temperature,
+                rng_state: rng.state(),
+                current: current.clone(),
+                current_cost,
+                best: best.clone(),
+                best_cost,
+                best_feasible,
+            },
+        };
+        snapshot.save(&spec.path)?;
+        stats.count_checkpoint();
+        last_write = evaluations;
+        Ok(())
+    };
+
+    let mut tripped = None;
+    'passes: while pass < passes {
+        if !skip_init {
+            current = if pass == 0 {
+                start.clone()
+            } else {
+                best.clone()
+            };
+            let (c, _) = cost_of(&current);
+            current_cost = c;
+            evaluations += 1;
+            temperature = options.initial_temperature * current_cost.max(1e-30);
+        }
+        skip_init = false;
+        while step < per_pass {
             if evaluations >= options.max_evaluations {
                 break;
             }
+            if tripped.is_none() {
+                tripped = control.trip();
+            }
+            if tripped.is_some() {
+                break 'passes;
+            }
+            save_state(
+                pass,
+                step,
+                evaluations,
+                temperature,
+                &rng,
+                &current,
+                current_cost,
+                &best,
+                best_cost,
+                best_feasible,
+                false,
+            )?;
             let mut trial = current.clone();
             match rng.range_usize(4) {
                 0 => {
@@ -167,9 +340,67 @@ pub fn optimize(
                 }
             }
             temperature *= options.cooling;
+            step += 1;
         }
+        pass += 1;
+        step = 0;
     }
 
+    if let Some(reason) = tripped {
+        stats.count_deadline_trip();
+        // Best-effort final snapshot so `--resume` continues from this
+        // exact step; the partial result matters more than a failed write.
+        let _ = save_state(
+            pass,
+            step,
+            evaluations,
+            temperature,
+            &rng,
+            &current,
+            current_cost,
+            &best,
+            best_cost,
+            best_feasible,
+            true,
+        );
+        let result = finish(problem, best, best_feasible, evaluations, budgets);
+        return Err(OptimizeError::Interrupted {
+            reason,
+            best_so_far: Some(Box::new(result)),
+            progress: control.progress(evaluations),
+        });
+    }
+
+    // Final snapshot: resuming a *completed* run replays to the same
+    // result immediately.
+    save_state(
+        pass,
+        step,
+        evaluations,
+        temperature,
+        &rng,
+        &current,
+        current_cost,
+        &best,
+        best_cost,
+        best_feasible,
+        true,
+    )?;
+    Ok(finish(problem, best, best_feasible, evaluations, budgets))
+}
+
+/// Final evaluation of the winning design: self-consistent delays, the
+/// critical arrival, and the energy breakdown.
+fn finish(
+    problem: &Problem,
+    best: Design,
+    best_feasible: bool,
+    evaluations: usize,
+    budgets: Vec<f64>,
+) -> OptimizationResult {
+    let model = problem.model();
+    let netlist = model.netlist();
+    let n = netlist.gate_count();
     let delays = model.delays(&best);
     let mut arrival = vec![0.0f64; n];
     let mut critical = 0.0f64;
@@ -184,15 +415,15 @@ pub fn optimize(
         arrival[i] = latest + delays[i];
         critical = critical.max(arrival[i]);
     }
-    let energy = model.total_energy(&best, fc);
-    Ok(OptimizationResult {
+    let energy = model.total_energy(&best, problem.fc());
+    OptimizationResult {
         design: best,
         energy,
         critical_delay: critical,
         feasible: best_feasible,
         evaluations,
         budgets,
-    })
+    }
 }
 
 #[cfg(test)]

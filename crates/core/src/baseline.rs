@@ -11,6 +11,7 @@
 use crate::error::OptimizeError;
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
+use crate::runctl::RunControl;
 use crate::search::{SearchOptions, Sizer};
 
 /// Optimizes widths and the global supply at a fixed threshold voltage.
@@ -49,12 +50,31 @@ pub fn optimize_fixed_vt(
     vt: f64,
     options: SearchOptions,
 ) -> Result<OptimizationResult, OptimizeError> {
+    optimize_fixed_vt_ctl(problem, vt, options, &RunControl::new())
+}
+
+/// [`optimize_fixed_vt`] under a [`RunControl`]: the supply search polls
+/// `control` once per probe and, on a trip, stops cleanly with
+/// [`OptimizeError::Interrupted`] carrying the best feasible design found
+/// so far.
+///
+/// # Errors
+///
+/// The [`optimize_fixed_vt`] failure modes, plus
+/// [`OptimizeError::Interrupted`] on a control trip.
+pub fn optimize_fixed_vt_ctl(
+    problem: &Problem,
+    vt: f64,
+    options: SearchOptions,
+    control: &RunControl,
+) -> Result<OptimizationResult, OptimizeError> {
     if options.steps == 0 {
         return Err(OptimizeError::BadOption {
             option: "steps",
             message: "must be at least 1".into(),
         });
     }
+    problem.validate()?;
     let model = problem.model();
     if model.netlist().logic_gate_count() == 0 {
         return Err(OptimizeError::EmptyNetwork);
@@ -79,19 +99,27 @@ pub fn optimize_fixed_vt(
     // V_dd values close to 3.3 V" because that plateau reached nearly to
     // the top of the range); golden-section with upward tie-breaking
     // locates the minimum.
+    let mut tripped = None;
     let (v_lo, v_hi) = tech.vdd_range;
     crate::search::golden_section(v_lo, v_hi, options.steps, true, |vdd| {
+        if tripped.is_none() {
+            tripped = control.trip();
+        }
+        if tripped.is_some() {
+            return f64::INFINITY;
+        }
         let sized = sizer.size(vdd, &vt_vec);
         evaluations += 1;
         if sized.critical_delay.is_finite() {
             best_delay = best_delay.min(sized.critical_delay);
         }
-        let e = if sized.feasible {
+        let e = if sized.feasible && sized.energy.total().is_finite() {
             sized.energy.total()
         } else {
             f64::INFINITY
         };
         if sized.feasible
+            && sized.energy.total().is_finite()
             && best
                 .as_ref()
                 .is_none_or(|b| sized.energy.total() < b.energy.total())
@@ -103,13 +131,32 @@ pub fn optimize_fixed_vt(
     // Probe the very top of the supply range explicitly — golden-section
     // never lands on the bracket ends, and the fixed-Vt optimum may sit
     // exactly there.
-    if best.is_none() {
+    if best.is_none() && tripped.is_none() {
         let sized = sizer.size(tech.vdd_range.1, &vt_vec);
         evaluations += 1;
         best_delay = best_delay.min(sized.critical_delay);
-        if sized.feasible {
+        if sized.feasible && sized.energy.total().is_finite() {
             best = Some(sized);
         }
+    }
+
+    if let Some(reason) = tripped {
+        sizer.stats().count_deadline_trip();
+        let best_so_far = best.map(|sized| {
+            Box::new(OptimizationResult {
+                design: sized.design,
+                energy: sized.energy,
+                critical_delay: sized.critical_delay,
+                feasible: sized.feasible,
+                evaluations,
+                budgets: sizer.budgets.clone(),
+            })
+        });
+        return Err(OptimizeError::Interrupted {
+            reason,
+            best_so_far,
+            progress: control.progress(evaluations),
+        });
     }
 
     match best {

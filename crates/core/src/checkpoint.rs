@@ -1,0 +1,791 @@
+//! Checkpoint snapshots: save an interrupted run, resume it bit-identically.
+//!
+//! A [`Checkpoint`] is a versioned, self-describing JSON document written
+//! atomically (temp file + rename, so a crash mid-write never corrupts an
+//! existing checkpoint). Two engines checkpoint:
+//!
+//! * **search** — the Procedure-2 optimizer is deterministic, so its
+//!   checkpoint is a *probe journal*: every `(V_dd, V⃗_ts) → sized design`
+//!   evaluation completed so far. Resuming preloads the journal into the
+//!   evaluation cache and replays the search; probes already journaled hit
+//!   the cache (bit-identical by the cache's exact-fingerprint contract)
+//!   and the run continues from where it stopped, producing exactly the
+//!   result an uninterrupted run would have.
+//! * **anneal** — the annealer is sequential and stochastic, so its
+//!   checkpoint is the loop state itself: pass/step indices, temperature,
+//!   PRNG state, and the current/best designs. Resuming continues the
+//!   Metropolis walk from the exact step it stopped at.
+//!
+//! Every checkpoint carries a `salt` fingerprinting the problem and the
+//! options it was taken under; resuming against a different circuit,
+//! cycle time, or option set is rejected instead of silently mixing runs.
+//!
+//! # Format and versioning
+//!
+//! The document is ordinary JSON with two conventions: the top level
+//! always contains `"format": "minpower-checkpoint"` and an integer
+//! `"version"` (currently 1), and every `f64` is encoded as the hex bit
+//! pattern of its IEEE-754 representation (`"0x3fe0000000000000"` for
+//! 0.5) so values round-trip *bitwise* — decimal formatting would lose
+//! ULPs and break the bit-identical-resume guarantee. Loaders reject
+//! unknown formats and newer versions; adding fields is a compatible
+//! change (unknown fields are ignored), removing or reinterpreting one
+//! requires a version bump.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use minpower_models::{Design, EnergyBreakdown};
+
+use crate::error::OptimizeError;
+
+/// The format marker every checkpoint document carries.
+pub const FORMAT: &str = "minpower-checkpoint";
+/// The newest checkpoint schema version this build reads and writes.
+pub const VERSION: u64 = 1;
+
+/// One journaled Procedure-2 probe: the operating point and the sized
+/// outcome. The width-shaping input (the budget vector) is constant per
+/// run and stored once in [`Checkpoint::Search`], not per probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Supply voltage of the probe, volts.
+    pub vdd: f64,
+    /// Per-gate nominal thresholds of the probe, volts.
+    pub vts: Vec<f64>,
+    /// The sized design the probe produced.
+    pub design: Design,
+    /// Its energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Its critical-path delay, seconds.
+    pub critical_delay: f64,
+    /// Whether it met the cycle time.
+    pub feasible: bool,
+}
+
+/// Exact loop state of an annealing run, sufficient to continue the
+/// Metropolis walk from the step after the one recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealState {
+    /// Cooling pass index.
+    pub pass: usize,
+    /// Step index within the pass.
+    pub step: usize,
+    /// Design evaluations spent so far.
+    pub evaluations: usize,
+    /// Current acceptance temperature.
+    pub temperature: f64,
+    /// The PRNG's walked internal state.
+    pub rng_state: u64,
+    /// The walk's current design.
+    pub current: Design,
+    /// Penalized cost of the current design.
+    pub current_cost: f64,
+    /// Best design seen so far.
+    pub best: Design,
+    /// Penalized cost of the best design.
+    pub best_cost: f64,
+    /// Whether the best design met every delay budget.
+    pub best_feasible: bool,
+}
+
+/// A resumable snapshot of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Checkpoint {
+    /// Probe journal of a (deterministic) Procedure-2 search run.
+    Search {
+        /// Fingerprint of the problem + options the run was started with.
+        salt: u64,
+        /// Evaluations spent when the snapshot was taken.
+        evaluations: usize,
+        /// The per-gate budget vector (constant across the run's probes).
+        budgets: Vec<f64>,
+        /// Every distinct probe completed so far.
+        probes: Vec<ProbeRecord>,
+    },
+    /// Loop state of a simulated-annealing run.
+    Anneal {
+        /// Fingerprint of the problem + options the run was started with.
+        salt: u64,
+        /// The exact walk state.
+        state: AnnealState,
+    },
+}
+
+/// Where and how often an engine writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Destination file (written atomically via temp + rename).
+    pub path: PathBuf,
+    /// Evaluations between periodic writes (a final write also happens on
+    /// interruption and on completion).
+    pub every: usize,
+}
+
+impl CheckpointSpec {
+    /// A spec writing to `path` every 32 evaluations.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            every: 32,
+        }
+    }
+}
+
+impl Checkpoint {
+    /// The engine tag stored in the document.
+    pub fn engine(&self) -> &'static str {
+        match self {
+            Checkpoint::Search { .. } => "search",
+            Checkpoint::Anneal { .. } => "anneal",
+        }
+    }
+
+    /// The problem/options fingerprint the snapshot was taken under.
+    pub fn salt(&self) -> u64 {
+        match self {
+            Checkpoint::Search { salt, .. } | Checkpoint::Anneal { salt, .. } => *salt,
+        }
+    }
+
+    /// Writes the checkpoint atomically: the document goes to a sibling
+    /// temp file which is then renamed over `path`, so readers see either
+    /// the old snapshot or the new one, never a torn write.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::Checkpoint`] on any I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), OptimizeError> {
+        let tmp = path.with_extension("tmp");
+        let body = self.to_json();
+        std::fs::write(&tmp, body.as_bytes()).map_err(|e| OptimizeError::Checkpoint {
+            message: format!("writing {}: {e}", tmp.display()),
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| OptimizeError::Checkpoint {
+            message: format!("renaming {} over {}: {e}", tmp.display(), path.display()),
+        })
+    }
+
+    /// Reads and parses a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::Checkpoint`] on I/O failure, malformed JSON, an
+    /// unknown format marker, or a newer schema version.
+    pub fn load(path: &Path) -> Result<Checkpoint, OptimizeError> {
+        let body = std::fs::read_to_string(path).map_err(|e| OptimizeError::Checkpoint {
+            message: format!("reading {}: {e}", path.display()),
+        })?;
+        Checkpoint::from_json(&body)
+    }
+
+    /// Serializes to the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut top = vec![
+            ("format".to_string(), Value::Str(FORMAT.to_string())),
+            ("version".to_string(), Value::Int(VERSION)),
+            ("engine".to_string(), Value::Str(self.engine().to_string())),
+            ("salt".to_string(), Value::Int(self.salt())),
+        ];
+        match self {
+            Checkpoint::Search {
+                evaluations,
+                budgets,
+                probes,
+                ..
+            } => {
+                top.push(("evaluations".to_string(), Value::Int(*evaluations as u64)));
+                top.push(("budgets".to_string(), f64_array(budgets)));
+                top.push((
+                    "probes".to_string(),
+                    Value::Arr(probes.iter().map(probe_value).collect()),
+                ));
+            }
+            Checkpoint::Anneal { state, .. } => {
+                top.push(("state".to_string(), anneal_value(state)));
+            }
+        }
+        let mut out = String::new();
+        Value::Obj(top).write(&mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Parses the versioned JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::Checkpoint`] describing the first malformation
+    /// encountered.
+    pub fn from_json(text: &str) -> Result<Checkpoint, OptimizeError> {
+        let value = parse(text)?;
+        let obj = value.as_obj("checkpoint")?;
+        let format = obj.req("format")?.as_str("format")?;
+        if format != FORMAT {
+            return Err(bad(format!("not a checkpoint file (format {format:?})")));
+        }
+        let version = obj.req("version")?.as_u64("version")?;
+        if version > VERSION {
+            return Err(bad(format!(
+                "checkpoint version {version} is newer than this build understands ({VERSION})"
+            )));
+        }
+        let salt = obj.req("salt")?.as_u64("salt")?;
+        match obj.req("engine")?.as_str("engine")? {
+            "search" => {
+                let evaluations = obj.req("evaluations")?.as_u64("evaluations")? as usize;
+                let budgets = obj.req("budgets")?.as_f64_vec("budgets")?;
+                let probes = obj
+                    .req("probes")?
+                    .as_arr("probes")?
+                    .iter()
+                    .map(parse_probe)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Checkpoint::Search {
+                    salt,
+                    evaluations,
+                    budgets,
+                    probes,
+                })
+            }
+            "anneal" => {
+                let state = parse_anneal(obj.req("state")?)?;
+                Ok(Checkpoint::Anneal { salt, state })
+            }
+            other => Err(bad(format!("unknown checkpoint engine {other:?}"))),
+        }
+    }
+}
+
+fn bad(message: impl Into<String>) -> OptimizeError {
+    OptimizeError::Checkpoint {
+        message: message.into(),
+    }
+}
+
+fn design_value(d: &Design) -> Value {
+    Value::Obj(vec![
+        ("vdd".to_string(), f64_value(d.vdd)),
+        ("vt".to_string(), f64_array(&d.vt)),
+        ("width".to_string(), f64_array(&d.width)),
+    ])
+}
+
+fn parse_design(v: &Value) -> Result<Design, OptimizeError> {
+    let obj = v.as_obj("design")?;
+    Ok(Design {
+        vdd: obj.req("vdd")?.as_f64("design.vdd")?,
+        vt: obj.req("vt")?.as_f64_vec("design.vt")?,
+        width: obj.req("width")?.as_f64_vec("design.width")?,
+    })
+}
+
+fn probe_value(p: &ProbeRecord) -> Value {
+    Value::Obj(vec![
+        ("vdd".to_string(), f64_value(p.vdd)),
+        ("vts".to_string(), f64_array(&p.vts)),
+        ("design".to_string(), design_value(&p.design)),
+        ("static".to_string(), f64_value(p.energy.static_)),
+        ("dynamic".to_string(), f64_value(p.energy.dynamic)),
+        ("critical_delay".to_string(), f64_value(p.critical_delay)),
+        ("feasible".to_string(), Value::Bool(p.feasible)),
+    ])
+}
+
+fn parse_probe(v: &Value) -> Result<ProbeRecord, OptimizeError> {
+    let obj = v.as_obj("probe")?;
+    Ok(ProbeRecord {
+        vdd: obj.req("vdd")?.as_f64("probe.vdd")?,
+        vts: obj.req("vts")?.as_f64_vec("probe.vts")?,
+        design: parse_design(obj.req("design")?)?,
+        energy: EnergyBreakdown::new(
+            obj.req("static")?.as_f64("probe.static")?,
+            obj.req("dynamic")?.as_f64("probe.dynamic")?,
+        ),
+        critical_delay: obj.req("critical_delay")?.as_f64("probe.critical_delay")?,
+        feasible: obj.req("feasible")?.as_bool("probe.feasible")?,
+    })
+}
+
+fn anneal_value(s: &AnnealState) -> Value {
+    Value::Obj(vec![
+        ("pass".to_string(), Value::Int(s.pass as u64)),
+        ("step".to_string(), Value::Int(s.step as u64)),
+        ("evaluations".to_string(), Value::Int(s.evaluations as u64)),
+        ("temperature".to_string(), f64_value(s.temperature)),
+        ("rng_state".to_string(), Value::Int(s.rng_state)),
+        ("current".to_string(), design_value(&s.current)),
+        ("current_cost".to_string(), f64_value(s.current_cost)),
+        ("best".to_string(), design_value(&s.best)),
+        ("best_cost".to_string(), f64_value(s.best_cost)),
+        ("best_feasible".to_string(), Value::Bool(s.best_feasible)),
+    ])
+}
+
+fn parse_anneal(v: &Value) -> Result<AnnealState, OptimizeError> {
+    let obj = v.as_obj("state")?;
+    Ok(AnnealState {
+        pass: obj.req("pass")?.as_u64("state.pass")? as usize,
+        step: obj.req("step")?.as_u64("state.step")? as usize,
+        evaluations: obj.req("evaluations")?.as_u64("state.evaluations")? as usize,
+        temperature: obj.req("temperature")?.as_f64("state.temperature")?,
+        rng_state: obj.req("rng_state")?.as_u64("state.rng_state")?,
+        current: parse_design(obj.req("current")?)?,
+        current_cost: obj.req("current_cost")?.as_f64("state.current_cost")?,
+        best: parse_design(obj.req("best")?)?,
+        best_cost: obj.req("best_cost")?.as_f64("state.best_cost")?,
+        best_feasible: obj.req("best_feasible")?.as_bool("state.best_feasible")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON: just the subset the checkpoint schema needs, kept
+// in-tree because the build must resolve offline (no serde).
+// ---------------------------------------------------------------------
+
+/// `f64` → bit-exact hex string value.
+fn f64_value(x: f64) -> Value {
+    Value::Str(format!("0x{:016x}", x.to_bits()))
+}
+
+fn f64_array(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| f64_value(x)).collect())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Bool(bool),
+    Int(u64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Obj<'a> {
+    fields: HashMap<&'a str, &'a Value>,
+}
+
+impl<'a> Obj<'a> {
+    fn req(&self, name: &str) -> Result<&'a Value, OptimizeError> {
+        self.fields
+            .get(name)
+            .copied()
+            .ok_or_else(|| bad(format!("missing field {name:?}")))
+    }
+}
+
+impl Value {
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn as_obj(&self, what: &str) -> Result<Obj<'_>, OptimizeError> {
+        match self {
+            Value::Obj(fields) => Ok(Obj {
+                fields: fields.iter().map(|(k, v)| (k.as_str(), v)).collect(),
+            }),
+            _ => Err(bad(format!("{what}: expected an object"))),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Value], OptimizeError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err(bad(format!("{what}: expected an array"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, OptimizeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(bad(format!("{what}: expected a string"))),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, OptimizeError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(bad(format!("{what}: expected a boolean"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, OptimizeError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            _ => Err(bad(format!("{what}: expected an integer"))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, OptimizeError> {
+        let s = self.as_str(what)?;
+        let hex = s
+            .strip_prefix("0x")
+            .ok_or_else(|| bad(format!("{what}: expected a 0x-prefixed hex float")))?;
+        let bits = u64::from_str_radix(hex, 16)
+            .map_err(|e| bad(format!("{what}: bad hex float {s:?}: {e}")))?;
+        Ok(f64::from_bits(bits))
+    }
+
+    fn as_f64_vec(&self, what: &str) -> Result<Vec<f64>, OptimizeError> {
+        self.as_arr(what)?.iter().map(|v| v.as_f64(what)).collect()
+    }
+}
+
+fn parse(text: &str) -> Result<Value, OptimizeError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(bad(format!("trailing garbage at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), OptimizeError> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(bad(format!("expected {:?} at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, OptimizeError> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(bad("unexpected end of document"));
+    };
+    match b {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(bad(format!("object key at byte {} must be a string", *pos))),
+                };
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(bad(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(bad(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                let Some(&c) = bytes.get(*pos) else {
+                    return Err(bad("unterminated string"));
+                };
+                *pos += 1;
+                match c {
+                    b'"' => return Ok(Value::Str(s)),
+                    b'\\' => {
+                        let Some(&e) = bytes.get(*pos) else {
+                            return Err(bad("unterminated escape"));
+                        };
+                        *pos += 1;
+                        match e {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'u' => {
+                                let hex = bytes
+                                    .get(*pos..*pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| bad("truncated \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| bad(format!("bad \\u escape {hex:?}")))?;
+                                *pos += 4;
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| bad("invalid \\u code point"))?,
+                                );
+                            }
+                            other => {
+                                return Err(bad(format!("unknown escape \\{}", other as char)))
+                            }
+                        }
+                    }
+                    c => {
+                        // Multi-byte UTF-8: copy the full sequence.
+                        if c < 0x80 {
+                            s.push(c as char);
+                        } else {
+                            let start = *pos - 1;
+                            let len = match c {
+                                0xC0..=0xDF => 2,
+                                0xE0..=0xEF => 3,
+                                _ => 4,
+                            };
+                            let chunk = bytes
+                                .get(start..start + len)
+                                .and_then(|b| std::str::from_utf8(b).ok())
+                                .ok_or_else(|| bad("invalid UTF-8 in string"))?;
+                            s.push_str(chunk);
+                            *pos = start + len;
+                        }
+                    }
+                }
+            }
+        }
+        b't' => {
+            if bytes[*pos..].starts_with(b"true") {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            } else {
+                Err(bad(format!("bad literal at byte {}", *pos)))
+            }
+        }
+        b'f' => {
+            if bytes[*pos..].starts_with(b"false") {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            } else {
+                Err(bad(format!("bad literal at byte {}", *pos)))
+            }
+        }
+        b'0'..=b'9' => {
+            let start = *pos;
+            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+            text.parse::<u64>()
+                .map(Value::Int)
+                .map_err(|e| bad(format!("bad integer {text:?}: {e}")))
+        }
+        other => Err(bad(format!(
+            "unexpected character {:?} at byte {}",
+            other as char, *pos
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(tag: f64) -> Design {
+        Design {
+            vdd: tag,
+            vt: vec![0.3, tag],
+            width: vec![1.0, 2.5],
+        }
+    }
+
+    fn search_checkpoint() -> Checkpoint {
+        Checkpoint::Search {
+            salt: 0xDEAD_BEEF,
+            evaluations: 17,
+            budgets: vec![0.0, 1.25e-9],
+            probes: vec![ProbeRecord {
+                vdd: 1.5,
+                // Awkward bit patterns that decimal formatting would lose.
+                vts: vec![0.1 + 0.2, f64::MIN_POSITIVE],
+                design: design(1.5),
+                energy: EnergyBreakdown::new(1.0e-15, 3.7e-12),
+                critical_delay: 4.999999999999999e-9,
+                feasible: true,
+            }],
+        }
+    }
+
+    fn anneal_checkpoint() -> Checkpoint {
+        Checkpoint::Anneal {
+            salt: 42,
+            state: AnnealState {
+                pass: 1,
+                step: 350,
+                evaluations: 1023,
+                temperature: 1.7e-13,
+                rng_state: 0x1234_5678_9ABC_DEF0,
+                current: design(2.0),
+                current_cost: 5.0e-12,
+                best: design(1.8),
+                best_cost: 4.0e-12,
+                best_feasible: true,
+            },
+        }
+    }
+
+    #[test]
+    fn search_round_trips_bitwise() {
+        let cp = search_checkpoint();
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn anneal_round_trips_bitwise() {
+        let cp = anneal_checkpoint();
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn nan_and_infinity_round_trip() {
+        let cp = Checkpoint::Search {
+            salt: 1,
+            evaluations: 0,
+            budgets: vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0],
+            probes: vec![],
+        };
+        let Checkpoint::Search { budgets, .. } = Checkpoint::from_json(&cp.to_json()).unwrap()
+        else {
+            panic!("engine changed");
+        };
+        assert!(budgets[0].is_nan());
+        assert_eq!(budgets[1], f64::INFINITY);
+        assert_eq!(budgets[2], f64::NEG_INFINITY);
+        assert_eq!(budgets[3].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("minpower-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp-roundtrip.json");
+        let cp = search_checkpoint();
+        cp.save(&path).unwrap();
+        // The temp file must not linger after the rename.
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        // Overwrite with a different snapshot: atomic replace.
+        let cp2 = anneal_checkpoint();
+        cp2.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_not_panicked() {
+        for text in [
+            "",
+            "{",
+            "nonsense",
+            "{\"format\":\"minpower-checkpoint\"}",
+            "{\"format\":\"other-tool\",\"version\":1}",
+            "{\"format\":\"minpower-checkpoint\",\"version\":1,\"engine\":\"mystery\",\"salt\":0}",
+            "{\"format\":\"minpower-checkpoint\",\"version\":1,\"engine\":\"search\",\"salt\":\"zero\"}",
+            "{\"format\":\"minpower-checkpoint\",\"version\":1} trailing",
+        ] {
+            assert!(
+                matches!(
+                    Checkpoint::from_json(text),
+                    Err(OptimizeError::Checkpoint { .. })
+                ),
+                "accepted: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn newer_versions_are_rejected() {
+        let text = search_checkpoint()
+            .to_json()
+            .replace("\"version\":1", &format!("\"version\":{}", VERSION + 1));
+        let err = Checkpoint::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_for_forward_compat() {
+        let text = search_checkpoint()
+            .to_json()
+            .replace("\"salt\"", "\"future_extension\":\"yes\",\"salt\"");
+        assert!(Checkpoint::from_json(&text).is_ok());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/minpower.cp")).unwrap_err();
+        assert!(matches!(err, OptimizeError::Checkpoint { .. }));
+    }
+}

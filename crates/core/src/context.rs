@@ -19,10 +19,14 @@
 //! [`crate::Optimizer::with_engine`] — how the determinism tests compare
 //! cache-on against cache-off runs.
 
-use std::sync::{Arc, OnceLock};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use minpower_engine::{fnv1a_words, CacheStats, EngineStats, EvalCache, Quantizer, StatsSnapshot};
+use minpower_models::EnergyBreakdown;
 
+use crate::checkpoint::ProbeRecord;
 use crate::search::Sized;
 
 /// Default capacity of the probe cache, in entries. A `Sized` for an
@@ -37,6 +41,20 @@ pub struct EvalContext {
     quantizer: Quantizer,
     stats: Arc<EngineStats>,
     incremental: bool,
+    /// Probe journal for checkpointing: every distinct probe completed
+    /// since [`EvalContext::enable_probe_journal`], in completion order.
+    journal: Mutex<Option<Journal>>,
+    /// Monotone probe counter — the call index of the `probe.nan` fault
+    /// site.
+    probe_seq: AtomicU64,
+}
+
+struct Journal {
+    /// Exact fingerprints already journaled (dedup across cache replays).
+    seen: HashSet<u64>,
+    /// The budget vector all journaled probes shared (constant per run).
+    budgets: Option<Vec<f64>>,
+    records: Vec<ProbeRecord>,
 }
 
 impl std::fmt::Debug for EvalContext {
@@ -75,6 +93,8 @@ impl EvalContext {
             quantizer: Quantizer::default(),
             stats: Arc::new(EngineStats::new()),
             incremental: true,
+            journal: Mutex::new(None),
+            probe_seq: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +155,73 @@ impl EvalContext {
         self.cache.as_ref().map(EvalCache::stats)
     }
 
+    /// Starts recording every distinct probe into the journal (clearing
+    /// any previous journal). The journal is what a search checkpoint
+    /// snapshots: replaying it through
+    /// [`preload_probes`](Self::preload_probes) makes a resumed
+    /// deterministic search bit-identical to the uninterrupted run.
+    pub fn enable_probe_journal(&self) {
+        let mut guard = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(Journal {
+            seen: HashSet::new(),
+            budgets: None,
+            records: Vec::new(),
+        });
+    }
+
+    /// A snapshot of the journal: the shared budget vector and every
+    /// distinct probe recorded so far. Empty when journaling is off.
+    pub fn probe_journal(&self) -> (Vec<f64>, Vec<ProbeRecord>) {
+        let guard = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(j) => (j.budgets.clone().unwrap_or_default(), j.records.clone()),
+            None => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Preloads checkpointed probes into the evaluation cache (and into
+    /// the journal, when enabled, so subsequent checkpoints stay
+    /// cumulative). With caching disabled this only re-journals: the
+    /// resumed search then recomputes each probe — slower, but still
+    /// bit-identical, since cache hits never change results.
+    pub fn preload_probes(&self, salt: u64, budgets: &[f64], probes: &[ProbeRecord]) {
+        for p in probes {
+            let out = Sized {
+                design: p.design.clone(),
+                energy: p.energy,
+                critical_delay: p.critical_delay,
+                feasible: p.feasible,
+            };
+            if let Some(cache) = &self.cache {
+                let (key, fingerprint) = self.quantizer.key(p.vdd, &p.vts, budgets, salt);
+                cache.insert(key, fingerprint, out.clone());
+            }
+            self.record_probe(salt, p.vdd, &p.vts, budgets, &out);
+        }
+    }
+
+    fn record_probe(&self, salt: u64, vdd: f64, vts: &[f64], widths: &[f64], out: &Sized) {
+        let mut guard = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(journal) = guard.as_mut() else {
+            return;
+        };
+        let (_, fingerprint) = self.quantizer.key(vdd, vts, widths, salt);
+        if !journal.seen.insert(fingerprint.0) {
+            return;
+        }
+        if journal.budgets.is_none() {
+            journal.budgets = Some(widths.to_vec());
+        }
+        journal.records.push(ProbeRecord {
+            vdd,
+            vts: vts.to_vec(),
+            design: out.design.clone(),
+            energy: out.energy,
+            critical_delay: out.critical_delay,
+            feasible: out.feasible,
+        });
+    }
+
     /// Routes one Procedure-2 probe: counts it, consults the cache, and
     /// falls back to `compute`. `widths` carries the per-gate budget
     /// vector — the width-shaping input of the probe (the concrete widths
@@ -148,17 +235,33 @@ impl EvalContext {
         compute: impl FnOnce() -> Sized,
     ) -> Sized {
         self.stats.count_eval();
-        let Some(cache) = &self.cache else {
-            return compute();
+        let out = if let Some(cache) = &self.cache {
+            let (key, fingerprint) = self.quantizer.key(vdd, vts, widths, salt);
+            if let Some(hit) = cache.get(&key, fingerprint) {
+                self.stats.count_hit();
+                hit
+            } else {
+                self.stats.count_miss();
+                let out = compute();
+                cache.insert(key, fingerprint, out.clone());
+                out
+            }
+        } else {
+            compute()
         };
-        let (key, fingerprint) = self.quantizer.key(vdd, vts, widths, salt);
-        if let Some(hit) = cache.get(&key, fingerprint) {
-            self.stats.count_hit();
-            return hit;
+        self.record_probe(salt, vdd, vts, widths, &out);
+        // Fault site `probe.nan`: hand the caller a NaN-energy outcome as
+        // a broken device model would, *after* journaling/caching the
+        // clean value — the injected fault must poison this observation,
+        // not the memo the resume path replays. The search loops' finite
+        // guards must reject it rather than return it as an optimum.
+        let seq = self.probe_seq.fetch_add(1, Ordering::Relaxed);
+        if minpower_engine::faults::should_fire("probe.nan", seq) {
+            self.stats.count_fault_injected();
+            let mut poisoned = out;
+            poisoned.energy = EnergyBreakdown::new(f64::NAN, f64::NAN);
+            return poisoned;
         }
-        self.stats.count_miss();
-        let out = compute();
-        cache.insert(key, fingerprint, out.clone());
         out
     }
 }

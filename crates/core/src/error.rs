@@ -24,6 +24,34 @@ pub enum OptimizeError {
         /// Description of the constraint that was violated.
         message: String,
     },
+    /// The run was stopped by its [`crate::runctl::RunControl`]
+    /// (cancellation or deadline) before converging. The partial result,
+    /// when present, is a fully valid, delay-feasible design — just not
+    /// necessarily the optimum the uninterrupted run would have reached.
+    Interrupted {
+        /// Why the run stopped.
+        reason: crate::runctl::TripReason,
+        /// Best feasible design found before the trip, if any.
+        best_so_far: Option<Box<crate::result::OptimizationResult>>,
+        /// How far the run had progressed.
+        progress: crate::runctl::Progress,
+    },
+    /// A worker closure panicked during a parallel evaluation; the panic
+    /// was contained (sibling results were drained, the process
+    /// survives) and surfaced as this typed error.
+    WorkerPanicked {
+        /// The smallest work-item index whose closure panicked.
+        index: usize,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+    /// A checkpoint could not be written, read, or applied (I/O failure,
+    /// malformed document, or a snapshot from a different problem or
+    /// option set).
+    Checkpoint {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for OptimizeError {
@@ -40,6 +68,25 @@ impl fmt::Display for OptimizeError {
             OptimizeError::BadOption { option, message } => {
                 write!(f, "invalid option `{option}`: {message}")
             }
+            OptimizeError::Interrupted {
+                reason,
+                best_so_far,
+                progress,
+            } => write!(
+                f,
+                "run interrupted ({reason}) after {} evaluations in {:.1} s; {}",
+                progress.evaluations,
+                progress.elapsed_secs,
+                if best_so_far.is_some() {
+                    "a feasible best-so-far design is available"
+                } else {
+                    "no feasible design had been found yet"
+                }
+            ),
+            OptimizeError::WorkerPanicked { index, message } => {
+                write!(f, "worker panicked at index {index}: {message}")
+            }
+            OptimizeError::Checkpoint { message } => write!(f, "checkpoint error: {message}"),
         }
     }
 }
@@ -61,6 +108,21 @@ mod tests {
             OptimizeError::BadOption {
                 option: "steps",
                 message: "must be positive".into(),
+            },
+            OptimizeError::Interrupted {
+                reason: crate::runctl::TripReason::DeadlineExceeded,
+                best_so_far: None,
+                progress: crate::runctl::Progress {
+                    evaluations: 12,
+                    elapsed_secs: 0.5,
+                },
+            },
+            OptimizeError::WorkerPanicked {
+                index: 3,
+                message: "boom".into(),
+            },
+            OptimizeError::Checkpoint {
+                message: "bad file".into(),
             },
         ];
         for e in errs {

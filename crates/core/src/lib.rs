@@ -59,19 +59,23 @@
 pub mod anneal;
 pub mod baseline;
 pub mod budget;
+pub mod checkpoint;
 pub mod context;
 mod error;
 mod incremental;
 mod problem;
 pub mod report;
 mod result;
+pub mod runctl;
 pub mod search;
 pub mod tilos;
 pub mod variation;
 pub mod yield_mc;
 
+pub use checkpoint::{Checkpoint, CheckpointSpec};
 pub use context::EvalContext;
 pub use error::OptimizeError;
 pub use problem::Problem;
 pub use result::OptimizationResult;
+pub use runctl::{Progress, RunControl, TripReason};
 pub use search::{Optimizer, SearchOptions, SizingMethod};

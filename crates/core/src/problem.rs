@@ -1,6 +1,9 @@
 //! The optimization problem statement.
 
 use minpower_models::CircuitModel;
+use minpower_netlist::GateId;
+
+use crate::error::OptimizeError;
 
 /// The problem of §2: a circuit model (netlist + technology + wiring +
 /// activity) that must run at clock frequency `f_c`, with an optional
@@ -27,6 +30,66 @@ impl Problem {
             fc,
             clock_skew: 1.0,
         }
+    }
+
+    /// [`Problem::new`] with validation instead of panics: rejects a
+    /// non-finite or non-positive clock frequency and any non-finite or
+    /// negative gate activity with [`OptimizeError::BadOption`]. The
+    /// optimizer entry points re-run the same checks, so a problem built
+    /// through [`Problem::new`] is still validated before any search
+    /// iterates on it.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::BadOption`] naming the offending input.
+    pub fn try_new(model: CircuitModel, fc: f64) -> Result<Self, OptimizeError> {
+        let problem = Problem {
+            model,
+            fc,
+            clock_skew: 1.0,
+        };
+        problem.validate()?;
+        Ok(problem)
+    }
+
+    /// Checks every numeric input a search would otherwise iterate on:
+    /// the clock frequency and skew must be finite and in range, and
+    /// every gate's transition density must be finite and non-negative
+    /// (propagated densities can legitimately exceed 1 — an XOR sums its
+    /// input densities — but a NaN or negative value would silently
+    /// poison every energy comparison downstream).
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::BadOption`] naming the offending input.
+    pub fn validate(&self) -> Result<(), OptimizeError> {
+        if !self.fc.is_finite() || self.fc <= 0.0 {
+            return Err(OptimizeError::BadOption {
+                option: "cycle_time",
+                message: format!(
+                    "clock frequency must be finite and positive, got {} Hz",
+                    self.fc
+                ),
+            });
+        }
+        if !self.clock_skew.is_finite() || self.clock_skew <= 0.0 || self.clock_skew > 1.0 {
+            return Err(OptimizeError::BadOption {
+                option: "clock_skew",
+                message: format!("must lie in (0, 1], got {}", self.clock_skew),
+            });
+        }
+        for i in 0..self.model.netlist().gate_count() {
+            let a = self.model.activity(GateId::new(i));
+            if !a.is_finite() || a < 0.0 {
+                return Err(OptimizeError::BadOption {
+                    option: "activity",
+                    message: format!(
+                        "gate {i} has transition density {a}; it must be finite and non-negative"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Applies a clock-skew factor `b ∈ (0, 1]`: budgets are computed
@@ -101,5 +164,57 @@ mod tests {
     #[should_panic(expected = "clock skew factor")]
     fn bad_skew_panics() {
         let _ = problem().with_clock_skew(1.5);
+    }
+
+    fn model() -> CircuitModel {
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3)
+    }
+
+    #[test]
+    fn try_new_rejects_bad_frequencies_instead_of_panicking() {
+        for fc in [0.0, -1.0e6, f64::NAN, f64::INFINITY] {
+            let err = Problem::try_new(model(), fc).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    OptimizeError::BadOption {
+                        option: "cycle_time",
+                        ..
+                    }
+                ),
+                "fc = {fc}: {err:?}"
+            );
+        }
+        assert!(Problem::try_new(model(), 300.0e6).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_activity() {
+        // An infinite input density passes the activity crate's
+        // non-negativity assert but propagates non-finite transition
+        // densities through the whole network; validation must catch it
+        // before any search iterates on it.
+        let mut b = NetlistBuilder::new("t");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        let n = b.finish().unwrap();
+        let bad = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, f64::INFINITY);
+        let err = Problem::try_new(bad, 300.0e6).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OptimizeError::BadOption {
+                    option: "activity",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 }

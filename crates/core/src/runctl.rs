@@ -1,0 +1,242 @@
+//! Run control: cooperative cancellation and soft deadlines.
+//!
+//! Every optimizer entry point in this crate accepts a [`RunControl`] and
+//! polls it at iteration boundaries (one poll per full-circuit probe,
+//! annealing step, sizing move, or Monte-Carlo chunk — never inside the
+//! numeric kernels). When the control trips, the engine stops cleanly and
+//! returns [`crate::OptimizeError::Interrupted`] carrying the best design
+//! found so far (always delay-feasible when present) and a [`Progress`]
+//! record, so an interrupted run is a usable partial result rather than a
+//! dead process.
+//!
+//! A control trips for one of two reasons ([`TripReason`]):
+//!
+//! * **cancellation** — someone called [`RunControl::cancel`], typically
+//!   the CLI's Ctrl-C handler flipping the shared token from a signal
+//!   context;
+//! * **deadline** — the soft time limit of
+//!   [`RunControl::with_deadline`] elapsed. "Soft" because it is only
+//!   observed at iteration boundaries: the run overshoots by at most one
+//!   probe, never by a partial one.
+//!
+//! Clones share state: cancelling any clone trips them all, which is how
+//! one token reaches a signal handler, the optimizer, and a progress
+//! reporter at once.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripReason {
+    /// [`RunControl::cancel`] was called (e.g. Ctrl-C).
+    Cancelled,
+    /// The soft deadline of [`RunControl::with_deadline`] elapsed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for TripReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripReason::Cancelled => write!(f, "cancelled"),
+            TripReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// How far a run had progressed when it was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Progress {
+    /// Full-circuit evaluations completed before the trip.
+    pub evaluations: usize,
+    /// Wall time elapsed since the control was created, seconds.
+    pub elapsed_secs: f64,
+}
+
+struct Shared {
+    cancel: Arc<AtomicBool>,
+    started: Instant,
+    deadline: Option<Duration>,
+    /// Poll budget for deterministic tests: trip after this many
+    /// [`RunControl::trip`] calls (`u64::MAX` = unlimited).
+    check_budget: AtomicU64,
+    /// Monotone poll counter, also the index fed to the `runctl.clock_jump`
+    /// fault site.
+    checks: AtomicU64,
+}
+
+/// A shareable cancellation token plus an optional soft deadline.
+///
+/// See the [module documentation](self) for semantics. The default
+/// control never trips, so `RunControl::default()` is the "no run
+/// control" value every legacy entry point uses.
+#[derive(Clone)]
+pub struct RunControl {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControl")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.shared.deadline)
+            .finish()
+    }
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl::new()
+    }
+}
+
+impl RunControl {
+    /// A control with no deadline that trips only on [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        RunControl {
+            shared: Arc::new(Shared {
+                cancel: Arc::new(AtomicBool::new(false)),
+                started: Instant::now(),
+                deadline: None,
+                check_budget: AtomicU64::new(u64::MAX),
+                checks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Adds a soft deadline measured from *now* (the elapsed clock
+    /// restarts). The run stops at the first iteration boundary after
+    /// `limit` elapses.
+    #[must_use]
+    pub fn with_deadline(self, limit: Duration) -> Self {
+        RunControl {
+            shared: Arc::new(Shared {
+                cancel: self.shared.cancel.clone(),
+                started: Instant::now(),
+                deadline: Some(limit),
+                check_budget: AtomicU64::new(self.shared.check_budget.load(Ordering::Relaxed)),
+                checks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Trips after `polls` calls to [`trip`](Self::trip) — a deterministic
+    /// interruption point for tests (wall clocks make flaky tests; a poll
+    /// budget interrupts at exactly the same iteration every run).
+    #[must_use]
+    pub fn with_check_budget(self, polls: u64) -> Self {
+        self.shared.check_budget.store(polls, Ordering::Relaxed);
+        self
+    }
+
+    /// Requests cancellation. Safe to call from any thread (and, through
+    /// the shared token, from a signal handler); every clone observes it.
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// The raw cancellation token, for wiring into a signal handler.
+    /// Storing `true` is equivalent to [`cancel`](Self::cancel) — every
+    /// clone of this control observes it.
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        self.shared.cancel.clone()
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since this control (or its deadline clock) was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.shared.started.elapsed().as_secs_f64()
+    }
+
+    /// Polls the control at an iteration boundary. Returns `Some` once
+    /// tripped (and forever after — a tripped control stays tripped);
+    /// `None` while the run may continue.
+    pub fn trip(&self) -> Option<TripReason> {
+        let n = self.shared.checks.fetch_add(1, Ordering::Relaxed);
+        if self.is_cancelled() {
+            return Some(TripReason::Cancelled);
+        }
+        if n + 1 >= self.shared.check_budget.load(Ordering::Relaxed) {
+            // A spent poll budget cancels (so the trip latches for
+            // subsequent polls too).
+            self.cancel();
+            return Some(TripReason::Cancelled);
+        }
+        if let Some(limit) = self.shared.deadline {
+            // Fault site: a "clock jump" makes this poll behave as if the
+            // deadline has already passed, exercising the degradation
+            // path without waiting out a real limit.
+            let jumped = minpower_engine::faults::should_fire("runctl.clock_jump", n);
+            if jumped || self.shared.started.elapsed() >= limit {
+                return Some(TripReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// A [`Progress`] record as of now.
+    pub fn progress(&self, evaluations: usize) -> Progress {
+        Progress {
+            evaluations,
+            elapsed_secs: self.elapsed_secs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_control_never_trips() {
+        let rc = RunControl::new();
+        for _ in 0..1000 {
+            assert_eq!(rc.trip(), None);
+        }
+    }
+
+    #[test]
+    fn cancel_trips_all_clones() {
+        let rc = RunControl::new();
+        let clone = rc.clone();
+        assert_eq!(clone.trip(), None);
+        rc.cancel();
+        assert_eq!(clone.trip(), Some(TripReason::Cancelled));
+        assert_eq!(rc.trip(), Some(TripReason::Cancelled));
+        assert!(rc.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let rc = RunControl::new().with_deadline(Duration::from_secs(0));
+        assert_eq!(rc.trip(), Some(TripReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let rc = RunControl::new().with_deadline(Duration::from_secs(3600));
+        assert_eq!(rc.trip(), None);
+    }
+
+    #[test]
+    fn check_budget_trips_deterministically_and_latches() {
+        let rc = RunControl::new().with_check_budget(3);
+        assert_eq!(rc.trip(), None);
+        assert_eq!(rc.trip(), None);
+        assert_eq!(rc.trip(), Some(TripReason::Cancelled));
+        assert_eq!(rc.trip(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn progress_reports_evaluations() {
+        let rc = RunControl::new();
+        let p = rc.progress(42);
+        assert_eq!(p.evaluations, 42);
+        assert!(p.elapsed_secs >= 0.0);
+    }
+}

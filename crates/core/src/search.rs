@@ -21,6 +21,7 @@
 //! budget quantiles (timing-critical gates get the low-`V_t` group) and the
 //! middle loop becomes a coordinate descent over group thresholds.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use minpower_engine::stats::Phase;
@@ -28,11 +29,13 @@ use minpower_models::{CircuitModel, Design, EnergyBreakdown};
 use minpower_netlist::{GateId, GateKind, Netlist};
 use minpower_timing::incremental::{sink_critical, virtual_sinks};
 
+use crate::checkpoint::{Checkpoint, CheckpointSpec};
 use crate::context::EvalContext;
 use crate::error::OptimizeError;
 use crate::incremental::{arrivals_into, IncrementalEval};
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
+use crate::runctl::{RunControl, TripReason};
 
 /// Tuning knobs for [`Optimizer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -234,6 +237,11 @@ impl<'a> Sizer<'a> {
             ctx,
             salt,
         }
+    }
+
+    /// The telemetry sink of the engine this sizer evaluates through.
+    pub fn stats(&self) -> &minpower_engine::EngineStats {
+        self.ctx.stats()
     }
 
     /// Sizes at `(vdd, vt_nominal)`, routing through the evaluation
@@ -659,6 +667,7 @@ pub fn size_at_with(
     options: &SearchOptions,
 ) -> Result<OptimizationResult, OptimizeError> {
     options.validate()?;
+    problem.validate()?;
     if problem.model().netlist().logic_gate_count() == 0 {
         return Err(OptimizeError::EmptyNetwork);
     }
@@ -692,6 +701,15 @@ pub struct Optimizer<'a> {
     problem: &'a Problem,
     options: SearchOptions,
     engine: Arc<EvalContext>,
+    run_control: RunControl,
+    checkpoint: Option<CheckpointSpec>,
+    resume: Option<PathBuf>,
+}
+
+/// Bookkeeping for periodic checkpoint writes during a run.
+struct CpState {
+    last_write: usize,
+    error: Option<OptimizeError>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -702,6 +720,9 @@ impl<'a> Optimizer<'a> {
             problem,
             options: SearchOptions::default(),
             engine: EvalContext::global(),
+            run_control: RunControl::new(),
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -719,6 +740,71 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Attaches a run control: the search polls it once per probe and, on
+    /// a trip, stops cleanly with [`OptimizeError::Interrupted`] carrying
+    /// the best feasible design found so far.
+    pub fn with_run_control(mut self, control: RunControl) -> Self {
+        self.run_control = control;
+        self
+    }
+
+    /// Periodically snapshots the run's probe journal to `spec.path`
+    /// (atomically), plus a final snapshot on interruption and on
+    /// completion. The snapshot can be fed back through
+    /// [`resume_from`](Self::resume_from).
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Resumes from a checkpoint written by
+    /// [`with_checkpoint`](Self::with_checkpoint): the journaled probes
+    /// preload the evaluation cache and the deterministic search replays
+    /// to exactly the state it was interrupted in, then continues — the
+    /// final result is bit-identical to an uninterrupted run's. The
+    /// checkpoint must come from the same problem and options (validated
+    /// by fingerprint).
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Writes a checkpoint if one is due (or `force`d), folding any I/O
+    /// failure into `cp` for the caller to surface once.
+    fn maybe_checkpoint(
+        &self,
+        sizer: &Sizer<'_>,
+        evaluations: usize,
+        cp: &mut CpState,
+        force: bool,
+    ) {
+        let Some(spec) = &self.checkpoint else { return };
+        if cp.error.is_some() {
+            return;
+        }
+        let due = evaluations.saturating_sub(cp.last_write) >= spec.every.max(1);
+        if !(due || (force && evaluations != cp.last_write)) {
+            return;
+        }
+        let (mut budgets, probes) = self.engine.probe_journal();
+        if budgets.is_empty() {
+            budgets = sizer.budgets.clone();
+        }
+        let snapshot = Checkpoint::Search {
+            salt: sizer.salt,
+            evaluations,
+            budgets,
+            probes,
+        };
+        match snapshot.save(&spec.path) {
+            Ok(()) => {
+                self.engine.stats().count_checkpoint();
+                cp.last_write = evaluations;
+            }
+            Err(e) => cp.error = Some(e),
+        }
+    }
+
     /// Runs the full joint optimization.
     ///
     /// # Errors
@@ -734,6 +820,7 @@ impl<'a> Optimizer<'a> {
 
     fn run_inner(&self) -> Result<OptimizationResult, OptimizeError> {
         self.options.validate()?;
+        self.problem.validate()?;
         let model = self.problem.model();
         if model.netlist().logic_gate_count() == 0 {
             return Err(OptimizeError::EmptyNetwork);
@@ -748,12 +835,50 @@ impl<'a> Optimizer<'a> {
             self.options.budget_policy,
             self.options.sizing,
         );
+        if self.checkpoint.is_some() {
+            self.engine.enable_probe_journal();
+        }
+        if let Some(path) = &self.resume {
+            match Checkpoint::load(path)? {
+                Checkpoint::Search {
+                    salt,
+                    budgets,
+                    probes,
+                    ..
+                } => {
+                    if salt != sizer.salt {
+                        return Err(OptimizeError::Checkpoint {
+                            message: format!(
+                                "{} was taken for a different problem or option set \
+                                 (fingerprint mismatch)",
+                                path.display()
+                            ),
+                        });
+                    }
+                    self.engine.preload_probes(salt, &budgets, &probes);
+                }
+                other => {
+                    return Err(OptimizeError::Checkpoint {
+                        message: format!(
+                            "{} is an `{}` checkpoint, not a search checkpoint",
+                            path.display(),
+                            other.engine()
+                        ),
+                    });
+                }
+            }
+        }
         let n = model.netlist().gate_count();
         let m = self.options.steps;
 
         let mut best: Option<Sized> = None;
         let mut best_delay_seen = f64::INFINITY;
         let mut evaluations = 0usize;
+        let mut cp = CpState {
+            last_write: 0,
+            error: None,
+        };
+        let mut tripped: Option<TripReason> = None;
 
         {
             // Outer search over the global supply. Energy at the
@@ -766,6 +891,9 @@ impl<'a> Optimizer<'a> {
             // the infeasible plateau at low supply — resolve upward.
             let (v_lo, v_hi) = tech.vdd_range;
             golden_section(v_lo, v_hi, m, true, |vdd| {
+                if tripped.is_some() {
+                    return f64::INFINITY;
+                }
                 let candidate = if self.options.vt_groups <= 1 {
                     self.search_single_vt(
                         &sizer,
@@ -774,6 +902,8 @@ impl<'a> Optimizer<'a> {
                         n,
                         &mut evaluations,
                         &mut best_delay_seen,
+                        &mut cp,
+                        &mut tripped,
                     )
                 } else {
                     self.search_grouped_vt(
@@ -783,14 +913,20 @@ impl<'a> Optimizer<'a> {
                         n,
                         &mut evaluations,
                         &mut best_delay_seen,
+                        &mut cp,
+                        &mut tripped,
                     )
                 };
+                // A NaN energy (broken device model, injected fault) must
+                // never become the returned optimum: treat it exactly like
+                // an infeasible probe.
                 let e = match &candidate {
-                    Some(c) if c.feasible => c.energy.total(),
+                    Some(c) if c.feasible && c.energy.total().is_finite() => c.energy.total(),
                     _ => f64::INFINITY,
                 };
                 if let Some(c) = candidate {
                     if c.feasible
+                        && c.energy.total().is_finite()
                         && best
                             .as_ref()
                             .is_none_or(|b| c.energy.total() < b.energy.total())
@@ -802,15 +938,48 @@ impl<'a> Optimizer<'a> {
             });
         }
 
+        if let Some(e) = cp.error {
+            return Err(e);
+        }
+        if let Some(reason) = tripped {
+            self.engine.stats().count_deadline_trip();
+            // Best-effort final snapshot so `--resume` can pick up right
+            // here; the partial result matters more than a failed write.
+            self.maybe_checkpoint(&sizer, evaluations, &mut cp, true);
+            let best_so_far = best.map(|sized| {
+                Box::new(OptimizationResult {
+                    design: sized.design,
+                    energy: sized.energy,
+                    critical_delay: sized.critical_delay,
+                    feasible: sized.feasible,
+                    evaluations,
+                    budgets: sizer.budgets.clone(),
+                })
+            });
+            return Err(OptimizeError::Interrupted {
+                reason,
+                best_so_far,
+                progress: self.run_control.progress(evaluations),
+            });
+        }
+
         match best {
-            Some(sized) => Ok(OptimizationResult {
-                design: sized.design,
-                energy: sized.energy,
-                critical_delay: sized.critical_delay,
-                feasible: sized.feasible,
-                evaluations,
-                budgets: sizer.budgets,
-            }),
+            Some(sized) => {
+                // Final snapshot: resuming a *completed* run replays to the
+                // same result from cache alone.
+                self.maybe_checkpoint(&sizer, evaluations, &mut cp, true);
+                if let Some(e) = cp.error {
+                    return Err(e);
+                }
+                Ok(OptimizationResult {
+                    design: sized.design,
+                    energy: sized.energy,
+                    critical_delay: sized.critical_delay,
+                    feasible: sized.feasible,
+                    evaluations,
+                    budgets: sizer.budgets,
+                })
+            }
             None => Err(OptimizeError::Infeasible {
                 cycle_time: self.problem.effective_cycle_time(),
                 best_delay: best_delay_seen,
@@ -823,6 +992,7 @@ impl<'a> Optimizer<'a> {
     /// threshold (exponential leakage below, width blow-up above, an
     /// infeasible plateau at the very top); ties resolve downward, toward
     /// the always-feasible low-threshold side.
+    #[allow(clippy::too_many_arguments)]
     fn search_single_vt(
         &self,
         sizer: &Sizer<'_>,
@@ -831,22 +1001,32 @@ impl<'a> Optimizer<'a> {
         n: usize,
         evaluations: &mut usize,
         best_delay_seen: &mut f64,
+        cp: &mut CpState,
+        tripped: &mut Option<TripReason>,
     ) -> Option<Sized> {
         let m = self.options.steps;
         let (t_lo, t_hi) = tech.vt_range;
         let mut local_best: Option<Sized> = None;
         golden_section(t_lo, t_hi, m, false, |vt| {
+            if tripped.is_none() {
+                *tripped = self.run_control.trip();
+            }
+            if tripped.is_some() {
+                return f64::INFINITY;
+            }
             let sized = sizer.size(vdd, &vec![vt; n]);
             *evaluations += 1;
+            self.maybe_checkpoint(sizer, *evaluations, cp, false);
             if sized.critical_delay.is_finite() {
                 *best_delay_seen = best_delay_seen.min(sized.critical_delay);
             }
-            let e = if sized.feasible {
+            let e = if sized.feasible && sized.energy.total().is_finite() {
                 sized.energy.total()
             } else {
                 f64::INFINITY
             };
             if sized.feasible
+                && sized.energy.total().is_finite()
                 && local_best
                     .as_ref()
                     .is_none_or(|b| sized.energy.total() < b.energy.total())
@@ -862,6 +1042,7 @@ impl<'a> Optimizer<'a> {
     /// thresholds, seeded from the single-threshold optimum (so the
     /// multi-`V_t` result can only match or improve on `n_v = 1`), groups
     /// formed by budget quantiles.
+    #[allow(clippy::too_many_arguments)]
     fn search_grouped_vt(
         &self,
         sizer: &Sizer<'_>,
@@ -870,6 +1051,8 @@ impl<'a> Optimizer<'a> {
         n: usize,
         evaluations: &mut usize,
         best_delay_seen: &mut f64,
+        cp: &mut CpState,
+        tripped: &mut Option<TripReason>,
     ) -> Option<Sized> {
         let m = self.options.steps;
         let groups = self.options.vt_groups;
@@ -893,7 +1076,19 @@ impl<'a> Optimizer<'a> {
         let (t_min, t_max) = tech.vt_range;
         // Seed with the single-threshold optimum at this supply: the
         // coordinate descent then refines per group and can only improve.
-        let seed = self.search_single_vt(sizer, vdd, tech, n, evaluations, best_delay_seen);
+        let seed = self.search_single_vt(
+            sizer,
+            vdd,
+            tech,
+            n,
+            evaluations,
+            best_delay_seen,
+            cp,
+            tripped,
+        );
+        if tripped.is_some() {
+            return seed;
+        }
         let seed_vt = seed
             .as_ref()
             .and_then(|s| {
@@ -910,20 +1105,28 @@ impl<'a> Optimizer<'a> {
         let assemble = |group_vt: &[f64], group_of: &[usize]| -> Vec<f64> {
             (0..n).map(|i| group_vt[group_of[i]]).collect()
         };
-        for _round in 0..2 {
+        'rounds: for _round in 0..2 {
             for g in 0..groups {
                 let mut lo = t_min;
                 let mut hi = t_max;
                 for _ in 0..m / 2 + 1 {
+                    if tripped.is_none() {
+                        *tripped = self.run_control.trip();
+                    }
+                    if tripped.is_some() {
+                        break 'rounds;
+                    }
                     let vt = 0.5 * (lo + hi);
                     let mut trial_vt = group_vt.clone();
                     trial_vt[g] = vt;
                     let sized = sizer.size(vdd, &assemble(&trial_vt, &group_of));
                     *evaluations += 1;
+                    self.maybe_checkpoint(sizer, *evaluations, cp, false);
                     if sized.critical_delay.is_finite() {
                         *best_delay_seen = best_delay_seen.min(sized.critical_delay);
                     }
                     let improved = sized.feasible
+                        && sized.energy.total().is_finite()
                         && local_best
                             .as_ref()
                             .is_none_or(|b| sized.energy.total() < b.energy.total());

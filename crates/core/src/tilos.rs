@@ -24,6 +24,7 @@ use crate::error::OptimizeError;
 use crate::incremental::{arrivals_into, IncrementalEval};
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
+use crate::runctl::RunControl;
 
 /// Options for the greedy sizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +71,28 @@ pub fn size_greedy(
     size_greedy_with_vt(problem, vdd, &vec![vt; n], options)
 }
 
+/// [`size_greedy`] under a [`RunControl`]: the move loop polls `control`
+/// once per accepted move and, on a trip, stops with
+/// [`OptimizeError::Interrupted`]. The partially sized design is *not*
+/// returned as a best-so-far — an interrupted greedy ascent has not yet
+/// reached feasibility, so there is no valid design to hand back.
+///
+/// # Errors
+///
+/// The [`size_greedy`] failure modes, plus
+/// [`OptimizeError::Interrupted`] on a control trip.
+pub fn size_greedy_ctl(
+    problem: &Problem,
+    vdd: f64,
+    vt: f64,
+    options: TilosOptions,
+    control: &RunControl,
+) -> Result<OptimizationResult, OptimizeError> {
+    let n = problem.model().netlist().gate_count();
+    let stats = crate::context::EvalContext::global().stats().clone();
+    size_greedy_with_stats_ctl(problem, vdd, &vec![vt; n], options, stats, Some(control))
+}
+
 /// [`size_greedy`] with per-gate thresholds (the form the joint
 /// optimizer's greedy sizing mode uses).
 ///
@@ -101,6 +124,19 @@ pub(crate) fn size_greedy_with_stats(
     options: TilosOptions,
     stats: Arc<EngineStats>,
 ) -> Result<OptimizationResult, OptimizeError> {
+    size_greedy_with_stats_ctl(problem, vdd, vt, options, stats, None)
+}
+
+/// [`size_greedy_with_stats`] with an optional [`RunControl`] polled once
+/// per move.
+pub(crate) fn size_greedy_with_stats_ctl(
+    problem: &Problem,
+    vdd: f64,
+    vt: &[f64],
+    options: TilosOptions,
+    stats: Arc<EngineStats>,
+    control: Option<&RunControl>,
+) -> Result<OptimizationResult, OptimizeError> {
     if options.step <= 1.0 {
         return Err(OptimizeError::BadOption {
             option: "step",
@@ -127,10 +163,28 @@ pub(crate) fn size_greedy_with_stats(
     let delays = model.delays(&design);
 
     if options.incremental {
-        greedy_incremental(problem, design, delays, &options, stats)
+        greedy_incremental(problem, design, delays, &options, stats, control)
     } else {
-        greedy_full(problem, design, delays, &options, stats)
+        greedy_full(problem, design, delays, &options, stats, control)
     }
+}
+
+/// Polls a (possibly absent) control, mapping a trip to the
+/// [`OptimizeError::Interrupted`] the greedy loops return. The greedy
+/// ascent has no feasible intermediate design, so `best_so_far` is `None`.
+fn trip_to_error(
+    control: Option<&RunControl>,
+    stats: &EngineStats,
+    evaluations: usize,
+) -> Option<OptimizeError> {
+    let control = control?;
+    let reason = control.trip()?;
+    stats.count_deadline_trip();
+    Some(OptimizeError::Interrupted {
+        reason,
+        best_so_far: None,
+        progress: control.progress(evaluations),
+    })
 }
 
 /// Walks the critical path from `crit_gate` toward the primary inputs and
@@ -196,6 +250,7 @@ fn greedy_full(
     mut delays: Vec<f64>,
     options: &TilosOptions,
     stats: Arc<EngineStats>,
+    control: Option<&RunControl>,
 ) -> Result<OptimizationResult, OptimizeError> {
     let model = problem.model();
     let netlist = model.netlist();
@@ -206,6 +261,9 @@ fn greedy_full(
     let mut evaluations = 1usize;
     let mut best_crit = f64::INFINITY;
     for _move in 0..options.max_moves {
+        if let Some(e) = trip_to_error(control, &stats, evaluations) {
+            return Err(e);
+        }
         arrivals_into(netlist, &delays, &mut arrival);
         let (crit, crit_gate) = sink_critical(&sinks, &arrival);
         best_crit = best_crit.min(crit);
@@ -263,6 +321,7 @@ fn greedy_incremental(
     delays: Vec<f64>,
     options: &TilosOptions,
     stats: Arc<EngineStats>,
+    control: Option<&RunControl>,
 ) -> Result<OptimizationResult, OptimizeError> {
     let model = problem.model();
     let netlist = model.netlist();
@@ -270,11 +329,15 @@ fn greedy_incremental(
     let tc = problem.effective_cycle_time();
     let fc = problem.fc();
     let sinks = virtual_sinks(netlist);
+    let stats_ref = stats.clone();
     let mut eval = IncrementalEval::new(model, design, delays, tc, stats);
     let mut ledger = model.energy_ledger(eval.design(), fc);
     let mut evaluations = 1usize;
     let mut best_crit = f64::INFINITY;
     for _move in 0..options.max_moves {
+        if let Some(e) = trip_to_error(control, &stats_ref, evaluations) {
+            return Err(e);
+        }
         let (crit, crit_gate) = sink_critical(&sinks, eval.arrivals());
         best_crit = best_crit.min(crit);
         if crit <= tc {

@@ -10,11 +10,19 @@
 //! the unmargined optimum fails a measurable fraction of die.
 
 use minpower_engine::stats::Phase;
-use minpower_engine::{par_map_indices, SplitMix64};
+use minpower_engine::{try_par_map_indices, SplitMix64};
 use minpower_models::Design;
 
 use crate::context::EvalContext;
+use crate::error::OptimizeError;
 use crate::problem::Problem;
+use crate::runctl::RunControl;
+
+/// Trials per scheduling chunk: the run control is polled between chunks,
+/// so this bounds how many trials an interruption can overshoot by. Fixed
+/// (not thread-count-derived) so the chunk boundaries — and therefore the
+/// trip points — are identical on every machine.
+const CHUNK: usize = 64;
 
 /// Result of a timing-yield Monte Carlo run.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +94,12 @@ pub fn timing_yield(
 
 /// [`timing_yield`] on an explicit [`EvalContext`] (thread count and
 /// telemetry of the caller's choosing).
+///
+/// # Panics
+///
+/// Panics if `samples` is zero, `sigma_rel` is negative, or a trial's
+/// evaluation panicked on a worker (re-raised here; use
+/// [`timing_yield_ctl`] to receive it as a typed error instead).
 pub fn timing_yield_with(
     ctx: &EvalContext,
     problem: &Problem,
@@ -94,6 +108,53 @@ pub fn timing_yield_with(
     samples: usize,
     seed: u64,
 ) -> YieldResult {
+    match timing_yield_ctl(
+        ctx,
+        problem,
+        design,
+        sigma_rel,
+        samples,
+        seed,
+        &RunControl::new(),
+    ) {
+        Ok(r) => r,
+        Err(OptimizeError::WorkerPanicked { index, message }) => {
+            panic!("worker panicked at index {index}: {message}")
+        }
+        // A default RunControl never trips and no other error is reachable.
+        Err(e) => panic!("unexpected yield error: {e}"),
+    }
+}
+
+/// [`timing_yield_with`] under a [`RunControl`], with typed failure
+/// containment.
+///
+/// Trials run in fixed-size chunks; the control is polled between chunks
+/// and a trip returns [`OptimizeError::Interrupted`] whose
+/// `progress.evaluations` reports the trials completed (there is no
+/// meaningful partial yield estimate, so `best_so_far` is `None`). A
+/// panic inside a trial — a poisoned model, an injected fault — is caught
+/// on the worker, its sibling trials drained, and surfaced as
+/// [`OptimizeError::WorkerPanicked`] instead of tearing down the caller.
+///
+/// # Errors
+///
+/// [`OptimizeError::Interrupted`] on a control trip,
+/// [`OptimizeError::WorkerPanicked`] when a trial panicked.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or `sigma_rel` is negative.
+#[allow(clippy::too_many_arguments)]
+pub fn timing_yield_ctl(
+    ctx: &EvalContext,
+    problem: &Problem,
+    design: &Design,
+    sigma_rel: f64,
+    samples: usize,
+    seed: u64,
+    control: &RunControl,
+) -> Result<YieldResult, OptimizeError> {
     assert!(samples > 0, "need at least one sample");
     assert!(sigma_rel >= 0.0, "sigma must be non-negative");
     let model = problem.model();
@@ -101,54 +162,79 @@ pub fn timing_yield_with(
     let stats = ctx.stats().clone();
     // Each trial owns a PRNG stream derived from (seed, trial index), so
     // the drawn thresholds — and therefore the whole result — do not
-    // depend on how trials land on workers.
-    let trials = stats.time(Phase::MonteCarlo, || {
-        par_map_indices(ctx.threads(), samples, |t| {
-            // Per-worker scratch: trial loops are the hottest full-pass
-            // caller, so reuse the delay/arrival buffers across trials
-            // instead of allocating fresh vectors per evaluation.
-            thread_local! {
-                static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
-                    const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
-            }
-            let mut rng = SplitMix64::stream(seed, t as u64);
-            let mut sample = design.clone();
-            for (i, &vt) in design.vt.iter().enumerate() {
-                let z = rng.normal();
-                sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
-            }
-            // `timing_into` + `total_energy` produce bitwise the
-            // `critical_delay` / `energy` of `CircuitModel::evaluate`.
-            let critical_delay = SCRATCH.with(|s| {
-                let (delays, arrival) = &mut *s.borrow_mut();
-                model.timing_into(&sample, delays, arrival)
-            });
-            let energy = model.total_energy(&sample, problem.fc());
-            stats.count_eval();
-            stats.count_sta(1);
-            (critical_delay, energy.total())
-        })
-    });
-    // Reduce in trial order: bitwise-identical for every thread count.
+    // depend on how trials land on workers or where chunks split.
+    let trial = |t: usize| {
+        // Per-worker scratch: trial loops are the hottest full-pass
+        // caller, so reuse the delay/arrival buffers across trials
+        // instead of allocating fresh vectors per evaluation.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        let mut rng = SplitMix64::stream(seed, t as u64);
+        let mut sample = design.clone();
+        for (i, &vt) in design.vt.iter().enumerate() {
+            let z = rng.normal();
+            sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
+        }
+        // `timing_into` + `total_energy` produce bitwise the
+        // `critical_delay` / `energy` of `CircuitModel::evaluate`.
+        let critical_delay = SCRATCH.with(|s| {
+            let (delays, arrival) = &mut *s.borrow_mut();
+            model.timing_into(&sample, delays, arrival)
+        });
+        let energy = model.total_energy(&sample, problem.fc());
+        stats.count_eval();
+        stats.count_sta(1);
+        (critical_delay, energy.total())
+    };
+
+    // Reduce in trial order as chunks complete: bitwise-identical for
+    // every thread count and chunk placement.
     let mut pass = 0usize;
     let mut sum_delay = 0.0;
     let mut worst: f64 = 0.0;
     let mut sum_energy = 0.0;
-    for &(delay, energy) in &trials {
-        if delay <= tc {
-            pass += 1;
+    let mut done = 0usize;
+    stats.time(Phase::MonteCarlo, || {
+        while done < samples {
+            if let Some(reason) = control.trip() {
+                stats.count_deadline_trip();
+                return Err(OptimizeError::Interrupted {
+                    reason,
+                    best_so_far: None,
+                    progress: control.progress(done),
+                });
+            }
+            let count = CHUNK.min(samples - done);
+            let base = done;
+            let chunk =
+                try_par_map_indices(ctx.threads(), count, |i| trial(base + i)).map_err(|p| {
+                    stats.count_panic_recovered();
+                    OptimizeError::WorkerPanicked {
+                        index: base + p.index,
+                        message: p.message,
+                    }
+                })?;
+            for &(delay, energy) in &chunk {
+                if delay <= tc {
+                    pass += 1;
+                }
+                sum_delay += delay;
+                worst = worst.max(delay);
+                sum_energy += energy;
+            }
+            done += count;
         }
-        sum_delay += delay;
-        worst = worst.max(delay);
-        sum_energy += energy;
-    }
-    YieldResult {
+        Ok(())
+    })?;
+    Ok(YieldResult {
         timing_yield: pass as f64 / samples as f64,
         mean_delay: sum_delay / samples as f64,
         worst_delay: worst,
         mean_energy: sum_energy / samples as f64,
         samples,
-    }
+    })
 }
 
 #[cfg(test)]

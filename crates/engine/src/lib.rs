@@ -27,16 +27,24 @@
 //! yield analysis need no external `rand` dependency (the build must
 //! resolve offline) and every stream can be split per trial for
 //! thread-count-independent reproducibility.
+//!
+//! Robustness: the pool contains worker panics
+//! ([`pool::try_par_map_indices`] returns a typed
+//! [`pool::WorkerPanicked`] carrying the surviving sibling results), and
+//! the feature-gated [`faults`] module provides deterministic,
+//! failpoints-style fault injection (worker panics, NaN model outputs,
+//! simulated clock jumps) for the resilience test suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod pool;
 pub mod rng;
 pub mod stats;
 
 pub use cache::{fnv1a_words, CacheStats, EvalCache, Fingerprint, PointKey, Quantizer};
-pub use pool::{par_chunks, par_map, par_map_indices};
+pub use pool::{par_chunks, par_map, par_map_indices, try_par_map_indices, WorkerPanicked};
 pub use rng::SplitMix64;
 pub use stats::{EngineStats, Phase, StatsSnapshot};

@@ -6,59 +6,201 @@
 //! reassembled in submission order, and `threads = 1` short-circuits to a
 //! plain in-order loop on the calling thread so serial runs are
 //! bit-identical to a hand-written `for` loop.
+//!
+//! Worker panics are **contained**: [`try_par_map_indices`] catches a
+//! panicking closure with `catch_unwind`, keeps draining the remaining
+//! work items, and returns a typed [`WorkerPanicked`] error carrying the
+//! panicking index, the panic payload message, and every sibling result
+//! that completed — nothing computed is thrown away. The unchecked
+//! [`par_map_indices`] preserves the historical propagate-the-panic
+//! behavior on top of it.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// A worker closure panicked during a parallel map.
+///
+/// Carries everything the caller needs to degrade gracefully: which work
+/// item blew up, the panic payload rendered as text, and the results of
+/// every sibling item that completed (`partial[i]` is `Some` unless item
+/// `i` itself panicked). When several items panic in one map, `index` and
+/// `message` report the smallest panicking index — deterministic
+/// regardless of thread scheduling.
+pub struct WorkerPanicked<R> {
+    /// The smallest work-item index whose closure panicked.
+    pub index: usize,
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case); `"<non-string panic payload>"` otherwise.
+    pub message: String,
+    /// Per-item results: `Some` for every item that completed, `None` for
+    /// the panicked one(s).
+    pub partial: Vec<Option<R>>,
+}
+
+impl<R> std::fmt::Debug for WorkerPanicked<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPanicked")
+            .field("index", &self.index)
+            .field("message", &self.message)
+            .field(
+                "completed",
+                &self.partial.iter().filter(|r| r.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl<R> std::fmt::Display for WorkerPanicked<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked at index {}: {} ({} of {} sibling results retained)",
+            self.index,
+            self.message,
+            self.partial.iter().filter(|r| r.is_some()).count(),
+            self.partial.len().saturating_sub(1),
+        )
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+enum Outcome<R> {
+    Done(R),
+    Panicked(String),
+}
+
+fn run_item<R, F>(f: &F, i: usize) -> Outcome<R>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    // The fault-injection site for worker panics: armed tests make the
+    // item itself panic, exercising the same containment path a bug in
+    // the closure would.
+    match catch_unwind(AssertUnwindSafe(|| {
+        if crate::faults::should_fire("pool.worker.panic", i as u64) {
+            panic!("injected fault: worker panic at index {i}");
+        }
+        f(i)
+    })) {
+        Ok(r) => Outcome::Done(r),
+        Err(payload) => Outcome::Panicked(payload_message(payload)),
+    }
+}
+
+/// Maps `f` over `0..n`, returning results in index order, containing
+/// worker panics.
+///
+/// With `threads <= 1` (or fewer than two items) items run in order on
+/// the calling thread. Otherwise `min(threads, n)` scoped workers pull
+/// indices from a shared atomic counter; the closure must therefore be
+/// safe to call concurrently, and any mutable state belongs in its return
+/// value.
+///
+/// If an item's closure panics, the panic is caught, the **remaining work
+/// is still drained** (siblings complete), and the map returns
+/// [`WorkerPanicked`] with the smallest panicking index, the payload
+/// message, and all completed sibling results.
+///
+/// # Errors
+///
+/// [`WorkerPanicked`] if any item's closure panicked.
+pub fn try_par_map_indices<R, F>(
+    threads: usize,
+    n: usize,
+    f: F,
+) -> Result<Vec<R>, WorkerPanicked<R>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut first_panic: Option<(usize, String)> = None;
+    if threads <= 1 || n <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            match run_item(&f, i) {
+                Outcome::Done(r) => *slot = Some(r),
+                Outcome::Panicked(msg) => {
+                    if first_panic.as_ref().is_none_or(|&(j, _)| i < j) {
+                        first_panic = Some((i, msg));
+                    }
+                }
+            }
+        }
+    } else {
+        let workers = threads.min(n);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Outcome<R>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A send only fails if the receiver is gone, which
+                    // means the main thread is already unwinding — stop
+                    // quietly.
+                    if tx.send((i, run_item(f, i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, outcome) in rx {
+                match outcome {
+                    Outcome::Done(r) => slots[i] = Some(r),
+                    Outcome::Panicked(msg) => {
+                        if first_panic.as_ref().is_none_or(|&(j, _)| i < j) {
+                            first_panic = Some((i, msg));
+                        }
+                    }
+                }
+            }
+        });
+    }
+    match first_panic {
+        None => Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every index was dispatched exactly once"))
+            .collect()),
+        Some((index, message)) => Err(WorkerPanicked {
+            index,
+            message,
+            partial: slots,
+        }),
+    }
+}
+
 /// Maps `f` over `0..n`, returning results in index order.
 ///
-/// With `threads <= 1` (or fewer than two items) this is exactly
-/// `(0..n).map(f).collect()` on the calling thread. Otherwise
-/// `min(threads, n)` scoped workers pull indices from a shared atomic
-/// counter; the closure must therefore be safe to call concurrently, and
-/// any mutable state belongs in its return value.
+/// See [`try_par_map_indices`] for the execution model; this wrapper
+/// preserves the historical contract of re-raising a worker panic.
 ///
 /// # Panics
 ///
-/// Panics if a worker panics (the panic is propagated by the scope).
+/// Panics if a worker panics (with the original payload message).
 pub fn par_map_indices<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+    match try_par_map_indices(threads, n, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
-    let workers = threads.min(n);
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // A send only fails if the receiver is gone, which means
-                // the main thread is already unwinding — stop quietly.
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every index was dispatched exactly once"))
-            .collect()
-    })
 }
 
 /// Maps `f` over a slice, returning results in item order.
@@ -145,5 +287,59 @@ mod tests {
     #[should_panic(expected = "chunk size")]
     fn zero_chunk_rejected() {
         let _ = par_chunks(2, 10, 0, |r| r.len());
+    }
+
+    #[test]
+    fn panicking_item_is_contained_and_siblings_survive() {
+        for threads in [1, 4] {
+            let err = try_par_map_indices(threads, 20, |i| {
+                if i == 7 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 7, "threads = {threads}");
+            assert!(err.message.contains("boom at 7"), "{}", err.message);
+            // Every sibling result was drained, none lost.
+            for i in 0..20 {
+                if i == 7 {
+                    assert!(err.partial[i].is_none());
+                } else {
+                    assert_eq!(err.partial[i], Some(i * 2), "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_panics_report_smallest_index() {
+        let err = try_par_map_indices(4, 32, |i| {
+            if i % 10 == 3 {
+                panic!("bad {i}");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 3);
+        assert!(err.message.contains("bad 3"));
+        assert_eq!(err.partial.iter().filter(|r| r.is_none()).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked at index 2")]
+    fn unchecked_wrapper_reraises() {
+        let _ = par_map_indices(2, 5, |i| {
+            if i == 2 {
+                panic!("kapow");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn try_succeeds_when_nothing_panics() {
+        let out = try_par_map_indices(4, 50, |i| i + 1).unwrap();
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
     }
 }

@@ -33,6 +33,20 @@ impl SplitMix64 {
         SplitMix64::new(base ^ index.wrapping_mul(GOLDEN_GAMMA))
     }
 
+    /// The raw generator state, for checkpointing. Restoring via
+    /// [`SplitMix64::from_state`] continues the stream exactly where this
+    /// generator left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a state captured with
+    /// [`SplitMix64::state`]. Note this is *not* the same as `new(seed)`:
+    /// `state` is the walked internal counter, not the original seed.
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
     /// The next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
@@ -109,6 +123,18 @@ mod tests {
         let mut again = SplitMix64::stream(7, 1);
         let mut s1b = SplitMix64::stream(7, 1);
         assert_eq!(again.next_u64(), s1b.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = SplitMix64::new(123);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub struct EngineStats {
     /// Incremental commits that fell back to a dense full pass because
     /// the dirty set grew past the fallback fraction.
     pub sta_fallbacks: AtomicU64,
+    /// Run-control trips: a soft deadline expired or a cancellation
+    /// request (e.g. SIGINT) was observed at an iteration boundary.
+    pub deadline_trips: AtomicU64,
+    /// Injected faults that were caught and neutralized (non-zero only
+    /// under the `faults` feature in fault-injection tests).
+    pub faults_injected: AtomicU64,
+    /// Checkpoint snapshots written to disk.
+    pub checkpoints_written: AtomicU64,
+    /// Worker panics contained by the pool and surfaced as typed errors
+    /// instead of aborting the run.
+    pub panics_recovered: AtomicU64,
     phase_nanos: [AtomicU64; 4],
 }
 
@@ -96,6 +107,26 @@ impl EngineStats {
         self.sta_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one run-control trip (deadline expiry or cancellation).
+    pub fn count_deadline_trip(&self) {
+        self.deadline_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one injected fault that was caught and neutralized.
+    pub fn count_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one checkpoint snapshot written to disk.
+    pub fn count_checkpoint(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one worker panic contained and surfaced as a typed error.
+    pub fn count_panic_recovered(&self) {
+        self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Runs `f`, attributing its wall time to `phase`.
     pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
@@ -120,6 +151,10 @@ impl EngineStats {
             incremental_commits: self.incremental_commits.load(Ordering::Relaxed),
             incremental_gates: self.incremental_gates.load(Ordering::Relaxed),
             sta_fallbacks: self.sta_fallbacks.load(Ordering::Relaxed),
+            deadline_trips: self.deadline_trips.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
             phase_nanos: [
                 self.phase_nanos[0].load(Ordering::Relaxed),
                 self.phase_nanos[1].load(Ordering::Relaxed),
@@ -147,6 +182,14 @@ pub struct StatsSnapshot {
     pub incremental_gates: u64,
     /// Incremental commits that fell back to a dense full pass.
     pub sta_fallbacks: u64,
+    /// Run-control trips (deadline expiry or cancellation) observed.
+    pub deadline_trips: u64,
+    /// Injected faults caught and neutralized.
+    pub faults_injected: u64,
+    /// Checkpoint snapshots written to disk.
+    pub checkpoints_written: u64,
+    /// Worker panics contained and surfaced as typed errors.
+    pub panics_recovered: u64,
     /// Wall time per phase, in the order of `Phase`'s variants.
     pub phase_nanos: [u64; 4],
 }
@@ -206,6 +249,20 @@ impl StatsSnapshot {
                 self.gates_per_commit(),
                 self.sta_fallbacks,
                 100.0 * self.fallback_rate()
+            ));
+        }
+        if self.deadline_trips
+            + self.faults_injected
+            + self.checkpoints_written
+            + self.panics_recovered
+            > 0
+        {
+            out.push_str(&format!(
+                "  run control         : {} deadline/cancel trips, {} faults caught, {} checkpoints written, {} panics recovered\n",
+                self.deadline_trips,
+                self.faults_injected,
+                self.checkpoints_written,
+                self.panics_recovered
             ));
         }
         for (phase, name) in PHASES {
@@ -269,6 +326,30 @@ mod tests {
         let text = stats.snapshot().render();
         assert!(text.contains("circuit evaluations : 1"));
         assert!(text.contains("50.0% hit rate"));
+    }
+
+    #[test]
+    fn resilience_counters_render_only_when_used() {
+        let stats = EngineStats::new();
+        assert!(!stats.snapshot().render().contains("run control"));
+        stats.count_deadline_trip();
+        stats.count_fault_injected();
+        stats.count_fault_injected();
+        stats.count_checkpoint();
+        stats.count_panic_recovered();
+        let snap = stats.snapshot();
+        assert_eq!(snap.deadline_trips, 1);
+        assert_eq!(snap.faults_injected, 2);
+        assert_eq!(snap.checkpoints_written, 1);
+        assert_eq!(snap.panics_recovered, 1);
+        let text = snap.render();
+        assert!(
+            text.contains(
+                "run control         : 1 deadline/cancel trips, 2 faults caught, \
+                 1 checkpoints written, 1 panics recovered"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Malformed-input containment: every broken `.bench` / Verilog document
+//! in this corpus must come back as a structured `Err`, never a panic and
+//! never a silently-wrong netlist.
+
+use minpower::netlist::{bench, verilog};
+
+/// Runs the parser inside `catch_unwind` so a panicking parser fails the
+/// test with the offending document named, instead of aborting the suite.
+fn bench_must_err(label: &str, text: &str) {
+    let result = std::panic::catch_unwind(|| bench::parse("bad", text));
+    match result {
+        Ok(Ok(_)) => panic!("{label}: parser accepted a malformed document"),
+        Ok(Err(_)) => {}
+        Err(_) => panic!("{label}: parser panicked instead of returning Err"),
+    }
+}
+
+fn verilog_must_err(label: &str, text: &str) {
+    let result = std::panic::catch_unwind(|| verilog::parse(text));
+    match result {
+        Ok(Ok(_)) => panic!("{label}: parser accepted a malformed document"),
+        Ok(Err(_)) => {}
+        Err(_) => panic!("{label}: parser panicked instead of returning Err"),
+    }
+}
+
+#[test]
+fn bench_dangling_fanin_is_an_error() {
+    bench_must_err(
+        "dangling fanin",
+        "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n",
+    );
+}
+
+#[test]
+fn bench_duplicate_driver_is_an_error() {
+    bench_must_err(
+        "duplicate driver",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\ny = NOR(a, b)\n",
+    );
+}
+
+#[test]
+fn bench_combinational_cycle_is_an_error() {
+    bench_must_err(
+        "cycle",
+        "INPUT(a)\nOUTPUT(y)\nu = NAND(a, y)\ny = NAND(a, u)\n",
+    );
+}
+
+#[test]
+fn bench_truncated_lines_are_errors() {
+    for (label, text) in [
+        ("unclosed INPUT", "INPUT(a\n"),
+        ("missing rhs", "INPUT(a)\ny = \n"),
+        ("missing assignment", "INPUT(a)\nNAND(a, a)\n"),
+        ("unclosed fanin list", "INPUT(a)\ny = NAND(a, a\n"),
+        ("empty fanin list", "INPUT(a)\ny = NAND()\n"),
+    ] {
+        bench_must_err(label, text);
+    }
+}
+
+#[test]
+fn bench_unknown_gate_kind_is_an_error() {
+    bench_must_err("unknown kind", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+}
+
+#[test]
+fn bench_undeclared_output_is_an_error() {
+    bench_must_err("undeclared output", "INPUT(a)\nOUTPUT(zap)\ny = NOT(a)\n");
+}
+
+#[test]
+fn verilog_truncated_module_is_an_error() {
+    for (label, text) in [
+        ("no module header", "input a;\noutput y;\n"),
+        (
+            "unterminated module",
+            "module m(a, y);\ninput a;\noutput y;\n",
+        ),
+        (
+            "dangling wire",
+            "module m(a, y);\ninput a;\noutput y;\nnand g0(y, a, ghost);\nendmodule\n",
+        ),
+        (
+            "duplicate driver",
+            "module m(a, b, y);\ninput a, b;\noutput y;\n\
+             nand g0(y, a, b);\nnor g1(y, a, b);\nendmodule\n",
+        ),
+        (
+            "cycle",
+            "module m(a, y);\ninput a;\noutput y;\nwire u;\n\
+             nand g0(u, a, y);\nnand g1(y, a, u);\nendmodule\n",
+        ),
+    ] {
+        verilog_must_err(label, text);
+    }
+}
+
+#[test]
+fn well_formed_documents_still_parse() {
+    let n = bench::parse(
+        "ok",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nu = NAND(a, b)\ny = NOT(u)\n",
+    )
+    .unwrap();
+    assert_eq!(n.logic_gate_count(), 2);
+
+    let v = verilog::parse(
+        "module m(a, b, y);\ninput a, b;\noutput y;\nwire u;\n\
+         nand g0(u, a, b);\nnot g1(y, u);\nendmodule\n",
+    )
+    .unwrap();
+    assert_eq!(v.logic_gate_count(), 2);
+}

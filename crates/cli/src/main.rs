@@ -150,6 +150,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     install_engine(&Flags::new(rest))?;
     match command.as_str() {
         "optimize" => optimize(rest),
+        "serve" => serve(rest),
         "baseline" => baseline_cmd(rest),
         "stats" => stats(rest),
         "budget" => budget(rest),
@@ -182,7 +183,9 @@ fn print_usage() {
          \x20 minpower optimize <circuit> [--fc HZ] [--activity A] [--steps M]\n\
          \x20                   [--vt-groups N] [--tolerance T] [--skew B] [--report N]\n\
          \x20                   [--sizing budgeted|greedy] [--time-limit SECS]\n\
-         \x20                   [--checkpoint FILE] [--resume FILE]\n\
+         \x20                   [--checkpoint FILE] [--resume FILE] [--format human|json]\n\
+         \x20 minpower serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20                   [--job-time-limit SECS] [--state-dir DIR]\n\
          \x20 minpower baseline <circuit> [--fc HZ] [--activity A] [--vt V]\n\
          \x20 minpower stats    <circuit>\n\
          \x20 minpower budget   <circuit> [--fc HZ]\n\
@@ -398,6 +401,26 @@ fn search_options(flags: &Flags<'_>) -> Result<SearchOptions, String> {
     })
 }
 
+/// How `optimize` renders its result on stdout.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    /// The human-readable block + optional gate table (default).
+    Human,
+    /// One `minpower-result` JSON document — the exact schema
+    /// `minpower serve` returns for a finished job, so scripted callers
+    /// can switch between the CLI and the service without reparsing.
+    Json,
+}
+
+fn output_format(flags: &Flags<'_>) -> Result<OutputFormat, String> {
+    match flags.get("--format") {
+        None if flags.has("--format") => Err("flag --format requires a value".to_string()),
+        None | Some("human") => Ok(OutputFormat::Human),
+        Some("json") => Ok(OutputFormat::Json),
+        Some(other) => Err(format!("--format must be `human` or `json`, got `{other}`")),
+    }
+}
+
 /// Prints the result block shared by complete and interrupted runs.
 fn print_result(problem: &Problem, result: &minpower::OptimizationResult, top: usize) {
     println!(
@@ -439,11 +462,13 @@ fn optimize(args: &[String]) -> Result<(), CliError> {
         "--time-limit",
         "--checkpoint",
         "--resume",
+        "--format",
     ])?;
     let netlist = positional_circuit(&flags)?;
     let problem = build_problem(&netlist, &flags)?;
     let options = search_options(&flags)?;
     let top = flags.get_usize("--report", 0)?;
+    let format = output_format(&flags)?;
 
     let mut control = RunControl::new();
     let time_limit = flags.get_f64("--time-limit", 0.0)?;
@@ -475,7 +500,9 @@ fn optimize(args: &[String]) -> Result<(), CliError> {
         ));
     }
 
-    println!("circuit {}: {}", netlist.name(), netlist.stats());
+    if format == OutputFormat::Human {
+        println!("circuit {}: {}", netlist.name(), netlist.stats());
+    }
     let t0 = std::time::Instant::now();
     let result = match optimizer.run() {
         Ok(result) => result,
@@ -489,25 +516,92 @@ fn optimize(args: &[String]) -> Result<(), CliError> {
                 progress.evaluations, progress.elapsed_secs
             );
             match best_so_far {
-                Some(best) => {
-                    println!("best design so far (valid, delay-feasible):");
-                    print_result(&problem, &best, top);
-                }
+                Some(best) => match format {
+                    OutputFormat::Human => {
+                        println!("best design so far (valid, delay-feasible):");
+                        print_result(&problem, &best, top);
+                        print_engine_summary();
+                    }
+                    OutputFormat::Json => {
+                        // Stdout stays one parseable document even on
+                        // interruption; the diagnostics above went to stderr.
+                        println!(
+                            "{}",
+                            minpower::opt::report::result_to_json(&problem, &best, top).render()
+                        );
+                    }
+                },
                 None => eprintln!("no feasible design found before the interruption"),
             }
-            print_engine_summary();
             return Err(CliError::Interrupted(format!("run interrupted ({reason})")));
         }
         Err(e) => return Err(map_opt_err(e)),
     };
-    println!(
-        "optimized in {:.2?} ({} circuit evaluations)",
-        t0.elapsed(),
-        result.evaluations
-    );
-    print_result(&problem, &result, top);
-    print_engine_summary();
+    match format {
+        OutputFormat::Human => {
+            println!(
+                "optimized in {:.2?} ({} circuit evaluations)",
+                t0.elapsed(),
+                result.evaluations
+            );
+            print_result(&problem, &result, top);
+            print_engine_summary();
+        }
+        OutputFormat::Json => println!(
+            "{}",
+            minpower::opt::report::result_to_json(&problem, &result, top).render()
+        ),
+    }
     Ok(())
+}
+
+/// `minpower serve`: run the HTTP optimization service until SIGINT (or
+/// `POST /shutdown`) drains it. Prints `listening on <addr>` first so
+/// scripts binding port 0 can discover the actual port. Exit codes
+/// follow the CLI convention: 0 for a clean drain, 4 when jobs were
+/// interrupted mid-run (they stay resumable in the state directory).
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::new(args);
+    flags.reject_unknown(&[
+        "--addr",
+        "--workers",
+        "--queue-depth",
+        "--job-time-limit",
+        "--state-dir",
+        "--max-gates",
+    ])?;
+    let mut config = minpower_serve::Config {
+        addr: flags.get("--addr").unwrap_or("127.0.0.1:7817").to_string(),
+        workers: flags.get_usize("--workers", 2)?,
+        queue_depth: flags.get_usize("--queue-depth", 16)?,
+        job_time_limit: flags.get_f64("--job-time-limit", 0.0)?,
+        ..minpower_serve::Config::default()
+    };
+    config.max_gates = flags.get_usize("--max-gates", config.max_gates)?;
+    if let Some(dir) = flags.get("--state-dir") {
+        config.state_dir = dir.into();
+    }
+    if config.workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".to_string()));
+    }
+    if config.job_time_limit < 0.0 || !config.job_time_limit.is_finite() {
+        return Err(CliError::Usage(
+            "--job-time-limit must be a finite, non-negative number of seconds".to_string(),
+        ));
+    }
+    let server = minpower_serve::Server::bind(config)
+        .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Other(format!("local_addr: {e}")))?;
+    sigint::install(server.stop_token());
+    println!("listening on {addr}");
+    match server.run() {
+        minpower_serve::DrainOutcome::Clean => Ok(()),
+        minpower_serve::DrainOutcome::JobsInterrupted => Err(CliError::Interrupted(
+            "drained with jobs interrupted (resumable from the state directory)".to_string(),
+        )),
+    }
 }
 
 fn baseline_cmd(args: &[String]) -> Result<(), CliError> {

@@ -22,7 +22,8 @@
 //!
 //! # Format and versioning
 //!
-//! The document is ordinary JSON with two conventions: the top level
+//! The document is ordinary JSON (via the shared [`crate::json`]
+//! module) with two conventions: the top level
 //! always contains `"format": "minpower-checkpoint"` and an integer
 //! `"version"` (currently 1), and every `f64` is encoded as the hex bit
 //! pattern of its IEEE-754 representation (`"0x3fe0000000000000"` for
@@ -32,12 +33,12 @@
 //! change (unknown fields are ignored), removing or reinterpreting one
 //! requires a version bump.
 
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 use minpower_models::{Design, EnergyBreakdown};
 
 use crate::error::OptimizeError;
+use crate::json::{self, Value};
 
 /// The format marker every checkpoint document carries.
 pub const FORMAT: &str = "minpower-checkpoint";
@@ -195,7 +196,7 @@ impl Checkpoint {
                 ..
             } => {
                 top.push(("evaluations".to_string(), Value::Int(*evaluations as u64)));
-                top.push(("budgets".to_string(), f64_array(budgets)));
+                top.push(("budgets".to_string(), json::bits_f64_array(budgets)));
                 top.push((
                     "probes".to_string(),
                     Value::Arr(probes.iter().map(probe_value).collect()),
@@ -218,7 +219,7 @@ impl Checkpoint {
     /// [`OptimizeError::Checkpoint`] describing the first malformation
     /// encountered.
     pub fn from_json(text: &str) -> Result<Checkpoint, OptimizeError> {
-        let value = parse(text)?;
+        let value = json::parse(text)?;
         let obj = value.as_obj("checkpoint")?;
         let format = obj.req("format")?.as_str("format")?;
         if format != FORMAT {
@@ -234,7 +235,7 @@ impl Checkpoint {
         match obj.req("engine")?.as_str("engine")? {
             "search" => {
                 let evaluations = obj.req("evaluations")?.as_u64("evaluations")? as usize;
-                let budgets = obj.req("budgets")?.as_f64_vec("budgets")?;
+                let budgets = obj.req("budgets")?.as_bits_f64_vec("budgets")?;
                 let probes = obj
                     .req("probes")?
                     .as_arr("probes")?
@@ -265,29 +266,32 @@ fn bad(message: impl Into<String>) -> OptimizeError {
 
 fn design_value(d: &Design) -> Value {
     Value::Obj(vec![
-        ("vdd".to_string(), f64_value(d.vdd)),
-        ("vt".to_string(), f64_array(&d.vt)),
-        ("width".to_string(), f64_array(&d.width)),
+        ("vdd".to_string(), json::bits_f64(d.vdd)),
+        ("vt".to_string(), json::bits_f64_array(&d.vt)),
+        ("width".to_string(), json::bits_f64_array(&d.width)),
     ])
 }
 
 fn parse_design(v: &Value) -> Result<Design, OptimizeError> {
     let obj = v.as_obj("design")?;
     Ok(Design {
-        vdd: obj.req("vdd")?.as_f64("design.vdd")?,
-        vt: obj.req("vt")?.as_f64_vec("design.vt")?,
-        width: obj.req("width")?.as_f64_vec("design.width")?,
+        vdd: obj.req("vdd")?.as_bits_f64("design.vdd")?,
+        vt: obj.req("vt")?.as_bits_f64_vec("design.vt")?,
+        width: obj.req("width")?.as_bits_f64_vec("design.width")?,
     })
 }
 
 fn probe_value(p: &ProbeRecord) -> Value {
     Value::Obj(vec![
-        ("vdd".to_string(), f64_value(p.vdd)),
-        ("vts".to_string(), f64_array(&p.vts)),
+        ("vdd".to_string(), json::bits_f64(p.vdd)),
+        ("vts".to_string(), json::bits_f64_array(&p.vts)),
         ("design".to_string(), design_value(&p.design)),
-        ("static".to_string(), f64_value(p.energy.static_)),
-        ("dynamic".to_string(), f64_value(p.energy.dynamic)),
-        ("critical_delay".to_string(), f64_value(p.critical_delay)),
+        ("static".to_string(), json::bits_f64(p.energy.static_)),
+        ("dynamic".to_string(), json::bits_f64(p.energy.dynamic)),
+        (
+            "critical_delay".to_string(),
+            json::bits_f64(p.critical_delay),
+        ),
         ("feasible".to_string(), Value::Bool(p.feasible)),
     ])
 }
@@ -295,14 +299,16 @@ fn probe_value(p: &ProbeRecord) -> Value {
 fn parse_probe(v: &Value) -> Result<ProbeRecord, OptimizeError> {
     let obj = v.as_obj("probe")?;
     Ok(ProbeRecord {
-        vdd: obj.req("vdd")?.as_f64("probe.vdd")?,
-        vts: obj.req("vts")?.as_f64_vec("probe.vts")?,
+        vdd: obj.req("vdd")?.as_bits_f64("probe.vdd")?,
+        vts: obj.req("vts")?.as_bits_f64_vec("probe.vts")?,
         design: parse_design(obj.req("design")?)?,
         energy: EnergyBreakdown::new(
-            obj.req("static")?.as_f64("probe.static")?,
-            obj.req("dynamic")?.as_f64("probe.dynamic")?,
+            obj.req("static")?.as_bits_f64("probe.static")?,
+            obj.req("dynamic")?.as_bits_f64("probe.dynamic")?,
         ),
-        critical_delay: obj.req("critical_delay")?.as_f64("probe.critical_delay")?,
+        critical_delay: obj
+            .req("critical_delay")?
+            .as_bits_f64("probe.critical_delay")?,
         feasible: obj.req("feasible")?.as_bool("probe.feasible")?,
     })
 }
@@ -312,12 +318,12 @@ fn anneal_value(s: &AnnealState) -> Value {
         ("pass".to_string(), Value::Int(s.pass as u64)),
         ("step".to_string(), Value::Int(s.step as u64)),
         ("evaluations".to_string(), Value::Int(s.evaluations as u64)),
-        ("temperature".to_string(), f64_value(s.temperature)),
+        ("temperature".to_string(), json::bits_f64(s.temperature)),
         ("rng_state".to_string(), Value::Int(s.rng_state)),
         ("current".to_string(), design_value(&s.current)),
-        ("current_cost".to_string(), f64_value(s.current_cost)),
+        ("current_cost".to_string(), json::bits_f64(s.current_cost)),
         ("best".to_string(), design_value(&s.best)),
-        ("best_cost".to_string(), f64_value(s.best_cost)),
+        ("best_cost".to_string(), json::bits_f64(s.best_cost)),
         ("best_feasible".to_string(), Value::Bool(s.best_feasible)),
     ])
 }
@@ -328,324 +334,14 @@ fn parse_anneal(v: &Value) -> Result<AnnealState, OptimizeError> {
         pass: obj.req("pass")?.as_u64("state.pass")? as usize,
         step: obj.req("step")?.as_u64("state.step")? as usize,
         evaluations: obj.req("evaluations")?.as_u64("state.evaluations")? as usize,
-        temperature: obj.req("temperature")?.as_f64("state.temperature")?,
+        temperature: obj.req("temperature")?.as_bits_f64("state.temperature")?,
         rng_state: obj.req("rng_state")?.as_u64("state.rng_state")?,
         current: parse_design(obj.req("current")?)?,
-        current_cost: obj.req("current_cost")?.as_f64("state.current_cost")?,
+        current_cost: obj.req("current_cost")?.as_bits_f64("state.current_cost")?,
         best: parse_design(obj.req("best")?)?,
-        best_cost: obj.req("best_cost")?.as_f64("state.best_cost")?,
+        best_cost: obj.req("best_cost")?.as_bits_f64("state.best_cost")?,
         best_feasible: obj.req("best_feasible")?.as_bool("state.best_feasible")?,
     })
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON: just the subset the checkpoint schema needs, kept
-// in-tree because the build must resolve offline (no serde).
-// ---------------------------------------------------------------------
-
-/// `f64` → bit-exact hex string value.
-fn f64_value(x: f64) -> Value {
-    Value::Str(format!("0x{:016x}", x.to_bits()))
-}
-
-fn f64_array(xs: &[f64]) -> Value {
-    Value::Arr(xs.iter().map(|&x| f64_value(x)).collect())
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Bool(bool),
-    Int(u64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-struct Obj<'a> {
-    fields: HashMap<&'a str, &'a Value>,
-}
-
-impl<'a> Obj<'a> {
-    fn req(&self, name: &str) -> Result<&'a Value, OptimizeError> {
-        self.fields
-            .get(name)
-            .copied()
-            .ok_or_else(|| bad(format!("missing field {name:?}")))
-    }
-}
-
-impl Value {
-    fn write(&self, out: &mut String) {
-        match self {
-            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Int(n) => out.push_str(&n.to_string()),
-            Value::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32));
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Value::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Value::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Value::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    fn as_obj(&self, what: &str) -> Result<Obj<'_>, OptimizeError> {
-        match self {
-            Value::Obj(fields) => Ok(Obj {
-                fields: fields.iter().map(|(k, v)| (k.as_str(), v)).collect(),
-            }),
-            _ => Err(bad(format!("{what}: expected an object"))),
-        }
-    }
-
-    fn as_arr(&self, what: &str) -> Result<&[Value], OptimizeError> {
-        match self {
-            Value::Arr(items) => Ok(items),
-            _ => Err(bad(format!("{what}: expected an array"))),
-        }
-    }
-
-    fn as_str(&self, what: &str) -> Result<&str, OptimizeError> {
-        match self {
-            Value::Str(s) => Ok(s),
-            _ => Err(bad(format!("{what}: expected a string"))),
-        }
-    }
-
-    fn as_bool(&self, what: &str) -> Result<bool, OptimizeError> {
-        match self {
-            Value::Bool(b) => Ok(*b),
-            _ => Err(bad(format!("{what}: expected a boolean"))),
-        }
-    }
-
-    fn as_u64(&self, what: &str) -> Result<u64, OptimizeError> {
-        match self {
-            Value::Int(n) => Ok(*n),
-            _ => Err(bad(format!("{what}: expected an integer"))),
-        }
-    }
-
-    fn as_f64(&self, what: &str) -> Result<f64, OptimizeError> {
-        let s = self.as_str(what)?;
-        let hex = s
-            .strip_prefix("0x")
-            .ok_or_else(|| bad(format!("{what}: expected a 0x-prefixed hex float")))?;
-        let bits = u64::from_str_radix(hex, 16)
-            .map_err(|e| bad(format!("{what}: bad hex float {s:?}: {e}")))?;
-        Ok(f64::from_bits(bits))
-    }
-
-    fn as_f64_vec(&self, what: &str) -> Result<Vec<f64>, OptimizeError> {
-        self.as_arr(what)?.iter().map(|v| v.as_f64(what)).collect()
-    }
-}
-
-fn parse(text: &str) -> Result<Value, OptimizeError> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(bad(format!("trailing garbage at byte {pos}")));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), OptimizeError> {
-    skip_ws(bytes, pos);
-    if *pos < bytes.len() && bytes[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(bad(format!("expected {:?} at byte {}", c as char, *pos)))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, OptimizeError> {
-    skip_ws(bytes, pos);
-    let Some(&b) = bytes.get(*pos) else {
-        return Err(bad("unexpected end of document"));
-    };
-    match b {
-        b'{' => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = match parse_value(bytes, pos)? {
-                    Value::Str(s) => s,
-                    _ => return Err(bad(format!("object key at byte {} must be a string", *pos))),
-                };
-                expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
-                fields.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(&b',') => *pos += 1,
-                    Some(&b'}') => {
-                        *pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(bad(format!("expected ',' or '}}' at byte {}", *pos))),
-                }
-            }
-        }
-        b'[' => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(&b',') => *pos += 1,
-                    Some(&b']') => {
-                        *pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(bad(format!("expected ',' or ']' at byte {}", *pos))),
-                }
-            }
-        }
-        b'"' => {
-            *pos += 1;
-            let mut s = String::new();
-            loop {
-                let Some(&c) = bytes.get(*pos) else {
-                    return Err(bad("unterminated string"));
-                };
-                *pos += 1;
-                match c {
-                    b'"' => return Ok(Value::Str(s)),
-                    b'\\' => {
-                        let Some(&e) = bytes.get(*pos) else {
-                            return Err(bad("unterminated escape"));
-                        };
-                        *pos += 1;
-                        match e {
-                            b'"' => s.push('"'),
-                            b'\\' => s.push('\\'),
-                            b'/' => s.push('/'),
-                            b'n' => s.push('\n'),
-                            b't' => s.push('\t'),
-                            b'u' => {
-                                let hex = bytes
-                                    .get(*pos..*pos + 4)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .ok_or_else(|| bad("truncated \\u escape"))?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|_| bad(format!("bad \\u escape {hex:?}")))?;
-                                *pos += 4;
-                                s.push(
-                                    char::from_u32(code)
-                                        .ok_or_else(|| bad("invalid \\u code point"))?,
-                                );
-                            }
-                            other => {
-                                return Err(bad(format!("unknown escape \\{}", other as char)))
-                            }
-                        }
-                    }
-                    c => {
-                        // Multi-byte UTF-8: copy the full sequence.
-                        if c < 0x80 {
-                            s.push(c as char);
-                        } else {
-                            let start = *pos - 1;
-                            let len = match c {
-                                0xC0..=0xDF => 2,
-                                0xE0..=0xEF => 3,
-                                _ => 4,
-                            };
-                            let chunk = bytes
-                                .get(start..start + len)
-                                .and_then(|b| std::str::from_utf8(b).ok())
-                                .ok_or_else(|| bad("invalid UTF-8 in string"))?;
-                            s.push_str(chunk);
-                            *pos = start + len;
-                        }
-                    }
-                }
-            }
-        }
-        b't' => {
-            if bytes[*pos..].starts_with(b"true") {
-                *pos += 4;
-                Ok(Value::Bool(true))
-            } else {
-                Err(bad(format!("bad literal at byte {}", *pos)))
-            }
-        }
-        b'f' => {
-            if bytes[*pos..].starts_with(b"false") {
-                *pos += 5;
-                Ok(Value::Bool(false))
-            } else {
-                Err(bad(format!("bad literal at byte {}", *pos)))
-            }
-        }
-        b'0'..=b'9' => {
-            let start = *pos;
-            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
-                *pos += 1;
-            }
-            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
-            text.parse::<u64>()
-                .map(Value::Int)
-                .map_err(|e| bad(format!("bad integer {text:?}: {e}")))
-        }
-        other => Err(bad(format!(
-            "unexpected character {:?} at byte {}",
-            other as char, *pos
-        ))),
-    }
 }
 
 #[cfg(test)]

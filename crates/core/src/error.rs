@@ -93,6 +93,16 @@ impl fmt::Display for OptimizeError {
 
 impl Error for OptimizeError {}
 
+impl From<crate::json::JsonError> for OptimizeError {
+    /// JSON malformations surface as [`OptimizeError::Checkpoint`]: the
+    /// only JSON this crate *parses* on its own behalf is a checkpoint
+    /// document (callers decoding other schemas through [`crate::json`]
+    /// keep the raw [`crate::json::JsonError`]).
+    fn from(e: crate::json::JsonError) -> Self {
+        OptimizeError::Checkpoint { message: e.message }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,635 @@
+//! Minimal JSON, shared by every machine-readable surface of the
+//! workspace: checkpoint documents ([`crate::checkpoint`]), the CLI's
+//! `--format json` report, and the `minpower-serve` request/response
+//! bodies. Kept in-tree because the build must resolve offline (no
+//! serde); the subset implemented is exactly what those schemas need.
+//!
+//! Two number encodings coexist:
+//!
+//! * **plain numbers** ([`Value::Int`], [`Value::Float`]) — what a human
+//!   or an HTTP client reads and writes. Finite floats render through
+//!   Rust's shortest-round-trip formatting, so writing and re-parsing a
+//!   finite `f64` is bitwise lossless; non-finite floats render as
+//!   `null` (JSON has no spelling for them).
+//! * **bit-exact floats** ([`bits_f64`] / [`Value::as_bits_f64`]) — the
+//!   hex IEEE-754 bit pattern as a string (`"0x3fe0000000000000"` for
+//!   0.5). Checkpoints use this so NaNs, infinities, and signed zeros
+//!   round-trip *bitwise* under the resume-bit-identical contract.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A JSON parse or shape error: what was expected, where, what was seen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the malformation.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Builds an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for JsonError {}
+
+fn bad(message: impl Into<String>) -> JsonError {
+    JsonError::new(message)
+}
+
+/// A JSON document value.
+///
+/// Object fields keep their insertion order (checkpoint documents are
+/// diffable; response bodies render deterministically).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` — also what non-finite floats serialize to.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal (the checkpoint schema's counters
+    /// and the service's ids fit in `u64`).
+    Int(u64),
+    /// Any other number literal: negative, fractional, or exponent form.
+    /// Finite values write shortest-round-trip; non-finite write `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, fields in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Borrowed view of an object's fields for schema-shaped decoding.
+pub struct Obj<'a> {
+    fields: HashMap<&'a str, &'a Value>,
+}
+
+impl<'a> Obj<'a> {
+    /// The field `name`, or an error naming the missing field.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the field is absent.
+    pub fn req(&self, name: &str) -> Result<&'a Value, JsonError> {
+        self.fields
+            .get(name)
+            .copied()
+            .ok_or_else(|| bad(format!("missing field {name:?}")))
+    }
+
+    /// The field `name` if present (explicit `null` counts as absent, so
+    /// optional request fields can be passed either way).
+    pub fn opt(&self, name: &str) -> Option<&'a Value> {
+        self.fields
+            .get(name)
+            .copied()
+            .filter(|v| !matches!(v, Value::Null))
+    }
+}
+
+/// `f64` → bit-exact hex string value (`"0x..."`), the checkpoint
+/// encoding. Round-trips NaN payloads, infinities, and signed zeros.
+pub fn bits_f64(x: f64) -> Value {
+    Value::Str(format!("0x{:016x}", x.to_bits()))
+}
+
+/// An array of bit-exact hex float values.
+pub fn bits_f64_array(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| bits_f64(x)).collect())
+}
+
+/// An array of plain (shortest-round-trip) float values.
+pub fn f64_array(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::Float(x)).collect())
+}
+
+/// Escapes and writes a string literal, quotes included.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    /// Serializes into `out` (compact, no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    out.push_str(&x.to_string());
+                    // `5.0f64` displays as "5"; that re-parses as Int, so
+                    // numeric consumers must accept both (as_number does).
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The compact serialization as a fresh string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Views this value as an object. `what` names the value in errors.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not an object.
+    pub fn as_obj(&self, what: &str) -> Result<Obj<'_>, JsonError> {
+        match self {
+            Value::Obj(fields) => Ok(Obj {
+                fields: fields.iter().map(|(k, v)| (k.as_str(), v)).collect(),
+            }),
+            _ => Err(bad(format!("{what}: expected an object"))),
+        }
+    }
+
+    /// Views this value as an array.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not an array.
+    pub fn as_arr(&self, what: &str) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err(bad(format!("{what}: expected an array"))),
+        }
+    }
+
+    /// Views this value as a string.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not a string.
+    pub fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(bad(format!("{what}: expected a string"))),
+        }
+    }
+
+    /// Views this value as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not a boolean.
+    pub fn as_bool(&self, what: &str) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(bad(format!("{what}: expected a boolean"))),
+        }
+    }
+
+    /// Views this value as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not a non-negative integer
+    /// literal (floats are rejected — ids and counters must be exact).
+    pub fn as_u64(&self, what: &str) -> Result<u64, JsonError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            _ => Err(bad(format!("{what}: expected a non-negative integer"))),
+        }
+    }
+
+    /// Views this value as a number, accepting either literal form
+    /// (integer or float) — the accessor for option values like
+    /// frequencies and tolerances.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not numeric.
+    pub fn as_number(&self, what: &str) -> Result<f64, JsonError> {
+        match self {
+            Value::Int(n) => Ok(*n as f64),
+            Value::Float(x) => Ok(*x),
+            _ => Err(bad(format!("{what}: expected a number"))),
+        }
+    }
+
+    /// Decodes a bit-exact hex float (`"0x..."` string), the checkpoint
+    /// encoding written by [`bits_f64`].
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not a `0x`-prefixed hex string.
+    pub fn as_bits_f64(&self, what: &str) -> Result<f64, JsonError> {
+        let s = self.as_str(what)?;
+        let hex = s
+            .strip_prefix("0x")
+            .ok_or_else(|| bad(format!("{what}: expected a 0x-prefixed hex float")))?;
+        let bits = u64::from_str_radix(hex, 16)
+            .map_err(|e| bad(format!("{what}: bad hex float {s:?}: {e}")))?;
+        Ok(f64::from_bits(bits))
+    }
+
+    /// Decodes an array of bit-exact hex floats.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not such an array.
+    pub fn as_bits_f64_vec(&self, what: &str) -> Result<Vec<f64>, JsonError> {
+        self.as_arr(what)?
+            .iter()
+            .map(|v| v.as_bits_f64(what))
+            .collect()
+    }
+
+    /// Decodes an array of plain numbers.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the value is not an array of numbers.
+    pub fn as_number_vec(&self, what: &str) -> Result<Vec<f64>, JsonError> {
+        self.as_arr(what)?
+            .iter()
+            .map(|v| v.as_number(what))
+            .collect()
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed, any
+/// other trailing bytes rejected).
+///
+/// # Errors
+///
+/// [`JsonError`] describing the first malformation encountered.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(bad(format!("trailing garbage at byte {pos}")));
+    }
+    Ok(value)
+}
+
+/// Nesting cap: service request bodies are attacker-supplied, and a
+/// recursive-descent parser must not let `[[[[...` exhaust the stack.
+const MAX_DEPTH: usize = 96;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(bad(format!("expected {:?} at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(bad("document nests too deeply"));
+    }
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(bad("unexpected end of document"));
+    };
+    match b {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos, depth + 1)? {
+                    Value::Str(s) => s,
+                    _ => return Err(bad(format!("object key at byte {} must be a string", *pos))),
+                };
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(bad(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(bad(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                let Some(&c) = bytes.get(*pos) else {
+                    return Err(bad("unterminated string"));
+                };
+                *pos += 1;
+                match c {
+                    b'"' => return Ok(Value::Str(s)),
+                    b'\\' => {
+                        let Some(&e) = bytes.get(*pos) else {
+                            return Err(bad("unterminated escape"));
+                        };
+                        *pos += 1;
+                        match e {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'r' => s.push('\r'),
+                            b'u' => {
+                                let hex = bytes
+                                    .get(*pos..*pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| bad("truncated \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| bad(format!("bad \\u escape {hex:?}")))?;
+                                *pos += 4;
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| bad("invalid \\u code point"))?,
+                                );
+                            }
+                            other => {
+                                return Err(bad(format!("unknown escape \\{}", other as char)))
+                            }
+                        }
+                    }
+                    c => {
+                        // Multi-byte UTF-8: copy the full sequence.
+                        if c < 0x80 {
+                            s.push(c as char);
+                        } else {
+                            let start = *pos - 1;
+                            let len = match c {
+                                0xC0..=0xDF => 2,
+                                0xE0..=0xEF => 3,
+                                _ => 4,
+                            };
+                            let chunk = bytes
+                                .get(start..start + len)
+                                .and_then(|b| std::str::from_utf8(b).ok())
+                                .ok_or_else(|| bad("invalid UTF-8 in string"))?;
+                            s.push_str(chunk);
+                            *pos = start + len;
+                        }
+                    }
+                }
+            }
+        }
+        b't' => {
+            if bytes[*pos..].starts_with(b"true") {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            } else {
+                Err(bad(format!("bad literal at byte {}", *pos)))
+            }
+        }
+        b'f' => {
+            if bytes[*pos..].starts_with(b"false") {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            } else {
+                Err(bad(format!("bad literal at byte {}", *pos)))
+            }
+        }
+        b'n' => {
+            if bytes[*pos..].starts_with(b"null") {
+                *pos += 4;
+                Ok(Value::Null)
+            } else {
+                Err(bad(format!("bad literal at byte {}", *pos)))
+            }
+        }
+        b'0'..=b'9' | b'-' => {
+            let start = *pos;
+            let mut is_float = bytes[*pos] == b'-';
+            *pos += 1;
+            while let Some(&c) = bytes.get(*pos) {
+                match c {
+                    b'0'..=b'9' => {}
+                    b'.' | b'e' | b'E' | b'+' | b'-' => is_float = true,
+                    _ => break,
+                }
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number chars");
+            if !is_float {
+                if let Ok(n) = text.parse::<u64>() {
+                    return Ok(Value::Int(n));
+                }
+                // Wider than u64: fall through to the float reading.
+            }
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| bad(format!("bad number {text:?}: {e}")))
+        }
+        other => Err(bad(format!(
+            "unexpected character {:?} at byte {}",
+            other as char, *pos
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_round_trip() {
+        let v = Value::Obj(vec![
+            ("a".to_string(), Value::Int(3)),
+            (
+                "b".to_string(),
+                Value::Arr(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".to_string(), Value::Str("x\"y\n".to_string())),
+        ]);
+        let text = v.render();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn plain_floats_round_trip_bitwise_when_finite() {
+        for x in [
+            0.5,
+            -3.25,
+            1.0e-15,
+            3.0e8,
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            -0.0,
+        ] {
+            let text = Value::Float(x).render();
+            let back = match parse(&text).unwrap() {
+                Value::Float(y) => y,
+                Value::Int(n) => n as f64,
+                other => panic!("expected a number, got {other:?}"),
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_render_as_integer_literals() {
+        // `5.0` displays as "5"; as_number accepts either literal form.
+        let text = Value::Float(5.0).render();
+        assert_eq!(text, "5");
+        assert_eq!(parse(&text).unwrap().as_number("x").unwrap(), 5.0);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Value::Float(x).render(), "null");
+        }
+    }
+
+    #[test]
+    fn bits_encoding_round_trips_every_bit_pattern() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.1 + 0.2] {
+            let v = bits_f64(x);
+            let back = parse(&v.render()).unwrap().as_bits_f64("x").unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers_parse() {
+        assert_eq!(parse("-3").unwrap(), Value::Float(-3.0));
+        assert_eq!(parse("2.5e-9").unwrap(), Value::Float(2.5e-9));
+        assert_eq!(parse("300000000").unwrap(), Value::Int(300_000_000));
+        // Wider than u64 degrades to float instead of failing.
+        assert!(matches!(
+            parse("99999999999999999999999").unwrap(),
+            Value::Float(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "01x",
+            "\"abc",
+            "{\"a\":1} trailing",
+            "--3",
+            "1.2.3",
+        ] {
+            assert!(parse(text).is_err(), "accepted: {text:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let text = "[".repeat(10_000);
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn obj_accessors_report_missing_and_mistyped_fields() {
+        let v = parse("{\"n\":1,\"s\":\"x\",\"z\":null}").unwrap();
+        let obj = v.as_obj("doc").unwrap();
+        assert_eq!(obj.req("n").unwrap().as_u64("n").unwrap(), 1);
+        assert!(obj.req("missing").is_err());
+        assert!(obj.req("s").unwrap().as_u64("s").is_err());
+        assert!(obj.opt("z").is_none(), "explicit null counts as absent");
+        assert!(obj.opt("n").is_some());
+    }
+
+    #[test]
+    fn number_vec_accessor() {
+        let v = parse("[1, 2.5, -3]").unwrap();
+        assert_eq!(v.as_number_vec("xs").unwrap(), vec![1.0, 2.5, -3.0]);
+        assert!(parse("[1, \"x\"]").unwrap().as_number_vec("xs").is_err());
+    }
+}

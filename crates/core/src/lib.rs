@@ -63,6 +63,7 @@ pub mod checkpoint;
 pub mod context;
 mod error;
 mod incremental;
+pub mod json;
 mod problem;
 pub mod report;
 mod result;

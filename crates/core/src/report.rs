@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use minpower_models::EnergyBreakdown;
 use minpower_netlist::{GateId, GateKind};
 
+use crate::json::{self, Value};
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
 
@@ -138,6 +139,74 @@ impl Report {
     }
 }
 
+/// Renders `result` under `problem` as the canonical machine-readable
+/// result document (`"schema": "minpower-result"`, version 1) shared by
+/// the CLI's `--format json` and `minpower-serve`'s job bodies.
+///
+/// All scalars are plain JSON numbers. Rust's `f64` `Display` prints the
+/// shortest string that round-trips, so for finite values the document
+/// is *bitwise* faithful: parsing the `design` vectors back (with
+/// [`Value::as_number`] / [`Value::as_number_vec`]) reproduces the
+/// original `f64`s bit for bit. That property is what lets the service
+/// integration tests assert a served result is identical to a direct
+/// library run, not merely close. The `top_gates` table carries the
+/// `top_gates` highest-energy gates from the [`Report`] (the JSON twin
+/// of [`Report::render`]'s rows).
+pub fn result_to_json(problem: &Problem, result: &OptimizationResult, top_gates: usize) -> Value {
+    let report = Report::build(problem, result);
+    let netlist = problem.model().netlist();
+    let gates: Vec<Value> = report
+        .top_consumers(top_gates)
+        .iter()
+        .map(|g| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(g.name.clone())),
+                ("kind".into(), Value::Str(g.kind.to_string())),
+                ("width".into(), Value::Float(g.width)),
+                ("delay".into(), Value::Float(g.delay)),
+                ("budget".into(), Value::Float(g.budget)),
+                ("energy".into(), Value::Float(g.energy.total())),
+                ("share".into(), Value::Float(g.share)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::Str("minpower-result".into())),
+        ("version".into(), Value::Int(1)),
+        ("circuit".into(), Value::Str(netlist.name().to_string())),
+        (
+            "gates".into(),
+            Value::Int(netlist.logic_gate_count() as u64),
+        ),
+        ("feasible".into(), Value::Bool(result.feasible)),
+        ("evaluations".into(), Value::Int(result.evaluations as u64)),
+        (
+            "energy".into(),
+            Value::Obj(vec![
+                ("static".into(), Value::Float(result.energy.static_)),
+                ("dynamic".into(), Value::Float(result.energy.dynamic)),
+                ("total".into(), Value::Float(result.energy.total())),
+            ]),
+        ),
+        ("critical_delay".into(), Value::Float(result.critical_delay)),
+        ("cycle_time".into(), Value::Float(report.cycle_time)),
+        ("total_width".into(), Value::Float(report.total_width)),
+        (
+            "width_saturated".into(),
+            Value::Int(report.width_saturated as u64),
+        ),
+        (
+            "design".into(),
+            Value::Obj(vec![
+                ("vdd".into(), Value::Float(result.design.vdd)),
+                ("vt".into(), json::f64_array(&result.design.vt)),
+                ("width".into(), json::f64_array(&result.design.width)),
+            ]),
+        ),
+        ("top_gates".into(), Value::Arr(gates)),
+    ])
+}
+
 /// Renders the process-wide engine telemetry (evaluation counts, cache
 /// hit rate, per-phase wall time), or `None` when nothing has routed
 /// through the engine yet. The CLI and the experiment harness append
@@ -240,6 +309,33 @@ mod tests {
         for g in rep.top_consumers(3) {
             assert!(text.contains(&g.name), "missing {}", g.name);
         }
+    }
+
+    #[test]
+    fn json_round_trips_design_bitwise() {
+        let (p, r) = optimized();
+        let doc = result_to_json(&p, &r, 3).render();
+        let v = crate::json::parse(&doc).unwrap();
+        let obj = v.as_obj("result").unwrap();
+        assert_eq!(
+            obj.req("schema").unwrap().as_str("schema").unwrap(),
+            "minpower-result"
+        );
+        assert_eq!(obj.req("version").unwrap().as_u64("version").unwrap(), 1);
+        let design = obj.req("design").unwrap().as_obj("design").unwrap();
+        let vdd = design.req("vdd").unwrap().as_number("vdd").unwrap();
+        assert_eq!(vdd.to_bits(), r.design.vdd.to_bits());
+        let widths = design.req("width").unwrap().as_number_vec("width").unwrap();
+        assert_eq!(widths.len(), r.design.width.len());
+        for (got, want) in widths.iter().zip(&r.design.width) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        let vts = design.req("vt").unwrap().as_number_vec("vt").unwrap();
+        for (got, want) in vts.iter().zip(&r.design.vt) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        let gates = obj.req("top_gates").unwrap().as_arr("top_gates").unwrap();
+        assert_eq!(gates.len(), 3);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! Clones share state: cancelling any clone trips them all, which is how
 //! one token reaches a signal handler, the optimizer, and a progress
 //! reporter at once.
+//!
+//! A control can also carry a progress observer
+//! ([`RunControl::with_progress`]): a callback invoked at poll
+//! boundaries with the poll index and elapsed time. `minpower-serve`
+//! taps it to feed per-job progress streams without touching the
+//! optimizer loops.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,6 +60,19 @@ pub struct Progress {
     pub elapsed_secs: f64,
 }
 
+/// Signature of a [`RunControl::with_progress`] observer: called with
+/// the poll index and the seconds elapsed since the control's clock
+/// started. Observers run on the optimizer's thread inside the poll, so
+/// they must be cheap and must not block (store counters, notify a
+/// condvar — not I/O).
+pub type ProgressFn = dyn Fn(u64, f64) + Send + Sync;
+
+struct Observer {
+    /// Invoke on every `every`-th poll (1 = every poll).
+    every: u64,
+    f: Arc<ProgressFn>,
+}
+
 struct Shared {
     cancel: Arc<AtomicBool>,
     started: Instant,
@@ -64,6 +83,7 @@ struct Shared {
     /// Monotone poll counter, also the index fed to the `runctl.clock_jump`
     /// fault site.
     checks: AtomicU64,
+    observer: Option<Observer>,
 }
 
 /// A shareable cancellation token plus an optional soft deadline.
@@ -101,6 +121,7 @@ impl RunControl {
                 deadline: None,
                 check_budget: AtomicU64::new(u64::MAX),
                 checks: AtomicU64::new(0),
+                observer: None,
             }),
         }
     }
@@ -117,6 +138,34 @@ impl RunControl {
                 deadline: Some(limit),
                 check_budget: AtomicU64::new(self.shared.check_budget.load(Ordering::Relaxed)),
                 checks: AtomicU64::new(0),
+                observer: self.shared.observer.as_ref().map(|o| Observer {
+                    every: o.every,
+                    f: o.f.clone(),
+                }),
+            }),
+        }
+    }
+
+    /// Attaches a progress observer invoked on every `every`-th poll
+    /// (`every = 1` means every poll; `0` is treated as 1) with the poll
+    /// index and the elapsed seconds. This is the liveness hook a
+    /// progress stream taps: the optimizer polls at iteration
+    /// boundaries, so each invocation proves the run is still moving.
+    /// Like [`with_deadline`](Self::with_deadline), this is a build-time
+    /// knob: call it before handing the control to a run.
+    #[must_use]
+    pub fn with_progress(self, every: u64, f: Arc<ProgressFn>) -> Self {
+        RunControl {
+            shared: Arc::new(Shared {
+                cancel: self.shared.cancel.clone(),
+                started: self.shared.started,
+                deadline: self.shared.deadline,
+                check_budget: AtomicU64::new(self.shared.check_budget.load(Ordering::Relaxed)),
+                checks: AtomicU64::new(self.shared.checks.load(Ordering::Relaxed)),
+                observer: Some(Observer {
+                    every: every.max(1),
+                    f,
+                }),
             }),
         }
     }
@@ -158,6 +207,11 @@ impl RunControl {
     /// `None` while the run may continue.
     pub fn trip(&self) -> Option<TripReason> {
         let n = self.shared.checks.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.shared.observer {
+            if n.is_multiple_of(obs.every) {
+                (obs.f)(n, self.elapsed_secs());
+            }
+        }
         if self.is_cancelled() {
             return Some(TripReason::Cancelled);
         }
@@ -230,6 +284,47 @@ mod tests {
         assert_eq!(rc.trip(), None);
         assert_eq!(rc.trip(), Some(TripReason::Cancelled));
         assert_eq!(rc.trip(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn progress_observer_fires_on_schedule() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let rc = RunControl::new().with_progress(
+            3,
+            Arc::new(move |_, elapsed| {
+                assert!(elapsed >= 0.0);
+                seen.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for _ in 0..9 {
+            assert_eq!(rc.trip(), None);
+        }
+        // Polls 0, 3, 6 fire.
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn observer_survives_deadline_and_shares_cancellation() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let rc = RunControl::new()
+            .with_progress(
+                1,
+                Arc::new(move |_, _| {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }),
+            )
+            .with_deadline(Duration::from_secs(3600));
+        assert_eq!(rc.trip(), None);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        rc.cancel();
+        assert_eq!(rc.trip(), Some(TripReason::Cancelled));
+        // The observer still sees polls after the trip (liveness during
+        // wind-down).
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

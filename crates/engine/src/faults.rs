@@ -18,6 +18,7 @@
 //! | `pool.worker.panic` | the worker closure panics before running     |
 //! | `probe.nan`         | a sizing probe reports NaN energy            |
 //! | `runctl.clock_jump` | a deadline check behaves as if time jumped   |
+//! | `service.conn.drop` | an HTTP connection dies before the response  |
 //!
 //! Triggers are deterministic: an explicit index set, every-nth, or a
 //! seeded pseudo-random subset — never wall clock — so failing runs

@@ -195,6 +195,26 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Accumulates `other` into `self`, counter by counter — how a
+    /// service aggregates per-job engine telemetry (each job runs on its
+    /// own [`EngineStats`]) into one fleet-wide snapshot.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.circuit_evals += other.circuit_evals;
+        self.sta_calls += other.sta_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.incremental_commits += other.incremental_commits;
+        self.incremental_gates += other.incremental_gates;
+        self.sta_fallbacks += other.sta_fallbacks;
+        self.deadline_trips += other.deadline_trips;
+        self.faults_injected += other.faults_injected;
+        self.checkpoints_written += other.checkpoints_written;
+        self.panics_recovered += other.panics_recovered;
+        for (mine, theirs) in self.phase_nanos.iter_mut().zip(other.phase_nanos) {
+            *mine += theirs;
+        }
+    }
+
     /// Cache hit rate in `[0, 1]`, or 0 when there were no lookups.
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -350,6 +370,32 @@ mod tests {
             ),
             "{text}"
         );
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = EngineStats::new();
+        a.count_eval();
+        a.count_hit();
+        a.count_incremental(4);
+        a.add_phase_nanos(Phase::Search, 100);
+        let b = EngineStats::new();
+        b.count_eval();
+        b.count_miss();
+        b.count_fallback();
+        b.count_deadline_trip();
+        b.add_phase_nanos(Phase::Search, 50);
+        b.add_phase_nanos(Phase::Suite, 7);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.circuit_evals, 2);
+        assert_eq!((total.cache_hits, total.cache_misses), (1, 1));
+        assert_eq!(total.incremental_commits, 1);
+        assert_eq!(total.incremental_gates, 4);
+        assert_eq!(total.sta_fallbacks, 1);
+        assert_eq!(total.deadline_trips, 1);
+        assert_eq!(total.phase_nanos[phase_index(Phase::Search)], 150);
+        assert_eq!(total.phase_nanos[phase_index(Phase::Suite)], 7);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Minimal HTTP/1.1 over `std::net` — just enough protocol for the
+//! service, hardened against malformed input.
+//!
+//! One connection carries one request ("`Connection: close`" semantics
+//! throughout). Requests are parsed defensively: every malformation maps
+//! to a typed [`HttpError`] with a 4xx status so the connection handler
+//! can answer with a JSON error body instead of panicking or hanging.
+//! Enforced limits:
+//!
+//! * request head (request line + headers) capped at
+//!   [`MAX_HEADER_BYTES`] → `431`;
+//! * body capped at the caller's `max_body` → `413`, checked *before*
+//!   buffering so an oversized upload is rejected from its declared
+//!   length, not after swallowing it;
+//! * `POST`/`PUT` without `Content-Length` or `Transfer-Encoding:
+//!   chunked` → `411`;
+//! * truncated heads, truncated bodies, malformed chunk sizes → `400`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use minpower_core::json::Value;
+
+/// Cap on the request line + headers, bytes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// A typed request-handling failure carrying the HTTP status to answer
+/// with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable cause, returned in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Builds an error with `status` and `message`.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Buffered reader over the connection: header parsing over-reads into
+/// `buf`, and body reads drain the leftover before touching the socket.
+struct ByteReader<'a> {
+    stream: &'a mut TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(stream: &'a mut TcpStream, leftover: Vec<u8>) -> Self {
+        ByteReader {
+            stream,
+            buf: leftover,
+            pos: 0,
+        }
+    }
+
+    /// Reads exactly `n` bytes or fails with a 400.
+    fn read_n(&mut self, n: usize, what: &str) -> Result<Vec<u8>, HttpError> {
+        let mut out = Vec::with_capacity(n.min(64 * 1024));
+        while out.len() < n {
+            if self.pos < self.buf.len() {
+                let take = (n - out.len()).min(self.buf.len() - self.pos);
+                out.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+                self.pos += take;
+                continue;
+            }
+            let mut chunk = [0u8; 4096];
+            let got = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| HttpError::new(400, format!("reading {what}: {e}")))?;
+            if got == 0 {
+                return Err(HttpError::new(400, format!("truncated {what}")));
+            }
+            self.buf.clear();
+            self.buf.extend_from_slice(&chunk[..got]);
+            self.pos = 0;
+        }
+        Ok(out)
+    }
+
+    /// Reads up to and including a CRLF, returning the line without it.
+    fn read_line(&mut self, what: &str) -> Result<String, HttpError> {
+        let mut line = Vec::new();
+        loop {
+            if self.pos >= self.buf.len() {
+                let mut chunk = [0u8; 1024];
+                let got = self
+                    .stream
+                    .read(&mut chunk)
+                    .map_err(|e| HttpError::new(400, format!("reading {what}: {e}")))?;
+                if got == 0 {
+                    return Err(HttpError::new(400, format!("truncated {what}")));
+                }
+                self.buf.clear();
+                self.buf.extend_from_slice(&chunk[..got]);
+                self.pos = 0;
+            }
+            let b = self.buf[self.pos];
+            self.pos += 1;
+            if b == b'\n' {
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map_err(|_| HttpError::new(400, format!("non-UTF-8 {what}")));
+            }
+            if line.len() > MAX_HEADER_BYTES {
+                return Err(HttpError::new(400, format!("overlong {what}")));
+            }
+            line.push(b);
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`. Returns `Ok(None)` when
+/// the peer closed the connection before sending anything (a clean
+/// no-request close, not an error).
+///
+/// # Errors
+///
+/// [`HttpError`] with the 4xx status described in the
+/// [module documentation](self).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Request>, HttpError> {
+    // Accumulate the head until the blank line.
+    let mut head = Vec::new();
+    let leftover: Vec<u8>;
+    loop {
+        let mut chunk = [0u8; 2048];
+        let got = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(408, format!("reading request head: {e}")))?;
+        if got == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::new(400, "truncated request head"));
+        }
+        head.extend_from_slice(&chunk[..got]);
+        if let Some(end) = find_head_end(&head) {
+            leftover = head.split_off(end + 4);
+            head.truncate(end);
+            break;
+        }
+        if head.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::new(431, "request head exceeds 8 KiB"));
+        }
+    }
+
+    let head = std::str::from_utf8(&head).map_err(|_| HttpError::new(400, "non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line `{request_line}`"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, format!("unsupported `{version}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = Request {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    let mut reader = ByteReader::new(stream, leftover);
+    let chunked = request
+        .header("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    let body = if chunked {
+        read_chunked_body(&mut reader, max_body)?
+    } else {
+        match request.header("content-length") {
+            Some(text) => {
+                let n: usize = text
+                    .parse()
+                    .map_err(|_| HttpError::new(400, format!("bad Content-Length `{text}`")))?;
+                if n > max_body {
+                    return Err(HttpError::new(
+                        413,
+                        format!("body of {n} bytes exceeds the {max_body}-byte limit"),
+                    ));
+                }
+                reader.read_n(n, "request body")?
+            }
+            None if matches!(request.method.as_str(), "POST" | "PUT") => {
+                return Err(HttpError::new(
+                    411,
+                    "POST requires Content-Length or chunked encoding",
+                ));
+            }
+            None => Vec::new(),
+        }
+    };
+    Ok(Some(Request { body, ..request }))
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn read_chunked_body(reader: &mut ByteReader<'_>, max_body: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let line = reader.read_line("chunk size")?;
+        let size_text = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| HttpError::new(400, format!("bad chunk size `{size_text}`")))?;
+        if size == 0 {
+            // Discard optional trailers up to the blank line.
+            loop {
+                if reader.read_line("chunk trailer")?.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len() + size > max_body {
+            return Err(HttpError::new(
+                413,
+                format!("chunked body exceeds the {max_body}-byte limit"),
+            ));
+        }
+        body.extend_from_slice(&reader.read_n(size, "chunk data")?);
+        let sep = reader.read_n(2, "chunk delimiter")?;
+        if sep != b"\r\n" {
+            return Err(HttpError::new(400, "chunk data not CRLF-terminated"));
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with `Content-Length` and
+/// `Connection: close`, plus any `extra` headers.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// [`respond`] with a rendered JSON value.
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    value: &Value,
+    extra: &[(&str, String)],
+) -> std::io::Result<()> {
+    respond(
+        stream,
+        status,
+        "application/json",
+        extra,
+        value.render().as_bytes(),
+    )
+}
+
+/// [`respond_json`] with the service's error-body shape.
+pub fn respond_error(stream: &mut TcpStream, err: &HttpError) -> std::io::Result<()> {
+    let extra: &[(&str, String)] = if err.status == 429 {
+        &[("Retry-After", String::from("1"))]
+    } else {
+        &[]
+    };
+    respond_json(
+        stream,
+        err.status,
+        &Value::Obj(vec![("error".into(), Value::Str(err.message.clone()))]),
+        extra,
+    )
+}
+
+/// Writes the head of an NDJSON stream (no `Content-Length`; the body
+/// runs until the connection closes).
+pub fn start_ndjson(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}

@@ -1,0 +1,100 @@
+//! `minpower-serve` — a std-only HTTP optimization service.
+//!
+//! Wraps the DAC'97 optimizer in a long-running process: clients submit
+//! netlists + options as JSON jobs, poll or stream progress, and fetch
+//! results whose JSON is **bit-identical** to what a direct library run
+//! produces. Everything is hand-rolled on `std::net` — no async runtime,
+//! no serde — in keeping with the workspace's zero-dependency rule.
+//!
+//! ## Endpoints
+//!
+//! | method & path            | purpose                                      |
+//! |--------------------------|----------------------------------------------|
+//! | `POST /jobs`             | submit (`202` + id; `429` when queue full)   |
+//! | `GET /jobs/{id}`         | status + result document                     |
+//! | `DELETE /jobs/{id}`      | cancel; interrupted jobs keep best-so-far    |
+//! | `GET /jobs/{id}/events`  | NDJSON progress stream                       |
+//! | `GET /metrics`           | queue depth, engine counters, latency        |
+//! | `POST /shutdown`         | graceful drain                               |
+//!
+//! ## Durability
+//!
+//! Every admitted job is persisted to the state directory before it is
+//! queued, and checkpointed while it runs. A server killed mid-job (or
+//! drained by SIGINT) leaves those records `pending`; the next server on
+//! the same state directory re-admits them and resumes each from its
+//! checkpoint, finishing bit-identically to an uninterrupted run — the
+//! same guarantee the CLI's `--resume` makes, delivered as a service.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use minpower_serve::{Config, Server};
+//!
+//! let server = Server::bind(Config {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     ..Config::default()
+//! }).expect("bind");
+//! println!("listening on {}", server.local_addr().expect("addr"));
+//! let outcome = server.run(); // blocks until shutdown
+//! # let _ = outcome;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+mod server;
+
+use std::path::PathBuf;
+
+pub use server::{Server, ServerHandle, ServiceState};
+
+/// Server configuration (the `minpower serve` flags).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Listen address; use port `0` to let the OS pick.
+    pub addr: String,
+    /// Concurrent optimization workers.
+    pub workers: usize,
+    /// Maximum jobs waiting in the queue before `429`.
+    pub queue_depth: usize,
+    /// Server-side cap on any job's soft deadline, seconds (`0` = none).
+    pub job_time_limit: f64,
+    /// Directory for job records and checkpoints.
+    pub state_dir: PathBuf,
+    /// Maximum accepted request-body size, bytes.
+    pub max_body_bytes: usize,
+    /// Maximum logic gates per submitted netlist (`422` beyond).
+    pub max_gates: usize,
+    /// Evaluations between periodic job checkpoints.
+    pub checkpoint_every: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:7817".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            job_time_limit: 0.0,
+            state_dir: PathBuf::from("minpower-serve-state"),
+            max_body_bytes: 1 << 20,
+            max_gates: 50_000,
+            checkpoint_every: 16,
+        }
+    }
+}
+
+/// How a server run ended, for the CLI's exit-code mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// Every job had reached a terminal state (exit 0).
+    Clean,
+    /// At least one job was interrupted by the drain and left resumable
+    /// (exit 4, matching the CLI's `interrupted` code).
+    JobsInterrupted,
+}

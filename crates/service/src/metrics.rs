@@ -1,0 +1,199 @@
+//! Service-level telemetry: per-endpoint latency histograms and HTTP
+//! counters, aggregated with the engine counters into `GET /metrics`.
+//!
+//! Histograms are fixed log₂ buckets over microseconds (bucket `i`
+//! covers `[2^i, 2^(i+1))` µs, with bucket 0 holding sub-microsecond
+//! observations and the last bucket everything ≥ ~34 s). Recording is a
+//! single atomic increment — cheap enough to wrap every request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use minpower_core::json::Value;
+
+/// Number of log₂ latency buckets.
+pub const BUCKETS: usize = 26;
+
+/// A lock-free log₂-of-microseconds latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// Records one observation of `micros` microseconds.
+    pub fn observe(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = (63 - (micros | 1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// `{count, mean_us, buckets: [...]}` — buckets trailing-trimmed so
+    /// idle endpoints render compactly.
+    pub fn to_json(&self) -> Value {
+        let count = self.count.load(Ordering::Relaxed);
+        let total = self.total_micros.load(Ordering::Relaxed);
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        Value::Obj(vec![
+            ("count".to_string(), Value::Int(count)),
+            (
+                "mean_us".to_string(),
+                Value::Float(if count == 0 {
+                    0.0
+                } else {
+                    total as f64 / count as f64
+                }),
+            ),
+            (
+                "buckets".to_string(),
+                Value::Arr(buckets.into_iter().map(Value::Int).collect()),
+            ),
+        ])
+    }
+}
+
+/// Route keys instrumented by the server. Unknown paths aggregate under
+/// `"other"` so an attacker cannot grow the metric set.
+pub const ROUTES: &[&str] = &[
+    "POST /jobs",
+    "GET /jobs/{id}",
+    "DELETE /jobs/{id}",
+    "GET /jobs/{id}/events",
+    "GET /metrics",
+    "POST /shutdown",
+    "other",
+];
+
+/// The service's metric registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    latency: [Histogram; 7],
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests answered with a 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Requests answered with a 4xx status.
+    pub responses_client_error: AtomicU64,
+    /// Requests answered with a 5xx status.
+    pub responses_server_error: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_queue_full: AtomicU64,
+}
+
+/// Maps a concrete request onto its route key.
+pub fn route_key(method: &str, path: &str) -> &'static str {
+    let is_job = path.starts_with("/jobs/") && path.len() > "/jobs/".len();
+    match (method, path) {
+        ("POST", "/jobs") => "POST /jobs",
+        ("GET", "/metrics") => "GET /metrics",
+        ("POST", "/shutdown") => "POST /shutdown",
+        ("GET", _) if is_job && path.ends_with("/events") => "GET /jobs/{id}/events",
+        ("GET", _) if is_job => "GET /jobs/{id}",
+        ("DELETE", _) if is_job => "DELETE /jobs/{id}",
+        _ => "other",
+    }
+}
+
+impl Metrics {
+    /// Records a completed request: latency into the route's histogram,
+    /// status into the class counters.
+    pub fn observe(&self, route: &str, status: u16, micros: u64) {
+        let index = ROUTES.iter().position(|r| *r == route).unwrap_or(6);
+        self.latency[index].observe(micros);
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `http` section of `GET /metrics`.
+    pub fn to_json(&self) -> Value {
+        let routes: Vec<(String, Value)> = ROUTES
+            .iter()
+            .zip(&self.latency)
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| ((*name).to_string(), h.to_json()))
+            .collect();
+        Value::Obj(vec![
+            (
+                "connections".to_string(),
+                Value::Int(self.connections.load(Ordering::Relaxed)),
+            ),
+            (
+                "responses_ok".to_string(),
+                Value::Int(self.responses_ok.load(Ordering::Relaxed)),
+            ),
+            (
+                "responses_client_error".to_string(),
+                Value::Int(self.responses_client_error.load(Ordering::Relaxed)),
+            ),
+            (
+                "responses_server_error".to_string(),
+                Value::Int(self.responses_server_error.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected_queue_full".to_string(),
+                Value::Int(self.rejected_queue_full.load(Ordering::Relaxed)),
+            ),
+            ("latency".to_string(), Value::Obj(routes)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2_of_micros() {
+        let h = Histogram::default();
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 0
+        h.observe(3); // bucket 1
+        h.observe(1024); // bucket 10
+        assert_eq!(h.count(), 4);
+        let doc = h.to_json().render();
+        // Buckets: [2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1] (trailing zeros trimmed).
+        assert!(doc.contains("\"buckets\":[2,1,0,0,0,0,0,0,0,0,1]"), "{doc}");
+    }
+
+    #[test]
+    fn route_keys_collapse_ids() {
+        assert_eq!(route_key("POST", "/jobs"), "POST /jobs");
+        assert_eq!(route_key("GET", "/jobs/42"), "GET /jobs/{id}");
+        assert_eq!(route_key("GET", "/jobs/42/events"), "GET /jobs/{id}/events");
+        assert_eq!(route_key("DELETE", "/jobs/9"), "DELETE /jobs/{id}");
+        assert_eq!(route_key("GET", "/nope"), "other");
+        assert_eq!(route_key("GET", "/jobs/"), "other");
+    }
+
+    #[test]
+    fn observe_classifies_statuses() {
+        let m = Metrics::default();
+        m.observe("POST /jobs", 202, 10);
+        m.observe("POST /jobs", 429, 5);
+        m.observe("other", 500, 1);
+        assert_eq!(m.responses_ok.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_client_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_server_error.load(Ordering::Relaxed), 1);
+        let doc = m.to_json().render();
+        assert!(doc.contains("POST /jobs"));
+        assert!(!doc.contains("GET /metrics"), "idle route rendered: {doc}");
+    }
+}

@@ -1,0 +1,802 @@
+//! The HTTP server: accept loop, connection handlers, the worker pool
+//! that executes jobs, and the graceful-drain state machine.
+//!
+//! ## Threading model
+//!
+//! * the **accept loop** ([`Server::run`]) owns the listener in
+//!   non-blocking mode and polls the stop/kill tokens every few
+//!   milliseconds — overload never blocks it, because admission control
+//!   ([`crate::queue::JobQueue::push`]) is non-blocking;
+//! * each **connection** gets a short-lived handler thread wrapped in
+//!   `catch_unwind`, so a handler bug answers `500` instead of taking
+//!   the process down;
+//! * `workers` **job threads** block on the queue and run one
+//!   optimization at a time on a per-job
+//!   [`EvalContext`](minpower_core::EvalContext) (single-threaded, cache
+//!   on), so concurrent jobs cannot interleave probe journals — the
+//!   property the checkpoint/resume guarantee rests on.
+//!
+//! ## Drain semantics
+//!
+//! A *graceful* stop (SIGINT via the CLI's token, `POST /shutdown`, or
+//! [`ServerHandle::shutdown`]) stops accepting, closes the queue, trips
+//! every running job's cancel token, and joins the workers. Running jobs
+//! stop at their next poll boundary; the optimizer writes a final
+//! checkpoint on interruption, and the job's persisted record stays
+//! `pending` — a restarted server on the same state directory resumes it
+//! bit-identically. A *kill* ([`ServerHandle::kill`], used by tests to
+//! simulate power loss) skips every terminal write for the same effect.
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use minpower_core::json::{self, Value};
+use minpower_core::{CheckpointSpec, EvalContext, OptimizeError, Optimizer, TripReason};
+use minpower_engine::StatsSnapshot;
+
+use crate::http::{self, HttpError, Request};
+use crate::job::{self, Job, JobState, JobStatus};
+use crate::metrics::{route_key, Metrics};
+use crate::queue::{JobQueue, Pushed};
+use crate::{Config, DrainOutcome};
+
+/// Shared server state: configuration, queue, job table, telemetry.
+pub struct ServiceState {
+    config: Config,
+    queue: JobQueue,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    metrics: Metrics,
+    /// Completed jobs' engine counters, merged as each job finishes.
+    finished_stats: Mutex<StatsSnapshot>,
+    /// Live engine contexts of running jobs (so `/metrics` includes
+    /// in-flight work).
+    running_ctx: Mutex<HashMap<u64, Arc<EvalContext>>>,
+    draining: AtomicBool,
+    stop: Arc<AtomicBool>,
+    killed: Arc<AtomicBool>,
+    conn_seq: AtomicU64,
+}
+
+/// A handle for stopping a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    killed: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain: stop accepting, interrupt running jobs
+    /// at their next poll (checkpointed, left resumable), then return.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Simulates power loss: the server returns as fast as possible and
+    /// writes **no** terminal job records, leaving every unfinished job
+    /// `pending` on disk for the next run to resume. Test-oriented.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+}
+
+impl Server {
+    /// Binds `config.addr` and loads persisted jobs from
+    /// `config.state_dir`: terminal records become queryable history,
+    /// `pending` records are re-admitted and will resume from their
+    /// checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-bind and state-directory I/O failures.
+    pub fn bind(config: Config) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let queue = JobQueue::new(config.queue_depth);
+        let state = Arc::new(ServiceState {
+            queue,
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            metrics: Metrics::default(),
+            finished_stats: Mutex::new(StatsSnapshot::default()),
+            running_ctx: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            stop: Arc::new(AtomicBool::new(false)),
+            killed: Arc::new(AtomicBool::new(false)),
+            conn_seq: AtomicU64::new(0),
+            config,
+        });
+        state.recover_persisted_jobs();
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with `addr = "127.0.0.1:0"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `TcpListener::local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A stop/kill handle usable from other threads (and, through the
+    /// stop token, from a signal handler).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: self.state.stop.clone(),
+            killed: self.state.killed.clone(),
+        }
+    }
+
+    /// The raw stop token; storing `true` triggers a graceful drain —
+    /// the CLI wires its SIGINT handler to this.
+    pub fn stop_token(&self) -> Arc<AtomicBool> {
+        self.state.stop.clone()
+    }
+
+    /// Runs the accept loop until a stop is requested, then drains.
+    /// Returns how the run ended so the CLI can map it to an exit code.
+    pub fn run(self) -> DrainOutcome {
+        let state = self.state;
+        let mut workers = Vec::new();
+        for i in 0..state.config.workers.max(1) {
+            let state = state.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("minpower-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !state.stop.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    let state = state.clone();
+                    handlers.retain(|h| !h.is_finished());
+                    handlers.push(std::thread::spawn(move || {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(&state, stream);
+                        }));
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+
+        // Drain: no new admissions, wake idle workers, interrupt the rest.
+        state.draining.store(true, Ordering::Relaxed);
+        state.queue.close();
+        let interrupted = state.cancel_active_jobs();
+        if !state.killed.load(Ordering::Relaxed) {
+            for handler in handlers {
+                let _ = handler.join();
+            }
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        if state.killed.load(Ordering::Relaxed) || interrupted {
+            DrainOutcome::JobsInterrupted
+        } else {
+            DrainOutcome::Clean
+        }
+    }
+}
+
+impl ServiceState {
+    fn recover_persisted_jobs(self: &Arc<Self>) {
+        let mut max_id = 0;
+        for record in job::load_dir(&self.config.state_dir) {
+            max_id = max_id.max(record.id);
+            let loaded = Arc::new(Job::new(record.id, record.spec));
+            match record.status.as_str() {
+                "pending" => {
+                    // Unfinished from a previous run: back in the queue;
+                    // the worker resumes from the checkpoint if present.
+                    self.jobs
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(record.id, loaded.clone());
+                    let _ = self.queue.push(loaded);
+                }
+                status => {
+                    loaded.set_state(match status {
+                        "done" => match record.result {
+                            Some(r) => JobState::Done(r),
+                            None => JobState::Failed("persisted result missing".into()),
+                        },
+                        "cancelled" => JobState::Cancelled(record.result),
+                        "interrupted" => JobState::Interrupted {
+                            message: record.error.unwrap_or_else(|| "interrupted".into()),
+                            partial: record.result,
+                            resumable: false,
+                        },
+                        _ => JobState::Failed(record.error.unwrap_or_else(|| "failed".into())),
+                    });
+                    self.jobs
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(record.id, loaded);
+                }
+            }
+        }
+        self.next_id.store(max_id + 1, Ordering::Relaxed);
+    }
+
+    /// Cancels every queued/running job's control. Queued jobs move to a
+    /// resumable `Interrupted` state in memory (their persisted records
+    /// stay `pending`, so a restart re-admits them) — this also ends any
+    /// event streams watching them, which the drain joins on. Returns
+    /// whether any job was in flight or waiting.
+    fn cancel_active_jobs(&self) -> bool {
+        let jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut any = false;
+        for job in jobs.values() {
+            match job.status() {
+                JobStatus::Running => {
+                    job.control.cancel();
+                    any = true;
+                }
+                JobStatus::Queued => {
+                    job.control.cancel();
+                    job.set_state(JobState::Interrupted {
+                        message: "server draining before the job started".to_string(),
+                        partial: None,
+                        resumable: true,
+                    });
+                    any = true;
+                }
+                _ => {}
+            }
+        }
+        any
+    }
+
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// Fleet-wide engine counters: finished jobs' merged snapshots plus
+    /// a live snapshot of every running job's context.
+    fn merged_engine_stats(&self) -> StatsSnapshot {
+        let mut total = *self
+            .finished_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let running = self.running_ctx.lock().unwrap_or_else(|e| e.into_inner());
+        for ctx in running.values() {
+            total.merge(&ctx.snapshot());
+        }
+        total
+    }
+}
+
+/// Worker thread body: pop, run, repeat until the queue closes.
+fn worker_loop(state: &Arc<ServiceState>) {
+    while let Some(job) = state.queue.pop() {
+        if state.stop.load(Ordering::Relaxed) {
+            // Drain began while we were waiting: leave the job pending
+            // (its persisted record already says so) and exit.
+            continue;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(state, &job)));
+        if result.is_err() {
+            job.set_state(JobState::Failed("job runner panicked".to_string()));
+            let _ = job::persist(
+                &state.config.state_dir,
+                &job,
+                "failed",
+                None,
+                Some("job runner panicked"),
+            );
+        }
+        state
+            .running_ctx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job.id);
+    }
+}
+
+/// Executes one job end to end: build the problem, attach run control
+/// (+observer, deadline, checkpoint, resume), run, classify the outcome.
+fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
+    job.set_state(JobState::Running);
+    let (problem, options) = match job.spec.build(state.config.max_gates) {
+        Ok(built) => built,
+        Err(e) => {
+            job.set_state(JobState::Failed(e.message.clone()));
+            let _ = job::persist(
+                &state.config.state_dir,
+                job,
+                "failed",
+                None,
+                Some(&e.message),
+            );
+            return;
+        }
+    };
+
+    // Single-threaded per-job context: the probe journal backing the
+    // checkpoint records one run's probes, so jobs must not share one.
+    let ctx = Arc::new(EvalContext::new(
+        1,
+        minpower_core::context::DEFAULT_CACHE_CAPACITY,
+    ));
+    state
+        .running_ctx
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(job.id, ctx.clone());
+
+    let observer_job = job.clone();
+    let mut control = job.control.clone().with_progress(
+        4,
+        Arc::new(move |polls, elapsed| {
+            observer_job.polls.store(polls, Ordering::Relaxed);
+            observer_job
+                .elapsed_ms
+                .store((elapsed * 1e3) as u64, Ordering::Relaxed);
+        }),
+    );
+    let mut limit = job.spec.time_limit;
+    if state.config.job_time_limit > 0.0 {
+        limit = if limit > 0.0 {
+            limit.min(state.config.job_time_limit)
+        } else {
+            state.config.job_time_limit
+        };
+    }
+    if limit > 0.0 {
+        control = control.with_deadline(Duration::from_secs_f64(limit));
+    }
+
+    let ckpt = job::checkpoint_file(&state.config.state_dir, job.id);
+    let mut optimizer = Optimizer::new(&problem)
+        .with_options(options)
+        .with_engine(ctx)
+        .with_run_control(control)
+        .with_checkpoint(CheckpointSpec {
+            path: ckpt.clone(),
+            every: state.config.checkpoint_every,
+        });
+    if ckpt.exists() {
+        optimizer = optimizer.resume_from(&ckpt);
+    }
+
+    let outcome = optimizer.run();
+    let killed = state.killed.load(Ordering::Relaxed);
+    let finish = |snapshot: StatsSnapshot| {
+        state
+            .finished_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&snapshot);
+    };
+    let snapshot = state
+        .running_ctx
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&job.id)
+        .map(|c| c.snapshot())
+        .unwrap_or_default();
+
+    match outcome {
+        Ok(result) => {
+            let doc = minpower_core::report::result_to_json(&problem, &result, job.spec.top_gates);
+            if !killed {
+                let _ = job::persist(&state.config.state_dir, job, "done", Some(&doc), None);
+                let _ = std::fs::remove_file(&ckpt);
+                finish(snapshot);
+            }
+            job.set_state(JobState::Done(doc));
+        }
+        Err(OptimizeError::Interrupted {
+            reason,
+            best_so_far,
+            progress,
+        }) => {
+            let partial = best_so_far.map(|best| {
+                minpower_core::report::result_to_json(&problem, &best, job.spec.top_gates)
+            });
+            let message = format!(
+                "interrupted ({reason}) after {} evaluations in {:.1} s",
+                progress.evaluations, progress.elapsed_secs
+            );
+            if job.user_cancelled.load(Ordering::Relaxed) {
+                if !killed {
+                    let _ = job::persist(
+                        &state.config.state_dir,
+                        job,
+                        "cancelled",
+                        partial.as_ref(),
+                        Some(&message),
+                    );
+                    let _ = std::fs::remove_file(&ckpt);
+                    finish(snapshot);
+                }
+                job.set_state(JobState::Cancelled(partial));
+            } else if reason == TripReason::Cancelled {
+                // Server drain (or kill): not the client's doing. Leave
+                // the persisted record pending and keep the checkpoint —
+                // the next run on this state directory resumes the job.
+                job.set_state(JobState::Interrupted {
+                    message,
+                    partial,
+                    resumable: true,
+                });
+            } else {
+                // Deadline: terminal, carries the feasible best-so-far.
+                if !killed {
+                    let _ = job::persist(
+                        &state.config.state_dir,
+                        job,
+                        "interrupted",
+                        partial.as_ref(),
+                        Some(&message),
+                    );
+                    let _ = std::fs::remove_file(&ckpt);
+                    finish(snapshot);
+                }
+                job.set_state(JobState::Interrupted {
+                    message,
+                    partial,
+                    resumable: false,
+                });
+            }
+        }
+        Err(e) => {
+            let message = e.to_string();
+            if !killed {
+                let _ = job::persist(&state.config.state_dir, job, "failed", None, Some(&message));
+                let _ = std::fs::remove_file(&ckpt);
+                finish(snapshot);
+            }
+            job.set_state(JobState::Failed(message));
+        }
+    }
+}
+
+/// Per-connection entry point: parse, dispatch, respond, record metrics.
+fn handle_connection(state: &Arc<ServiceState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let conn = state.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+
+    let request = match http::read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(e) => {
+            state
+                .metrics
+                .observe("other", e.status, started.elapsed().as_micros() as u64);
+            let _ = http::respond_error(&mut stream, &e);
+            // Lingering close: the request may have unread bytes in
+            // flight; closing now would RST the connection and the peer
+            // could lose the error response. Drain until EOF (bounded by
+            // the read timeout) before dropping the socket.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 4096];
+            while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+            return;
+        }
+    };
+    let route = route_key(&request.method, &request.path);
+
+    // Fault site: the connection dies before any response bytes — the
+    // drill for client-facing robustness (the *server* must stay up and
+    // the job state consistent).
+    if minpower_engine::faults::should_fire("service.conn.drop", conn) {
+        drop(stream);
+        return;
+    }
+
+    // The events stream manages its own socket lifetime.
+    if route == "GET /jobs/{id}/events" {
+        let status = stream_events(state, &request, &mut stream);
+        state
+            .metrics
+            .observe(route, status, started.elapsed().as_micros() as u64);
+        return;
+    }
+
+    let (status, body, extra) = dispatch(state, &request);
+    state
+        .metrics
+        .observe(route, status, started.elapsed().as_micros() as u64);
+    let extra_refs: Vec<(&str, String)> =
+        extra.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let _ = http::respond_json(&mut stream, status, &body, &extra_refs);
+}
+
+type Response = (u16, Value, Vec<(String, String)>);
+
+fn error_response(status: u16, message: impl Into<String>) -> Response {
+    (
+        status,
+        Value::Obj(vec![("error".to_string(), Value::Str(message.into()))]),
+        Vec::new(),
+    )
+}
+
+fn dispatch(state: &Arc<ServiceState>, request: &Request) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => submit_job(state, request),
+        ("GET", "/metrics") => metrics_endpoint(state),
+        ("POST", "/shutdown") => {
+            state.stop.store(true, Ordering::Relaxed);
+            (
+                200,
+                Value::Obj(vec![(
+                    "status".to_string(),
+                    Value::Str("draining".to_string()),
+                )]),
+                Vec::new(),
+            )
+        }
+        (method, _) if path.starts_with("/jobs/") => {
+            let id_part = &path["/jobs/".len()..];
+            let id_text = id_part.strip_suffix("/events").unwrap_or(id_part);
+            let Ok(id) = id_text.parse::<u64>() else {
+                return error_response(404, format!("no such job `{id_part}`"));
+            };
+            let Some(job) = state.job(id) else {
+                return error_response(404, format!("no job {id}"));
+            };
+            match (method, id_part.ends_with("/events")) {
+                ("GET", false) => (200, job.status_json(), Vec::new()),
+                ("DELETE", false) => {
+                    job.cancel_by_user();
+                    (
+                        200,
+                        Value::Obj(vec![
+                            ("id".to_string(), Value::Int(id)),
+                            (
+                                "status".to_string(),
+                                Value::Str(job.status().as_str().to_string()),
+                            ),
+                        ]),
+                        Vec::new(),
+                    )
+                }
+                _ => error_response(405, format!("{method} not allowed here")),
+            }
+        }
+        ("GET", "/jobs") => error_response(405, "GET /jobs is not a listing endpoint"),
+        _ => error_response(404, format!("no endpoint {} {path}", request.method)),
+    }
+}
+
+fn submit_job(state: &Arc<ServiceState>, request: &Request) -> Response {
+    if state.draining.load(Ordering::Relaxed) || state.stop.load(Ordering::Relaxed) {
+        return error_response(503, "server is draining");
+    }
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let value = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return error_response(400, format!("bad JSON: {}", e.message)),
+    };
+    let spec = match job::JobSpec::from_json(&value) {
+        Ok(spec) => spec,
+        Err(e) => return (e.status, error_body(&e), Vec::new()),
+    };
+    // Admission: build (and size-check) the problem *before* queueing so
+    // an oversized or malformed netlist never occupies a queue slot.
+    if let Err(e) = spec.build(state.config.max_gates) {
+        return (e.status, error_body(&e), Vec::new());
+    }
+
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job::new(id, spec));
+    if job::persist(&state.config.state_dir, &job, "pending", None, None).is_err() {
+        return error_response(500, "could not persist the job record");
+    }
+    state
+        .jobs
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, job.clone());
+    match state.queue.push(job) {
+        Pushed::Admitted(depth) => (
+            202,
+            Value::Obj(vec![
+                ("id".to_string(), Value::Int(id)),
+                ("status".to_string(), Value::Str("queued".to_string())),
+                ("queue_depth".to_string(), Value::Int(depth as u64)),
+            ]),
+            Vec::new(),
+        ),
+        Pushed::Full => {
+            state
+                .metrics
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            state
+                .jobs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            let _ = std::fs::remove_file(job::job_file(&state.config.state_dir, id));
+            (
+                429,
+                Value::Obj(vec![(
+                    "error".to_string(),
+                    Value::Str(format!(
+                        "queue is full ({} jobs waiting)",
+                        state.config.queue_depth
+                    )),
+                )]),
+                vec![("Retry-After".to_string(), "1".to_string())],
+            )
+        }
+    }
+}
+
+fn error_body(e: &HttpError) -> Value {
+    Value::Obj(vec![("error".to_string(), Value::Str(e.message.clone()))])
+}
+
+fn metrics_endpoint(state: &Arc<ServiceState>) -> Response {
+    let engine = state.merged_engine_stats();
+    let jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let mut by_status = [0u64; 6];
+    for job in jobs.values() {
+        let idx = match job.status() {
+            JobStatus::Queued => 0,
+            JobStatus::Running => 1,
+            JobStatus::Done => 2,
+            JobStatus::Failed => 3,
+            JobStatus::Cancelled => 4,
+            JobStatus::Interrupted => 5,
+        };
+        by_status[idx] += 1;
+    }
+    drop(jobs);
+    let doc = Value::Obj(vec![
+        (
+            "queue_depth".to_string(),
+            Value::Int(state.queue.len() as u64),
+        ),
+        (
+            "jobs".to_string(),
+            Value::Obj(
+                [
+                    "queued",
+                    "running",
+                    "done",
+                    "failed",
+                    "cancelled",
+                    "interrupted",
+                ]
+                .iter()
+                .zip(by_status)
+                .map(|(name, n)| ((*name).to_string(), Value::Int(n)))
+                .collect(),
+            ),
+        ),
+        (
+            "engine".to_string(),
+            Value::Obj(vec![
+                (
+                    "circuit_evals".to_string(),
+                    Value::Int(engine.circuit_evals),
+                ),
+                ("sta_calls".to_string(), Value::Int(engine.sta_calls)),
+                ("cache_hits".to_string(), Value::Int(engine.cache_hits)),
+                ("cache_misses".to_string(), Value::Int(engine.cache_misses)),
+                (
+                    "incremental_commits".to_string(),
+                    Value::Int(engine.incremental_commits),
+                ),
+                (
+                    "sta_fallbacks".to_string(),
+                    Value::Int(engine.sta_fallbacks),
+                ),
+                (
+                    "deadline_trips".to_string(),
+                    Value::Int(engine.deadline_trips),
+                ),
+                (
+                    "checkpoints_written".to_string(),
+                    Value::Int(engine.checkpoints_written),
+                ),
+                (
+                    "panics_recovered".to_string(),
+                    Value::Int(engine.panics_recovered),
+                ),
+            ]),
+        ),
+        ("http".to_string(), state.metrics.to_json()),
+    ]);
+    (200, doc, Vec::new())
+}
+
+/// `GET /jobs/{id}/events`: NDJSON progress stream fed from the job's
+/// run-control observer counters; one `progress` line whenever the poll
+/// counter advances, a final `end` line at a terminal state. Returns the
+/// HTTP status recorded in metrics.
+fn stream_events(state: &Arc<ServiceState>, request: &Request, stream: &mut TcpStream) -> u16 {
+    use std::io::Write as _;
+    let id_part = &request.path["/jobs/".len()..];
+    let id_text = id_part.strip_suffix("/events").unwrap_or(id_part);
+    let Some(job) = id_text.parse::<u64>().ok().and_then(|id| state.job(id)) else {
+        let _ = http::respond_error(
+            stream,
+            &HttpError::new(404, format!("no such job `{id_part}`")),
+        );
+        return 404;
+    };
+    if http::start_ndjson(stream).is_err() {
+        return 500;
+    }
+    let mut last_polls = u64::MAX;
+    loop {
+        let status = job.status();
+        let terminal = !matches!(status, JobStatus::Queued | JobStatus::Running);
+        let polls = job.polls.load(Ordering::Relaxed);
+        if polls != last_polls && !terminal {
+            last_polls = polls;
+            let line = Value::Obj(vec![
+                ("event".to_string(), Value::Str("progress".to_string())),
+                (
+                    "status".to_string(),
+                    Value::Str(status.as_str().to_string()),
+                ),
+                ("polls".to_string(), Value::Int(polls)),
+                (
+                    "elapsed_secs".to_string(),
+                    Value::Float(job.elapsed_ms.load(Ordering::Relaxed) as f64 / 1e3),
+                ),
+            ]);
+            if stream
+                .write_all(format!("{}\n", line.render()).as_bytes())
+                .is_err()
+            {
+                return 200; // client went away
+            }
+        }
+        if terminal {
+            let line = Value::Obj(vec![
+                ("event".to_string(), Value::Str("end".to_string())),
+                (
+                    "status".to_string(),
+                    Value::Str(status.as_str().to_string()),
+                ),
+            ]);
+            let _ = stream.write_all(format!("{}\n", line.render()).as_bytes());
+            let _ = stream.flush();
+            return 200;
+        }
+        if state.killed.load(Ordering::Relaxed) {
+            return 200;
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}

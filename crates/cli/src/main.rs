@@ -589,6 +589,9 @@ fn serve(args: &[String]) -> Result<(), CliError> {
             "--job-time-limit must be a finite, non-negative number of seconds".to_string(),
         ));
     }
+    // Fail fast (exit 2) on a state dir that is a file, uncreatable, or
+    // not writable — not on the first job's persist attempt.
+    minpower_serve::validate_state_dir(&config.state_dir).map_err(CliError::Usage)?;
     let server = minpower_serve::Server::bind(config)
         .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
     let addr = server

@@ -261,9 +261,27 @@ pub fn optimize_ctl(
                 best_feasible,
             },
         };
-        snapshot.save(&spec.path)?;
-        stats.count_checkpoint();
-        last_write = evaluations;
+        match snapshot.save_report(&spec.path) {
+            Ok(report) => {
+                stats.count_checkpoint();
+                stats.count_store_write(report.retries);
+                if let Some(health) = &spec.health {
+                    health.report_success();
+                }
+                last_write = evaluations;
+            }
+            Err(e) => {
+                if let Some(health) = &spec.health {
+                    health.report_failure(&e.to_string());
+                }
+                if spec.required {
+                    return Err(e);
+                }
+                // Best-effort policy: keep annealing uncheckpointed and
+                // re-attempt at the normal cadence.
+                last_write = evaluations;
+            }
+        }
         Ok(())
     };
 

@@ -1,8 +1,9 @@
 //! Checkpoint snapshots: save an interrupted run, resume it bit-identically.
 //!
 //! A [`Checkpoint`] is a versioned, self-describing JSON document written
-//! atomically (temp file + rename, so a crash mid-write never corrupts an
-//! existing checkpoint). Two engines checkpoint:
+//! crash-safely through [`crate::store`]: CRC32-framed, staged via a
+//! fsynced temp file, atomically renamed, with the previous snapshot kept
+//! as a `.1` fallback generation. Two engines checkpoint:
 //!
 //! * **search** — the Procedure-2 optimizer is deterministic, so its
 //!   checkpoint is a *probe journal*: every `(V_dd, V⃗_ts) → sized design`
@@ -34,11 +35,13 @@
 //! requires a version bump.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use minpower_models::{Design, EnergyBreakdown};
 
 use crate::error::OptimizeError;
 use crate::json::{self, Value};
+use crate::store::{self, StoreHealth, WriteReport};
 
 /// The format marker every checkpoint document carries.
 pub const FORMAT: &str = "minpower-checkpoint";
@@ -113,23 +116,51 @@ pub enum Checkpoint {
     },
 }
 
-/// Where and how often an engine writes checkpoints.
+/// Where and how often an engine writes checkpoints, and what a write
+/// failure means for the run.
 #[derive(Debug, Clone)]
 pub struct CheckpointSpec {
-    /// Destination file (written atomically via temp + rename).
+    /// Destination file (written crash-safely through [`crate::store`]).
     pub path: PathBuf,
     /// Evaluations between periodic writes (a final write also happens on
     /// interruption and on completion).
     pub every: usize,
+    /// When `true` (the default, what the CLI wants) a checkpoint write
+    /// failure fails the run. When `false` (what the service wants) the
+    /// run continues *without* checkpointing — losing resumability, not
+    /// the job — and the failure is reported through `health`.
+    pub required: bool,
+    /// Optional shared degraded-mode latch: write failures latch it,
+    /// successful writes clear it.
+    pub health: Option<Arc<StoreHealth>>,
 }
 
 impl CheckpointSpec {
-    /// A spec writing to `path` every 32 evaluations.
+    /// A spec writing to `path` every 32 evaluations; failures fail the
+    /// run.
     pub fn new(path: impl Into<PathBuf>) -> Self {
         CheckpointSpec {
             path: path.into(),
             every: 32,
+            required: true,
+            health: None,
         }
+    }
+
+    /// Makes checkpoint writes best-effort: a failure degrades the run to
+    /// uncheckpointed instead of failing it.
+    #[must_use]
+    pub fn best_effort(mut self) -> Self {
+        self.required = false;
+        self
+    }
+
+    /// Attaches a shared [`StoreHealth`] latch that tracks write
+    /// failures and recoveries.
+    #[must_use]
+    pub fn with_health(mut self, health: Arc<StoreHealth>) -> Self {
+        self.health = Some(health);
+        self
     }
 }
 
@@ -149,33 +180,46 @@ impl Checkpoint {
         }
     }
 
-    /// Writes the checkpoint atomically: the document goes to a sibling
-    /// temp file which is then renamed over `path`, so readers see either
-    /// the old snapshot or the new one, never a torn write.
+    /// Writes the checkpoint crash-safely through [`crate::store`]:
+    /// CRC32 envelope, fsynced temp file, previous snapshot rotated to
+    /// the `.1` generation, atomic rename, parent-directory fsync —
+    /// readers see either the old snapshot or the new one, never a torn
+    /// write, and a corrupt newest snapshot still leaves the previous
+    /// one to resume from.
     ///
     /// # Errors
     ///
-    /// [`OptimizeError::Checkpoint`] on any I/O failure.
+    /// [`OptimizeError::Checkpoint`] once the store's retry budget is
+    /// exhausted.
     pub fn save(&self, path: &Path) -> Result<(), OptimizeError> {
-        let tmp = path.with_extension("tmp");
-        let body = self.to_json();
-        std::fs::write(&tmp, body.as_bytes()).map_err(|e| OptimizeError::Checkpoint {
-            message: format!("writing {}: {e}", tmp.display()),
-        })?;
-        std::fs::rename(&tmp, path).map_err(|e| OptimizeError::Checkpoint {
-            message: format!("renaming {} over {}: {e}", tmp.display(), path.display()),
-        })
+        self.save_report(path).map(|_| ())
     }
 
-    /// Reads and parses a checkpoint.
+    /// Like [`save`](Checkpoint::save) but reports how many transient
+    /// failures the durable write absorbed (for telemetry).
     ///
     /// # Errors
     ///
-    /// [`OptimizeError::Checkpoint`] on I/O failure, malformed JSON, an
-    /// unknown format marker, or a newer schema version.
+    /// [`OptimizeError::Checkpoint`] once the store's retry budget is
+    /// exhausted.
+    pub fn save_report(&self, path: &Path) -> Result<WriteReport, OptimizeError> {
+        let body = self.to_json();
+        Ok(store::write_durable(path, body.as_bytes())?)
+    }
+
+    /// Reads, integrity-checks, and parses a checkpoint, falling back to
+    /// the previous (`.1`) generation when the newest snapshot is
+    /// missing or fails verification.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::Checkpoint`] on I/O failure, a corrupt envelope,
+    /// malformed JSON, an unknown format marker, or a newer schema
+    /// version.
     pub fn load(path: &Path) -> Result<Checkpoint, OptimizeError> {
-        let body = std::fs::read_to_string(path).map_err(|e| OptimizeError::Checkpoint {
-            message: format!("reading {}: {e}", path.display()),
+        let loaded = store::read_with_fallback(path)?;
+        let body = String::from_utf8(loaded.payload).map_err(|_| OptimizeError::Checkpoint {
+            message: format!("{}: checkpoint is not UTF-8", path.display()),
         })?;
         Checkpoint::from_json(&body)
     }
@@ -433,11 +477,22 @@ mod tests {
         // The temp file must not linger after the rename.
         assert!(!path.with_extension("tmp").exists());
         assert_eq!(Checkpoint::load(&path).unwrap(), cp);
-        // Overwrite with a different snapshot: atomic replace.
+        // Overwrite with a different snapshot: atomic replace, previous
+        // snapshot kept as the fallback generation.
         let cp2 = anneal_checkpoint();
         cp2.save(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), cp2);
-        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            Checkpoint::load(&crate::store::previous_generation(&path)).unwrap(),
+            cp
+        );
+        // A corrupt newest snapshot falls back to the previous one.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        crate::store::remove_generations(&path);
     }
 
     #[test]

@@ -103,6 +103,17 @@ impl From<crate::json::JsonError> for OptimizeError {
     }
 }
 
+impl From<crate::store::StoreError> for OptimizeError {
+    /// Durable-store failures surface as [`OptimizeError::Checkpoint`]:
+    /// a checkpoint or job record that could not be written durably or
+    /// failed integrity verification on read.
+    fn from(e: crate::store::StoreError) -> Self {
+        OptimizeError::Checkpoint {
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

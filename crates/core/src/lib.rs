@@ -69,6 +69,7 @@ pub mod report;
 mod result;
 pub mod runctl;
 pub mod search;
+pub mod store;
 pub mod tilos;
 pub mod variation;
 pub mod yield_mc;
@@ -80,3 +81,4 @@ pub use problem::Problem;
 pub use result::OptimizationResult;
 pub use runctl::{Progress, RunControl, TripReason};
 pub use search::{Optimizer, SearchOptions, SizingMethod};
+pub use store::StoreHealth;

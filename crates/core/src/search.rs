@@ -796,12 +796,29 @@ impl<'a> Optimizer<'a> {
             budgets,
             probes,
         };
-        match snapshot.save(&spec.path) {
-            Ok(()) => {
+        match snapshot.save_report(&spec.path) {
+            Ok(report) => {
                 self.engine.stats().count_checkpoint();
+                self.engine.stats().count_store_write(report.retries);
+                if let Some(health) = &spec.health {
+                    health.report_success();
+                }
                 cp.last_write = evaluations;
             }
-            Err(e) => cp.error = Some(e),
+            Err(e) => {
+                if let Some(health) = &spec.health {
+                    health.report_failure(&e.to_string());
+                }
+                if spec.required {
+                    cp.error = Some(e);
+                } else {
+                    // Best-effort policy: the run continues without this
+                    // snapshot. Advancing the watermark throttles
+                    // re-attempts to the normal cadence — and a later
+                    // success un-latches `health`.
+                    cp.last_write = evaluations;
+                }
+            }
         }
     }
 

@@ -19,6 +19,15 @@
 //! | `probe.nan`         | a sizing probe reports NaN energy            |
 //! | `runctl.clock_jump` | a deadline check behaves as if time jumped   |
 //! | `service.conn.drop` | an HTTP connection dies before the response  |
+//! | `io.write.torn`     | a durable write persists only a prefix of the
+//!                         record and still reports success (torn write
+//!                         caught by the CRC frame on the next read)     |
+//! | `io.write.short`    | a durable write fails with a short-write error
+//!                         (transient; absorbed by the bounded retry)    |
+//! | `io.fsync.fail`     | an fsync fails (transient; retried)          |
+//! | `io.disk.full`      | a durable write fails as if the disk is full |
+//! | `checkpoint.corrupt`| a bit flips inside the persisted payload
+//!                         (silent corruption for the recovery audit)    |
 //!
 //! Triggers are deterministic: an explicit index set, every-nth, or a
 //! seeded pseudo-random subset — never wall clock — so failing runs

@@ -67,6 +67,18 @@ pub struct EngineStats {
     /// Worker panics contained by the pool and surfaced as typed errors
     /// instead of aborting the run.
     pub panics_recovered: AtomicU64,
+    /// Durable-store writes that reached disk (framed, fsynced,
+    /// atomically renamed).
+    pub store_writes: AtomicU64,
+    /// Transient I/O failures absorbed by the store's bounded
+    /// retry-with-backoff before a write ultimately succeeded or failed.
+    pub store_retries: AtomicU64,
+    /// Corrupt or truncated state files moved into quarantine by the
+    /// startup recovery audit.
+    pub store_quarantined: AtomicU64,
+    /// Whole seconds spent in degraded (read-only) mode because durable
+    /// writes were failing persistently.
+    pub store_degraded_seconds: AtomicU64,
     phase_nanos: [AtomicU64; 4],
 }
 
@@ -127,6 +139,24 @@ impl EngineStats {
         self.panics_recovered.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one completed durable-store write that needed `retries`
+    /// transient-failure retries before it landed.
+    pub fn count_store_write(&self, retries: u64) {
+        self.store_writes.fetch_add(1, Ordering::Relaxed);
+        self.store_retries.fetch_add(retries, Ordering::Relaxed);
+    }
+
+    /// Counts `n` state files quarantined by a recovery audit.
+    pub fn count_store_quarantined(&self, n: u64) {
+        self.store_quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `secs` whole seconds of degraded-mode operation.
+    pub fn add_store_degraded_seconds(&self, secs: u64) {
+        self.store_degraded_seconds
+            .fetch_add(secs, Ordering::Relaxed);
+    }
+
     /// Runs `f`, attributing its wall time to `phase`.
     pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
@@ -155,6 +185,10 @@ impl EngineStats {
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
+            store_retries: self.store_retries.load(Ordering::Relaxed),
+            store_quarantined: self.store_quarantined.load(Ordering::Relaxed),
+            store_degraded_seconds: self.store_degraded_seconds.load(Ordering::Relaxed),
             phase_nanos: [
                 self.phase_nanos[0].load(Ordering::Relaxed),
                 self.phase_nanos[1].load(Ordering::Relaxed),
@@ -190,6 +224,14 @@ pub struct StatsSnapshot {
     pub checkpoints_written: u64,
     /// Worker panics contained and surfaced as typed errors.
     pub panics_recovered: u64,
+    /// Durable-store writes that reached disk.
+    pub store_writes: u64,
+    /// Transient I/O failures absorbed by the store's bounded retry.
+    pub store_retries: u64,
+    /// Corrupt state files quarantined by recovery audits.
+    pub store_quarantined: u64,
+    /// Whole seconds spent in degraded (read-only) mode.
+    pub store_degraded_seconds: u64,
     /// Wall time per phase, in the order of `Phase`'s variants.
     pub phase_nanos: [u64; 4],
 }
@@ -210,6 +252,10 @@ impl StatsSnapshot {
         self.faults_injected += other.faults_injected;
         self.checkpoints_written += other.checkpoints_written;
         self.panics_recovered += other.panics_recovered;
+        self.store_writes += other.store_writes;
+        self.store_retries += other.store_retries;
+        self.store_quarantined += other.store_quarantined;
+        self.store_degraded_seconds += other.store_degraded_seconds;
         for (mine, theirs) in self.phase_nanos.iter_mut().zip(other.phase_nanos) {
             *mine += theirs;
         }
@@ -283,6 +329,20 @@ impl StatsSnapshot {
                 self.faults_injected,
                 self.checkpoints_written,
                 self.panics_recovered
+            ));
+        }
+        if self.store_writes
+            + self.store_retries
+            + self.store_quarantined
+            + self.store_degraded_seconds
+            > 0
+        {
+            out.push_str(&format!(
+                "  durable store       : {} writes, {} retries, {} quarantined, {} s degraded\n",
+                self.store_writes,
+                self.store_retries,
+                self.store_quarantined,
+                self.store_degraded_seconds
             ));
         }
         for (phase, name) in PHASES {
@@ -401,6 +461,29 @@ mod tests {
     #[test]
     fn zero_lookup_hit_rate_is_zero() {
         assert_eq!(StatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn store_counters_count_merge_and_render() {
+        let a = EngineStats::new();
+        assert!(!a.snapshot().render().contains("durable store"));
+        a.count_store_write(0);
+        a.count_store_write(3);
+        a.count_store_quarantined(2);
+        a.add_store_degraded_seconds(7);
+        let b = EngineStats::new();
+        b.count_store_write(1);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.store_writes, 3);
+        assert_eq!(total.store_retries, 4);
+        assert_eq!(total.store_quarantined, 2);
+        assert_eq!(total.store_degraded_seconds, 7);
+        let text = total.render();
+        assert!(
+            text.contains("durable store       : 3 writes, 4 retries, 2 quarantined, 7 s degraded"),
+            "{text}"
+        );
     }
 
     #[test]

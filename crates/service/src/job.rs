@@ -10,8 +10,9 @@
 //! * [`Job`] — the in-memory record: a [`RunControl`] for cancellation,
 //!   progress counters fed by the control's observer, and a state
 //!   machine ([`JobState`]) guarded by a mutex;
-//! * persistence — `job-<id>.json` files written atomically
-//!   (temp + rename, like checkpoints). A job file stays `pending` until
+//! * persistence — `job-<id>.json` files written crash-safely through
+//!   [`minpower_core::store`] (CRC32 envelope, fsync, atomic rename,
+//!   `.1` fallback generation). A job file stays `pending` until
 //!   the run reaches a *terminal* state, so a crashed or killed server
 //!   finds every unfinished job on disk and resumes it from its
 //!   checkpoint.
@@ -21,6 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use minpower_core::json::{self, Value};
+use minpower_core::store;
 use minpower_core::{OptimizeError, Problem, RunControl, SearchOptions};
 use minpower_models::CircuitModel;
 use minpower_netlist::Netlist;
@@ -461,20 +463,23 @@ pub fn checkpoint_file(state_dir: &Path, id: u64) -> PathBuf {
     state_dir.join(format!("job-{id}.ckpt"))
 }
 
-/// Writes the job record atomically (temp + rename, like checkpoints).
-/// `status` is the *persisted* disposition — a job interrupted by drain
-/// is persisted `pending` so the next server run resumes it.
+/// Writes the job record crash-safely through `minpower_core::store`
+/// (CRC32 envelope, fsync, atomic rename, previous record kept as the
+/// `.1` generation). `status` is the *persisted* disposition — a job
+/// interrupted by drain is persisted `pending` so the next server run
+/// resumes it. Returns the write's retry telemetry.
 ///
 /// # Errors
 ///
-/// [`OptimizeError::Checkpoint`] on I/O failure.
+/// [`OptimizeError::Checkpoint`] once the store's retry budget is
+/// exhausted.
 pub fn persist(
     state_dir: &Path,
     job: &Job,
     status: &str,
     result: Option<&Value>,
     error: Option<&str>,
-) -> Result<(), OptimizeError> {
+) -> Result<store::WriteReport, OptimizeError> {
     let doc = Value::Obj(vec![
         ("schema".to_string(), Value::Str("minpower-job".to_string())),
         ("version".to_string(), Value::Int(1)),
@@ -488,13 +493,7 @@ pub fn persist(
         ),
     ]);
     let path = job_file(state_dir, job.id);
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, doc.render().as_bytes()).map_err(|e| OptimizeError::Checkpoint {
-        message: format!("writing {}: {e}", tmp.display()),
-    })?;
-    std::fs::rename(&tmp, &path).map_err(|e| OptimizeError::Checkpoint {
-        message: format!("renaming {} over {}: {e}", tmp.display(), path.display()),
-    })
+    Ok(store::write_durable(&path, doc.render().as_bytes())?)
 }
 
 /// A job record loaded back from disk at startup.
@@ -511,9 +510,11 @@ pub struct LoadedJob {
     pub error: Option<String>,
 }
 
-/// Loads every `job-*.json` record in `state_dir`, skipping files that
-/// fail to parse (a torn write can only be the temp file, which is never
-/// scanned, but defensiveness is free here).
+/// Loads every `job-*.json` record in `state_dir`, verifying each
+/// through the store (CRC frame when present, `.1`-generation fallback
+/// when the primary is corrupt) and skipping records that still fail to
+/// parse — the startup recovery audit has already quarantined anything
+/// corrupt, so a skip here is pure defensiveness.
 pub fn load_dir(state_dir: &Path) -> Vec<LoadedJob> {
     let mut out = Vec::new();
     let Ok(entries) = std::fs::read_dir(state_dir) else {
@@ -525,7 +526,10 @@ pub fn load_dir(state_dir: &Path) -> Vec<LoadedJob> {
         if !name.starts_with("job-") || !name.ends_with(".json") {
             continue;
         }
-        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+        let Ok(loaded) = store::read_with_fallback(&entry.path()) else {
+            continue;
+        };
+        let Ok(text) = String::from_utf8(loaded.payload) else {
             continue;
         };
         if let Some(job) = parse_record(&text) {

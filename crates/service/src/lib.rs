@@ -14,17 +14,26 @@
 //! | `GET /jobs/{id}`         | status + result document                     |
 //! | `DELETE /jobs/{id}`      | cancel; interrupted jobs keep best-so-far    |
 //! | `GET /jobs/{id}/events`  | NDJSON progress stream                       |
-//! | `GET /metrics`           | queue depth, engine counters, latency        |
+//! | `GET /metrics`           | queue depth, engine + store counters, latency|
+//! | `GET /healthz`           | `ok` / `degraded` + reason                   |
 //! | `POST /shutdown`         | graceful drain                               |
 //!
 //! ## Durability
 //!
 //! Every admitted job is persisted to the state directory before it is
-//! queued, and checkpointed while it runs. A server killed mid-job (or
-//! drained by SIGINT) leaves those records `pending`; the next server on
-//! the same state directory re-admits them and resumes each from its
+//! queued, and checkpointed while it runs. All on-disk state goes
+//! through [`minpower_core::store`]: CRC32-framed records, fsynced
+//! temp-file + atomic-rename writes, and a `.1` fallback generation per
+//! record. A server killed mid-job (or drained by SIGINT) leaves those
+//! records `pending`; the next server on the same state directory runs
+//! a recovery audit (quarantining anything corrupt into
+//! `state-dir/quarantine/`), re-admits them, and resumes each from its
 //! checkpoint, finishing bit-identically to an uninterrupted run — the
 //! same guarantee the CLI's `--resume` makes, delivered as a service.
+//! When durable writes fail persistently (disk full), the service
+//! latches a degraded read-only mode — `503 + Retry-After` for new
+//! submissions while in-flight jobs continue uncheckpointed — and
+//! un-latches automatically once writes succeed again.
 //!
 //! ## Quick start
 //!
@@ -86,6 +95,33 @@ impl Default for Config {
             max_gates: 50_000,
             checkpoint_every: 16,
         }
+    }
+}
+
+/// Validates a state directory *before* binding: an existing path that
+/// is not a directory, an uncreatable path, or a directory we cannot
+/// write into is rejected up front with a clear message, instead of
+/// surfacing as a persist failure on the first submitted job.
+///
+/// # Errors
+///
+/// A human-readable description of what is wrong with `dir`.
+pub fn validate_state_dir(dir: &std::path::Path) -> Result<(), String> {
+    if dir.exists() && !dir.is_dir() {
+        return Err(format!(
+            "state dir {} exists but is not a directory",
+            dir.display()
+        ));
+    }
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("state dir {} cannot be created: {e}", dir.display()))?;
+    let probe = dir.join(".write-probe");
+    match minpower_core::store::write_durable(&probe, b"{\"probe\":true}") {
+        Ok(_) => {
+            minpower_core::store::remove_generations(&probe);
+            Ok(())
+        }
+        Err(e) => Err(format!("state dir {} is not writable: {e}", dir.display())),
     }
 }
 

@@ -74,6 +74,7 @@ pub const ROUTES: &[&str] = &[
     "DELETE /jobs/{id}",
     "GET /jobs/{id}/events",
     "GET /metrics",
+    "GET /healthz",
     "POST /shutdown",
     "other",
 ];
@@ -81,7 +82,7 @@ pub const ROUTES: &[&str] = &[
 /// The service's metric registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    latency: [Histogram; 7],
+    latency: [Histogram; 8],
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Requests answered with a 2xx status.
@@ -100,6 +101,7 @@ pub fn route_key(method: &str, path: &str) -> &'static str {
     match (method, path) {
         ("POST", "/jobs") => "POST /jobs",
         ("GET", "/metrics") => "GET /metrics",
+        ("GET", "/healthz") => "GET /healthz",
         ("POST", "/shutdown") => "POST /shutdown",
         ("GET", _) if is_job && path.ends_with("/events") => "GET /jobs/{id}/events",
         ("GET", _) if is_job => "GET /jobs/{id}",
@@ -112,7 +114,10 @@ impl Metrics {
     /// Records a completed request: latency into the route's histogram,
     /// status into the class counters.
     pub fn observe(&self, route: &str, status: u16, micros: u64) {
-        let index = ROUTES.iter().position(|r| *r == route).unwrap_or(6);
+        let index = ROUTES
+            .iter()
+            .position(|r| *r == route)
+            .unwrap_or(ROUTES.len() - 1);
         self.latency[index].observe(micros);
         let counter = match status {
             200..=299 => &self.responses_ok,
@@ -179,6 +184,7 @@ mod tests {
         assert_eq!(route_key("GET", "/jobs/42"), "GET /jobs/{id}");
         assert_eq!(route_key("GET", "/jobs/42/events"), "GET /jobs/{id}/events");
         assert_eq!(route_key("DELETE", "/jobs/9"), "DELETE /jobs/{id}");
+        assert_eq!(route_key("GET", "/healthz"), "GET /healthz");
         assert_eq!(route_key("GET", "/nope"), "other");
         assert_eq!(route_key("GET", "/jobs/"), "other");
     }

@@ -35,8 +35,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use minpower_core::json::{self, Value};
+use minpower_core::store::{self, StoreHealth};
 use minpower_core::{CheckpointSpec, EvalContext, OptimizeError, Optimizer, TripReason};
-use minpower_engine::StatsSnapshot;
+use minpower_engine::{EngineStats, StatsSnapshot};
 
 use crate::http::{self, HttpError, Request};
 use crate::job::{self, Job, JobState, JobStatus};
@@ -60,6 +61,15 @@ pub struct ServiceState {
     stop: Arc<AtomicBool>,
     killed: Arc<AtomicBool>,
     conn_seq: AtomicU64,
+    /// Degraded-mode latch: set when durable writes fail persistently
+    /// (disk full, dead volume), cleared when they succeed again. While
+    /// latched, new submissions get `503 + Retry-After` and running jobs
+    /// continue uncheckpointed.
+    health: Arc<StoreHealth>,
+    /// Service-level durable-store telemetry (job-record writes, the
+    /// startup audit, health probes); per-job checkpoint writes land in
+    /// each job's engine context and are merged alongside.
+    store_stats: Arc<EngineStats>,
 }
 
 /// A handle for stopping a running server from another thread.
@@ -102,6 +112,12 @@ impl Server {
     /// Propagates listener-bind and state-directory I/O failures.
     pub fn bind(config: Config) -> std::io::Result<Server> {
         std::fs::create_dir_all(&config.state_dir)?;
+        // Recovery audit: delete staging debris, verify every record,
+        // promote intact fallback generations, quarantine the rest —
+        // BEFORE anything is loaded from the directory.
+        let audit = store::audit(&config.state_dir);
+        let store_stats = Arc::new(EngineStats::default());
+        store_stats.count_store_quarantined(audit.quarantined.len() as u64);
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let queue = JobQueue::new(config.queue_depth);
@@ -116,6 +132,8 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             killed: Arc::new(AtomicBool::new(false)),
             conn_seq: AtomicU64::new(0),
+            health: Arc::new(StoreHealth::new()),
+            store_stats,
             config,
         });
         state.recover_persisted_jobs();
@@ -278,8 +296,9 @@ impl ServiceState {
             .cloned()
     }
 
-    /// Fleet-wide engine counters: finished jobs' merged snapshots plus
-    /// a live snapshot of every running job's context.
+    /// Fleet-wide engine counters: finished jobs' merged snapshots, a
+    /// live snapshot of every running job's context, the service-level
+    /// store counters, and the health latch's degraded-time total.
     fn merged_engine_stats(&self) -> StatsSnapshot {
         let mut total = *self
             .finished_stats
@@ -289,7 +308,52 @@ impl ServiceState {
         for ctx in running.values() {
             total.merge(&ctx.snapshot());
         }
+        drop(running);
+        total.merge(&self.store_stats.snapshot());
+        total.store_degraded_seconds += self.health.degraded_seconds();
         total
+    }
+
+    /// Persists a job record through the durable store, feeding the
+    /// outcome into the store counters and the degraded-mode latch.
+    fn persist_job(
+        &self,
+        job: &Job,
+        status: &str,
+        result: Option<&Value>,
+        error: Option<&str>,
+    ) -> Result<(), OptimizeError> {
+        match job::persist(&self.config.state_dir, job, status, result, error) {
+            Ok(report) => {
+                self.store_stats.count_store_write(report.retries);
+                self.health.report_success();
+                Ok(())
+            }
+            Err(e) => {
+                self.health.report_failure(&e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Checks whether durable writes work right now by writing (and
+    /// removing) a tiny probe record; un-latches or latches the health
+    /// state accordingly. Called on submissions and health checks while
+    /// degraded, so recovery is automatic once the disk comes back.
+    fn probe_store(&self) -> bool {
+        let path = self.config.state_dir.join(".write-probe");
+        match store::write_durable(&path, b"{\"probe\":true}") {
+            Ok(report) => {
+                self.store_stats.count_store_write(report.retries);
+                store::remove_generations(&path);
+                self.health.report_success();
+                true
+            }
+            Err(e) => {
+                self.health.report_failure(&e.to_string());
+                false
+            }
+        }
     }
 }
 
@@ -304,13 +368,7 @@ fn worker_loop(state: &Arc<ServiceState>) {
         let result = catch_unwind(AssertUnwindSafe(|| run_job(state, &job)));
         if result.is_err() {
             job.set_state(JobState::Failed("job runner panicked".to_string()));
-            let _ = job::persist(
-                &state.config.state_dir,
-                &job,
-                "failed",
-                None,
-                Some("job runner panicked"),
-            );
+            let _ = state.persist_job(&job, "failed", None, Some("job runner panicked"));
         }
         state
             .running_ctx
@@ -328,13 +386,7 @@ fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         Ok(built) => built,
         Err(e) => {
             job.set_state(JobState::Failed(e.message.clone()));
-            let _ = job::persist(
-                &state.config.state_dir,
-                job,
-                "failed",
-                None,
-                Some(&e.message),
-            );
+            let _ = state.persist_job(job, "failed", None, Some(&e.message));
             return;
         }
     };
@@ -378,9 +430,15 @@ fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         .with_options(options)
         .with_engine(ctx)
         .with_run_control(control)
-        .with_checkpoint(CheckpointSpec {
-            path: ckpt.clone(),
-            every: state.config.checkpoint_every,
+        .with_checkpoint({
+            // Best-effort: a checkpoint-write failure must not kill the
+            // job — it keeps running uncheckpointed while the shared
+            // health latch flips the service into degraded mode.
+            let mut spec = CheckpointSpec::new(ckpt.clone())
+                .best_effort()
+                .with_health(state.health.clone());
+            spec.every = state.config.checkpoint_every;
+            spec
         });
     if ckpt.exists() {
         optimizer = optimizer.resume_from(&ckpt);
@@ -407,8 +465,8 @@ fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         Ok(result) => {
             let doc = minpower_core::report::result_to_json(&problem, &result, job.spec.top_gates);
             if !killed {
-                let _ = job::persist(&state.config.state_dir, job, "done", Some(&doc), None);
-                let _ = std::fs::remove_file(&ckpt);
+                let _ = state.persist_job(job, "done", Some(&doc), None);
+                store::remove_generations(&ckpt);
                 finish(snapshot);
             }
             job.set_state(JobState::Done(doc));
@@ -427,14 +485,8 @@ fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
             );
             if job.user_cancelled.load(Ordering::Relaxed) {
                 if !killed {
-                    let _ = job::persist(
-                        &state.config.state_dir,
-                        job,
-                        "cancelled",
-                        partial.as_ref(),
-                        Some(&message),
-                    );
-                    let _ = std::fs::remove_file(&ckpt);
+                    let _ = state.persist_job(job, "cancelled", partial.as_ref(), Some(&message));
+                    store::remove_generations(&ckpt);
                     finish(snapshot);
                 }
                 job.set_state(JobState::Cancelled(partial));
@@ -450,14 +502,8 @@ fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
             } else {
                 // Deadline: terminal, carries the feasible best-so-far.
                 if !killed {
-                    let _ = job::persist(
-                        &state.config.state_dir,
-                        job,
-                        "interrupted",
-                        partial.as_ref(),
-                        Some(&message),
-                    );
-                    let _ = std::fs::remove_file(&ckpt);
+                    let _ = state.persist_job(job, "interrupted", partial.as_ref(), Some(&message));
+                    store::remove_generations(&ckpt);
                     finish(snapshot);
                 }
                 job.set_state(JobState::Interrupted {
@@ -470,8 +516,8 @@ fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         Err(e) => {
             let message = e.to_string();
             if !killed {
-                let _ = job::persist(&state.config.state_dir, job, "failed", None, Some(&message));
-                let _ = std::fs::remove_file(&ckpt);
+                let _ = state.persist_job(job, "failed", None, Some(&message));
+                store::remove_generations(&ckpt);
                 finish(snapshot);
             }
             job.set_state(JobState::Failed(message));
@@ -547,6 +593,7 @@ fn dispatch(state: &Arc<ServiceState>, request: &Request) -> Response {
     match (request.method.as_str(), path) {
         ("POST", "/jobs") => submit_job(state, request),
         ("GET", "/metrics") => metrics_endpoint(state),
+        ("GET", "/healthz") => healthz_endpoint(state),
         ("POST", "/shutdown") => {
             state.stop.store(true, Ordering::Relaxed);
             (
@@ -613,10 +660,19 @@ fn submit_job(state: &Arc<ServiceState>, request: &Request) -> Response {
         return (e.status, error_body(&e), Vec::new());
     }
 
+    // Degraded-mode gate: while the store is latched read-only, probe it
+    // — if writes still fail, refuse new work with a retry hint (the
+    // probe doubles as the auto-recovery path once the disk comes back).
+    if state.health.is_degraded() && !state.probe_store() {
+        let (_, reason) = state.health.status();
+        return degraded_response(&reason);
+    }
+
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
     let job = Arc::new(Job::new(id, spec));
-    if job::persist(&state.config.state_dir, &job, "pending", None, None).is_err() {
-        return error_response(500, "could not persist the job record");
+    if state.persist_job(&job, "pending", None, None).is_err() {
+        let (_, reason) = state.health.status();
+        return degraded_response(&reason);
     }
     state
         .jobs
@@ -643,7 +699,7 @@ fn submit_job(state: &Arc<ServiceState>, request: &Request) -> Response {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .remove(&id);
-            let _ = std::fs::remove_file(job::job_file(&state.config.state_dir, id));
+            store::remove_generations(&job::job_file(&state.config.state_dir, id));
             (
                 429,
                 Value::Obj(vec![(
@@ -661,6 +717,46 @@ fn submit_job(state: &Arc<ServiceState>, request: &Request) -> Response {
 
 fn error_body(e: &HttpError) -> Value {
     Value::Obj(vec![("error".to_string(), Value::Str(e.message.clone()))])
+}
+
+/// `503 + Retry-After` while the store cannot accept durable writes.
+fn degraded_response(reason: &str) -> Response {
+    (
+        503,
+        Value::Obj(vec![(
+            "error".to_string(),
+            Value::Str(format!(
+                "service is degraded (read-only): {}",
+                if reason.is_empty() {
+                    "durable writes are failing"
+                } else {
+                    reason
+                }
+            )),
+        )]),
+        vec![("Retry-After".to_string(), "5".to_string())],
+    )
+}
+
+/// `GET /healthz`: `ok` or `degraded` + reason. While degraded, each
+/// health check probes the store so recovery is observed promptly.
+fn healthz_endpoint(state: &Arc<ServiceState>) -> Response {
+    if state.health.is_degraded() {
+        state.probe_store();
+    }
+    let (degraded, reason) = state.health.status();
+    let mut fields = vec![(
+        "status".to_string(),
+        Value::Str(if degraded { "degraded" } else { "ok" }.to_string()),
+    )];
+    if degraded {
+        fields.push(("reason".to_string(), Value::Str(reason)));
+    }
+    fields.push((
+        "degraded_seconds".to_string(),
+        Value::Int(state.health.degraded_seconds()),
+    ));
+    (200, Value::Obj(fields), Vec::new())
 }
 
 fn metrics_endpoint(state: &Arc<ServiceState>) -> Response {
@@ -730,6 +826,25 @@ fn metrics_endpoint(state: &Arc<ServiceState>) -> Response {
                 (
                     "panics_recovered".to_string(),
                     Value::Int(engine.panics_recovered),
+                ),
+            ]),
+        ),
+        (
+            "store".to_string(),
+            Value::Obj(vec![
+                ("writes".to_string(), Value::Int(engine.store_writes)),
+                ("retries".to_string(), Value::Int(engine.store_retries)),
+                (
+                    "quarantined".to_string(),
+                    Value::Int(engine.store_quarantined),
+                ),
+                (
+                    "degraded_seconds".to_string(),
+                    Value::Int(engine.store_degraded_seconds),
+                ),
+                (
+                    "degraded".to_string(),
+                    Value::Bool(state.health.is_degraded()),
                 ),
             ]),
         ),

@@ -1,0 +1,279 @@
+//! Sharded-vs-single-process scaling: the same coordinated suite job run
+//! single-process (`merge::run_local`) and through a loopback coordinator
+//! with 1, 2, and 4 `minpower serve --worker` processes.
+//!
+//! Three numbers matter:
+//!
+//! * **wall time per worker count** — suite shards are independent, so
+//!   the distributed run should approach linear speedup until the shard
+//!   count binds;
+//! * **merge overhead** — re-running [`minpower_coord::merge::finalize`]
+//!   over the stored per-shard documents, timed alone: the coordinator's
+//!   own contribution to the critical path;
+//! * **bit-identity** — every configuration must produce the same merged
+//!   document (asserted, not just reported).
+//!
+//! Writes `BENCH_scaling.json` into the invoking directory. Plain
+//! `Instant` timing (no external harness — the build is offline).
+//! Run with `cargo bench -p minpower-bench --bench sharded_scaling`
+//! (`-- --smoke` for the CI-sized workload).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use minpower_coord::{merge, spec::CoordSpec, CoordServer};
+use minpower_core::jobstore::{FsJobStore, JobStore};
+use minpower_core::json::{self, Value};
+use minpower_serve::{Server, ServerHandle};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "minpower-bench-sharded-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+struct Fleet {
+    coord_addr: String,
+    coord_handle: minpower_coord::CoordHandle,
+    coord_thread: std::thread::JoinHandle<minpower_serve::DrainOutcome>,
+    workers: Vec<(
+        ServerHandle,
+        std::thread::JoinHandle<minpower_serve::DrainOutcome>,
+    )>,
+}
+
+fn start_fleet(shared: &Path, worker_count: usize, tag: &str) -> Fleet {
+    let mut endpoints = Vec::new();
+    let mut workers = Vec::new();
+    for i in 0..worker_count {
+        let server = Server::bind(minpower_serve::Config {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            state_dir: scratch_dir(&format!("{tag}-w{i}")),
+            worker: true,
+            shared_dir: Some(shared.to_path_buf()),
+            ..minpower_serve::Config::default()
+        })
+        .expect("bind worker");
+        endpoints.push(server.local_addr().expect("worker addr").to_string());
+        let handle = server.handle();
+        workers.push((handle, std::thread::spawn(move || server.run())));
+    }
+    let server = CoordServer::bind(minpower_coord::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: endpoints,
+        store_dir: shared.to_path_buf(),
+        lease_ttl: 10.0,
+        dispatch_timeout: 600.0,
+        ..minpower_coord::Config::default()
+    })
+    .expect("bind coordinator");
+    let coord_addr = server.local_addr().expect("coord addr").to_string();
+    let coord_handle = server.handle();
+    let coord_thread = std::thread::spawn(move || server.run());
+    Fleet {
+        coord_addr,
+        coord_handle,
+        coord_thread,
+        workers,
+    }
+}
+
+fn stop_fleet(fleet: Fleet) {
+    fleet.coord_handle.shutdown();
+    let _ = fleet.coord_thread.join();
+    for (handle, thread) in fleet.workers {
+        handle.shutdown();
+        let _ = thread.join();
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let split = text.find("\r\n\r\n").expect("header terminator");
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, text[split + 4..].to_string())
+}
+
+/// Submits `submission` and blocks until the job is done; returns the
+/// wall time and the merged result with the coordinator-assigned `job`
+/// id dropped (so results from different runs compare equal).
+fn run_distributed(fleet: &Fleet, submission: &str) -> (Duration, Value) {
+    let t0 = Instant::now();
+    let (status, body) = http(&fleet.coord_addr, "POST", "/jobs", submission);
+    assert_eq!(status, 202, "{body}");
+    let id = json::parse(&body)
+        .unwrap()
+        .as_obj("accepted")
+        .and_then(|o| o.req("id"))
+        .and_then(|v| v.as_u64("id"))
+        .unwrap();
+    loop {
+        let (_, body) = http(&fleet.coord_addr, "GET", &format!("/jobs/{id}"), "");
+        let doc = json::parse(&body).expect("status json");
+        let obj = doc.as_obj("status").unwrap();
+        match obj.req("status").unwrap().as_str("s").unwrap() {
+            "running" => std::thread::sleep(Duration::from_millis(5)),
+            "done" => {
+                return (t0.elapsed(), strip_job_id(obj.req("result").unwrap()));
+            }
+            other => panic!("job {id} ended {other}: {body}"),
+        }
+    }
+}
+
+fn strip_job_id(doc: &Value) -> Value {
+    let Value::Obj(fields) = doc else {
+        panic!("merged result is not an object");
+    };
+    Value::Obj(
+        fields
+            .iter()
+            .filter(|(name, _)| name != "job")
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Times one `merge::finalize` pass over the stored per-shard documents
+/// of job `id` — the coordinator's merge overhead in isolation.
+fn time_merge(shared: &Path, spec: &CoordSpec, id: u64, shards: u64) -> Duration {
+    let store = FsJobStore::open(shared).expect("open shared store");
+    let docs: Vec<Value> = (0..shards)
+        .map(|index| {
+            let payload = store
+                .get(&minpower_coord::spec::shard_key(id, index))
+                .expect("read shard doc")
+                .expect("shard doc present");
+            json::parse(std::str::from_utf8(&payload).unwrap()).unwrap()
+        })
+        .collect();
+    let refs: Vec<&Value> = docs.iter().collect();
+    let t0 = Instant::now();
+    let merged = merge::finalize(spec, id, &refs, 50_000).expect("finalize");
+    let elapsed = t0.elapsed();
+    assert!(matches!(merged, Value::Obj(_)));
+    elapsed
+}
+
+fn main() {
+    let smoke = minpower_bench::smoke_mode();
+    let (suite, worker_counts): (Vec<&str>, Vec<usize>) = if smoke {
+        (vec!["c17", "s27", "c17", "s27"], vec![1, 2])
+    } else {
+        (
+            vec!["c17", "s27", "s298", "c17", "s27", "s298", "c17", "s27"],
+            vec![1, 2, 4],
+        )
+    };
+    let suite_json = suite
+        .iter()
+        .map(|c| format!("\"{c}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    let submission = format!("{{\"suite\":[{suite_json}],\"fc\":2.5e8}}");
+    let spec = CoordSpec::from_json(&json::parse(&submission).unwrap()).unwrap();
+    let shards = spec.total_shards();
+
+    println!("sharded scaling over {shards} suite shards");
+    println!("{:<22} {:>10} {:>8}", "configuration", "wall", "speedup");
+
+    let t0 = Instant::now();
+    let (local_doc, _) = merge::run_local(&spec, 50_000).expect("local run");
+    let single = t0.elapsed();
+    let local_doc = strip_job_id(&local_doc);
+    println!("{:<22} {single:>10.2?} {:>7.2}x", "single process", 1.0);
+
+    let mut rows = Vec::new();
+    let mut merge_overhead = Duration::ZERO;
+    for &count in &worker_counts {
+        let shared = scratch_dir(&format!("{count}w"));
+        let fleet = start_fleet(&shared, count, &format!("{count}w"));
+        let (wall, doc) = run_distributed(&fleet, &submission);
+        assert_eq!(
+            doc.render(),
+            local_doc.render(),
+            "distributed run with {count} workers diverged from single process"
+        );
+        merge_overhead = time_merge(&shared, &spec, 1, shards);
+        stop_fleet(fleet);
+        let speedup = single.as_secs_f64() / wall.as_secs_f64().max(1e-12);
+        println!(
+            "{:<22} {wall:>10.2?} {speedup:>7.2}x",
+            format!("{count} workers")
+        );
+        rows.push(Value::Obj(vec![
+            ("workers".to_string(), Value::Int(count as u64)),
+            ("wall_secs".to_string(), Value::Float(wall.as_secs_f64())),
+            ("speedup".to_string(), Value::Float(speedup)),
+        ]));
+        let _ = std::fs::remove_dir_all(&shared);
+    }
+    println!(
+        "merge overhead: {merge_overhead:.2?} ({:.2}% of the single-process wall)",
+        100.0 * merge_overhead.as_secs_f64() / single.as_secs_f64().max(1e-12)
+    );
+
+    let report = Value::Obj(vec![
+        (
+            "schema".to_string(),
+            Value::Str("minpower-bench-scaling".to_string()),
+        ),
+        ("version".to_string(), Value::Int(1)),
+        ("smoke".to_string(), Value::Bool(smoke)),
+        // Speedup is bounded by the host: on a single-core runner the
+        // distributed wall time can only show the dispatch overhead.
+        (
+            "cpus".to_string(),
+            Value::Int(
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64,
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Obj(vec![
+                (
+                    "suite".to_string(),
+                    Value::Arr(suite.iter().map(|c| Value::Str((*c).to_string())).collect()),
+                ),
+                ("shards".to_string(), Value::Int(shards)),
+            ]),
+        ),
+        (
+            "single_process_wall_secs".to_string(),
+            Value::Float(single.as_secs_f64()),
+        ),
+        (
+            "merge_overhead_secs".to_string(),
+            Value::Float(merge_overhead.as_secs_f64()),
+        ),
+        ("sharded".to_string(), Value::Arr(rows)),
+    ]);
+    // Land the artifact at the workspace root whatever the cwd is.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scaling.json");
+    std::fs::write(&path, format!("{}\n", report.render())).expect("write report");
+    println!("wrote {}", path.display());
+}

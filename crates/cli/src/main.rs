@@ -151,6 +151,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     match command.as_str() {
         "optimize" => optimize(rest),
         "serve" => serve(rest),
+        "coord" => coord(rest),
         "baseline" => baseline_cmd(rest),
         "stats" => stats(rest),
         "budget" => budget(rest),
@@ -186,6 +187,10 @@ fn print_usage() {
          \x20                   [--checkpoint FILE] [--resume FILE] [--format human|json]\n\
          \x20 minpower serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                   [--job-time-limit SECS] [--state-dir DIR]\n\
+         \x20                   [--worker --shared-dir DIR]\n\
+         \x20 minpower coord    --workers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
+         \x20                   [--state-dir DIR] [--lease-ttl SECS]\n\
+         \x20                   [--dispatch-timeout SECS] [--max-gates N]\n\
          \x20 minpower baseline <circuit> [--fc HZ] [--activity A] [--vt V]\n\
          \x20 minpower stats    <circuit>\n\
          \x20 minpower budget   <circuit> [--fc HZ]\n\
@@ -245,7 +250,7 @@ struct Flags<'a> {
 }
 
 /// Flags that take no value; every other `--flag` consumes one token.
-const BOOLEAN_FLAGS: &[&str] = &["--no-cache", "--no-incremental"];
+const BOOLEAN_FLAGS: &[&str] = &["--no-cache", "--no-incremental", "--worker"];
 
 /// Evaluation-engine flags accepted by every command.
 const ENGINE_FLAGS: &[&str] = &["--threads", "--no-cache", "--no-incremental"];
@@ -569,6 +574,8 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         "--job-time-limit",
         "--state-dir",
         "--max-gates",
+        "--worker",
+        "--shared-dir",
     ])?;
     let mut config = minpower_serve::Config {
         addr: flags.get("--addr").unwrap_or("127.0.0.1:7817").to_string(),
@@ -580,6 +587,13 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     config.max_gates = flags.get_usize("--max-gates", config.max_gates)?;
     if let Some(dir) = flags.get("--state-dir") {
         config.state_dir = dir.into();
+    }
+    config.worker = flags.has("--worker");
+    config.shared_dir = flags.get("--shared-dir").map(Into::into);
+    if config.shared_dir.is_some() && !config.worker {
+        return Err(CliError::Usage(
+            "--shared-dir requires --worker".to_string(),
+        ));
     }
     if config.workers == 0 {
         return Err(CliError::Usage("--workers must be at least 1".to_string()));
@@ -599,6 +613,76 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Other(format!("local_addr: {e}")))?;
     sigint::install(server.stop_token());
     println!("listening on {addr}");
+    match server.run() {
+        minpower_serve::DrainOutcome::Clean => Ok(()),
+        minpower_serve::DrainOutcome::JobsInterrupted => Err(CliError::Interrupted(
+            "drained with jobs interrupted (resumable from the state directory)".to_string(),
+        )),
+    }
+}
+
+fn coord(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::new(args);
+    flags.reject_unknown(&[
+        "--addr",
+        "--workers",
+        "--state-dir",
+        "--lease-ttl",
+        "--dispatch-timeout",
+        "--max-gates",
+        "--worker-failure-limit",
+        "--shard-attempt-limit",
+    ])?;
+    let workers: Vec<String> = flags
+        .get("--workers")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    if workers.is_empty() {
+        return Err(CliError::Usage(
+            "--workers requires a comma-separated list of worker endpoints (host:port)".to_string(),
+        ));
+    }
+    let mut config = minpower_coord::Config {
+        addr: flags.get("--addr").unwrap_or("127.0.0.1:7818").to_string(),
+        workers,
+        lease_ttl: flags.get_f64("--lease-ttl", 30.0)?,
+        dispatch_timeout: flags.get_f64("--dispatch-timeout", 600.0)?,
+        ..minpower_coord::Config::default()
+    };
+    config.max_gates = flags.get_usize("--max-gates", config.max_gates)?;
+    config.worker_failure_limit = flags.get_usize(
+        "--worker-failure-limit",
+        config.worker_failure_limit as usize,
+    )? as u32;
+    config.shard_attempt_limit =
+        flags.get_usize("--shard-attempt-limit", config.shard_attempt_limit as usize)? as u32;
+    if let Some(dir) = flags.get("--state-dir") {
+        config.store_dir = dir.into();
+    }
+    if !(config.lease_ttl.is_finite() && config.lease_ttl > 0.0) {
+        return Err(CliError::Usage(
+            "--lease-ttl must be a positive number of seconds".to_string(),
+        ));
+    }
+    if !(config.dispatch_timeout.is_finite() && config.dispatch_timeout > 0.0) {
+        return Err(CliError::Usage(
+            "--dispatch-timeout must be a positive number of seconds".to_string(),
+        ));
+    }
+    minpower_serve::validate_state_dir(&config.store_dir).map_err(CliError::Usage)?;
+    let server = minpower_coord::CoordServer::bind(config)
+        .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Other(format!("local_addr: {e}")))?;
+    sigint::install(server.stop_token());
+    println!("coordinating on {addr}");
     match server.run() {
         minpower_serve::DrainOutcome::Clean => Ok(()),
         minpower_serve::DrainOutcome::JobsInterrupted => Err(CliError::Interrupted(

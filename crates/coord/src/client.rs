@@ -1,0 +1,131 @@
+//! The coordinator's HTTP client: one blocking `POST /shards` per
+//! dispatch, `std::net` only.
+//!
+//! The `coord.worker.lost` fault site lives here: when armed (behind the
+//! engine's `faults` feature), a dispatch connects and then drops the
+//! connection without sending the request — the network-drop flavor of
+//! losing a worker, observed by the dispatcher exactly like a worker
+//! that died, and driving the same lease-release + reassignment path.
+//! (Losing a worker *mid-shard* is exercised by killing a real worker
+//! process; see the loopback integration tests.)
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a dispatch produced no response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The injected `coord.worker.lost` fault dropped the connection.
+    Lost,
+    /// Connect/read/write failure (worker dead, timeout, reset).
+    Io(String),
+    /// The worker answered something that is not parseable HTTP.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Lost => write!(f, "connection lost (injected fault)"),
+            ClientError::Io(m) => write!(f, "{m}"),
+            ClientError::Protocol(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+/// A worker's answer to one dispatch.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (UTF-8, lossy).
+    pub body: String,
+}
+
+/// POSTs `body` to `http://{addr}/shards` and reads the full response
+/// (the worker closes the connection after answering). `seq` is the
+/// caller's dispatch counter, indexing the `coord.worker.lost` fault
+/// trigger deterministically.
+///
+/// # Errors
+///
+/// [`ClientError`] classifying the transport failure; the dispatcher
+/// treats every variant as "worker lost" and reassigns the shard.
+pub fn post_shard(
+    addr: &str,
+    body: &str,
+    timeout_secs: f64,
+    seq: u64,
+) -> Result<Response, ClientError> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| ClientError::Io(format!("connect {addr}: {e}")))?;
+    if minpower_engine::faults::should_fire("coord.worker.lost", seq) {
+        drop(stream);
+        return Err(ClientError::Lost);
+    }
+    let timeout = Duration::from_secs_f64(timeout_secs.clamp(0.001, 86_400.0));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let head = format!(
+        "POST /shards HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| ClientError::Io(format!("send to {addr}: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| ClientError::Io(format!("read from {addr}: {e}")))?;
+    parse_response(&raw)
+}
+
+/// Splits a raw `Connection: close` HTTP response into status + body.
+fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol("no header terminator".to_string()))?;
+    let head = String::from_utf8_lossy(&raw[..split]);
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line `{status_line}`")))?;
+    Ok(Response {
+        status,
+        body: String::from_utf8_lossy(&raw[split + 4..]).into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_parse_status_and_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n{\"error\":\"x\"}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.body, "{\"error\":\"x\"}");
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn dead_endpoint_is_an_io_error() {
+        // Bind-then-drop guarantees a port with no listener.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        match post_shard(&format!("127.0.0.1:{port}"), "{}", 0.5, 0) {
+            Err(ClientError::Io(m)) => assert!(m.contains("connect"), "{m}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

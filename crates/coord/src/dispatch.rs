@@ -1,0 +1,183 @@
+//! Dispatch plumbing: the shard task queue and per-worker endpoint
+//! state.
+//!
+//! The queue is a plain blocking MPMC deque — one dispatcher thread per
+//! worker endpoint pops from it, so shard-to-worker placement is
+//! whichever dispatcher is free first (work stealing by construction).
+//! Determinism of the *results* never depends on placement: shards are
+//! pure functions of their request, and the merge orders by shard index.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// One dispatchable unit: a `(job, shard)` pair plus its attempt count.
+#[derive(Debug, Clone, Copy)]
+pub struct Task {
+    /// Owning job id.
+    pub job: u64,
+    /// Shard index within the job.
+    pub shard: u64,
+    /// Dispatch attempts so far (bounded by the config's
+    /// `shard_attempt_limit`).
+    pub attempts: u32,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    closed: bool,
+}
+
+/// Blocking MPMC task queue; closing it wakes and retires every popper.
+pub struct TaskQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl Default for TaskQueue {
+    fn default() -> Self {
+        TaskQueue {
+            state: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl TaskQueue {
+    /// Enqueues `task` (no-op after close — the drain is final).
+    pub fn push(&self, task: Task) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.closed {
+            state.tasks.push_back(task);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Blocks for the next task; `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<Task> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(task) = state.tasks.pop_front() {
+                return Some(task);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending tasks are discarded and every blocked
+    /// popper wakes with `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        state.tasks.clear();
+        self.ready.notify_all();
+    }
+
+    /// Tasks currently waiting.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .tasks
+            .len()
+    }
+
+    /// Whether no tasks are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Telemetry and liveness of one worker endpoint.
+pub struct WorkerSlot {
+    /// The endpoint (`host:port`), also the lease-owner name.
+    pub addr: String,
+    /// Shards successfully completed through this endpoint.
+    pub dispatched: AtomicU64,
+    /// Dispatch failures (connection errors, 503s, bad responses).
+    pub failures: AtomicU64,
+    /// Consecutive failures; reset by any success.
+    pub consecutive: AtomicU32,
+    /// Cleared when the endpoint is declared lost.
+    pub alive: AtomicBool,
+    /// Monotonic dispatch counter, indexing the `coord.worker.lost`
+    /// fault trigger per endpoint.
+    pub seq: AtomicU64,
+}
+
+impl WorkerSlot {
+    /// A fresh, alive endpoint slot.
+    pub fn new(addr: &str) -> Self {
+        WorkerSlot {
+            addr: addr.to_string(),
+            dispatched: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            consecutive: AtomicU32::new(0),
+            alive: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a successful dispatch.
+    pub fn record_success(&self) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.consecutive.store(0, Ordering::Relaxed);
+    }
+
+    /// Records a failed dispatch; returns the consecutive-failure count.
+    pub fn record_failure(&self) -> u32 {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.consecutive.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_delivers_then_retires_on_close() {
+        let q = Arc::new(TaskQueue::default());
+        q.push(Task {
+            job: 1,
+            shard: 0,
+            attempts: 0,
+        });
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().shard, 0);
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(popper.join().unwrap().is_none());
+        // Post-close pushes are dropped.
+        q.push(Task {
+            job: 1,
+            shard: 1,
+            attempts: 0,
+        });
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn worker_slot_tracks_consecutive_failures() {
+        let slot = WorkerSlot::new("127.0.0.1:1");
+        assert_eq!(slot.record_failure(), 1);
+        assert_eq!(slot.record_failure(), 2);
+        slot.record_success();
+        assert_eq!(slot.record_failure(), 1);
+        assert_eq!(slot.dispatched.load(Ordering::Relaxed), 1);
+        assert_eq!(slot.failures.load(Ordering::Relaxed), 3);
+    }
+}

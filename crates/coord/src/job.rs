@@ -1,0 +1,541 @@
+//! Coordinator-side job state: shard slots, completion accounting,
+//! merged statistics, the NDJSON event log, and persisted job records.
+//!
+//! A [`CoordJob`] owns one slot per planned shard. Dispatchers move
+//! slots `Pending → Running → Done`; a dispatch failure moves a slot
+//! back to `Pending` for reassignment. Completing the last slot merges
+//! the per-shard documents (in shard-index order) into the final result.
+//! All transitions happen under one mutex, so the "last shard done"
+//! decision and the phase-two fan-out of a yield job are race-free even
+//! with every dispatcher reporting concurrently.
+
+use std::sync::Mutex;
+
+use minpower_core::jobstore::JobStore;
+use minpower_core::json::{self, Value};
+use minpower_core::store::StoreError;
+use minpower_engine::StatsSnapshot;
+use minpower_serve::shard::{self, ShardRequest};
+
+use crate::merge;
+use crate::spec::{job_key, CoordSpec, JOB_SCHEMA};
+
+/// Coarse job status exposed over the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordStatus {
+    /// Shards are pending or in flight.
+    Running,
+    /// All shards merged into a final result.
+    Done,
+    /// Failed; no further shards will be dispatched.
+    Failed,
+}
+
+impl CoordStatus {
+    /// Wire name of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CoordStatus::Running => "running",
+            CoordStatus::Done => "done",
+            CoordStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What a shard completion unlocked.
+#[derive(Debug)]
+pub enum Completion {
+    /// More shards are still outstanding.
+    Pending,
+    /// Phase two planned: these shard indices are now dispatchable.
+    NewShards(Vec<u64>),
+    /// The job is done; carries the merged final document.
+    Done(Value),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SlotState {
+    Pending,
+    Running(String),
+    Done,
+}
+
+struct Slot {
+    request: ShardRequest,
+    state: SlotState,
+    doc: Option<Value>,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    status: CoordStatus,
+    result: Option<Value>,
+    error: Option<String>,
+    stats: StatsSnapshot,
+    events: Vec<Value>,
+    completed: u64,
+}
+
+/// One coordinated job: spec, shard slots, merged stats, event log.
+pub struct CoordJob {
+    /// Coordinator-assigned identifier.
+    pub id: u64,
+    /// The validated submission.
+    pub spec: CoordSpec,
+    /// Total shards over the job's whole lifetime (phase two included).
+    pub total: u64,
+    max_gates: usize,
+    inner: Mutex<Inner>,
+}
+
+impl CoordJob {
+    /// A freshly admitted job with its phase-one slots planned.
+    pub fn new(id: u64, spec: CoordSpec, max_gates: usize) -> Self {
+        let slots = spec
+            .initial_requests(id)
+            .into_iter()
+            .map(|request| Slot {
+                request,
+                state: SlotState::Pending,
+                doc: None,
+            })
+            .collect();
+        let total = spec.total_shards();
+        CoordJob {
+            id,
+            spec,
+            total,
+            max_gates,
+            inner: Mutex::new(Inner {
+                slots,
+                status: CoordStatus::Running,
+                result: None,
+                error: None,
+                stats: StatsSnapshot::default(),
+                events: Vec::new(),
+                completed: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Indices of currently pending (dispatchable) slots.
+    pub fn pending_indices(&self) -> Vec<u64> {
+        self.lock()
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == SlotState::Pending)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// A clone of shard `index`'s request, if that slot exists.
+    pub fn request(&self, index: u64) -> Option<ShardRequest> {
+        self.lock()
+            .slots
+            .get(index as usize)
+            .map(|s| s.request.clone())
+    }
+
+    /// Whether shard `index` still needs dispatching (job running, slot
+    /// pending).
+    pub fn shard_pending(&self, index: u64) -> bool {
+        let inner = self.lock();
+        inner.status == CoordStatus::Running
+            && inner
+                .slots
+                .get(index as usize)
+                .is_some_and(|s| s.state == SlotState::Pending)
+    }
+
+    /// Marks shard `index` as running on `worker` and logs the dispatch
+    /// event. No-op unless the slot is pending.
+    pub fn mark_running(&self, index: u64, worker: &str) {
+        let mut inner = self.lock();
+        let Some(slot) = inner.slots.get_mut(index as usize) else {
+            return;
+        };
+        if slot.state == SlotState::Pending {
+            slot.state = SlotState::Running(worker.to_string());
+            push_event(
+                &mut inner,
+                vec![
+                    ("event".to_string(), Value::Str("dispatch".to_string())),
+                    ("shard".to_string(), Value::Int(index)),
+                    ("worker".to_string(), Value::Str(worker.to_string())),
+                ],
+            );
+        }
+    }
+
+    /// Returns shard `index` to the pending state after a dispatch
+    /// failure, logging the requeue with the worker and reason.
+    pub fn mark_pending(&self, index: u64, worker: &str, reason: &str) {
+        let mut inner = self.lock();
+        let Some(slot) = inner.slots.get_mut(index as usize) else {
+            return;
+        };
+        if matches!(slot.state, SlotState::Running(_)) {
+            slot.state = SlotState::Pending;
+            push_event(
+                &mut inner,
+                vec![
+                    ("event".to_string(), Value::Str("requeue".to_string())),
+                    ("shard".to_string(), Value::Int(index)),
+                    ("worker".to_string(), Value::Str(worker.to_string())),
+                    ("reason".to_string(), Value::Str(reason.to_string())),
+                ],
+            );
+        }
+    }
+
+    /// Records shard `index`'s result document, merges its embedded
+    /// deterministic stats, and — when it was the optimize shard of a
+    /// yield job — plans phase two, or — when it was the last shard —
+    /// merges the final document.
+    ///
+    /// A completion for an already-done slot (a reassignment race both
+    /// sides of which succeeded) is ignored: shard execution is
+    /// deterministic, so both documents are identical anyway.
+    ///
+    /// # Errors
+    ///
+    /// A message when phase-two planning or the final merge fails; the
+    /// caller fails the job with it.
+    pub fn complete_shard(
+        &self,
+        index: u64,
+        doc: Value,
+        worker: &str,
+    ) -> Result<Completion, String> {
+        let mut inner = self.lock();
+        if inner.status != CoordStatus::Running {
+            return Ok(Completion::Pending);
+        }
+        let slot_count = inner.slots.len();
+        let Some(slot) = inner.slots.get_mut(index as usize) else {
+            return Err(format!("completion for unknown shard {index}"));
+        };
+        if slot.state == SlotState::Done {
+            return Ok(Completion::Pending);
+        }
+        let shard_stats = doc
+            .as_obj("shard result")
+            .ok()
+            .and_then(|o| o.req("stats").ok())
+            .and_then(|s| shard::stats_from_json(s).ok())
+            .unwrap_or_default();
+        slot.state = SlotState::Done;
+        slot.doc = Some(doc);
+        inner.stats.merge(&shard_stats);
+        inner.completed += 1;
+        let completed = inner.completed;
+        push_event(
+            &mut inner,
+            vec![
+                ("event".to_string(), Value::Str("shard".to_string())),
+                ("shard".to_string(), Value::Int(index)),
+                ("worker".to_string(), Value::Str(worker.to_string())),
+                ("completed".to_string(), Value::Int(completed)),
+                ("total".to_string(), Value::Int(self.total)),
+            ],
+        );
+        // Phase two of a yield job: the lone optimize shard just
+        // finished; fan out the seed-stream trial shards.
+        if self.spec.mc.is_some() && index == 0 && slot_count == 1 {
+            let requests = {
+                let doc = inner.slots[0].doc.as_ref().expect("just stored");
+                self.spec.yield_requests(self.id, doc)?
+            };
+            let indices: Vec<u64> = requests.iter().map(|r| r.index).collect();
+            inner.slots.extend(requests.into_iter().map(|request| Slot {
+                request,
+                state: SlotState::Pending,
+                doc: None,
+            }));
+            return Ok(Completion::NewShards(indices));
+        }
+        if inner.completed == inner.slots.len() as u64 {
+            let docs: Vec<&Value> = inner
+                .slots
+                .iter()
+                .map(|s| s.doc.as_ref().expect("all slots done"))
+                .collect();
+            let result = merge::finalize(&self.spec, self.id, &docs, self.max_gates)?;
+            inner.status = CoordStatus::Done;
+            inner.result = Some(result.clone());
+            push_event(
+                &mut inner,
+                vec![
+                    ("event".to_string(), Value::Str("end".to_string())),
+                    ("status".to_string(), Value::Str("done".to_string())),
+                ],
+            );
+            return Ok(Completion::Done(result));
+        }
+        Ok(Completion::Pending)
+    }
+
+    /// Fails the job (idempotent; a terminal job stays as it was).
+    pub fn fail(&self, message: &str) {
+        let mut inner = self.lock();
+        if inner.status != CoordStatus::Running {
+            return;
+        }
+        inner.status = CoordStatus::Failed;
+        inner.error = Some(message.to_string());
+        push_event(
+            &mut inner,
+            vec![
+                ("event".to_string(), Value::Str("end".to_string())),
+                ("status".to_string(), Value::Str("failed".to_string())),
+                ("error".to_string(), Value::Str(message.to_string())),
+            ],
+        );
+    }
+
+    /// Restores a terminal state from a persisted record (startup
+    /// recovery of an already-finished job).
+    pub fn restore_terminal(
+        &self,
+        status: CoordStatus,
+        result: Option<Value>,
+        error: Option<String>,
+    ) {
+        let mut inner = self.lock();
+        inner.status = status;
+        inner.result = result;
+        inner.error = error;
+    }
+
+    /// Current coarse status.
+    pub fn status(&self) -> CoordStatus {
+        self.lock().status
+    }
+
+    /// Whether the job reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        self.status() != CoordStatus::Running
+    }
+
+    /// The merged final document, once done.
+    pub fn result(&self) -> Option<Value> {
+        self.lock().result.clone()
+    }
+
+    /// The failure message, once failed.
+    pub fn error(&self) -> Option<String> {
+        self.lock().error.clone()
+    }
+
+    /// The job's merged deterministic engine counters so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        let inner = self.lock();
+        let mut out = StatsSnapshot::default();
+        out.merge(&inner.stats);
+        out
+    }
+
+    /// `(completed, planned-so-far)` shard counts.
+    pub fn shard_counts(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.completed, inner.slots.len() as u64)
+    }
+
+    /// Events after `cursor`, plus whether the log is complete (the job
+    /// is terminal, so no further events will ever be appended).
+    pub fn events_after(&self, cursor: usize) -> (Vec<Value>, bool) {
+        let inner = self.lock();
+        let events = inner.events.get(cursor..).unwrap_or(&[]).to_vec();
+        (events, inner.status != CoordStatus::Running)
+    }
+
+    /// The `GET /jobs/{id}` response document.
+    pub fn status_json(&self) -> Value {
+        let inner = self.lock();
+        let mut fields = vec![
+            ("id".to_string(), Value::Int(self.id)),
+            (
+                "status".to_string(),
+                Value::Str(inner.status.as_str().to_string()),
+            ),
+            ("shards".to_string(), Value::Int(self.total)),
+            ("completed".to_string(), Value::Int(inner.completed)),
+        ];
+        if let Some(result) = &inner.result {
+            fields.push(("result".to_string(), result.clone()));
+        }
+        if let Some(error) = &inner.error {
+            fields.push(("error".to_string(), Value::Str(error.clone())));
+        }
+        Value::Obj(fields)
+    }
+}
+
+fn push_event(inner: &mut Inner, fields: Vec<(String, Value)>) {
+    inner.events.push(Value::Obj(fields));
+}
+
+/// Durably writes the job's record (spec + disposition) under
+/// [`job_key`]. A running job persists as `pending`, so a restarted
+/// coordinator re-admits it and resumes from the shard results already
+/// in the store.
+///
+/// # Errors
+///
+/// [`StoreError`] when the write cannot be made durable.
+pub fn persist_record(store: &dyn JobStore, job: &CoordJob) -> Result<(), StoreError> {
+    let (status, result, error) = {
+        let inner = job.lock();
+        (inner.status, inner.result.clone(), inner.error.clone())
+    };
+    let doc = Value::Obj(vec![
+        ("schema".to_string(), Value::Str(JOB_SCHEMA.to_string())),
+        ("version".to_string(), Value::Int(1)),
+        ("id".to_string(), Value::Int(job.id)),
+        ("spec".to_string(), job.spec.to_json()),
+        (
+            "status".to_string(),
+            Value::Str(
+                match status {
+                    CoordStatus::Running => "pending",
+                    CoordStatus::Done => "done",
+                    CoordStatus::Failed => "failed",
+                }
+                .to_string(),
+            ),
+        ),
+        ("result".to_string(), result.unwrap_or(Value::Null)),
+        ("error".to_string(), error.map_or(Value::Null, Value::Str)),
+    ]);
+    store.put(&job_key(job.id), doc.render().as_bytes())
+}
+
+/// A job record loaded back from the store at startup.
+pub struct LoadedRecord {
+    /// Persisted identifier.
+    pub id: u64,
+    /// The original submission.
+    pub spec: CoordSpec,
+    /// Persisted disposition (`pending`, `done`, `failed`).
+    pub status: String,
+    /// Persisted merged result, if the job had finished.
+    pub result: Option<Value>,
+    /// Persisted failure message, if any.
+    pub error: Option<String>,
+}
+
+/// Parses a persisted job record; `None` when the payload is not a
+/// coordinator job record (wrong schema or malformed).
+pub fn parse_record(payload: &[u8]) -> Option<LoadedRecord> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let value = json::parse(text).ok()?;
+    let obj = value.as_obj("job record").ok()?;
+    if obj.req("schema").ok()?.as_str("schema").ok()? != JOB_SCHEMA {
+        return None;
+    }
+    Some(LoadedRecord {
+        id: obj.req("id").ok()?.as_u64("id").ok()?,
+        spec: CoordSpec::from_json(obj.req("spec").ok()?).ok()?,
+        status: obj.req("status").ok()?.as_str("status").ok()?.to_string(),
+        result: obj
+            .opt("result")
+            .filter(|v| !matches!(v, Value::Null))
+            .cloned(),
+        error: obj
+            .opt("error")
+            .and_then(|v| v.as_str("error").ok())
+            .map(str::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_core::jobstore::FsJobStore;
+    use minpower_core::RunControl;
+
+    fn suite_spec() -> CoordSpec {
+        CoordSpec::from_json(&json::parse(r#"{"suite":["c17","c17"],"fc":2.5e8}"#).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn slots_progress_to_done_and_merge() {
+        let spec = suite_spec();
+        let job = CoordJob::new(1, spec, 50_000);
+        assert_eq!(job.pending_indices(), vec![0, 1]);
+        job.mark_running(0, "w1");
+        assert!(!job.shard_pending(0));
+        assert!(job.shard_pending(1));
+        job.mark_pending(0, "w1", "connection reset");
+        assert!(job.shard_pending(0));
+        for index in [0u64, 1] {
+            let request = job.request(index).unwrap();
+            let (doc, _) =
+                minpower_serve::shard::execute(&request, 50_000, &RunControl::new()).unwrap();
+            let worker = format!("w{index}");
+            match job.complete_shard(index, doc, &worker).unwrap() {
+                Completion::Pending => assert_eq!(index, 0),
+                Completion::Done(result) => {
+                    assert_eq!(index, 1);
+                    let obj = result.as_obj("final").unwrap();
+                    assert_eq!(obj.req("results").unwrap().as_arr("r").unwrap().len(), 2);
+                }
+                other => panic!("unexpected completion {other:?}"),
+            }
+        }
+        assert_eq!(job.status(), CoordStatus::Done);
+        assert!(job.stats().circuit_evals > 0);
+        let (events, terminal) = job.events_after(0);
+        assert!(terminal);
+        let rendered: Vec<String> = events.iter().map(Value::render).collect();
+        assert!(rendered.iter().any(|e| e.contains("\"requeue\"")));
+        assert!(rendered.last().unwrap().contains("\"end\""));
+    }
+
+    #[test]
+    fn duplicate_completion_is_ignored() {
+        let spec = suite_spec();
+        let job = CoordJob::new(1, spec, 50_000);
+        let request = job.request(0).unwrap();
+        let (doc, _) =
+            minpower_serve::shard::execute(&request, 50_000, &RunControl::new()).unwrap();
+        let evals = |j: &CoordJob| j.stats().circuit_evals;
+        job.complete_shard(0, doc.clone(), "w1").unwrap();
+        let after_first = evals(&job);
+        assert!(matches!(
+            job.complete_shard(0, doc, "w2").unwrap(),
+            Completion::Pending
+        ));
+        assert_eq!(evals(&job), after_first, "duplicate must not double-count");
+    }
+
+    #[test]
+    fn records_round_trip_through_the_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "minpower-coord-record-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FsJobStore::open(&dir).unwrap();
+        let job = CoordJob::new(4, suite_spec(), 50_000);
+        persist_record(&store, &job).unwrap();
+        let record = parse_record(&store.get(&job_key(4)).unwrap().unwrap()).unwrap();
+        assert_eq!(record.id, 4);
+        assert_eq!(record.status, "pending");
+        assert_eq!(record.spec, job.spec);
+        assert!(record.result.is_none());
+        job.fail("worker exploded");
+        persist_record(&store, &job).unwrap();
+        let record = parse_record(&store.get(&job_key(4)).unwrap().unwrap()).unwrap();
+        assert_eq!(record.status, "failed");
+        assert_eq!(record.error.as_deref(), Some("worker exploded"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,117 @@
+//! `minpower-coord` — sharded multi-worker serving for the DAC'97
+//! optimizer.
+//!
+//! A **coordinator** process accepts jobs over HTTP, splits each into
+//! deterministic shards, dispatches the shards to a fleet of
+//! `minpower serve --worker` processes, and merges the per-shard results
+//! into a final answer that is **bit-identical** to a single-process run
+//! of the same job. Coordinator and workers share nothing but a
+//! [`minpower_core::jobstore::JobStore`] directory: shard results are
+//! persisted there, and shard *ownership* is arbitrated there through
+//! expiring leases, so a worker that vanishes mid-shard (crash, network
+//! drop) simply loses its lease and the shard is reassigned — a job can
+//! stall on a dead worker, but it can never wedge.
+//!
+//! ## Sharding model
+//!
+//! * A **suite job** (`{"suite": ["c432", "c880", ...]}`) becomes one
+//!   *branch-index* shard per circuit: each shard is a complete
+//!   optimization of one circuit, and the merged document lists the
+//!   per-circuit results in suite order.
+//! * A **yield job** (`{"circuit": "c432", "yield": {...}}`) runs in two
+//!   phases: shard 0 optimizes the circuit, then the optimized design
+//!   fans out into *seed-stream* shards, each computing a contiguous
+//!   range of Monte-Carlo trials. Trial `t` always draws from
+//!   `SplitMix64::stream(seed, t)`, so the partition into ranges cannot
+//!   change any trial's outcome, and the coordinator reduces the raw
+//!   per-trial `(delay, energy)` outcomes **in trial order** — float
+//!   accumulation order is preserved exactly, keeping the reduced yield
+//!   statistics bitwise equal to a single-process run.
+//!
+//! ## Endpoints
+//!
+//! | method & path           | purpose                                     |
+//! |-------------------------|---------------------------------------------|
+//! | `POST /jobs`            | submit a coordinated job (`202` + id)       |
+//! | `GET /jobs/{id}`        | status, shard progress, merged result       |
+//! | `GET /jobs/{id}/events` | NDJSON shard events with worker attribution |
+//! | `GET /metrics`          | per-worker dispatch counters + merged stats |
+//! | `GET /healthz`          | `ok` / `degraded` (workers lost)            |
+//! | `POST /shutdown`        | stop dispatching and drain                  |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use minpower_coord::{Config, CoordServer};
+//!
+//! let server = CoordServer::bind(Config {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     workers: vec!["127.0.0.1:7817".to_string()],
+//!     ..Config::default()
+//! }).expect("bind");
+//! println!("coordinating on {}", server.local_addr().expect("addr"));
+//! let outcome = server.run(); // blocks until shutdown
+//! # let _ = outcome;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dispatch;
+pub mod job;
+pub mod merge;
+mod server;
+pub mod spec;
+
+use std::path::PathBuf;
+
+pub use server::{CoordHandle, CoordServer};
+
+/// Coordinator configuration (the `minpower coord` flags).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Listen address; use port `0` to let the OS pick.
+    pub addr: String,
+    /// Worker endpoints (`host:port` of `minpower serve --worker`
+    /// processes). One dispatcher thread runs per endpoint.
+    pub workers: Vec<String>,
+    /// Shared job-store directory — the same directory every worker's
+    /// `--shared-dir` points at. Holds job records, shard results, and
+    /// shard leases.
+    pub store_dir: PathBuf,
+    /// Shard lease time-to-live, seconds. Dispatchers heartbeat their
+    /// leases while a shard is in flight, so the TTL only bounds how
+    /// long a shard owned by a *crashed coordinator* stays unclaimable.
+    pub lease_ttl: f64,
+    /// Per-dispatch HTTP timeout, seconds: how long a dispatcher waits
+    /// for a worker to finish one shard before reassigning it.
+    pub dispatch_timeout: f64,
+    /// Maximum accepted request-body size, bytes.
+    pub max_body_bytes: usize,
+    /// Maximum logic gates per circuit (admission cap, as in the
+    /// service).
+    pub max_gates: usize,
+    /// Consecutive dispatch failures after which a worker endpoint is
+    /// declared lost and its dispatcher retires.
+    pub worker_failure_limit: u32,
+    /// Dispatch attempts per shard before the whole job is failed
+    /// (guards against a shard that kills every worker it touches).
+    pub shard_attempt_limit: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:7818".to_string(),
+            workers: Vec::new(),
+            store_dir: PathBuf::from("minpower-coord-state"),
+            lease_ttl: 30.0,
+            dispatch_timeout: 600.0,
+            max_body_bytes: 1 << 20,
+            max_gates: 50_000,
+            worker_failure_limit: 3,
+            shard_attempt_limit: 6,
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Merging per-shard documents into the final coordinated result, plus
+//! the single-process reference path used to verify bit-identity.
+//!
+//! ## Merge semantics
+//!
+//! * **Suite jobs**: shard `i` carries circuit `i`'s full `minpower-result`
+//!   document; the merge lists them in shard-index (= suite) order.
+//! * **Yield jobs**: shard 0 carries the optimize result; shards `1..`
+//!   carry the raw per-trial `(delay, energy)` outcomes of contiguous
+//!   trial ranges. Floating-point accumulation is not associative, so
+//!   the shards are **not** pre-reduced: the merge concatenates the raw
+//!   trials in trial order and reduces the whole sequence with
+//!   [`minpower_core::yield_mc::reduce_trials`] — the exact operation
+//!   order of a single-process run, hence bitwise-equal statistics.
+//! * **Stats**: every shard document embeds the deterministic counter
+//!   subset; the merge sums them in shard-index order.
+
+use minpower_core::json::{self, Value};
+use minpower_core::yield_mc;
+use minpower_core::RunControl;
+use minpower_engine::StatsSnapshot;
+use minpower_serve::shard::{self, ShardError};
+
+use crate::job::{Completion, CoordJob};
+use crate::spec::{CoordSpec, RESULT_SCHEMA};
+
+/// Merges the completed shard documents (in shard-index order) into the
+/// final `minpower-coord-result` document.
+///
+/// # Errors
+///
+/// A message when a shard document is malformed or the yield problem
+/// cannot be rebuilt.
+pub fn finalize(
+    spec: &CoordSpec,
+    id: u64,
+    docs: &[&Value],
+    max_gates: usize,
+) -> Result<Value, String> {
+    let mut stats = StatsSnapshot::default();
+    for doc in docs {
+        let shard_stats = doc
+            .as_obj("shard result")
+            .and_then(|o| o.req("stats").cloned())
+            .map_err(|e| e.message)
+            .and_then(|s| shard::stats_from_json(&s).map_err(|e| e.message))?;
+        stats.merge(&shard_stats);
+    }
+    let mut fields = vec![
+        ("schema".to_string(), Value::Str(RESULT_SCHEMA.to_string())),
+        ("version".to_string(), Value::Int(1)),
+        ("job".to_string(), Value::Int(id)),
+        ("shards".to_string(), Value::Int(docs.len() as u64)),
+    ];
+    let result_of = |doc: &Value| -> Result<Value, String> {
+        doc.as_obj("shard result")
+            .and_then(|o| o.req("result").cloned())
+            .map_err(|e| e.message)
+    };
+    match &spec.mc {
+        None => {
+            let results: Vec<Value> = docs
+                .iter()
+                .map(|d| result_of(d))
+                .collect::<Result<_, _>>()?;
+            fields.push(("results".to_string(), Value::Arr(results)));
+        }
+        Some(mc) => {
+            fields.push(("optimize".to_string(), result_of(docs[0])?));
+            let mut trials: Vec<(f64, f64)> = Vec::with_capacity(mc.samples as usize);
+            for doc in &docs[1..] {
+                let obj = doc.as_obj("yield shard").map_err(|e| e.message)?;
+                let start = obj
+                    .req("start")
+                    .and_then(|v| v.as_u64("start"))
+                    .map_err(|e| e.message)?;
+                if start != trials.len() as u64 {
+                    return Err(format!(
+                        "yield shard out of order: starts at trial {start}, expected {}",
+                        trials.len()
+                    ));
+                }
+                let numbers = |name: &str| -> Result<Vec<f64>, String> {
+                    obj.req(name)
+                        .and_then(|v| v.as_number_vec(name))
+                        .map_err(|e| e.message)
+                };
+                let delays = numbers("delays")?;
+                let energies = numbers("energies")?;
+                if delays.len() != energies.len() {
+                    return Err("yield shard delays/energies length mismatch".to_string());
+                }
+                trials.extend(delays.into_iter().zip(energies));
+            }
+            if trials.len() as u64 != mc.samples {
+                return Err(format!(
+                    "merged {} trials, expected {}",
+                    trials.len(),
+                    mc.samples
+                ));
+            }
+            let (problem, _) = spec
+                .shard_spec(&spec.circuits[0])
+                .build(max_gates)
+                .map_err(|e| e.message)?;
+            let y = yield_mc::reduce_trials(problem.effective_cycle_time(), &trials);
+            fields.push((
+                "yield".to_string(),
+                Value::Obj(vec![
+                    ("sigma".to_string(), Value::Float(mc.sigma)),
+                    ("seed".to_string(), Value::Int(mc.seed)),
+                    ("samples".to_string(), Value::Int(y.samples as u64)),
+                    ("timing_yield".to_string(), Value::Float(y.timing_yield)),
+                    ("mean_delay".to_string(), Value::Float(y.mean_delay)),
+                    ("worst_delay".to_string(), Value::Float(y.worst_delay)),
+                    ("mean_energy".to_string(), Value::Float(y.mean_energy)),
+                ]),
+            ));
+        }
+    }
+    fields.push(("stats".to_string(), shard::stats_to_json(&stats)));
+    Ok(Value::Obj(fields))
+}
+
+/// The deterministic-counter subset embedded in a merged document's
+/// `stats` section, as a snapshot.
+///
+/// # Errors
+///
+/// A message when the document carries no parseable stats section.
+pub fn stats_of(doc: &Value) -> Result<StatsSnapshot, String> {
+    doc.as_obj("merged result")
+        .and_then(|o| o.req("stats").cloned())
+        .map_err(|e| e.message)
+        .and_then(|s| shard::stats_from_json(&s).map_err(|e| e.message))
+}
+
+/// Runs a coordinated job **in-process**, executing the exact shard
+/// sequence a worker fleet would run but sequentially on this thread —
+/// the single-process reference the distributed path must match
+/// bit-for-bit. Returns the merged final document and the merged
+/// deterministic stats.
+///
+/// # Errors
+///
+/// A message when a shard fails or the merge is inconsistent.
+pub fn run_local(spec: &CoordSpec, max_gates: usize) -> Result<(Value, StatsSnapshot), String> {
+    let job = CoordJob::new(0, spec.clone(), max_gates);
+    let mut pending = std::collections::VecDeque::from(job.pending_indices());
+    while let Some(index) = pending.pop_front() {
+        let request = job
+            .request(index)
+            .ok_or_else(|| format!("missing shard {index}"))?;
+        let (doc, _) =
+            shard::execute(&request, max_gates, &RunControl::new()).map_err(|e| match e {
+                ShardError::Reject(err) => format!("shard {index} rejected: {}", err.message),
+                ShardError::Interrupted => format!("shard {index} interrupted"),
+                ShardError::Failed(msg) => format!("shard {index} failed: {msg}"),
+            })?;
+        match job.complete_shard(index, doc, "local")? {
+            Completion::NewShards(indices) => pending.extend(indices),
+            Completion::Pending | Completion::Done(_) => {}
+        }
+    }
+    let result = job
+        .result()
+        .ok_or_else(|| "job did not complete".to_string())?;
+    Ok((result, job.stats()))
+}
+
+/// Parses a rendered merged document back to a [`Value`] — convenience
+/// for tests comparing distributed and local runs.
+///
+/// # Errors
+///
+/// A message when `text` is not valid JSON.
+pub fn parse(text: &str) -> Result<Value, String> {
+    json::parse(text).map_err(|e| e.message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(text: &str) -> CoordSpec {
+        CoordSpec::from_json(&json::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn local_suite_run_merges_in_order() {
+        let spec = spec(r#"{"suite":["c17","s27"],"fc":2.5e8}"#);
+        let (doc, stats) = run_local(&spec, 50_000).unwrap();
+        let obj = doc.as_obj("final").unwrap();
+        assert_eq!(
+            obj.req("schema").unwrap().as_str("s").unwrap(),
+            RESULT_SCHEMA
+        );
+        assert_eq!(obj.req("shards").unwrap().as_u64("n").unwrap(), 2);
+        let results = obj.req("results").unwrap().as_arr("results").unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(stats.circuit_evals > 0);
+        assert_eq!(stats_of(&doc).unwrap().circuit_evals, stats.circuit_evals);
+    }
+
+    #[test]
+    fn local_yield_run_matches_unsharded_reduction() {
+        let spec = spec(
+            r#"{"circuit":"c17","fc":2.5e8,
+                "yield":{"sigma":0.08,"samples":100,"seed":3,"shard_size":32}}"#,
+        );
+        let (doc, _) = run_local(&spec, 50_000).unwrap();
+        let obj = doc.as_obj("final").unwrap();
+        let y = obj.req("yield").unwrap().as_obj("yield").unwrap();
+        assert_eq!(y.req("samples").unwrap().as_u64("n").unwrap(), 100);
+        // Reference: the optimizer + a single unsharded yield run.
+        let shard_spec = spec.shard_spec("c17");
+        let (problem, options) = shard_spec.build(50_000).unwrap();
+        let result = minpower_core::Optimizer::new(&problem)
+            .with_options(options)
+            .with_engine(std::sync::Arc::new(minpower_core::EvalContext::new(
+                1,
+                minpower_core::context::DEFAULT_CACHE_CAPACITY,
+            )))
+            .run()
+            .unwrap();
+        let reference = yield_mc::timing_yield_with(
+            &minpower_core::EvalContext::new(1, minpower_core::context::DEFAULT_CACHE_CAPACITY),
+            &problem,
+            &result.design,
+            0.08,
+            100,
+            3,
+        );
+        let got = y.req("timing_yield").unwrap().as_number("y").unwrap();
+        assert_eq!(got.to_bits(), reference.timing_yield.to_bits());
+        let got = y.req("mean_energy").unwrap().as_number("e").unwrap();
+        assert_eq!(got.to_bits(), reference.mean_energy.to_bits());
+    }
+
+    #[test]
+    fn out_of_order_yield_shards_are_rejected() {
+        let spec = spec(
+            r#"{"circuit":"c17","fc":2.5e8,"yield":{"sigma":0.1,"samples":4,"shard_size":2}}"#,
+        );
+        let opt = json::parse(
+            r#"{"schema":"minpower-shard-result","result":{"design":{"vdd":1.0,
+                "vt":[0.3],"width":[1.0]}},"stats":{}}"#,
+        )
+        .unwrap();
+        let shard = json::parse(
+            r#"{"schema":"minpower-shard-result","start":2,"count":2,
+                "delays":[1e-9,1e-9],"energies":[1e-12,1e-12],"stats":{}}"#,
+        )
+        .unwrap();
+        let err = finalize(&spec, 0, &[&opt, &shard, &shard], 50_000).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
+    }
+}

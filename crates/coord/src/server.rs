@@ -1,0 +1,754 @@
+//! The coordinator process: HTTP front end, per-worker dispatcher
+//! threads, lease-guarded shard dispatch, and crash recovery.
+//!
+//! ## Threading model
+//!
+//! * the **accept loop** ([`CoordServer::run`]) owns the listener in
+//!   non-blocking mode and polls the stop token;
+//! * each **connection** gets a short-lived handler thread wrapped in
+//!   `catch_unwind`;
+//! * one **dispatcher** thread runs per configured worker endpoint. A
+//!   dispatcher pops a shard task, claims its lease in the shared store
+//!   (owner = the endpoint address), POSTs the shard, heartbeats the
+//!   lease while waiting, and on any transport failure releases the
+//!   lease and requeues the task — which is all "worker lost" recovery
+//!   is: the next free dispatcher picks the shard up. A worker endpoint
+//!   that fails `worker_failure_limit` times in a row is declared lost
+//!   and its dispatcher retires; when the *last* dispatcher retires,
+//!   every non-terminal job fails with a clear message instead of
+//!   wedging.
+//!
+//! ## Crash recovery
+//!
+//! The coordinator is the shared store's single auditor: at bind it runs
+//! the recovery audit, then reloads every `coord-job-*` record. Terminal
+//! jobs become queryable history; `pending` jobs are re-planned (shard
+//! planning is deterministic) and every shard whose result document is
+//! already in the store completes instantly — only genuinely unfinished
+//! shards are dispatched again.
+
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use minpower_core::jobstore::{Claim, FsJobStore, JobStore};
+use minpower_core::json::{self, Value};
+use minpower_core::store;
+use minpower_engine::StatsSnapshot;
+use minpower_serve::http::{self, HttpError, Request};
+use minpower_serve::metrics::{route_key, Metrics};
+use minpower_serve::shard::{self, ShardRequest};
+use minpower_serve::DrainOutcome;
+
+use crate::client::{self, ClientError};
+use crate::dispatch::{Task, TaskQueue, WorkerSlot};
+use crate::job::{self, Completion, CoordJob, CoordStatus};
+use crate::spec::CoordSpec;
+use crate::Config;
+
+/// Shared coordinator state.
+struct CoordState {
+    config: Config,
+    store: FsJobStore,
+    jobs: Mutex<Vec<Arc<CoordJob>>>,
+    next_id: AtomicU64,
+    queue: TaskQueue,
+    workers: Vec<Arc<WorkerSlot>>,
+    alive_dispatchers: AtomicUsize,
+    metrics: Metrics,
+    stop: Arc<AtomicBool>,
+}
+
+impl CoordState {
+    fn job(&self, id: u64) -> Option<Arc<CoordJob>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    fn add_job(&self, job: Arc<CoordJob>) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(job);
+    }
+
+    fn jobs_snapshot(&self) -> Vec<Arc<CoordJob>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn alive_worker_count(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Fails `job` and persists the terminal record (best-effort: the
+    /// in-memory state is authoritative for clients; the record is for
+    /// restart recovery).
+    fn fail_job(&self, job: &CoordJob, message: &str) {
+        job.fail(message);
+        let _ = job::persist_record(&self.store, job);
+    }
+}
+
+/// A handle for stopping a running coordinator from another thread.
+#[derive(Clone)]
+pub struct CoordHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl CoordHandle {
+    /// Requests a drain: stop accepting and dispatching, then return.
+    /// Undispatched shards stay `pending` in their persisted job
+    /// records, so a restarted coordinator resumes them.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The bound-but-not-yet-running coordinator.
+pub struct CoordServer {
+    listener: TcpListener,
+    state: Arc<CoordState>,
+}
+
+impl CoordServer {
+    /// Binds `config.addr`, audits the shared store, and recovers
+    /// persisted jobs (see the [crate documentation](crate)).
+    ///
+    /// # Errors
+    ///
+    /// A message for an empty worker list, an unusable store directory,
+    /// or a bind failure.
+    pub fn bind(config: Config) -> Result<CoordServer, String> {
+        if config.workers.is_empty() {
+            return Err("coordinator needs at least one worker endpoint".to_string());
+        }
+        let store = FsJobStore::open(&config.store_dir)
+            .map_err(|e| format!("store dir {}: {e}", config.store_dir.display()))?;
+        // Single-auditor rule: the coordinator owns the shared
+        // directory's recovery audit; workers skip theirs.
+        let _ = store::audit(&config.store_dir);
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener: {e}"))?;
+        let workers = config
+            .workers
+            .iter()
+            .map(|a| Arc::new(WorkerSlot::new(a)))
+            .collect();
+        let state = Arc::new(CoordState {
+            store,
+            jobs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            queue: TaskQueue::default(),
+            workers,
+            alive_dispatchers: AtomicUsize::new(config.workers.len()),
+            metrics: Metrics::default(),
+            stop: Arc::new(AtomicBool::new(false)),
+            config,
+        });
+        state.recover_persisted_jobs();
+        Ok(CoordServer { listener, state })
+    }
+
+    /// The bound address (useful with `addr = "127.0.0.1:0"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `TcpListener::local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A stop handle usable from other threads.
+    pub fn handle(&self) -> CoordHandle {
+        CoordHandle {
+            stop: self.state.stop.clone(),
+        }
+    }
+
+    /// The raw stop token (for the CLI's SIGINT handler).
+    pub fn stop_token(&self) -> Arc<AtomicBool> {
+        self.state.stop.clone()
+    }
+
+    /// Runs the accept loop and dispatchers until a stop is requested,
+    /// then drains. Returns how the run ended for the CLI's exit-code
+    /// mapping.
+    pub fn run(self) -> DrainOutcome {
+        let state = self.state;
+        let dispatchers: Vec<_> = state
+            .workers
+            .iter()
+            .map(|slot| {
+                let state = state.clone();
+                let slot = slot.clone();
+                std::thread::Builder::new()
+                    .name(format!("coord-dispatch-{}", slot.addr))
+                    .spawn(move || dispatch_loop(&state, &slot))
+                    .expect("spawn dispatcher thread")
+            })
+            .collect();
+
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !state.stop.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    state.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    let state = state.clone();
+                    handlers.retain(|h| !h.is_finished());
+                    handlers.push(std::thread::spawn(move || {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(&state, stream);
+                        }));
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+
+        state.queue.close();
+        for dispatcher in dispatchers {
+            let _ = dispatcher.join();
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        // Non-terminal jobs keep their `pending` records on disk; the
+        // next coordinator on this store directory resumes them.
+        let interrupted = state.jobs_snapshot().iter().any(|j| !j.is_terminal());
+        if interrupted {
+            DrainOutcome::JobsInterrupted
+        } else {
+            DrainOutcome::Clean
+        }
+    }
+}
+
+impl CoordState {
+    fn recover_persisted_jobs(self: &Arc<Self>) {
+        let mut max_id = 0;
+        for key in self.store.list("coord-job-") {
+            if key.contains("-shard-") {
+                continue;
+            }
+            let Ok(Some(payload)) = self.store.get(&key) else {
+                continue;
+            };
+            let Some(record) = job::parse_record(&payload) else {
+                continue;
+            };
+            max_id = max_id.max(record.id);
+            let loaded = Arc::new(CoordJob::new(record.id, record.spec, self.config.max_gates));
+            match record.status.as_str() {
+                "pending" => {
+                    self.add_job(loaded.clone());
+                    self.resume_job(&loaded);
+                }
+                "done" => loaded.restore_terminal(CoordStatus::Done, record.result, None),
+                _ => loaded.restore_terminal(
+                    CoordStatus::Failed,
+                    None,
+                    Some(record.error.unwrap_or_else(|| "failed".to_string())),
+                ),
+            }
+            if record.status != "pending" {
+                self.add_job(loaded);
+            }
+        }
+        self.next_id.store(max_id + 1, Ordering::Relaxed);
+    }
+
+    /// Replays stored shard results into a re-admitted job, then queues
+    /// whatever is genuinely unfinished. Planning is deterministic, so a
+    /// stored result that matches the re-planned request is exactly the
+    /// document the lost coordinator merged — or would have.
+    fn resume_job(&self, job: &Arc<CoordJob>) {
+        let mut to_check = std::collections::VecDeque::from(job.pending_indices());
+        while let Some(index) = to_check.pop_front() {
+            let Some(request) = job.request(index) else {
+                continue;
+            };
+            let Ok(Some(payload)) = self.store.get(&request.store_key) else {
+                continue;
+            };
+            let Ok(doc) = std::str::from_utf8(&payload)
+                .map_err(|_| ())
+                .and_then(|t| json::parse(t).map_err(|_| ()))
+            else {
+                continue;
+            };
+            if !shard::result_matches(&doc, &request) {
+                continue;
+            }
+            match job.complete_shard(index, doc, "recovered") {
+                Ok(Completion::NewShards(indices)) => to_check.extend(indices),
+                Ok(Completion::Done(_)) => {
+                    let _ = job::persist_record(&self.store, job);
+                }
+                Ok(Completion::Pending) => {}
+                Err(message) => {
+                    self.fail_job(job, &message);
+                    return;
+                }
+            }
+        }
+        for index in job.pending_indices() {
+            self.queue.push(Task {
+                job: job.id,
+                shard: index,
+                attempts: 0,
+            });
+        }
+    }
+}
+
+/// One worker endpoint's dispatcher: pops shard tasks, claims leases,
+/// POSTs, and classifies the outcomes.
+fn dispatch_loop(state: &Arc<CoordState>, slot: &Arc<WorkerSlot>) {
+    while let Some(mut task) = state.queue.pop() {
+        if state.stop.load(Ordering::Relaxed) {
+            continue; // drain: discard; the persisted record stays pending
+        }
+        let Some(job) = state.job(task.job) else {
+            continue;
+        };
+        if !job.shard_pending(task.shard) {
+            continue; // already done or the job is terminal
+        }
+        let Some(request) = job.request(task.shard) else {
+            continue;
+        };
+        let key = request.store_key.clone();
+        match state
+            .store
+            .try_claim(&key, &slot.addr, state.config.lease_ttl)
+        {
+            Claim::Acquired => {}
+            Claim::Held {
+                expires_in_secs, ..
+            } => {
+                // Someone else (another coordinator, or a lease whose
+                // owner crashed) holds it; wait out a slice of the TTL
+                // and retry. Expiry guarantees progress.
+                state.queue.push(task);
+                std::thread::sleep(Duration::from_secs_f64(expires_in_secs.clamp(0.05, 0.5)));
+                continue;
+            }
+        }
+        job.mark_running(task.shard, &slot.addr);
+        let outcome = dispatch_one(state, slot, &request);
+        let _ = state.store.release(&key, &slot.addr);
+        match outcome {
+            Ok(doc) => {
+                slot.record_success();
+                complete(state, &job, &request, task, doc, slot);
+            }
+            Err(Transient(reason)) => {
+                job.mark_pending(task.shard, &slot.addr, &reason);
+                task.attempts += 1;
+                if task.attempts >= state.config.shard_attempt_limit {
+                    state.fail_job(
+                        &job,
+                        &format!(
+                            "shard {} exhausted {} dispatch attempts (last: {reason})",
+                            task.shard, task.attempts
+                        ),
+                    );
+                } else {
+                    state.queue.push(task);
+                }
+                let consecutive = slot.record_failure();
+                if consecutive >= state.config.worker_failure_limit {
+                    retire_worker(state, slot);
+                    return;
+                }
+                // Brief backoff so a dead endpoint does not spin.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(Fatal(message)) => {
+                slot.record_success(); // the *worker* answered fine
+                state.fail_job(&job, &message);
+            }
+        }
+    }
+}
+
+/// A dispatch failure: retry elsewhere, or fail the job.
+enum DispatchError {
+    /// Worker lost or busy; the shard is untainted — reassign it.
+    Transient(String),
+    /// The worker deterministically rejected or failed the shard; every
+    /// worker would — fail the job.
+    Fatal(String),
+}
+use DispatchError::{Fatal, Transient};
+
+/// POSTs one shard to `slot`, heartbeating the lease while blocked, and
+/// classifies the response.
+fn dispatch_one(
+    state: &Arc<CoordState>,
+    slot: &Arc<WorkerSlot>,
+    request: &ShardRequest,
+) -> Result<Value, DispatchError> {
+    // Heartbeat: renew the lease at a third of its TTL while the POST is
+    // in flight, so a shard that legitimately runs longer than the TTL
+    // is not "expired" out from under a live worker.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let hb_stop = hb_stop.clone();
+        let key = request.store_key.clone();
+        let owner = slot.addr.clone();
+        let ttl = state.config.lease_ttl;
+        let root = state.config.store_dir.clone();
+        std::thread::spawn(move || {
+            let Ok(store) = FsJobStore::open(&root) else {
+                return;
+            };
+            let step = Duration::from_millis(25);
+            let interval = Duration::from_secs_f64((ttl / 3.0).max(0.05));
+            let mut last = Instant::now();
+            while !hb_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(step);
+                if last.elapsed() >= interval {
+                    if !store.renew(&key, &owner, ttl) {
+                        return; // lost the lease; stop touching it
+                    }
+                    last = Instant::now();
+                }
+            }
+        })
+    };
+    let body = request.to_json().render();
+    let seq = slot.seq.fetch_add(1, Ordering::Relaxed);
+    let outcome = client::post_shard(&slot.addr, &body, state.config.dispatch_timeout, seq);
+    hb_stop.store(true, Ordering::Relaxed);
+    let _ = heartbeat.join();
+    let response = match outcome {
+        Ok(response) => response,
+        Err(ClientError::Lost) => {
+            return Err(Transient("connection lost (injected fault)".to_string()))
+        }
+        Err(e) => return Err(Transient(e.to_string())),
+    };
+    match response.status {
+        200 => {
+            let doc = json::parse(&response.body)
+                .map_err(|e| Transient(format!("unparseable worker response: {}", e.message)))?;
+            if !shard::result_matches(&doc, request) {
+                return Err(Fatal(format!(
+                    "worker {} answered with a mismatched shard document",
+                    slot.addr
+                )));
+            }
+            Ok(doc)
+        }
+        503 => Err(Transient(format!("worker {} busy or draining", slot.addr))),
+        status => Err(Fatal(format!(
+            "shard {} of job {} failed on {}: HTTP {status} {}",
+            request.index,
+            request.job,
+            slot.addr,
+            response.body.trim()
+        ))),
+    }
+}
+
+/// Applies a successful shard completion: persist the result document if
+/// the worker could not, advance the job, enqueue phase-two shards, and
+/// persist the final record when the job finishes.
+fn complete(
+    state: &Arc<CoordState>,
+    job: &Arc<CoordJob>,
+    request: &ShardRequest,
+    task: Task,
+    doc: Value,
+    slot: &Arc<WorkerSlot>,
+) {
+    // The worker persists its own result best-effort; cover for a worker
+    // whose store write failed (degraded disk) so recovery stays whole.
+    let rendered = doc.render();
+    let stored = state
+        .store
+        .get(&request.store_key)
+        .ok()
+        .flatten()
+        .is_some_and(|payload| payload == rendered.as_bytes());
+    if !stored {
+        let _ = state.store.put(&request.store_key, rendered.as_bytes());
+    }
+    match job.complete_shard(task.shard, doc, &slot.addr) {
+        Ok(Completion::NewShards(indices)) => {
+            for index in indices {
+                state.queue.push(Task {
+                    job: job.id,
+                    shard: index,
+                    attempts: 0,
+                });
+            }
+        }
+        Ok(Completion::Done(_)) => {
+            let _ = job::persist_record(&state.store, job);
+        }
+        Ok(Completion::Pending) => {}
+        Err(message) => state.fail_job(job, &message),
+    }
+}
+
+/// Declares a worker endpoint lost. When it was the last one, every
+/// non-terminal job fails now — a coordinator with no workers must
+/// answer, not wedge.
+fn retire_worker(state: &Arc<CoordState>, slot: &Arc<WorkerSlot>) {
+    slot.alive.store(false, Ordering::Relaxed);
+    if state.alive_dispatchers.fetch_sub(1, Ordering::AcqRel) == 1 {
+        for job in state.jobs_snapshot() {
+            if !job.is_terminal() {
+                state.fail_job(&job, "all worker endpoints lost");
+            }
+        }
+        state.queue.close();
+    }
+}
+
+fn handle_connection(state: &Arc<CoordState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let started = Instant::now();
+    let request = match http::read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(e) => {
+            let _ = http::respond_error(&mut stream, &e);
+            state
+                .metrics
+                .observe("other", e.status, started.elapsed().as_micros() as u64);
+            return;
+        }
+    };
+    let route = route_key(&request.method, &request.path);
+    // The events stream runs until the job ends; it records itself.
+    if route == "GET /jobs/{id}/events" {
+        let status = handle_events(state, &request, &mut stream);
+        state
+            .metrics
+            .observe(route, status, started.elapsed().as_micros() as u64);
+        return;
+    }
+    let status = match dispatch(state, &request, &mut stream) {
+        Ok(status) => status,
+        Err(e) => {
+            let _ = http::respond_error(&mut stream, &e);
+            e.status
+        }
+    };
+    state
+        .metrics
+        .observe(route, status, started.elapsed().as_micros() as u64);
+}
+
+fn dispatch(
+    state: &Arc<CoordState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<u16, HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => handle_submit(state, request, stream),
+        ("GET", "/metrics") => {
+            let _ = http::respond_json(stream, 200, &metrics_json(state), &[]);
+            Ok(200)
+        }
+        ("GET", "/healthz") => {
+            let alive = state.alive_worker_count();
+            let degraded = alive == 0;
+            let doc = Value::Obj(vec![
+                (
+                    "status".to_string(),
+                    Value::Str(if degraded { "degraded" } else { "ok" }.to_string()),
+                ),
+                ("workers_alive".to_string(), Value::Int(alive as u64)),
+                (
+                    "workers_total".to_string(),
+                    Value::Int(state.workers.len() as u64),
+                ),
+            ]);
+            let _ = http::respond_json(stream, if degraded { 503 } else { 200 }, &doc, &[]);
+            Ok(if degraded { 503 } else { 200 })
+        }
+        ("POST", "/shutdown") => {
+            state.stop.store(true, Ordering::Relaxed);
+            let doc = Value::Obj(vec![(
+                "status".to_string(),
+                Value::Str("stopping".to_string()),
+            )]);
+            let _ = http::respond_json(stream, 200, &doc, &[]);
+            Ok(200)
+        }
+        ("GET", path) => {
+            let id = job_id_of(path).ok_or_else(|| HttpError::new(404, "no such endpoint"))?;
+            let job = state
+                .job(id)
+                .ok_or_else(|| HttpError::new(404, format!("no job {id}")))?;
+            let _ = http::respond_json(stream, 200, &job.status_json(), &[]);
+            Ok(200)
+        }
+        _ => Err(HttpError::new(404, "no such endpoint")),
+    }
+}
+
+fn job_id_of(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?.parse().ok()
+}
+
+fn handle_submit(
+    state: &Arc<CoordState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<u16, HttpError> {
+    if state.stop.load(Ordering::Relaxed) {
+        return Err(HttpError::new(503, "coordinator is draining"));
+    }
+    if state.alive_worker_count() == 0 {
+        return Err(HttpError::new(503, "no worker endpoints available"));
+    }
+    let body =
+        std::str::from_utf8(&request.body).map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
+    let value =
+        json::parse(body).map_err(|e| HttpError::new(400, format!("bad JSON: {}", e.message)))?;
+    let spec = CoordSpec::from_json(&value)?;
+    // Admission control: every circuit must build under the gate cap
+    // *now*, not shard-by-shard on the workers.
+    for circuit in &spec.circuits {
+        spec.shard_spec(circuit).build(state.config.max_gates)?;
+    }
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(CoordJob::new(id, spec, state.config.max_gates));
+    job::persist_record(&state.store, &job)
+        .map_err(|e| HttpError::new(500, format!("cannot persist job record: {e}")))?;
+    state.add_job(job.clone());
+    for index in job.pending_indices() {
+        state.queue.push(Task {
+            job: id,
+            shard: index,
+            attempts: 0,
+        });
+    }
+    let doc = Value::Obj(vec![
+        ("id".to_string(), Value::Int(id)),
+        ("shards".to_string(), Value::Int(job.total)),
+    ]);
+    let _ = http::respond_json(stream, 202, &doc, &[]);
+    Ok(202)
+}
+
+/// Streams a job's event log as NDJSON until the job reaches a terminal
+/// state (the `end` event is the last line) or the client goes away.
+fn handle_events(state: &Arc<CoordState>, request: &Request, stream: &mut TcpStream) -> u16 {
+    let job = request
+        .path
+        .strip_suffix("/events")
+        .and_then(job_id_of)
+        .and_then(|id| state.job(id));
+    let Some(job) = job else {
+        let _ = http::respond_error(stream, &HttpError::new(404, "no such job"));
+        return 404;
+    };
+    if http::start_ndjson(stream).is_err() {
+        return 200;
+    }
+    let mut cursor = 0usize;
+    loop {
+        let (events, terminal) = job.events_after(cursor);
+        for event in &events {
+            let line = format!("{}\n", event.render());
+            if std::io::Write::write_all(stream, line.as_bytes()).is_err() {
+                return 200;
+            }
+        }
+        let _ = std::io::Write::flush(stream);
+        cursor += events.len();
+        if terminal || state.stop.load(Ordering::Relaxed) {
+            return 200;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The `GET /metrics` document: job/shard progress, per-worker dispatch
+/// counters, and the deterministic engine counters merged across every
+/// job (and therefore across every worker that ran its shards).
+fn metrics_json(state: &Arc<CoordState>) -> Value {
+    let jobs = state.jobs_snapshot();
+    let mut running = 0u64;
+    let mut done = 0u64;
+    let mut failed = 0u64;
+    let mut shards_completed = 0u64;
+    let mut shards_planned = 0u64;
+    let mut merged = StatsSnapshot::default();
+    for job in &jobs {
+        match job.status() {
+            CoordStatus::Running => running += 1,
+            CoordStatus::Done => done += 1,
+            CoordStatus::Failed => failed += 1,
+        }
+        let (completed, planned) = job.shard_counts();
+        shards_completed += completed;
+        shards_planned += planned;
+        merged.merge(&job.stats());
+    }
+    let workers: Vec<Value> = state
+        .workers
+        .iter()
+        .map(|w| {
+            Value::Obj(vec![
+                ("addr".to_string(), Value::Str(w.addr.clone())),
+                (
+                    "alive".to_string(),
+                    Value::Bool(w.alive.load(Ordering::Relaxed)),
+                ),
+                (
+                    "dispatched".to_string(),
+                    Value::Int(w.dispatched.load(Ordering::Relaxed)),
+                ),
+                (
+                    "failures".to_string(),
+                    Value::Int(w.failures.load(Ordering::Relaxed)),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        (
+            "jobs".to_string(),
+            Value::Obj(vec![
+                ("total".to_string(), Value::Int(jobs.len() as u64)),
+                ("running".to_string(), Value::Int(running)),
+                ("done".to_string(), Value::Int(done)),
+                ("failed".to_string(), Value::Int(failed)),
+            ]),
+        ),
+        (
+            "shards".to_string(),
+            Value::Obj(vec![
+                ("planned".to_string(), Value::Int(shards_planned)),
+                ("completed".to_string(), Value::Int(shards_completed)),
+                ("queued".to_string(), Value::Int(state.queue.len() as u64)),
+            ]),
+        ),
+        ("workers".to_string(), Value::Arr(workers)),
+        ("engine".to_string(), shard::stats_to_json(&merged)),
+        ("http".to_string(), state.metrics.to_json()),
+    ])
+}

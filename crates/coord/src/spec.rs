@@ -1,0 +1,327 @@
+//! Coordinated-job specifications and deterministic shard planning.
+//!
+//! A [`CoordSpec`] is what `POST /jobs` on the coordinator accepts: a
+//! list of suite circuits (or a single circuit) plus the same search
+//! options the service's [`JobSpec`] takes, and optionally a Monte-Carlo
+//! yield phase. Planning a spec into [`ShardRequest`]s is a pure
+//! function of `(job id, spec)` — every coordinator (including one
+//! restarted after a crash) plans byte-identical shard requests, which
+//! is what lets a worker's idempotent-replay check recognize a stored
+//! result after reassignment.
+
+use minpower_core::json::Value;
+use minpower_serve::http::HttpError;
+use minpower_serve::job::{JobSpec, Source};
+use minpower_serve::shard::{self, ShardKind, ShardRequest};
+
+/// Schema tag of a persisted coordinator job record.
+pub const JOB_SCHEMA: &str = "minpower-coord-job";
+/// Schema tag of a merged coordinator result document.
+pub const RESULT_SCHEMA: &str = "minpower-coord-result";
+
+/// Store key of a coordinator job record.
+pub fn job_key(job: u64) -> String {
+    format!("coord-job-{job}")
+}
+
+/// Store key of one shard's result record (also its lease key).
+pub fn shard_key(job: u64, index: u64) -> String {
+    format!("coord-job-{job}-shard-{index}")
+}
+
+/// The Monte-Carlo yield phase of a coordinated job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldSpec {
+    /// Relative threshold sigma of the variation model.
+    pub sigma: f64,
+    /// Total Monte-Carlo trials.
+    pub samples: u64,
+    /// Seed of the per-trial `SplitMix64` streams.
+    pub seed: u64,
+    /// Trials per seed-stream shard.
+    pub shard_size: u64,
+}
+
+/// A validated coordinated-job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordSpec {
+    /// Suite circuits, in merge order (one branch-index shard each).
+    pub circuits: Vec<String>,
+    /// Search options shared by every shard (its `source` is replaced
+    /// per shard with the shard's circuit).
+    pub proto: JobSpec,
+    /// Optional yield phase; requires a single circuit.
+    pub mc: Option<YieldSpec>,
+}
+
+fn bad(message: impl Into<String>) -> HttpError {
+    HttpError::new(400, message)
+}
+
+impl CoordSpec {
+    /// Parses a coordinator submission body.
+    ///
+    /// The body is the service's job-spec shape with `suite` (a list of
+    /// circuit names) allowed in place of `circuit`, plus an optional
+    /// `yield` object. `bench`/`verilog` sources and the per-job
+    /// `time_limit`/`priority` knobs are rejected — shards must be pure
+    /// functions of the spec, and a deadline raced against wall clock
+    /// is not.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] with status 400 naming the offending field.
+    pub fn from_json(value: &Value) -> Result<CoordSpec, HttpError> {
+        let obj = value
+            .as_obj("coordinated job")
+            .map_err(|e| bad(e.message))?;
+        let Value::Obj(raw) = value else {
+            unreachable!("as_obj succeeded");
+        };
+        for banned in ["bench", "verilog", "time_limit", "priority"] {
+            if obj.opt(banned).is_some() {
+                return Err(bad(format!(
+                    "`{banned}` is not supported for coordinated jobs"
+                )));
+            }
+        }
+        let circuits: Vec<String> = match (obj.opt("suite"), obj.opt("circuit")) {
+            (Some(list), None) => list
+                .as_arr("suite")
+                .map_err(|e| bad(e.message))?
+                .iter()
+                .map(|v| v.as_str("suite entry").map(str::to_string))
+                .collect::<Result<_, _>>()
+                .map_err(|e| bad(e.message))?,
+            (None, Some(name)) => {
+                vec![name
+                    .as_str("circuit")
+                    .map_err(|e| bad(e.message))?
+                    .to_string()]
+            }
+            _ => return Err(bad("provide exactly one of `suite`, `circuit`")),
+        };
+        if circuits.is_empty() {
+            return Err(bad("`suite` must name at least one circuit"));
+        }
+        let mc = match obj.opt("yield") {
+            None => None,
+            Some(v) => {
+                let y = v.as_obj("yield").map_err(|e| bad(e.message))?;
+                let int = |name: &str, default: u64| -> Result<u64, HttpError> {
+                    match y.opt(name) {
+                        None => Ok(default),
+                        Some(v) => v.as_u64(name).map_err(|e| bad(e.message)),
+                    }
+                };
+                let sigma = y
+                    .req("sigma")
+                    .and_then(|v| v.as_number("sigma"))
+                    .map_err(|e| bad(e.message))?;
+                if !(sigma >= 0.0 && sigma.is_finite()) {
+                    return Err(bad("yield `sigma` must be finite and non-negative"));
+                }
+                let spec = YieldSpec {
+                    sigma,
+                    samples: int("samples", 256)?,
+                    seed: int("seed", 1)?,
+                    shard_size: int("shard_size", 64)?,
+                };
+                if spec.samples == 0 || spec.samples > 1_000_000 {
+                    return Err(bad("yield `samples` must lie in [1, 1000000]"));
+                }
+                if spec.shard_size == 0 {
+                    return Err(bad("yield `shard_size` must be at least 1"));
+                }
+                Some(spec)
+            }
+        };
+        if mc.is_some() && circuits.len() != 1 {
+            return Err(bad("`yield` requires a single `circuit`"));
+        }
+        // Delegate option parsing/validation to the service's spec with
+        // a placeholder circuit (replaced per shard); unknown options
+        // fail there with the same message a worker would give.
+        let mut fields = vec![("circuit".to_string(), Value::Str(circuits[0].clone()))];
+        for (name, v) in raw {
+            if !matches!(name.as_str(), "suite" | "circuit" | "yield") {
+                fields.push((name.clone(), v.clone()));
+            }
+        }
+        let proto = JobSpec::from_json(&Value::Obj(fields))?;
+        Ok(CoordSpec {
+            circuits,
+            proto,
+            mc,
+        })
+    }
+
+    /// Renders the spec back to its submission JSON (bitwise faithful
+    /// floats), used for the persisted job record.
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![(
+            "suite".to_string(),
+            Value::Arr(
+                self.circuits
+                    .iter()
+                    .map(|c| Value::Str(c.clone()))
+                    .collect(),
+            ),
+        )];
+        let Value::Obj(proto) = self.proto.to_json() else {
+            unreachable!("JobSpec::to_json is an object");
+        };
+        for (name, v) in proto {
+            if !matches!(name.as_str(), "circuit" | "time_limit" | "priority") {
+                fields.push((name, v));
+            }
+        }
+        if let Some(mc) = &self.mc {
+            fields.push((
+                "yield".to_string(),
+                Value::Obj(vec![
+                    ("sigma".to_string(), Value::Float(mc.sigma)),
+                    ("samples".to_string(), Value::Int(mc.samples)),
+                    ("seed".to_string(), Value::Int(mc.seed)),
+                    ("shard_size".to_string(), Value::Int(mc.shard_size)),
+                ]),
+            ));
+        }
+        Value::Obj(fields)
+    }
+
+    /// The shard-level [`JobSpec`] for one circuit of this job.
+    pub fn shard_spec(&self, circuit: &str) -> JobSpec {
+        let mut spec = self.proto.clone();
+        spec.source = Source::Suite(circuit.to_string());
+        spec
+    }
+
+    /// Total shards this job will run, known at admission: one optimize
+    /// shard per circuit, plus `ceil(samples / shard_size)` seed-stream
+    /// shards for a yield job.
+    pub fn total_shards(&self) -> u64 {
+        match &self.mc {
+            None => self.circuits.len() as u64,
+            Some(mc) => 1 + mc.samples.div_ceil(mc.shard_size),
+        }
+    }
+
+    /// Phase-one shard requests: one optimize shard per circuit, shard
+    /// index = suite position (= merge order).
+    pub fn initial_requests(&self, job: u64) -> Vec<ShardRequest> {
+        self.circuits
+            .iter()
+            .enumerate()
+            .map(|(i, circuit)| ShardRequest {
+                job,
+                index: i as u64,
+                store_key: shard_key(job, i as u64),
+                spec: self.shard_spec(circuit),
+                kind: ShardKind::Optimize,
+            })
+            .collect()
+    }
+
+    /// Phase-two shard requests of a yield job: contiguous trial ranges
+    /// over the design of the completed optimize shard (`optimize_doc`
+    /// is that shard's result document).
+    ///
+    /// # Errors
+    ///
+    /// A message when the optimize document carries no parseable design.
+    pub fn yield_requests(
+        &self,
+        job: u64,
+        optimize_doc: &Value,
+    ) -> Result<Vec<ShardRequest>, String> {
+        let Some(mc) = &self.mc else {
+            return Ok(Vec::new());
+        };
+        let design = optimize_doc
+            .as_obj("shard result")
+            .and_then(|o| o.req("result"))
+            .and_then(|r| r.as_obj("result"))
+            .and_then(|o| o.req("design"))
+            .map_err(|e| e.message.clone())
+            .and_then(|d| shard::design_from_json(d).map_err(|e| e.message))
+            .map_err(|m| format!("optimize shard carries no usable design: {m}"))?;
+        let mut out = Vec::new();
+        let mut start = 0u64;
+        let mut index = 1u64;
+        while start < mc.samples {
+            let count = (mc.samples - start).min(mc.shard_size);
+            out.push(ShardRequest {
+                job,
+                index,
+                store_key: shard_key(job, index),
+                spec: self.shard_spec(&self.circuits[0]),
+                kind: ShardKind::YieldTrials {
+                    design: design.clone(),
+                    sigma: mc.sigma,
+                    seed: mc.seed,
+                    start,
+                    count,
+                },
+            });
+            start += count;
+            index += 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minpower_core::json;
+
+    #[test]
+    fn suite_spec_round_trips() {
+        let v = json::parse(r#"{"suite":["c17","s27"],"fc":2.5e8,"steps":9}"#).unwrap();
+        let spec = CoordSpec::from_json(&v).unwrap();
+        assert_eq!(spec.circuits, vec!["c17", "s27"]);
+        assert_eq!(spec.proto.steps, 9);
+        assert_eq!(spec.total_shards(), 2);
+        let back = CoordSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn yield_spec_round_trips_and_plans_ranges() {
+        let v = json::parse(
+            r#"{"circuit":"c17","fc":2.5e8,
+                "yield":{"sigma":0.1,"samples":150,"seed":7,"shard_size":64}}"#,
+        )
+        .unwrap();
+        let spec = CoordSpec::from_json(&v).unwrap();
+        assert_eq!(spec.total_shards(), 1 + 3);
+        let back = CoordSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let initial = spec.initial_requests(5);
+        assert_eq!(initial.len(), 1);
+        assert_eq!(initial[0].store_key, "coord-job-5-shard-0");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        for (body, hint) in [
+            (r#"{}"#, "exactly one"),
+            (r#"{"suite":[]}"#, "at least one"),
+            (r#"{"suite":["c17"],"circuit":"c17"}"#, "exactly one"),
+            (r#"{"circuit":"c17","time_limit":5}"#, "time_limit"),
+            (r#"{"circuit":"c17","bench":"x"}"#, "bench"),
+            (r#"{"suite":["c17","s27"],"yield":{"sigma":0.1}}"#, "single"),
+            (r#"{"circuit":"c17","yield":{"sigma":-1}}"#, "sigma"),
+            (
+                r#"{"circuit":"c17","yield":{"sigma":0.1,"samples":0}}"#,
+                "samples",
+            ),
+            (r#"{"circuit":"c17","stepz":3}"#, "stepz"),
+        ] {
+            let err = CoordSpec::from_json(&json::parse(body).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains(hint), "{body}: {}", err.message);
+        }
+    }
+}

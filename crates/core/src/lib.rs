@@ -63,6 +63,7 @@ pub mod checkpoint;
 pub mod context;
 mod error;
 mod incremental;
+pub mod jobstore;
 pub mod json;
 mod problem;
 pub mod report;
@@ -77,6 +78,7 @@ pub mod yield_mc;
 pub use checkpoint::{Checkpoint, CheckpointSpec};
 pub use context::EvalContext;
 pub use error::OptimizeError;
+pub use jobstore::{Claim, FsJobStore, JobStore, Lease};
 pub use problem::Problem;
 pub use result::OptimizationResult;
 pub use runctl::{Progress, RunControl, TripReason};

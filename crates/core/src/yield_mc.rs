@@ -40,6 +40,179 @@ pub struct YieldResult {
     pub samples: usize,
 }
 
+/// The in-order reduction shared by the single-process yield loop and
+/// the distributed shard merge: feeding it the same per-trial outcomes
+/// in the same trial order always produces the same bits, which is what
+/// makes seed-stream sharding (`minpower-coord`) bit-identical to
+/// [`timing_yield`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrialReducer {
+    pass: usize,
+    sum_delay: f64,
+    worst: f64,
+    sum_energy: f64,
+    done: usize,
+}
+
+impl TrialReducer {
+    /// A fresh reducer with nothing accumulated.
+    pub fn new() -> Self {
+        TrialReducer::default()
+    }
+
+    /// Folds one trial's `(critical_delay, energy)` outcome in, judged
+    /// against cycle time `tc`. Must be called in trial order.
+    pub fn add(&mut self, delay: f64, energy: f64, tc: f64) {
+        if delay <= tc {
+            self.pass += 1;
+        }
+        self.sum_delay += delay;
+        self.worst = self.worst.max(delay);
+        self.sum_energy += energy;
+        self.done += 1;
+    }
+
+    /// Trials folded in so far.
+    pub fn count(&self) -> usize {
+        self.done
+    }
+
+    /// The final statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no trials were added.
+    pub fn finish(self) -> YieldResult {
+        assert!(self.done > 0, "need at least one sample");
+        YieldResult {
+            timing_yield: self.pass as f64 / self.done as f64,
+            mean_delay: self.sum_delay / self.done as f64,
+            worst_delay: self.worst,
+            mean_energy: self.sum_energy / self.done as f64,
+            samples: self.done,
+        }
+    }
+}
+
+/// Reduces per-trial `(critical_delay, energy)` outcomes — concatenated
+/// in trial order across shard boundaries — against cycle time `tc`.
+/// Bitwise-identical to what [`timing_yield_ctl`] computes from the same
+/// trials, for any sharding of the trial range.
+///
+/// # Panics
+///
+/// Panics when `trials` is empty.
+pub fn reduce_trials(tc: f64, trials: &[(f64, f64)]) -> YieldResult {
+    let mut reducer = TrialReducer::new();
+    for &(delay, energy) in trials {
+        reducer.add(delay, energy, tc);
+    }
+    reducer.finish()
+}
+
+/// Runs the contiguous trial range `[start, start + count)` of the
+/// seed-stream Monte Carlo and returns the **raw per-trial outcomes**
+/// `(critical_delay, total_energy)` instead of reduced statistics.
+///
+/// Trial `t` draws from `SplitMix64::stream(seed, t)` regardless of the
+/// range it is computed in, so a coordinator can split `0..samples` into
+/// arbitrary contiguous ranges, run them on different workers, and
+/// [`reduce_trials`] the concatenation into bitwise the same
+/// [`YieldResult`] a single [`timing_yield_ctl`] run produces.
+///
+/// # Errors
+///
+/// [`OptimizeError::Interrupted`] on a control trip,
+/// [`OptimizeError::WorkerPanicked`] when a trial panicked.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `sigma_rel` is negative.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_trials_ctl(
+    ctx: &EvalContext,
+    problem: &Problem,
+    design: &Design,
+    sigma_rel: f64,
+    start: usize,
+    count: usize,
+    seed: u64,
+    control: &RunControl,
+) -> Result<Vec<(f64, f64)>, OptimizeError> {
+    assert!(count > 0, "need at least one sample");
+    assert!(sigma_rel >= 0.0, "sigma must be non-negative");
+    let stats = ctx.stats().clone();
+    let mut out = Vec::with_capacity(count);
+    stats.time(Phase::MonteCarlo, || {
+        let mut done = 0usize;
+        while done < count {
+            if let Some(reason) = control.trip() {
+                stats.count_deadline_trip();
+                return Err(OptimizeError::Interrupted {
+                    reason,
+                    best_so_far: None,
+                    progress: control.progress(done),
+                });
+            }
+            let n = CHUNK.min(count - done);
+            let base = start + done;
+            let chunk = run_chunk(ctx, problem, design, sigma_rel, seed, base, n, &stats)?;
+            out.extend_from_slice(&chunk);
+            done += n;
+        }
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// One scheduling chunk of trials `[base, base + count)`, parallel over
+/// the context's pool, results in trial order.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    ctx: &EvalContext,
+    problem: &Problem,
+    design: &Design,
+    sigma_rel: f64,
+    seed: u64,
+    base: usize,
+    count: usize,
+    stats: &minpower_engine::EngineStats,
+) -> Result<Vec<(f64, f64)>, OptimizeError> {
+    let model = problem.model();
+    let trial = |t: usize| {
+        // Per-worker scratch: trial loops are the hottest full-pass
+        // caller, so reuse the delay/arrival buffers across trials
+        // instead of allocating fresh vectors per evaluation.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        let mut rng = SplitMix64::stream(seed, t as u64);
+        let mut sample = design.clone();
+        for (i, &vt) in design.vt.iter().enumerate() {
+            let z = rng.normal();
+            sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
+        }
+        // `timing_into` + `total_energy` produce bitwise the
+        // `critical_delay` / `energy` of `CircuitModel::evaluate`.
+        let critical_delay = SCRATCH.with(|s| {
+            let (delays, arrival) = &mut *s.borrow_mut();
+            model.timing_into(&sample, delays, arrival)
+        });
+        let energy = model.total_energy(&sample, problem.fc());
+        stats.count_eval();
+        stats.count_sta(1);
+        (critical_delay, energy.total())
+    };
+    try_par_map_indices(ctx.threads(), count, |i| trial(base + i)).map_err(|p| {
+        stats.count_panic_recovered();
+        OptimizeError::WorkerPanicked {
+            index: base + p.index,
+            message: p.message,
+        }
+    })
+}
+
 /// Samples per-gate thresholds as `N(vt_i, (sigma_rel·vt_i)²)`, clamped
 /// to stay positive, and evaluates `design`'s timing and energy for each
 /// sample.
@@ -157,84 +330,35 @@ pub fn timing_yield_ctl(
 ) -> Result<YieldResult, OptimizeError> {
     assert!(samples > 0, "need at least one sample");
     assert!(sigma_rel >= 0.0, "sigma must be non-negative");
-    let model = problem.model();
     let tc = problem.effective_cycle_time();
     let stats = ctx.stats().clone();
     // Each trial owns a PRNG stream derived from (seed, trial index), so
     // the drawn thresholds — and therefore the whole result — do not
-    // depend on how trials land on workers or where chunks split.
-    let trial = |t: usize| {
-        // Per-worker scratch: trial loops are the hottest full-pass
-        // caller, so reuse the delay/arrival buffers across trials
-        // instead of allocating fresh vectors per evaluation.
-        thread_local! {
-            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
-                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
-        }
-        let mut rng = SplitMix64::stream(seed, t as u64);
-        let mut sample = design.clone();
-        for (i, &vt) in design.vt.iter().enumerate() {
-            let z = rng.normal();
-            sample.vt[i] = (vt * (1.0 + sigma_rel * z)).max(0.01);
-        }
-        // `timing_into` + `total_energy` produce bitwise the
-        // `critical_delay` / `energy` of `CircuitModel::evaluate`.
-        let critical_delay = SCRATCH.with(|s| {
-            let (delays, arrival) = &mut *s.borrow_mut();
-            model.timing_into(&sample, delays, arrival)
-        });
-        let energy = model.total_energy(&sample, problem.fc());
-        stats.count_eval();
-        stats.count_sta(1);
-        (critical_delay, energy.total())
-    };
-
-    // Reduce in trial order as chunks complete: bitwise-identical for
-    // every thread count and chunk placement.
-    let mut pass = 0usize;
-    let mut sum_delay = 0.0;
-    let mut worst: f64 = 0.0;
-    let mut sum_energy = 0.0;
-    let mut done = 0usize;
+    // depend on how trials land on workers or where chunks split. The
+    // chunk runner and the reducer are shared with the sharded path
+    // (`yield_trials_ctl` + `reduce_trials`), which is what makes a
+    // coordinator's merged result bit-identical to this loop.
+    let mut reducer = TrialReducer::new();
     stats.time(Phase::MonteCarlo, || {
-        while done < samples {
+        while reducer.count() < samples {
             if let Some(reason) = control.trip() {
                 stats.count_deadline_trip();
                 return Err(OptimizeError::Interrupted {
                     reason,
                     best_so_far: None,
-                    progress: control.progress(done),
+                    progress: control.progress(reducer.count()),
                 });
             }
-            let count = CHUNK.min(samples - done);
-            let base = done;
-            let chunk =
-                try_par_map_indices(ctx.threads(), count, |i| trial(base + i)).map_err(|p| {
-                    stats.count_panic_recovered();
-                    OptimizeError::WorkerPanicked {
-                        index: base + p.index,
-                        message: p.message,
-                    }
-                })?;
+            let base = reducer.count();
+            let count = CHUNK.min(samples - base);
+            let chunk = run_chunk(ctx, problem, design, sigma_rel, seed, base, count, &stats)?;
             for &(delay, energy) in &chunk {
-                if delay <= tc {
-                    pass += 1;
-                }
-                sum_delay += delay;
-                worst = worst.max(delay);
-                sum_energy += energy;
+                reducer.add(delay, energy, tc);
             }
-            done += count;
         }
         Ok(())
     })?;
-    Ok(YieldResult {
-        timing_yield: pass as f64 / samples as f64,
-        mean_delay: sum_delay / samples as f64,
-        worst_delay: worst,
-        mean_energy: sum_energy / samples as f64,
-        samples,
-    })
+    Ok(reducer.finish())
 }
 
 #[cfg(test)]
@@ -323,6 +447,35 @@ mod tests {
         let a = timing_yield(&p, &r.design, 0.1, 100, 9);
         let b = timing_yield(&p, &r.design, 0.1, 100, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_trial_ranges_reduce_bit_identically() {
+        let p = problem();
+        let r = Optimizer::new(&p).run().unwrap();
+        let samples = 250;
+        let whole = timing_yield(&p, &r.design, 0.12, samples, 11);
+        // Uneven shard boundaries, deliberately not CHUNK-aligned.
+        for splits in [vec![0, 250], vec![0, 1, 250], vec![0, 63, 127, 200, 250]] {
+            let mut trials = Vec::new();
+            for pair in splits.windows(2) {
+                let ctx = EvalContext::new(1, 0);
+                let part = yield_trials_ctl(
+                    &ctx,
+                    &p,
+                    &r.design,
+                    0.12,
+                    pair[0],
+                    pair[1] - pair[0],
+                    11,
+                    &RunControl::new(),
+                )
+                .unwrap();
+                trials.extend_from_slice(&part);
+            }
+            let merged = reduce_trials(p.effective_cycle_time(), &trials);
+            assert_eq!(merged, whole, "splits {splits:?}");
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //! | `io.disk.full`      | a durable write fails as if the disk is full |
 //! | `checkpoint.corrupt`| a bit flips inside the persisted payload
 //!                         (silent corruption for the recovery audit)    |
+//! | `coord.worker.lost` | a coordinator→worker shard dispatch connects
+//!                         and then drops before sending (network-drop
+//!                         worker loss; indexed by the per-endpoint
+//!                         dispatch sequence number)                     |
 //!
 //! Triggers are deterministic: an explicit index set, every-nth, or a
 //! seeded pseudo-random subset — never wall clock — so failing runs
@@ -114,7 +118,7 @@ mod imp {
         armed.calls += 1;
         let fire = match &armed.trigger {
             Trigger::OnIndices(set) => set.contains(&index),
-            Trigger::EveryNth(n) => *n > 0 && (index + 1) % n == 0,
+            Trigger::EveryNth(n) => *n > 0 && (index + 1).is_multiple_of(*n),
             Trigger::Seeded { seed, probability } => {
                 SplitMix64::stream(*seed, index).next_f64() < *probability
             }

@@ -57,6 +57,7 @@ pub mod job;
 pub mod metrics;
 pub mod queue;
 mod server;
+pub mod shard;
 
 use std::path::PathBuf;
 
@@ -81,6 +82,16 @@ pub struct Config {
     pub max_gates: usize,
     /// Evaluations between periodic job checkpoints.
     pub checkpoint_every: usize,
+    /// Worker mode for distributed serving: accept `POST /shards` from a
+    /// `minpower-coord` coordinator. A worker skips the startup recovery
+    /// audit and job re-admission — the shared directory is the
+    /// coordinator's to audit, and shard reassignment (not local resume)
+    /// is the recovery mechanism.
+    pub worker: bool,
+    /// Shared job-store directory for shard results (worker mode);
+    /// defaults to `state_dir` when unset. Coordinator and workers must
+    /// point at the same directory.
+    pub shared_dir: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -94,6 +105,8 @@ impl Default for Config {
             max_body_bytes: 1 << 20,
             max_gates: 50_000,
             checkpoint_every: 16,
+            worker: false,
+            shared_dir: None,
         }
     }
 }

@@ -70,6 +70,7 @@ impl Histogram {
 /// `"other"` so an attacker cannot grow the metric set.
 pub const ROUTES: &[&str] = &[
     "POST /jobs",
+    "POST /shards",
     "GET /jobs/{id}",
     "DELETE /jobs/{id}",
     "GET /jobs/{id}/events",
@@ -82,7 +83,7 @@ pub const ROUTES: &[&str] = &[
 /// The service's metric registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    latency: [Histogram; 8],
+    latency: [Histogram; 9],
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Requests answered with a 2xx status.
@@ -100,6 +101,7 @@ pub fn route_key(method: &str, path: &str) -> &'static str {
     let is_job = path.starts_with("/jobs/") && path.len() > "/jobs/".len();
     match (method, path) {
         ("POST", "/jobs") => "POST /jobs",
+        ("POST", "/shards") => "POST /shards",
         ("GET", "/metrics") => "GET /metrics",
         ("GET", "/healthz") => "GET /healthz",
         ("POST", "/shutdown") => "POST /shutdown",

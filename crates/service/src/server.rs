@@ -34,15 +34,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use minpower_core::jobstore::{FsJobStore, JobStore};
 use minpower_core::json::{self, Value};
 use minpower_core::store::{self, StoreHealth};
-use minpower_core::{CheckpointSpec, EvalContext, OptimizeError, Optimizer, TripReason};
+use minpower_core::{
+    CheckpointSpec, EvalContext, OptimizeError, Optimizer, RunControl, TripReason,
+};
 use minpower_engine::{EngineStats, StatsSnapshot};
 
 use crate::http::{self, HttpError, Request};
 use crate::job::{self, Job, JobState, JobStatus};
 use crate::metrics::{route_key, Metrics};
 use crate::queue::{JobQueue, Pushed};
+use crate::shard::{self, ShardError, ShardRequest};
 use crate::{Config, DrainOutcome};
 
 /// Shared server state: configuration, queue, job table, telemetry.
@@ -70,6 +74,10 @@ pub struct ServiceState {
     /// startup audit, health probes); per-job checkpoint writes land in
     /// each job's engine context and are merged alongside.
     store_stats: Arc<EngineStats>,
+    /// Run controls of in-flight `POST /shards` executions (worker
+    /// mode), keyed by connection sequence — a drain or kill cancels
+    /// them so the worker never wedges on shard work.
+    shard_controls: Mutex<HashMap<u64, RunControl>>,
 }
 
 /// A handle for stopping a running server from another thread.
@@ -112,12 +120,18 @@ impl Server {
     /// Propagates listener-bind and state-directory I/O failures.
     pub fn bind(config: Config) -> std::io::Result<Server> {
         std::fs::create_dir_all(&config.state_dir)?;
+        let store_stats = Arc::new(EngineStats::default());
         // Recovery audit: delete staging debris, verify every record,
         // promote intact fallback generations, quarantine the rest —
-        // BEFORE anything is loaded from the directory.
-        let audit = store::audit(&config.state_dir);
-        let store_stats = Arc::new(EngineStats::default());
-        store_stats.count_store_quarantined(audit.quarantined.len() as u64);
+        // BEFORE anything is loaded from the directory. Workers skip it:
+        // their state directory may be the coordinator's *shared* store,
+        // and exactly one process (the coordinator) must own the audit,
+        // or two workers starting together could race each other's
+        // in-flight atomic writes.
+        if !config.worker {
+            let audit = store::audit(&config.state_dir);
+            store_stats.count_store_quarantined(audit.quarantined.len() as u64);
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let queue = JobQueue::new(config.queue_depth);
@@ -134,9 +148,12 @@ impl Server {
             conn_seq: AtomicU64::new(0),
             health: Arc::new(StoreHealth::new()),
             store_stats,
+            shard_controls: Mutex::new(HashMap::new()),
             config,
         });
-        state.recover_persisted_jobs();
+        if !state.config.worker {
+            state.recover_persisted_jobs();
+        }
         Ok(Server { listener, state })
     }
 
@@ -203,6 +220,17 @@ impl Server {
         state.draining.store(true, Ordering::Relaxed);
         state.queue.close();
         let interrupted = state.cancel_active_jobs();
+        // Worker mode: interrupt in-flight shard executions too, so the
+        // coordinator gets its 503 (or, on kill, a dropped connection)
+        // promptly and reassigns the shards.
+        for control in state
+            .shard_controls
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            control.cancel();
+        }
         if !state.killed.load(Ordering::Relaxed) {
             for handler in handlers {
                 let _ = handler.join();
@@ -569,6 +597,17 @@ fn handle_connection(state: &Arc<ServiceState>, mut stream: TcpStream) {
         return;
     }
 
+    // Shard execution manages its own response (it must be able to
+    // *drop* the connection silently when the server is killed
+    // mid-shard, simulating worker death for the coordinator).
+    if route == "POST /shards" {
+        let status = handle_shard(state, &request, &mut stream, conn);
+        state
+            .metrics
+            .observe(route, status, started.elapsed().as_micros() as u64);
+        return;
+    }
+
     let (status, body, extra) = dispatch(state, &request);
     state
         .metrics
@@ -576,6 +615,132 @@ fn handle_connection(state: &Arc<ServiceState>, mut stream: TcpStream) {
     let extra_refs: Vec<(&str, String)> =
         extra.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
     let _ = http::respond_json(&mut stream, status, &body, &extra_refs);
+}
+
+/// `POST /shards` (worker mode): execute one coordinator-dispatched
+/// shard synchronously and persist its result to the shared store
+/// before responding. Response statuses:
+///
+/// * `200` — result document (freshly computed or idempotently replayed
+///   from the shared store when a reassigned shard already ran here);
+/// * `400`/`422` — invalid request (the coordinator fails the job);
+/// * `404` — this server is not in worker mode;
+/// * `500` — deterministic execution failure (the coordinator fails the
+///   job: retrying a deterministic failure elsewhere cannot help);
+/// * `503` — draining; the shard is untainted, retry on another worker;
+/// * *dropped connection* — the worker was killed mid-shard.
+fn handle_shard(
+    state: &Arc<ServiceState>,
+    request: &Request,
+    stream: &mut TcpStream,
+    conn: u64,
+) -> u16 {
+    let answer = |stream: &mut TcpStream, status: u16, body: &Value| {
+        let _ = http::respond_json(stream, status, body, &[]);
+        status
+    };
+    let fail = |stream: &mut TcpStream, status: u16, message: &str| {
+        answer(
+            stream,
+            status,
+            &Value::Obj(vec![("error".to_string(), Value::Str(message.to_string()))]),
+        )
+    };
+    if !state.config.worker {
+        return fail(stream, 404, "this server is not a shard worker");
+    }
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| HttpError::new(400, "body is not UTF-8"))
+        .and_then(|text| json::parse(text).map_err(|e| HttpError::new(400, e.message)))
+        .and_then(|value| ShardRequest::from_json(&value));
+    let shard_request = match parsed {
+        Ok(shard_request) => shard_request,
+        Err(e) => return fail(stream, e.status, &e.message),
+    };
+    let shared = state
+        .config
+        .shared_dir
+        .clone()
+        .unwrap_or_else(|| state.config.state_dir.clone());
+    let store = match FsJobStore::open(&shared) {
+        Ok(store) => store,
+        Err(e) => return fail(stream, 500, &format!("shared store: {e}")),
+    };
+    // Idempotent replay: a reassigned shard may have completed here (or
+    // on a sibling sharing the store) before the coordinator lost the
+    // original response. The recompute would be bit-identical, so serve
+    // the stored document straight back.
+    if let Ok(Some(bytes)) = store.get(&shard_request.store_key) {
+        if let Some(doc) = std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|text| json::parse(text).ok())
+            .filter(|doc| shard::result_matches(doc, &shard_request))
+        {
+            return answer(stream, 200, &doc);
+        }
+    }
+
+    let control = RunControl::new();
+    state
+        .shard_controls
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(conn, control.clone());
+    // Close the registration race: a drain that swept the control map
+    // just before we inserted must still interrupt this shard.
+    if state.stop.load(Ordering::Relaxed) || state.draining.load(Ordering::Relaxed) {
+        control.cancel();
+    }
+    let outcome = shard::execute(&shard_request, state.config.max_gates, &control);
+    state
+        .shard_controls
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&conn);
+    let killed = state.killed.load(Ordering::Relaxed);
+    match outcome {
+        Ok((doc, snapshot)) => {
+            if killed {
+                // Power loss: no persist, no response — the coordinator
+                // observes a vanished worker and reassigns the shard.
+                return 200;
+            }
+            // Persist-then-respond: once the coordinator hears 200, the
+            // shard's result is durable in the shared store (best
+            // effort — a failed write degrades this worker's health but
+            // the response still carries the full document).
+            match store.put(&shard_request.store_key, doc.render().as_bytes()) {
+                Ok(()) => {
+                    state.store_stats.count_store_write(0);
+                    state.health.report_success();
+                }
+                Err(e) => state.health.report_failure(&e.to_string()),
+            }
+            state
+                .finished_stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .merge(&snapshot);
+            answer(stream, 200, &doc)
+        }
+        Err(ShardError::Interrupted) => {
+            if killed {
+                return 200;
+            }
+            let _ = http::respond_json(
+                stream,
+                503,
+                &Value::Obj(vec![(
+                    "error".to_string(),
+                    Value::Str("worker draining; retry the shard elsewhere".to_string()),
+                )]),
+                &[("Retry-After", "1".to_string())],
+            );
+            503
+        }
+        Err(ShardError::Reject(e)) => fail(stream, e.status, &e.message),
+        Err(ShardError::Failed(message)) => fail(stream, 500, &message),
+    }
 }
 
 type Response = (u16, Value, Vec<(String, String)>);

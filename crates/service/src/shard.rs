@@ -1,0 +1,589 @@
+//! Worker-side shard execution for the distributed coordinator.
+//!
+//! A **shard** is the unit of work `minpower-coord` dispatches to a
+//! worker process (`minpower serve --worker`): either one whole
+//! optimization of one suite circuit (a *branch-index* shard of a suite
+//! job) or one contiguous range of Monte-Carlo yield trials (a
+//! *seed-stream* shard of a yield job). Shards are deterministic pure
+//! functions of their request — every worker computes bitwise the same
+//! result document — which is what lets the coordinator reassign a shard
+//! after a worker dies and still merge a final answer bit-identical to a
+//! single-process run.
+//!
+//! The shard result document embeds the **deterministic subset** of the
+//! engine's counters ([`stats_to_json`]): wall-clock phase timings and
+//! store telemetry are deliberately excluded, so two runs of the same
+//! shard produce byte-identical documents and the coordinator's merged
+//! snapshot is reproducible.
+
+use std::sync::Arc;
+
+use minpower_core::json::{self, Value};
+use minpower_core::{EvalContext, OptimizeError, Optimizer, RunControl};
+use minpower_engine::StatsSnapshot;
+use minpower_models::Design;
+
+use crate::http::HttpError;
+use crate::job::JobSpec;
+
+/// Schema tag of a shard request document.
+pub const REQUEST_SCHEMA: &str = "minpower-shard";
+/// Schema tag of a shard result document.
+pub const RESULT_SCHEMA: &str = "minpower-shard-result";
+
+/// The work a shard carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardKind {
+    /// Run the full optimizer on the spec's circuit.
+    Optimize,
+    /// Run yield trials `[start, start + count)` of the seed-stream
+    /// Monte Carlo on a fixed, already-optimized design.
+    YieldTrials {
+        /// The design under variation (from the job's optimize shard).
+        design: Design,
+        /// Relative threshold sigma.
+        sigma: f64,
+        /// Stream seed shared by every shard of the job.
+        seed: u64,
+        /// First trial index of this shard's range.
+        start: u64,
+        /// Number of trials in this shard's range.
+        count: u64,
+    },
+}
+
+/// One dispatched unit of work, as carried in a `POST /shards` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// Coordinator-side job identifier.
+    pub job: u64,
+    /// Shard index within the job (also the merge order).
+    pub index: u64,
+    /// Shared-store key the worker persists the result under.
+    pub store_key: String,
+    /// Circuit + options (the same validated spec `POST /jobs` takes).
+    pub spec: JobSpec,
+    /// What to compute.
+    pub kind: ShardKind,
+}
+
+fn bad(message: impl Into<String>) -> HttpError {
+    HttpError::new(400, message)
+}
+
+impl ShardRequest {
+    /// Parses a `POST /shards` body.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] with status 400 naming the offending field.
+    pub fn from_json(value: &Value) -> Result<ShardRequest, HttpError> {
+        let obj = value.as_obj("shard request").map_err(|e| bad(e.message))?;
+        let schema = obj
+            .req("schema")
+            .and_then(|v| v.as_str("schema"))
+            .map_err(|e| bad(e.message))?;
+        if schema != REQUEST_SCHEMA {
+            return Err(bad(format!("unexpected schema `{schema}`")));
+        }
+        let job = obj
+            .req("job")
+            .and_then(|v| v.as_u64("job"))
+            .map_err(|e| bad(e.message))?;
+        let index = obj
+            .req("index")
+            .and_then(|v| v.as_u64("index"))
+            .map_err(|e| bad(e.message))?;
+        let store_key = obj
+            .req("store_key")
+            .and_then(|v| v.as_str("store_key"))
+            .map_err(|e| bad(e.message))?
+            .to_string();
+        if !minpower_core::jobstore::valid_key(&store_key) {
+            return Err(bad(format!("invalid store key `{store_key}`")));
+        }
+        let spec = JobSpec::from_json(obj.req("spec").map_err(|e| bad(e.message))?)?;
+        let kind = match obj
+            .req("kind")
+            .and_then(|v| v.as_str("kind"))
+            .map_err(|e| bad(e.message))?
+        {
+            "optimize" => ShardKind::Optimize,
+            "yield" => {
+                let design = obj
+                    .req("design")
+                    .map_err(|e| bad(e.message))
+                    .and_then(design_from_json)?;
+                let number = |name: &str| -> Result<f64, HttpError> {
+                    obj.req(name)
+                        .and_then(|v| v.as_number(name))
+                        .map_err(|e| bad(e.message))
+                };
+                let int = |name: &str| -> Result<u64, HttpError> {
+                    obj.req(name)
+                        .and_then(|v| v.as_u64(name))
+                        .map_err(|e| bad(e.message))
+                };
+                let sigma = number("sigma")?;
+                if !(sigma >= 0.0 && sigma.is_finite()) {
+                    return Err(bad("`sigma` must be finite and non-negative"));
+                }
+                let count = int("count")?;
+                if count == 0 {
+                    return Err(bad("`count` must be at least 1"));
+                }
+                ShardKind::YieldTrials {
+                    design,
+                    sigma,
+                    seed: int("seed")?,
+                    start: int("start")?,
+                    count,
+                }
+            }
+            other => return Err(bad(format!("unknown shard kind `{other}`"))),
+        };
+        Ok(ShardRequest {
+            job,
+            index,
+            store_key,
+            spec,
+            kind,
+        })
+    }
+
+    /// Renders the request back to its wire JSON (bitwise faithful for
+    /// every float, so a replanned shard is byte-identical).
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("schema".to_string(), Value::Str(REQUEST_SCHEMA.to_string())),
+            ("version".to_string(), Value::Int(1)),
+            ("job".to_string(), Value::Int(self.job)),
+            ("index".to_string(), Value::Int(self.index)),
+            ("store_key".to_string(), Value::Str(self.store_key.clone())),
+            (
+                "kind".to_string(),
+                Value::Str(
+                    match self.kind {
+                        ShardKind::Optimize => "optimize",
+                        ShardKind::YieldTrials { .. } => "yield",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("spec".to_string(), self.spec.to_json()),
+        ];
+        if let ShardKind::YieldTrials {
+            design,
+            sigma,
+            seed,
+            start,
+            count,
+        } = &self.kind
+        {
+            fields.extend([
+                ("design".to_string(), design_to_json(design)),
+                ("sigma".to_string(), Value::Float(*sigma)),
+                ("seed".to_string(), Value::Int(*seed)),
+                ("start".to_string(), Value::Int(*start)),
+                ("count".to_string(), Value::Int(*count)),
+            ]);
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// Renders a design point as `{vdd, vt[], width[]}` — the same shape
+/// the result document's `design` section uses, floats bitwise faithful.
+pub fn design_to_json(design: &Design) -> Value {
+    Value::Obj(vec![
+        ("vdd".to_string(), Value::Float(design.vdd)),
+        ("vt".to_string(), json::f64_array(&design.vt)),
+        ("width".to_string(), json::f64_array(&design.width)),
+    ])
+}
+
+/// Parses a `{vdd, vt[], width[]}` design object (e.g. the `design`
+/// section of a `minpower-result` document).
+///
+/// # Errors
+///
+/// [`HttpError`] with status 400 when a field is missing or malformed.
+pub fn design_from_json(value: &Value) -> Result<Design, HttpError> {
+    let obj = value.as_obj("design").map_err(|e| bad(e.message))?;
+    let design = Design {
+        vdd: obj
+            .req("vdd")
+            .and_then(|v| v.as_number("vdd"))
+            .map_err(|e| bad(e.message))?,
+        vt: obj
+            .req("vt")
+            .and_then(|v| v.as_number_vec("vt"))
+            .map_err(|e| bad(e.message))?,
+        width: obj
+            .req("width")
+            .and_then(|v| v.as_number_vec("width"))
+            .map_err(|e| bad(e.message))?,
+    };
+    if design.vt.is_empty() || design.vt.len() != design.width.len() {
+        return Err(bad(
+            "design `vt` and `width` must be equal-length and non-empty",
+        ));
+    }
+    Ok(design)
+}
+
+/// A named deterministic counter: its JSON field name, getter, setter.
+type StatField = (
+    &'static str,
+    fn(&StatsSnapshot) -> u64,
+    fn(&mut StatsSnapshot, u64),
+);
+
+/// The deterministic subset of [`StatsSnapshot`] embedded in shard
+/// result documents: pure work counters that are identical on every
+/// re-run of the shard. Wall-clock phase timings, store/checkpoint
+/// telemetry, and trip/panic counters are excluded — they depend on
+/// timing and fault injection, not on the work itself.
+const STAT_FIELDS: &[StatField] = &[
+    (
+        "circuit_evals",
+        |s| s.circuit_evals,
+        |s, v| s.circuit_evals = v,
+    ),
+    ("sta_calls", |s| s.sta_calls, |s, v| s.sta_calls = v),
+    ("cache_hits", |s| s.cache_hits, |s, v| s.cache_hits = v),
+    (
+        "cache_misses",
+        |s| s.cache_misses,
+        |s, v| s.cache_misses = v,
+    ),
+    (
+        "incremental_commits",
+        |s| s.incremental_commits,
+        |s, v| s.incremental_commits = v,
+    ),
+    (
+        "incremental_gates",
+        |s| s.incremental_gates,
+        |s, v| s.incremental_gates = v,
+    ),
+    (
+        "sta_fallbacks",
+        |s| s.sta_fallbacks,
+        |s, v| s.sta_fallbacks = v,
+    ),
+];
+
+/// Renders the deterministic counters of `stats` (see `STAT_FIELDS`'
+/// doc for what is excluded and why).
+pub fn stats_to_json(stats: &StatsSnapshot) -> Value {
+    Value::Obj(
+        STAT_FIELDS
+            .iter()
+            .map(|(name, get, _)| ((*name).to_string(), Value::Int(get(stats))))
+            .collect(),
+    )
+}
+
+/// Parses a deterministic-counter object back into a snapshot (absent
+/// fields stay zero, so the format can grow).
+///
+/// # Errors
+///
+/// [`HttpError`] with status 400 when the object is malformed.
+pub fn stats_from_json(value: &Value) -> Result<StatsSnapshot, HttpError> {
+    let obj = value.as_obj("stats").map_err(|e| bad(e.message))?;
+    let mut stats = StatsSnapshot::default();
+    for (name, _, set) in STAT_FIELDS {
+        if let Some(v) = obj.opt(name) {
+            set(&mut stats, v.as_u64(name).map_err(|e| bad(e.message))?);
+        }
+    }
+    Ok(stats)
+}
+
+/// Why a shard did not produce a result.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The request itself is invalid (4xx; retrying elsewhere is
+    /// pointless — the coordinator fails the job).
+    Reject(HttpError),
+    /// The worker is stopping; the shard is untainted and should be
+    /// retried on another worker (503).
+    Interrupted,
+    /// Deterministic execution failure (500; the job fails).
+    Failed(String),
+}
+
+/// Executes one shard on a fresh single-threaded, cache-enabled engine
+/// context — the same per-job context shape `POST /jobs` uses, so an
+/// optimize shard's result document is bit-identical to the service's
+/// (and the CLI's) run of the same spec.
+///
+/// Returns the complete shard result document (including the embedded
+/// deterministic stats) plus the raw snapshot for the worker's own
+/// telemetry.
+///
+/// # Errors
+///
+/// [`ShardError`] classifying the failure for the HTTP response.
+pub fn execute(
+    request: &ShardRequest,
+    max_gates: usize,
+    control: &RunControl,
+) -> Result<(Value, StatsSnapshot), ShardError> {
+    let (problem, options) = request.spec.build(max_gates).map_err(ShardError::Reject)?;
+    let ctx = Arc::new(EvalContext::new(
+        1,
+        minpower_core::context::DEFAULT_CACHE_CAPACITY,
+    ));
+    let mut fields = vec![
+        ("schema".to_string(), Value::Str(RESULT_SCHEMA.to_string())),
+        ("version".to_string(), Value::Int(1)),
+        ("job".to_string(), Value::Int(request.job)),
+        ("index".to_string(), Value::Int(request.index)),
+    ];
+    match &request.kind {
+        ShardKind::Optimize => {
+            let outcome = Optimizer::new(&problem)
+                .with_options(options)
+                .with_engine(ctx.clone())
+                .with_run_control(control.clone())
+                .run();
+            match outcome {
+                Ok(result) => {
+                    let doc = minpower_core::report::result_to_json(
+                        &problem,
+                        &result,
+                        request.spec.top_gates,
+                    );
+                    fields.push(("kind".to_string(), Value::Str("optimize".to_string())));
+                    fields.push(("result".to_string(), doc));
+                }
+                Err(OptimizeError::Interrupted { .. }) => return Err(ShardError::Interrupted),
+                Err(e) => return Err(ShardError::Failed(e.to_string())),
+            }
+        }
+        ShardKind::YieldTrials {
+            design,
+            sigma,
+            seed,
+            start,
+            count,
+        } => {
+            // A mismatched design (wrong gate count for the circuit)
+            // panics deep in the timing model; contain it as a
+            // deterministic failure instead of dropping the connection.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                minpower_core::yield_mc::yield_trials_ctl(
+                    &ctx,
+                    &problem,
+                    design,
+                    *sigma,
+                    *start as usize,
+                    *count as usize,
+                    *seed,
+                    control,
+                )
+            }));
+            let trials = match run {
+                Ok(Ok(trials)) => trials,
+                Ok(Err(OptimizeError::Interrupted { .. })) => return Err(ShardError::Interrupted),
+                Ok(Err(e)) => return Err(ShardError::Failed(e.to_string())),
+                Err(_) => {
+                    return Err(ShardError::Failed(
+                        "yield trial panicked (design/circuit mismatch?)".to_string(),
+                    ))
+                }
+            };
+            let (delays, energies): (Vec<f64>, Vec<f64>) = trials.into_iter().unzip();
+            fields.push(("kind".to_string(), Value::Str("yield".to_string())));
+            fields.push(("start".to_string(), Value::Int(*start)));
+            fields.push(("count".to_string(), Value::Int(*count)));
+            fields.push(("delays".to_string(), json::f64_array(&delays)));
+            fields.push(("energies".to_string(), json::f64_array(&energies)));
+        }
+    }
+    let snapshot = ctx.snapshot();
+    fields.push(("stats".to_string(), stats_to_json(&snapshot)));
+    Ok((Value::Obj(fields), snapshot))
+}
+
+/// Whether a stored document is a result of exactly this request —
+/// the idempotent-replay check for reassigned shards: a worker that
+/// finds a valid result under the request's store key returns it
+/// instead of recomputing (the recompute would be bit-identical, so the
+/// replay is purely an optimization and a determinism safeguard).
+pub fn result_matches(doc: &Value, request: &ShardRequest) -> bool {
+    let Ok(obj) = doc.as_obj("shard result") else {
+        return false;
+    };
+    let field_is = |name: &str, expect: u64| {
+        obj.req(name)
+            .and_then(|v| v.as_u64(name))
+            .is_ok_and(|v| v == expect)
+    };
+    obj.req("schema")
+        .and_then(|v| v.as_str("schema"))
+        .is_ok_and(|s| s == RESULT_SCHEMA)
+        && field_is("job", request.job)
+        && field_is("index", request.index)
+        && obj
+            .req("kind")
+            .and_then(|v| v.as_str("kind"))
+            .is_ok_and(|k| {
+                k == match request.kind {
+                    ShardKind::Optimize => "optimize",
+                    ShardKind::YieldTrials { .. } => "yield",
+                }
+            })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Source;
+
+    fn spec() -> JobSpec {
+        JobSpec::from_json(&json::parse(r#"{"circuit":"c17","fc":2.5e8}"#).unwrap()).unwrap()
+    }
+
+    fn optimize_request() -> ShardRequest {
+        ShardRequest {
+            job: 3,
+            index: 0,
+            store_key: "coord-job-3-shard-0".to_string(),
+            spec: spec(),
+            kind: ShardKind::Optimize,
+        }
+    }
+
+    #[test]
+    fn request_round_trips_bitwise() {
+        let req = optimize_request();
+        let back = ShardRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(back, req);
+        let yld = ShardRequest {
+            kind: ShardKind::YieldTrials {
+                design: Design {
+                    vdd: 1.2345678901234567,
+                    vt: vec![0.3, 0.30000000000000004],
+                    width: vec![1.0, 2.0],
+                },
+                sigma: 0.1,
+                seed: 9,
+                start: 128,
+                count: 64,
+            },
+            ..req
+        };
+        let back = ShardRequest::from_json(&yld.to_json()).unwrap();
+        assert_eq!(back, yld);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        for (body, hint) in [
+            (r#"{"schema":"nope"}"#, "schema"),
+            (
+                r#"{"schema":"minpower-shard","version":1,"job":1,"index":0,
+                   "store_key":"a/b","kind":"optimize","spec":{"circuit":"c17"}}"#,
+                "store key",
+            ),
+            (
+                r#"{"schema":"minpower-shard","version":1,"job":1,"index":0,
+                   "store_key":"k","kind":"mystery","spec":{"circuit":"c17"}}"#,
+                "kind",
+            ),
+        ] {
+            let err = ShardRequest::from_json(&json::parse(body).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains(hint), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn optimize_shard_matches_direct_run() {
+        let req = optimize_request();
+        let (doc, snapshot) = execute(&req, 50_000, &RunControl::new()).unwrap();
+        // Reference: the same per-job context the service uses.
+        let (problem, options) = req.spec.build(50_000).unwrap();
+        let ctx = Arc::new(EvalContext::new(
+            1,
+            minpower_core::context::DEFAULT_CACHE_CAPACITY,
+        ));
+        let result = Optimizer::new(&problem)
+            .with_options(options)
+            .with_engine(ctx.clone())
+            .run()
+            .unwrap();
+        let reference = minpower_core::report::result_to_json(&problem, &result, 0);
+        let obj = doc.as_obj("doc").unwrap();
+        assert_eq!(
+            obj.req("result").unwrap().render(),
+            reference.render(),
+            "shard result must be bit-identical to a direct run"
+        );
+        let embedded = stats_from_json(obj.req("stats").unwrap()).unwrap();
+        assert_eq!(embedded.circuit_evals, snapshot.circuit_evals);
+        assert_eq!(embedded.circuit_evals, ctx.snapshot().circuit_evals);
+        assert!(result_matches(&doc, &req));
+        assert!(!result_matches(
+            &doc,
+            &ShardRequest {
+                index: 1,
+                ..optimize_request()
+            }
+        ));
+    }
+
+    #[test]
+    fn yield_shard_rejects_mismatched_design() {
+        let req = ShardRequest {
+            kind: ShardKind::YieldTrials {
+                design: Design {
+                    vdd: 1.0,
+                    vt: vec![0.3],
+                    width: vec![1.0],
+                },
+                sigma: 0.1,
+                seed: 1,
+                start: 0,
+                count: 8,
+            },
+            ..optimize_request()
+        };
+        match execute(&req, 50_000, &RunControl::new()) {
+            Err(ShardError::Failed(msg)) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("expected contained failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_json_round_trips_deterministic_subset() {
+        let s = StatsSnapshot {
+            circuit_evals: 7,
+            sta_calls: 9,
+            cache_hits: 3,
+            cache_misses: 4,
+            incremental_commits: 2,
+            incremental_gates: 40,
+            sta_fallbacks: 1,
+            phase_nanos: [1, 2, 3, 4], // nondeterministic: must not survive
+            store_writes: 5,           // nondeterministic: must not survive
+            ..StatsSnapshot::default()
+        };
+        let back = stats_from_json(&stats_to_json(&s)).unwrap();
+        assert_eq!(back.circuit_evals, 7);
+        assert_eq!(back.sta_calls, 9);
+        assert_eq!(back.incremental_gates, 40);
+        assert_eq!(back.phase_nanos, [0; 4]);
+        assert_eq!(back.store_writes, 0);
+    }
+
+    #[test]
+    fn suite_source_round_trip_keeps_circuit() {
+        let req = optimize_request();
+        assert_eq!(req.spec.source, Source::Suite("c17".to_string()));
+    }
+}

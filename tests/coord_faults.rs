@@ -1,0 +1,183 @@
+//! The `coord.worker.lost` fault drill: every worker endpoint's first
+//! shard dispatch connects and then drops without sending the request —
+//! the network-drop flavor of losing a worker. The coordinator must
+//! observe each drop as a transient failure, release the lease, requeue
+//! the shard, and still merge a final result bit-identical to the
+//! single-process reference.
+//!
+//! The fault registry is process-global, so this drill runs in its own
+//! test binary and (like the other drills) under `--test-threads=1`.
+
+#![cfg(feature = "faults")]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use minpower_coord::{merge, spec::CoordSpec, CoordServer};
+use minpower_core::json::{self, Value};
+use minpower_engine::faults;
+use minpower_serve::{Server, ServerHandle};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "minpower-coord-fault-{name}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn start_worker(
+    shared: &Path,
+    name: &str,
+) -> (
+    String,
+    ServerHandle,
+    std::thread::JoinHandle<minpower_serve::DrainOutcome>,
+) {
+    let server = Server::bind(minpower_serve::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        state_dir: scratch_dir(name),
+        worker: true,
+        shared_dir: Some(shared.to_path_buf()),
+        ..minpower_serve::Config::default()
+    })
+    .expect("bind worker");
+    let addr = server.local_addr().expect("worker addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, handle, thread)
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let split = text.find("\r\n\r\n").expect("header terminator");
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {text:?}"));
+    (status, text[split + 4..].to_string())
+}
+
+fn strip_job_id(doc: &Value) -> Value {
+    let Value::Obj(fields) = doc else {
+        panic!("merged result is not an object");
+    };
+    Value::Obj(
+        fields
+            .iter()
+            .filter(|(name, _)| name != "job")
+            .cloned()
+            .collect(),
+    )
+}
+
+#[test]
+fn dropped_dispatches_are_reassigned_and_merge_bit_identically() {
+    let shared = scratch_dir("lost-shared");
+    let workers: Vec<_> = (0..3)
+        .map(|i| start_worker(&shared, &format!("lost-w{i}")))
+        .collect();
+
+    // Every endpoint's dispatch 0 connects and drops: with three shards
+    // queued at submit, each dispatcher loses its first shard and must
+    // requeue it (possibly onto a sibling).
+    faults::arm("coord.worker.lost", faults::Trigger::OnIndices(vec![0]));
+
+    let server = CoordServer::bind(minpower_coord::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: workers.iter().map(|(addr, _, _)| addr.clone()).collect(),
+        store_dir: shared.clone(),
+        lease_ttl: 5.0,
+        dispatch_timeout: 120.0,
+        ..minpower_coord::Config::default()
+    })
+    .expect("bind coordinator");
+    let coord_addr = server.local_addr().expect("coord addr").to_string();
+    let coord_handle = server.handle();
+    let coord_thread = std::thread::spawn(move || server.run());
+
+    let submission = r#"{"suite":["c17","s27","c17"],"fc":2.5e8,"steps":6}"#;
+    let (status, body) = http(&coord_addr, "POST", "/jobs", submission);
+    assert_eq!(status, 202, "{body}");
+
+    // Await the terminal state.
+    let started = Instant::now();
+    let doc = loop {
+        let (status, body) = http(&coord_addr, "GET", "/jobs/1", "");
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        let state = doc
+            .as_obj("status")
+            .and_then(|o| o.req("status"))
+            .and_then(|v| v.as_str("status"))
+            .unwrap()
+            .to_string();
+        if state != "running" {
+            break doc;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(120),
+            "job wedged: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    assert!(
+        faults::fired_count("coord.worker.lost") >= 1,
+        "the drill never fired"
+    );
+    faults::disarm("coord.worker.lost");
+
+    let obj = doc.as_obj("status").unwrap();
+    assert_eq!(
+        obj.req("status").unwrap().as_str("s").unwrap(),
+        "done",
+        "dropped dispatches must not fail the job: {:?}",
+        obj.opt("error").map(Value::render)
+    );
+    assert_eq!(
+        obj.req("completed").unwrap().as_u64("completed").unwrap(),
+        3,
+        "no shard may be lost"
+    );
+    let distributed = obj.req("result").unwrap();
+
+    let spec = CoordSpec::from_json(&json::parse(submission).unwrap()).unwrap();
+    let (local, local_stats) = merge::run_local(&spec, 50_000).unwrap();
+    assert_eq!(
+        strip_job_id(distributed).render(),
+        strip_job_id(&local).render(),
+        "post-fault merge must be bit-identical to the local run"
+    );
+    assert_eq!(merge::stats_of(distributed).unwrap(), local_stats);
+
+    coord_handle.shutdown();
+    let _ = coord_thread.join().expect("coordinator thread");
+    for (_, handle, thread) in workers {
+        handle.shutdown();
+        let _ = thread.join().expect("worker thread");
+    }
+}

@@ -119,9 +119,10 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
 }
 
 /// Submits `submission` and blocks until the job is done; returns the
-/// wall time and the merged result with the coordinator-assigned `job`
-/// id dropped (so results from different runs compare equal).
-fn run_distributed(fleet: &Fleet, submission: &str) -> (Duration, Value) {
+/// wall time, the coordinator-assigned job id, and the merged result
+/// with the `job` id dropped (so results from different runs compare
+/// equal).
+fn run_distributed(fleet: &Fleet, submission: &str) -> (Duration, u64, Value) {
     let t0 = Instant::now();
     let (status, body) = http(&fleet.coord_addr, "POST", "/jobs", submission);
     assert_eq!(status, 202, "{body}");
@@ -138,7 +139,7 @@ fn run_distributed(fleet: &Fleet, submission: &str) -> (Duration, Value) {
         match obj.req("status").unwrap().as_str("s").unwrap() {
             "running" => std::thread::sleep(Duration::from_millis(5)),
             "done" => {
-                return (t0.elapsed(), strip_job_id(obj.req("result").unwrap()));
+                return (t0.elapsed(), id, strip_job_id(obj.req("result").unwrap()));
             }
             other => panic!("job {id} ended {other}: {body}"),
         }
@@ -207,28 +208,51 @@ fn main() {
     let local_doc = strip_job_id(&local_doc);
     println!("{:<22} {single:>10.2?} {:>7.2}x", "single process", 1.0);
 
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut rows = Vec::new();
     let mut merge_overhead = Duration::ZERO;
     for &count in &worker_counts {
         let shared = scratch_dir(&format!("{count}w"));
+        let t_spawn = Instant::now();
         let fleet = start_fleet(&shared, count, &format!("{count}w"));
-        let (wall, doc) = run_distributed(&fleet, &submission);
+        let spawn = t_spawn.elapsed();
+        // A throwaway warmup job absorbs the per-worker first-request
+        // overhead (lazy engine init, page-faulting the binary, store
+        // directory creation) that used to land inside the measured run
+        // and push every speedup below 1x; it is timed and reported, not
+        // folded into the scaling number.
+        let (warmup, _, _) = run_distributed(&fleet, "{\"suite\":[\"c17\"],\"fc\":2.5e8}");
+        let (wall, job_id, doc) = run_distributed(&fleet, &submission);
         assert_eq!(
             doc.render(),
             local_doc.render(),
             "distributed run with {count} workers diverged from single process"
         );
-        merge_overhead = time_merge(&shared, &spec, 1, shards);
+        merge_overhead = time_merge(&shared, &spec, job_id, shards);
         stop_fleet(fleet);
         let speedup = single.as_secs_f64() / wall.as_secs_f64().max(1e-12);
         println!(
             "{:<22} {wall:>10.2?} {speedup:>7.2}x",
             format!("{count} workers")
         );
+        // Scaling is only observable when the host can actually run the
+        // workers concurrently; on fewer cores than workers the wall
+        // time can only show dispatch overhead, so no floor is asserted.
+        if !smoke && count >= 2 && cpus >= count {
+            assert!(
+                speedup >= 1.0,
+                "{count} workers slower than single process ({speedup:.2}x) on {cpus} cpus"
+            );
+        }
         rows.push(Value::Obj(vec![
             ("workers".to_string(), Value::Int(count as u64)),
             ("wall_secs".to_string(), Value::Float(wall.as_secs_f64())),
             ("speedup".to_string(), Value::Float(speedup)),
+            ("spawn_secs".to_string(), Value::Float(spawn.as_secs_f64())),
+            (
+                "warmup_secs".to_string(),
+                Value::Float(warmup.as_secs_f64()),
+            ),
         ]));
         let _ = std::fs::remove_dir_all(&shared);
     }
@@ -242,16 +266,11 @@ fn main() {
             "schema".to_string(),
             Value::Str("minpower-bench-scaling".to_string()),
         ),
-        ("version".to_string(), Value::Int(1)),
+        ("version".to_string(), Value::Int(2)),
         ("smoke".to_string(), Value::Bool(smoke)),
         // Speedup is bounded by the host: on a single-core runner the
         // distributed wall time can only show the dispatch overhead.
-        (
-            "cpus".to_string(),
-            Value::Int(
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64,
-            ),
-        ),
+        ("cpus".to_string(), Value::Int(cpus as u64)),
         (
             "workload".to_string(),
             Value::Obj(vec![

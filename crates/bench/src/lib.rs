@@ -94,7 +94,8 @@ pub fn table_suite(fast: bool) -> Vec<Netlist> {
     if fast {
         vec![
             s27(),
-            synthesize(&spec_by_name("s298").expect("s298 in suite")),
+            synthesize(&spec_by_name("s298").expect("s298 in suite"))
+                .expect("suite specs are valid"),
         ]
     } else {
         paper_suite()
@@ -960,6 +961,7 @@ pub fn circuit_by_name(name: &str) -> Netlist {
         s27()
     } else {
         synthesize(&spec_by_name(name).unwrap_or_else(|| panic!("unknown circuit `{name}`")))
+            .expect("suite specs are valid")
     }
 }
 

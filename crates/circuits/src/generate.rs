@@ -3,6 +3,40 @@
 use minpower_engine::SplitMix64;
 use minpower_netlist::{GateKind, Netlist, NetlistBuilder};
 
+/// Why a [`BenchmarkSpec`] cannot be realized as a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The spec asked for a zero logic depth; at least one level of logic
+    /// is required.
+    ZeroDepth,
+    /// Fewer gates than levels: every level needs at least one gate for
+    /// the requested depth to be realized.
+    TooFewGates {
+        /// Requested logic gate count.
+        gates: usize,
+        /// Requested logic depth.
+        depth: usize,
+    },
+    /// The spec asked for zero primary inputs; level-1 gates would have
+    /// nothing to read.
+    NoInputs,
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::ZeroDepth => write!(f, "depth must be at least 1"),
+            GenerateError::TooFewGates { gates, depth } => write!(
+                f,
+                "need at least one gate per level ({gates} gates, depth {depth})"
+            ),
+            GenerateError::NoInputs => write!(f, "need at least one primary input"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
 /// Prescription for a synthetic benchmark circuit.
 ///
 /// The generator builds the network level by level: every gate at level
@@ -40,35 +74,79 @@ impl BenchmarkSpec {
             seed,
         }
     }
+
+    /// A Rent's-rule-shaped spec for large synthetic netlists: terminal
+    /// count follows `T = t · G^p` with the classic random-logic
+    /// coefficients `t = 4`, `p = 0.6`, split two-thirds inputs to
+    /// one-third outputs, and logic depth grows logarithmically in the
+    /// gate count (`≈ 1.9 · ln G`) as mapped random logic does. This is
+    /// the generator mode used to scale evaluation-kernel benchmarks to
+    /// 10⁵–10⁶ gates with realistic fanout sharing and I/O pressure.
+    ///
+    /// Deterministic for a given `(name, gates)`; equal specs generate
+    /// identical netlists.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use minpower_circuits::{synthesize, BenchmarkSpec};
+    /// let spec = BenchmarkSpec::rent("r2k", 2000);
+    /// let n = synthesize(&spec).unwrap();
+    /// assert_eq!(n.logic_gate_count(), 2000);
+    /// ```
+    pub fn rent(name: &str, gates: usize) -> Self {
+        let g = gates.max(1) as f64;
+        let terminals = 4.0 * g.powf(0.6);
+        let inputs = ((terminals * 2.0 / 3.0).ceil() as usize).max(1);
+        let outputs = ((terminals / 3.0).ceil() as usize).max(1);
+        let depth = ((1.9 * g.ln()).round() as usize).clamp(4, gates.max(4));
+        BenchmarkSpec::new(name, gates, inputs, outputs, depth)
+    }
+
+    /// Checks that the spec can be realized, returning the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// The corresponding [`GenerateError`] for a zero depth, fewer gates
+    /// than levels, or zero inputs.
+    pub fn validate(&self) -> Result<(), GenerateError> {
+        if self.depth < 1 {
+            return Err(GenerateError::ZeroDepth);
+        }
+        if self.gates < self.depth {
+            return Err(GenerateError::TooFewGates {
+                gates: self.gates,
+                depth: self.depth,
+            });
+        }
+        if self.inputs < 1 {
+            return Err(GenerateError::NoInputs);
+        }
+        Ok(())
+    }
 }
 
 /// Generates the netlist described by `spec`.
 ///
 /// Deterministic: the same spec always yields the same netlist.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the spec is degenerate (`gates < depth`, no inputs, or zero
-/// depth) — such shapes cannot be realized.
+/// [`GenerateError`] if the spec is degenerate (`gates < depth`, no
+/// inputs, or zero depth) — such shapes cannot be realized.
 ///
 /// # Example
 ///
 /// ```
 /// use minpower_circuits::{synthesize, BenchmarkSpec};
 /// let spec = BenchmarkSpec::new("demo", 50, 8, 6, 7);
-/// let n = synthesize(&spec);
+/// let n = synthesize(&spec).unwrap();
 /// assert_eq!(n.logic_gate_count(), 50);
 /// assert_eq!(n.depth(), 7);
 /// ```
-pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
-    assert!(spec.depth >= 1, "depth must be at least 1");
-    assert!(
-        spec.gates >= spec.depth,
-        "need at least one gate per level ({} gates, depth {})",
-        spec.gates,
-        spec.depth
-    );
-    assert!(spec.inputs >= 1, "need at least one primary input");
+pub fn synthesize(spec: &BenchmarkSpec) -> Result<Netlist, GenerateError> {
+    spec.validate()?;
 
     let mut rng = SplitMix64::new(spec.seed);
     let mut b = NetlistBuilder::new(&spec.name);
@@ -161,7 +239,7 @@ pub fn synthesize(spec: &BenchmarkSpec) -> Netlist {
     // realized on an input→output path.
     b.output(&deepest[0]).expect("deepest gate exists");
 
-    b.finish().expect("generated netlists are acyclic")
+    Ok(b.finish().expect("generated netlists are acyclic"))
 }
 
 fn pick_kind(rng: &mut SplitMix64) -> GateKind {
@@ -187,8 +265,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = synthesize(&spec());
-        let b = synthesize(&spec());
+        let a = synthesize(&spec()).unwrap();
+        let b = synthesize(&spec()).unwrap();
         assert_eq!(a.gate_count(), b.gate_count());
         assert_eq!(
             minpower_netlist::bench::write(&a),
@@ -198,7 +276,7 @@ mod tests {
 
     #[test]
     fn realizes_requested_shape() {
-        let n = synthesize(&spec());
+        let n = synthesize(&spec()).unwrap();
         assert_eq!(n.logic_gate_count(), 120);
         assert_eq!(n.inputs().len(), 17);
         assert_eq!(n.depth(), 9);
@@ -209,8 +287,8 @@ mod tests {
     fn different_seeds_differ() {
         let mut s2 = spec();
         s2.seed ^= 1;
-        let a = synthesize(&spec());
-        let b = synthesize(&s2);
+        let a = synthesize(&spec()).unwrap();
+        let b = synthesize(&s2).unwrap();
         assert_ne!(
             minpower_netlist::bench::write(&a),
             minpower_netlist::bench::write(&b)
@@ -219,7 +297,7 @@ mod tests {
 
     #[test]
     fn no_dead_logic() {
-        let n = synthesize(&spec());
+        let n = synthesize(&spec()).unwrap();
         // Every logic gate either fans out or is a primary output.
         for (i, g) in n.gates().iter().enumerate() {
             if g.fanin().is_empty() {
@@ -236,7 +314,7 @@ mod tests {
 
     #[test]
     fn round_trips_through_bench_format() {
-        let n = synthesize(&spec());
+        let n = synthesize(&spec()).unwrap();
         let text = minpower_netlist::bench::write(&n);
         let back = minpower_netlist::bench::parse(n.name(), &text).unwrap();
         assert_eq!(back.gate_count(), n.gate_count());
@@ -244,8 +322,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one gate per level")]
-    fn degenerate_spec_panics() {
-        let _ = synthesize(&BenchmarkSpec::new("bad", 3, 2, 1, 10));
+    fn degenerate_specs_report_typed_errors() {
+        assert_eq!(
+            synthesize(&BenchmarkSpec::new("bad", 3, 2, 1, 10)).unwrap_err(),
+            GenerateError::TooFewGates {
+                gates: 3,
+                depth: 10
+            }
+        );
+        assert_eq!(
+            synthesize(&BenchmarkSpec::new("bad", 3, 2, 1, 0)).unwrap_err(),
+            GenerateError::ZeroDepth
+        );
+        assert_eq!(
+            synthesize(&BenchmarkSpec::new("bad", 3, 0, 1, 2)).unwrap_err(),
+            GenerateError::NoInputs
+        );
+        // The messages survive in the Display impl for CLI surfaces.
+        assert!(GenerateError::ZeroDepth.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn rent_spec_scales_terminals_sublinearly() {
+        let small = BenchmarkSpec::rent("r", 1000);
+        let large = BenchmarkSpec::rent("r", 100_000);
+        assert!(small.validate().is_ok() && large.validate().is_ok());
+        // 100x the gates, well under 100x the terminals (p = 0.6).
+        let t = |s: &BenchmarkSpec| s.inputs + s.outputs;
+        assert!(t(&large) < 20 * t(&small));
+        assert!(large.depth > small.depth);
+        let n = synthesize(&BenchmarkSpec::rent("r", 1500)).unwrap();
+        assert_eq!(n.logic_gate_count(), 1500);
+        assert_eq!(n.depth(), BenchmarkSpec::rent("r", 1500).depth);
     }
 }

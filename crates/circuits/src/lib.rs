@@ -34,5 +34,5 @@ pub mod canonical;
 mod generate;
 mod suite;
 
-pub use generate::{synthesize, BenchmarkSpec};
+pub use generate::{synthesize, BenchmarkSpec, GenerateError};
 pub use suite::{c17, circuit, load_bench_file, paper_suite, s27, spec_by_name, specs};

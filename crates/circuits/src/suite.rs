@@ -116,7 +116,7 @@ pub fn circuit(name: &str) -> Option<Netlist> {
     if name == "s27" {
         Some(s27())
     } else {
-        spec_by_name(name).map(|spec| synthesize(&spec))
+        spec_by_name(name).map(|spec| synthesize(&spec).expect("suite specs are valid"))
     }
 }
 
@@ -124,7 +124,11 @@ pub fn circuit(name: &str) -> Option<Netlist> {
 /// by the synthetic stand-ins, in ascending size order.
 pub fn paper_suite() -> Vec<Netlist> {
     let mut suite = vec![s27()];
-    suite.extend(specs().iter().map(synthesize));
+    suite.extend(
+        specs()
+            .iter()
+            .map(|s| synthesize(s).expect("suite specs are valid")),
+    );
     suite
 }
 
@@ -179,7 +183,7 @@ mod tests {
     #[test]
     fn stand_ins_match_their_specs() {
         for spec in specs() {
-            let n = synthesize(&spec);
+            let n = synthesize(&spec).unwrap();
             assert_eq!(n.logic_gate_count(), spec.gates, "{}", spec.name);
             assert_eq!(n.inputs().len(), spec.inputs, "{}", spec.name);
             assert_eq!(n.depth(), spec.depth, "{}", spec.name);

@@ -200,7 +200,9 @@ fn print_usage() {
          engine flags (any command): --threads N (default: all cores),\n\
          \x20 --no-cache (disable probe memoization),\n\
          \x20 --no-incremental (dense recomputation in the sizing loops;\n\
-         \x20 bit-identical results, diagnostic/benchmark use)\n\
+         \x20 bit-identical results, diagnostic/benchmark use),\n\
+         \x20 --no-soa (scalar gate-by-gate width sweeps instead of the\n\
+         \x20 batched SoA kernel; bit-identical results)\n\
          \n\
          run control (optimize): --time-limit SECS stops the search at the\n\
          \x20 next probe once the soft deadline passes; Ctrl-C stops the same\n\
@@ -218,7 +220,8 @@ fn print_usage() {
 }
 
 /// Installs the process-wide evaluation engine from the global
-/// `--threads` / `--no-cache` / `--no-incremental` flags. Must run before
+/// `--threads` / `--no-cache` / `--no-incremental` / `--no-soa` flags.
+/// Must run before
 /// the first optimization — the first probe materializes the default
 /// context.
 fn install_engine(flags: &Flags<'_>) -> Result<(), String> {
@@ -233,7 +236,8 @@ fn install_engine(flags: &Flags<'_>) -> Result<(), String> {
     };
     minpower::EvalContext::install(
         minpower::EvalContext::new(threads, capacity)
-            .with_incremental(!flags.has("--no-incremental")),
+            .with_incremental(!flags.has("--no-incremental"))
+            .with_soa(!flags.has("--no-soa")),
     );
     Ok(())
 }
@@ -250,10 +254,10 @@ struct Flags<'a> {
 }
 
 /// Flags that take no value; every other `--flag` consumes one token.
-const BOOLEAN_FLAGS: &[&str] = &["--no-cache", "--no-incremental", "--worker"];
+const BOOLEAN_FLAGS: &[&str] = &["--no-cache", "--no-incremental", "--no-soa", "--worker"];
 
 /// Evaluation-engine flags accepted by every command.
-const ENGINE_FLAGS: &[&str] = &["--threads", "--no-cache", "--no-incremental"];
+const ENGINE_FLAGS: &[&str] = &["--threads", "--no-cache", "--no-incremental", "--no-soa"];
 
 fn flag_takes_value(flag: &str) -> bool {
     !BOOLEAN_FLAGS.contains(&flag)

@@ -41,6 +41,7 @@ pub struct EvalContext {
     quantizer: Quantizer,
     stats: Arc<EngineStats>,
     incremental: bool,
+    soa: bool,
     /// Probe journal for checkpointing: every distinct probe completed
     /// since [`EvalContext::enable_probe_journal`], in completion order.
     journal: Mutex<Option<Journal>>,
@@ -66,6 +67,7 @@ impl std::fmt::Debug for EvalContext {
                 &self.cache.as_ref().map(EvalCache::capacity),
             )
             .field("incremental", &self.incremental)
+            .field("soa", &self.soa)
             .finish()
     }
 }
@@ -93,6 +95,7 @@ impl EvalContext {
             quantizer: Quantizer::default(),
             stats: Arc::new(EngineStats::new()),
             incremental: true,
+            soa: true,
             journal: Mutex::new(None),
             probe_seq: AtomicU64::new(0),
         }
@@ -112,6 +115,23 @@ impl EvalContext {
     /// layer (default `true`).
     pub fn incremental(&self) -> bool {
         self.incremental
+    }
+
+    /// Enables or disables the levelized structure-of-arrays kernel with
+    /// batched width probes in the sizing sweeps (the CLI's `--no-soa`
+    /// escape hatch). Like `incremental`, the SoA and scalar paths are
+    /// bit-identical — this toggles *how* a probe is computed, never its
+    /// result — so the flag deliberately does **not** enter the
+    /// probe-cache salt.
+    pub fn with_soa(mut self, soa: bool) -> Self {
+        self.soa = soa;
+        self
+    }
+
+    /// Whether the width-sizing sweeps run on the batched SoA kernel
+    /// (default `true`).
+    pub fn soa(&self) -> bool {
+        self.soa
     }
 
     /// The process-wide context. First use materializes the default

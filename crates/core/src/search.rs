@@ -25,7 +25,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use minpower_engine::stats::Phase;
-use minpower_models::{CircuitModel, Design, EnergyBreakdown};
+use minpower_models::{CircuitModel, Design, EnergyBreakdown, SizeScratch, SoaKernel};
 use minpower_netlist::{GateId, GateKind, Netlist};
 use minpower_timing::incremental::{sink_critical, virtual_sinks};
 
@@ -168,6 +168,11 @@ pub(crate) fn golden_section(
     }
 }
 
+/// Budget derating applied by the width bisection: each gate is sized to
+/// meet `budget × MARGIN`, absorbing the load-coupling slack the
+/// fixed-point sweeps leave behind.
+const MARGIN: f64 = 0.97;
+
 /// Outcome of sizing all widths at one `(V_dd, V_ts)` probe.
 #[derive(Debug, Clone)]
 pub(crate) struct Sized {
@@ -189,6 +194,10 @@ pub(crate) struct Sizer<'a> {
     sizing: SizingMethod,
     ctx: Arc<EvalContext>,
     salt: u64,
+    /// Levelized SoA evaluation kernel for the width sweeps, built once
+    /// per sizer when the context enables it. `None` routes every sweep
+    /// through the scalar gate-by-gate path.
+    soa: Option<SoaKernel>,
 }
 
 impl<'a> Sizer<'a> {
@@ -227,6 +236,8 @@ impl<'a> Sizer<'a> {
         );
         let salt =
             crate::context::probe_salt(problem, steps, width_passes, vt_tolerance, policy, sizing);
+        let soa = (ctx.soa() && sizing == SizingMethod::Budgeted)
+            .then(|| SoaKernel::new(problem.model()));
         Sizer {
             problem,
             budgets,
@@ -236,6 +247,7 @@ impl<'a> Sizer<'a> {
             sizing,
             ctx,
             salt,
+            soa,
         }
     }
 
@@ -347,41 +359,6 @@ impl<'a> Sizer<'a> {
             width: vec![tech.w_range.0; n],
         };
 
-        let (w_lo, w_hi) = tech.w_range;
-        // Contract-based sizing: each gate is sized so its delay meets a
-        // slightly derated budget **assuming its drivers run at exactly
-        // their own budgets** (the slope-term input of Eq. A3). By
-        // induction along the topological order, if every gate meets its
-        // contract then every actual delay is within its budget — the
-        // sizing decouples from the iterative delay values and only the
-        // load coupling (sink widths) remains, which the fixed-point
-        // sweeps below resolve.
-        const MARGIN: f64 = 0.97;
-        let search_width = |design: &mut Design, i: usize, max_fanin: f64| {
-            let id = minpower_netlist::GateId::new(i);
-            let target = self.budgets[i] * MARGIN;
-            let mut lo = w_lo;
-            let mut hi = w_hi;
-            let mut feasible_w = None;
-            for _ in 0..self.steps {
-                let w = 0.5 * (lo + hi);
-                design.width[i] = w;
-                let t = model.gate_delay(design, id, max_fanin);
-                if t <= target {
-                    feasible_w = Some(w);
-                    hi = w;
-                } else {
-                    lo = w;
-                }
-            }
-            // Try the extreme ends the bisection never lands on.
-            design.width[i] = w_lo;
-            if model.gate_delay(design, id, max_fanin) <= target {
-                feasible_w = Some(w_lo);
-            }
-            design.width[i] = feasible_w.unwrap_or(w_hi);
-        };
-
         // Fixed-point sweeps over the load coupling: each sweep re-sizes
         // every gate against the sinks' current widths, with the
         // slope-term input taken as the *lesser* of the driver's budget
@@ -390,31 +367,59 @@ impl<'a> Sizer<'a> {
         // don't force pessimistic downstream sizing). Delays are
         // recomputed self-consistently between sweeps (Jacobi style),
         // which keeps the iteration stable; stop when widths settle.
+        //
+        // The sweep itself runs on either the batched SoA kernel or the
+        // scalar gate-by-gate loop — bit-identical by contract, and
+        // cross-checked against each other per sweep in debug builds.
         let max_sweeps = self.width_passes.max(2) + 10;
         let mut last_delays = self.budgets.clone();
         let mut sweep_delays = Vec::new();
+        let mut scratch = self.soa.as_ref().map(|_| SizeScratch::new());
         for _sweep in 0..max_sweeps {
-            let mut max_rel_change = 0.0f64;
-            for &id in netlist.topological_order() {
-                let i = id.index();
-                if netlist.gate(id).kind() == GateKind::Input {
-                    continue;
+            let max_rel_change = match (&self.soa, &mut scratch) {
+                (Some(kernel), Some(scratch)) => {
+                    #[cfg(debug_assertions)]
+                    let reference = {
+                        let mut scalar = design.clone();
+                        let rel = self.scalar_size_sweep(&mut scalar, &last_delays);
+                        (scalar, rel)
+                    };
+                    let rel = kernel.size_sweep(
+                        &mut design,
+                        &self.budgets,
+                        &last_delays,
+                        self.steps,
+                        MARGIN,
+                        scratch,
+                    );
+                    #[cfg(debug_assertions)]
+                    {
+                        assert_eq!(
+                            rel.to_bits(),
+                            reference.1.to_bits(),
+                            "batched SoA sweep: relative width change diverged from scalar"
+                        );
+                        for (i, (b, s)) in design
+                            .width
+                            .iter()
+                            .zip(reference.0.width.iter())
+                            .enumerate()
+                        {
+                            assert_eq!(
+                                b.to_bits(),
+                                s.to_bits(),
+                                "batched SoA sweep diverged from scalar at gate {i}"
+                            );
+                        }
+                    }
+                    rel
                 }
-                let max_fanin = netlist
-                    .gate(id)
-                    .fanin()
-                    .iter()
-                    .map(|f| {
-                        let j = f.index();
-                        self.budgets[j].min(last_delays[j] * 1.05)
-                    })
-                    .fold(0.0, f64::max);
-                let before = design.width[i];
-                search_width(&mut design, i, max_fanin);
-                let rel = (design.width[i] - before).abs() / before.max(w_lo);
-                max_rel_change = max_rel_change.max(rel);
+                _ => self.scalar_size_sweep(&mut design, &last_delays),
+            };
+            match &self.soa {
+                Some(kernel) => kernel.delays_into(&design, &mut sweep_delays),
+                None => model.delays_into(&design, &mut sweep_delays),
             }
-            model.delays_into(&design, &mut sweep_delays);
             std::mem::swap(&mut last_delays, &mut sweep_delays);
             self.ctx.stats().count_sta(1);
             if max_rel_change < 0.005 {
@@ -453,6 +458,69 @@ impl<'a> Sizer<'a> {
             critical_delay: critical,
             feasible,
         }
+    }
+
+    /// One scalar width-sizing sweep: contract-based sizing, gate by gate
+    /// in topological order. Each gate is sized so its delay meets a
+    /// slightly derated budget **assuming its drivers run at exactly
+    /// their own budgets** (the slope-term input of Eq. A3). By induction
+    /// along the topological order, if every gate meets its contract then
+    /// every actual delay is within its budget — the sizing decouples
+    /// from the iterative delay values and only the load coupling (sink
+    /// widths) remains, which the fixed-point sweeps resolve.
+    ///
+    /// Reference semantics for [`SoaKernel::size_sweep`], which batches
+    /// the same bisection level by level; the two are bit-identical (the
+    /// debug cross-check in [`Self::size_uncached`] enforces it).
+    fn scalar_size_sweep(&self, design: &mut Design, last_delays: &[f64]) -> f64 {
+        let model = self.problem.model();
+        let netlist = model.netlist();
+        let (w_lo, w_hi) = model.technology().w_range;
+        let search_width = |design: &mut Design, i: usize, max_fanin: f64| {
+            let id = minpower_netlist::GateId::new(i);
+            let target = self.budgets[i] * MARGIN;
+            let mut lo = w_lo;
+            let mut hi = w_hi;
+            let mut feasible_w = None;
+            for _ in 0..self.steps {
+                let w = 0.5 * (lo + hi);
+                design.width[i] = w;
+                let t = model.gate_delay(design, id, max_fanin);
+                if t <= target {
+                    feasible_w = Some(w);
+                    hi = w;
+                } else {
+                    lo = w;
+                }
+            }
+            // Try the extreme ends the bisection never lands on.
+            design.width[i] = w_lo;
+            if model.gate_delay(design, id, max_fanin) <= target {
+                feasible_w = Some(w_lo);
+            }
+            design.width[i] = feasible_w.unwrap_or(w_hi);
+        };
+        let mut max_rel_change = 0.0f64;
+        for &id in netlist.topological_order() {
+            let i = id.index();
+            if netlist.gate(id).kind() == GateKind::Input {
+                continue;
+            }
+            let max_fanin = netlist
+                .gate(id)
+                .fanin()
+                .iter()
+                .map(|f| {
+                    let j = f.index();
+                    self.budgets[j].min(last_delays[j] * 1.05)
+                })
+                .fold(0.0, f64::max);
+            let before = design.width[i];
+            search_width(design, i, max_fanin);
+            let rel = (design.width[i] - before).abs() / before.max(w_lo);
+            max_rel_change = max_rel_change.max(rel);
+        }
+        max_rel_change
     }
 
     /// The repair loop + final evaluation on dense recomputation: a full

@@ -11,31 +11,31 @@ use crate::energy::EnergyBreakdown;
 
 /// Capacitive load (in unit-width gate inputs) presented by a primary
 /// output: a register/pad input of twice the minimum width.
-const PO_LOAD_WIDTHS: f64 = 2.0;
+pub(crate) const PO_LOAD_WIDTHS: f64 = 2.0;
 
 /// One fanout branch of a gate: its sink and the interconnect attached to
 /// the branch.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct FanoutEdge {
+pub(crate) struct FanoutEdge {
     /// Sink gate index, or `None` for a primary-output load.
-    target: Option<u32>,
+    pub(crate) target: Option<u32>,
     /// Interconnect capacitance of the branch, farads.
-    c_int: f64,
+    pub(crate) c_int: f64,
     /// Interconnect resistance of the branch, ohms.
-    r_int: f64,
+    pub(crate) r_int: f64,
     /// Time of flight down the branch, seconds.
-    flight: f64,
+    pub(crate) flight: f64,
 }
 
 /// Structure-dependent per-gate data, precomputed once.
 #[derive(Debug, Clone)]
-struct GateInfo {
-    is_input: bool,
-    fanin: Vec<u32>,
-    fanin_count: f64,
-    stack: f64,
-    activity: f64,
-    fanout: Vec<FanoutEdge>,
+pub(crate) struct GateInfo {
+    pub(crate) is_input: bool,
+    pub(crate) fanin: Vec<u32>,
+    pub(crate) fanin_count: f64,
+    pub(crate) stack: f64,
+    pub(crate) activity: f64,
+    pub(crate) fanout: Vec<FanoutEdge>,
 }
 
 /// Per-gate result of one design evaluation.
@@ -76,10 +76,10 @@ impl CircuitEval {
 /// `O(M³)` complexity accounting.
 #[derive(Debug, Clone)]
 pub struct CircuitModel {
-    netlist: Netlist,
-    tech: Technology,
-    info: Vec<GateInfo>,
-    topo: Vec<u32>,
+    pub(crate) netlist: Netlist,
+    pub(crate) tech: Technology,
+    pub(crate) info: Vec<GateInfo>,
+    pub(crate) topo: Vec<u32>,
 }
 
 impl CircuitModel {

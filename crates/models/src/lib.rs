@@ -54,7 +54,9 @@ mod circuit;
 mod design;
 mod energy;
 mod short_circuit;
+pub mod soa;
 
 pub use circuit::{CircuitEval, CircuitModel, EnergyLedger, GateEval};
 pub use design::Design;
 pub use energy::EnergyBreakdown;
+pub use soa::{SizeScratch, SoaKernel};

@@ -46,6 +46,7 @@ mod builder;
 mod error;
 mod gate;
 mod graph;
+pub mod soa;
 mod stats;
 pub mod transform;
 pub mod verilog;
@@ -54,4 +55,5 @@ pub use builder::NetlistBuilder;
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
 pub use graph::Netlist;
+pub use soa::LevelizedCsr;
 pub use stats::NetlistStats;

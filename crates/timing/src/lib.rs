@@ -43,6 +43,7 @@ mod delay_paths;
 mod event_sim;
 pub mod incremental;
 mod kpaths;
+pub mod soa;
 mod sta;
 
 pub use criticality::Criticality;

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         let spec = minpower::circuits::spec_by_name(&circuit)
             .ok_or_else(|| format!("unknown circuit `{circuit}`"))?;
-        minpower::circuits::synthesize(&spec)
+        minpower::circuits::synthesize(&spec)?
     };
     println!("circuit {}: {}", netlist.name(), netlist.stats());
 

@@ -22,7 +22,7 @@ fn load(arg: &str) -> Result<Netlist, Box<dyn std::error::Error>> {
     } else if arg == "s27" {
         Ok(minpower::circuits::s27())
     } else if let Some(spec) = minpower::circuits::spec_by_name(arg) {
-        Ok(minpower::circuits::synthesize(&spec))
+        Ok(minpower::circuits::synthesize(&spec)?)
     } else {
         Err(format!(
             "unknown circuit `{arg}` (suite: s27, {})",

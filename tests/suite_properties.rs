@@ -32,7 +32,7 @@ proptest! {
 
     #[test]
     fn generated_circuits_have_requested_shape(spec in spec_strategy()) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         prop_assert_eq!(n.logic_gate_count(), spec.gates);
         prop_assert_eq!(n.inputs().len(), spec.inputs);
         prop_assert_eq!(n.depth(), spec.depth);
@@ -41,7 +41,7 @@ proptest! {
 
     #[test]
     fn bench_round_trip_preserves_structure(spec in spec_strategy()) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let text = minpower::netlist::bench::write(&n);
         let back = minpower::netlist::bench::parse(n.name(), &text).expect("round trip");
         prop_assert_eq!(back.gate_count(), n.gate_count());
@@ -51,7 +51,7 @@ proptest! {
 
     #[test]
     fn budgets_never_oversubscribe_any_path(spec in spec_strategy(), tc_ns in 1.0f64..20.0) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let tc = tc_ns * 1e-9;
         let budgets = assign_max_delays(&n, tc);
         prop_assert!(longest_budget_path(&n, &budgets) <= tc * (1.0 + 1e-9));
@@ -66,7 +66,7 @@ proptest! {
 
     #[test]
     fn most_critical_path_agrees_between_dp_and_enumeration(spec in spec_strategy()) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let dp = Criticality::compute(&n);
         let first = KMostCriticalPaths::new(&n).next().expect("at least one path");
         prop_assert_eq!(first.criticality, dp.max_criticality());
@@ -74,7 +74,7 @@ proptest! {
 
     #[test]
     fn enumeration_is_non_increasing(spec in spec_strategy()) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let paths: Vec<_> = KMostCriticalPaths::new(&n).take(25).collect();
         for w in paths.windows(2) {
             prop_assert!(w[0].criticality >= w[1].criticality);
@@ -88,7 +88,7 @@ proptest! {
         vt in 0.15f64..0.5,
         w in 1.0f64..40.0,
     ) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         let design = Design::uniform(&n, vdd, vt, w);
         let eval = model.evaluate(&design, 3.0e8);
@@ -101,7 +101,7 @@ proptest! {
 
     #[test]
     fn activities_stay_physical_on_generated_circuits(spec in spec_strategy()) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let profile = InputActivity::uniform(0.5, 0.4, n.inputs().len());
         let acts = Activities::propagate(&n, &profile);
         for &p in acts.probabilities() {
@@ -115,7 +115,7 @@ proptest! {
     #[test]
     fn bdd_probabilities_match_propagation_exactness_contract(spec in spec_strategy()) {
         use minpower::activity::exact;
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         if n.inputs().len() > 10 {
             return Ok(()); // keep the enumeration cross-check cheap
         }
@@ -131,7 +131,7 @@ proptest! {
     #[test]
     fn bdd_sat_count_matches_truth_table(spec in spec_strategy()) {
         use minpower::bdd::{build_outputs, Bdd};
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let n_in = n.inputs().len();
         if n_in > 10 {
             return Ok(());
@@ -154,7 +154,7 @@ proptest! {
     #[test]
     fn verilog_round_trip_preserves_function(spec in spec_strategy()) {
         use minpower::netlist::transform::equivalent_by_simulation;
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let text = minpower::netlist::verilog::write(&n);
         let back = minpower::netlist::verilog::parse(&text).expect("round trip");
         prop_assert_eq!(back.logic_gate_count(), n.logic_gate_count());
@@ -169,7 +169,7 @@ proptest! {
             buffer_high_fanout, decompose_wide_gates, equivalent_by_simulation,
             max_fanin, max_fanout, sweep_dead_logic,
         };
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let (decomposed, _) = decompose_wide_gates(&n, 2).expect("decompose");
         prop_assert!(max_fanin(&decomposed) <= 2);
         prop_assert!(equivalent_by_simulation(&n, &decomposed, 64, spec.seed | 1));
@@ -190,7 +190,7 @@ proptest! {
         vt in 0.2f64..0.5,
     ) {
         use minpower::timing::{EventSimulator, Sta};
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         let design = Design::uniform(&n, vdd, vt, 8.0);
         let eval = model.evaluate(&design, 3.0e8);
@@ -215,7 +215,7 @@ proptest! {
         vt in 0.1f64..0.6,
         w in 1.0f64..100.0,
     ) {
-        let n = synthesize(&spec);
+        let n = synthesize(&spec).unwrap();
         let model = CircuitModel::with_uniform_activity(&n, Technology::dac97(), 0.5, 0.3);
         let design = Design::uniform(&n, vdd, vt, w);
         let e = model.total_energy(&design, 3.0e8);

@@ -1,0 +1,199 @@
+//! Closed-loop service latency under concurrent load: an in-process
+//! `minpower serve` instance driven by a handful of client threads, each
+//! submitting a small optimize job and polling it to completion before
+//! submitting the next — the serving path's end-to-end latency
+//! distribution rather than the optimizer's raw throughput.
+//!
+//! Reported per run:
+//!
+//! * **job p50/p99** — submit-to-`done` wall time over all jobs;
+//! * **metrics p50/p99** — `GET /metrics` round-trip while the load
+//!   runs (the observability path must stay responsive under load);
+//! * **throughput** — completed jobs per second of wall time.
+//!
+//! Writes `BENCH_service.json` into the workspace root. Plain `Instant`
+//! timing (no external harness — the build is offline). Run with
+//! `cargo bench -p minpower-bench --bench service_latency`
+//! (`-- --smoke` for the CI-sized load).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use minpower_core::json::{self, Value};
+use minpower_serve::Server;
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("minpower-bench-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let split = text.find("\r\n\r\n").expect("header terminator");
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, text[split + 4..].to_string())
+}
+
+/// Submits one job and polls it to a terminal state; returns the
+/// end-to-end latency.
+fn run_job(addr: &str, submission: &str) -> Duration {
+    let t0 = Instant::now();
+    let (status, body) = http(addr, "POST", "/jobs", submission);
+    assert_eq!(status, 202, "{body}");
+    let id = json::parse(&body)
+        .unwrap()
+        .as_obj("accepted")
+        .and_then(|o| o.req("id"))
+        .and_then(|v| v.as_u64("id"))
+        .unwrap();
+    loop {
+        let (_, body) = http(addr, "GET", &format!("/jobs/{id}"), "");
+        let doc = json::parse(&body).expect("status json");
+        let state = doc
+            .as_obj("status")
+            .and_then(|o| o.req("status"))
+            .and_then(|v| v.as_str("status"))
+            .unwrap()
+            .to_string();
+        match state.as_str() {
+            "queued" | "running" => std::thread::sleep(Duration::from_millis(2)),
+            "done" => return t0.elapsed(),
+            other => panic!("job {id} ended {other}: {body}"),
+        }
+    }
+}
+
+/// The `p`-th percentile (0..=100) of `samples`, in seconds.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = (p / 100.0 * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+fn main() {
+    let smoke = minpower_bench::smoke_mode();
+    let (clients, jobs_per_client) = if smoke { (2, 4) } else { (4, 16) };
+    let submission = r#"{"circuit":"c17","fc":2.5e8,"steps":4}"#;
+
+    let server = Server::bind(minpower_serve::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        state_dir: scratch_dir(),
+        ..minpower_serve::Config::default()
+    })
+    .expect("bind service");
+    let addr = Arc::new(server.local_addr().expect("service addr").to_string());
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Closed-loop load: each client drives one job at a time, so the
+    // offered load self-limits to `clients` in-flight jobs and the
+    // latency numbers are queueing-free of coordinated omission.
+    let t0 = Instant::now();
+    let load: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                (0..jobs_per_client)
+                    .map(|_| run_job(&addr, submission).as_secs_f64())
+                    .collect::<Vec<f64>>()
+            })
+        })
+        .collect();
+    // Meanwhile, sample the observability path until the load finishes.
+    let mut metrics_lat = Vec::new();
+    let mut job_lat = Vec::new();
+    let mut pending: Vec<_> = load.into_iter().map(Some).collect();
+    while pending.iter().any(Option::is_some) {
+        let m0 = Instant::now();
+        let (status, _) = http(&addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        metrics_lat.push(m0.elapsed().as_secs_f64());
+        std::thread::sleep(Duration::from_millis(5));
+        for slot in &mut pending {
+            if slot
+                .as_ref()
+                .is_some_and(std::thread::JoinHandle::is_finished)
+            {
+                let thread = slot.take().expect("finished client");
+                job_lat.extend(thread.join().expect("client thread"));
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    handle.shutdown();
+    let _ = server_thread.join();
+
+    let total_jobs = (clients * jobs_per_client) as u64;
+    assert_eq!(job_lat.len() as u64, total_jobs);
+    let job_p50 = percentile(&mut job_lat, 50.0);
+    let job_p99 = percentile(&mut job_lat, 99.0);
+    let met_p50 = percentile(&mut metrics_lat, 50.0);
+    let met_p99 = percentile(&mut metrics_lat, 99.0);
+    let throughput = total_jobs as f64 / wall.as_secs_f64().max(1e-12);
+
+    println!("service latency under {clients} closed-loop clients ({total_jobs} jobs)");
+    println!("{:<18} {:>10} {:>10}", "path", "p50", "p99");
+    println!(
+        "{:<18} {:>9.1}ms {:>9.1}ms",
+        "job submit→done",
+        1e3 * job_p50,
+        1e3 * job_p99
+    );
+    println!(
+        "{:<18} {:>9.2}ms {:>9.2}ms",
+        "GET /metrics",
+        1e3 * met_p50,
+        1e3 * met_p99
+    );
+    println!("throughput: {throughput:.1} jobs/s over {wall:.2?}");
+
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let report = Value::Obj(vec![
+        (
+            "schema".to_string(),
+            Value::Str("minpower-bench-service".to_string()),
+        ),
+        ("version".to_string(), Value::Int(1)),
+        ("smoke".to_string(), Value::Bool(smoke)),
+        ("cpus".to_string(), Value::Int(cpus as u64)),
+        ("clients".to_string(), Value::Int(clients as u64)),
+        ("jobs".to_string(), Value::Int(total_jobs)),
+        ("wall_secs".to_string(), Value::Float(wall.as_secs_f64())),
+        (
+            "throughput_jobs_per_sec".to_string(),
+            Value::Float(throughput),
+        ),
+        ("job_p50_secs".to_string(), Value::Float(job_p50)),
+        ("job_p99_secs".to_string(), Value::Float(job_p99)),
+        ("metrics_p50_secs".to_string(), Value::Float(met_p50)),
+        ("metrics_p99_secs".to_string(), Value::Float(met_p99)),
+    ]);
+    // Land the artifact at the workspace root whatever the cwd is.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    std::fs::write(&path, format!("{}\n", report.render())).expect("write report");
+    println!("wrote {}", path.display());
+}

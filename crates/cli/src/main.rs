@@ -130,6 +130,53 @@ mod sigint {
     }
 }
 
+/// SIGTERM wiring for the server commands: a fleet rotation (systemd,
+/// Kubernetes, CI) delivers SIGTERM expecting a graceful drain — the
+/// server refuses new work but finishes what is in flight, then exits.
+/// A second SIGTERM falls back to the default disposition (immediate
+/// termination), same escalation shape as Ctrl-C.
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static TOKEN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    #[cfg(unix)]
+    mod imp {
+        const SIGTERM: i32 = 15;
+        const SIG_DFL: usize = 0;
+
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        extern "C" fn on_sigterm(_sig: i32) {
+            if let Some(token) = super::TOKEN.get() {
+                token.store(true, Ordering::Relaxed);
+            }
+            unsafe { signal(SIGTERM, SIG_DFL) };
+        }
+
+        use super::*;
+
+        pub fn install() {
+            unsafe { signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize) };
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod imp {
+        pub fn install() {}
+    }
+
+    /// Arms SIGTERM to set `token`. Safe to call once per process.
+    pub fn install(token: Arc<AtomicBool>) {
+        if TOKEN.set(token).is_ok() {
+            imp::install();
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -190,7 +237,9 @@ fn print_usage() {
          \x20                   [--worker --shared-dir DIR]\n\
          \x20 minpower coord    --workers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
          \x20                   [--state-dir DIR] [--lease-ttl SECS]\n\
-         \x20                   [--dispatch-timeout SECS] [--max-gates N]\n\
+         \x20                   [--dispatch-timeout SECS] [--connect-timeout SECS]\n\
+         \x20                   [--retry-budget N] [--hedge-delay-floor SECS]\n\
+         \x20                   [--job-deadline SECS] [--max-gates N]\n\
          \x20 minpower baseline <circuit> [--fc HZ] [--activity A] [--vt V]\n\
          \x20 minpower stats    <circuit>\n\
          \x20 minpower budget   <circuit> [--fc HZ]\n\
@@ -616,6 +665,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::Other(format!("local_addr: {e}")))?;
     sigint::install(server.stop_token());
+    sigterm::install(server.graceful_token());
     println!("listening on {addr}");
     match server.run() {
         minpower_serve::DrainOutcome::Clean => Ok(()),
@@ -633,9 +683,12 @@ fn coord(args: &[String]) -> Result<(), CliError> {
         "--state-dir",
         "--lease-ttl",
         "--dispatch-timeout",
+        "--connect-timeout",
         "--max-gates",
         "--worker-failure-limit",
-        "--shard-attempt-limit",
+        "--retry-budget",
+        "--hedge-delay-floor",
+        "--job-deadline",
     ])?;
     let workers: Vec<String> = flags
         .get("--workers")
@@ -664,8 +717,10 @@ fn coord(args: &[String]) -> Result<(), CliError> {
         "--worker-failure-limit",
         config.worker_failure_limit as usize,
     )? as u32;
-    config.shard_attempt_limit =
-        flags.get_usize("--shard-attempt-limit", config.shard_attempt_limit as usize)? as u32;
+    config.retry_budget = flags.get_usize("--retry-budget", config.retry_budget as usize)? as u32;
+    config.connect_timeout = flags.get_f64("--connect-timeout", config.connect_timeout)?;
+    config.hedge_delay_floor = flags.get_f64("--hedge-delay-floor", config.hedge_delay_floor)?;
+    config.job_deadline = flags.get_f64("--job-deadline", config.job_deadline)?;
     if let Some(dir) = flags.get("--state-dir") {
         config.store_dir = dir.into();
     }
@@ -679,6 +734,22 @@ fn coord(args: &[String]) -> Result<(), CliError> {
             "--dispatch-timeout must be a positive number of seconds".to_string(),
         ));
     }
+    if !(config.connect_timeout.is_finite() && config.connect_timeout > 0.0) {
+        return Err(CliError::Usage(
+            "--connect-timeout must be a positive number of seconds".to_string(),
+        ));
+    }
+    if !(config.hedge_delay_floor.is_finite() && config.hedge_delay_floor >= 0.0) {
+        return Err(CliError::Usage(
+            "--hedge-delay-floor must be a finite, non-negative number of seconds".to_string(),
+        ));
+    }
+    if !(config.job_deadline.is_finite() && config.job_deadline >= 0.0) {
+        return Err(CliError::Usage(
+            "--job-deadline must be a finite, non-negative number of seconds (0 disables)"
+                .to_string(),
+        ));
+    }
     minpower_serve::validate_state_dir(&config.store_dir).map_err(CliError::Usage)?;
     let server = minpower_coord::CoordServer::bind(config)
         .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
@@ -686,6 +757,9 @@ fn coord(args: &[String]) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::Other(format!("local_addr: {e}")))?;
     sigint::install(server.stop_token());
+    // The coordinator's drain already leaves undispatched shards pending
+    // and resumable, so SIGTERM and SIGINT share the stop token.
+    sigterm::install(server.stop_token());
     println!("coordinating on {addr}");
     match server.run() {
         minpower_serve::DrainOutcome::Clean => Ok(()),

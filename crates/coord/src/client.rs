@@ -1,17 +1,38 @@
 //! The coordinator's HTTP client: one blocking `POST /shards` per
 //! dispatch, `std::net` only.
 //!
-//! The `coord.worker.lost` fault site lives here: when armed (behind the
-//! engine's `faults` feature), a dispatch connects and then drops the
-//! connection without sending the request — the network-drop flavor of
-//! losing a worker, observed by the dispatcher exactly like a worker
-//! that died, and driving the same lease-release + reassignment path.
+//! Every transport-level fault site lives here, at the exact point in
+//! the dispatch where the real failure would land:
+//!
+//! * `coord.worker.lost` — connects, then drops before sending (indexed
+//!   by the caller's per-endpoint dispatch sequence, for back-compat
+//!   with the PR 6 drill);
+//! * `net.connect.refused` — the connect fails immediately;
+//! * `net.partition` — the connect black-holes until the (bounded)
+//!   connect timeout;
+//! * `net.read.stall` — the request is sent but the response read
+//!   stalls until the (bounded) read timeout: the straggler that hedged
+//!   dispatch exists to rescue;
+//! * `net.response.truncated` — the response arrives cut off mid-stream.
+//!
+//! The `net.*` sites are indexed by a coordinator-wide network sequence
+//! number (`DispatchCall::net_seq`) that increments once per dispatch
+//! across all endpoints, so `OnIndices([k])` fires exactly once per run
+//! no matter which dispatcher wins the race to the k-th dispatch.
 //! (Losing a worker *mid-shard* is exercised by killing a real worker
 //! process; see the loopback integration tests.)
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use minpower_core::json::{self, Value};
+use minpower_engine::faults;
+
+/// Injected stalls and partitions sleep at most this long: the point is
+/// to *produce* a timeout-shaped failure deterministically, not to hold
+/// a drill hostage for a production-sized timeout.
+const INJECTED_DELAY_CAP: f64 = 2.0;
 
 /// Why a dispatch produced no response.
 #[derive(Debug)]
@@ -43,48 +64,94 @@ pub struct Response {
     pub body: String,
 }
 
-/// POSTs `body` to `http://{addr}/shards` and reads the full response
-/// (the worker closes the connection after answering). `seq` is the
-/// caller's dispatch counter, indexing the `coord.worker.lost` fault
-/// trigger deterministically.
+/// One dispatch's parameters.
+pub struct DispatchCall<'a> {
+    /// Worker endpoint (`host:port`).
+    pub addr: &'a str,
+    /// Serialized shard request (the POST body).
+    pub body: &'a str,
+    /// TCP connect timeout, seconds (a black-holed endpoint fails here
+    /// instead of hanging the dispatcher on the OS default).
+    pub connect_timeout_secs: f64,
+    /// Read/write timeout, seconds.
+    pub timeout_secs: f64,
+    /// Per-endpoint dispatch sequence, indexing `coord.worker.lost`.
+    pub seq: u64,
+    /// Coordinator-wide network sequence, indexing the `net.*` sites.
+    pub net_seq: u64,
+    /// Remaining job-deadline budget, seconds; sent as the
+    /// `X-Minpower-Deadline` header so the worker caps its shard's
+    /// `RunControl` soft deadline — no shard outlives its job.
+    pub deadline_secs: Option<f64>,
+}
+
+/// POSTs the shard to `http://{addr}/shards` and reads the full
+/// response (the worker closes the connection after answering).
 ///
 /// # Errors
 ///
 /// [`ClientError`] classifying the transport failure; the dispatcher
 /// treats every variant as "worker lost" and reassigns the shard.
-pub fn post_shard(
-    addr: &str,
-    body: &str,
-    timeout_secs: f64,
-    seq: u64,
-) -> Result<Response, ClientError> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| ClientError::Io(format!("connect {addr}: {e}")))?;
-    if minpower_engine::faults::should_fire("coord.worker.lost", seq) {
+pub fn post_shard(call: &DispatchCall<'_>) -> Result<Response, ClientError> {
+    let addr = call.addr;
+    let connect_timeout = Duration::from_secs_f64(call.connect_timeout_secs.clamp(0.001, 86_400.0));
+    let timeout = Duration::from_secs_f64(call.timeout_secs.clamp(0.001, 86_400.0));
+    if faults::should_fire("net.connect.refused", call.net_seq) {
+        return Err(ClientError::Io(format!(
+            "connect {addr}: connection refused (injected fault)"
+        )));
+    }
+    if faults::should_fire("net.partition", call.net_seq) {
+        std::thread::sleep(connect_timeout.min(Duration::from_secs_f64(INJECTED_DELAY_CAP)));
+        return Err(ClientError::Io(format!(
+            "connect {addr}: timed out (injected partition)"
+        )));
+    }
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| ClientError::Io(format!("resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| ClientError::Io(format!("resolve {addr}: no address")))?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, connect_timeout)
+        .map_err(|e| ClientError::Io(format!("connect {addr}: {e}")))?;
+    if faults::should_fire("coord.worker.lost", call.seq) {
         drop(stream);
         return Err(ClientError::Lost);
     }
-    let timeout = Duration::from_secs_f64(timeout_secs.clamp(0.001, 86_400.0));
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
+    let deadline_header = call
+        .deadline_secs
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .map(|d| format!("X-Minpower-Deadline: {d:.3}\r\n"))
+        .unwrap_or_default();
     let head = format!(
         "POST /shards HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+         Content-Length: {}\r\n{deadline_header}Connection: close\r\n\r\n",
+        call.body.len()
     );
     stream
         .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.write_all(call.body.as_bytes()))
         .map_err(|e| ClientError::Io(format!("send to {addr}: {e}")))?;
+    if faults::should_fire("net.read.stall", call.net_seq) {
+        std::thread::sleep(timeout.min(Duration::from_secs_f64(INJECTED_DELAY_CAP)));
+        return Err(ClientError::Io(format!(
+            "read from {addr}: timed out (injected stall)"
+        )));
+    }
     let mut raw = Vec::new();
     stream
         .read_to_end(&mut raw)
         .map_err(|e| ClientError::Io(format!("read from {addr}: {e}")))?;
+    if faults::should_fire("net.response.truncated", call.net_seq) {
+        raw.truncate(raw.len() / 2);
+    }
     parse_response(&raw)
 }
 
 /// Splits a raw `Connection: close` HTTP response into status + body.
-fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
+pub(crate) fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
     let split = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -100,6 +167,45 @@ fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
         status,
         body: String::from_utf8_lossy(&raw[split + 4..]).into_owned(),
     })
+}
+
+/// Parses an NDJSON event-stream body (`GET /jobs/{id}/events`) into its
+/// event documents, tolerating a truncated final line: a stream cut off
+/// mid-event (worker died, connection reset) yields every complete event
+/// plus a [`ClientError::Protocol`] naming the partial line, never a
+/// panic and never a silently swallowed malformed event.
+///
+/// # Errors
+///
+/// [`ClientError::Protocol`] when any *complete* line is malformed, or
+/// when the stream ends mid-line with unparseable bytes.
+pub fn parse_ndjson_events(body: &str) -> Result<Vec<Value>, ClientError> {
+    let mut events = Vec::new();
+    let terminated = body.ends_with('\n');
+    let lines: Vec<&str> = body.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue; // keep-alive blank lines are fine
+        }
+        match json::parse(line) {
+            Ok(value @ Value::Obj(_)) => events.push(value),
+            Ok(_) => {
+                return Err(ClientError::Protocol(format!(
+                    "event line {} is not an object: `{line}`",
+                    i + 1
+                )))
+            }
+            Err(e) => {
+                let last = i + 1 == lines.len();
+                return Err(ClientError::Protocol(if last && !terminated {
+                    format!("truncated final event line `{line}`")
+                } else {
+                    format!("malformed event line {}: {}", i + 1, e.message)
+                }));
+            }
+        }
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -123,8 +229,35 @@ mod tests {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap().port()
         };
-        match post_shard(&format!("127.0.0.1:{port}"), "{}", 0.5, 0) {
+        let addr = format!("127.0.0.1:{port}");
+        let call = DispatchCall {
+            addr: &addr,
+            body: "{}",
+            connect_timeout_secs: 0.5,
+            timeout_secs: 0.5,
+            seq: 0,
+            net_seq: 0,
+            deadline_secs: None,
+        };
+        match post_shard(&call) {
             Err(ClientError::Io(m)) => assert!(m.contains("connect"), "{m}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolvable_endpoint_is_an_io_error() {
+        let call = DispatchCall {
+            addr: "definitely-not-a-host.invalid:1",
+            body: "{}",
+            connect_timeout_secs: 0.5,
+            timeout_secs: 0.5,
+            seq: 0,
+            net_seq: 0,
+            deadline_secs: None,
+        };
+        match post_shard(&call) {
+            Err(ClientError::Io(m)) => assert!(m.contains("resolve"), "{m}"),
             other => panic!("expected Io error, got {other:?}"),
         }
     }

@@ -11,6 +11,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
+use crate::resilience::Breaker;
+
 /// One dispatchable unit: a `(job, shard)` pair plus its attempt count.
 #[derive(Debug, Clone, Copy)]
 pub struct Task {
@@ -18,9 +20,26 @@ pub struct Task {
     pub job: u64,
     /// Shard index within the job.
     pub shard: u64,
-    /// Dispatch attempts so far (bounded by the config's
-    /// `shard_attempt_limit`).
+    /// Dispatch attempts so far (failures draw down the job's retry
+    /// budget).
     pub attempts: u32,
+    /// A hedged re-dispatch racing a straggling primary: it skips the
+    /// lease claim (the primary's dispatcher holds the lease) and is
+    /// dispatchable while the slot is still `Running`; whichever side
+    /// completes second is discarded as a duplicate.
+    pub hedge: bool,
+}
+
+impl Task {
+    /// A fresh primary (non-hedge) task with zero attempts.
+    pub fn fresh(job: u64, shard: u64) -> Self {
+        Task {
+            job,
+            shard,
+            attempts: 0,
+            hedge: false,
+        }
+    }
 }
 
 struct QueueState {
@@ -110,11 +129,15 @@ pub struct WorkerSlot {
     /// Monotonic dispatch counter, indexing the `coord.worker.lost`
     /// fault trigger per endpoint.
     pub seq: AtomicU64,
+    /// The endpoint's circuit breaker (closed/open/half-open).
+    pub breaker: Breaker,
 }
 
 impl WorkerSlot {
-    /// A fresh, alive endpoint slot.
-    pub fn new(addr: &str) -> Self {
+    /// A fresh, alive endpoint slot whose breaker opens after
+    /// `breaker_threshold` consecutive failures and cools down
+    /// `breaker_cooldown` seconds before probing.
+    pub fn new(addr: &str, breaker_threshold: u32, breaker_cooldown: f64) -> Self {
         WorkerSlot {
             addr: addr.to_string(),
             dispatched: AtomicU64::new(0),
@@ -122,6 +145,7 @@ impl WorkerSlot {
             consecutive: AtomicU32::new(0),
             alive: AtomicBool::new(true),
             seq: AtomicU64::new(0),
+            breaker: Breaker::new(breaker_threshold, breaker_cooldown),
         }
     }
 
@@ -146,11 +170,7 @@ mod tests {
     #[test]
     fn queue_delivers_then_retires_on_close() {
         let q = Arc::new(TaskQueue::default());
-        q.push(Task {
-            job: 1,
-            shard: 0,
-            attempts: 0,
-        });
+        q.push(Task::fresh(1, 0));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().shard, 0);
         let popper = {
@@ -161,18 +181,14 @@ mod tests {
         q.close();
         assert!(popper.join().unwrap().is_none());
         // Post-close pushes are dropped.
-        q.push(Task {
-            job: 1,
-            shard: 1,
-            attempts: 0,
-        });
+        q.push(Task::fresh(1, 1));
         assert!(q.is_empty());
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn worker_slot_tracks_consecutive_failures() {
-        let slot = WorkerSlot::new("127.0.0.1:1");
+        let slot = WorkerSlot::new("127.0.0.1:1", 3, 0.5);
         assert_eq!(slot.record_failure(), 1);
         assert_eq!(slot.record_failure(), 2);
         slot.record_success();

@@ -9,7 +9,9 @@
 //! decision and the phase-two fan-out of a yield job are race-free even
 //! with every dispatcher reporting concurrently.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use minpower_core::jobstore::JobStore;
 use minpower_core::json::{self, Value};
@@ -51,6 +53,14 @@ pub enum Completion {
     NewShards(Vec<u64>),
     /// The job is done; carries the merged final document.
     Done(Value),
+    /// The slot was already done — a duplicate completion discarded
+    /// (shard execution is deterministic, so both documents are
+    /// identical). `hedged` says whether a hedge had been fired for the
+    /// shard, i.e. whether this duplicate is a hedge race's loser.
+    Duplicate {
+        /// Whether this shard had a hedged re-dispatch in flight.
+        hedged: bool,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +74,7 @@ struct Slot {
     request: ShardRequest,
     state: SlotState,
     doc: Option<Value>,
+    hedged: bool,
 }
 
 struct Inner {
@@ -85,11 +96,17 @@ pub struct CoordJob {
     /// Total shards over the job's whole lifetime (phase two included).
     pub total: u64,
     max_gates: usize,
+    admitted: Instant,
+    deadline: Option<Duration>,
+    retry_budget: AtomicU32,
     inner: Mutex<Inner>,
 }
 
 impl CoordJob {
-    /// A freshly admitted job with its phase-one slots planned.
+    /// A freshly admitted job with its phase-one slots planned. The
+    /// deadline clock starts now; the spec's own `deadline` (if any)
+    /// applies unless a default is supplied with
+    /// [`with_default_deadline`](Self::with_default_deadline).
     pub fn new(id: u64, spec: CoordSpec, max_gates: usize) -> Self {
         let slots = spec
             .initial_requests(id)
@@ -98,14 +115,19 @@ impl CoordJob {
                 request,
                 state: SlotState::Pending,
                 doc: None,
+                hedged: false,
             })
             .collect();
         let total = spec.total_shards();
+        let deadline = spec.deadline.map(Duration::from_secs_f64);
         CoordJob {
             id,
             spec,
             total,
             max_gates,
+            admitted: Instant::now(),
+            deadline,
+            retry_budget: AtomicU32::new(u32::MAX),
             inner: Mutex::new(Inner {
                 slots,
                 status: CoordStatus::Running,
@@ -116,6 +138,42 @@ impl CoordJob {
                 completed: 0,
             }),
         }
+    }
+
+    /// Caps the job's transient-failure retry budget (builder style,
+    /// applied at admission).
+    #[must_use]
+    pub fn with_retry_budget(self, budget: u32) -> Self {
+        self.retry_budget.store(budget, Ordering::Relaxed);
+        self
+    }
+
+    /// Applies a default deadline of `secs` seconds when the spec did
+    /// not carry its own (`0` leaves the job deadline-free). The spec's
+    /// explicit `deadline` always wins.
+    #[must_use]
+    pub fn with_default_deadline(mut self, secs: f64) -> Self {
+        if self.deadline.is_none() && secs.is_finite() && secs > 0.0 {
+            self.deadline = Some(Duration::from_secs_f64(secs));
+        }
+        self
+    }
+
+    /// Seconds of deadline budget left: `None` for a deadline-free job,
+    /// `Some(secs)` otherwise — zero or negative once expired.
+    pub fn deadline_remaining(&self) -> Option<f64> {
+        self.deadline
+            .map(|d| d.as_secs_f64() - self.admitted.elapsed().as_secs_f64())
+    }
+
+    /// Draws one retry from the job's budget; `Some(remaining)` on
+    /// success, `None` when the budget is exhausted (the caller fails
+    /// the job).
+    pub fn consume_retry(&self) -> Option<u32> {
+        self.retry_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .ok()
+            .map(|before| before - 1)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -150,6 +208,37 @@ impl CoordJob {
                 .slots
                 .get(index as usize)
                 .is_some_and(|s| s.state == SlotState::Pending)
+    }
+
+    /// Whether shard `index` is still open — pending *or* running — on a
+    /// running job. This is the hedge-dispatch admission check: a hedge
+    /// races a primary that is already `Running`, so `shard_pending`
+    /// would wrongly drop it.
+    pub fn shard_open(&self, index: u64) -> bool {
+        let inner = self.lock();
+        inner.status == CoordStatus::Running
+            && inner
+                .slots
+                .get(index as usize)
+                .is_some_and(|s| s.state != SlotState::Done)
+    }
+
+    /// Marks shard `index` as hedged and logs the hedge event: a second
+    /// dispatch is now racing the straggling primary on `worker`.
+    pub fn record_hedge(&self, index: u64, worker: &str) {
+        let mut inner = self.lock();
+        let Some(slot) = inner.slots.get_mut(index as usize) else {
+            return;
+        };
+        slot.hedged = true;
+        push_event(
+            &mut inner,
+            vec![
+                ("event".to_string(), Value::Str("hedge".to_string())),
+                ("shard".to_string(), Value::Int(index)),
+                ("worker".to_string(), Value::Str(worker.to_string())),
+            ],
+        );
     }
 
     /// Marks shard `index` as running on `worker` and logs the dispatch
@@ -198,9 +287,10 @@ impl CoordJob {
     /// yield job — plans phase two, or — when it was the last shard —
     /// merges the final document.
     ///
-    /// A completion for an already-done slot (a reassignment race both
-    /// sides of which succeeded) is ignored: shard execution is
-    /// deterministic, so both documents are identical anyway.
+    /// A completion for an already-done slot (a reassignment or hedge
+    /// race both sides of which succeeded) is discarded as
+    /// [`Completion::Duplicate`]: shard execution is deterministic, so
+    /// both documents are identical anyway.
     ///
     /// # Errors
     ///
@@ -221,7 +311,9 @@ impl CoordJob {
             return Err(format!("completion for unknown shard {index}"));
         };
         if slot.state == SlotState::Done {
-            return Ok(Completion::Pending);
+            return Ok(Completion::Duplicate {
+                hedged: slot.hedged,
+            });
         }
         let shard_stats = doc
             .as_obj("shard result")
@@ -256,6 +348,7 @@ impl CoordJob {
                 request,
                 state: SlotState::Pending,
                 doc: None,
+                hedged: false,
             }));
             return Ok(Completion::NewShards(indices));
         }
@@ -509,10 +602,47 @@ mod tests {
         job.complete_shard(0, doc.clone(), "w1").unwrap();
         let after_first = evals(&job);
         assert!(matches!(
-            job.complete_shard(0, doc, "w2").unwrap(),
-            Completion::Pending
+            job.complete_shard(0, doc.clone(), "w2").unwrap(),
+            Completion::Duplicate { hedged: false }
         ));
         assert_eq!(evals(&job), after_first, "duplicate must not double-count");
+        // A duplicate on a hedged shard reports itself as the hedge
+        // race's loser, so the dispatcher can count it as wasted work.
+        job.record_hedge(0, "w3");
+        assert!(matches!(
+            job.complete_shard(0, doc, "w3").unwrap(),
+            Completion::Duplicate { hedged: true }
+        ));
+    }
+
+    #[test]
+    fn retry_budget_draws_down_to_exhaustion() {
+        let job = CoordJob::new(1, suite_spec(), 50_000).with_retry_budget(2);
+        assert_eq!(job.consume_retry(), Some(1));
+        assert_eq!(job.consume_retry(), Some(0));
+        assert_eq!(job.consume_retry(), None, "budget exhausted");
+        assert_eq!(job.consume_retry(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn deadlines_tick_down_and_spec_deadline_wins() {
+        let job = CoordJob::new(1, suite_spec(), 50_000);
+        assert_eq!(job.deadline_remaining(), None, "deadline-free by default");
+        let job = CoordJob::new(1, suite_spec(), 50_000).with_default_deadline(30.0);
+        let remaining = job.deadline_remaining().unwrap();
+        assert!(remaining > 29.0 && remaining <= 30.0, "{remaining}");
+        // A spec-level deadline is not overridden by the config default.
+        let spec = CoordSpec::from_json(
+            &json::parse(r#"{"suite":["c17","c17"],"fc":2.5e8,"deadline":5.0}"#).unwrap(),
+        )
+        .unwrap();
+        let job = CoordJob::new(1, spec, 50_000).with_default_deadline(600.0);
+        assert!(job.deadline_remaining().unwrap() <= 5.0);
+        // Open/pending/hedge bookkeeping.
+        assert!(job.shard_open(0));
+        job.mark_running(0, "w1");
+        assert!(!job.shard_pending(0), "running is not pending");
+        assert!(job.shard_open(0), "running is still open for hedging");
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod client;
 pub mod dispatch;
 pub mod job;
 pub mod merge;
+pub mod resilience;
 mod server;
 pub mod spec;
 
@@ -87,17 +88,43 @@ pub struct Config {
     /// Per-dispatch HTTP timeout, seconds: how long a dispatcher waits
     /// for a worker to finish one shard before reassigning it.
     pub dispatch_timeout: f64,
+    /// TCP connect timeout, seconds: a black-holed (partitioned) worker
+    /// endpoint fails a dispatch here instead of hanging the dispatcher
+    /// on the OS connect default.
+    pub connect_timeout: f64,
     /// Maximum accepted request-body size, bytes.
     pub max_body_bytes: usize,
     /// Maximum logic gates per circuit (admission cap, as in the
     /// service).
     pub max_gates: usize,
-    /// Consecutive dispatch failures after which a worker endpoint is
-    /// declared lost and its dispatcher retires.
+    /// Consecutive circuit-breaker opens after which a worker endpoint
+    /// is declared lost and its dispatcher retires.
     pub worker_failure_limit: u32,
-    /// Dispatch attempts per shard before the whole job is failed
-    /// (guards against a shard that kills every worker it touches).
-    pub shard_attempt_limit: u32,
+    /// Per-job retry budget: transient dispatch failures a job may
+    /// absorb (across all its shards) before it is failed — replaces a
+    /// bare per-shard attempt counter, so a burst of failures on one
+    /// shard and a trickle across many are bounded the same way.
+    pub retry_budget: u32,
+    /// First-retry backoff delay, seconds (doubles per attempt with
+    /// deterministic jitter in `[0.5, 1.5)`).
+    pub backoff_base: f64,
+    /// Backoff delay ceiling, seconds.
+    pub backoff_max: f64,
+    /// Consecutive dispatch failures that open a worker's circuit
+    /// breaker.
+    pub breaker_threshold: u32,
+    /// Breaker cooldown before the first half-open probe, seconds
+    /// (doubles per consecutive open, capped at 8x).
+    pub breaker_cooldown: f64,
+    /// Hedge-delay floor, seconds: a straggling dispatch is hedged to a
+    /// second worker after `max(floor, 3 * p95 latency)` — once enough
+    /// latency samples exist and more than one worker is alive.
+    pub hedge_delay_floor: f64,
+    /// Default job deadline, seconds (`0` = none): jobs submitted
+    /// without their own `deadline` fail once this much wall time
+    /// elapses, and the remaining budget rides every dispatch as the
+    /// `X-Minpower-Deadline` header.
+    pub job_deadline: f64,
 }
 
 impl Default for Config {
@@ -108,10 +135,17 @@ impl Default for Config {
             store_dir: PathBuf::from("minpower-coord-state"),
             lease_ttl: 30.0,
             dispatch_timeout: 600.0,
+            connect_timeout: 5.0,
             max_body_bytes: 1 << 20,
             max_gates: 50_000,
             worker_failure_limit: 3,
-            shard_attempt_limit: 6,
+            retry_budget: 64,
+            backoff_base: 0.05,
+            backoff_max: 2.0,
+            breaker_threshold: 2,
+            breaker_cooldown: 0.25,
+            hedge_delay_floor: 0.25,
+            job_deadline: 0.0,
         }
     }
 }

@@ -159,7 +159,7 @@ pub fn run_local(spec: &CoordSpec, max_gates: usize) -> Result<(Value, StatsSnap
             })?;
         match job.complete_shard(index, doc, "local")? {
             Completion::NewShards(indices) => pending.extend(indices),
-            Completion::Pending | Completion::Done(_) => {}
+            Completion::Pending | Completion::Done(_) | Completion::Duplicate { .. } => {}
         }
     }
     let result = job

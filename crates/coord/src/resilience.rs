@@ -1,0 +1,356 @@
+//! RPC resilience primitives for the dispatchers: jittered exponential
+//! backoff, a per-worker circuit breaker, and the latency tracker that
+//! derives hedge delays.
+//!
+//! All three are deliberately wall-clock-light: the backoff *schedule*
+//! is a pure function of `(job, shard, attempt)` — jitter comes from a
+//! [`SplitMix64`] stream, never from entropy — so a failing run replays
+//! the same sleeps; the breaker compares `Instant`s only to pace probe
+//! requests; and the latency tracker keeps a bounded ring of samples so
+//! a long-lived coordinator's hedge delay follows the *recent* latency
+//! distribution, not the all-time one.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use minpower_engine::SplitMix64;
+
+/// Jittered exponential backoff: attempt `n` (1-based) sleeps
+/// `base * 2^(n-1)` scaled by a deterministic jitter factor in
+/// `[0.5, 1.5)`, clamped to `max`.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// First-retry delay, seconds.
+    pub base: f64,
+    /// Delay ceiling, seconds.
+    pub max: f64,
+}
+
+impl BackoffPolicy {
+    /// The sleep before re-dispatching shard `(job, shard)` on attempt
+    /// `attempt` (1-based). Deterministic: the same tuple always backs
+    /// off the same amount, so drills replay exactly.
+    pub fn delay(&self, attempt: u32, job: u64, shard: u64) -> Duration {
+        let attempt = attempt.max(1);
+        let exp = self.base.max(0.0) * 2f64.powi(attempt.min(32) as i32 - 1);
+        let mut rng = SplitMix64::stream(job.wrapping_mul(0x9E37_79B9).wrapping_add(shard), {
+            u64::from(attempt)
+        });
+        let jitter = rng.range_f64(0.5, 1.5);
+        Duration::from_secs_f64((exp * jitter).min(self.max.max(0.0)))
+    }
+}
+
+/// Breaker disposition of one dispatch attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admit {
+    /// Closed: dispatch normally.
+    Yes,
+    /// Half-open: this dispatch is the single probe request.
+    Probe,
+    /// Open: do not dispatch; retry admission after `retry_in` seconds.
+    No {
+        /// Seconds until the cooldown elapses and a probe is admitted.
+        retry_in: f64,
+    },
+}
+
+/// What [`Breaker::on_failure`] observed.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerReport {
+    /// This failure tripped the breaker closed→open (or re-opened a
+    /// half-open breaker whose probe failed).
+    pub opened: bool,
+    /// Consecutive opens without an intervening success — the signal the
+    /// dispatcher uses to declare the worker endpoint lost for good.
+    pub consecutive_opens: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: State,
+    consecutive_failures: u32,
+    consecutive_opens: u32,
+    opened_at: Option<Instant>,
+    cooldown: f64,
+}
+
+/// A per-worker circuit breaker: `threshold` consecutive failures open
+/// it; after a cooldown (doubling per consecutive open, capped at 8x)
+/// one probe request is admitted; a probe success closes the breaker, a
+/// probe failure re-opens it.
+pub struct Breaker {
+    threshold: u32,
+    base_cooldown: f64,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and cools down `cooldown_secs` before its first probe.
+    pub fn new(threshold: u32, cooldown_secs: f64) -> Self {
+        Breaker {
+            threshold: threshold.max(1),
+            base_cooldown: cooldown_secs.max(0.0),
+            inner: Mutex::new(BreakerInner {
+                state: State::Closed,
+                consecutive_failures: 0,
+                consecutive_opens: 0,
+                opened_at: None,
+                cooldown: cooldown_secs.max(0.0),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Asks whether a dispatch may proceed right now. An open breaker
+    /// whose cooldown has elapsed transitions to half-open and admits
+    /// exactly one [`Admit::Probe`]; further calls get [`Admit::No`]
+    /// until the probe reports back.
+    pub fn admit(&self) -> Admit {
+        let mut inner = self.lock();
+        match inner.state {
+            State::Closed => Admit::Yes,
+            State::HalfOpen => Admit::No {
+                retry_in: inner.cooldown.max(0.05),
+            },
+            State::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map_or(f64::MAX, |t| t.elapsed().as_secs_f64());
+                if elapsed >= inner.cooldown {
+                    inner.state = State::HalfOpen;
+                    Admit::Probe
+                } else {
+                    Admit::No {
+                        retry_in: inner.cooldown - elapsed,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports a successful dispatch: closes the breaker and resets all
+    /// consecutive counts and the cooldown.
+    pub fn on_success(&self) {
+        let mut inner = self.lock();
+        inner.state = State::Closed;
+        inner.consecutive_failures = 0;
+        inner.consecutive_opens = 0;
+        inner.opened_at = None;
+        inner.cooldown = self.base_cooldown;
+    }
+
+    /// Reports a failed dispatch, returning whether this failure opened
+    /// the breaker and the consecutive-open count.
+    pub fn on_failure(&self) -> BreakerReport {
+        let mut inner = self.lock();
+        inner.consecutive_failures += 1;
+        let trip = match inner.state {
+            State::Closed => inner.consecutive_failures >= self.threshold,
+            State::HalfOpen => true, // the probe failed
+            State::Open => false,    // a straggling in-flight failure
+        };
+        if trip {
+            // Double the cooldown per consecutive open (capped) so a
+            // worker that flaps on every probe gets probed ever less
+            // often instead of absorbing a retry storm.
+            if inner.consecutive_opens > 0 {
+                inner.cooldown = (inner.cooldown * 2.0).min(self.base_cooldown * 8.0);
+            }
+            inner.state = State::Open;
+            inner.opened_at = Some(Instant::now());
+            inner.consecutive_opens += 1;
+            inner.consecutive_failures = 0;
+        }
+        BreakerReport {
+            opened: trip,
+            consecutive_opens: inner.consecutive_opens,
+        }
+    }
+
+    /// The breaker's state name for the `/metrics` worker gauge.
+    pub fn state_name(&self) -> &'static str {
+        match self.lock().state {
+            State::Closed => "closed",
+            State::Open => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// How many latency samples back the hedge delay (a bounded ring).
+const LATENCY_WINDOW: usize = 64;
+/// Samples required before hedging arms at all: with fewer, the
+/// percentile is noise and a cold fleet would hedge its very first
+/// dispatches.
+const HEDGE_MIN_SAMPLES: usize = 3;
+/// Hedge delay as a multiple of the p95 dispatch latency.
+const HEDGE_P95_FACTOR: f64 = 3.0;
+
+/// A bounded ring of successful-dispatch latencies, feeding the
+/// percentile-derived hedge delay.
+#[derive(Default)]
+pub struct LatencyTracker {
+    samples: Mutex<Vec<f64>>,
+}
+
+impl LatencyTracker {
+    /// Records one successful dispatch's wall latency.
+    pub fn record(&self, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if samples.len() >= LATENCY_WINDOW {
+            samples.remove(0);
+        }
+        samples.push(secs);
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 1]`) of the recorded window,
+    /// or `None` with no samples.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round()) as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// The hedge delay: `max(floor, 3 * p95)` once at least three
+    /// samples exist, else `None` (hedging stays off while the latency
+    /// distribution is unknown — a cold fleet must not hedge its first
+    /// dispatches and double every shard).
+    pub fn hedge_delay(&self, floor_secs: f64) -> Option<Duration> {
+        let samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if samples.len() < HEDGE_MIN_SAMPLES {
+            return None;
+        }
+        drop(samples);
+        let p95 = self.percentile(0.95)?;
+        Some(Duration::from_secs_f64(
+            (HEDGE_P95_FACTOR * p95).max(floor_secs.max(0.0)),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let policy = BackoffPolicy {
+            base: 0.1,
+            max: 10.0,
+        };
+        for attempt in 1..=6u32 {
+            let nominal = 0.1 * 2f64.powi(attempt as i32 - 1);
+            let d = policy.delay(attempt, 3, 7).as_secs_f64();
+            assert!(
+                d >= nominal * 0.5 && d < nominal * 1.5,
+                "attempt {attempt}: {d} outside jitter band around {nominal}"
+            );
+        }
+        // Deterministic per (job, shard, attempt); different shards jitter
+        // differently.
+        assert_eq!(policy.delay(4, 3, 7), policy.delay(4, 3, 7));
+        assert_ne!(policy.delay(4, 3, 7), policy.delay(4, 3, 8));
+        // The ceiling binds.
+        let capped = BackoffPolicy {
+            base: 0.1,
+            max: 0.2,
+        };
+        assert!(capped.delay(30, 1, 1).as_secs_f64() <= 0.2);
+    }
+
+    #[test]
+    fn breaker_opens_probes_and_closes() {
+        let b = Breaker::new(2, 0.0); // zero cooldown: probes admit immediately
+        assert_eq!(b.admit(), Admit::Yes);
+        assert!(!b.on_failure().opened);
+        let report = b.on_failure();
+        assert!(report.opened, "second consecutive failure opens");
+        assert_eq!(report.consecutive_opens, 1);
+        assert_eq!(b.state_name(), "open");
+        // Cooldown (zero) elapsed: exactly one probe admits.
+        assert_eq!(b.admit(), Admit::Probe);
+        assert_eq!(b.state_name(), "half-open");
+        assert!(matches!(b.admit(), Admit::No { .. }));
+        // Probe success closes and resets.
+        b.on_success();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.admit(), Admit::Yes);
+        assert!(!b.on_failure().opened, "counts reset after success");
+    }
+
+    #[test]
+    fn failed_probes_reopen_with_growing_cooldown() {
+        let b = Breaker::new(1, 0.0);
+        let r = b.on_failure();
+        assert!(r.opened && r.consecutive_opens == 1);
+        assert_eq!(b.admit(), Admit::Probe);
+        let r = b.on_failure(); // probe failed
+        assert!(r.opened, "failed probe re-opens");
+        assert_eq!(r.consecutive_opens, 2);
+        assert_eq!(b.admit(), Admit::Probe);
+        assert_eq!(b.on_failure().consecutive_opens, 3);
+        // With a nonzero cooldown the open state rejects while waiting.
+        let waiting = Breaker::new(1, 30.0);
+        waiting.on_failure();
+        match waiting.admit() {
+            Admit::No { retry_in } => assert!(retry_in > 0.0 && retry_in <= 30.0),
+            other => panic!("expected No, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_and_hedge_delay() {
+        let t = LatencyTracker::default();
+        assert!(t.percentile(0.95).is_none());
+        assert!(t.hedge_delay(0.1).is_none(), "no samples: hedging off");
+        t.record(0.010);
+        t.record(0.020);
+        assert!(t.hedge_delay(0.1).is_none(), "below the sample floor");
+        t.record(0.030);
+        // p95 of {10,20,30} ms rounds to the top sample; 3*0.03 < 0.5
+        // so the floor dominates.
+        assert_eq!(t.hedge_delay(0.5), Some(Duration::from_secs_f64(0.5)));
+        // With slow samples the percentile dominates the floor.
+        for _ in 0..10 {
+            t.record(1.0);
+        }
+        let d = t.hedge_delay(0.1).unwrap().as_secs_f64();
+        assert!((d - 3.0).abs() < 1e-9, "3 * p95(1.0s) = {d}");
+        // Non-finite and negative samples are ignored.
+        t.record(f64::NAN);
+        t.record(-1.0);
+        assert!(t.hedge_delay(0.1).is_some());
+    }
+
+    #[test]
+    fn window_is_bounded_and_tracks_recent_latency() {
+        let t = LatencyTracker::default();
+        for _ in 0..LATENCY_WINDOW {
+            t.record(10.0);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            t.record(0.01);
+        }
+        let p95 = t.percentile(0.95).unwrap();
+        assert!(p95 < 1.0, "old samples must age out, p95 = {p95}");
+    }
+}

@@ -12,11 +12,26 @@
 //!   (owner = the endpoint address), POSTs the shard, heartbeats the
 //!   lease while waiting, and on any transport failure releases the
 //!   lease and requeues the task — which is all "worker lost" recovery
-//!   is: the next free dispatcher picks the shard up. A worker endpoint
-//!   that fails `worker_failure_limit` times in a row is declared lost
-//!   and its dispatcher retires; when the *last* dispatcher retires,
-//!   every non-terminal job fails with a clear message instead of
-//!   wedging.
+//!   is: the next free dispatcher picks the shard up.
+//!
+//! ## RPC resilience
+//!
+//! Transient failures draw down a **per-job retry budget** and requeue
+//! after a jittered exponential **backoff** (see
+//! [`crate::resilience::BackoffPolicy`]). Each endpoint carries a
+//! **circuit breaker**: `breaker_threshold` consecutive failures open
+//! it, cooled-down probes test recovery, and an endpoint whose breaker
+//! opens `worker_failure_limit` times in a row is declared lost and its
+//! dispatcher retires; when the *last* dispatcher retires, every
+//! non-terminal job fails with a clear message instead of wedging. A
+//! dispatch that straggles past `max(hedge_delay_floor, 3 * p95)` of
+//! recent dispatch latency is **hedged**: a duplicate task (lease-free,
+//! dispatchable while the slot is `Running`) goes to whichever other
+//! dispatcher is free, the first completed result wins, and the loser
+//! is discarded by the job's duplicate-tolerant completion. Jobs may
+//! carry a **deadline**; the remaining budget rides every dispatch as
+//! the `X-Minpower-Deadline` header and an expired job fails instead of
+//! occupying workers.
 //!
 //! ## Crash recovery
 //!
@@ -36,15 +51,16 @@ use std::time::{Duration, Instant};
 use minpower_core::jobstore::{Claim, FsJobStore, JobStore};
 use minpower_core::json::{self, Value};
 use minpower_core::store;
-use minpower_engine::StatsSnapshot;
+use minpower_engine::{EngineStats, StatsSnapshot};
 use minpower_serve::http::{self, HttpError, Request};
 use minpower_serve::metrics::{route_key, Metrics};
 use minpower_serve::shard::{self, ShardRequest};
 use minpower_serve::DrainOutcome;
 
-use crate::client::{self, ClientError};
+use crate::client::{self, ClientError, DispatchCall};
 use crate::dispatch::{Task, TaskQueue, WorkerSlot};
 use crate::job::{self, Completion, CoordJob, CoordStatus};
+use crate::resilience::{Admit, BackoffPolicy, LatencyTracker};
 use crate::spec::CoordSpec;
 use crate::Config;
 
@@ -58,6 +74,16 @@ struct CoordState {
     workers: Vec<Arc<WorkerSlot>>,
     alive_dispatchers: AtomicUsize,
     metrics: Metrics,
+    /// Coordinator-side RPC resilience counters (backoffs, breaker
+    /// opens, hedges) — nondeterministic by nature, so they live beside
+    /// the deterministic per-shard engine stats, never inside them.
+    rpc_stats: EngineStats,
+    /// Coordinator-wide dispatch counter indexing the `net.*` fault
+    /// sites: one increment per dispatch across all endpoints, so a
+    /// drill's `OnIndices([k])` fires exactly once per run.
+    net_seq: AtomicU64,
+    /// Successful-dispatch latencies feeding the hedge delay.
+    latency: LatencyTracker,
     stop: Arc<AtomicBool>,
 }
 
@@ -144,7 +170,13 @@ impl CoordServer {
         let workers = config
             .workers
             .iter()
-            .map(|a| Arc::new(WorkerSlot::new(a)))
+            .map(|a| {
+                Arc::new(WorkerSlot::new(
+                    a,
+                    config.breaker_threshold,
+                    config.breaker_cooldown,
+                ))
+            })
             .collect();
         let state = Arc::new(CoordState {
             store,
@@ -154,6 +186,9 @@ impl CoordServer {
             workers,
             alive_dispatchers: AtomicUsize::new(config.workers.len()),
             metrics: Metrics::default(),
+            rpc_stats: EngineStats::new(),
+            net_seq: AtomicU64::new(0),
+            latency: LatencyTracker::default(),
             stop: Arc::new(AtomicBool::new(false)),
             config,
         });
@@ -252,7 +287,11 @@ impl CoordState {
                 continue;
             };
             max_id = max_id.max(record.id);
-            let loaded = Arc::new(CoordJob::new(record.id, record.spec, self.config.max_gates));
+            let loaded = Arc::new(
+                CoordJob::new(record.id, record.spec, self.config.max_gates)
+                    .with_retry_budget(self.config.retry_budget)
+                    .with_default_deadline(self.config.job_deadline),
+            );
             match record.status.as_str() {
                 "pending" => {
                     self.add_job(loaded.clone());
@@ -299,7 +338,7 @@ impl CoordState {
                 Ok(Completion::Done(_)) => {
                     let _ = job::persist_record(&self.store, job);
                 }
-                Ok(Completion::Pending) => {}
+                Ok(Completion::Pending | Completion::Duplicate { .. }) => {}
                 Err(message) => {
                     self.fail_job(job, &message);
                     return;
@@ -307,18 +346,19 @@ impl CoordState {
             }
         }
         for index in job.pending_indices() {
-            self.queue.push(Task {
-                job: job.id,
-                shard: index,
-                attempts: 0,
-            });
+            self.queue.push(Task::fresh(job.id, index));
         }
     }
 }
 
-/// One worker endpoint's dispatcher: pops shard tasks, claims leases,
+/// One worker endpoint's dispatcher: pops shard tasks, checks deadlines
+/// and the endpoint's circuit breaker, claims leases (primaries only),
 /// POSTs, and classifies the outcomes.
 fn dispatch_loop(state: &Arc<CoordState>, slot: &Arc<WorkerSlot>) {
+    let backoff = BackoffPolicy {
+        base: state.config.backoff_base,
+        max: state.config.backoff_max,
+    };
     while let Some(mut task) = state.queue.pop() {
         if state.stop.load(Ordering::Relaxed) {
             continue; // drain: discard; the persisted record stays pending
@@ -326,61 +366,111 @@ fn dispatch_loop(state: &Arc<CoordState>, slot: &Arc<WorkerSlot>) {
         let Some(job) = state.job(task.job) else {
             continue;
         };
-        if !job.shard_pending(task.shard) {
+        // A hedge races a dispatch still in flight, so `Running` is
+        // dispatchable for it; a primary only takes pending shards.
+        let dispatchable = if task.hedge {
+            job.shard_open(task.shard)
+        } else {
+            job.shard_pending(task.shard)
+        };
+        if !dispatchable {
             continue; // already done or the job is terminal
+        }
+        // Deadline gate: a job whose wall budget is spent fails now
+        // instead of burning worker time on results nobody can use.
+        if let Some(remaining) = job.deadline_remaining() {
+            if remaining <= 0.0 {
+                state.fail_job(&job, "job deadline exceeded");
+                continue;
+            }
+        }
+        // Circuit breaker: a quarantined endpoint hands the task back
+        // for a healthier dispatcher instead of dialing out.
+        match slot.breaker.admit() {
+            Admit::Yes | Admit::Probe => {}
+            Admit::No { retry_in } => {
+                state.queue.push(task);
+                std::thread::sleep(Duration::from_secs_f64(retry_in.clamp(0.01, 0.25)));
+                continue;
+            }
         }
         let Some(request) = job.request(task.shard) else {
             continue;
         };
         let key = request.store_key.clone();
-        match state
-            .store
-            .try_claim(&key, &slot.addr, state.config.lease_ttl)
-        {
-            Claim::Acquired => {}
-            Claim::Held {
-                expires_in_secs, ..
-            } => {
-                // Someone else (another coordinator, or a lease whose
-                // owner crashed) holds it; wait out a slice of the TTL
-                // and retry. Expiry guarantees progress.
-                state.queue.push(task);
-                std::thread::sleep(Duration::from_secs_f64(expires_in_secs.clamp(0.05, 0.5)));
-                continue;
+        if !task.hedge {
+            // Hedges skip the lease: it arbitrates shard ownership
+            // *between coordinators*, and the hedged primary's own
+            // dispatcher already holds it. Worker-side idempotent replay
+            // and duplicate-discarding completion keep the race safe.
+            match state
+                .store
+                .try_claim(&key, &slot.addr, state.config.lease_ttl)
+            {
+                Claim::Acquired => {}
+                Claim::Held {
+                    expires_in_secs, ..
+                } => {
+                    // Someone else (another coordinator, or a lease whose
+                    // owner crashed) holds it; wait out a slice of the TTL
+                    // and retry. Expiry guarantees progress.
+                    state.queue.push(task);
+                    std::thread::sleep(Duration::from_secs_f64(expires_in_secs.clamp(0.05, 0.5)));
+                    continue;
+                }
             }
+            job.mark_running(task.shard, &slot.addr);
         }
-        job.mark_running(task.shard, &slot.addr);
-        let outcome = dispatch_one(state, slot, &request);
-        let _ = state.store.release(&key, &slot.addr);
+        let outcome = dispatch_one(state, slot, &job, &request, task);
+        if !task.hedge {
+            let _ = state.store.release(&key, &slot.addr);
+        }
         match outcome {
             Ok(doc) => {
                 slot.record_success();
+                slot.breaker.on_success();
                 complete(state, &job, &request, task, doc, slot);
             }
             Err(Transient(reason)) => {
-                job.mark_pending(task.shard, &slot.addr, &reason);
-                task.attempts += 1;
-                if task.attempts >= state.config.shard_attempt_limit {
+                if !task.hedge {
+                    job.mark_pending(task.shard, &slot.addr, &reason);
+                }
+                slot.record_failure();
+                let report = slot.breaker.on_failure();
+                if report.opened {
+                    state.rpc_stats.count_breaker_open();
+                }
+                let mut delay = None;
+                if task.hedge {
+                    // A failed hedge is dropped quietly: the primary
+                    // dispatch (or its own retries) still owns the shard.
+                } else if job.consume_retry().is_none() {
                     state.fail_job(
                         &job,
                         &format!(
-                            "shard {} exhausted {} dispatch attempts (last: {reason})",
-                            task.shard, task.attempts
+                            "job {} retry budget exhausted on shard {} (last: {reason})",
+                            job.id, task.shard
                         ),
                     );
                 } else {
+                    task.attempts += 1;
                     state.queue.push(task);
+                    state.rpc_stats.count_retry_backoff();
+                    delay = Some(backoff.delay(task.attempts, task.job, task.shard));
                 }
-                let consecutive = slot.record_failure();
-                if consecutive >= state.config.worker_failure_limit {
+                if report.opened && report.consecutive_opens >= state.config.worker_failure_limit {
                     retire_worker(state, slot);
                     return;
                 }
-                // Brief backoff so a dead endpoint does not spin.
-                std::thread::sleep(Duration::from_millis(50));
+                // Jittered exponential backoff so a flapping endpoint or
+                // store does not absorb a retry storm.
+                if let Some(delay) = delay {
+                    std::thread::sleep(delay);
+                }
             }
             Err(Fatal(message)) => {
                 slot.record_success(); // the *worker* answered fine
+                slot.breaker.on_success();
                 state.fail_job(&job, &message);
             }
         }
@@ -397,46 +487,86 @@ enum DispatchError {
 }
 use DispatchError::{Fatal, Transient};
 
-/// POSTs one shard to `slot`, heartbeating the lease while blocked, and
-/// classifies the response.
+/// POSTs one shard to `slot`, heartbeating the lease and arming the
+/// hedge timer while blocked, and classifies the response.
 fn dispatch_one(
     state: &Arc<CoordState>,
     slot: &Arc<WorkerSlot>,
+    job: &Arc<CoordJob>,
     request: &ShardRequest,
+    task: Task,
 ) -> Result<Value, DispatchError> {
-    // Heartbeat: renew the lease at a third of its TTL while the POST is
-    // in flight, so a shard that legitimately runs longer than the TTL
-    // is not "expired" out from under a live worker.
     let hb_stop = Arc::new(AtomicBool::new(false));
-    let heartbeat = {
+    // Hedge timing: once this dispatch straggles past the latency-derived
+    // delay, a duplicate task goes to whichever *other* dispatcher is
+    // free (this one is blocked inside the POST, so the hedge cannot land
+    // back on the straggler). Hedges never hedge, and a lone worker has
+    // nobody to race.
+    let hedge_after = if !task.hedge && state.alive_worker_count() > 1 {
+        state.latency.hedge_delay(state.config.hedge_delay_floor)
+    } else {
+        None
+    };
+    // The monitor thread renews the lease at a third of its TTL while the
+    // POST is in flight — so a shard that legitimately runs longer than
+    // the TTL is not "expired" out from under a live worker — and fires
+    // the hedge when its timer elapses. Hedge tasks hold no lease and are
+    // never themselves hedged, so they run bare.
+    let monitor = (!task.hedge).then(|| {
         let hb_stop = hb_stop.clone();
         let key = request.store_key.clone();
         let owner = slot.addr.clone();
         let ttl = state.config.lease_ttl;
         let root = state.config.store_dir.clone();
+        let state = state.clone();
+        let job = job.clone();
         std::thread::spawn(move || {
-            let Ok(store) = FsJobStore::open(&root) else {
-                return;
-            };
+            let store = FsJobStore::open(&root).ok();
             let step = Duration::from_millis(25);
             let interval = Duration::from_secs_f64((ttl / 3.0).max(0.05));
+            let started = Instant::now();
             let mut last = Instant::now();
+            let mut renewing = store.is_some();
+            let mut hedge_after = hedge_after;
             while !hb_stop.load(Ordering::Relaxed) {
                 std::thread::sleep(step);
-                if last.elapsed() >= interval {
-                    if !store.renew(&key, &owner, ttl) {
-                        return; // lost the lease; stop touching it
+                if renewing && last.elapsed() >= interval {
+                    match &store {
+                        Some(store) if store.renew(&key, &owner, ttl) => last = Instant::now(),
+                        _ => renewing = false, // lost the lease; stop touching it
                     }
-                    last = Instant::now();
+                }
+                if let Some(delay) = hedge_after {
+                    if started.elapsed() >= delay {
+                        hedge_after = None;
+                        state.rpc_stats.count_hedge_fired();
+                        job.record_hedge(task.shard, &owner);
+                        state.queue.push(Task {
+                            hedge: true,
+                            ..task
+                        });
+                    }
                 }
             }
         })
-    };
+    });
     let body = request.to_json().render();
-    let seq = slot.seq.fetch_add(1, Ordering::Relaxed);
-    let outcome = client::post_shard(&slot.addr, &body, state.config.dispatch_timeout, seq);
+    let call = DispatchCall {
+        addr: &slot.addr,
+        body: &body,
+        connect_timeout_secs: state.config.connect_timeout,
+        timeout_secs: state.config.dispatch_timeout,
+        seq: slot.seq.fetch_add(1, Ordering::Relaxed),
+        net_seq: state.net_seq.fetch_add(1, Ordering::Relaxed),
+        deadline_secs: job.deadline_remaining(),
+    };
+    let started = Instant::now();
+    let outcome = client::post_shard(&call);
+    let elapsed = started.elapsed().as_secs_f64();
     hb_stop.store(true, Ordering::Relaxed);
-    let _ = heartbeat.join();
+    if let Some(monitor) = monitor {
+        let _ = monitor.join();
+    }
     let response = match outcome {
         Ok(response) => response,
         Err(ClientError::Lost) => {
@@ -454,6 +584,7 @@ fn dispatch_one(
                     slot.addr
                 )));
             }
+            state.latency.record(elapsed);
             Ok(doc)
         }
         503 => Err(Transient(format!("worker {} busy or draining", slot.addr))),
@@ -493,17 +624,20 @@ fn complete(
     match job.complete_shard(task.shard, doc, &slot.addr) {
         Ok(Completion::NewShards(indices)) => {
             for index in indices {
-                state.queue.push(Task {
-                    job: job.id,
-                    shard: index,
-                    attempts: 0,
-                });
+                state.queue.push(Task::fresh(job.id, index));
             }
         }
         Ok(Completion::Done(_)) => {
             let _ = job::persist_record(&state.store, job);
         }
         Ok(Completion::Pending) => {}
+        Ok(Completion::Duplicate { hedged }) => {
+            // The losing side of a hedge race (or a stale retry): the
+            // shard was already merged from the winner's document.
+            if hedged {
+                state.rpc_stats.count_hedge_wasted();
+            }
+        }
         Err(message) => state.fail_job(job, &message),
     }
 }
@@ -634,16 +768,16 @@ fn handle_submit(
         spec.shard_spec(circuit).build(state.config.max_gates)?;
     }
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
-    let job = Arc::new(CoordJob::new(id, spec, state.config.max_gates));
+    let job = Arc::new(
+        CoordJob::new(id, spec, state.config.max_gates)
+            .with_retry_budget(state.config.retry_budget)
+            .with_default_deadline(state.config.job_deadline),
+    );
     job::persist_record(&state.store, &job)
         .map_err(|e| HttpError::new(500, format!("cannot persist job record: {e}")))?;
     state.add_job(job.clone());
     for index in job.pending_indices() {
-        state.queue.push(Task {
-            job: id,
-            shard: index,
-            attempts: 0,
-        });
+        state.queue.push(Task::fresh(id, index));
     }
     let doc = Value::Obj(vec![
         ("id".to_string(), Value::Int(id)),
@@ -726,9 +860,14 @@ fn metrics_json(state: &Arc<CoordState>) -> Value {
                     "failures".to_string(),
                     Value::Int(w.failures.load(Ordering::Relaxed)),
                 ),
+                (
+                    "breaker".to_string(),
+                    Value::Str(w.breaker.state_name().to_string()),
+                ),
             ])
         })
         .collect();
+    let rpc = state.rpc_stats.snapshot();
     Value::Obj(vec![
         (
             "jobs".to_string(),
@@ -748,6 +887,15 @@ fn metrics_json(state: &Arc<CoordState>) -> Value {
             ]),
         ),
         ("workers".to_string(), Value::Arr(workers)),
+        (
+            "rpc".to_string(),
+            Value::Obj(vec![
+                ("retry_backoff".to_string(), Value::Int(rpc.retry_backoffs)),
+                ("breaker_open".to_string(), Value::Int(rpc.breaker_opens)),
+                ("hedge_fired".to_string(), Value::Int(rpc.hedges_fired)),
+                ("hedge_wasted".to_string(), Value::Int(rpc.hedges_wasted)),
+            ]),
+        ),
         ("engine".to_string(), shard::stats_to_json(&merged)),
         ("http".to_string(), state.metrics.to_json()),
     ])

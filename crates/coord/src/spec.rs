@@ -52,6 +52,13 @@ pub struct CoordSpec {
     pub proto: JobSpec,
     /// Optional yield phase; requires a single circuit.
     pub mc: Option<YieldSpec>,
+    /// Optional whole-job deadline, seconds. Unlike the banned per-shard
+    /// `time_limit`, this never reaches a shard's spec — shard results
+    /// stay pure functions of their request. The *coordinator* enforces
+    /// it: an expired job fails instead of dispatching further shards,
+    /// and the remaining budget rides each dispatch as the
+    /// `X-Minpower-Deadline` header capping the worker's soft deadline.
+    pub deadline: Option<f64>,
 }
 
 fn bad(message: impl Into<String>) -> HttpError {
@@ -139,12 +146,22 @@ impl CoordSpec {
         if mc.is_some() && circuits.len() != 1 {
             return Err(bad("`yield` requires a single `circuit`"));
         }
+        let deadline = match obj.opt("deadline") {
+            None => None,
+            Some(v) => {
+                let secs = v.as_number("deadline").map_err(|e| bad(e.message))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(bad("`deadline` must be finite and positive seconds"));
+                }
+                Some(secs)
+            }
+        };
         // Delegate option parsing/validation to the service's spec with
         // a placeholder circuit (replaced per shard); unknown options
         // fail there with the same message a worker would give.
         let mut fields = vec![("circuit".to_string(), Value::Str(circuits[0].clone()))];
         for (name, v) in raw {
-            if !matches!(name.as_str(), "suite" | "circuit" | "yield") {
+            if !matches!(name.as_str(), "suite" | "circuit" | "yield" | "deadline") {
                 fields.push((name.clone(), v.clone()));
             }
         }
@@ -153,6 +170,7 @@ impl CoordSpec {
             circuits,
             proto,
             mc,
+            deadline,
         })
     }
 
@@ -186,6 +204,9 @@ impl CoordSpec {
                     ("shard_size".to_string(), Value::Int(mc.shard_size)),
                 ]),
             ));
+        }
+        if let Some(deadline) = self.deadline {
+            fields.push(("deadline".to_string(), Value::Float(deadline)));
         }
         Value::Obj(fields)
     }
@@ -283,8 +304,22 @@ mod tests {
         assert_eq!(spec.circuits, vec!["c17", "s27"]);
         assert_eq!(spec.proto.steps, 9);
         assert_eq!(spec.total_shards(), 2);
+        assert_eq!(spec.deadline, None);
         let back = CoordSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn job_deadlines_round_trip_but_never_reach_shard_specs() {
+        let v = json::parse(r#"{"suite":["c17"],"fc":2.5e8,"deadline":45.5}"#).unwrap();
+        let spec = CoordSpec::from_json(&v).unwrap();
+        assert_eq!(spec.deadline, Some(45.5));
+        let back = CoordSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // The deadline is coordinator-side only: the shard spec (and so
+        // the shard request, store key, and result) must not see it.
+        let shard = spec.shard_spec("c17").to_json().render();
+        assert!(!shard.contains("deadline"), "{shard}");
     }
 
     #[test]
@@ -313,6 +348,8 @@ mod tests {
             (r#"{"circuit":"c17","bench":"x"}"#, "bench"),
             (r#"{"suite":["c17","s27"],"yield":{"sigma":0.1}}"#, "single"),
             (r#"{"circuit":"c17","yield":{"sigma":-1}}"#, "sigma"),
+            (r#"{"circuit":"c17","deadline":0}"#, "deadline"),
+            (r#"{"circuit":"c17","deadline":-3.5}"#, "deadline"),
             (
                 r#"{"circuit":"c17","yield":{"sigma":0.1,"samples":0}}"#,
                 "samples",

@@ -32,6 +32,20 @@
 //!                         and then drops before sending (network-drop
 //!                         worker loss; indexed by the per-endpoint
 //!                         dispatch sequence number)                     |
+//! | `net.connect.refused`| a dispatch's TCP connect fails immediately,
+//!                         as if no worker listens on the endpoint
+//!                         (indexed by the coordinator-wide network
+//!                         sequence number, as are all `net.*` sites)    |
+//! | `net.partition`     | a dispatch's TCP connect black-holes: it
+//!                         blocks for the (bounded) connect timeout and
+//!                         then fails — a network partition between the
+//!                         coordinator and the worker                    |
+//! | `net.read.stall`    | the request is sent but the response read
+//!                         stalls until the (bounded) read timeout — a
+//!                         straggling worker, the hedge-dispatch trigger |
+//! | `net.response.truncated` | the response arrives cut off mid-stream,
+//!                         so HTTP/JSON parsing fails and the dispatch
+//!                         is classified transient                       |
 //!
 //! Triggers are deterministic: an explicit index set, every-nth, or a
 //! seeded pseudo-random subset — never wall clock — so failing runs

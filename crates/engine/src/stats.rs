@@ -79,6 +79,18 @@ pub struct EngineStats {
     /// Whole seconds spent in degraded (read-only) mode because durable
     /// writes were failing persistently.
     pub store_degraded_seconds: AtomicU64,
+    /// Jittered exponential-backoff sleeps taken before re-dispatching a
+    /// shard after a transient failure (`coord.retry.backoff`).
+    pub retry_backoffs: AtomicU64,
+    /// Per-worker circuit-breaker transitions into the open state
+    /// (`coord.breaker.open`).
+    pub breaker_opens: AtomicU64,
+    /// Hedged shard dispatches fired against a second worker because the
+    /// primary straggled past the hedge delay (`coord.hedge.fired`).
+    pub hedges_fired: AtomicU64,
+    /// Hedge races whose losing side completed after the shard was
+    /// already done — discarded duplicates (`coord.hedge.wasted`).
+    pub hedges_wasted: AtomicU64,
     phase_nanos: [AtomicU64; 4],
 }
 
@@ -157,6 +169,26 @@ impl EngineStats {
             .fetch_add(secs, Ordering::Relaxed);
     }
 
+    /// Counts one jittered backoff sleep before a shard re-dispatch.
+    pub fn count_retry_backoff(&self) {
+        self.retry_backoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one circuit-breaker transition into the open state.
+    pub fn count_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one hedged dispatch fired against a second worker.
+    pub fn count_hedge_fired(&self) {
+        self.hedges_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one hedge race lost — a duplicate completion discarded.
+    pub fn count_hedge_wasted(&self) {
+        self.hedges_wasted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Runs `f`, attributing its wall time to `phase`.
     pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
@@ -189,6 +221,10 @@ impl EngineStats {
             store_retries: self.store_retries.load(Ordering::Relaxed),
             store_quarantined: self.store_quarantined.load(Ordering::Relaxed),
             store_degraded_seconds: self.store_degraded_seconds.load(Ordering::Relaxed),
+            retry_backoffs: self.retry_backoffs.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            hedges_fired: self.hedges_fired.load(Ordering::Relaxed),
+            hedges_wasted: self.hedges_wasted.load(Ordering::Relaxed),
             phase_nanos: [
                 self.phase_nanos[0].load(Ordering::Relaxed),
                 self.phase_nanos[1].load(Ordering::Relaxed),
@@ -232,6 +268,14 @@ pub struct StatsSnapshot {
     pub store_quarantined: u64,
     /// Whole seconds spent in degraded (read-only) mode.
     pub store_degraded_seconds: u64,
+    /// Jittered backoff sleeps before shard re-dispatches.
+    pub retry_backoffs: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opens: u64,
+    /// Hedged dispatches fired against a second worker.
+    pub hedges_fired: u64,
+    /// Hedge races lost — duplicate completions discarded.
+    pub hedges_wasted: u64,
     /// Wall time per phase, in the order of `Phase`'s variants.
     pub phase_nanos: [u64; 4],
 }
@@ -256,6 +300,10 @@ impl StatsSnapshot {
         self.store_retries += other.store_retries;
         self.store_quarantined += other.store_quarantined;
         self.store_degraded_seconds += other.store_degraded_seconds;
+        self.retry_backoffs += other.retry_backoffs;
+        self.breaker_opens += other.breaker_opens;
+        self.hedges_fired += other.hedges_fired;
+        self.hedges_wasted += other.hedges_wasted;
         for (mine, theirs) in self.phase_nanos.iter_mut().zip(other.phase_nanos) {
             *mine += theirs;
         }
@@ -343,6 +391,15 @@ impl StatsSnapshot {
                 self.store_retries,
                 self.store_quarantined,
                 self.store_degraded_seconds
+            ));
+        }
+        if self.retry_backoffs + self.breaker_opens + self.hedges_fired + self.hedges_wasted > 0 {
+            out.push_str(&format!(
+                "  rpc resilience      : {} backoffs, {} breaker opens, {} hedges fired, {} hedges wasted\n",
+                self.retry_backoffs,
+                self.breaker_opens,
+                self.hedges_fired,
+                self.hedges_wasted
             ));
         }
         for (phase, name) in PHASES {
@@ -482,6 +539,32 @@ mod tests {
         let text = total.render();
         assert!(
             text.contains("durable store       : 3 writes, 4 retries, 2 quarantined, 7 s degraded"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn rpc_counters_count_merge_and_render() {
+        let a = EngineStats::new();
+        assert!(!a.snapshot().render().contains("rpc resilience"));
+        a.count_retry_backoff();
+        a.count_retry_backoff();
+        a.count_breaker_open();
+        a.count_hedge_fired();
+        let b = EngineStats::new();
+        b.count_hedge_fired();
+        b.count_hedge_wasted();
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.retry_backoffs, 2);
+        assert_eq!(total.breaker_opens, 1);
+        assert_eq!(total.hedges_fired, 2);
+        assert_eq!(total.hedges_wasted, 1);
+        let text = total.render();
+        assert!(
+            text.contains(
+                "rpc resilience      : 2 backoffs, 1 breaker opens, 2 hedges fired, 1 hedges wasted"
+            ),
             "{text}"
         );
     }

@@ -50,6 +50,10 @@ fn random_snapshot(rng: &mut Rng) -> StatsSnapshot {
         store_retries: rng.counter(),
         store_quarantined: rng.counter(),
         store_degraded_seconds: rng.counter(),
+        retry_backoffs: rng.counter(),
+        breaker_opens: rng.counter(),
+        hedges_fired: rng.counter(),
+        hedges_wasted: rng.counter(),
         phase_nanos: [rng.counter(), rng.counter(), rng.counter(), rng.counter()],
     }
 }

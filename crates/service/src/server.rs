@@ -18,14 +18,24 @@
 //!
 //! ## Drain semantics
 //!
-//! A *graceful* stop (SIGINT via the CLI's token, `POST /shutdown`, or
-//! [`ServerHandle::shutdown`]) stops accepting, closes the queue, trips
-//! every running job's cancel token, and joins the workers. Running jobs
-//! stop at their next poll boundary; the optimizer writes a final
-//! checkpoint on interruption, and the job's persisted record stays
-//! `pending` — a restarted server on the same state directory resumes it
-//! bit-identically. A *kill* ([`ServerHandle::kill`], used by tests to
-//! simulate power loss) skips every terminal write for the same effect.
+//! Three stop flavors, in decreasing order of abruptness:
+//!
+//! * A *stop* (SIGINT via the CLI's token, `POST /shutdown`, or
+//!   [`ServerHandle::shutdown`]) stops accepting, closes the queue,
+//!   trips every running job's cancel token, and joins the workers.
+//!   Running jobs stop at their next poll boundary; the optimizer writes
+//!   a final checkpoint on interruption, and the job's persisted record
+//!   stays `pending` — a restarted server on the same state directory
+//!   resumes it bit-identically.
+//! * A *graceful drain* ([`ServerHandle::drain_graceful`], wired to
+//!   SIGTERM by the CLI) refuses new work with `503` but lets in-flight
+//!   work **finish**: running jobs and shard executions run to
+//!   completion and answer `200`, then the server returns. This is the
+//!   fleet-rotation path — a coordinator never sees a half-finished
+//!   shard from a worker rotated out under it.
+//! * A *kill* ([`ServerHandle::kill`], used by tests to simulate power
+//!   loss) skips every terminal write, leaving unfinished jobs `pending`
+//!   on disk for the next run to resume.
 
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
@@ -63,6 +73,9 @@ pub struct ServiceState {
     running_ctx: Mutex<HashMap<u64, Arc<EvalContext>>>,
     draining: AtomicBool,
     stop: Arc<AtomicBool>,
+    /// Graceful-drain token: refuse new work, finish in-flight work,
+    /// then return (see the module docs).
+    graceful: Arc<AtomicBool>,
     killed: Arc<AtomicBool>,
     conn_seq: AtomicU64,
     /// Degraded-mode latch: set when durable writes fail persistently
@@ -84,14 +97,23 @@ pub struct ServiceState {
 #[derive(Clone)]
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
+    graceful: Arc<AtomicBool>,
     killed: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
-    /// Requests a graceful drain: stop accepting, interrupt running jobs
-    /// at their next poll (checkpointed, left resumable), then return.
+    /// Requests a stop: stop accepting, interrupt running jobs at their
+    /// next poll (checkpointed, left resumable), then return.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Requests a graceful drain: refuse new submissions and shard
+    /// dispatches with `503`, let running jobs and in-flight shards
+    /// finish (and answer `200`), then return. The CLI wires SIGTERM
+    /// here.
+    pub fn drain_graceful(&self) {
+        self.graceful.store(true, Ordering::Relaxed);
     }
 
     /// Simulates power loss: the server returns as fast as possible and
@@ -144,6 +166,7 @@ impl Server {
             running_ctx: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             stop: Arc::new(AtomicBool::new(false)),
+            graceful: Arc::new(AtomicBool::new(false)),
             killed: Arc::new(AtomicBool::new(false)),
             conn_seq: AtomicU64::new(0),
             health: Arc::new(StoreHealth::new()),
@@ -171,14 +194,22 @@ impl Server {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             stop: self.state.stop.clone(),
+            graceful: self.state.graceful.clone(),
             killed: self.state.killed.clone(),
         }
     }
 
-    /// The raw stop token; storing `true` triggers a graceful drain —
-    /// the CLI wires its SIGINT handler to this.
+    /// The raw stop token; storing `true` interrupts running work and
+    /// drains — the CLI wires its SIGINT handler to this.
     pub fn stop_token(&self) -> Arc<AtomicBool> {
         self.state.stop.clone()
+    }
+
+    /// The raw graceful-drain token; storing `true` refuses new work and
+    /// lets in-flight work finish — the CLI wires its SIGTERM handler to
+    /// this.
+    pub fn graceful_token(&self) -> Arc<AtomicBool> {
+        self.state.graceful.clone()
     }
 
     /// Runs the accept loop until a stop is requested, then drains.
@@ -197,7 +228,23 @@ impl Server {
         }
 
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut graceful_seen = false;
         while !state.stop.load(Ordering::Relaxed) {
+            if state.graceful.load(Ordering::Relaxed) {
+                if !graceful_seen {
+                    graceful_seen = true;
+                    // Refuse new work (503 on submissions and shard
+                    // dispatches) and retire idle workers, but keep
+                    // serving connections so in-flight work can answer.
+                    state.draining.store(true, Ordering::Relaxed);
+                    state.queue.close();
+                }
+                // Quiescent — no running jobs, no in-flight shards — so
+                // the graceful drain is complete.
+                if !state.has_inflight_work() {
+                    break;
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     state.metrics.connections.fetch_add(1, Ordering::Relaxed);
@@ -216,20 +263,26 @@ impl Server {
             }
         }
 
-        // Drain: no new admissions, wake idle workers, interrupt the rest.
+        // Drain: no new admissions, wake idle workers. A hard stop (the
+        // stop token, possibly arriving mid-graceful-drain) additionally
+        // interrupts running jobs and in-flight shard executions so the
+        // coordinator gets its 503 (or, on kill, a dropped connection)
+        // promptly and reassigns the shards; a completed graceful drain
+        // has nothing left to interrupt.
         state.draining.store(true, Ordering::Relaxed);
         state.queue.close();
-        let interrupted = state.cancel_active_jobs();
-        // Worker mode: interrupt in-flight shard executions too, so the
-        // coordinator gets its 503 (or, on kill, a dropped connection)
-        // promptly and reassigns the shards.
-        for control in state
-            .shard_controls
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-        {
-            control.cancel();
+        let hard = state.stop.load(Ordering::Relaxed);
+        let mut interrupted = false;
+        if hard {
+            interrupted = state.cancel_active_jobs();
+            for control in state
+                .shard_controls
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .values()
+            {
+                control.cancel();
+            }
         }
         if !state.killed.load(Ordering::Relaxed) {
             for handler in handlers {
@@ -238,6 +291,12 @@ impl Server {
         }
         for worker in workers {
             let _ = worker.join();
+        }
+        if !hard {
+            // Graceful path: queued-but-never-started jobs (their queue
+            // slots were discarded by the close) move to a resumable
+            // interrupted state; their persisted records stay pending.
+            interrupted = state.cancel_active_jobs();
         }
         if state.killed.load(Ordering::Relaxed) || interrupted {
             DrainOutcome::JobsInterrupted
@@ -322,6 +381,24 @@ impl ServiceState {
             .unwrap_or_else(|e| e.into_inner())
             .get(&id)
             .cloned()
+    }
+
+    /// Whether any job is running or any shard execution is in flight —
+    /// the condition a graceful drain waits out.
+    fn has_inflight_work(&self) -> bool {
+        if !self
+            .shard_controls
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+        {
+            return true;
+        }
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .any(|job| matches!(job.status(), JobStatus::Running))
     }
 
     /// Fleet-wide engine counters: finished jobs' merged snapshots, a
@@ -680,7 +757,20 @@ fn handle_shard(
         }
     }
 
-    let control = RunControl::new();
+    // Deadline propagation: the coordinator forwards its job's remaining
+    // wall budget as `X-Minpower-Deadline` (seconds); the shard adopts it
+    // as a soft deadline, so work whose result nobody can use anymore
+    // stops at the next poll boundary (answering 503, a transient the
+    // coordinator classifies like any other). Bounded to a day so a
+    // garbled header cannot disable the deadline entirely.
+    let mut control = RunControl::new();
+    if let Some(header) = request.header("x-minpower-deadline") {
+        if let Ok(secs) = header.trim().parse::<f64>() {
+            if secs.is_finite() && secs > 0.0 {
+                control = control.with_deadline(Duration::from_secs_f64(secs.min(86_400.0)));
+            }
+        }
+    }
     state
         .shard_controls
         .lock()

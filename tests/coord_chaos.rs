@@ -1,0 +1,392 @@
+//! Network-chaos drills for the coordinator's RPC resilience layer:
+//! deterministic `net.*` faults (refused connects, truncated responses,
+//! read stalls, partitions) plus a killed worker, all while a job is in
+//! flight. Every drill must end with a merged result **bit-identical**
+//! to the single-process reference — resilience may never buy liveness
+//! at the cost of determinism.
+//!
+//! The fault registry is process-global, so these drills run in their
+//! own test binary under `--test-threads=1` (see the `network-chaos`
+//! CI job).
+
+#![cfg(feature = "faults")]
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use minpower_coord::{merge, spec::CoordSpec, CoordServer};
+use minpower_core::json::{self, Value};
+use minpower_engine::faults;
+use minpower_serve::{DrainOutcome, Server, ServerHandle};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "minpower-coord-chaos-{name}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+struct Worker {
+    addr: String,
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<DrainOutcome>,
+}
+
+fn start_worker(shared: &Path, name: &str) -> Worker {
+    let server = Server::bind(minpower_serve::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        state_dir: scratch_dir(name),
+        worker: true,
+        shared_dir: Some(shared.to_path_buf()),
+        ..minpower_serve::Config::default()
+    })
+    .expect("bind worker");
+    let addr = server.local_addr().expect("worker addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    Worker {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+struct Coord {
+    addr: String,
+    handle: minpower_coord::CoordHandle,
+    thread: std::thread::JoinHandle<DrainOutcome>,
+}
+
+fn start_coord(config: minpower_coord::Config) -> Coord {
+    let server = CoordServer::bind(config).expect("bind coordinator");
+    let addr = server.local_addr().expect("coord addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    Coord {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let split = text.find("\r\n\r\n").expect("header terminator");
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {text:?}"));
+    (status, text[split + 4..].to_string())
+}
+
+fn submit(coord: &str, submission: &str) -> u64 {
+    let (status, body) = http(coord, "POST", "/jobs", submission);
+    assert_eq!(status, 202, "{body}");
+    json::parse(&body)
+        .unwrap()
+        .as_obj("accepted")
+        .and_then(|o| o.req("id"))
+        .and_then(|v| v.as_u64("id"))
+        .unwrap()
+}
+
+/// Polls `GET /jobs/{id}` until the job is terminal (or the deadline
+/// passes); returns the final status document.
+fn await_job(coord: &str, id: u64, deadline: Duration) -> Value {
+    let started = Instant::now();
+    loop {
+        let (status, body) = http(coord, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).expect("status json");
+        let state = doc
+            .as_obj("status")
+            .and_then(|o| o.req("status"))
+            .and_then(|v| v.as_str("status"))
+            .unwrap()
+            .to_string();
+        if state != "running" {
+            return doc;
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "job {id} still running after {deadline:?}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn completed_of(doc: &Value) -> u64 {
+    doc.as_obj("status")
+        .and_then(|o| o.req("completed"))
+        .and_then(|v| v.as_u64("completed"))
+        .unwrap()
+}
+
+fn strip_job_id(doc: &Value) -> Value {
+    let Value::Obj(fields) = doc else {
+        panic!("merged result is not an object");
+    };
+    Value::Obj(
+        fields
+            .iter()
+            .filter(|(name, _)| name != "job")
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Asserts the terminal document is `done` with `shards` completed
+/// shards, then checks bit-identity against the local reference run.
+fn assert_bit_identical(doc: &Value, submission: &str, shards: u64) {
+    let obj = doc.as_obj("status").unwrap();
+    assert_eq!(
+        obj.req("status").unwrap().as_str("s").unwrap(),
+        "done",
+        "chaos must not fail the job: {:?}",
+        obj.opt("error").map(Value::render)
+    );
+    assert_eq!(completed_of(doc), shards, "no shard may be lost");
+    let distributed = obj.req("result").unwrap();
+    let spec = CoordSpec::from_json(&json::parse(submission).unwrap()).unwrap();
+    let (local, local_stats) = merge::run_local(&spec, 50_000).unwrap();
+    assert_eq!(
+        strip_job_id(distributed).render(),
+        strip_job_id(&local).render(),
+        "post-chaos merge must be bit-identical to the local run"
+    );
+    assert_eq!(merge::stats_of(distributed).unwrap(), local_stats);
+}
+
+/// Reads one counter from the aggregate `/metrics` document's `rpc`
+/// resilience section.
+fn rpc_counter(coord: &str, name: &str) -> u64 {
+    let (status, body) = http(coord, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{body}");
+    json::parse(&body)
+        .unwrap()
+        .as_obj("metrics")
+        .and_then(|o| o.req("rpc"))
+        .and_then(|v| v.as_obj("rpc"))
+        .and_then(|o| o.req(name))
+        .and_then(|v| v.as_u64(name))
+        .unwrap_or_else(|e| panic!("{name} missing from /metrics: {}\n{body}", e.message))
+}
+
+fn shutdown(coord: Coord, workers: Vec<Worker>) {
+    coord.handle.shutdown();
+    let _ = coord.thread.join().expect("coordinator thread");
+    for worker in workers {
+        worker.handle.shutdown();
+        let _ = worker.thread.join().expect("worker thread");
+    }
+}
+
+/// Refused connects and truncated responses are transient: the shard is
+/// requeued with a backed-off retry (counted in `/metrics`) and the
+/// merge stays bit-identical.
+#[test]
+fn refused_and_truncated_dispatches_back_off_and_retry() {
+    let shared = scratch_dir("retry-shared");
+    let workers: Vec<Worker> = (0..2)
+        .map(|i| start_worker(&shared, &format!("retry-w{i}")))
+        .collect();
+
+    // Network dispatch 0 is refused outright; dispatch 2's response is
+    // cut off mid-stream (indexed by the coordinator-wide `net_seq`, so
+    // exactly one of each across the run).
+    faults::arm("net.connect.refused", faults::Trigger::OnIndices(vec![0]));
+    faults::arm(
+        "net.response.truncated",
+        faults::Trigger::OnIndices(vec![2]),
+    );
+
+    let coord = start_coord(minpower_coord::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: workers.iter().map(|w| w.addr.clone()).collect(),
+        store_dir: shared.clone(),
+        lease_ttl: 5.0,
+        dispatch_timeout: 120.0,
+        ..minpower_coord::Config::default()
+    });
+
+    let submission = r#"{"suite":["c17","s27","c17"],"fc":2.5e8,"steps":6}"#;
+    let id = submit(&coord.addr, submission);
+    let doc = await_job(&coord.addr, id, Duration::from_secs(120));
+
+    assert!(
+        faults::fired_count("net.connect.refused") >= 1,
+        "the refused-connect fault never fired"
+    );
+    assert!(
+        faults::fired_count("net.response.truncated") >= 1,
+        "the truncated-response fault never fired"
+    );
+    faults::disarm_all();
+
+    assert_bit_identical(&doc, submission, 3);
+    assert!(
+        rpc_counter(&coord.addr, "retry_backoff") >= 2,
+        "both injected transients must schedule a backed-off retry"
+    );
+
+    shutdown(coord, workers);
+}
+
+/// A dead endpoint (nothing listening) trips its circuit breaker: the
+/// breaker-open count surfaces in `/metrics`, the endpoint's gauge
+/// leaves `closed`, and the surviving worker still finishes the job.
+#[test]
+fn dead_endpoint_opens_its_breaker_and_survivors_finish() {
+    let shared = scratch_dir("breaker-shared");
+    let worker = start_worker(&shared, "breaker-w0");
+
+    // A bound-then-dropped listener: a real address that refuses every
+    // connect — no fault injection needed.
+    let dead_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind dead endpoint");
+        listener.local_addr().expect("dead addr").to_string()
+    };
+
+    let coord = start_coord(minpower_coord::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: vec![worker.addr.clone(), dead_addr],
+        store_dir: shared.clone(),
+        lease_ttl: 5.0,
+        dispatch_timeout: 120.0,
+        backoff_base: 0.02,
+        breaker_cooldown: 0.1,
+        ..minpower_coord::Config::default()
+    });
+
+    let submission = r#"{"suite":["c17","s27","c17","s27","c17"],"fc":2.5e8,"steps":8}"#;
+    let id = submit(&coord.addr, submission);
+    let doc = await_job(&coord.addr, id, Duration::from_secs(120));
+
+    assert_bit_identical(&doc, submission, 5);
+    assert!(
+        rpc_counter(&coord.addr, "breaker_open") >= 1,
+        "the dead endpoint's breaker never opened"
+    );
+
+    // The per-worker gauge reports the breaker state by name.
+    let (status, metrics) = http(&coord.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"breaker\""), "{metrics}");
+
+    // One live worker remains, so the coordinator is degraded, not down.
+    let (status, _) = http(&coord.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    shutdown(coord, vec![worker]);
+}
+
+/// The acceptance soak: a partition, a read stall, and a worker killed
+/// mid-shard, against a job with a hard deadline. The stalled dispatch
+/// is hedged to a second worker (counter visible in `/metrics`), the
+/// job finishes inside its deadline, and the merge is bit-identical.
+#[test]
+fn partition_stall_and_killed_worker_finish_inside_the_deadline() {
+    let shared = scratch_dir("soak-shared");
+    let mut workers: Vec<Worker> = (0..3)
+        .map(|i| start_worker(&shared, &format!("soak-w{i}")))
+        .collect();
+
+    // Dispatch 6 stalls (by then ≥3 latency samples exist, so the hedge
+    // delay is armed and well under the 2 s injected stall); dispatch 9
+    // black-holes like a partitioned endpoint.
+    faults::arm("net.read.stall", faults::Trigger::OnIndices(vec![6]));
+    faults::arm("net.partition", faults::Trigger::OnIndices(vec![9]));
+
+    let coord = start_coord(minpower_coord::Config {
+        addr: "127.0.0.1:0".into(),
+        workers: workers.iter().map(|w| w.addr.clone()).collect(),
+        store_dir: shared.clone(),
+        lease_ttl: 5.0,
+        dispatch_timeout: 6.0,
+        connect_timeout: 1.0,
+        hedge_delay_floor: 0.05,
+        ..minpower_coord::Config::default()
+    });
+
+    // 1 optimize shard + 12 trial shards, under a 90-second job deadline
+    // that rides every dispatch as `X-Minpower-Deadline`.
+    let submission = r#"{"circuit":"c17","fc":2.5e8,"steps":6,"deadline":90,
+        "yield":{"sigma":0.08,"samples":96,"seed":3,"shard_size":8}}"#;
+    let id = submit(&coord.addr, submission);
+
+    // Once the fan-out is under way, pull the plug on a worker.
+    let started = Instant::now();
+    loop {
+        let (_, body) = http(&coord.addr, "GET", &format!("/jobs/{id}"), "");
+        if completed_of(&json::parse(&body).unwrap()) >= 6 {
+            break;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "fan-out never progressed: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let victim = workers.remove(0);
+    victim.handle.kill();
+    let _ = victim.thread.join().expect("victim thread");
+
+    // `await_job`'s bound doubles as the deadline check: the job must
+    // reach `done` (not `failed: deadline exceeded`) within the 90 s it
+    // was submitted with.
+    let doc = await_job(&coord.addr, id, Duration::from_secs(90));
+
+    assert!(
+        faults::fired_count("net.read.stall") >= 1,
+        "the read-stall fault never fired"
+    );
+    assert!(
+        faults::fired_count("net.partition") >= 1,
+        "the partition fault never fired"
+    );
+    faults::disarm_all();
+
+    assert_bit_identical(&doc, submission, 13);
+    assert!(
+        rpc_counter(&coord.addr, "hedge_fired") >= 1,
+        "the stalled dispatch was never hedged"
+    );
+    // When a hedge wins, the job can finish while the stalled primary is
+    // still asleep inside its injected fault — its transient failure
+    // (and the backed-off retry it schedules) lands up to ~2 s later, so
+    // poll rather than assert instantly.
+    let waited = Instant::now();
+    while rpc_counter(&coord.addr, "retry_backoff") < 1 {
+        assert!(
+            waited.elapsed() < Duration::from_secs(10),
+            "the injected faults never scheduled a backed-off retry"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    shutdown(coord, workers);
+}

@@ -1,0 +1,170 @@
+//! Corpus tests for the coordinator's dispatch client: scripted TCP
+//! servers feed raw byte sequences — truncated heads, garbage status
+//! lines, empty responses — through the full `post_shard` path, and the
+//! NDJSON event parser chews a corpus of partial/malformed streams.
+//! None of these may panic or be misread as a successful dispatch.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use minpower_coord::client::{parse_ndjson_events, post_shard, ClientError, DispatchCall};
+
+/// Accepts one connection, reads the full request (head + body per
+/// `Content-Length`), answers with `response`, and sends the captured
+/// request bytes down the returned channel.
+fn scripted_server(response: &'static [u8]) -> (String, mpsc::Receiver<Vec<u8>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind scripted server");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut request = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            // Stop once the head terminator and the advertised body have
+            // both arrived (the client holds its half open, so EOF never
+            // comes while it waits for the response).
+            if let Some(split) = request.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&request[..split]);
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(str::to_string)
+                    })
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or(0);
+                if request.len() >= split + 4 + content_length {
+                    break;
+                }
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => request.extend_from_slice(&buf[..n]),
+                Err(_) => break,
+            }
+        }
+        let _ = stream.write_all(response);
+        let _ = tx.send(request);
+    });
+    (addr, rx)
+}
+
+fn call<'a>(addr: &'a str, deadline: Option<f64>) -> DispatchCall<'a> {
+    DispatchCall {
+        addr,
+        body: "{\"probe\":true}",
+        connect_timeout_secs: 5.0,
+        timeout_secs: 5.0,
+        seq: 0,
+        net_seq: 0,
+        deadline_secs: deadline,
+    }
+}
+
+#[test]
+fn well_formed_responses_round_trip() {
+    let (addr, _rx) = scripted_server(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"ok\":true}");
+    let response = post_shard(&call(&addr, None)).expect("dispatch");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body, "{\"ok\":true}");
+}
+
+#[test]
+fn truncated_response_head_is_a_protocol_error() {
+    // The worker died mid-write: the head never reaches its terminator.
+    let (addr, _rx) = scripted_server(b"HTTP/1.1 200 OK\r\nContent-Type: applica");
+    match post_shard(&call(&addr, None)) {
+        Err(ClientError::Protocol(m)) => assert!(m.contains("header terminator"), "{m}"),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_status_line_is_a_protocol_error() {
+    let (addr, _rx) = scripted_server(b"ZZZ nope\r\n\r\nbody");
+    match post_shard(&call(&addr, None)) {
+        Err(ClientError::Protocol(m)) => assert!(m.contains("status line"), "{m}"),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_response_is_a_protocol_error() {
+    // Connection closed without a single response byte.
+    let (addr, _rx) = scripted_server(b"");
+    match post_shard(&call(&addr, None)) {
+        Err(ClientError::Protocol(m)) => assert!(m.contains("header terminator"), "{m}"),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_header_rides_the_dispatch_only_when_set() {
+    let (addr, rx) = scripted_server(b"HTTP/1.1 200 OK\r\n\r\n{}");
+    post_shard(&call(&addr, Some(12.5))).expect("dispatch");
+    let request = String::from_utf8(rx.recv().expect("captured request")).unwrap();
+    assert!(
+        request.contains("X-Minpower-Deadline: 12.500\r\n"),
+        "missing deadline header in {request:?}"
+    );
+    assert!(request.contains("POST /shards"), "{request:?}");
+
+    let (addr, rx) = scripted_server(b"HTTP/1.1 200 OK\r\n\r\n{}");
+    post_shard(&call(&addr, None)).expect("dispatch");
+    let request = String::from_utf8(rx.recv().expect("captured request")).unwrap();
+    assert!(
+        !request.contains("X-Minpower-Deadline"),
+        "spurious deadline header in {request:?}"
+    );
+
+    // Exhausted or garbage budgets must not produce a header either.
+    for bad in [Some(0.0), Some(-3.0), Some(f64::NAN), Some(f64::INFINITY)] {
+        let (addr, rx) = scripted_server(b"HTTP/1.1 200 OK\r\n\r\n{}");
+        post_shard(&call(&addr, bad)).expect("dispatch");
+        let request = String::from_utf8(rx.recv().expect("captured request")).unwrap();
+        assert!(
+            !request.contains("X-Minpower-Deadline"),
+            "deadline header for {bad:?} in {request:?}"
+        );
+    }
+}
+
+#[test]
+fn ndjson_event_streams_parse_and_reject_precisely() {
+    // A healthy stream: every line an object, trailing newline present.
+    let events =
+        parse_ndjson_events("{\"event\":\"progress\",\"polls\":1}\n{\"event\":\"end\"}\n").unwrap();
+    assert_eq!(events.len(), 2);
+
+    // Blank keep-alive lines are skipped, not errors.
+    let events = parse_ndjson_events("{\"a\":1}\n\n{\"b\":2}\n").unwrap();
+    assert_eq!(events.len(), 2);
+
+    // An empty body is an empty stream.
+    assert!(parse_ndjson_events("").unwrap().is_empty());
+
+    // Truncated final line (stream cut mid-event): named as such.
+    match parse_ndjson_events("{\"event\":\"progress\"}\n{\"event\":\"en") {
+        Err(ClientError::Protocol(m)) => assert!(m.contains("truncated final"), "{m}"),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+
+    // A malformed *complete* line is corruption, not truncation.
+    match parse_ndjson_events("{\"ok\":1}\nnot json at all\n{\"ok\":2}\n") {
+        Err(ClientError::Protocol(m)) => assert!(m.contains("malformed event line 2"), "{m}"),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+
+    // A non-object line is rejected even though it parses as JSON.
+    match parse_ndjson_events("[1,2,3]\n") {
+        Err(ClientError::Protocol(m)) => assert!(m.contains("not an object"), "{m}"),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+}

@@ -234,6 +234,7 @@ fn print_usage() {
          \x20                   [--checkpoint FILE] [--resume FILE] [--format human|json]\n\
          \x20 minpower serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                   [--job-time-limit SECS] [--state-dir DIR]\n\
+         \x20                   [--max-sessions N] [--session-ttl SECS]\n\
          \x20                   [--worker --shared-dir DIR]\n\
          \x20 minpower coord    --workers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
          \x20                   [--state-dir DIR] [--lease-ttl SECS]\n\
@@ -629,6 +630,8 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         "--max-gates",
         "--worker",
         "--shared-dir",
+        "--max-sessions",
+        "--session-ttl",
     ])?;
     let mut config = minpower_serve::Config {
         addr: flags.get("--addr").unwrap_or("127.0.0.1:7817").to_string(),
@@ -638,6 +641,19 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         ..minpower_serve::Config::default()
     };
     config.max_gates = flags.get_usize("--max-gates", config.max_gates)?;
+    config.max_sessions = flags.get_usize("--max-sessions", config.max_sessions)?;
+    config.session_ttl = flags.get_f64("--session-ttl", config.session_ttl)?;
+    if config.max_sessions == 0 {
+        return Err(CliError::Usage(
+            "--max-sessions must be at least 1".to_string(),
+        ));
+    }
+    if config.session_ttl < 0.0 || !config.session_ttl.is_finite() {
+        return Err(CliError::Usage(
+            "--session-ttl must be a finite, non-negative number of seconds (0 disables the sweep)"
+                .to_string(),
+        ));
+    }
     if let Some(dir) = flags.get("--state-dir") {
         config.state_dir = dir.into();
     }

@@ -70,6 +70,7 @@ pub mod report;
 mod result;
 pub mod runctl;
 pub mod search;
+pub mod session;
 pub mod store;
 pub mod tilos;
 pub mod variation;

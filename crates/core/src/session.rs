@@ -1,0 +1,1493 @@
+//! Interactive what-if sessions: warm incremental state plus a typed,
+//! durable edit log.
+//!
+//! A cold optimization job answers one question per netlist load; a
+//! *session* keeps the expensive artifacts — the [`CircuitModel`], a
+//! self-consistent delay vector, a warm [`IncrementalSta`], and an
+//! [`EnergyLedger`] — alive between questions, so "what if this gate
+//! were 2× wider" or "what if `f_c` moved to 400 MHz" costs one
+//! dirty-cone repair instead of a full dense evaluation. The design
+//! follows the same discipline as the sizing inner loops (PR 2): every
+//! incremental path is bitwise-identical to the dense recomputation it
+//! replaces, and debug builds assert that after every op.
+//!
+//! The pieces:
+//!
+//! - [`SessionOp`] — the typed edit vocabulary (resize, retime via
+//!   `set_vt`, operating-point nudges, structural add/remove,
+//!   dirty-cone re-optimization), with a JSON codec whose persisted
+//!   form uses the checkpoint hex-float encoding so replay is
+//!   bit-exact.
+//! - [`SessionState`] — the warm state and the per-op incremental
+//!   strategies: width/vt edits run the journaled delay repair +
+//!   `IncrementalSta` commit + ledger refresh; operating-point edits
+//!   rebuild only the invalidated artifact (ledger for `f_c` and
+//!   activity, everything for `V_dd`); structural edits rebuild
+//!   densely (the wire model is a function of gate count, so the
+//!   whole delay surface legitimately moves).
+//! - The **op-log**: `append_op` writes one CRC-framed record per
+//!   applied op with an fsync, `read_oplog` replays the longest valid
+//!   prefix (a torn tail — crash or the `session.oplog.torn` fault —
+//!   truncates cleanly instead of poisoning the session). Replaying
+//!   the log over the creation parameters reproduces the live state
+//!   bit-for-bit, which is what makes kill-and-restart recovery and
+//!   the dense cross-check meaningful.
+//!
+//! Checkpointing policy (how often to fold the log into a snapshot)
+//! and eviction live in the service layer; this module owns only the
+//! state machine and its durability primitives.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use minpower_device::Technology;
+use minpower_models::{CircuitModel, Design, EnergyBreakdown, EnergyLedger};
+use minpower_netlist::{GateId, GateKind, Netlist, NetlistBuilder};
+use minpower_timing::IncrementalSta;
+
+use crate::json::{self, Value};
+
+/// Input switching probability used for every session model, matching
+/// the cold job path (`JobSpec::build`) so a session and the equivalent
+/// job see the same activities.
+const ACTIVITY_PROBABILITY: f64 = 0.5;
+
+/// Default bisection depth for [`SessionOp::Reoptimize`].
+pub const DEFAULT_REOPT_STEPS: u32 = 12;
+
+/// Most bisection steps a single re-optimize op may request.
+pub const MAX_REOPT_STEPS: u32 = 64;
+
+/// A session-layer failure: invalid op, unknown gate, out-of-range
+/// value, or a malformed persisted document. Always a client/caller
+/// error — internal invariant violations panic instead.
+#[derive(Debug, Clone)]
+pub struct SessionError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SessionError {
+    fn new(message: impl Into<String>) -> Self {
+        SessionError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<json::JsonError> for SessionError {
+    fn from(e: json::JsonError) -> Self {
+        SessionError::new(e.to_string())
+    }
+}
+
+/// Operating point and uniform starting design for a new session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionParams {
+    /// Clock frequency target, Hz.
+    pub fc: f64,
+    /// Uniform input activity density.
+    pub activity: f64,
+    /// Usable clock fraction (skew margin), `(0, 1]`.
+    pub skew: f64,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Uniform starting threshold voltage, volts.
+    pub vt: f64,
+    /// Uniform starting gate width (also the default for added gates).
+    pub width: f64,
+}
+
+impl Default for SessionParams {
+    fn default() -> Self {
+        SessionParams {
+            fc: 300.0e6,
+            activity: 0.3,
+            skew: 1.0,
+            vdd: 2.5,
+            vt: 0.45,
+            width: 2.0,
+        }
+    }
+}
+
+impl SessionParams {
+    /// Validates every field against physical and technology ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] naming the first offending field.
+    pub fn validate(&self, tech: &Technology) -> Result<(), SessionError> {
+        if !self.fc.is_finite() || self.fc <= 0.0 {
+            return Err(SessionError::new("`fc` must be finite and positive"));
+        }
+        if !(0.0..=1.0).contains(&self.activity) {
+            return Err(SessionError::new("`activity` must be within [0, 1]"));
+        }
+        if !(self.skew > 0.0 && self.skew <= 1.0) {
+            return Err(SessionError::new("`skew` must be within (0, 1]"));
+        }
+        check_range("vdd", self.vdd, tech.vdd_range)?;
+        check_range("vt", self.vt, tech.vt_range)?;
+        check_range("width", self.width, tech.w_range)?;
+        Ok(())
+    }
+}
+
+fn check_range(what: &str, x: f64, (lo, hi): (f64, f64)) -> Result<(), SessionError> {
+    if !x.is_finite() || x < lo || x > hi {
+        return Err(SessionError::new(format!(
+            "`{what}` must be within [{lo}, {hi}]"
+        )));
+    }
+    Ok(())
+}
+
+/// One typed session edit. The JSON wire form is
+/// `{"op": "<kind>", ...}`; numeric fields accept either plain numbers
+/// (the client form) or `0x...` bit-exact hex floats (the persisted
+/// op-log form, which [`SessionOp::to_json`] always emits so replay
+/// cannot drift through a decimal round-trip).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOp {
+    /// Set `gate`'s width (resize).
+    Resize {
+        /// Target gate name.
+        gate: String,
+        /// New width, within the technology's `w_range`.
+        width: f64,
+    },
+    /// Set `gate`'s threshold voltage (retime its drive/leakage trade).
+    SetVt {
+        /// Target gate name.
+        gate: String,
+        /// New threshold voltage, within `vt_range`.
+        vt: f64,
+    },
+    /// Move the supply voltage (global operating-point edit).
+    SetVdd {
+        /// New supply voltage, within `vdd_range`.
+        vdd: f64,
+    },
+    /// Move the clock frequency target.
+    SetFc {
+        /// New target, Hz.
+        fc: f64,
+    },
+    /// Change the uniform input activity density.
+    SetActivity {
+        /// New density, `[0, 1]`.
+        activity: f64,
+    },
+    /// Add a logic gate driven by existing nets.
+    AddGate {
+        /// Fresh net name.
+        name: String,
+        /// Logic function (any non-`INPUT` kind).
+        kind: GateKind,
+        /// Names of the driving nets.
+        fanin: Vec<String>,
+    },
+    /// Remove a gate that drives nothing (not an input, output, or
+    /// another gate's fanin).
+    RemoveGate {
+        /// Target gate name.
+        gate: String,
+    },
+    /// Re-optimize the dirty cone: minimal feasible width per dirty
+    /// gate, in deterministic (level, index) order.
+    Reoptimize {
+        /// Bisection depth per gate, `1..=`[`MAX_REOPT_STEPS`].
+        steps: u32,
+    },
+}
+
+impl SessionOp {
+    /// Parses the JSON wire form. Unknown fields are rejected so client
+    /// typos fail loudly instead of silently no-oping.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] describing the malformation.
+    pub fn from_json(doc: &Value) -> Result<SessionOp, SessionError> {
+        let obj = doc.as_obj("session op")?;
+        let kind = obj.req("op")?.as_str("op")?;
+        let known: &[&str] = match kind {
+            "resize" => &["op", "gate", "width"],
+            "set_vt" => &["op", "gate", "vt"],
+            "set_vdd" => &["op", "vdd"],
+            "set_fc" => &["op", "fc"],
+            "set_activity" => &["op", "activity"],
+            "add_gate" => &["op", "name", "kind", "fanin"],
+            "remove_gate" => &["op", "gate"],
+            "reoptimize" => &["op", "steps"],
+            other => {
+                return Err(SessionError::new(format!("unknown op kind {other:?}")));
+            }
+        };
+        if let Value::Obj(fields) = doc {
+            for (key, _) in fields {
+                if !known.contains(&key.as_str()) {
+                    return Err(SessionError::new(format!(
+                        "unknown field {key:?} for op {kind:?}"
+                    )));
+                }
+            }
+        }
+        let op = match kind {
+            "resize" => SessionOp::Resize {
+                gate: obj.req("gate")?.as_str("gate")?.to_string(),
+                width: float_field(obj.req("width")?, "width")?,
+            },
+            "set_vt" => SessionOp::SetVt {
+                gate: obj.req("gate")?.as_str("gate")?.to_string(),
+                vt: float_field(obj.req("vt")?, "vt")?,
+            },
+            "set_vdd" => SessionOp::SetVdd {
+                vdd: float_field(obj.req("vdd")?, "vdd")?,
+            },
+            "set_fc" => SessionOp::SetFc {
+                fc: float_field(obj.req("fc")?, "fc")?,
+            },
+            "set_activity" => SessionOp::SetActivity {
+                activity: float_field(obj.req("activity")?, "activity")?,
+            },
+            "add_gate" => {
+                let name = obj.req("name")?.as_str("name")?.to_string();
+                let kind = kind_from_keyword(obj.req("kind")?.as_str("kind")?)?;
+                let fanin = obj
+                    .req("fanin")?
+                    .as_arr("fanin")?
+                    .iter()
+                    .map(|v| v.as_str("fanin entry").map(str::to_string))
+                    .collect::<Result<Vec<_>, _>>()?;
+                SessionOp::AddGate { name, kind, fanin }
+            }
+            "remove_gate" => SessionOp::RemoveGate {
+                gate: obj.req("gate")?.as_str("gate")?.to_string(),
+            },
+            "reoptimize" => {
+                let steps = match obj.opt("steps") {
+                    Some(v) => v.as_u64("steps")? as u32,
+                    None => DEFAULT_REOPT_STEPS,
+                };
+                if steps == 0 || steps > MAX_REOPT_STEPS {
+                    return Err(SessionError::new(format!(
+                        "`steps` must be within [1, {MAX_REOPT_STEPS}]"
+                    )));
+                }
+                SessionOp::Reoptimize { steps }
+            }
+            _ => unreachable!("kind validated above"),
+        };
+        Ok(op)
+    }
+
+    /// Canonical (persisted) JSON form: hex-float numerics, stable
+    /// field order. `from_json(to_json(op)) == op` bit-for-bit.
+    pub fn to_json(&self) -> Value {
+        let f = json::bits_f64;
+        match self {
+            SessionOp::Resize { gate, width } => Value::Obj(vec![
+                ("op".into(), Value::Str("resize".into())),
+                ("gate".into(), Value::Str(gate.clone())),
+                ("width".into(), f(*width)),
+            ]),
+            SessionOp::SetVt { gate, vt } => Value::Obj(vec![
+                ("op".into(), Value::Str("set_vt".into())),
+                ("gate".into(), Value::Str(gate.clone())),
+                ("vt".into(), f(*vt)),
+            ]),
+            SessionOp::SetVdd { vdd } => Value::Obj(vec![
+                ("op".into(), Value::Str("set_vdd".into())),
+                ("vdd".into(), f(*vdd)),
+            ]),
+            SessionOp::SetFc { fc } => Value::Obj(vec![
+                ("op".into(), Value::Str("set_fc".into())),
+                ("fc".into(), f(*fc)),
+            ]),
+            SessionOp::SetActivity { activity } => Value::Obj(vec![
+                ("op".into(), Value::Str("set_activity".into())),
+                ("activity".into(), f(*activity)),
+            ]),
+            SessionOp::AddGate { name, kind, fanin } => Value::Obj(vec![
+                ("op".into(), Value::Str("add_gate".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("kind".into(), Value::Str(kind.bench_keyword().into())),
+                (
+                    "fanin".into(),
+                    Value::Arr(fanin.iter().map(|n| Value::Str(n.clone())).collect()),
+                ),
+            ]),
+            SessionOp::RemoveGate { gate } => Value::Obj(vec![
+                ("op".into(), Value::Str("remove_gate".into())),
+                ("gate".into(), Value::Str(gate.clone())),
+            ]),
+            SessionOp::Reoptimize { steps } => Value::Obj(vec![
+                ("op".into(), Value::Str("reoptimize".into())),
+                ("steps".into(), Value::Int(u64::from(*steps))),
+            ]),
+        }
+    }
+
+    /// Short kind tag for logs and metrics.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            SessionOp::Resize { .. } => "resize",
+            SessionOp::SetVt { .. } => "set_vt",
+            SessionOp::SetVdd { .. } => "set_vdd",
+            SessionOp::SetFc { .. } => "set_fc",
+            SessionOp::SetActivity { .. } => "set_activity",
+            SessionOp::AddGate { .. } => "add_gate",
+            SessionOp::RemoveGate { .. } => "remove_gate",
+            SessionOp::Reoptimize { .. } => "reoptimize",
+        }
+    }
+}
+
+/// Accepts both the client form (plain number) and the persisted form
+/// (hex-bits string) for a float field.
+fn float_field(v: &Value, what: &str) -> Result<f64, SessionError> {
+    match v {
+        Value::Str(_) => Ok(v.as_bits_f64(what)?),
+        _ => Ok(v.as_number(what)?),
+    }
+}
+
+/// Parses a `.bench`-style gate keyword (case-insensitive). `INPUT` is
+/// rejected: structural edits only add logic.
+fn kind_from_keyword(s: &str) -> Result<GateKind, SessionError> {
+    let kind = match s.to_ascii_uppercase().as_str() {
+        "AND" => GateKind::And,
+        "OR" => GateKind::Or,
+        "NAND" => GateKind::Nand,
+        "NOR" => GateKind::Nor,
+        "NOT" | "INV" => GateKind::Not,
+        "BUF" | "BUFF" => GateKind::Buf,
+        "XOR" => GateKind::Xor,
+        "XNOR" => GateKind::Xnor,
+        other => {
+            return Err(SessionError::new(format!("unknown gate kind {other:?}")));
+        }
+    };
+    Ok(kind)
+}
+
+/// What one applied op did to the session, for the HTTP response.
+#[derive(Debug, Clone, Copy)]
+pub struct OpOutcome {
+    /// Session revision after the op (ops applied since creation).
+    pub revision: u64,
+    /// Gates whose delay entry moved during the incremental repair
+    /// (dense rebuilds report the full gate count).
+    pub gates_touched: usize,
+    /// Gates whose width a [`SessionOp::Reoptimize`] changed.
+    pub resized: usize,
+    /// Whether the circuit currently meets the cycle-time constraint.
+    pub feasible: bool,
+    /// Critical path delay, seconds.
+    pub critical_delay: f64,
+    /// Effective cycle time (`skew / fc`), seconds.
+    pub cycle_time: f64,
+    /// Exact (index-order) energy total per cycle.
+    pub energy: EnergyBreakdown,
+    /// Gates currently marked dirty for the next re-optimize.
+    pub dirty: usize,
+}
+
+/// Warm per-session state: the model, a self-consistent delay vector,
+/// an incremental STA, an energy ledger, and the dirty set feeding the
+/// re-optimization planner. All mutation goes through [`SessionState::apply`];
+/// replaying the same ops over the same [`SessionParams`] reproduces
+/// the state bit-for-bit.
+pub struct SessionState {
+    tech: Technology,
+    model: CircuitModel,
+    design: Design,
+    fc: f64,
+    activity: f64,
+    skew: f64,
+    default_vt: f64,
+    default_width: f64,
+    delays: Vec<f64>,
+    sta: IncrementalSta,
+    ledger: EnergyLedger,
+    dirty: BTreeSet<String>,
+    revision: u64,
+}
+
+impl SessionState {
+    /// Builds the warm state: dense delays, forward-only STA, energy
+    /// ledger.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] when `params` is out of range.
+    pub fn new(netlist: Netlist, params: &SessionParams) -> Result<SessionState, SessionError> {
+        let tech = Technology::dac97();
+        params.validate(&tech)?;
+        let design = Design::uniform(&netlist, params.vdd, params.vt, params.width);
+        let model = CircuitModel::with_uniform_activity(
+            &netlist,
+            tech.clone(),
+            ACTIVITY_PROBABILITY,
+            params.activity,
+        );
+        let mut delays = Vec::new();
+        model.delays_into(&design, &mut delays);
+        let sta = IncrementalSta::forward_only(model.netlist(), &delays, params.skew / params.fc);
+        let ledger = model.energy_ledger(&design, params.fc);
+        Ok(SessionState {
+            tech,
+            model,
+            design,
+            fc: params.fc,
+            activity: params.activity,
+            skew: params.skew,
+            default_vt: params.vt,
+            default_width: params.width,
+            delays,
+            sta,
+            ledger,
+            dirty: BTreeSet::new(),
+            revision: 0,
+        })
+    }
+
+    /// Rebuilds a state from the creation parameters by replaying an
+    /// op-log prefix. Deterministic ops over deterministic params mean
+    /// the result is bit-identical to the live state that wrote the log.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] if construction or any op fails (a log written
+    /// by `apply` never fails to replay; a hand-edited one can).
+    pub fn replay(
+        netlist: Netlist,
+        params: &SessionParams,
+        ops: &[SessionOp],
+    ) -> Result<SessionState, SessionError> {
+        let mut state = SessionState::new(netlist, params)?;
+        for op in ops {
+            state.apply(op)?;
+        }
+        Ok(state)
+    }
+
+    /// Applies one op, incrementally where the op's footprint allows.
+    /// On error the state is unchanged (ops validate before mutating).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] naming the offending field or gate.
+    pub fn apply(&mut self, op: &SessionOp) -> Result<OpOutcome, SessionError> {
+        let (gates_touched, resized) = match op {
+            SessionOp::Resize { gate, width } => {
+                let id = self.logic_gate(gate, "resize")?;
+                check_range("width", *width, self.tech.w_range)?;
+                let touched = self.commit_width(id, *width);
+                self.dirty.insert(gate.clone());
+                (touched, 0)
+            }
+            SessionOp::SetVt { gate, vt } => {
+                let id = self.logic_gate(gate, "set_vt")?;
+                check_range("vt", *vt, self.tech.vt_range)?;
+                self.design.vt[id.index()] = *vt;
+                // Vt moves the gate's own drive and leakage; its fanins'
+                // delays recompute to the same bits, so the width-change
+                // repair cone is exactly the vt-change cone.
+                let touched = self.repair_from(id);
+                self.ledger.on_width_change(&self.model, &self.design, id);
+                self.dirty.insert(gate.clone());
+                (touched, 0)
+            }
+            SessionOp::SetVdd { vdd } => {
+                check_range("vdd", *vdd, self.tech.vdd_range)?;
+                self.design.vdd = *vdd;
+                self.rebuild_dense();
+                self.mark_all_dirty();
+                (self.model.netlist().gate_count(), 0)
+            }
+            SessionOp::SetFc { fc } => {
+                if !fc.is_finite() || *fc <= 0.0 {
+                    return Err(SessionError::new("`fc` must be finite and positive"));
+                }
+                self.fc = *fc;
+                // Delays are untouched; only the constraint and the
+                // static-energy terms (∝ 1/fc) move.
+                self.sta = IncrementalSta::forward_only(
+                    self.model.netlist(),
+                    &self.delays,
+                    self.cycle_time(),
+                );
+                self.ledger = self.model.energy_ledger(&self.design, self.fc);
+                self.mark_all_dirty();
+                (0, 0)
+            }
+            SessionOp::SetActivity { activity } => {
+                if !(0.0..=1.0).contains(activity) {
+                    return Err(SessionError::new("`activity` must be within [0, 1]"));
+                }
+                self.activity = *activity;
+                // Activity enters only the dynamic-energy terms, never
+                // gate_delay, so the delay vector and STA stay valid.
+                let netlist = self.model.netlist().clone();
+                self.model = CircuitModel::with_uniform_activity(
+                    &netlist,
+                    self.tech.clone(),
+                    ACTIVITY_PROBABILITY,
+                    *activity,
+                );
+                self.ledger = self.model.energy_ledger(&self.design, self.fc);
+                self.mark_all_dirty();
+                (0, 0)
+            }
+            SessionOp::AddGate { name, kind, fanin } => {
+                let touched = self.add_gate(name, *kind, fanin)?;
+                (touched, 0)
+            }
+            SessionOp::RemoveGate { gate } => {
+                let touched = self.remove_gate(gate)?;
+                (touched, 0)
+            }
+            SessionOp::Reoptimize { steps } => {
+                if *steps == 0 || *steps > MAX_REOPT_STEPS {
+                    return Err(SessionError::new(format!(
+                        "`steps` must be within [1, {MAX_REOPT_STEPS}]"
+                    )));
+                }
+                self.reoptimize(*steps)
+            }
+        };
+        self.revision += 1;
+        #[cfg(debug_assertions)]
+        self.cross_check();
+        Ok(OpOutcome {
+            revision: self.revision,
+            gates_touched,
+            resized,
+            feasible: self.sta.meets_constraint(),
+            critical_delay: self.sta.critical_delay(),
+            cycle_time: self.cycle_time(),
+            energy: self.ledger.exact_total(),
+            dirty: self.dirty.len(),
+        })
+    }
+
+    /// Resolves a gate name to a non-input gate id.
+    fn logic_gate(&self, name: &str, op: &str) -> Result<GateId, SessionError> {
+        let id = self
+            .model
+            .netlist()
+            .find(name)
+            .ok_or_else(|| SessionError::new(format!("unknown gate {name:?}")))?;
+        if self.model.netlist().gate(id).kind().is_input() {
+            return Err(SessionError::new(format!(
+                "cannot {op} primary input {name:?}"
+            )));
+        }
+        Ok(id)
+    }
+
+    /// Journaled delay repair from `id` + staged STA commit. Returns
+    /// how many delay entries moved.
+    fn repair_from(&mut self, id: GateId) -> usize {
+        let mut staged: Vec<u32> = Vec::new();
+        self.model.update_delays_after_width_change_with(
+            &self.design,
+            &mut self.delays,
+            id,
+            |i, _| staged.push(i as u32),
+        );
+        for &i in &staged {
+            self.sta
+                .set_delay(GateId::new(i as usize), self.delays[i as usize]);
+        }
+        let _ = self.sta.commit();
+        staged.len()
+    }
+
+    /// Applies a width permanently: repair + ledger refresh.
+    fn commit_width(&mut self, id: GateId, w: f64) -> usize {
+        self.design.width[id.index()] = w;
+        let touched = self.repair_from(id);
+        self.ledger.on_width_change(&self.model, &self.design, id);
+        touched
+    }
+
+    /// Trial width probe: applies, checks feasibility, reverts
+    /// bit-exactly (restore width, replay the journal in reverse, undo
+    /// the STA commit) — the `IncrementalEval::try_width`/`revert`
+    /// transaction inlined over owned state.
+    fn probe_feasible(&mut self, id: GateId, w: f64) -> bool {
+        let old_w = self.design.width[id.index()];
+        self.design.width[id.index()] = w;
+        let mut journal: Vec<(u32, f64)> = Vec::new();
+        self.model.update_delays_after_width_change_with(
+            &self.design,
+            &mut self.delays,
+            id,
+            |i, old| journal.push((i as u32, old)),
+        );
+        for &(i, _) in &journal {
+            self.sta
+                .set_delay(GateId::new(i as usize), self.delays[i as usize]);
+        }
+        let _ = self.sta.commit();
+        let feasible = self.sta.meets_constraint();
+        self.design.width[id.index()] = old_w;
+        for &(i, old) in journal.iter().rev() {
+            self.delays[i as usize] = old;
+        }
+        self.sta.undo();
+        feasible
+    }
+
+    /// Dirty-cone planner: for each dirty gate in (level, index) order,
+    /// bisect for the minimal feasible width in the technology range
+    /// (energy grows with width, so minimal feasible ≈ minimal energy,
+    /// the paper's objective). Best-effort: a gate that cannot reach
+    /// feasibility at any width keeps its current one.
+    fn reoptimize(&mut self, steps: u32) -> (usize, usize) {
+        let mut cone: Vec<GateId> = self
+            .dirty
+            .iter()
+            .filter_map(|name| self.model.netlist().find(name))
+            .filter(|&id| !self.model.netlist().gate(id).kind().is_input())
+            .collect();
+        let netlist = self.model.netlist();
+        cone.sort_by_key(|&id| (netlist.level(id), id.index()));
+        let (w_min, w_max) = self.tech.w_range;
+        let mut touched = 0usize;
+        let mut resized = 0usize;
+        for id in cone {
+            let current = self.design.width[id.index()];
+            let chosen = if self.probe_feasible(id, w_min) {
+                w_min
+            } else if !self.probe_feasible(id, w_max) {
+                current
+            } else {
+                let (mut lo, mut hi) = (w_min, w_max);
+                for _ in 0..steps {
+                    let mid = 0.5 * (lo + hi);
+                    if self.probe_feasible(id, mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                hi
+            };
+            if chosen.to_bits() != current.to_bits() {
+                touched += self.commit_width(id, chosen);
+                resized += 1;
+            }
+        }
+        self.dirty.clear();
+        (touched, resized)
+    }
+
+    /// Structural add: rebuild the netlist with the new gate appended
+    /// (index order of existing gates is preserved, so the design
+    /// vectors extend in place), then rebuild densely — the wire model
+    /// scales with gate count, so every delay legitimately moves.
+    fn add_gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanin: &[String],
+    ) -> Result<usize, SessionError> {
+        if name.is_empty() {
+            return Err(SessionError::new("`name` must be non-empty"));
+        }
+        if kind.is_input() {
+            return Err(SessionError::new("cannot add a primary input"));
+        }
+        let old = self.model.netlist();
+        if old.find(name).is_some() {
+            return Err(SessionError::new(format!("gate {name:?} already exists")));
+        }
+        let mut b = NetlistBuilder::new(old.name());
+        for g in old.gates() {
+            if g.kind().is_input() {
+                b.input(g.name()).map_err(to_session_error)?;
+            } else {
+                b.gate_by_id(g.name(), g.kind(), g.fanin().to_vec())
+                    .map_err(to_session_error)?;
+            }
+        }
+        for &o in old.outputs() {
+            b.output(old.gate(o).name()).map_err(to_session_error)?;
+        }
+        b.record_flip_flops(old.flip_flop_count());
+        let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+        b.gate(name, kind, &refs).map_err(to_session_error)?;
+        let netlist = b.finish().map_err(to_session_error)?;
+        self.design.vt.push(self.default_vt);
+        self.design.width.push(self.default_width);
+        self.model = CircuitModel::with_uniform_activity(
+            &netlist,
+            self.tech.clone(),
+            ACTIVITY_PROBABILITY,
+            self.activity,
+        );
+        self.rebuild_dense();
+        self.dirty.insert(name.to_string());
+        for f in fanin {
+            if !self
+                .model
+                .netlist()
+                .gate(self.model.netlist().find(f).expect("fanin exists"))
+                .kind()
+                .is_input()
+            {
+                self.dirty.insert(f.clone());
+            }
+        }
+        Ok(self.model.netlist().gate_count())
+    }
+
+    /// Structural remove: only a leaf gate (no fanout, not an output,
+    /// not an input) can go; everything downstream of its former
+    /// drivers rebuilds densely.
+    fn remove_gate(&mut self, name: &str) -> Result<usize, SessionError> {
+        let old = self.model.netlist();
+        let id = old
+            .find(name)
+            .ok_or_else(|| SessionError::new(format!("unknown gate {name:?}")))?;
+        if old.gate(id).kind().is_input() {
+            return Err(SessionError::new(format!(
+                "cannot remove primary input {name:?}"
+            )));
+        }
+        if old.is_output(id) {
+            return Err(SessionError::new(format!(
+                "cannot remove primary output {name:?}"
+            )));
+        }
+        let fanout = old.fanout(id).len();
+        if fanout > 0 {
+            return Err(SessionError::new(format!(
+                "gate {name:?} drives {fanout} gate(s); remove those first"
+            )));
+        }
+        let fanin_names: Vec<String> = old
+            .gate(id)
+            .fanin()
+            .iter()
+            .map(|&f| old.gate(f).name().to_string())
+            .collect();
+        let mut b = NetlistBuilder::new(old.name());
+        for g in old.gates() {
+            if g.name() == name {
+                continue;
+            }
+            if g.kind().is_input() {
+                b.input(g.name()).map_err(to_session_error)?;
+            } else {
+                // Rebuild by fanin *names*: ids above the removed index
+                // shift down by one.
+                let fan: Vec<&str> = g.fanin().iter().map(|&f| old.gate(f).name()).collect();
+                b.gate(g.name(), g.kind(), &fan).map_err(to_session_error)?;
+            }
+        }
+        for &o in old.outputs() {
+            b.output(old.gate(o).name()).map_err(to_session_error)?;
+        }
+        b.record_flip_flops(old.flip_flop_count());
+        let netlist = b.finish().map_err(to_session_error)?;
+        self.design.vt.remove(id.index());
+        self.design.width.remove(id.index());
+        self.model = CircuitModel::with_uniform_activity(
+            &netlist,
+            self.tech.clone(),
+            ACTIVITY_PROBABILITY,
+            self.activity,
+        );
+        self.rebuild_dense();
+        self.dirty.remove(name);
+        for f in fanin_names {
+            let fid = self
+                .model
+                .netlist()
+                .find(&f)
+                .expect("fanin survives removal");
+            if !self.model.netlist().gate(fid).kind().is_input() {
+                self.dirty.insert(f);
+            }
+        }
+        Ok(self.model.netlist().gate_count())
+    }
+
+    /// Dense rebuild of delays, STA, and ledger from the current model
+    /// and design.
+    fn rebuild_dense(&mut self) {
+        self.model.delays_into(&self.design, &mut self.delays);
+        self.sta =
+            IncrementalSta::forward_only(self.model.netlist(), &self.delays, self.cycle_time());
+        self.ledger = self.model.energy_ledger(&self.design, self.fc);
+    }
+
+    fn mark_all_dirty(&mut self) {
+        for g in self.model.netlist().gates() {
+            if !g.kind().is_input() {
+                self.dirty.insert(g.name().to_string());
+            }
+        }
+    }
+
+    /// The dense cross-check: the warm delay vector, arrival times,
+    /// and ledger total must be bitwise-identical to a from-scratch
+    /// evaluation — the same discipline as the SoA scalar cross-check.
+    /// Debug builds run this after every op.
+    pub fn cross_check(&self) {
+        let mut dense = Vec::new();
+        self.model.delays_into(&self.design, &mut dense);
+        assert_eq!(dense.len(), self.delays.len(), "delay vector length drift");
+        for (i, (&d, &w)) in dense.iter().zip(self.delays.iter()).enumerate() {
+            assert_eq!(
+                d.to_bits(),
+                w.to_bits(),
+                "session delay drift at gate {i}: dense {d:e} vs warm {w:e}"
+            );
+        }
+        let dense_sta =
+            IncrementalSta::forward_only(self.model.netlist(), &dense, self.cycle_time());
+        for (i, (&a, &b)) in dense_sta
+            .arrivals()
+            .iter()
+            .zip(self.sta.arrivals().iter())
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "session arrival drift at gate {i}"
+            );
+        }
+        assert_eq!(
+            dense_sta.critical_delay().to_bits(),
+            self.sta.critical_delay().to_bits(),
+            "session critical-delay drift"
+        );
+        let dense_total = self.model.total_energy(&self.design, self.fc);
+        let exact = self.ledger.exact_total();
+        assert_eq!(
+            dense_total.static_.to_bits(),
+            exact.static_.to_bits(),
+            "session static-energy drift"
+        );
+        assert_eq!(
+            dense_total.dynamic.to_bits(),
+            exact.dynamic.to_bits(),
+            "session dynamic-energy drift"
+        );
+        self.sta.assert_consistent();
+    }
+
+    /// Effective cycle time, `skew / fc` (matches
+    /// `Problem::effective_cycle_time`).
+    pub fn cycle_time(&self) -> f64 {
+        self.skew / self.fc
+    }
+
+    /// Ops applied since creation.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The bound netlist (post any structural edits).
+    pub fn netlist(&self) -> &Netlist {
+        self.model.netlist()
+    }
+
+    /// The current design point.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Current self-consistent per-gate delays.
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Current per-gate arrival times.
+    pub fn arrivals(&self) -> &[f64] {
+        self.sta.arrivals()
+    }
+
+    /// Current critical path delay, seconds.
+    pub fn critical_delay(&self) -> f64 {
+        self.sta.critical_delay()
+    }
+
+    /// Whether the circuit meets the cycle-time constraint.
+    pub fn feasible(&self) -> bool {
+        self.sta.meets_constraint()
+    }
+
+    /// Exact (index-order) energy per cycle; bitwise-identical to
+    /// `CircuitModel::total_energy` over the same design.
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.ledger.exact_total()
+    }
+
+    /// Clock frequency target, Hz.
+    pub fn fc(&self) -> f64 {
+        self.fc
+    }
+
+    /// Uniform input activity density.
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Usable clock fraction.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Names currently marked dirty for the next re-optimize.
+    pub fn dirty(&self) -> &BTreeSet<String> {
+        &self.dirty
+    }
+
+    /// Full-state snapshot in the checkpoint encoding: rebuilding via
+    /// [`SessionState::from_snapshot`] yields a bitwise-identical
+    /// state. This is what the service's periodic checkpoint persists.
+    pub fn snapshot(&self) -> Value {
+        let n = self.model.netlist();
+        let gates: Vec<Value> = n
+            .gates()
+            .iter()
+            .map(|g| {
+                Value::Arr(vec![
+                    Value::Str(g.name().to_string()),
+                    Value::Str(g.kind().bench_keyword().to_string()),
+                    Value::Arr(
+                        g.fanin()
+                            .iter()
+                            .map(|&f| Value::Str(n.gate(f).name().to_string()))
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect();
+        let outputs: Vec<Value> = n
+            .outputs()
+            .iter()
+            .map(|&o| Value::Str(n.gate(o).name().to_string()))
+            .collect();
+        Value::Obj(vec![
+            (
+                "schema".into(),
+                Value::Str("minpower-session-snapshot".into()),
+            ),
+            ("version".into(), Value::Int(1)),
+            ("revision".into(), Value::Int(self.revision)),
+            ("fc".into(), json::bits_f64(self.fc)),
+            ("activity".into(), json::bits_f64(self.activity)),
+            ("skew".into(), json::bits_f64(self.skew)),
+            ("vdd".into(), json::bits_f64(self.design.vdd)),
+            ("default_vt".into(), json::bits_f64(self.default_vt)),
+            ("default_width".into(), json::bits_f64(self.default_width)),
+            ("netlist_name".into(), Value::Str(n.name().to_string())),
+            ("gates".into(), Value::Arr(gates)),
+            ("outputs".into(), Value::Arr(outputs)),
+            ("flip_flops".into(), Value::Int(n.flip_flop_count() as u64)),
+            ("vt".into(), json::bits_f64_array(&self.design.vt)),
+            ("width".into(), json::bits_f64_array(&self.design.width)),
+            (
+                "dirty".into(),
+                Value::Arr(self.dirty.iter().map(|s| Value::Str(s.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a state from a [`SessionState::snapshot`] document.
+    /// Delays, STA, and ledger are recomputed densely — bit-identical
+    /// to the live values by the incremental contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] on a malformed or inconsistent document.
+    pub fn from_snapshot(doc: &Value) -> Result<SessionState, SessionError> {
+        let obj = doc.as_obj("session snapshot")?;
+        let schema = obj.req("schema")?.as_str("schema")?;
+        if schema != "minpower-session-snapshot" {
+            return Err(SessionError::new(format!("unexpected schema {schema:?}")));
+        }
+        let version = obj.req("version")?.as_u64("version")?;
+        if version != 1 {
+            return Err(SessionError::new(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let mut b = NetlistBuilder::new(obj.req("netlist_name")?.as_str("netlist_name")?);
+        for g in obj.req("gates")?.as_arr("gates")? {
+            let parts = g.as_arr("gate entry")?;
+            if parts.len() != 3 {
+                return Err(SessionError::new("gate entry must be [name, kind, fanin]"));
+            }
+            let name = parts[0].as_str("gate name")?;
+            let kw = parts[1].as_str("gate kind")?;
+            let fanin: Vec<&str> = parts[2]
+                .as_arr("gate fanin")?
+                .iter()
+                .map(|v| v.as_str("fanin name"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if kw.eq_ignore_ascii_case("INPUT") {
+                b.input(name).map_err(to_session_error)?;
+            } else {
+                b.gate(name, kind_from_keyword(kw)?, &fanin)
+                    .map_err(to_session_error)?;
+            }
+        }
+        for o in obj.req("outputs")?.as_arr("outputs")? {
+            b.output(o.as_str("output name")?)
+                .map_err(to_session_error)?;
+        }
+        b.record_flip_flops(obj.req("flip_flops")?.as_u64("flip_flops")? as usize);
+        let netlist = b.finish().map_err(to_session_error)?;
+        let params = SessionParams {
+            fc: obj.req("fc")?.as_bits_f64("fc")?,
+            activity: obj.req("activity")?.as_bits_f64("activity")?,
+            skew: obj.req("skew")?.as_bits_f64("skew")?,
+            vdd: obj.req("vdd")?.as_bits_f64("vdd")?,
+            vt: obj.req("default_vt")?.as_bits_f64("default_vt")?,
+            width: obj.req("default_width")?.as_bits_f64("default_width")?,
+        };
+        let vt = obj.req("vt")?.as_bits_f64_vec("vt")?;
+        let width = obj.req("width")?.as_bits_f64_vec("width")?;
+        if vt.len() != netlist.gate_count() || width.len() != netlist.gate_count() {
+            return Err(SessionError::new(
+                "snapshot design vectors disagree with the gate count",
+            ));
+        }
+        let mut state = SessionState::new(netlist, &params)?;
+        state.design.vt = vt;
+        state.design.width = width;
+        state.rebuild_dense();
+        state.revision = obj.req("revision")?.as_u64("revision")?;
+        for d in obj.req("dirty")?.as_arr("dirty")? {
+            state.dirty.insert(d.as_str("dirty name")?.to_string());
+        }
+        Ok(state)
+    }
+}
+
+fn to_session_error(e: impl fmt::Display) -> SessionError {
+    SessionError::new(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Op-log: one CRC-framed record per applied op, append + fsync.
+// ---------------------------------------------------------------------------
+
+/// Magic token opening every op-log record.
+pub const OPLOG_MAGIC: &str = "minpower-oplog";
+
+/// Op-log record format version.
+pub const OPLOG_VERSION: u32 = 1;
+
+static OPLOG_TORN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Resets the fault-site call indices (test isolation; run fault tests
+/// single-threaded).
+#[cfg(feature = "faults")]
+pub fn reset_fault_indices() {
+    OPLOG_TORN_SEQ.store(0, Ordering::Relaxed);
+}
+
+/// Appends one op record — `"minpower-oplog <version> <len> <crc32>\n"`
+/// then canonical op JSON then `"\n"` — and fsyncs. The
+/// `session.oplog.torn` fault site truncates the record mid-payload
+/// while still reporting success; the torn tail is caught by the CRC on
+/// the next read.
+///
+/// # Errors
+///
+/// The underlying I/O error; the caller should drop its warm state so
+/// the session reconverges to the durable log.
+pub fn append_op(path: &Path, op: &SessionOp) -> std::io::Result<()> {
+    let payload = op.to_json().render();
+    let bytes = payload.as_bytes();
+    let crc = crate::store::crc32(bytes);
+    let header = format!("{OPLOG_MAGIC} {OPLOG_VERSION} {} {crc:08x}\n", bytes.len());
+    let mut record = header.into_bytes();
+    let header_len = record.len();
+    record.extend_from_slice(bytes);
+    record.push(b'\n');
+    let seq = OPLOG_TORN_SEQ.fetch_add(1, Ordering::Relaxed);
+    if minpower_engine::faults::should_fire("session.oplog.torn", seq) {
+        record.truncate(header_len + bytes.len() / 2);
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(&record)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+/// Result of scanning an op-log.
+#[derive(Debug)]
+pub struct OplogReplay {
+    /// Ops decoded from the longest valid record prefix.
+    pub ops: Vec<SessionOp>,
+    /// Whether a torn or corrupt tail was dropped.
+    pub truncated: bool,
+}
+
+/// Reads the longest valid prefix of an op-log. A missing file is an
+/// empty log; a torn or corrupt tail (crash mid-append, injected torn
+/// write) is dropped and reported via [`OplogReplay::truncated`] —
+/// every record before it replays normally.
+pub fn read_oplog(path: &Path) -> OplogReplay {
+    let Ok(bytes) = fs::read(path) else {
+        return OplogReplay {
+            ops: Vec::new(),
+            truncated: false,
+        };
+    };
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            return OplogReplay {
+                ops,
+                truncated: true,
+            };
+        };
+        let header = &bytes[pos..pos + nl];
+        let parsed = std::str::from_utf8(header).ok().and_then(|line| {
+            let mut it = line.split(' ');
+            let magic = it.next()?;
+            let version = it.next()?.parse::<u32>().ok()?;
+            let len = it.next()?.parse::<usize>().ok()?;
+            let crc = u32::from_str_radix(it.next()?, 16).ok()?;
+            if magic != OPLOG_MAGIC || version != OPLOG_VERSION || it.next().is_some() {
+                return None;
+            }
+            Some((len, crc))
+        });
+        let Some((len, crc)) = parsed else {
+            return OplogReplay {
+                ops,
+                truncated: true,
+            };
+        };
+        let start = pos + nl + 1;
+        if start + len > bytes.len() {
+            return OplogReplay {
+                ops,
+                truncated: true,
+            };
+        }
+        let payload = &bytes[start..start + len];
+        if crate::store::crc32(payload) != crc {
+            return OplogReplay {
+                ops,
+                truncated: true,
+            };
+        }
+        let op = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| json::parse(text).ok())
+            .and_then(|doc| SessionOp::from_json(&doc).ok());
+        let Some(op) = op else {
+            return OplogReplay {
+                ops,
+                truncated: true,
+            };
+        };
+        ops.push(op);
+        pos = start + len;
+        if bytes.get(pos) == Some(&b'\n') {
+            pos += 1;
+        }
+    }
+    OplogReplay {
+        ops,
+        truncated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestSeq;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: TestSeq = TestSeq::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "minpower-session-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    /// A small two-level netlist with named gates.
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        for name in ["a", "b", "c", "d"] {
+            b.input(name).unwrap();
+        }
+        b.gate("n1", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("n2", GateKind::Nor, &["c", "d"]).unwrap();
+        b.gate("n3", GateKind::And, &["n1", "n2"]).unwrap();
+        b.gate("n4", GateKind::Xor, &["n1", "c"]).unwrap();
+        b.output("n3").unwrap();
+        b.output("n4").unwrap();
+        b.finish().unwrap()
+    }
+
+    fn params() -> SessionParams {
+        SessionParams::default()
+    }
+
+    #[test]
+    fn op_json_round_trips_bitwise() {
+        let ops = vec![
+            SessionOp::Resize {
+                gate: "n1".into(),
+                width: f64::from_bits(2.340625e0_f64.to_bits() + 1),
+            },
+            SessionOp::SetVt {
+                gate: "n2".into(),
+                vt: 0.512345678901234,
+            },
+            SessionOp::SetVdd { vdd: 2.25 },
+            SessionOp::SetFc { fc: 312.5e6 },
+            SessionOp::SetActivity { activity: 0.275 },
+            SessionOp::AddGate {
+                name: "x0".into(),
+                kind: GateKind::Nand,
+                fanin: vec!["n1".into(), "n2".into()],
+            },
+            SessionOp::RemoveGate { gate: "x0".into() },
+            SessionOp::Reoptimize { steps: 9 },
+        ];
+        for op in ops {
+            let doc = json::parse(&op.to_json().render()).unwrap();
+            assert_eq!(SessionOp::from_json(&doc).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn client_form_plain_numbers_accepted() {
+        let doc = json::parse(r#"{"op":"resize","gate":"n1","width":2.5}"#).unwrap();
+        let op = SessionOp::from_json(&doc).unwrap();
+        assert_eq!(
+            op,
+            SessionOp::Resize {
+                gate: "n1".into(),
+                width: 2.5
+            }
+        );
+        let bad = json::parse(r#"{"op":"resize","gate":"n1","witdh":2.5}"#).unwrap();
+        assert!(SessionOp::from_json(&bad).is_err(), "typo must be rejected");
+    }
+
+    #[test]
+    fn resize_matches_dense_recomputation() {
+        let mut s = SessionState::new(sample(), &params()).unwrap();
+        let out = s
+            .apply(&SessionOp::Resize {
+                gate: "n1".into(),
+                width: 3.5,
+            })
+            .unwrap();
+        assert!(out.gates_touched >= 1);
+        // cross_check runs in debug; assert explicitly for release too.
+        s.cross_check();
+        assert_eq!(s.dirty().len(), 1);
+    }
+
+    #[test]
+    fn operating_point_edits_stay_consistent() {
+        let mut s = SessionState::new(sample(), &params()).unwrap();
+        s.apply(&SessionOp::SetVt {
+            gate: "n2".into(),
+            vt: 0.5,
+        })
+        .unwrap();
+        s.apply(&SessionOp::SetVdd { vdd: 2.2 }).unwrap();
+        s.apply(&SessionOp::SetFc { fc: 250.0e6 }).unwrap();
+        s.apply(&SessionOp::SetActivity { activity: 0.4 }).unwrap();
+        s.cross_check();
+    }
+
+    #[test]
+    fn structural_edits_rebuild_consistently() {
+        let mut s = SessionState::new(sample(), &params()).unwrap();
+        s.apply(&SessionOp::AddGate {
+            name: "x0".into(),
+            kind: GateKind::Nand,
+            fanin: vec!["n1".into(), "n2".into()],
+        })
+        .unwrap();
+        s.cross_check();
+        assert!(s.netlist().find("x0").is_some());
+        // x0 drives nothing, so it can be removed again.
+        s.apply(&SessionOp::RemoveGate { gate: "x0".into() })
+            .unwrap();
+        s.cross_check();
+        assert!(s.netlist().find("x0").is_none());
+        // n1 drives n3/n4: removal must be rejected.
+        assert!(s
+            .apply(&SessionOp::RemoveGate { gate: "n1".into() })
+            .is_err());
+        assert!(s
+            .apply(&SessionOp::RemoveGate { gate: "a".into() })
+            .is_err());
+    }
+
+    #[test]
+    fn reoptimize_clears_dirty_and_keeps_feasibility() {
+        let mut s = SessionState::new(sample(), &params()).unwrap();
+        assert!(s.feasible(), "sample must start feasible");
+        let before = s.energy().total();
+        s.apply(&SessionOp::Resize {
+            gate: "n3".into(),
+            width: 8.0,
+        })
+        .unwrap();
+        let out = s
+            .apply(&SessionOp::Reoptimize {
+                steps: DEFAULT_REOPT_STEPS,
+            })
+            .unwrap();
+        assert_eq!(out.dirty, 0);
+        assert!(out.feasible);
+        assert!(
+            s.energy().total() <= before,
+            "minimal feasible width must not cost energy vs the start"
+        );
+        s.cross_check();
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let ops = vec![
+            SessionOp::Resize {
+                gate: "n1".into(),
+                width: 3.25,
+            },
+            SessionOp::SetFc { fc: 280.0e6 },
+            SessionOp::AddGate {
+                name: "x0".into(),
+                kind: GateKind::Or,
+                fanin: vec!["n1".into(), "n2".into()],
+            },
+            SessionOp::Reoptimize { steps: 8 },
+            SessionOp::SetActivity { activity: 0.35 },
+        ];
+        let mut live = SessionState::new(sample(), &params()).unwrap();
+        for op in &ops {
+            live.apply(op).unwrap();
+        }
+        let replayed = SessionState::replay(sample(), &params(), &ops).unwrap();
+        assert_eq!(live.snapshot().render(), replayed.snapshot().render());
+        for (a, b) in live.delays().iter().zip(replayed.delays().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            live.energy().total().to_bits(),
+            replayed.energy().total().to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_bitwise() {
+        let mut s = SessionState::new(sample(), &params()).unwrap();
+        s.apply(&SessionOp::Resize {
+            gate: "n2".into(),
+            width: 4.75,
+        })
+        .unwrap();
+        s.apply(&SessionOp::SetVdd { vdd: 2.1 }).unwrap();
+        let doc = json::parse(&s.snapshot().render()).unwrap();
+        let restored = SessionState::from_snapshot(&doc).unwrap();
+        assert_eq!(s.snapshot().render(), restored.snapshot().render());
+        assert_eq!(
+            s.critical_delay().to_bits(),
+            restored.critical_delay().to_bits()
+        );
+        restored.cross_check();
+    }
+
+    #[test]
+    fn oplog_round_trips_and_tolerates_torn_tail() {
+        let dir = scratch_dir("oplog");
+        let path = dir.join("session.oplog");
+        let ops = vec![
+            SessionOp::Resize {
+                gate: "n1".into(),
+                width: 2.5,
+            },
+            SessionOp::SetFc { fc: 310.0e6 },
+            SessionOp::Reoptimize { steps: 6 },
+        ];
+        for op in &ops {
+            append_op(&path, op).unwrap();
+        }
+        let replay = read_oplog(&path);
+        assert!(!replay.truncated);
+        assert_eq!(replay.ops, ops);
+        // Tear the tail mid-record: the valid prefix must survive.
+        let mut bytes = fs::read(&path).unwrap();
+        let keep = bytes.len() - 7;
+        bytes.truncate(keep);
+        fs::write(&path, &bytes).unwrap();
+        let torn = read_oplog(&path);
+        assert!(torn.truncated);
+        assert_eq!(torn.ops, ops[..2]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_ops_leave_state_unchanged() {
+        let mut s = SessionState::new(sample(), &params()).unwrap();
+        let snap = s.snapshot().render();
+        for op in [
+            SessionOp::Resize {
+                gate: "missing".into(),
+                width: 2.0,
+            },
+            SessionOp::Resize {
+                gate: "a".into(),
+                width: 2.0,
+            },
+            SessionOp::Resize {
+                gate: "n1".into(),
+                width: 1.0e9,
+            },
+            SessionOp::SetVdd { vdd: -1.0 },
+            SessionOp::AddGate {
+                name: "n1".into(),
+                kind: GateKind::And,
+                fanin: vec!["a".into()],
+            },
+        ] {
+            assert!(s.apply(&op).is_err(), "{op:?} must be rejected");
+        }
+        assert_eq!(s.snapshot().render(), snap);
+        assert_eq!(s.revision(), 0);
+    }
+}

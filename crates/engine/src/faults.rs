@@ -46,6 +46,11 @@
 //! | `net.response.truncated` | the response arrives cut off mid-stream,
 //!                         so HTTP/JSON parsing fails and the dispatch
 //!                         is classified transient                       |
+//! | `session.oplog.torn`| a session op-log append persists only the
+//!                         record header and half the payload while
+//!                         reporting success — a torn tail the replay
+//!                         path truncates at the last intact record
+//!                         (indexed by the process-wide append sequence) |
 //!
 //! Triggers are deterministic: an explicit index set, every-nth, or a
 //! seeded pseudo-random subset — never wall clock — so failing runs

@@ -1,8 +1,14 @@
 //! Minimal HTTP/1.1 over `std::net` — just enough protocol for the
 //! service, hardened against malformed input.
 //!
-//! One connection carries one request ("`Connection: close`" semantics
-//! throughout). Requests are parsed defensively: every malformation maps
+//! By default one connection carries one request (`Connection: close`
+//! semantics); a client that sends `Connection: keep-alive` opts into
+//! sequential reuse — the server answers with `Connection: keep-alive`
+//! via [`respond_conn`] and reads the next request off the same socket,
+//! up to a per-connection request budget and idle timeout enforced by
+//! the connection handler. Pipelining is not supported: a client must
+//! read each response before writing the next request. Requests are
+//! parsed defensively: every malformation maps
 //! to a typed [`HttpError`] with a 4xx status so the connection handler
 //! can answer with a JSON error body instead of panicking or hanging.
 //! Enforced limits:
@@ -59,6 +65,8 @@ pub struct Request {
     pub method: String,
     /// Path component, query string stripped.
     pub path: String,
+    /// Raw query string (after `?`, empty when absent).
+    pub query: String,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
     /// Decoded body bytes.
@@ -72,6 +80,23 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of query parameter `name` (`?name=value`), if present.
+    /// No percent-decoding — the service's parameters are plain
+    /// integers and identifiers.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+
+    /// Whether the client asked to keep the connection open
+    /// (`Connection: keep-alive`, any case).
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
     }
 }
 
@@ -211,9 +236,14 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Re
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let request = Request {
         method: method.to_string(),
-        path: target.split('?').next().unwrap_or(target).to_string(),
+        path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -312,12 +342,27 @@ pub fn respond(
     extra: &[(&str, String)],
     body: &[u8],
 ) -> std::io::Result<()> {
+    respond_conn(stream, status, content_type, extra, body, false)
+}
+
+/// [`respond`] with an explicit connection disposition: `keep_alive`
+/// answers `Connection: keep-alive` and leaves the socket open for the
+/// next sequential request.
+pub fn respond_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         status_text(status),
         content_type,
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     for (name, value) in extra {
         head.push_str(name);
@@ -326,8 +371,12 @@ pub fn respond(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // Single write: a small head followed by a small body as separate
+    // writes stalls ~40ms per response on keep-alive connections
+    // (Nagle waiting out the peer's delayed ACK).
+    let mut response = head.into_bytes();
+    response.extend_from_slice(body);
+    stream.write_all(&response)?;
     stream.flush()
 }
 
@@ -338,27 +387,50 @@ pub fn respond_json(
     value: &Value,
     extra: &[(&str, String)],
 ) -> std::io::Result<()> {
-    respond(
+    respond_json_conn(stream, status, value, extra, false)
+}
+
+/// [`respond_json`] with an explicit connection disposition.
+pub fn respond_json_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    value: &Value,
+    extra: &[(&str, String)],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    respond_conn(
         stream,
         status,
         "application/json",
         extra,
         value.render().as_bytes(),
+        keep_alive,
     )
 }
 
 /// [`respond_json`] with the service's error-body shape.
 pub fn respond_error(stream: &mut TcpStream, err: &HttpError) -> std::io::Result<()> {
+    respond_error_conn(stream, err, false)
+}
+
+/// [`respond_error`] with an explicit connection disposition (client
+/// errors on a keep-alive connection do not have to kill it).
+pub fn respond_error_conn(
+    stream: &mut TcpStream,
+    err: &HttpError,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let extra: &[(&str, String)] = if err.status == 429 {
         &[("Retry-After", String::from("1"))]
     } else {
         &[]
     };
-    respond_json(
+    respond_json_conn(
         stream,
         err.status,
         &Value::Obj(vec![("error".into(), Value::Str(err.message.clone()))]),
         extra,
+        keep_alive,
     )
 }
 

@@ -226,19 +226,7 @@ impl JobSpec {
     ///
     /// [`HttpError`] describing the malformed or unknown circuit.
     pub fn netlist(&self) -> Result<Netlist, HttpError> {
-        match &self.source {
-            Source::Suite(name) => {
-                if name == "c17" {
-                    return Ok(minpower_circuits::c17());
-                }
-                minpower_circuits::circuit(name)
-                    .ok_or_else(|| HttpError::new(400, format!("unknown suite circuit `{name}`")))
-            }
-            Source::Bench(text) => minpower_netlist::bench::parse("job", text)
-                .map_err(|e| HttpError::new(400, format!("bad .bench source: {e}"))),
-            Source::Verilog(text) => minpower_netlist::verilog::parse(text)
-                .map_err(|e| HttpError::new(400, format!("bad Verilog source: {e}"))),
-        }
+        resolve_netlist(&self.source)
     }
 
     /// Builds the optimization problem and search options, enforcing the
@@ -275,6 +263,28 @@ impl JobSpec {
             ..SearchOptions::default()
         };
         Ok((problem, options))
+    }
+}
+
+/// Resolves a circuit [`Source`] into a netlist (shared by job and
+/// session specs). Parse failures and unknown suite names are `400`.
+///
+/// # Errors
+///
+/// [`HttpError`] describing the malformed or unknown circuit.
+pub fn resolve_netlist(source: &Source) -> Result<Netlist, HttpError> {
+    match source {
+        Source::Suite(name) => {
+            if name == "c17" {
+                return Ok(minpower_circuits::c17());
+            }
+            minpower_circuits::circuit(name)
+                .ok_or_else(|| HttpError::new(400, format!("unknown suite circuit `{name}`")))
+        }
+        Source::Bench(text) => minpower_netlist::bench::parse("job", text)
+            .map_err(|e| HttpError::new(400, format!("bad .bench source: {e}"))),
+        Source::Verilog(text) => minpower_netlist::verilog::parse(text)
+            .map_err(|e| HttpError::new(400, format!("bad Verilog source: {e}"))),
     }
 }
 

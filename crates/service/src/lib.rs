@@ -11,12 +11,29 @@
 //! | method & path            | purpose                                      |
 //! |--------------------------|----------------------------------------------|
 //! | `POST /jobs`             | submit (`202` + id; `429` when queue full)   |
+//! | `GET /jobs`              | paginated job listing (`?offset=&limit=`)    |
 //! | `GET /jobs/{id}`         | status + result document                     |
 //! | `DELETE /jobs/{id}`      | cancel; interrupted jobs keep best-so-far    |
 //! | `GET /jobs/{id}/events`  | NDJSON progress stream                       |
+//! | `POST /sessions`         | open a what-if session (warm state)          |
+//! | `GET /sessions`          | paginated session listing                    |
+//! | `GET /sessions/{id}`     | session snapshot (`?detail=gates` for all)   |
+//! | `POST /sessions/{id}/ops`| apply one incremental edit op                |
+//! | `DELETE /sessions/{id}`  | tear a session down (state and log removed)  |
 //! | `GET /metrics`           | queue depth, engine + store counters, latency|
 //! | `GET /healthz`           | `ok` / `degraded` + reason                   |
 //! | `POST /shutdown`         | graceful drain                               |
+//!
+//! ## Sessions
+//!
+//! `POST /sessions` loads a netlist once into warm incremental state
+//! (delays, STA, energy ledger); `POST /sessions/{id}/ops` then applies
+//! cheap deltas — resize a gate, nudge `f_c`, re-optimize the dirty
+//! cone — each journaled to a per-session op-log before it is applied,
+//! so a killed-and-restarted server replays every session to a
+//! bit-identical state. Sessions are meant to be driven over a
+//! keep-alive connection (`Connection: keep-alive`): the TCP handshake
+//! is paid once and each op is a single round-trip against warm state.
 //!
 //! ## Durability
 //!
@@ -57,6 +74,7 @@ pub mod job;
 pub mod metrics;
 pub mod queue;
 mod server;
+pub mod session;
 pub mod shard;
 
 use std::path::PathBuf;
@@ -92,6 +110,23 @@ pub struct Config {
     /// defaults to `state_dir` when unset. Coordinator and workers must
     /// point at the same directory.
     pub shared_dir: Option<PathBuf>,
+    /// Maximum open what-if sessions (`429` beyond). Warm in-memory
+    /// states are additionally bounded by LRU eviction to this count —
+    /// an evicted session stays open and replays from its op-log on the
+    /// next touch.
+    pub max_sessions: usize,
+    /// Idle seconds before a session's warm state is evicted to disk
+    /// (`0` disables the idle sweep; the session itself stays open).
+    pub session_ttl: f64,
+    /// Requests served per keep-alive connection before the server
+    /// closes it (connection budget; `1` disables reuse).
+    pub keep_alive_requests: usize,
+    /// Idle seconds the server waits for the next request on a
+    /// keep-alive connection before closing it.
+    pub keep_alive_idle: f64,
+    /// Ops between periodic session snapshots folding the op-log into a
+    /// checkpoint (bounds replay length after a restart).
+    pub session_checkpoint_every: usize,
 }
 
 impl Default for Config {
@@ -107,6 +142,11 @@ impl Default for Config {
             checkpoint_every: 16,
             worker: false,
             shared_dir: None,
+            max_sessions: 64,
+            session_ttl: 600.0,
+            keep_alive_requests: 1000,
+            keep_alive_idle: 5.0,
+            session_checkpoint_every: 64,
         }
     }
 }

@@ -35,6 +35,27 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Upper-bound estimate of quantile `q` (`0.0..=1.0`) in
+    /// microseconds: the upper edge of the first bucket whose
+    /// cumulative count reaches `q · count`. Zero when empty. Bucketed
+    /// resolution (a factor of 2) — good enough for the `session.*`
+    /// p50/p99 gauges.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
     /// `{count, mean_us, buckets: [...]}` — buckets trailing-trimmed so
     /// idle endpoints render compactly.
     pub fn to_json(&self) -> Value {
@@ -70,10 +91,16 @@ impl Histogram {
 /// `"other"` so an attacker cannot grow the metric set.
 pub const ROUTES: &[&str] = &[
     "POST /jobs",
+    "GET /jobs",
     "POST /shards",
     "GET /jobs/{id}",
     "DELETE /jobs/{id}",
     "GET /jobs/{id}/events",
+    "POST /sessions",
+    "GET /sessions",
+    "GET /sessions/{id}",
+    "POST /sessions/{id}/ops",
+    "DELETE /sessions/{id}",
     "GET /metrics",
     "GET /healthz",
     "POST /shutdown",
@@ -83,7 +110,7 @@ pub const ROUTES: &[&str] = &[
 /// The service's metric registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    latency: [Histogram; 9],
+    latency: [Histogram; 15],
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Requests answered with a 2xx status.
@@ -99,15 +126,22 @@ pub struct Metrics {
 /// Maps a concrete request onto its route key.
 pub fn route_key(method: &str, path: &str) -> &'static str {
     let is_job = path.starts_with("/jobs/") && path.len() > "/jobs/".len();
+    let is_session = path.starts_with("/sessions/") && path.len() > "/sessions/".len();
     match (method, path) {
         ("POST", "/jobs") => "POST /jobs",
+        ("GET", "/jobs") => "GET /jobs",
         ("POST", "/shards") => "POST /shards",
+        ("POST", "/sessions") => "POST /sessions",
+        ("GET", "/sessions") => "GET /sessions",
         ("GET", "/metrics") => "GET /metrics",
         ("GET", "/healthz") => "GET /healthz",
         ("POST", "/shutdown") => "POST /shutdown",
         ("GET", _) if is_job && path.ends_with("/events") => "GET /jobs/{id}/events",
         ("GET", _) if is_job => "GET /jobs/{id}",
         ("DELETE", _) if is_job => "DELETE /jobs/{id}",
+        ("POST", _) if is_session && path.ends_with("/ops") => "POST /sessions/{id}/ops",
+        ("GET", _) if is_session => "GET /sessions/{id}",
+        ("DELETE", _) if is_session => "DELETE /sessions/{id}",
         _ => "other",
     }
 }
@@ -127,6 +161,15 @@ impl Metrics {
             _ => &self.responses_server_error,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latency histogram of one route key (for derived gauges like
+    /// the session op p50/p99).
+    pub fn route_histogram(&self, route: &str) -> Option<&Histogram> {
+        ROUTES
+            .iter()
+            .position(|r| *r == route)
+            .map(|i| &self.latency[i])
     }
 
     /// The `http` section of `GET /metrics`.

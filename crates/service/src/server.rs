@@ -56,8 +56,10 @@ use crate::http::{self, HttpError, Request};
 use crate::job::{self, Job, JobState, JobStatus};
 use crate::metrics::{route_key, Metrics};
 use crate::queue::{JobQueue, Pushed};
+use crate::session::{SessionManager, SessionSpec};
 use crate::shard::{self, ShardError, ShardRequest};
 use crate::{Config, DrainOutcome};
+use minpower_core::session::{OpOutcome, SessionOp};
 
 /// Shared server state: configuration, queue, job table, telemetry.
 pub struct ServiceState {
@@ -91,6 +93,9 @@ pub struct ServiceState {
     /// mode), keyed by connection sequence — a drain or kill cancels
     /// them so the worker never wedges on shard work.
     shard_controls: Mutex<HashMap<u64, RunControl>>,
+    /// What-if sessions: warm incremental states, their op-logs and
+    /// snapshots, LRU/TTL eviction (see [`crate::session`]).
+    sessions: SessionManager,
 }
 
 /// A handle for stopping a running server from another thread.
@@ -172,6 +177,10 @@ impl Server {
             health: Arc::new(StoreHealth::new()),
             store_stats,
             shard_controls: Mutex::new(HashMap::new()),
+            // Scans the state directory for persisted session records —
+            // each becomes a cold entry that replays its op-log on
+            // first touch (the session half of restart recovery).
+            sessions: SessionManager::new(&config),
             config,
         });
         if !state.config.worker {
@@ -630,68 +639,98 @@ fn run_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     }
 }
 
-/// Per-connection entry point: parse, dispatch, respond, record metrics.
+/// Per-connection entry point: parse, dispatch, respond, record metrics
+/// — looping for up to `keep_alive_requests` sequential requests when
+/// the client asks for `Connection: keep-alive` (no pipelining; see the
+/// [`crate::http`] module docs).
 fn handle_connection(state: &Arc<ServiceState>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let conn = state.conn_seq.fetch_add(1, Ordering::Relaxed);
-    let started = Instant::now();
+    let budget = state.config.keep_alive_requests.max(1);
 
-    let request = match http::read_request(&mut stream, state.config.max_body_bytes) {
-        Ok(Some(request)) => request,
-        Ok(None) => return,
-        Err(e) => {
-            state
-                .metrics
-                .observe("other", e.status, started.elapsed().as_micros() as u64);
-            let _ = http::respond_error(&mut stream, &e);
-            // Lingering close: the request may have unread bytes in
-            // flight; closing now would RST the connection and the peer
-            // could lose the error response. Drain until EOF (bounded by
-            // the read timeout) before dropping the socket.
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let mut sink = [0u8; 4096];
-            while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+    for served in 0..budget {
+        let started = Instant::now();
+        let request = match http::read_request(&mut stream, state.config.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) => {
+                if served > 0 && e.status == 408 {
+                    // Idle keep-alive connection: the client simply never
+                    // sent another request before `keep_alive_idle` ran
+                    // out (or closed uncleanly). Not an error; just
+                    // hang up.
+                    return;
+                }
+                state
+                    .metrics
+                    .observe("other", e.status, started.elapsed().as_micros() as u64);
+                let _ = http::respond_error(&mut stream, &e);
+                // Lingering close: the request may have unread bytes in
+                // flight; closing now would RST the connection and the
+                // peer could lose the error response. Drain until EOF
+                // (bounded by the read timeout) before dropping the
+                // socket.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 4096];
+                while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+                return;
+            }
+        };
+        let route = route_key(&request.method, &request.path);
+
+        // Fault site: the connection dies before any response bytes —
+        // the drill for client-facing robustness (the *server* must stay
+        // up and the job state consistent).
+        if minpower_engine::faults::should_fire("service.conn.drop", conn) {
+            drop(stream);
             return;
         }
-    };
-    let route = route_key(&request.method, &request.path);
 
-    // Fault site: the connection dies before any response bytes — the
-    // drill for client-facing robustness (the *server* must stay up and
-    // the job state consistent).
-    if minpower_engine::faults::should_fire("service.conn.drop", conn) {
-        drop(stream);
-        return;
-    }
+        // The events stream manages its own socket lifetime.
+        if route == "GET /jobs/{id}/events" {
+            let status = stream_events(state, &request, &mut stream);
+            state
+                .metrics
+                .observe(route, status, started.elapsed().as_micros() as u64);
+            return;
+        }
 
-    // The events stream manages its own socket lifetime.
-    if route == "GET /jobs/{id}/events" {
-        let status = stream_events(state, &request, &mut stream);
+        // Shard execution manages its own response (it must be able to
+        // *drop* the connection silently when the server is killed
+        // mid-shard, simulating worker death for the coordinator).
+        if route == "POST /shards" {
+            let status = handle_shard(state, &request, &mut stream, conn);
+            state
+                .metrics
+                .observe(route, status, started.elapsed().as_micros() as u64);
+            return;
+        }
+
+        // Honor keep-alive unless the budget is spent or the server is
+        // coming down (a closing response lets draining clients move on
+        // immediately instead of discovering the drain on their next
+        // request).
+        let keep = served + 1 < budget
+            && request.wants_keep_alive()
+            && !state.stop.load(Ordering::Relaxed)
+            && !state.graceful.load(Ordering::Relaxed);
+
+        let (status, body, extra) = dispatch(state, &request);
         state
             .metrics
             .observe(route, status, started.elapsed().as_micros() as u64);
-        return;
+        let extra_refs: Vec<(&str, String)> =
+            extra.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        if http::respond_json_conn(&mut stream, status, &body, &extra_refs, keep).is_err() || !keep
+        {
+            return;
+        }
+        // Subsequent requests on a reused connection wait at most the
+        // keep-alive idle budget, not the full request timeout.
+        let idle = state.config.keep_alive_idle.max(0.05);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs_f64(idle)));
     }
-
-    // Shard execution manages its own response (it must be able to
-    // *drop* the connection silently when the server is killed
-    // mid-shard, simulating worker death for the coordinator).
-    if route == "POST /shards" {
-        let status = handle_shard(state, &request, &mut stream, conn);
-        state
-            .metrics
-            .observe(route, status, started.elapsed().as_micros() as u64);
-        return;
-    }
-
-    let (status, body, extra) = dispatch(state, &request);
-    state
-        .metrics
-        .observe(route, status, started.elapsed().as_micros() as u64);
-    let extra_refs: Vec<(&str, String)> =
-        extra.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-    let _ = http::respond_json(&mut stream, status, &body, &extra_refs);
 }
 
 /// `POST /shards` (worker mode): execute one coordinator-dispatched
@@ -847,6 +886,10 @@ fn dispatch(state: &Arc<ServiceState>, request: &Request) -> Response {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("POST", "/jobs") => submit_job(state, request),
+        ("GET", "/jobs") => list_jobs(state, request),
+        ("POST", "/sessions") => create_session(state, request),
+        ("GET", "/sessions") => list_sessions(state, request),
+        (method, _) if path.starts_with("/sessions/") => session_route(state, request, method),
         ("GET", "/metrics") => metrics_endpoint(state),
         ("GET", "/healthz") => healthz_endpoint(state),
         ("POST", "/shutdown") => {
@@ -888,8 +931,247 @@ fn dispatch(state: &Arc<ServiceState>, request: &Request) -> Response {
                 _ => error_response(405, format!("{method} not allowed here")),
             }
         }
-        ("GET", "/jobs") => error_response(405, "GET /jobs is not a listing endpoint"),
         _ => error_response(404, format!("no endpoint {} {path}", request.method)),
+    }
+}
+
+/// Parses `?offset=&limit=` pagination with sane clamps.
+fn pagination(request: &Request) -> Result<(usize, usize), Response> {
+    let parse = |name: &str, fallback: usize| -> Result<usize, Response> {
+        match request.query_param(name) {
+            None | Some("") => Ok(fallback),
+            Some(text) => text
+                .parse::<usize>()
+                .map_err(|_| error_response(400, format!("bad `{name}` value `{text}`"))),
+        }
+    };
+    let offset = parse("offset", 0)?;
+    let limit = parse("limit", 50)?.clamp(1, 500);
+    Ok((offset, limit))
+}
+
+/// Wraps sorted listing rows in the `{total, offset, limit, items}`
+/// envelope shared by `GET /jobs` and `GET /sessions`.
+fn paginate(rows: Vec<Value>, offset: usize, limit: usize) -> Response {
+    let total = rows.len();
+    let items: Vec<Value> = rows.into_iter().skip(offset).take(limit).collect();
+    (
+        200,
+        Value::Obj(vec![
+            ("total".to_string(), Value::Int(total as u64)),
+            ("offset".to_string(), Value::Int(offset as u64)),
+            ("limit".to_string(), Value::Int(limit as u64)),
+            ("items".to_string(), Value::Arr(items)),
+        ]),
+        Vec::new(),
+    )
+}
+
+/// `GET /jobs`: paginated listing, sorted by id, one light row per job
+/// (fetch `GET /jobs/{id}` for the full status document).
+fn list_jobs(state: &Arc<ServiceState>, request: &Request) -> Response {
+    let (offset, limit) = match pagination(request) {
+        Ok(page) => page,
+        Err(response) => return response,
+    };
+    let jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    let mut ids: Vec<u64> = jobs.keys().copied().collect();
+    ids.sort_unstable();
+    let rows = ids
+        .iter()
+        .map(|id| {
+            let job = &jobs[id];
+            Value::Obj(vec![
+                ("id".to_string(), Value::Int(*id)),
+                (
+                    "status".to_string(),
+                    Value::Str(job.status().as_str().to_string()),
+                ),
+            ])
+        })
+        .collect();
+    drop(jobs);
+    paginate(rows, offset, limit)
+}
+
+/// `GET /sessions`: paginated listing, sorted by id. Cold sessions are
+/// listed without being replayed.
+fn list_sessions(state: &Arc<ServiceState>, request: &Request) -> Response {
+    state.sessions.sweep_idle();
+    let (offset, limit) = match pagination(request) {
+        Ok(page) => page,
+        Err(response) => return response,
+    };
+    paginate(state.sessions.list_rows(), offset, limit)
+}
+
+/// The `{id, revision, ...}` document answering session creation and
+/// every applied op — the client's view of the warm state after the op.
+fn outcome_json(id: u64, outcome: &OpOutcome, fc: f64) -> Value {
+    Value::Obj(vec![
+        ("id".to_string(), Value::Int(id)),
+        ("revision".to_string(), Value::Int(outcome.revision)),
+        ("feasible".to_string(), Value::Bool(outcome.feasible)),
+        (
+            "gates_touched".to_string(),
+            Value::Int(outcome.gates_touched as u64),
+        ),
+        ("resized".to_string(), Value::Int(outcome.resized as u64)),
+        ("dirty".to_string(), Value::Int(outcome.dirty as u64)),
+        (
+            "critical_delay".to_string(),
+            Value::Float(outcome.critical_delay),
+        ),
+        ("cycle_time".to_string(), Value::Float(outcome.cycle_time)),
+        (
+            "energy".to_string(),
+            Value::Obj(vec![
+                ("static".to_string(), Value::Float(outcome.energy.static_)),
+                ("dynamic".to_string(), Value::Float(outcome.energy.dynamic)),
+                ("total".to_string(), Value::Float(outcome.energy.total())),
+            ]),
+        ),
+        ("power".to_string(), Value::Float(outcome.energy.power(fc))),
+    ])
+}
+
+/// `POST /sessions`: open a what-if session. `201` + the initial state
+/// document; the session record is durable before the response.
+fn create_session(state: &Arc<ServiceState>, request: &Request) -> Response {
+    if state.draining.load(Ordering::Relaxed) || state.stop.load(Ordering::Relaxed) {
+        return error_response(503, "server is draining");
+    }
+    state.sessions.sweep_idle();
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let value = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return error_response(400, format!("bad JSON: {}", e.message)),
+    };
+    let spec = match SessionSpec::from_json(&value) {
+        Ok(spec) => spec,
+        Err(e) => return (e.status, error_body(&e), Vec::new()),
+    };
+    let fc = spec.params.fc;
+    match state.sessions.create(spec) {
+        Ok((id, outcome)) => {
+            let mut doc = outcome_json(id, &outcome, fc);
+            if let Value::Obj(fields) = &mut doc {
+                fields.insert(1, ("status".to_string(), Value::Str("warm".to_string())));
+            }
+            (201, doc, Vec::new())
+        }
+        Err(e) => {
+            let extra = if e.status == 429 {
+                vec![("Retry-After".to_string(), "1".to_string())]
+            } else {
+                Vec::new()
+            };
+            (e.status, error_body(&e), extra)
+        }
+    }
+}
+
+/// `/sessions/{id}` and `/sessions/{id}/ops`: snapshot, op, teardown.
+fn session_route(state: &Arc<ServiceState>, request: &Request, method: &str) -> Response {
+    state.sessions.sweep_idle();
+    let id_part = &request.path["/sessions/".len()..];
+    let id_text = id_part.strip_suffix("/ops").unwrap_or(id_part);
+    let Ok(id) = id_text.parse::<u64>() else {
+        return error_response(404, format!("no such session `{id_part}`"));
+    };
+    let is_ops = id_part.ends_with("/ops");
+    match (method, is_ops) {
+        ("POST", true) => session_op(state, request, id),
+        ("GET", false) => session_snapshot(state, request, id),
+        ("DELETE", false) => match state.sessions.delete(id) {
+            Ok(()) => (
+                200,
+                Value::Obj(vec![
+                    ("id".to_string(), Value::Int(id)),
+                    ("status".to_string(), Value::Str("deleted".to_string())),
+                ]),
+                Vec::new(),
+            ),
+            Err(e) => (e.status, error_body(&e), Vec::new()),
+        },
+        _ => error_response(405, format!("{method} not allowed here")),
+    }
+}
+
+/// `POST /sessions/{id}/ops`: apply one edit op against warm state. The
+/// op is journaled (fsynced) before the `200` — an acknowledged op
+/// survives any crash.
+fn session_op(state: &Arc<ServiceState>, request: &Request, id: u64) -> Response {
+    let entry = match state.sessions.get(id) {
+        Ok(entry) => entry,
+        Err(e) => return (e.status, error_body(&e), Vec::new()),
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let value = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return error_response(400, format!("bad JSON: {}", e.message)),
+    };
+    let op = match SessionOp::from_json(&value) {
+        Ok(op) => op,
+        Err(e) => return error_response(400, e.message),
+    };
+    match state.sessions.apply(&entry, &op) {
+        Ok(outcome) => {
+            let fc = state
+                .sessions
+                .with_state(&entry, |s, _| s.fc())
+                .unwrap_or(entry.spec.params.fc);
+            (200, outcome_json(id, &outcome, fc), Vec::new())
+        }
+        Err(e) => {
+            let extra = if e.status == 503 {
+                vec![("Retry-After".to_string(), "1".to_string())]
+            } else {
+                Vec::new()
+            };
+            (e.status, error_body(&e), extra)
+        }
+    }
+}
+
+/// `GET /sessions/{id}`: current-state summary; `?detail=gates` appends
+/// the full deterministic snapshot (the same document the checkpoint
+/// persists, hex-bits floats included).
+fn session_snapshot(state: &Arc<ServiceState>, request: &Request, id: u64) -> Response {
+    let entry = match state.sessions.get(id) {
+        Ok(entry) => entry,
+        Err(e) => return (e.status, error_body(&e), Vec::new()),
+    };
+    let detail = request.query_param("detail") == Some("gates");
+    let result = state.sessions.with_state(&entry, |s, ops| {
+        let outcome = OpOutcome {
+            revision: s.revision(),
+            gates_touched: 0,
+            resized: 0,
+            feasible: s.feasible(),
+            critical_delay: s.critical_delay(),
+            cycle_time: s.cycle_time(),
+            energy: s.energy(),
+            dirty: s.dirty().len(),
+        };
+        let mut doc = outcome_json(id, &outcome, s.fc());
+        if let Value::Obj(fields) = &mut doc {
+            fields.insert(1, ("ops".to_string(), Value::Int(ops)));
+            if detail {
+                fields.push(("state".to_string(), s.snapshot()));
+            }
+        }
+        doc
+    });
+    match result {
+        Ok(doc) => (200, doc, Vec::new()),
+        Err(e) => (e.status, error_body(&e), Vec::new()),
     }
 }
 
@@ -1103,9 +1385,49 @@ fn metrics_endpoint(state: &Arc<ServiceState>) -> Response {
                 ),
             ]),
         ),
+        ("sessions".to_string(), session_metrics_json(state)),
         ("http".to_string(), state.metrics.to_json()),
     ]);
     (200, doc, Vec::new())
+}
+
+/// The `sessions` section of `GET /metrics`: open/warm gauges, the
+/// `session.*` counters, and op-latency p50/p99 derived from the
+/// `POST /sessions/{id}/ops` route histogram.
+fn session_metrics_json(state: &Arc<ServiceState>) -> Value {
+    let (open, warm) = state.sessions.counts();
+    let sm = &state.sessions.metrics;
+    let (p50, p99) = state
+        .metrics
+        .route_histogram("POST /sessions/{id}/ops")
+        .map(|h| (h.quantile_us(0.5), h.quantile_us(0.99)))
+        .unwrap_or((0, 0));
+    Value::Obj(vec![
+        ("open".to_string(), Value::Int(open)),
+        ("warm".to_string(), Value::Int(warm)),
+        (
+            "ops_served".to_string(),
+            Value::Int(sm.ops_served.load(Ordering::Relaxed)),
+        ),
+        (
+            "replays".to_string(),
+            Value::Int(sm.replays.load(Ordering::Relaxed)),
+        ),
+        (
+            "evictions".to_string(),
+            Value::Int(sm.evictions.load(Ordering::Relaxed)),
+        ),
+        (
+            "checkpoints".to_string(),
+            Value::Int(sm.checkpoints.load(Ordering::Relaxed)),
+        ),
+        (
+            "oplog_truncated".to_string(),
+            Value::Int(sm.oplog_truncated.load(Ordering::Relaxed)),
+        ),
+        ("op_p50_us".to_string(), Value::Int(p50)),
+        ("op_p99_us".to_string(), Value::Int(p99)),
+    ])
 }
 
 /// `GET /jobs/{id}/events`: NDJSON progress stream fed from the job's

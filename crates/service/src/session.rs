@@ -1,0 +1,780 @@
+//! The service's session layer: specs, the durable per-session files,
+//! and the [`SessionManager`] (warm-state cache, LRU + idle-TTL
+//! eviction, op-log recovery).
+//!
+//! ## Durability layout
+//!
+//! Each open session `id` owns three files in the state directory:
+//!
+//! * `session-<id>.json` — the creation record (spec), written through
+//!   [`minpower_core::store::write_durable`] before the session is
+//!   acknowledged;
+//! * `session-<id>.oplog` — one CRC-framed record per applied op,
+//!   appended + fsynced *after* the op applies and *before* the client
+//!   sees success ([`minpower_core::session::append_op`]);
+//! * `session-<id>.snap` — a periodic full snapshot folding the log
+//!   (`session_checkpoint_every` ops), so recovery replays a bounded
+//!   tail instead of the whole history.
+//!
+//! Recovery (server restart, or re-warming an evicted session) rebuilds
+//! from the newest intact snapshot plus the op-log tail — or from the
+//! spec plus the whole log — and lands on a state bit-identical to the
+//! live one, because every op is deterministic. A torn log tail (crash
+//! mid-append, or the `session.oplog.torn` fault) truncates at the last
+//! intact record; acknowledged-but-lost ops are impossible because the
+//! acknowledgement is ordered after the fsync.
+//!
+//! ## Eviction
+//!
+//! Warm in-memory states are bounded by `max_sessions` (LRU: warming a
+//! new session evicts the least-recently-used warm one) and by an idle
+//! TTL sweep. Eviction drops only the warm state — the session stays
+//! open and replays from disk on its next touch, counted in the
+//! `session.replays` metric. Open sessions (records on disk) are capped
+//! at `4 × max_sessions`, beyond which `POST /sessions` answers `429`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use minpower_core::json::{self, Value};
+use minpower_core::session::{
+    append_op, read_oplog, OpOutcome, SessionOp, SessionParams, SessionState,
+};
+use minpower_core::store;
+
+use crate::http::HttpError;
+use crate::job::{resolve_netlist, Source};
+
+/// Open-session cap as a multiple of the warm (`max_sessions`) cap.
+const OPEN_SESSIONS_FACTOR: usize = 4;
+
+/// A validated `POST /sessions` body: a circuit source plus the
+/// session's operating point and uniform starting design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// The circuit payload.
+    pub source: Source,
+    /// Operating point and starting design.
+    pub params: SessionParams,
+}
+
+impl SessionSpec {
+    /// Parses and validates the JSON body. Unknown fields are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] with status 400 naming the offending field.
+    pub fn from_json(value: &Value) -> Result<SessionSpec, HttpError> {
+        let Value::Obj(raw) = value else {
+            return Err(HttpError::new(400, "session spec must be a JSON object"));
+        };
+        let obj = value
+            .as_obj("session spec")
+            .map_err(|e| HttpError::new(400, e.message))?;
+        const KNOWN: &[&str] = &[
+            "circuit", "bench", "verilog", "fc", "activity", "skew", "vdd", "vt", "width",
+        ];
+        for (name, _) in raw {
+            if !KNOWN.contains(&name.as_str()) {
+                return Err(HttpError::new(400, format!("unknown option `{name}`")));
+            }
+        }
+        let text = |name: &str| -> Result<Option<String>, HttpError> {
+            match obj.opt(name) {
+                None => Ok(None),
+                Some(v) => Ok(Some(
+                    v.as_str(name)
+                        .map_err(|e| HttpError::new(400, e.message))?
+                        .to_string(),
+                )),
+            }
+        };
+        let source = match (text("circuit")?, text("bench")?, text("verilog")?) {
+            (Some(name), None, None) => Source::Suite(name),
+            (None, Some(b), None) => Source::Bench(b),
+            (None, None, Some(v)) => Source::Verilog(v),
+            _ => {
+                return Err(HttpError::new(
+                    400,
+                    "provide exactly one of `circuit`, `bench`, `verilog`",
+                ))
+            }
+        };
+        let defaults = SessionParams::default();
+        let num = |name: &str, fallback: f64| -> Result<f64, HttpError> {
+            match obj.opt(name) {
+                None => Ok(fallback),
+                Some(v) => v
+                    .as_number(name)
+                    .map_err(|e| HttpError::new(400, e.message)),
+            }
+        };
+        let params = SessionParams {
+            fc: num("fc", defaults.fc)?,
+            activity: num("activity", defaults.activity)?,
+            skew: num("skew", defaults.skew)?,
+            vdd: num("vdd", defaults.vdd)?,
+            vt: num("vt", defaults.vt)?,
+            width: num("width", defaults.width)?,
+        };
+        params
+            .validate(&minpower_device::Technology::dac97())
+            .map_err(|e| HttpError::new(400, e.message))?;
+        Ok(SessionSpec { source, params })
+    }
+
+    /// Serializes for the session record; floats write
+    /// shortest-round-trip, so `from_json(to_json(spec))` is
+    /// bitwise-faithful (the recovery replay depends on it).
+    pub fn to_json(&self) -> Value {
+        let mut fields = Vec::new();
+        match &self.source {
+            Source::Suite(name) => fields.push(("circuit".to_string(), Value::Str(name.clone()))),
+            Source::Bench(text) => fields.push(("bench".to_string(), Value::Str(text.clone()))),
+            Source::Verilog(text) => fields.push(("verilog".to_string(), Value::Str(text.clone()))),
+        }
+        fields.push(("fc".to_string(), Value::Float(self.params.fc)));
+        fields.push(("activity".to_string(), Value::Float(self.params.activity)));
+        fields.push(("skew".to_string(), Value::Float(self.params.skew)));
+        fields.push(("vdd".to_string(), Value::Float(self.params.vdd)));
+        fields.push(("vt".to_string(), Value::Float(self.params.vt)));
+        fields.push(("width".to_string(), Value::Float(self.params.width)));
+        Value::Obj(fields)
+    }
+
+    /// Short human label for listings.
+    pub fn label(&self) -> String {
+        match &self.source {
+            Source::Suite(name) => name.clone(),
+            Source::Bench(_) => "<inline .bench>".to_string(),
+            Source::Verilog(_) => "<inline verilog>".to_string(),
+        }
+    }
+}
+
+/// `session.*` counters for `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct SessionMetrics {
+    /// Ops applied and durably logged.
+    pub ops_served: AtomicU64,
+    /// Cold replays (restart recovery or post-eviction warm-up).
+    pub replays: AtomicU64,
+    /// Warm states dropped by the LRU cap or the idle-TTL sweep.
+    pub evictions: AtomicU64,
+    /// Periodic snapshots written.
+    pub checkpoints: AtomicU64,
+    /// Op-logs whose torn/corrupt tail was truncated during recovery.
+    pub oplog_truncated: AtomicU64,
+}
+
+/// Mutable half of a session entry, behind the per-session lock.
+struct Slot {
+    /// Warm state, or `None` when evicted/cold (replay on next touch).
+    warm: Option<SessionState>,
+    /// Records currently in the on-disk op-log.
+    ops_logged: u64,
+    /// Records folded into the newest snapshot.
+    ops_snapshotted: u64,
+    /// Last touch, for LRU and the TTL sweep.
+    last_used: Instant,
+}
+
+/// One open session: immutable identity + spec, lock-guarded state.
+pub struct SessionEntry {
+    /// Session id (the `/sessions/{id}` path segment).
+    pub id: u64,
+    /// The creation spec (also persisted in `session-<id>.json`).
+    pub spec: SessionSpec,
+    slot: Mutex<Slot>,
+}
+
+/// The warm-session cache and its durability/eviction policy.
+pub struct SessionManager {
+    dir: PathBuf,
+    max_sessions: usize,
+    session_ttl: f64,
+    checkpoint_every: usize,
+    max_gates: usize,
+    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    next_id: AtomicU64,
+    /// `session.*` counters.
+    pub metrics: SessionMetrics,
+}
+
+impl SessionManager {
+    /// Creates a manager over `state_dir` and scans it for persisted
+    /// session records, registering each as a cold entry (lazy replay
+    /// on first touch) — the restart-recovery half of the contract.
+    pub fn new(config: &crate::Config) -> SessionManager {
+        let manager = SessionManager {
+            dir: config.state_dir.clone(),
+            max_sessions: config.max_sessions.max(1),
+            session_ttl: config.session_ttl,
+            checkpoint_every: config.session_checkpoint_every,
+            max_gates: config.max_gates,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            metrics: SessionMetrics::default(),
+        };
+        manager.recover_records();
+        manager
+    }
+
+    fn recover_records(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut sessions = self.sessions.lock().expect("session map");
+        let mut max_id = 0u64;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(id) = name
+                .strip_prefix("session-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|id| id.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let Ok(loaded) = store::read_with_fallback(&entry.path()) else {
+                continue;
+            };
+            let Ok(text) = String::from_utf8(loaded.payload) else {
+                continue;
+            };
+            let Ok(doc) = json::parse(&text) else {
+                continue;
+            };
+            let Ok(obj) = doc.as_obj("session record") else {
+                continue;
+            };
+            let Some(spec_doc) = obj.opt("spec") else {
+                continue;
+            };
+            let Ok(spec) = SessionSpec::from_json(spec_doc) else {
+                continue;
+            };
+            max_id = max_id.max(id);
+            sessions.insert(
+                id,
+                Arc::new(SessionEntry {
+                    id,
+                    spec,
+                    slot: Mutex::new(Slot {
+                        warm: None,
+                        ops_logged: 0,
+                        ops_snapshotted: 0,
+                        last_used: Instant::now(),
+                    }),
+                }),
+            );
+        }
+        self.next_id.store(max_id + 1, Ordering::Relaxed);
+    }
+
+    fn record_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("session-{id}.json"))
+    }
+
+    fn oplog_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("session-{id}.oplog"))
+    }
+
+    fn snapshot_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("session-{id}.snap"))
+    }
+
+    /// Opens a session: resolve + validate, persist the record, build
+    /// the warm state, register it (evicting LRU warm states over the
+    /// cap).
+    ///
+    /// # Errors
+    ///
+    /// `400`/`422` for bad specs, `429` at the open-session cap, `503`
+    /// when the record cannot be persisted.
+    pub fn create(&self, spec: SessionSpec) -> Result<(u64, OpOutcome), HttpError> {
+        {
+            let sessions = self.sessions.lock().expect("session map");
+            if sessions.len() >= self.max_sessions * OPEN_SESSIONS_FACTOR {
+                return Err(HttpError::new(
+                    429,
+                    format!(
+                        "open-session cap reached ({}); DELETE a session first",
+                        self.max_sessions * OPEN_SESSIONS_FACTOR
+                    ),
+                ));
+            }
+        }
+        let netlist = resolve_netlist(&spec.source)?;
+        let gates = netlist.logic_gate_count();
+        if gates > self.max_gates {
+            return Err(HttpError::new(
+                422,
+                format!(
+                    "netlist has {gates} logic gates; this server admits at most {}",
+                    self.max_gates
+                ),
+            ));
+        }
+        let state =
+            SessionState::new(netlist, &spec.params).map_err(|e| HttpError::new(400, e.message))?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = Value::Obj(vec![
+            ("schema".into(), Value::Str("minpower-session".into())),
+            ("version".into(), Value::Int(1)),
+            ("id".into(), Value::Int(id)),
+            ("spec".into(), spec.to_json()),
+        ]);
+        store::write_durable(&self.record_path(id), record.render().as_bytes())
+            .map_err(|e| HttpError::new(503, format!("cannot persist session record: {e}")))?;
+        let outcome = OpOutcome {
+            revision: 0,
+            gates_touched: state.netlist().gate_count(),
+            resized: 0,
+            feasible: state.feasible(),
+            critical_delay: state.critical_delay(),
+            cycle_time: state.cycle_time(),
+            energy: state.energy(),
+            dirty: 0,
+        };
+        let entry = Arc::new(SessionEntry {
+            id,
+            spec,
+            slot: Mutex::new(Slot {
+                warm: Some(state),
+                ops_logged: 0,
+                ops_snapshotted: 0,
+                last_used: Instant::now(),
+            }),
+        });
+        self.sessions.lock().expect("session map").insert(id, entry);
+        self.enforce_warm_cap(Some(id));
+        Ok((id, outcome))
+    }
+
+    /// Looks up an open session.
+    ///
+    /// # Errors
+    ///
+    /// `404` when no such session exists.
+    pub fn get(&self, id: u64) -> Result<Arc<SessionEntry>, HttpError> {
+        self.sessions
+            .lock()
+            .expect("session map")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| HttpError::new(404, format!("no session {id}")))
+    }
+
+    /// Applies one op: warm (replaying if cold), apply, append to the
+    /// op-log + fsync, *then* acknowledge. An op-log append failure
+    /// drops the warm state so the session reconverges to the durable
+    /// log, and answers `503`.
+    ///
+    /// # Errors
+    ///
+    /// `400` for invalid ops, `404`/`500` for recovery failures, `503`
+    /// for durability failures.
+    pub fn apply(&self, entry: &SessionEntry, op: &SessionOp) -> Result<OpOutcome, HttpError> {
+        let mut slot = entry.slot.lock().expect("session slot");
+        self.ensure_warm(entry, &mut slot)?;
+        let state = slot.warm.as_mut().expect("warmed above");
+        let outcome = state
+            .apply(op)
+            .map_err(|e| HttpError::new(400, e.message))?;
+        if let Err(e) = append_op(&self.oplog_path(entry.id), op) {
+            slot.warm = None;
+            self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+            return Err(HttpError::new(
+                503,
+                format!("session op-log append failed: {e}"),
+            ));
+        }
+        slot.ops_logged += 1;
+        slot.last_used = Instant::now();
+        self.metrics.ops_served.fetch_add(1, Ordering::Relaxed);
+        if self.checkpoint_every > 0
+            && slot.ops_logged - slot.ops_snapshotted >= self.checkpoint_every as u64
+        {
+            let state = slot.warm.as_ref().expect("warmed above");
+            if self.write_snapshot(entry.id, state, slot.ops_logged) {
+                slot.ops_snapshotted = slot.ops_logged;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Warm accessor for snapshots: replays if cold, refreshes the LRU
+    /// stamp, and hands the caller a view of the state via `f`.
+    ///
+    /// # Errors
+    ///
+    /// `500` when recovery fails (corrupt record and log).
+    pub fn with_state<T>(
+        &self,
+        entry: &SessionEntry,
+        f: impl FnOnce(&SessionState, u64) -> T,
+    ) -> Result<T, HttpError> {
+        let mut slot = entry.slot.lock().expect("session slot");
+        self.ensure_warm(entry, &mut slot)?;
+        slot.last_used = Instant::now();
+        let ops_logged = slot.ops_logged;
+        Ok(f(slot.warm.as_ref().expect("warmed above"), ops_logged))
+    }
+
+    /// Rebuilds the warm state from disk when the slot is cold:
+    /// snapshot + op-log tail when a snapshot exists, spec + whole log
+    /// otherwise. Counted in `session.replays`.
+    fn ensure_warm(
+        &self,
+        entry: &SessionEntry,
+        slot: &mut MutexGuard<'_, Slot>,
+    ) -> Result<(), HttpError> {
+        if slot.warm.is_some() {
+            return Ok(());
+        }
+        let replay = read_oplog(&self.oplog_path(entry.id));
+        if replay.truncated {
+            self.metrics.oplog_truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut folded = 0u64;
+        let mut state: Option<SessionState> = None;
+        if let Ok(loaded) = store::read_with_fallback(&self.snapshot_path(entry.id)) {
+            if let Some((snap, k)) = decode_snapshot(&loaded.payload) {
+                folded = k;
+                state = Some(snap);
+            }
+        }
+        let mut state = match state {
+            Some(s) if folded as usize <= replay.ops.len() => s,
+            // No snapshot, or one ahead of a torn log (it then already
+            // contains every surviving op): rebuild what we can.
+            Some(s) => {
+                folded = replay.ops.len() as u64;
+                s
+            }
+            None => {
+                folded = 0;
+                let netlist = resolve_netlist(&entry.spec.source)?;
+                SessionState::new(netlist, &entry.spec.params)
+                    .map_err(|e| HttpError::new(500, format!("session rebuild failed: {e}")))?
+            }
+        };
+        for op in replay.ops.iter().skip(folded as usize) {
+            state
+                .apply(op)
+                .map_err(|e| HttpError::new(500, format!("session op-log replay failed: {e}")))?;
+        }
+        slot.ops_logged = replay.ops.len() as u64;
+        slot.ops_snapshotted = folded.min(slot.ops_logged);
+        if replay.truncated {
+            // Normalize: fold the recovered state into a fresh snapshot
+            // so the dropped tail bytes can never desynchronize later
+            // replays, then restart the log.
+            if self.write_snapshot(entry.id, &state, 0) {
+                let _ = std::fs::remove_file(self.oplog_path(entry.id));
+                slot.ops_logged = 0;
+                slot.ops_snapshotted = 0;
+            }
+        }
+        slot.warm = Some(state);
+        self.metrics.replays.fetch_add(1, Ordering::Relaxed);
+        self.enforce_warm_cap(Some(entry.id));
+        Ok(())
+    }
+
+    /// Writes a full snapshot folding `ops_folded` log records.
+    /// Best-effort: a failed write just postpones the checkpoint.
+    fn write_snapshot(&self, id: u64, state: &SessionState, ops_folded: u64) -> bool {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str("minpower-session-ckpt".into())),
+            ("version".into(), Value::Int(1)),
+            ("ops_folded".into(), Value::Int(ops_folded)),
+            ("state".into(), state.snapshot()),
+        ]);
+        let ok = store::write_durable(&self.snapshot_path(id), doc.render().as_bytes()).is_ok();
+        if ok {
+            self.metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Drops LRU warm states beyond `max_sessions`, never touching
+    /// `keep` (the session being served) or busy slots. A busy slot —
+    /// including the caller's own, locked while it warms — still counts
+    /// toward the cap, or warming an entry under its own lock would
+    /// let the warm population drift above `max_sessions`.
+    fn enforce_warm_cap(&self, keep: Option<u64>) {
+        let sessions = self.sessions.lock().expect("session map");
+        loop {
+            let mut evictable: Vec<(Instant, u64)> = Vec::new();
+            let mut warm_count = 0usize;
+            for (id, entry) in sessions.iter() {
+                match entry.slot.try_lock() {
+                    Ok(slot) => {
+                        if slot.warm.is_some() {
+                            warm_count += 1;
+                            if Some(*id) != keep {
+                                evictable.push((slot.last_used, *id));
+                            }
+                        }
+                    }
+                    Err(_) => warm_count += 1, // busy = warm (or becoming so)
+                }
+            }
+            if warm_count <= self.max_sessions {
+                return;
+            }
+            evictable.sort();
+            let Some(&(_, victim)) = evictable.first() else {
+                return;
+            };
+            let entry = sessions.get(&victim).expect("listed above");
+            let Ok(mut slot) = entry.slot.try_lock() else {
+                return;
+            };
+            if slot.warm.take().is_some() {
+                self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Idle-TTL sweep: evicts warm states untouched for longer than
+    /// `session_ttl` seconds. Cheap; the server calls it on session
+    /// traffic.
+    pub fn sweep_idle(&self) {
+        if self.session_ttl <= 0.0 {
+            return;
+        }
+        let sessions = self.sessions.lock().expect("session map");
+        for entry in sessions.values() {
+            if let Ok(mut slot) = entry.slot.try_lock() {
+                if slot.warm.is_some() && slot.last_used.elapsed().as_secs_f64() > self.session_ttl
+                {
+                    slot.warm = None;
+                    self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Tears a session down: removes it from the map and deletes its
+    /// record, op-log, and snapshot.
+    ///
+    /// # Errors
+    ///
+    /// `404` when no such session exists.
+    pub fn delete(&self, id: u64) -> Result<(), HttpError> {
+        let removed = self.sessions.lock().expect("session map").remove(&id);
+        if removed.is_none() {
+            return Err(HttpError::new(404, format!("no session {id}")));
+        }
+        store::remove_generations(&self.record_path(id));
+        store::remove_generations(&self.snapshot_path(id));
+        let _ = std::fs::remove_file(self.oplog_path(id));
+        Ok(())
+    }
+
+    /// Sorted-by-id listing rows: `(id, label, warm, ops_logged,
+    /// revision-if-warm)`. Cold sessions are not replayed just to list
+    /// them.
+    pub fn list_rows(&self) -> Vec<Value> {
+        let sessions = self.sessions.lock().expect("session map");
+        let mut ids: Vec<u64> = sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| {
+                let entry = &sessions[id];
+                let (warm, ops, revision) = match entry.slot.try_lock() {
+                    Ok(slot) => (
+                        slot.warm.is_some(),
+                        slot.ops_logged,
+                        slot.warm.as_ref().map(SessionState::revision),
+                    ),
+                    Err(_) => (true, 0, None),
+                };
+                let mut fields = vec![
+                    ("id".to_string(), Value::Int(*id)),
+                    ("circuit".to_string(), Value::Str(entry.spec.label())),
+                    (
+                        "status".to_string(),
+                        Value::Str(if warm { "warm" } else { "cold" }.to_string()),
+                    ),
+                    ("ops".to_string(), Value::Int(ops)),
+                ];
+                if let Some(rev) = revision {
+                    fields.push(("revision".to_string(), Value::Int(rev)));
+                }
+                Value::Obj(fields)
+            })
+            .collect()
+    }
+
+    /// Open- and warm-session gauges.
+    pub fn counts(&self) -> (u64, u64) {
+        let sessions = self.sessions.lock().expect("session map");
+        let open = sessions.len() as u64;
+        let warm = sessions
+            .values()
+            .filter(|e| e.slot.try_lock().map(|s| s.warm.is_some()).unwrap_or(true))
+            .count() as u64;
+        (open, warm)
+    }
+}
+
+/// Decodes a `session-<id>.snap` payload into (state, ops_folded).
+fn decode_snapshot(payload: &[u8]) -> Option<(SessionState, u64)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let doc = json::parse(text).ok()?;
+    let obj = doc.as_obj("session ckpt").ok()?;
+    if obj.req("schema").ok()?.as_str("schema").ok()? != "minpower-session-ckpt" {
+        return None;
+    }
+    let ops_folded = obj.req("ops_folded").ok()?.as_u64("ops_folded").ok()?;
+    let state = SessionState::from_snapshot(obj.req("state").ok()?).ok()?;
+    Some((state, ops_folded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn scratch_config(tag: &str) -> crate::Config {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "minpower-session-mgr-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        crate::Config {
+            state_dir: dir,
+            max_sessions: 2,
+            session_checkpoint_every: 4,
+            ..crate::Config::default()
+        }
+    }
+
+    fn c17_spec() -> SessionSpec {
+        SessionSpec {
+            source: Source::Suite("c17".to_string()),
+            params: SessionParams::default(),
+        }
+    }
+
+    fn cleanup(dir: &Path) {
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn create_apply_recover_is_bit_identical() {
+        let config = scratch_config("recover");
+        let manager = SessionManager::new(&config);
+        let (id, _) = manager.create(c17_spec()).unwrap();
+        let entry = manager.get(id).unwrap();
+        let ops = [
+            SessionOp::Resize {
+                gate: "10".into(),
+                width: 3.0,
+            },
+            SessionOp::SetFc { fc: 280.0e6 },
+            SessionOp::Reoptimize { steps: 8 },
+        ];
+        for op in &ops {
+            manager.apply(&entry, op).unwrap();
+        }
+        let live = manager
+            .with_state(&entry, |s, _| s.snapshot().render())
+            .unwrap();
+        // A second manager over the same directory = restart recovery.
+        let manager2 = SessionManager::new(&config);
+        let entry2 = manager2.get(id).unwrap();
+        let recovered = manager2
+            .with_state(&entry2, |s, _| s.snapshot().render())
+            .unwrap();
+        assert_eq!(live, recovered, "restart must replay bit-identically");
+        assert_eq!(manager2.metrics.replays.load(Ordering::Relaxed), 1);
+        cleanup(&config.state_dir);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_stays_identical() {
+        let config = scratch_config("ckpt");
+        let manager = SessionManager::new(&config);
+        let (id, _) = manager.create(c17_spec()).unwrap();
+        let entry = manager.get(id).unwrap();
+        for i in 0..10u32 {
+            manager
+                .apply(
+                    &entry,
+                    &SessionOp::Resize {
+                        gate: "10".into(),
+                        width: 2.0 + f64::from(i) * 0.25,
+                    },
+                )
+                .unwrap();
+        }
+        assert!(
+            manager.metrics.checkpoints.load(Ordering::Relaxed) >= 2,
+            "checkpoint_every=4 over 10 ops"
+        );
+        let live = manager
+            .with_state(&entry, |s, _| s.snapshot().render())
+            .unwrap();
+        let manager2 = SessionManager::new(&config);
+        let entry2 = manager2.get(id).unwrap();
+        let recovered = manager2
+            .with_state(&entry2, |s, _| s.snapshot().render())
+            .unwrap();
+        assert_eq!(live, recovered);
+        cleanup(&config.state_dir);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_sessions_open() {
+        let config = scratch_config("lru");
+        let manager = SessionManager::new(&config);
+        let a = manager.create(c17_spec()).unwrap().0;
+        let b = manager.create(c17_spec()).unwrap().0;
+        let c = manager.create(c17_spec()).unwrap().0; // cap is 2 → evicts LRU
+        assert!(manager.metrics.evictions.load(Ordering::Relaxed) >= 1);
+        let (open, warm) = manager.counts();
+        assert_eq!(open, 3);
+        assert!(warm <= 2);
+        // The evicted session still answers (replays transparently).
+        for id in [a, b, c] {
+            let entry = manager.get(id).unwrap();
+            manager
+                .apply(
+                    &entry,
+                    &SessionOp::Resize {
+                        gate: "10".into(),
+                        width: 2.5,
+                    },
+                )
+                .unwrap();
+        }
+        assert!(manager.metrics.replays.load(Ordering::Relaxed) >= 1);
+        cleanup(&config.state_dir);
+    }
+
+    #[test]
+    fn open_cap_answers_429_and_delete_frees() {
+        let config = scratch_config("cap");
+        let manager = SessionManager::new(&config);
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            ids.push(manager.create(c17_spec()).unwrap().0);
+        }
+        let err = manager.create(c17_spec()).unwrap_err();
+        assert_eq!(err.status, 429);
+        manager.delete(ids[0]).unwrap();
+        manager.create(c17_spec()).unwrap();
+        assert_eq!(manager.delete(ids[0]).unwrap_err().status, 404);
+        cleanup(&config.state_dir);
+    }
+}

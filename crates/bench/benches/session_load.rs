@@ -15,6 +15,11 @@
 //! * **connection reuse** — connections vs requests from `/metrics`
 //!   (keep-alive must make connections ≪ requests).
 //!
+//! Resource governance is **enabled** for the run (token-bucket rate
+//! limits, disk quotas, memory-pressure governor) with limits generous
+//! enough that nothing is rejected: the measured op path is the
+//! governed one.
+//!
 //! Writes `BENCH_sessions.json` into the workspace root on a full run.
 //! Run with `cargo bench -p minpower-bench --bench session_load`
 //! (`-- --smoke` for the CI-sized load, which asserts the *committed*
@@ -231,11 +236,21 @@ fn main() {
     assert!(!gate_names.is_empty());
     let gate_names = Arc::new(gate_names);
 
+    // Governance stays ON for the measurement: every op pays the
+    // token-bucket check (per-session and per-client-IP), the disk
+    // accounting, and the admission governor's tier read. The limits
+    // are generous enough that nothing is rejected — the bench times
+    // the governed hot path, not the rejection path.
     let server = Server::bind(minpower_serve::Config {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         max_sessions: clients, // every client's session stays warm
         state_dir: scratch_dir(),
+        ops_rate: 10_000.0,
+        ops_burst: 1_000.0,
+        client_rate: 100_000.0, // all clients share one loopback IP
+        client_burst: 10_000.0,
+        mem_budget_bytes: 1 << 30,
         ..minpower_serve::Config::default()
     })
     .expect("bind service");
@@ -317,6 +332,19 @@ fn main() {
         .and_then(|o| o.req("responses_ok"))
         .and_then(|v| v.as_u64("responses_ok"))
         .unwrap();
+    let govern_obj = metrics
+        .as_obj("metrics")
+        .and_then(|o| o.req("govern"))
+        .and_then(|v| v.as_obj("govern"))
+        .unwrap();
+    let rate_limited = govern_obj
+        .req("rate_limited_ops")
+        .and_then(|v| v.as_u64("rate_limited_ops"))
+        .unwrap();
+    let tier = govern_obj
+        .req("tier")
+        .and_then(|v| v.as_str("tier").map(str::to_string))
+        .unwrap();
     handle.shutdown();
     let _ = server_thread.join();
 
@@ -338,6 +366,14 @@ fn main() {
         1e3 * cold_secs
     );
     println!("connections: {connections} for {requests} 2xx responses (keep-alive reuse)");
+    println!("governance: tier {tier}, {rate_limited} ops rate-limited (limits are generous)");
+    // The limits above are sized so the governed path admits everything:
+    // a rejection would mean the bench timed Retry-After sleeps instead
+    // of the hot path.
+    assert_eq!(
+        rate_limited, 0,
+        "bench limiter rejected ops; timings include retry backoff"
+    );
     // Keep-alive reuse must be measurable: the op stream rode shared
     // connections, so responses exceed connections by at least half the
     // op count even with the one-shot create/poll traffic mixed in.
@@ -378,6 +414,8 @@ fn main() {
         ("p99_over_cold".to_string(), Value::Float(ratio)),
         ("connections".to_string(), Value::Int(connections)),
         ("requests".to_string(), Value::Int(requests)),
+        ("governed".to_string(), Value::Bool(true)),
+        ("rate_limited_ops".to_string(), Value::Int(rate_limited)),
     ]);
     std::fs::write(&path, format!("{}\n", report.render())).expect("write report");
     println!("wrote {}", path.display());

@@ -235,6 +235,10 @@ fn print_usage() {
          \x20 minpower serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                   [--job-time-limit SECS] [--state-dir DIR]\n\
          \x20                   [--max-sessions N] [--session-ttl SECS]\n\
+         \x20                   [--ops-rate R] [--ops-burst B]\n\
+         \x20                   [--client-rate R] [--client-burst B]\n\
+         \x20                   [--session-quota-bytes N] [--session-disk-budget N]\n\
+         \x20                   [--mem-budget-bytes N] [--session-compact-bytes N]\n\
          \x20                   [--worker --shared-dir DIR]\n\
          \x20 minpower coord    --workers HOST:PORT,HOST:PORT,... [--addr HOST:PORT]\n\
          \x20                   [--state-dir DIR] [--lease-ttl SECS]\n\
@@ -362,6 +366,16 @@ impl<'a> Flags<'a> {
     }
 
     fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None if self.has(name) => Err(format!("flag {name} requires a value")),
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("flag {name}: cannot parse `{v}`: {e}")),
+        }
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None if self.has(name) => Err(format!("flag {name} requires a value")),
             None => Ok(default),
@@ -632,6 +646,14 @@ fn serve(args: &[String]) -> Result<(), CliError> {
         "--shared-dir",
         "--max-sessions",
         "--session-ttl",
+        "--ops-rate",
+        "--ops-burst",
+        "--client-rate",
+        "--client-burst",
+        "--session-quota-bytes",
+        "--session-disk-budget",
+        "--mem-budget-bytes",
+        "--session-compact-bytes",
     ])?;
     let mut config = minpower_serve::Config {
         addr: flags.get("--addr").unwrap_or("127.0.0.1:7817").to_string(),
@@ -654,6 +676,29 @@ fn serve(args: &[String]) -> Result<(), CliError> {
                 .to_string(),
         ));
     }
+    config.ops_rate = flags.get_f64("--ops-rate", config.ops_rate)?;
+    config.ops_burst = flags.get_f64("--ops-burst", config.ops_burst)?;
+    config.client_rate = flags.get_f64("--client-rate", config.client_rate)?;
+    config.client_burst = flags.get_f64("--client-burst", config.client_burst)?;
+    for (name, value) in [
+        ("--ops-rate", config.ops_rate),
+        ("--ops-burst", config.ops_burst),
+        ("--client-rate", config.client_rate),
+        ("--client-burst", config.client_burst),
+    ] {
+        if value < 0.0 || !value.is_finite() {
+            return Err(CliError::Usage(format!(
+                "{name} must be a finite, non-negative number (0 disables the limiter)"
+            )));
+        }
+    }
+    config.session_quota_bytes =
+        flags.get_u64("--session-quota-bytes", config.session_quota_bytes)?;
+    config.session_disk_budget =
+        flags.get_u64("--session-disk-budget", config.session_disk_budget)?;
+    config.mem_budget_bytes = flags.get_u64("--mem-budget-bytes", config.mem_budget_bytes)?;
+    config.session_compact_bytes =
+        flags.get_u64("--session-compact-bytes", config.session_compact_bytes)?;
     if let Some(dir) = flags.get("--state-dir") {
         config.state_dir = dir.into();
     }

@@ -14,8 +14,8 @@
 //! The pieces:
 //!
 //! - [`SessionOp`] — the typed edit vocabulary (resize, retime via
-//!   `set_vt`, operating-point nudges, structural add/remove,
-//!   dirty-cone re-optimization), with a JSON codec whose persisted
+//!   `set_vt`, operating-point nudges, structural add/remove/rewire/
+//!   retype, dirty-cone re-optimization), with a JSON codec whose persisted
 //!   form uses the checkpoint hex-float encoding so replay is
 //!   bit-exact.
 //! - [`SessionState`] — the warm state and the per-op incremental
@@ -37,7 +37,8 @@
 //! and eviction live in the service layer; this module owns only the
 //! state machine and its durability primitives.
 
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -206,6 +207,23 @@ pub enum SessionOp {
         /// Target gate name.
         gate: String,
     },
+    /// Replace `gate`'s fanin list. The netlist re-levelizes (a stable
+    /// topological re-sort), so rewiring to a gate that currently sits
+    /// later in index order is legal as long as no cycle forms.
+    RewireFanin {
+        /// Target gate name (a logic gate).
+        gate: String,
+        /// Names of the new driving nets, in order.
+        fanin: Vec<String>,
+    },
+    /// Swap `gate`'s logic function in place (any non-`INPUT` kind whose
+    /// arity admits the gate's current fanin count).
+    SwapGateKind {
+        /// Target gate name (a logic gate).
+        gate: String,
+        /// The new logic function.
+        kind: GateKind,
+    },
     /// Re-optimize the dirty cone: minimal feasible width per dirty
     /// gate, in deterministic (level, index) order.
     Reoptimize {
@@ -232,6 +250,8 @@ impl SessionOp {
             "set_activity" => &["op", "activity"],
             "add_gate" => &["op", "name", "kind", "fanin"],
             "remove_gate" => &["op", "gate"],
+            "rewire_fanin" => &["op", "gate", "fanin"],
+            "swap_gate_kind" => &["op", "gate", "kind"],
             "reoptimize" => &["op", "steps"],
             other => {
                 return Err(SessionError::new(format!("unknown op kind {other:?}")));
@@ -277,6 +297,22 @@ impl SessionOp {
             }
             "remove_gate" => SessionOp::RemoveGate {
                 gate: obj.req("gate")?.as_str("gate")?.to_string(),
+            },
+            "rewire_fanin" => {
+                let fanin = obj
+                    .req("fanin")?
+                    .as_arr("fanin")?
+                    .iter()
+                    .map(|v| v.as_str("fanin entry").map(str::to_string))
+                    .collect::<Result<Vec<_>, _>>()?;
+                SessionOp::RewireFanin {
+                    gate: obj.req("gate")?.as_str("gate")?.to_string(),
+                    fanin,
+                }
+            }
+            "swap_gate_kind" => SessionOp::SwapGateKind {
+                gate: obj.req("gate")?.as_str("gate")?.to_string(),
+                kind: kind_from_keyword(obj.req("kind")?.as_str("kind")?)?,
             },
             "reoptimize" => {
                 let steps = match obj.opt("steps") {
@@ -335,6 +371,19 @@ impl SessionOp {
                 ("op".into(), Value::Str("remove_gate".into())),
                 ("gate".into(), Value::Str(gate.clone())),
             ]),
+            SessionOp::RewireFanin { gate, fanin } => Value::Obj(vec![
+                ("op".into(), Value::Str("rewire_fanin".into())),
+                ("gate".into(), Value::Str(gate.clone())),
+                (
+                    "fanin".into(),
+                    Value::Arr(fanin.iter().map(|n| Value::Str(n.clone())).collect()),
+                ),
+            ]),
+            SessionOp::SwapGateKind { gate, kind } => Value::Obj(vec![
+                ("op".into(), Value::Str("swap_gate_kind".into())),
+                ("gate".into(), Value::Str(gate.clone())),
+                ("kind".into(), Value::Str(kind.bench_keyword().into())),
+            ]),
             SessionOp::Reoptimize { steps } => Value::Obj(vec![
                 ("op".into(), Value::Str("reoptimize".into())),
                 ("steps".into(), Value::Int(u64::from(*steps))),
@@ -352,6 +401,8 @@ impl SessionOp {
             SessionOp::SetActivity { .. } => "set_activity",
             SessionOp::AddGate { .. } => "add_gate",
             SessionOp::RemoveGate { .. } => "remove_gate",
+            SessionOp::RewireFanin { .. } => "rewire_fanin",
+            SessionOp::SwapGateKind { .. } => "swap_gate_kind",
             SessionOp::Reoptimize { .. } => "reoptimize",
         }
     }
@@ -560,6 +611,14 @@ impl SessionState {
             }
             SessionOp::RemoveGate { gate } => {
                 let touched = self.remove_gate(gate)?;
+                (touched, 0)
+            }
+            SessionOp::RewireFanin { gate, fanin } => {
+                let touched = self.rewire_fanin(gate, fanin)?;
+                (touched, 0)
+            }
+            SessionOp::SwapGateKind { gate, kind } => {
+                let touched = self.swap_gate_kind(gate, *kind)?;
                 (touched, 0)
             }
             SessionOp::Reoptimize { steps } => {
@@ -831,6 +890,198 @@ impl SessionState {
         Ok(self.model.netlist().gate_count())
     }
 
+    /// Structural rewire: replace a logic gate's fanin list. The graph
+    /// re-levelizes through [`SessionState::rebuild_structural`], so the
+    /// new drivers may sit anywhere in the current index order as long
+    /// as the result stays acyclic. The gate and its old and new drivers
+    /// are marked dirty for the next re-optimize.
+    fn rewire_fanin(&mut self, name: &str, fanin: &[String]) -> Result<usize, SessionError> {
+        if fanin.is_empty() {
+            return Err(SessionError::new("`fanin` must be non-empty"));
+        }
+        let (gates, old_fanin) = {
+            let old = self.model.netlist();
+            let id = old
+                .find(name)
+                .ok_or_else(|| SessionError::new(format!("unknown gate {name:?}")))?;
+            if old.gate(id).kind().is_input() {
+                return Err(SessionError::new(format!(
+                    "cannot rewire primary input {name:?}"
+                )));
+            }
+            let old_fanin: Vec<String> = old
+                .gate(id)
+                .fanin()
+                .iter()
+                .map(|&f| old.gate(f).name().to_string())
+                .collect();
+            let mut gates = gate_descs(old);
+            gates[id.index()].2 = fanin.to_vec();
+            (gates, old_fanin)
+        };
+        // The arity of the (unchanged) kind must admit the new count;
+        // the builder validates that during the rebuild.
+        self.rebuild_structural(gates)?;
+        self.dirty.insert(name.to_string());
+        for f in old_fanin.iter().chain(fanin.iter()) {
+            let n = self.model.netlist();
+            if let Some(fid) = n.find(f) {
+                if !n.gate(fid).kind().is_input() {
+                    self.dirty.insert(f.clone());
+                }
+            }
+        }
+        Ok(self.model.netlist().gate_count())
+    }
+
+    /// Structural retype: swap a logic gate's function in place. Gate
+    /// order and the design vectors are untouched (no edges move); the
+    /// model rebuilds because a kind change propagates through the
+    /// downstream switching activities. The gate, its drivers, and its
+    /// direct fanout are marked dirty.
+    fn swap_gate_kind(&mut self, name: &str, kind: GateKind) -> Result<usize, SessionError> {
+        if kind.is_input() {
+            return Err(SessionError::new("cannot swap a gate to INPUT"));
+        }
+        let (gates, neighbors) = {
+            let old = self.model.netlist();
+            let id = old
+                .find(name)
+                .ok_or_else(|| SessionError::new(format!("unknown gate {name:?}")))?;
+            if old.gate(id).kind().is_input() {
+                return Err(SessionError::new(format!(
+                    "cannot swap primary input {name:?}"
+                )));
+            }
+            let neighbors: Vec<String> = old
+                .gate(id)
+                .fanin()
+                .iter()
+                .chain(old.fanout(id).iter())
+                .map(|&g| old.gate(g).name().to_string())
+                .collect();
+            let mut gates = gate_descs(old);
+            gates[id.index()].1 = kind;
+            (gates, neighbors)
+        };
+        self.rebuild_structural(gates)?;
+        self.dirty.insert(name.to_string());
+        for f in &neighbors {
+            let n = self.model.netlist();
+            if let Some(fid) = n.find(f) {
+                if !n.gate(fid).kind().is_input() {
+                    self.dirty.insert(f.clone());
+                }
+            }
+        }
+        Ok(self.model.netlist().gate_count())
+    }
+
+    /// Rebuilds the netlist from edited gate descriptors: a stable
+    /// topological re-sort (Kahn's algorithm draining ready gates in
+    /// original index order, so an edit that inverts no edges preserves
+    /// the current order exactly), the design vectors permuted by gate
+    /// name, then a full model + dense rebuild. Fails — leaving the
+    /// state untouched — on an unknown fanin name, a combinational
+    /// cycle, or an arity the builder rejects.
+    fn rebuild_structural(
+        &mut self,
+        gates: Vec<(String, GateKind, Vec<String>)>,
+    ) -> Result<(), SessionError> {
+        let (netlist_name, outputs, ffs, old_vals) = {
+            let old = self.model.netlist();
+            let outputs: Vec<String> = old
+                .outputs()
+                .iter()
+                .map(|&o| old.gate(o).name().to_string())
+                .collect();
+            let old_vals: HashMap<String, (f64, f64)> = old
+                .gates()
+                .iter()
+                .enumerate()
+                .map(|(i, g)| {
+                    (
+                        g.name().to_string(),
+                        (self.design.vt[i], self.design.width[i]),
+                    )
+                })
+                .collect();
+            (
+                old.name().to_string(),
+                outputs,
+                old.flip_flop_count(),
+                old_vals,
+            )
+        };
+        let pos: HashMap<&str, usize> = gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.0.as_str(), i))
+            .collect();
+        let mut indeg = vec![0usize; gates.len()];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+        for (i, (_, _, fanin)) in gates.iter().enumerate() {
+            for f in fanin {
+                let &j = pos
+                    .get(f.as_str())
+                    .ok_or_else(|| SessionError::new(format!("unknown fanin {f:?}")))?;
+                out_edges[j].push(i);
+                indeg[i] += 1;
+            }
+        }
+        let mut ready: BinaryHeap<Reverse<usize>> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| Reverse(i))
+            .collect();
+        let mut order: Vec<usize> = Vec::with_capacity(gates.len());
+        while let Some(Reverse(i)) = ready.pop() {
+            order.push(i);
+            for &k in &out_edges[i] {
+                indeg[k] -= 1;
+                if indeg[k] == 0 {
+                    ready.push(Reverse(k));
+                }
+            }
+        }
+        if order.len() != gates.len() {
+            return Err(SessionError::new("edit creates a combinational cycle"));
+        }
+        let mut b = NetlistBuilder::new(&netlist_name);
+        for &i in &order {
+            let (name, kind, fanin) = &gates[i];
+            if kind.is_input() {
+                b.input(name).map_err(to_session_error)?;
+            } else {
+                let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+                b.gate(name, *kind, &refs).map_err(to_session_error)?;
+            }
+        }
+        for o in &outputs {
+            b.output(o).map_err(to_session_error)?;
+        }
+        b.record_flip_flops(ffs);
+        let netlist = b.finish().map_err(to_session_error)?;
+        let mut vt = Vec::with_capacity(netlist.gate_count());
+        let mut width = Vec::with_capacity(netlist.gate_count());
+        for g in netlist.gates() {
+            let &(v, w) = old_vals.get(g.name()).expect("gate survives the rebuild");
+            vt.push(v);
+            width.push(w);
+        }
+        self.design.vt = vt;
+        self.design.width = width;
+        self.model = CircuitModel::with_uniform_activity(
+            &netlist,
+            self.tech.clone(),
+            ACTIVITY_PROBABILITY,
+            self.activity,
+        );
+        self.rebuild_dense();
+        Ok(())
+    }
+
     /// Dense rebuild of delays, STA, and ledger from the current model
     /// and design.
     fn rebuild_dense(&mut self) {
@@ -964,6 +1215,21 @@ impl SessionState {
         &self.dirty
     }
 
+    /// Coarse estimate of this warm state's in-memory footprint, bytes.
+    /// Counts the per-gate vectors (delays, arrivals, design, model
+    /// coefficients), the fanout adjacency, and the name strings — the
+    /// terms that scale with circuit size. Used by the service's
+    /// memory-pressure governor; accuracy to a small constant factor is
+    /// all the shedding thresholds need.
+    pub fn approx_bytes(&self) -> u64 {
+        let n = self.model.netlist();
+        let gates = n.gate_count() as u64;
+        let edges: u64 = n.gates().iter().map(|g| g.fanin().len() as u64).sum();
+        let names: u64 = n.gates().iter().map(|g| g.name().len() as u64 + 48).sum();
+        let dirty: u64 = self.dirty.iter().map(|s| s.len() as u64 + 64).sum();
+        gates * 176 + edges * 24 + names + dirty
+    }
+
     /// Full-state snapshot in the checkpoint encoding: rebuilding via
     /// [`SessionState::from_snapshot`] yields a bitwise-identical
     /// state. This is what the service's periodic checkpoint persists.
@@ -1092,6 +1358,24 @@ fn to_session_error(e: impl fmt::Display) -> SessionError {
     SessionError::new(e.to_string())
 }
 
+/// Owned `(name, kind, fanin names)` descriptors in index order — the
+/// editable form of a netlist for structural rebuilds.
+fn gate_descs(n: &Netlist) -> Vec<(String, GateKind, Vec<String>)> {
+    n.gates()
+        .iter()
+        .map(|g| {
+            (
+                g.name().to_string(),
+                g.kind(),
+                g.fanin()
+                    .iter()
+                    .map(|&f| n.gate(f).name().to_string())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Op-log: one CRC-framed record per applied op, append + fsync.
 // ---------------------------------------------------------------------------
@@ -1112,16 +1396,17 @@ pub fn reset_fault_indices() {
 }
 
 /// Appends one op record — `"minpower-oplog <version> <len> <crc32>\n"`
-/// then canonical op JSON then `"\n"` — and fsyncs. The
-/// `session.oplog.torn` fault site truncates the record mid-payload
-/// while still reporting success; the torn tail is caught by the CRC on
-/// the next read.
+/// then canonical op JSON then `"\n"` — and fsyncs, returning the bytes
+/// written (the service's disk accounting sums them against the session
+/// quota). The `session.oplog.torn` fault site truncates the record
+/// mid-payload while still reporting success; the torn tail is caught
+/// by the CRC on the next read.
 ///
 /// # Errors
 ///
 /// The underlying I/O error; the caller should drop its warm state so
 /// the session reconverges to the durable log.
-pub fn append_op(path: &Path, op: &SessionOp) -> std::io::Result<()> {
+pub fn append_op(path: &Path, op: &SessionOp) -> std::io::Result<u64> {
     let payload = op.to_json().render();
     let bytes = payload.as_bytes();
     let crc = crate::store::crc32(bytes);
@@ -1140,7 +1425,7 @@ pub fn append_op(path: &Path, op: &SessionOp) -> std::io::Result<()> {
         .open(path)?;
     file.write_all(&record)?;
     file.sync_data()?;
-    Ok(())
+    Ok(record.len() as u64)
 }
 
 /// Result of scanning an op-log.
@@ -1488,6 +1773,98 @@ mod tests {
             assert!(s.apply(&op).is_err(), "{op:?} must be rejected");
         }
         assert_eq!(s.snapshot().render(), snap);
+        assert_eq!(s.revision(), 0);
+    }
+
+    #[test]
+    fn rewire_and_swap_json_round_trip_bitwise() {
+        let ops = vec![
+            SessionOp::RewireFanin {
+                gate: "n4".into(),
+                fanin: vec!["n2".into(), "d".into()],
+            },
+            SessionOp::SwapGateKind {
+                gate: "n3".into(),
+                kind: GateKind::Nor,
+            },
+        ];
+        for op in ops {
+            let doc = json::parse(&op.to_json().render()).unwrap();
+            assert_eq!(SessionOp::from_json(&doc).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn rewire_and_swap_replay_bit_identically() {
+        let ops = vec![
+            SessionOp::RewireFanin {
+                gate: "n4".into(),
+                fanin: vec!["n2".into(), "d".into()],
+            },
+            SessionOp::SwapGateKind {
+                gate: "n3".into(),
+                kind: GateKind::Nor,
+            },
+            SessionOp::Reoptimize { steps: 6 },
+        ];
+        let mut live = SessionState::new(sample(), &params()).unwrap();
+        for op in &ops {
+            live.apply(op).unwrap();
+            live.cross_check();
+        }
+        let n = live.netlist();
+        let n4 = n.find("n4").unwrap();
+        let fanin: Vec<&str> = n
+            .gate(n4)
+            .fanin()
+            .iter()
+            .map(|&f| n.gate(f).name())
+            .collect();
+        assert_eq!(fanin, ["n2", "d"]);
+        assert_eq!(n.gate(n.find("n3").unwrap()).kind(), GateKind::Nor);
+        let replayed = SessionState::replay(sample(), &params(), &ops).unwrap();
+        assert_eq!(live.snapshot().render(), replayed.snapshot().render());
+    }
+
+    #[test]
+    fn rewire_and_swap_reject_invalid_edits_untouched() {
+        let mut s = SessionState::new(sample(), &params()).unwrap();
+        let snap = s.snapshot().render();
+        for op in [
+            // n3 depends on n1, so feeding n3 back into n1 is a cycle.
+            SessionOp::RewireFanin {
+                gate: "n1".into(),
+                fanin: vec!["n3".into(), "b".into()],
+            },
+            SessionOp::RewireFanin {
+                gate: "a".into(),
+                fanin: vec!["b".into()],
+            },
+            SessionOp::RewireFanin {
+                gate: "n1".into(),
+                fanin: vec!["ghost".into()],
+            },
+            SessionOp::RewireFanin {
+                gate: "n1".into(),
+                fanin: vec![],
+            },
+            // Not is unary; n3 has two fanins.
+            SessionOp::SwapGateKind {
+                gate: "n3".into(),
+                kind: GateKind::Not,
+            },
+            SessionOp::SwapGateKind {
+                gate: "a".into(),
+                kind: GateKind::Nand,
+            },
+        ] {
+            assert!(s.apply(&op).is_err(), "{op:?} must be rejected");
+        }
+        assert_eq!(
+            s.snapshot().render(),
+            snap,
+            "rejected edits must not mutate"
+        );
         assert_eq!(s.revision(), 0);
     }
 }

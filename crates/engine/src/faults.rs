@@ -51,6 +51,19 @@
 //!                         reporting success — a torn tail the replay
 //!                         path truncates at the last intact record
 //!                         (indexed by the process-wide append sequence) |
+//! | `session.compact.crash` | a session compaction crashes after the
+//!                         folded snapshot is durable but before the op
+//!                         log is truncated — the window recovery must
+//!                         normalize without double-applying ops
+//!                         (indexed by the process-wide compaction
+//!                         sequence)                                    |
+//! | `govern.clock_skew` | a token-bucket refill observes a wildly
+//!                         skewed monotonic reading (hours forward on
+//!                         even indices, to zero on odd ones); the
+//!                         limiter must clamp instead of banking
+//!                         unbounded tokens or locking clients out
+//!                         (indexed by the process-wide acquire
+//!                         sequence)                                    |
 //!
 //! Triggers are deterministic: an explicit index set, every-nth, or a
 //! seeded pseudo-random subset — never wall clock — so failing runs

@@ -1,0 +1,376 @@
+//! Resource governance: deterministic token-bucket rate limiting and
+//! the memory-pressure load-shedding governor.
+//!
+//! The serving layer holds long-lived state per client — queued jobs,
+//! warm sessions, durable op logs — and before this module nothing
+//! bounded what any one client (or the sum of all clients) could
+//! consume. Governance makes overload a first-class regime:
+//!
+//! * [`TokenBuckets`] — classic token buckets keyed by session id or
+//!   client IP. Refill is computed from an explicit monotonic reading
+//!   (injectable in tests, perturbable by the `govern.clock_skew`
+//!   fault), clamped so a skewed clock can neither bank unbounded
+//!   tokens nor lock a client out for longer than one observation.
+//!   Exhaustion answers `429` with a `Retry-After` derived from the
+//!   token deficit.
+//! * [`Governor`] — the global admission governor. It scores memory
+//!   pressure from the warm-session byte gauge against
+//!   `--mem-budget-bytes`, amplified by queue depth, and maps the score
+//!   onto shedding tiers that drop the lowest-priority work first:
+//!   evict idle warm sessions, then refuse new sessions, then refuse
+//!   new jobs. The tier is visible in `/healthz` and `/metrics`.
+//!
+//! Disk quotas (per-session and global) live in the session manager,
+//! which owns the files; this module owns only admission policy.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Bound on distinct bucket keys; beyond it, full (idle) buckets are
+/// swept so an address-spraying client cannot grow the map without
+/// also sustaining traffic on every key.
+const MAX_BUCKET_KEYS: usize = 4096;
+
+/// Process-wide acquire sequence indexing the `govern.clock_skew`
+/// fault site.
+static SKEW_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Resets the fault-site call indices (test isolation; run fault tests
+/// single-threaded).
+#[cfg(feature = "faults")]
+pub fn reset_fault_indices() {
+    SKEW_SEQ.store(0, Ordering::Relaxed);
+}
+
+struct Bucket {
+    tokens: f64,
+    last_ns: u64,
+}
+
+/// Keyed deterministic token buckets: `rate` tokens/second refill up to
+/// a `burst` cap, one token per admitted request. Disabled (every
+/// acquire succeeds) when `rate <= 0`.
+pub struct TokenBuckets {
+    rate: f64,
+    burst: f64,
+    anchor: Instant,
+    state: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TokenBuckets {
+    /// Creates a bucket family. `burst <= 0` defaults to one second of
+    /// refill (at least one token).
+    pub fn new(rate: f64, burst: f64) -> TokenBuckets {
+        let burst = if burst > 0.0 { burst } else { rate.max(1.0) };
+        TokenBuckets {
+            rate,
+            burst,
+            anchor: Instant::now(),
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether this limiter is active at all.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Tries to take one token for `key` at the current monotonic
+    /// reading. On exhaustion returns the suggested `Retry-After` in
+    /// whole seconds (at least 1, at most the time a full refill
+    /// takes).
+    ///
+    /// # Errors
+    ///
+    /// The retry hint, when the bucket is empty.
+    pub fn try_acquire(&self, key: &str) -> Result<(), u64> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let mut now_ns = self.anchor.elapsed().as_nanos() as u64;
+        let seq = SKEW_SEQ.fetch_add(1, Ordering::Relaxed);
+        if minpower_engine::faults::should_fire("govern.clock_skew", seq) {
+            // Alternate wild forward/backward jumps so the drill covers
+            // both failure directions deterministically.
+            now_ns = if seq.is_multiple_of(2) {
+                now_ns.saturating_add(3_600_000_000_000)
+            } else {
+                0
+            };
+        }
+        self.try_acquire_at(key, now_ns)
+    }
+
+    /// The deterministic core: refill from the elapsed nanoseconds
+    /// between `now_ns` observations, clamped to `[0, burst]`. A
+    /// backward-looking observation (`now_ns` before the stored stamp)
+    /// refills nothing and *re-anchors* the stamp, so a clock jump can
+    /// deny at most the calls it directly touches, never freeze the
+    /// bucket until real time catches up to the skewed stamp.
+    ///
+    /// # Errors
+    ///
+    /// The retry hint, when the bucket is empty.
+    pub fn try_acquire_at(&self, key: &str, now_ns: u64) -> Result<(), u64> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.len() >= MAX_BUCKET_KEYS && !state.contains_key(key) {
+            // Sweep keys that would be full *after* refill at this
+            // reading — i.e. idle ones. Keys under sustained traffic
+            // stay; a map of nothing but active keys grows past the cap
+            // rather than denying service.
+            let (rate, burst) = (self.rate, self.burst);
+            state.retain(|_, b| {
+                let elapsed_ns = now_ns.saturating_sub(b.last_ns);
+                b.tokens + elapsed_ns as f64 * 1e-9 * rate < burst
+            });
+        }
+        let bucket = state.entry(key.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            last_ns: now_ns,
+        });
+        let elapsed_ns = now_ns.saturating_sub(bucket.last_ns);
+        bucket.last_ns = now_ns;
+        bucket.tokens = (bucket.tokens + elapsed_ns as f64 * 1e-9 * self.rate).min(self.burst);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit_secs = (1.0 - bucket.tokens) / self.rate;
+            let cap_secs = (self.burst / self.rate).max(1.0);
+            Err((deficit_secs.min(cap_secs).ceil() as u64).max(1))
+        }
+    }
+}
+
+/// Load-shedding tiers, in increasing severity. Each tier sheds
+/// everything the previous one does, plus one more class of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// No memory pressure; admit everything.
+    Ok,
+    /// Approaching the budget: the sweep evicts idle warm sessions.
+    Pressure,
+    /// Near the budget: additionally refuse new sessions (`503`).
+    ShedSessions,
+    /// At/over the budget (or over it with a saturated queue):
+    /// additionally refuse new jobs (`503`).
+    ShedJobs,
+}
+
+impl Tier {
+    /// The `/healthz` / `/metrics` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Ok => "ok",
+            Tier::Pressure => "pressure",
+            Tier::ShedSessions => "shed-sessions",
+            Tier::ShedJobs => "shed-jobs",
+        }
+    }
+}
+
+/// The global admission governor: maps the warm-session byte gauge and
+/// queue depth onto a [`Tier`]. Disabled (always [`Tier::Ok`]) when
+/// `mem_budget == 0`.
+pub struct Governor {
+    mem_budget: u64,
+    queue_depth: usize,
+}
+
+impl Governor {
+    /// Builds a governor over a warm-memory budget (bytes; `0`
+    /// disables) and the job queue's configured depth.
+    pub fn new(mem_budget: u64, queue_depth: usize) -> Governor {
+        Governor {
+            mem_budget,
+            queue_depth: queue_depth.max(1),
+        }
+    }
+
+    /// The configured budget, bytes (`0` = disabled).
+    pub fn mem_budget(&self) -> u64 {
+        self.mem_budget
+    }
+
+    /// Current tier. The score is the memory-budget fraction amplified
+    /// by queue saturation (`m · (1 + q/2)` — a full queue makes the
+    /// same residency half again as urgent), with tier edges at 0.75,
+    /// 0.90, and 1.0. Pure function of its inputs, so tests can pin
+    /// exact transitions.
+    pub fn tier(&self, warm_bytes: u64, queue_len: usize) -> Tier {
+        if self.mem_budget == 0 {
+            return Tier::Ok;
+        }
+        let m = warm_bytes as f64 / self.mem_budget as f64;
+        let q = (queue_len as f64 / self.queue_depth as f64).min(1.0);
+        let score = m * (1.0 + 0.5 * q);
+        if score < 0.75 {
+            Tier::Ok
+        } else if score < 0.90 {
+            Tier::Pressure
+        } else if score < 1.0 {
+            Tier::ShedSessions
+        } else {
+            Tier::ShedJobs
+        }
+    }
+
+    /// The warm-byte level the pressure sweep evicts down to (75% of
+    /// budget, i.e. back under the [`Tier::Pressure`] edge).
+    pub fn pressure_floor(&self) -> u64 {
+        (self.mem_budget as f64 * 0.75) as u64
+    }
+}
+
+/// `govern.*` counters for `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct GovernMetrics {
+    /// Session ops answered `429` by the per-session or per-client
+    /// bucket.
+    pub rate_limited_ops: AtomicU64,
+    /// Job submissions answered `429` by the per-client bucket.
+    pub rate_limited_jobs: AtomicU64,
+    /// `POST /sessions` refused by the shedding tier.
+    pub shed_sessions: AtomicU64,
+    /// `POST /jobs` refused by the shedding tier.
+    pub shed_jobs: AtomicU64,
+    /// Idle warm sessions evicted by the pressure sweep.
+    pub pressure_evictions: AtomicU64,
+}
+
+/// The server's governance layer: both bucket families, the governor,
+/// and the counters.
+pub struct Govern {
+    /// Per-session op buckets (keyed by session id).
+    pub session_buckets: TokenBuckets,
+    /// Per-client buckets (keyed by peer IP), shared by session ops and
+    /// job submissions.
+    pub client_buckets: TokenBuckets,
+    /// The load-shedding governor.
+    pub governor: Governor,
+    /// `govern.*` counters.
+    pub metrics: GovernMetrics,
+}
+
+impl Govern {
+    /// Builds the layer from the service config.
+    pub fn new(config: &crate::Config) -> Govern {
+        Govern {
+            session_buckets: TokenBuckets::new(config.ops_rate, config.ops_burst),
+            client_buckets: TokenBuckets::new(config.client_rate, config.client_burst),
+            governor: Governor::new(config.mem_budget_bytes, config.queue_depth),
+            metrics: GovernMetrics::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn bucket_grants_burst_then_refills_deterministically() {
+        let b = TokenBuckets::new(2.0, 4.0);
+        for i in 0..4 {
+            assert!(b.try_acquire_at("k", 0).is_ok(), "burst token {i}");
+        }
+        let retry = b.try_acquire_at("k", 0).unwrap_err();
+        assert_eq!(retry, 1, "deficit of one token at 2/s rounds up to 1 s");
+        // 500 ms refills exactly one token at 2 tokens/s.
+        assert!(b.try_acquire_at("k", SEC / 2).is_ok());
+        assert!(b.try_acquire_at("k", SEC / 2).is_err());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let b = TokenBuckets::new(1.0, 1.0);
+        assert!(b.try_acquire_at("a", 0).is_ok());
+        assert!(b.try_acquire_at("a", 0).is_err());
+        assert!(b.try_acquire_at("b", 0).is_ok());
+    }
+
+    #[test]
+    fn refill_never_exceeds_burst() {
+        let b = TokenBuckets::new(10.0, 3.0);
+        assert!(b.try_acquire_at("k", 0).is_ok());
+        // An hour of idle banks only `burst` tokens.
+        for _ in 0..3 {
+            assert!(b.try_acquire_at("k", 3600 * SEC).is_ok());
+        }
+        assert!(b.try_acquire_at("k", 3600 * SEC).is_err());
+    }
+
+    #[test]
+    fn backward_clock_reading_cannot_freeze_the_bucket() {
+        let b = TokenBuckets::new(1.0, 1.0);
+        assert!(b.try_acquire_at("k", 100 * SEC).is_ok());
+        // The clock reads zero (a backward skew): no refill, and the
+        // stamp re-anchors instead of freezing until t=100 s again.
+        assert!(b.try_acquire_at("k", 0).is_err());
+        // One real second after the skewed observation refills a token.
+        assert!(b.try_acquire_at("k", SEC).is_ok());
+    }
+
+    #[test]
+    fn retry_hint_is_bounded_by_a_full_refill() {
+        let b = TokenBuckets::new(0.5, 8.0);
+        for _ in 0..8 {
+            assert!(b.try_acquire_at("k", 0).is_ok());
+        }
+        let retry = b.try_acquire_at("k", 0).unwrap_err();
+        assert!(
+            (1..=16).contains(&retry),
+            "retry {retry} vs full refill 16 s"
+        );
+    }
+
+    #[test]
+    fn disabled_limiter_admits_everything() {
+        let b = TokenBuckets::new(0.0, 0.0);
+        assert!(!b.enabled());
+        for _ in 0..1000 {
+            assert!(b.try_acquire_at("k", 0).is_ok());
+        }
+    }
+
+    #[test]
+    fn key_map_sweeps_full_buckets_at_the_cap() {
+        let b = TokenBuckets::new(1.0, 1.0);
+        for i in 0..MAX_BUCKET_KEYS {
+            assert!(b.try_acquire_at(&format!("k{i}"), 0).is_ok());
+        }
+        // Every key is drained (tokens < burst), so the sweep cannot
+        // reclaim — the map grows past the cap rather than denying.
+        assert!(b.try_acquire_at("fresh", 0).is_ok());
+        // After a refill horizon the stale keys are reclaimable.
+        assert!(b.try_acquire_at("fresh2", 10 * SEC).is_ok());
+        assert!(b.state.lock().unwrap().len() <= MAX_BUCKET_KEYS);
+    }
+
+    #[test]
+    fn governor_tiers_shed_in_order() {
+        let g = Governor::new(1000, 10);
+        assert_eq!(g.tier(0, 0), Tier::Ok);
+        assert_eq!(g.tier(700, 0), Tier::Ok);
+        assert_eq!(g.tier(800, 0), Tier::Pressure);
+        assert_eq!(g.tier(950, 0), Tier::ShedSessions);
+        assert_eq!(g.tier(1000, 0), Tier::ShedJobs);
+        // Queue saturation amplifies the same residency.
+        assert_eq!(g.tier(700, 10), Tier::ShedJobs);
+        assert_eq!(g.tier(640, 10), Tier::ShedSessions);
+        assert!(Tier::Ok < Tier::Pressure && Tier::ShedSessions < Tier::ShedJobs);
+    }
+
+    #[test]
+    fn governor_disabled_without_a_budget() {
+        let g = Governor::new(0, 10);
+        assert_eq!(g.tier(u64::MAX, usize::MAX), Tier::Ok);
+    }
+}

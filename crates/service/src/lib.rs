@@ -19,7 +19,8 @@
 //! | `GET /sessions`          | paginated session listing                    |
 //! | `GET /sessions/{id}`     | session snapshot (`?detail=gates` for all)   |
 //! | `POST /sessions/{id}/ops`| apply one incremental edit op                |
-//! | `DELETE /sessions/{id}`  | tear a session down (state and log removed)  |
+//! | `POST /sessions/{id}/compact` | fold the op log into a snapshot         |
+//! | `DELETE /sessions/{id}`  | tear a session down (directory reclaimed)    |
 //! | `GET /metrics`           | queue depth, engine + store counters, latency|
 //! | `GET /healthz`           | `ok` / `degraded` + reason                   |
 //! | `POST /shutdown`         | graceful drain                               |
@@ -52,6 +53,20 @@
 //! submissions while in-flight jobs continue uncheckpointed — and
 //! un-latches automatically once writes succeed again.
 //!
+//! ## Governance
+//!
+//! Overload is a first-class regime, not an emergent failure (see
+//! [`govern`]): deterministic token buckets rate-limit session ops
+//! per-session and per-client-IP (`429 + Retry-After`), disk quotas
+//! bound each session's on-disk footprint (the op log auto-compacts at
+//! half the quota; `POST /sessions/{id}/compact` folds it explicitly),
+//! a global disk budget bounds the sum, and a memory-pressure governor
+//! sheds the lowest-priority work first — evict idle warm sessions,
+//! then refuse new sessions, then refuse new jobs — with the tier
+//! visible in `/healthz` and everything counted in `/metrics`. All
+//! limits default to off (rates `0`, budgets `0`) except the per-session
+//! quota, which defaults generously.
+//!
 //! ## Quick start
 //!
 //! ```no_run
@@ -69,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod govern;
 pub mod http;
 pub mod job;
 pub mod metrics;
@@ -127,6 +143,33 @@ pub struct Config {
     /// Ops between periodic session snapshots folding the op-log into a
     /// checkpoint (bounds replay length after a restart).
     pub session_checkpoint_every: usize,
+    /// Per-session op rate limit, ops/second (`0` disables). Ops beyond
+    /// the bucket answer `429` with a `Retry-After` hint.
+    pub ops_rate: f64,
+    /// Burst capacity of the per-session op bucket, tokens (`0`
+    /// defaults to one second of refill).
+    pub ops_burst: f64,
+    /// Per-client-IP rate limit shared by session ops and job
+    /// submissions, requests/second (`0` disables).
+    pub client_rate: f64,
+    /// Burst capacity of the per-client bucket, tokens (`0` defaults to
+    /// one second of refill).
+    pub client_burst: f64,
+    /// Per-session on-disk byte quota — record + op log + snapshot
+    /// (`0` = unlimited). The op log auto-compacts into the snapshot at
+    /// half the quota; an op that still cannot fit answers `503`.
+    pub session_quota_bytes: u64,
+    /// Global byte budget across all session directories (`0` =
+    /// unlimited); `POST /sessions` answers `503` while exhausted.
+    pub session_disk_budget: u64,
+    /// Warm-session memory budget, bytes (`0` disables load shedding).
+    /// Crossing 75% / 90% / 100% of it moves `/healthz` through the
+    /// `pressure` / `shed-sessions` / `shed-jobs` tiers.
+    pub mem_budget_bytes: u64,
+    /// Op-log size that triggers the background compaction sweep for
+    /// sessions *without* a quota, bytes (`0` disables; quota'd
+    /// sessions compact at half their quota regardless).
+    pub session_compact_bytes: u64,
 }
 
 impl Default for Config {
@@ -147,6 +190,14 @@ impl Default for Config {
             keep_alive_requests: 1000,
             keep_alive_idle: 5.0,
             session_checkpoint_every: 64,
+            ops_rate: 0.0,
+            ops_burst: 0.0,
+            client_rate: 0.0,
+            client_burst: 0.0,
+            session_quota_bytes: 64 << 20,
+            session_disk_budget: 0,
+            mem_budget_bytes: 0,
+            session_compact_bytes: 4 << 20,
         }
     }
 }

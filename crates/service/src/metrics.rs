@@ -100,6 +100,7 @@ pub const ROUTES: &[&str] = &[
     "GET /sessions",
     "GET /sessions/{id}",
     "POST /sessions/{id}/ops",
+    "POST /sessions/{id}/compact",
     "DELETE /sessions/{id}",
     "GET /metrics",
     "GET /healthz",
@@ -110,7 +111,7 @@ pub const ROUTES: &[&str] = &[
 /// The service's metric registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    latency: [Histogram; 15],
+    latency: [Histogram; 16],
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Requests answered with a 2xx status.
@@ -140,6 +141,7 @@ pub fn route_key(method: &str, path: &str) -> &'static str {
         ("GET", _) if is_job => "GET /jobs/{id}",
         ("DELETE", _) if is_job => "DELETE /jobs/{id}",
         ("POST", _) if is_session && path.ends_with("/ops") => "POST /sessions/{id}/ops",
+        ("POST", _) if is_session && path.ends_with("/compact") => "POST /sessions/{id}/compact",
         ("GET", _) if is_session => "GET /sessions/{id}",
         ("DELETE", _) if is_session => "DELETE /sessions/{id}",
         _ => "other",

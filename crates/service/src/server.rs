@@ -52,6 +52,7 @@ use minpower_core::{
 };
 use minpower_engine::{EngineStats, StatsSnapshot};
 
+use crate::govern::{Govern, Tier};
 use crate::http::{self, HttpError, Request};
 use crate::job::{self, Job, JobState, JobStatus};
 use crate::metrics::{route_key, Metrics};
@@ -96,6 +97,9 @@ pub struct ServiceState {
     /// What-if sessions: warm incremental states, their op-logs and
     /// snapshots, LRU/TTL eviction (see [`crate::session`]).
     sessions: SessionManager,
+    /// Resource governance: rate-limit buckets, the load-shedding
+    /// governor, and their counters (see [`crate::govern`]).
+    govern: Govern,
 }
 
 /// A handle for stopping a running server from another thread.
@@ -181,6 +185,7 @@ impl Server {
             // each becomes a cold entry that replays its op-log on
             // first touch (the session half of restart recovery).
             sessions: SessionManager::new(&config),
+            govern: Govern::new(&config),
             config,
         });
         if !state.config.worker {
@@ -238,7 +243,15 @@ impl Server {
 
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut graceful_seen = false;
+        let mut last_sweep = Instant::now();
         while !state.stop.load(Ordering::Relaxed) {
+            // Background governance: compaction of oversized op logs,
+            // idle eviction, and pressure shedding, about once a second
+            // — the accept loop already wakes every few milliseconds.
+            if last_sweep.elapsed() >= Duration::from_secs(1) {
+                last_sweep = Instant::now();
+                state.governance_sweep();
+            }
             if state.graceful.load(Ordering::Relaxed) {
                 if !graceful_seen {
                     graceful_seen = true;
@@ -450,6 +463,33 @@ impl ServiceState {
         }
     }
 
+    /// The governor's current shedding tier, from the warm-byte gauge
+    /// and queue depth.
+    fn current_tier(&self) -> Tier {
+        self.govern.governor.tier(
+            self.sessions.metrics.warm_bytes.load(Ordering::Relaxed),
+            self.queue.len(),
+        )
+    }
+
+    /// One background governance pass: the session sweep (idle TTL +
+    /// compaction of oversized op logs), then pressure shedding — at
+    /// [`Tier::Pressure`] or worse, idle warm sessions are evicted
+    /// oldest-first until the warm gauge is back under 75% of the
+    /// memory budget.
+    fn governance_sweep(&self) {
+        self.sessions.background_sweep();
+        if self.current_tier() >= Tier::Pressure {
+            let shed = self
+                .sessions
+                .shed_warm_to(self.govern.governor.pressure_floor());
+            self.govern
+                .metrics
+                .pressure_evictions
+                .fetch_add(shed, Ordering::Relaxed);
+        }
+    }
+
     /// Checks whether durable writes work right now by writing (and
     /// removing) a tiny probe record; un-latches or latches the health
     /// state accordingly. Called on submissions and health checks while
@@ -648,11 +688,24 @@ fn handle_connection(state: &Arc<ServiceState>, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let conn = state.conn_seq.fetch_add(1, Ordering::Relaxed);
     let budget = state.config.keep_alive_requests.max(1);
+    // The per-client rate-limit key. Sockets that lose their peer before
+    // we ask share one bucket — they are already half-dead anyway.
+    let peer_ip = stream
+        .peer_addr()
+        .map(|addr| addr.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
 
     for served in 0..budget {
-        let started = Instant::now();
+        let mut started = Instant::now();
         let request = match http::read_request(&mut stream, state.config.max_body_bytes) {
-            Ok(Some(request)) => request,
+            Ok(Some(request)) => {
+                // Restart the clock now that the request has fully
+                // arrived: on a reused keep-alive connection the read
+                // above blocks through the client's think time, which
+                // must not be billed to the route's latency histogram.
+                started = Instant::now();
+                request
+            }
             Ok(None) => return,
             Err(e) => {
                 if served > 0 && e.status == 408 {
@@ -716,7 +769,7 @@ fn handle_connection(state: &Arc<ServiceState>, mut stream: TcpStream) {
             && !state.stop.load(Ordering::Relaxed)
             && !state.graceful.load(Ordering::Relaxed);
 
-        let (status, body, extra) = dispatch(state, &request);
+        let (status, body, extra) = dispatch(state, &request, &peer_ip);
         state
             .metrics
             .observe(route, status, started.elapsed().as_micros() as u64);
@@ -882,14 +935,16 @@ fn error_response(status: u16, message: impl Into<String>) -> Response {
     )
 }
 
-fn dispatch(state: &Arc<ServiceState>, request: &Request) -> Response {
+fn dispatch(state: &Arc<ServiceState>, request: &Request, peer_ip: &str) -> Response {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
-        ("POST", "/jobs") => submit_job(state, request),
+        ("POST", "/jobs") => submit_job(state, request, peer_ip),
         ("GET", "/jobs") => list_jobs(state, request),
         ("POST", "/sessions") => create_session(state, request),
         ("GET", "/sessions") => list_sessions(state, request),
-        (method, _) if path.starts_with("/sessions/") => session_route(state, request, method),
+        (method, _) if path.starts_with("/sessions/") => {
+            session_route(state, request, method, peer_ip)
+        }
         ("GET", "/metrics") => metrics_endpoint(state),
         ("GET", "/healthz") => healthz_endpoint(state),
         ("POST", "/shutdown") => {
@@ -950,8 +1005,12 @@ fn pagination(request: &Request) -> Result<(usize, usize), Response> {
     Ok((offset, limit))
 }
 
-/// Wraps sorted listing rows in the `{total, offset, limit, items}`
-/// envelope shared by `GET /jobs` and `GET /sessions`.
+/// Wraps sorted listing rows in the `{total, offset, limit, sort,
+/// items}` envelope shared by `GET /jobs` and `GET /sessions`. The
+/// `sort` field names the stable key the rows are ordered by (ids are
+/// monotonically assigned and never reused), so clients can page
+/// without races: a row can appear twice across pages only if it was
+/// created mid-walk, never because the order shifted.
 fn paginate(rows: Vec<Value>, offset: usize, limit: usize) -> Response {
     let total = rows.len();
     let items: Vec<Value> = rows.into_iter().skip(offset).take(limit).collect();
@@ -961,6 +1020,7 @@ fn paginate(rows: Vec<Value>, offset: usize, limit: usize) -> Response {
             ("total".to_string(), Value::Int(total as u64)),
             ("offset".to_string(), Value::Int(offset as u64)),
             ("limit".to_string(), Value::Int(limit as u64)),
+            ("sort".to_string(), Value::Str("id".to_string())),
             ("items".to_string(), Value::Arr(items)),
         ]),
         Vec::new(),
@@ -1042,6 +1102,15 @@ fn create_session(state: &Arc<ServiceState>, request: &Request) -> Response {
         return error_response(503, "server is draining");
     }
     state.sessions.sweep_idle();
+    let tier = state.current_tier();
+    if tier >= Tier::ShedSessions {
+        state
+            .govern
+            .metrics
+            .shed_sessions
+            .fetch_add(1, Ordering::Relaxed);
+        return shed_response(tier, "new sessions");
+    }
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return error_response(400, "body is not UTF-8"),
@@ -1074,24 +1143,37 @@ fn create_session(state: &Arc<ServiceState>, request: &Request) -> Response {
     }
 }
 
-/// `/sessions/{id}` and `/sessions/{id}/ops`: snapshot, op, teardown.
-fn session_route(state: &Arc<ServiceState>, request: &Request, method: &str) -> Response {
+/// `/sessions/{id}`, `/sessions/{id}/ops`, `/sessions/{id}/compact`:
+/// snapshot, op, explicit compaction, teardown.
+fn session_route(
+    state: &Arc<ServiceState>,
+    request: &Request,
+    method: &str,
+    peer_ip: &str,
+) -> Response {
     state.sessions.sweep_idle();
     let id_part = &request.path["/sessions/".len()..];
-    let id_text = id_part.strip_suffix("/ops").unwrap_or(id_part);
+    let (id_text, action) = if let Some(text) = id_part.strip_suffix("/ops") {
+        (text, "ops")
+    } else if let Some(text) = id_part.strip_suffix("/compact") {
+        (text, "compact")
+    } else {
+        (id_part, "")
+    };
     let Ok(id) = id_text.parse::<u64>() else {
         return error_response(404, format!("no such session `{id_part}`"));
     };
-    let is_ops = id_part.ends_with("/ops");
-    match (method, is_ops) {
-        ("POST", true) => session_op(state, request, id),
-        ("GET", false) => session_snapshot(state, request, id),
-        ("DELETE", false) => match state.sessions.delete(id) {
-            Ok(()) => (
+    match (method, action) {
+        ("POST", "ops") => session_op(state, request, id, peer_ip),
+        ("POST", "compact") => session_compact(state, id),
+        ("GET", "") => session_snapshot(state, request, id),
+        ("DELETE", "") => match state.sessions.delete(id) {
+            Ok(reclaimed) => (
                 200,
                 Value::Obj(vec![
                     ("id".to_string(), Value::Int(id)),
                     ("status".to_string(), Value::Str("deleted".to_string())),
+                    ("reclaimed_bytes".to_string(), Value::Int(reclaimed)),
                 ]),
                 Vec::new(),
             ),
@@ -1101,10 +1183,84 @@ fn session_route(state: &Arc<ServiceState>, request: &Request, method: &str) -> 
     }
 }
 
+/// `429 + Retry-After` when a token bucket runs dry.
+fn rate_limited_response(retry: u64, what: &str) -> Response {
+    (
+        429,
+        Value::Obj(vec![(
+            "error".to_string(),
+            Value::Str(format!("rate limit exceeded ({what}); retry in {retry} s")),
+        )]),
+        vec![("Retry-After".to_string(), retry.to_string())],
+    )
+}
+
+/// `503 + Retry-After` when the load governor refuses this work class.
+fn shed_response(tier: Tier, what: &str) -> Response {
+    (
+        503,
+        Value::Obj(vec![(
+            "error".to_string(),
+            Value::Str(format!(
+                "shedding load (tier {}): {what} refused under memory pressure",
+                tier.as_str()
+            )),
+        )]),
+        vec![("Retry-After".to_string(), "2".to_string())],
+    )
+}
+
+/// `POST /sessions/{id}/compact`: fold the op log into the snapshot now
+/// instead of waiting for the quota trigger or the background sweep.
+fn session_compact(state: &Arc<ServiceState>, id: u64) -> Response {
+    let entry = match state.sessions.get(id) {
+        Ok(entry) => entry,
+        Err(e) => return (e.status, error_body(&e), Vec::new()),
+    };
+    match state.sessions.compact(&entry) {
+        Ok((reclaimed, folded)) => (
+            200,
+            Value::Obj(vec![
+                ("id".to_string(), Value::Int(id)),
+                ("status".to_string(), Value::Str("compacted".to_string())),
+                ("ops_folded".to_string(), Value::Int(folded)),
+                ("reclaimed_bytes".to_string(), Value::Int(reclaimed)),
+            ]),
+            Vec::new(),
+        ),
+        Err(e) => {
+            let extra = if e.status == 503 {
+                vec![("Retry-After".to_string(), "1".to_string())]
+            } else {
+                Vec::new()
+            };
+            (e.status, error_body(&e), extra)
+        }
+    }
+}
+
 /// `POST /sessions/{id}/ops`: apply one edit op against warm state. The
 /// op is journaled (fsynced) before the `200` — an acknowledged op
 /// survives any crash.
-fn session_op(state: &Arc<ServiceState>, request: &Request, id: u64) -> Response {
+fn session_op(state: &Arc<ServiceState>, request: &Request, id: u64, peer_ip: &str) -> Response {
+    // Rate limits come first — they exist to keep a chatty client from
+    // spending server cycles, parsing included.
+    if let Err(retry) = state.govern.session_buckets.try_acquire(&id.to_string()) {
+        state
+            .govern
+            .metrics
+            .rate_limited_ops
+            .fetch_add(1, Ordering::Relaxed);
+        return rate_limited_response(retry, &format!("session {id} ops"));
+    }
+    if let Err(retry) = state.govern.client_buckets.try_acquire(peer_ip) {
+        state
+            .govern
+            .metrics
+            .rate_limited_ops
+            .fetch_add(1, Ordering::Relaxed);
+        return rate_limited_response(retry, &format!("client {peer_ip}"));
+    }
     let entry = match state.sessions.get(id) {
         Ok(entry) => entry,
         Err(e) => return (e.status, error_body(&e), Vec::new()),
@@ -1175,9 +1331,26 @@ fn session_snapshot(state: &Arc<ServiceState>, request: &Request, id: u64) -> Re
     }
 }
 
-fn submit_job(state: &Arc<ServiceState>, request: &Request) -> Response {
+fn submit_job(state: &Arc<ServiceState>, request: &Request, peer_ip: &str) -> Response {
     if state.draining.load(Ordering::Relaxed) || state.stop.load(Ordering::Relaxed) {
         return error_response(503, "server is draining");
+    }
+    let tier = state.current_tier();
+    if tier >= Tier::ShedJobs {
+        state
+            .govern
+            .metrics
+            .shed_jobs
+            .fetch_add(1, Ordering::Relaxed);
+        return shed_response(tier, "new jobs");
+    }
+    if let Err(retry) = state.govern.client_buckets.try_acquire(peer_ip) {
+        state
+            .govern
+            .metrics
+            .rate_limited_jobs
+            .fetch_add(1, Ordering::Relaxed);
+        return rate_limited_response(retry, &format!("client {peer_ip}"));
     }
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
@@ -1275,20 +1448,39 @@ fn degraded_response(reason: &str) -> Response {
     )
 }
 
-/// `GET /healthz`: `ok` or `degraded` + reason. While degraded, each
-/// health check probes the store so recovery is observed promptly.
+/// `GET /healthz`: `ok` or `degraded` + reason — degraded either when
+/// the durable store is latched read-only or when the load governor is
+/// in a shedding tier. While store-degraded, each health check probes
+/// the store so recovery is observed promptly; the shedding tier clears
+/// itself as the pressure sweep evicts warm state.
 fn healthz_endpoint(state: &Arc<ServiceState>) -> Response {
     if state.health.is_degraded() {
         state.probe_store();
     }
-    let (degraded, reason) = state.health.status();
+    let (store_degraded, reason) = state.health.status();
+    let tier = state.current_tier();
+    let degraded = store_degraded || tier >= Tier::ShedSessions;
     let mut fields = vec![(
         "status".to_string(),
         Value::Str(if degraded { "degraded" } else { "ok" }.to_string()),
     )];
-    if degraded {
+    if store_degraded {
         fields.push(("reason".to_string(), Value::Str(reason)));
+    } else if degraded {
+        fields.push((
+            "reason".to_string(),
+            Value::Str(format!("memory pressure: shedding ({})", tier.as_str())),
+        ));
     }
+    fields.push(("tier".to_string(), Value::Str(tier.as_str().to_string())));
+    fields.push((
+        "warm_bytes".to_string(),
+        Value::Int(state.sessions.metrics.warm_bytes.load(Ordering::Relaxed)),
+    ));
+    fields.push((
+        "mem_budget_bytes".to_string(),
+        Value::Int(state.govern.governor.mem_budget()),
+    ));
     fields.push((
         "degraded_seconds".to_string(),
         Value::Int(state.health.degraded_seconds()),
@@ -1386,9 +1578,46 @@ fn metrics_endpoint(state: &Arc<ServiceState>) -> Response {
             ]),
         ),
         ("sessions".to_string(), session_metrics_json(state)),
+        ("govern".to_string(), govern_metrics_json(state)),
         ("http".to_string(), state.metrics.to_json()),
     ]);
     (200, doc, Vec::new())
+}
+
+/// The `govern` section of `GET /metrics`: the shedding tier, budgets,
+/// and the rate-limit/shed counters.
+fn govern_metrics_json(state: &Arc<ServiceState>) -> Value {
+    let gm = &state.govern.metrics;
+    Value::Obj(vec![
+        (
+            "tier".to_string(),
+            Value::Str(state.current_tier().as_str().to_string()),
+        ),
+        (
+            "mem_budget_bytes".to_string(),
+            Value::Int(state.govern.governor.mem_budget()),
+        ),
+        (
+            "rate_limited_ops".to_string(),
+            Value::Int(gm.rate_limited_ops.load(Ordering::Relaxed)),
+        ),
+        (
+            "rate_limited_jobs".to_string(),
+            Value::Int(gm.rate_limited_jobs.load(Ordering::Relaxed)),
+        ),
+        (
+            "shed_sessions".to_string(),
+            Value::Int(gm.shed_sessions.load(Ordering::Relaxed)),
+        ),
+        (
+            "shed_jobs".to_string(),
+            Value::Int(gm.shed_jobs.load(Ordering::Relaxed)),
+        ),
+        (
+            "pressure_evictions".to_string(),
+            Value::Int(gm.pressure_evictions.load(Ordering::Relaxed)),
+        ),
+    ])
 }
 
 /// The `sessions` section of `GET /metrics`: open/warm gauges, the
@@ -1424,6 +1653,26 @@ fn session_metrics_json(state: &Arc<ServiceState>) -> Value {
         (
             "oplog_truncated".to_string(),
             Value::Int(sm.oplog_truncated.load(Ordering::Relaxed)),
+        ),
+        (
+            "compactions".to_string(),
+            Value::Int(sm.compactions.load(Ordering::Relaxed)),
+        ),
+        (
+            "reclaimed_bytes".to_string(),
+            Value::Int(sm.reclaimed_bytes.load(Ordering::Relaxed)),
+        ),
+        (
+            "quota_rejected".to_string(),
+            Value::Int(sm.quota_rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "warm_bytes".to_string(),
+            Value::Int(sm.warm_bytes.load(Ordering::Relaxed)),
+        ),
+        (
+            "disk_bytes".to_string(),
+            Value::Int(sm.disk_bytes.load(Ordering::Relaxed)),
         ),
         ("op_p50_us".to_string(), Value::Int(p50)),
         ("op_p99_us".to_string(), Value::Int(p99)),

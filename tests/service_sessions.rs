@@ -488,12 +488,16 @@ fn killed_server_recovers_sessions_bit_identically() {
     );
     assert_eq!(status, 200, "{body}");
 
-    // Teardown removes the session and its files.
+    // Teardown removes the session's whole directory and reports the
+    // bytes it reclaimed.
     let raw = format!("DELETE /sessions/{id} HTTP/1.1\r\nHost: t\r\n\r\n");
-    let (status, _, _) = raw_request(second.addr, raw.as_bytes());
+    let (status, _, body) = raw_request(second.addr, raw.as_bytes());
     assert_eq!(status, 200);
-    assert!(!state_dir.join(format!("session-{id}.json")).exists());
-    assert!(!state_dir.join(format!("session-{id}.oplog")).exists());
+    assert!(
+        u64_field(&parse_body(&body), "reclaimed_bytes") > 0,
+        "{body}"
+    );
+    assert!(!state_dir.join("sessions").join(id.to_string()).exists());
     assert_eq!(second.shutdown(), DrainOutcome::Clean);
 }
 
